@@ -1,0 +1,10 @@
+// Reproduces Fig. 1 (bottom row): model accuracy on the four flow datasets
+// (PeMSD3, PeMSD4, PeMSD7, PeMSD8 mirrors) — MAE / RMSE / MAPE at the 15-,
+// 30- and 60-minute horizons, mean ± std over repeated trials.
+
+#include "bench/fig1_common.h"
+
+int main() {
+  return trafficbench::bench::RunFigure1(
+      "flow", trafficbench::data::FlowProfiles(), "fig1_flow.csv");
+}

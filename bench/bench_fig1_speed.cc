@@ -1,0 +1,10 @@
+// Reproduces Fig. 1 (top row): model accuracy on the three speed datasets
+// (METR-LA, PeMS-BAY, PeMSD7(M) mirrors) — MAE / RMSE / MAPE at the 15-,
+// 30- and 60-minute horizons, mean ± std over repeated trials.
+
+#include "bench/fig1_common.h"
+
+int main() {
+  return trafficbench::bench::RunFigure1(
+      "speed", trafficbench::data::SpeedProfiles(), "fig1_speed.csv");
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks of the tensor engine's hot ops (google-benchmark),
+// at the shapes the model zoo actually uses.
+
+#include <benchmark/benchmark.h>
+
+#include "src/nn/layers.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({n, n}), &rng);
+  Tensor b = Tensor::Randn(Shape({n, n}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedGraphMix(benchmark::State& state) {
+  // The dominant model op: [N, N] support applied to [B, T, N, C].
+  Rng rng(1);
+  Tensor support = Tensor::Randn(Shape({32, 32}), &rng);
+  Tensor features = Tensor::Randn(Shape({8, 12, 32, 24}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(support, features).data());
+  }
+}
+BENCHMARK(BM_BatchedGraphMix);
+
+void BM_TemporalConv(benchmark::State& state) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn(Shape({8, 24, 32, 12}), &rng);
+  Tensor w = Tensor::Randn(Shape({48, 24, 1, 3}), &rng);
+  Tensor b = Tensor::Zeros(Shape({48}));
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv2d(x, w, b).data());
+  }
+}
+BENCHMARK(BM_TemporalConv);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn(Shape({96, 32, 32}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Softmax(-1).data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_MultiHeadAttention(benchmark::State& state) {
+  Rng rng(1);
+  nn::MultiHeadAttention mha(40, 4, &rng);
+  Tensor x = Tensor::Randn(Shape({8, 12, 32, 40}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mha.Forward(x, x, x).data());
+  }
+}
+BENCHMARK(BM_MultiHeadAttention);
+
+void BM_ElementwiseChain(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({8, 12, 32, 24}), &rng);
+  Tensor b = Tensor::Randn(Shape({8, 12, 32, 24}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(((a * b).Sigmoid() + a).Tanh().data());
+  }
+}
+BENCHMARK(BM_ElementwiseChain);
+
+void BM_BackwardMlp(benchmark::State& state) {
+  Rng rng(1);
+  Tensor w1 = Tensor::Randn(Shape({24, 48}), &rng).set_requires_grad(true);
+  Tensor w2 = Tensor::Randn(Shape({48, 12}), &rng).set_requires_grad(true);
+  Tensor x = Tensor::Randn(Shape({256, 24}), &rng);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    Tensor loss = MatMul(MatMul(x, w1).Tanh(), w2).Abs().MeanAll();
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+}
+BENCHMARK(BM_BackwardMlp);
+
+}  // namespace
+}  // namespace trafficbench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table III: computation time of the models with the METR-LA
+// dataset — training time per epoch, inference time over the test set, and
+// parameter count. Absolute numbers differ from the paper (CPU tensor
+// engine vs. Titan RTX GPUs); the *ordering* is the reproduced result.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/util/table.h"
+
+namespace tb = trafficbench;
+
+int main() {
+  tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
+  std::printf(
+      "Table III reproduction: computation time with METR-LA-S "
+      "(scale=%.2f, %lld train batches/epoch, batch=%lld)\n",
+      config.scale, static_cast<long long>(config.max_batches_per_epoch),
+      static_cast<long long>(config.batch_size));
+
+  tb::data::DatasetProfile profile =
+      tb::data::ProfileByName("METR-LA-S").value();
+  tb::data::TrafficDataset dataset = tb::core::BuildDataset(profile, config);
+  const tb::data::DatasetSplits splits = dataset.Splits();
+
+  tb::Table table({"Model", "Training time/epoch", "Inference time",
+                   "# of params"});
+  for (const std::string& name : tb::models::PaperModelNames()) {
+    tb::models::ModelContext context =
+        tb::models::MakeModelContext(dataset, config.seed);
+    auto model = tb::models::CreateModel(name, context);
+
+    tb::eval::TrainConfig train_config;
+    train_config.epochs = 1;  // one measured epoch
+    train_config.batch_size = config.batch_size;
+    train_config.max_batches_per_epoch = config.max_batches_per_epoch;
+    train_config.learning_rate = config.learning_rate;
+    train_config.seed = config.seed;
+    tb::eval::TrainResult train =
+        tb::eval::TrainModel(model.get(), dataset, train_config);
+
+    const int64_t test_end =
+        config.eval_cap > 0
+            ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
+            : splits.test_end;
+    tb::eval::HorizonReport report = tb::eval::EvaluateModel(
+        model.get(), dataset, splits.test_begin, test_end);
+
+    table.AddRow({name, tb::Table::Num(train.seconds_per_epoch, 2) + " secs",
+                  tb::Table::Num(report.inference_seconds, 2) + " secs",
+                  std::to_string(model->ParameterCount() / 1000) + "." +
+                      std::to_string((model->ParameterCount() % 1000) / 100) +
+                      "k"});
+    std::fprintf(stderr, "  done: %s\n", name.c_str());
+  }
+  tb::core::EmitTable("Computation time of the models (Table III)", table,
+                      "table3_computation.csv");
+  return 0;
+}

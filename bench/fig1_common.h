@@ -1,0 +1,73 @@
+#ifndef TRAFFICBENCH_BENCH_FIG1_COMMON_H_
+#define TRAFFICBENCH_BENCH_FIG1_COMMON_H_
+
+// Shared driver for the Fig. 1 accuracy benches (speed and flow).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/models/traffic_model.h"
+#include "src/util/table.h"
+
+namespace trafficbench::bench {
+
+/// Trains and evaluates the whole model zoo on each profile and prints a
+/// per-dataset table in the paper's Fig. 1 structure (MAE/RMSE/MAPE at
+/// 15/30/60 minutes, mean ± std over repeated trials). Also writes a
+/// long-format CSV for plotting.
+inline int RunFigure1(const std::string& task_label,
+                      const std::vector<data::DatasetProfile>& profiles,
+                      const std::string& csv_name) {
+  core::ExperimentConfig config = core::ExperimentConfig::FromEnv();
+  std::printf(
+      "Fig. 1 reproduction (%s prediction): %d trials, %d epochs, "
+      "scale %.2f\n",
+      task_label.c_str(), config.repeats, config.epochs, config.scale);
+
+  std::vector<std::string> model_names = models::PaperModelNames();
+  for (const std::string& name : models::BaselineModelNames()) {
+    model_names.push_back(name);
+  }
+
+  Table csv({"dataset", "model", "horizon_min", "metric", "mean", "std"});
+  for (const data::DatasetProfile& profile : profiles) {
+    data::TrafficDataset dataset = core::BuildDataset(profile, config);
+    std::fprintf(stderr, "dataset %s: N=%lld, steps=%lld\n",
+                 profile.name.c_str(),
+                 static_cast<long long>(dataset.num_nodes()),
+                 static_cast<long long>(dataset.series().num_steps));
+
+    Table table({"Model", "MAE 15/30/60", "RMSE 15/30/60", "MAPE% 15/30/60"});
+    for (const std::string& model_name : model_names) {
+      core::RunResult result =
+          core::RunModelOnDataset(model_name, dataset, profile.name, config);
+      auto cell = [&](const std::string& metric) {
+        std::string out;
+        for (int horizon : {15, 30, 60}) {
+          eval::MeanStd ms = result.Metric(metric, horizon);
+          if (!out.empty()) out += " / ";
+          out += Table::MeanStd(ms.mean, ms.stddev);
+          csv.AddRow({profile.name, model_name, std::to_string(horizon),
+                      metric, Table::Num(ms.mean, 4),
+                      Table::Num(ms.stddev, 4)});
+        }
+        return out;
+      };
+      table.AddRow({model_name, cell("mae"), cell("rmse"), cell("mape")});
+      std::fprintf(stderr, "  done: %s\n", model_name.c_str());
+    }
+    core::EmitTable("Fig. 1 (" + task_label + "): " + profile.name +
+                        "  [mirrors " + profile.mirrors + "]",
+                    table, profile.name + "_fig1.csv");
+  }
+  WriteFileOrWarn(csv_name, csv.ToCsv());
+  std::printf("(long-format csv: %s)\n", csv_name.c_str());
+  return 0;
+}
+
+}  // namespace trafficbench::bench
+
+#endif  // TRAFFICBENCH_BENCH_FIG1_COMMON_H_

@@ -1,0 +1,92 @@
+// Custom model tutorial: how a downstream user extends the library.
+// Defines a new TrafficModel (a two-layer GCN-MLP over the last observed
+// step), registers it in the model registry, and benchmarks it against
+// the persistence baseline — entirely through the public API.
+//
+//   ./build/examples/example_custom_model
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/graph/road_network.h"
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace tb = trafficbench;
+
+namespace {
+
+/// A deliberately simple spatiotemporal model: take the most recent K
+/// observations, mix them over the road graph, and regress all horizons.
+class GcnMlp : public tb::models::TrafficModel {
+ public:
+  explicit GcnMlp(const tb::models::ModelContext& context)
+      : num_nodes_(context.num_nodes),
+        input_len_(context.input_len),
+        output_len_(context.output_len) {
+    tb::Rng rng(context.seed);
+    support_ = tb::graph::SymmetricNormalizedAdjacency(context.adjacency);
+    constexpr int64_t kRecent = 4;  // steps fed to the MLP
+    recent_ = kRecent;
+    mix_ = RegisterModule(
+        "mix", std::make_shared<tb::nn::Linear>(kRecent * 2, 32, &rng));
+    hidden_ = RegisterModule(
+        "hidden", std::make_shared<tb::nn::Linear>(2 * 32, 32, &rng));
+    out_ = RegisterModule(
+        "out", std::make_shared<tb::nn::Linear>(32, output_len_, &rng));
+  }
+
+  tb::Tensor Forward(const tb::Tensor& x, const tb::Tensor& teacher) override {
+    (void)teacher;
+    const int64_t batch = x.dim(0);
+    // Last `recent_` steps, flattened per node: [B, N, recent*2].
+    tb::Tensor tail = x.Slice(1, input_len_ - recent_, input_len_)
+                          .Permute({0, 2, 1, 3})
+                          .Reshape(tb::Shape({batch, num_nodes_, recent_ * 2}));
+    tb::Tensor h = mix_->Forward(tail).Relu();          // [B, N, 32]
+    tb::Tensor mixed = tb::MatMul(support_, h);         // graph smoothing
+    h = hidden_->Forward(tb::Concat({h, mixed}, -1)).Relu();
+    return out_->Forward(h).Permute({0, 2, 1});         // [B, T_out, N]
+  }
+
+  std::string name() const override { return "GCN-MLP"; }
+
+ private:
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  int64_t recent_;
+  tb::Tensor support_;
+  std::shared_ptr<tb::nn::Linear> mix_, hidden_, out_;
+};
+
+}  // namespace
+
+int main() {
+  // Register the custom model alongside the built-ins.
+  tb::models::RegisterBuiltinModels();
+  tb::models::ModelRegistry::Instance().Register(
+      "GCN-MLP", [](const tb::models::ModelContext& context) {
+        return std::unique_ptr<tb::models::TrafficModel>(
+            std::make_unique<GcnMlp>(context));
+      });
+
+  tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
+  config.repeats = 1;
+  tb::data::TrafficDataset dataset = tb::core::BuildDataset(
+      tb::data::ProfileByName("PEMS-BAY-S").value(), config);
+
+  for (const char* name : {"LastValue", "GCN-MLP", "Graph-WaveNet"}) {
+    tb::core::RunResult result =
+        tb::core::RunModelOnDataset(name, dataset, "PEMS-BAY-S", config);
+    std::printf("%-14s params=%-6lld avg MAE %.3f (60 min: %.3f)\n", name,
+                static_cast<long long>(result.parameter_count),
+                result.Metric("mae", 0).mean, result.Metric("mae", 60).mean);
+  }
+  std::printf("\nA custom model beats persistence but not the zoo's best —\n"
+              "swap in your own architecture via ModelRegistry::Register.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Difficult-intervals walkthrough: the paper's Sec. V-B pipeline on one
+// model, end to end through the public API — extract the volatile
+// intervals of a dataset, evaluate a trained model on the full test set
+// and on the difficult subset, and report the decline.
+//
+//   ./build/examples/example_difficult_intervals [model] [dataset]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+
+namespace tb = trafficbench;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "Graph-WaveNet";
+  const std::string dataset_name = argc > 2 ? argv[2] : "METR-LA-S";
+
+  tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
+  tb::data::TrafficDataset dataset = tb::core::BuildDataset(
+      tb::data::ProfileByName(dataset_name).value(), config);
+
+  // 1. Extract difficult intervals: moving std over a 30-minute window,
+  //    keep the per-node upper quartile (the paper's exact recipe).
+  tb::eval::DifficultIntervalOptions options;  // window=6 steps, top 25%
+  std::vector<uint8_t> mask =
+      tb::eval::DifficultMask(dataset.series(), options);
+  std::printf("%s: %.1f%% of (step, node) positions marked difficult\n",
+              dataset_name.c_str(),
+              100.0 * tb::eval::MaskFraction(mask));
+
+  // 2. Train the model.
+  auto model = tb::models::CreateModel(
+      model_name, tb::models::MakeModelContext(dataset, config.seed));
+  tb::eval::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.batch_size = config.batch_size;
+  train_config.max_batches_per_epoch = config.max_batches_per_epoch;
+  train_config.learning_rate = config.learning_rate;
+  train_config.verbose = true;
+  TrainModel(model.get(), dataset, train_config);
+
+  // 3. Evaluate twice: full test split, then difficult positions only.
+  const tb::data::DatasetSplits splits = dataset.Splits();
+  const int64_t end =
+      config.eval_cap > 0
+          ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
+          : splits.test_end;
+  tb::eval::HorizonReport all =
+      tb::eval::EvaluateModel(model.get(), dataset, splits.test_begin, end);
+  tb::eval::EvalOptions eval_options;
+  eval_options.difficult_mask = &mask;
+  tb::eval::HorizonReport hard = tb::eval::EvaluateModel(
+      model.get(), dataset, splits.test_begin, end, eval_options);
+
+  const double decline =
+      100.0 * (hard.average.mae - all.average.mae) / all.average.mae;
+  std::printf("\n%s on %s\n", model_name.c_str(), dataset_name.c_str());
+  std::printf("  full test set : MAE %.3f  RMSE %.3f  MAPE %.2f%% (n=%lld)\n",
+              all.average.mae, all.average.rmse, all.average.mape,
+              static_cast<long long>(all.average.count));
+  std::printf("  difficult only: MAE %.3f  RMSE %.3f  MAPE %.2f%% (n=%lld)\n",
+              hard.average.mae, hard.average.rmse, hard.average.mape,
+              static_cast<long long>(hard.average.count));
+  std::printf("  relative decline: %.1f%%  (paper observes 67–180%% across "
+              "the zoo)\n",
+              decline);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Model comparison: the paper's experiment in miniature. Trains a chosen
+// subset of the zoo on one dataset and prints the per-horizon leaderboard
+// plus parameter counts and timing — a smaller, configurable version of
+// the bench binaries.
+//
+//   ./build/examples/example_model_comparison [dataset] [model...]
+// e.g.
+//   ./build/examples/example_model_comparison PEMSD8-F Graph-WaveNet GMAN
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/models/traffic_model.h"
+#include "src/util/table.h"
+
+namespace tb = trafficbench;
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = argc > 1 ? argv[1] : "PEMSD8-F";
+  std::vector<std::string> model_names;
+  for (int i = 2; i < argc; ++i) model_names.push_back(argv[i]);
+  if (model_names.empty()) {
+    model_names = {"LastValue", "HistoricalAverage", "STGCN", "DCRNN",
+                   "Graph-WaveNet", "GMAN"};
+  }
+
+  tb::Result<tb::data::DatasetProfile> profile =
+      tb::data::ProfileByName(dataset_name);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\navailable profiles:",
+                 profile.status().ToString().c_str());
+    for (const auto& p : tb::data::SpeedProfiles()) {
+      std::fprintf(stderr, " %s", p.name.c_str());
+    }
+    for (const auto& p : tb::data::FlowProfiles()) {
+      std::fprintf(stderr, " %s", p.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
+  config.repeats = 1;
+  tb::data::TrafficDataset dataset =
+      tb::core::BuildDataset(profile.value(), config);
+  std::printf("comparing %zu models on %s (%lld nodes, %lld steps)\n",
+              model_names.size(), dataset_name.c_str(),
+              static_cast<long long>(dataset.num_nodes()),
+              static_cast<long long>(dataset.series().num_steps));
+
+  tb::Table table({"Model", "Params", "Train s/epoch", "MAE 15", "MAE 30",
+                   "MAE 60"});
+  for (const std::string& name : model_names) {
+    tb::core::RunResult result =
+        tb::core::RunModelOnDataset(name, dataset, dataset_name, config);
+    table.AddRow({name, std::to_string(result.parameter_count),
+                  tb::Table::Num(result.train_seconds_per_epoch.front(), 2),
+                  tb::Table::Num(result.Metric("mae", 15).mean, 3),
+                  tb::Table::Num(result.Metric("mae", 30).mean, 3),
+                  tb::Table::Num(result.Metric("mae", 60).mean, 3)});
+    std::fprintf(stderr, "  done: %s\n", name.c_str());
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench binaries' CSV output.
+
+Usage:
+    # after running the bench binaries (CSVs land in the working directory)
+    python3 scripts/plot_figures.py [--dir .] [--out figures/]
+
+Produces, when the corresponding CSV exists:
+    fig1_speed.png / fig1_flow.png   - grouped bars of MAE/RMSE/MAPE per
+                                       model x dataset x horizon (Fig. 1)
+    fig2_difficult.png               - MAE all-vs-difficult + decline (Fig. 2)
+    fig3_series.png                  - truth vs prediction for the stable and
+                                       the abruptly-changing road (Fig. 3)
+
+Only needs matplotlib; degrades gracefully (skips missing files).
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig1(rows, metric, out_path, plt):
+    datasets = sorted({r["dataset"] for r in rows})
+    horizons = ["15", "30", "60"]
+    fig, axes = plt.subplots(1, len(datasets), figsize=(6 * len(datasets), 4),
+                             squeeze=False)
+    for ax, dataset in zip(axes[0], datasets):
+        models, means, stds = defaultdict(dict), defaultdict(dict), defaultdict(dict)
+        for r in rows:
+            if r["dataset"] != dataset or r["metric"] != metric:
+                continue
+            models[r["model"]][r["horizon_min"]] = float(r["mean"])
+            stds[r["model"]][r["horizon_min"]] = float(r["std"])
+        names = list(models)
+        width = 0.8 / len(horizons)
+        for h_index, horizon in enumerate(horizons):
+            xs = [i + h_index * width for i in range(len(names))]
+            ys = [models[m].get(horizon, 0.0) for m in names]
+            es = [stds[m].get(horizon, 0.0) for m in names]
+            ax.bar(xs, ys, width=width, yerr=es, capsize=2,
+                   label=f"{horizon} min")
+        ax.set_xticks([i + width for i in range(len(names))])
+        ax.set_xticklabels(names, rotation=45, ha="right", fontsize=8)
+        ax.set_title(f"{dataset} — {metric.upper()}")
+        ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print("wrote", out_path)
+
+
+def plot_fig2(rows, out_path, plt):
+    names = [r["model"] for r in rows]
+    all_mae = [float(r["mae_all"]) for r in rows]
+    hard_mae = [float(r["mae_difficult"]) for r in rows]
+    decline = [float(r["decline_pct"]) for r in rows]
+    fig, (top, bottom) = plt.subplots(2, 1, figsize=(8, 6), sharex=True)
+    xs = range(len(names))
+    top.bar([x - 0.2 for x in xs], all_mae, width=0.4, label="all")
+    top.bar([x + 0.2 for x in xs], hard_mae, width=0.4, label="difficult")
+    top.set_ylabel("MAE")
+    top.legend()
+    bottom.bar(xs, decline, color="tab:red")
+    bottom.set_ylabel("decline %")
+    bottom.set_xticks(list(xs))
+    bottom.set_xticklabels(names, rotation=45, ha="right")
+    fig.suptitle("Difficult intervals (METR-LA mirror) — Fig. 2")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print("wrote", out_path)
+
+
+def plot_fig3(rows, out_path, plt):
+    ts = [int(r["t"]) for r in rows]
+    fig, (a, b) = plt.subplots(2, 1, figsize=(9, 6), sharex=True)
+    a.plot(ts, [float(r["truth_A"]) for r in rows], label="truth", lw=1)
+    a.plot(ts, [float(r["pred_A"]) for r in rows], label="prediction",
+           color="tab:red", lw=1)
+    a.set_title("A: stable road")
+    a.legend()
+    b.plot(ts, [float(r["truth_B"]) for r in rows], lw=1)
+    b.plot(ts, [float(r["pred_B"]) for r in rows], color="tab:red", lw=1)
+    b.set_title("B: abruptly changing road")
+    b.set_xlabel("test step (5-minute grid)")
+    fig.suptitle("Per-road case study (PeMS-BAY mirror) — Fig. 3")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print("wrote", out_path)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", default=".", help="directory with the CSVs")
+    parser.add_argument("--out", default="figures", help="output directory")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    jobs = [
+        ("fig1_speed.csv", lambda rows: plot_fig1(
+            rows, "mae", os.path.join(args.out, "fig1_speed.png"), plt)),
+        ("fig1_flow.csv", lambda rows: plot_fig1(
+            rows, "mae", os.path.join(args.out, "fig1_flow.png"), plt)),
+        ("fig2_difficult_long.csv", lambda rows: plot_fig2(
+            rows, os.path.join(args.out, "fig2_difficult.png"), plt)),
+        ("fig3_series.csv", lambda rows: plot_fig3(
+            rows, os.path.join(args.out, "fig3_series.png"), plt)),
+    ]
+    for name, plot in jobs:
+        path = os.path.join(args.dir, name)
+        if os.path.exists(path):
+            plot(read_csv(path))
+        else:
+            print("skipping missing", path)
+
+
+if __name__ == "__main__":
+    main()

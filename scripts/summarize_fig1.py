@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Summarize fig1 CSVs into average ranks per model (diagnostics aid).
+
+Usage: python3 scripts/summarize_fig1.py fig1_speed.csv [fig1_flow.csv ...]
+Prints, per metric/horizon and averaged, each model's mean rank across
+datasets — the "who wins where" view of the paper's Fig. 1.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+BASELINES = {"HistoricalAverage", "LastValue"}
+
+
+def main(paths):
+    rows = []
+    for path in paths:
+        with open(path, newline="") as f:
+            rows.extend(csv.DictReader(f))
+    if not rows:
+        sys.exit("no rows")
+
+    # ranks[model] -> list of ranks across (dataset, metric, horizon) cells
+    ranks = defaultdict(list)
+    ranks60 = defaultdict(list)
+    cells = defaultdict(dict)
+    for r in rows:
+        if r["model"] in BASELINES:
+            continue
+        key = (r["dataset"], r["metric"], r["horizon_min"])
+        cells[key][r["model"]] = float(r["mean"])
+    for key, values in cells.items():
+        ordered = sorted(values, key=values.get)
+        for rank, model in enumerate(ordered, 1):
+            ranks[model].append(rank)
+            if key[2] == "60":
+                ranks60[model].append(rank)
+
+    print(f"{'model':16s} {'avg rank':>9s} {'rank@60min':>11s}")
+    for model in sorted(ranks, key=lambda m: sum(ranks[m]) / len(ranks[m])):
+        avg = sum(ranks[model]) / len(ranks[model])
+        avg60 = sum(ranks60[model]) / max(1, len(ranks60[model]))
+        print(f"{model:16s} {avg:9.2f} {avg60:11.2f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["fig1_speed.csv"])

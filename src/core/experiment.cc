@@ -1,0 +1,145 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/check.h"
+
+namespace trafficbench::core {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::FromEnv() {
+  ExperimentConfig config;
+  config.scale = EnvDouble("TB_SCALE", config.scale);
+  config.epochs = static_cast<int>(EnvInt("TB_EPOCHS", config.epochs));
+  config.repeats = static_cast<int>(EnvInt("TB_REPEATS", config.repeats));
+  config.batch_size = EnvInt("TB_BATCH", config.batch_size);
+  config.max_batches_per_epoch =
+      EnvInt("TB_BATCHES", config.max_batches_per_epoch);
+  config.eval_cap = EnvInt("TB_EVAL", config.eval_cap);
+  config.learning_rate = EnvDouble("TB_LR", config.learning_rate);
+  config.seed = static_cast<uint64_t>(EnvInt("TB_SEED", config.seed));
+  config.verbose = EnvInt("TB_VERBOSE", 0) != 0;
+  return config;
+}
+
+eval::MeanStd RunResult::Metric(const std::string& metric, int horizon,
+                                bool difficult) const {
+  const std::vector<eval::HorizonReport>& source =
+      difficult ? difficult_trials : trials;
+  std::vector<double> values;
+  values.reserve(source.size());
+  for (const eval::HorizonReport& report : source) {
+    const eval::MetricValues* slice = nullptr;
+    switch (horizon) {
+      case 15:
+        slice = &report.horizon15;
+        break;
+      case 30:
+        slice = &report.horizon30;
+        break;
+      case 60:
+        slice = &report.horizon60;
+        break;
+      default:
+        slice = &report.average;
+        break;
+    }
+    if (metric == "mae") {
+      values.push_back(slice->mae);
+    } else if (metric == "rmse") {
+      values.push_back(slice->rmse);
+    } else if (metric == "mape") {
+      values.push_back(slice->mape);
+    } else {
+      TB_CHECK(false) << "unknown metric " << metric;
+    }
+  }
+  return eval::Summarize(values);
+}
+
+RunResult RunModelOnDataset(const std::string& model_name,
+                            const data::TrafficDataset& dataset,
+                            const std::string& dataset_name,
+                            const ExperimentConfig& config,
+                            const std::vector<uint8_t>* difficult_mask) {
+  RunResult result;
+  result.model_name = model_name;
+  result.dataset_name = dataset_name;
+  const data::DatasetSplits splits = dataset.Splits();
+  const int64_t test_end =
+      config.eval_cap > 0
+          ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
+          : splits.test_end;
+
+  for (int trial = 0; trial < config.repeats; ++trial) {
+    const uint64_t seed = config.seed + 1000ULL * (trial + 1);
+    models::ModelContext context = models::MakeModelContext(dataset, seed);
+    std::unique_ptr<models::TrafficModel> model =
+        models::CreateModel(model_name, context);
+    result.parameter_count = model->ParameterCount();
+
+    eval::TrainConfig train_config;
+    train_config.epochs = config.epochs;
+    train_config.batch_size = config.batch_size;
+    train_config.max_batches_per_epoch = config.max_batches_per_epoch;
+    train_config.learning_rate = config.learning_rate;
+    train_config.seed = seed ^ 0x5bd1e995ULL;
+    train_config.verbose = config.verbose;
+    eval::TrainResult train_result =
+        eval::TrainModel(model.get(), dataset, train_config);
+    result.train_seconds_per_epoch.push_back(train_result.seconds_per_epoch);
+
+    eval::HorizonReport report = eval::EvaluateModel(
+        model.get(), dataset, splits.test_begin, test_end);
+    result.inference_seconds.push_back(report.inference_seconds);
+    result.trials.push_back(report);
+
+    if (difficult_mask != nullptr) {
+      eval::EvalOptions options;
+      options.difficult_mask = difficult_mask;
+      result.difficult_trials.push_back(
+          eval::EvaluateModel(model.get(), dataset, splits.test_begin,
+                              test_end, options));
+    }
+    if (config.verbose) {
+      std::fprintf(stderr,
+                   "[%s / %s] trial %d: avg MAE %.3f (train %.1fs/epoch)\n",
+                   model_name.c_str(), dataset_name.c_str(), trial + 1,
+                   report.average.mae, train_result.seconds_per_epoch);
+    }
+  }
+  return result;
+}
+
+void EmitTable(const std::string& title, const Table& table,
+               const std::string& csv_name) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.ToString().c_str());
+  if (WriteFileOrWarn(csv_name, table.ToCsv())) {
+    std::printf("(csv: %s)\n", csv_name.c_str());
+  }
+  std::fflush(stdout);
+}
+
+data::TrafficDataset BuildDataset(const data::DatasetProfile& profile,
+                                  const ExperimentConfig& config) {
+  return data::TrafficDataset::FromProfile(
+      data::ScaleProfile(profile, config.scale));
+}
+
+}  // namespace trafficbench::core

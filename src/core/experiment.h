@@ -1,0 +1,76 @@
+#ifndef TRAFFICBENCH_CORE_EXPERIMENT_H_
+#define TRAFFICBENCH_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/util/table.h"
+
+namespace trafficbench::core {
+
+/// Shared configuration of the experiment binaries. Every knob can be
+/// overridden from the environment so the same binaries serve both the
+/// quick default run and a full-fidelity reproduction:
+///   TB_SCALE    dataset size multiplier (default 1.0)
+///   TB_EPOCHS   training epochs          (default 3)
+///   TB_REPEATS  repeated trials          (default 2; paper uses 5)
+///   TB_BATCHES  max train batches/epoch  (default 40; 0 = full split)
+///   TB_BATCH    batch size               (default 8; paper uses 64)
+///   TB_EVAL     max test samples to score (default 160; 0 = full test set)
+///   TB_VERBOSE  1 = per-epoch logging
+struct ExperimentConfig {
+  double scale = 1.0;
+  int epochs = 3;
+  int repeats = 2;
+  int64_t batch_size = 8;
+  int64_t max_batches_per_epoch = 40;
+  int64_t eval_cap = 160;
+  double learning_rate = 5e-3;
+  uint64_t seed = 2021;  // ICDE 2021
+  bool verbose = false;
+
+  static ExperimentConfig FromEnv();
+};
+
+/// Accuracy series of one (model, dataset) pair across repeated trials.
+struct RunResult {
+  std::string model_name;
+  std::string dataset_name;
+  int64_t parameter_count = 0;
+  std::vector<eval::HorizonReport> trials;           // full test set
+  std::vector<eval::HorizonReport> difficult_trials; // difficult subset
+  std::vector<double> train_seconds_per_epoch;
+  std::vector<double> inference_seconds;
+
+  /// mean ± std of a metric across trials. `metric` ∈ {"mae","rmse","mape"},
+  /// `horizon` ∈ {15, 30, 60, 0 (= average)}; difficult selects the subset.
+  eval::MeanStd Metric(const std::string& metric, int horizon,
+                       bool difficult = false) const;
+};
+
+/// Trains `model_name` on `dataset` `config.repeats` times (fresh seeds)
+/// and evaluates on the test split; when `difficult_mask` is non-null the
+/// difficult-interval metrics are collected too.
+RunResult RunModelOnDataset(const std::string& model_name,
+                            const data::TrafficDataset& dataset,
+                            const std::string& dataset_name,
+                            const ExperimentConfig& config,
+                            const std::vector<uint8_t>* difficult_mask = nullptr);
+
+/// Prints `table`, writes it as CSV next to the binary, and echoes the path.
+void EmitTable(const std::string& title, const Table& table,
+               const std::string& csv_name);
+
+/// Builds a dataset from a profile after applying config.scale.
+data::TrafficDataset BuildDataset(const data::DatasetProfile& profile,
+                                  const ExperimentConfig& config);
+
+}  // namespace trafficbench::core
+
+#endif  // TRAFFICBENCH_CORE_EXPERIMENT_H_

@@ -1,0 +1,269 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace trafficbench::data {
+
+std::vector<DatasetProfile> SpeedProfiles() {
+  std::vector<DatasetProfile> profiles;
+  // METR-LA: Los Angeles, 207 sensors, 122 days, noisy, incident-heavy.
+  profiles.push_back({.name = "METR-LA-S",
+                      .mirrors = "METR-LA",
+                      .kind = FeatureKind::kSpeed,
+                      .topology = graph::NetworkTopology::kCorridor,
+                      .num_nodes = 32,
+                      .num_days = 12,
+                      .weekdays_only = false,
+                      .incidents_per_day = 6.0,
+                      .rush_severity = 0.62,
+                      .noise_level = 2.0,
+                      .seed = 101});
+  // PeMS-BAY: Bay Area, 325 sensors, 181 days, famously smoother.
+  profiles.push_back({.name = "PEMS-BAY-S",
+                      .mirrors = "PeMS-BAY",
+                      .kind = FeatureKind::kSpeed,
+                      .topology = graph::NetworkTopology::kMultiCorridor,
+                      .num_nodes = 40,
+                      .num_days = 14,
+                      .weekdays_only = false,
+                      .incidents_per_day = 3.0,
+                      .rush_severity = 0.45,
+                      .noise_level = 1.2,
+                      .seed = 102});
+  // PeMSD7(M): Los Angeles, 228 sensors, 44 weekdays only.
+  profiles.push_back({.name = "PEMSD7M-S",
+                      .mirrors = "PeMSD7(M)",
+                      .kind = FeatureKind::kSpeed,
+                      .topology = graph::NetworkTopology::kCorridor,
+                      .num_nodes = 34,
+                      .num_days = 10,
+                      .weekdays_only = true,
+                      .incidents_per_day = 5.0,
+                      .rush_severity = 0.58,
+                      .noise_level = 1.7,
+                      .seed = 103});
+  return profiles;
+}
+
+std::vector<DatasetProfile> FlowProfiles() {
+  std::vector<DatasetProfile> profiles;
+  // PeMSD3: North Central, 358 sensors, 91 days.
+  profiles.push_back({.name = "PEMSD3-F",
+                      .mirrors = "PeMSD3",
+                      .kind = FeatureKind::kFlow,
+                      .topology = graph::NetworkTopology::kMultiCorridor,
+                      .num_nodes = 36,
+                      .num_days = 12,
+                      .weekdays_only = false,
+                      .incidents_per_day = 3.5,
+                      .rush_severity = 0.50,
+                      .noise_level = 1.5,
+                      .seed = 201});
+  // PeMSD4: Bay Area, 307 sensors, 59 days.
+  profiles.push_back({.name = "PEMSD4-F",
+                      .mirrors = "PeMSD4",
+                      .kind = FeatureKind::kFlow,
+                      .topology = graph::NetworkTopology::kMultiCorridor,
+                      .num_nodes = 32,
+                      .num_days = 10,
+                      .weekdays_only = false,
+                      .incidents_per_day = 4.0,
+                      .rush_severity = 0.52,
+                      .noise_level = 1.6,
+                      .seed = 202});
+  // PeMSD7: Los Angeles, 883 sensors (largest), 98 days.
+  profiles.push_back({.name = "PEMSD7-F",
+                      .mirrors = "PeMSD7",
+                      .kind = FeatureKind::kFlow,
+                      .topology = graph::NetworkTopology::kCorridor,
+                      .num_nodes = 44,
+                      .num_days = 12,
+                      .weekdays_only = false,
+                      .incidents_per_day = 6.0,
+                      .rush_severity = 0.60,
+                      .noise_level = 1.9,
+                      .seed = 203});
+  // PeMSD8: San Bernardino, 170 sensors (smallest), 62 days.
+  profiles.push_back({.name = "PEMSD8-F",
+                      .mirrors = "PeMSD8",
+                      .kind = FeatureKind::kFlow,
+                      .topology = graph::NetworkTopology::kCorridor,
+                      .num_nodes = 24,
+                      .num_days = 10,
+                      .weekdays_only = false,
+                      .incidents_per_day = 2.5,
+                      .rush_severity = 0.48,
+                      .noise_level = 1.3,
+                      .seed = 204});
+  return profiles;
+}
+
+Result<DatasetProfile> ProfileByName(const std::string& name) {
+  for (const auto& p : SpeedProfiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : FlowProfiles()) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no dataset profile named " + name);
+}
+
+DatasetProfile ScaleProfile(DatasetProfile profile, double scale) {
+  TB_CHECK_GT(scale, 0.0);
+  profile.num_nodes = std::max<int64_t>(
+      8, static_cast<int64_t>(std::lround(profile.num_nodes * scale)));
+  profile.num_days = std::max<int64_t>(
+      4, static_cast<int64_t>(std::lround(profile.num_days * scale)));
+  return profile;
+}
+
+ZScoreScaler::ZScoreScaler(float mean, float stddev)
+    : mean_(mean), stddev_(stddev) {
+  TB_CHECK_GT(stddev, 0.0f);
+}
+
+ZScoreScaler ZScoreScaler::Fit(const std::vector<float>& values,
+                               int64_t limit) {
+  const int64_t n = limit < 0 ? static_cast<int64_t>(values.size())
+                              : std::min<int64_t>(limit, values.size());
+  double sum = 0.0, sq = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = values[i];
+    if (v == 0.0f) continue;  // missing marker
+    sum += v;
+    sq += static_cast<double>(v) * v;
+    ++count;
+  }
+  TB_CHECK_GT(count, 1) << "cannot fit a scaler on all-missing data";
+  const double mean = sum / count;
+  const double var = std::max(1e-8, sq / count - mean * mean);
+  return ZScoreScaler(static_cast<float>(mean),
+                      static_cast<float>(std::sqrt(var)));
+}
+
+Tensor ZScoreScaler::Denormalize(const Tensor& t) const {
+  return t * stddev_ + mean_;
+}
+
+TrafficDataset::TrafficDataset(graph::RoadNetwork network,
+                               TrafficSeries series, int input_len,
+                               int output_len)
+    : network_(std::move(network)),
+      series_(std::move(series)),
+      input_len_(input_len),
+      output_len_(output_len) {
+  TB_CHECK_GT(input_len, 0);
+  TB_CHECK_GT(output_len, 0);
+  TB_CHECK_EQ(network_.num_nodes(), series_.num_nodes);
+  TB_CHECK_GT(num_samples(), 10) << "series too short for windowing";
+  // Fit the scaler on the training portion only (no test leakage).
+  const DatasetSplits splits = Splits();
+  const int64_t train_steps =
+      splits.train_end + input_len_;  // last step touched by training inputs
+  ZScoreScaler fitted = ZScoreScaler::Fit(
+      series_.values, train_steps * series_.num_nodes);
+  scaler_ = fitted;
+}
+
+TrafficDataset TrafficDataset::FromProfile(const DatasetProfile& profile) {
+  Rng rng(profile.seed);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      profile.topology, profile.num_nodes, &net_rng);
+  SimulatorOptions options;
+  options.num_days = profile.num_days;
+  options.weekdays_only = profile.weekdays_only;
+  options.incidents_per_day = profile.incidents_per_day;
+  options.rush_severity = profile.rush_severity;
+  options.noise_level = profile.noise_level;
+  Rng sim_rng = rng.Fork();
+  TrafficSeries series =
+      SimulateTraffic(network, profile.kind, options, &sim_rng);
+  return TrafficDataset(std::move(network), std::move(series));
+}
+
+int64_t TrafficDataset::num_samples() const {
+  return std::max<int64_t>(
+      0, series_.num_steps - input_len_ - output_len_ + 1);
+}
+
+DatasetSplits TrafficDataset::Splits() const {
+  const int64_t n = num_samples();
+  DatasetSplits splits;
+  splits.train_begin = 0;
+  splits.train_end = n * 7 / 10;
+  splits.val_begin = splits.train_end;
+  splits.val_end = n * 8 / 10;
+  splits.test_begin = splits.val_end;
+  splits.test_end = n;
+  return splits;
+}
+
+Batch TrafficDataset::MakeBatch(
+    const std::vector<int64_t>& sample_indices) const {
+  TB_CHECK(!sample_indices.empty());
+  const int64_t batch = static_cast<int64_t>(sample_indices.size());
+  const int64_t n = series_.num_nodes;
+  std::vector<float> x(batch * input_len_ * n * 2);
+  std::vector<float> y(batch * output_len_ * n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t start = sample_indices[b];
+    TB_CHECK(start >= 0 && start < num_samples())
+        << "sample index out of range";
+    for (int64_t t = 0; t < input_len_; ++t) {
+      const int64_t step = start + t;
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t base = ((b * input_len_ + t) * n + i) * 2;
+        x[base] = scaler_.Normalize(series_.at(step, i));
+        x[base + 1] = series_.time_of_day[step];
+      }
+    }
+    for (int64_t t = 0; t < output_len_; ++t) {
+      const int64_t step = start + input_len_ + t;
+      for (int64_t i = 0; i < n; ++i) {
+        y[(b * output_len_ + t) * n + i] = series_.at(step, i);
+      }
+    }
+  }
+  Batch out;
+  out.x = Tensor::FromVector(Shape({batch, input_len_, n, 2}), std::move(x));
+  out.y = Tensor::FromVector(Shape({batch, output_len_, n}), std::move(y));
+  return out;
+}
+
+std::vector<int64_t> TrafficDataset::MakeIndices(int64_t begin, int64_t end,
+                                                 Rng* shuffle_rng) {
+  TB_CHECK_LE(begin, end);
+  std::vector<int64_t> indices(end - begin);
+  for (int64_t i = begin; i < end; ++i) indices[i - begin] = i;
+  if (shuffle_rng != nullptr) shuffle_rng->Shuffle(&indices);
+  return indices;
+}
+
+Status WriteSeriesCsv(const TrafficSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << std::setprecision(10);  // exact float round trip
+  out << "step,time_of_day,day_of_week";
+  for (int64_t i = 0; i < series.num_nodes; ++i) out << ",node" << i;
+  out << "\n";
+  for (int64_t step = 0; step < series.num_steps; ++step) {
+    out << step << "," << series.time_of_day[step] << ","
+        << series.day_of_week[step];
+    for (int64_t i = 0; i < series.num_nodes; ++i) {
+      out << "," << series.at(step, i);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace trafficbench::data

@@ -1,0 +1,130 @@
+#ifndef TRAFFICBENCH_DATA_DATASET_H_
+#define TRAFFICBENCH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/traffic_simulator.h"
+#include "src/graph/road_network.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace trafficbench::data {
+
+/// Configuration of one synthetic dataset, mirroring one of the paper's
+/// seven PeMS datasets (Table I) at laptop scale. The mirrored properties
+/// are the task (speed/flow), the relative network size, the day coverage
+/// (weekday-only for PeMSD7(M)), and region character (incident rate,
+/// rush-hour severity).
+struct DatasetProfile {
+  std::string name;     // e.g. "METR-LA-S"
+  std::string mirrors;  // e.g. "METR-LA"
+  FeatureKind kind = FeatureKind::kSpeed;
+  graph::NetworkTopology topology = graph::NetworkTopology::kCorridor;
+  int64_t num_nodes = 32;
+  int64_t num_days = 12;
+  bool weekdays_only = false;
+  double incidents_per_day = 4.0;
+  double rush_severity = 0.55;
+  double noise_level = 1.6;
+  uint64_t seed = 1;
+};
+
+/// The three speed-prediction profiles (METR-LA, PeMS-BAY, PeMSD7(M)).
+std::vector<DatasetProfile> SpeedProfiles();
+/// The four flow-prediction profiles (PeMSD3, PeMSD4, PeMSD7, PeMSD8).
+std::vector<DatasetProfile> FlowProfiles();
+/// Looks up any of the seven profiles by name.
+Result<DatasetProfile> ProfileByName(const std::string& name);
+
+/// Multiplies node and day counts by `scale` (min 8 nodes / 4 days) so the
+/// experiment binaries can trade fidelity for runtime.
+DatasetProfile ScaleProfile(DatasetProfile profile, double scale);
+
+/// Z-score normalizer fit on training data, ignoring missing (0) readings.
+class ZScoreScaler {
+ public:
+  ZScoreScaler() = default;
+  ZScoreScaler(float mean, float stddev);
+
+  /// Fits over `values`, skipping exact zeros (the missing marker).
+  static ZScoreScaler Fit(const std::vector<float>& values, int64_t limit = -1);
+
+  float Normalize(float value) const { return (value - mean_) / stddev_; }
+  float Denormalize(float value) const { return value * stddev_ + mean_; }
+
+  /// Elementwise denormalization as a differentiable tensor op.
+  Tensor Denormalize(const Tensor& t) const;
+
+  float mean() const { return mean_; }
+  float stddev() const { return stddev_; }
+
+ private:
+  float mean_ = 0.0f;
+  float stddev_ = 1.0f;
+};
+
+/// One training/evaluation batch.
+struct Batch {
+  /// [B, T_in, N, 2] — channel 0: z-scored reading, channel 1: time of day
+  /// in [0, 1) (the paper's two input features).
+  Tensor x;
+  /// [B, T_out, N] — raw-scale targets; 0 marks a missing reading, which
+  /// the masked loss and metrics skip.
+  Tensor y;
+};
+
+/// Index ranges of the chronological 7:1:2 split used by the paper.
+struct DatasetSplits {
+  int64_t train_begin = 0, train_end = 0;
+  int64_t val_begin = 0, val_end = 0;
+  int64_t test_begin = 0, test_end = 0;
+};
+
+/// A windowed spatiotemporal forecasting dataset: maps T_in historical
+/// graph signals to T_out future ones (both 12 five-minute steps, i.e.
+/// 60 minutes, as the paper fixes for fairness).
+class TrafficDataset {
+ public:
+  TrafficDataset(graph::RoadNetwork network, TrafficSeries series,
+                 int input_len = 12, int output_len = 12);
+
+  /// Generates network + series from a profile.
+  static TrafficDataset FromProfile(const DatasetProfile& profile);
+
+  const graph::RoadNetwork& network() const { return network_; }
+  const TrafficSeries& series() const { return series_; }
+  const ZScoreScaler& scaler() const { return scaler_; }
+  int input_len() const { return input_len_; }
+  int output_len() const { return output_len_; }
+  int64_t num_nodes() const { return series_.num_nodes; }
+
+  /// Total number of sliding-window samples.
+  int64_t num_samples() const;
+
+  /// Chronological 7:1:2 split boundaries over sample indices.
+  DatasetSplits Splits() const;
+
+  /// Materializes a batch for the given sample indices.
+  Batch MakeBatch(const std::vector<int64_t>& sample_indices) const;
+
+  /// All indices of a [begin, end) range, optionally shuffled.
+  static std::vector<int64_t> MakeIndices(int64_t begin, int64_t end,
+                                          Rng* shuffle_rng = nullptr);
+
+ private:
+  graph::RoadNetwork network_;
+  TrafficSeries series_;
+  ZScoreScaler scaler_;
+  int input_len_;
+  int output_len_;
+};
+
+/// Writes the raw series as CSV (step, time_of_day, day_of_week, node...).
+Status WriteSeriesCsv(const TrafficSeries& series, const std::string& path);
+
+}  // namespace trafficbench::data
+
+#endif  // TRAFFICBENCH_DATA_DATASET_H_

@@ -1,0 +1,189 @@
+#include "src/data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace trafficbench::data {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+}  // namespace
+
+Status WriteNetworkCsv(const graph::RoadNetwork& network,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << std::setprecision(17);  // exact double round trip
+  out << "# sensors\nid,x,y\n";
+  for (const graph::Sensor& sensor : network.sensors()) {
+    out << sensor.id << "," << sensor.x << "," << sensor.y << "\n";
+  }
+  out << "# segments\nfrom,to,distance_miles\n";
+  for (const graph::RoadSegment& segment : network.segments()) {
+    out << segment.from << "," << segment.to << ","
+        << segment.distance_miles << "\n";
+  }
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+Result<graph::RoadNetwork> ReadNetworkCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<graph::Sensor> sensors;
+  std::vector<graph::RoadSegment> segments;
+  enum class Section { kNone, kSensors, kSegments } section = Section::kNone;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line == "# sensors") {
+      section = Section::kSensors;
+      std::getline(in, line);  // header row
+      ++line_number;
+      continue;
+    }
+    if (line == "# segments") {
+      section = Section::kSegments;
+      std::getline(in, line);
+      ++line_number;
+      continue;
+    }
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    const std::string where = path + ":" + std::to_string(line_number);
+    if (section == Section::kSensors) {
+      int64_t id = 0;
+      double x = 0, y = 0;
+      if (fields.size() != 3 || !ParseInt(fields[0], &id) ||
+          !ParseDouble(fields[1], &x) || !ParseDouble(fields[2], &y)) {
+        return Status::InvalidArgument("bad sensor row at " + where);
+      }
+      sensors.push_back({id, x, y});
+    } else if (section == Section::kSegments) {
+      int64_t from = 0, to = 0;
+      double distance = 0;
+      if (fields.size() != 3 || !ParseInt(fields[0], &from) ||
+          !ParseInt(fields[1], &to) || !ParseDouble(fields[2], &distance)) {
+        return Status::InvalidArgument("bad segment row at " + where);
+      }
+      segments.push_back({from, to, distance});
+    } else {
+      return Status::InvalidArgument("content before '# sensors' at " + where);
+    }
+  }
+  if (sensors.empty()) {
+    return Status::InvalidArgument(path + " contains no sensors");
+  }
+  // Validate dense ids so the constructor's checks become friendly errors.
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    if (sensors[i].id != static_cast<int64_t>(i)) {
+      return Status::InvalidArgument(
+          "sensor ids must be dense 0..N-1 in " + path);
+    }
+  }
+  const int64_t n = static_cast<int64_t>(sensors.size());
+  for (const graph::RoadSegment& segment : segments) {
+    if (segment.from < 0 || segment.from >= n || segment.to < 0 ||
+        segment.to >= n || segment.distance_miles <= 0.0) {
+      return Status::InvalidArgument("segment out of range in " + path);
+    }
+  }
+  return graph::RoadNetwork(std::move(sensors), std::move(segments));
+}
+
+Result<TrafficSeries> ReadSeriesCsv(const std::string& path,
+                                    FeatureKind kind) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + " is empty");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 4 || header[0] != "step" ||
+      header[1] != "time_of_day" || header[2] != "day_of_week") {
+    return Status::InvalidArgument(
+        path + " header must start with step,time_of_day,day_of_week");
+  }
+  const int64_t num_nodes = static_cast<int64_t>(header.size()) - 3;
+
+  TrafficSeries series;
+  series.kind = kind;
+  series.num_nodes = num_nodes;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (static_cast<int64_t>(fields.size()) != num_nodes + 3) {
+      return Status::InvalidArgument("row arity mismatch at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    double tod = 0;
+    int64_t dow = 0;
+    if (!ParseDouble(fields[1], &tod) || !ParseInt(fields[2], &dow) ||
+        tod < 0.0 || tod >= 1.0 || dow < 0 || dow > 6) {
+      return Status::InvalidArgument("bad calendar fields at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    series.time_of_day.push_back(static_cast<float>(tod));
+    series.day_of_week.push_back(static_cast<int>(dow));
+    for (int64_t i = 0; i < num_nodes; ++i) {
+      double value = 0;
+      if (!ParseDouble(fields[3 + i], &value)) {
+        return Status::InvalidArgument("bad reading at " + path + ":" +
+                                       std::to_string(line_number));
+      }
+      series.values.push_back(static_cast<float>(value));
+    }
+  }
+  series.num_steps = static_cast<int64_t>(series.time_of_day.size());
+  if (series.num_steps == 0) {
+    return Status::InvalidArgument(path + " has no data rows");
+  }
+  return series;
+}
+
+Result<TrafficDataset> LoadDatasetCsv(const std::string& network_path,
+                                      const std::string& series_path,
+                                      FeatureKind kind, int input_len,
+                                      int output_len) {
+  Result<graph::RoadNetwork> network = ReadNetworkCsv(network_path);
+  if (!network.ok()) return network.status();
+  Result<TrafficSeries> series = ReadSeriesCsv(series_path, kind);
+  if (!series.ok()) return series.status();
+  if (network.value().num_nodes() != series.value().num_nodes) {
+    return Status::InvalidArgument(
+        "network has " + std::to_string(network.value().num_nodes()) +
+        " sensors but series has " +
+        std::to_string(series.value().num_nodes));
+  }
+  return TrafficDataset(std::move(network).value(),
+                        std::move(series).value(), input_len, output_len);
+}
+
+}  // namespace trafficbench::data

@@ -1,0 +1,46 @@
+#ifndef TRAFFICBENCH_DATA_IO_H_
+#define TRAFFICBENCH_DATA_IO_H_
+
+// Dataset import/export. The CSV formats are deliberately simple so real
+// PeMS extracts (or any other sensor data) can be converted and loaded in
+// place of the synthetic mirrors.
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/data/traffic_simulator.h"
+#include "src/graph/road_network.h"
+#include "src/util/status.h"
+
+namespace trafficbench::data {
+
+/// Writes the road network as CSV with two sections:
+///   # sensors
+///   id,x,y
+///   ...
+///   # segments
+///   from,to,distance_miles
+///   ...
+Status WriteNetworkCsv(const graph::RoadNetwork& network,
+                       const std::string& path);
+
+/// Parses a network CSV written by WriteNetworkCsv (or hand-authored in
+/// the same format, e.g. converted from a PeMS distance file). Sensor ids
+/// must be dense 0..N-1.
+Result<graph::RoadNetwork> ReadNetworkCsv(const std::string& path);
+
+/// Parses a series CSV in the WriteSeriesCsv format:
+///   step,time_of_day,day_of_week,node0,node1,...
+/// `kind` declares what the readings measure.
+Result<TrafficSeries> ReadSeriesCsv(const std::string& path,
+                                    FeatureKind kind);
+
+/// Loads a full dataset from a (network, series) CSV pair.
+Result<TrafficDataset> LoadDatasetCsv(const std::string& network_path,
+                                      const std::string& series_path,
+                                      FeatureKind kind, int input_len = 12,
+                                      int output_len = 12);
+
+}  // namespace trafficbench::data
+
+#endif  // TRAFFICBENCH_DATA_IO_H_

@@ -1,0 +1,211 @@
+#include "src/data/traffic_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::data {
+
+namespace {
+
+/// Smooth daily congestion profile in [0, 1]: two rush-hour bumps.
+/// `am_weight`/`pm_weight` shape the node's directionality (inbound roads
+/// peak in the morning, outbound in the evening).
+double DailyCongestion(double hour, double am_weight, double pm_weight) {
+  const double am = std::exp(-0.5 * std::pow((hour - 8.0) / 1.3, 2.0));
+  const double pm = std::exp(-0.5 * std::pow((hour - 17.5) / 1.7, 2.0));
+  const double midday = 0.25 * std::exp(-0.5 * std::pow((hour - 13.0) / 2.5, 2.0));
+  return std::min(1.0, am_weight * am + pm_weight * pm + midday);
+}
+
+struct Incident {
+  int64_t node = 0;
+  int64_t start_step = 0;   // within the affected day
+  int64_t duration = 12;    // steps of full severity before recovery
+  double severity = 0.6;    // fraction of speed lost at the epicentre
+};
+
+}  // namespace
+
+TrafficSeries SimulateTraffic(const graph::RoadNetwork& network,
+                              FeatureKind kind,
+                              const SimulatorOptions& options, Rng* rng) {
+  TB_CHECK(rng != nullptr);
+  TB_CHECK_GT(options.num_days, 0);
+  const int64_t n = network.num_nodes();
+
+  // --- Static per-node attributes -----------------------------------------
+  std::vector<double> free_flow(n);
+  std::vector<double> am_weight(n), pm_weight(n), rush_intensity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    free_flow[i] = rng->Uniform(58.0, 70.0);
+    am_weight[i] = rng->Uniform(0.4, 1.0);
+    pm_weight[i] = rng->Uniform(0.4, 1.0);
+    rush_intensity[i] = rng->Uniform(0.5, 1.0);
+  }
+  // Spatial smoothing over the (undirected) graph so neighbouring sensors
+  // share congestion character, as real corridors do.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<double> sm_am(n), sm_pm(n), sm_ri(n);
+    for (int64_t i = 0; i < n; ++i) {
+      double wa = am_weight[i], wp = pm_weight[i], wr = rush_intensity[i];
+      double weight = 1.0;
+      for (int64_t j : network.OutNeighbors(i)) {
+        wa += am_weight[j];
+        wp += pm_weight[j];
+        wr += rush_intensity[j];
+        weight += 1.0;
+      }
+      sm_am[i] = wa / weight;
+      sm_pm[i] = wp / weight;
+      sm_ri[i] = wr / weight;
+    }
+    am_weight.swap(sm_am);
+    pm_weight.swap(sm_pm);
+    rush_intensity.swap(sm_ri);
+  }
+
+  // --- Upstream hop distances for incident propagation ---------------------
+  // Congestion from an incident at node v backs up onto roads feeding v,
+  // i.e. nodes with a directed path *into* v. Equivalently, v's forward
+  // BFS on the reversed graph; reuse HopDistances by scanning all sources.
+  constexpr int kMaxHops = 3;
+  constexpr int kUnreachable = -1;
+  // upstream_hops[v][u] = hops from u to v (u feeds v), or -1.
+  std::vector<std::vector<int>> upstream_hops(n);
+  for (int64_t v = 0; v < n; ++v) {
+    upstream_hops[v].assign(n, kUnreachable);
+  }
+  for (int64_t u = 0; u < n; ++u) {
+    std::vector<int> hops = network.HopDistances(u, kMaxHops, kUnreachable);
+    for (int64_t v = 0; v < n; ++v) {
+      if (hops[v] != kUnreachable) upstream_hops[v][u] = hops[v];
+    }
+  }
+
+  // --- Day list -------------------------------------------------------------
+  std::vector<int> days;  // day-of-week per simulated day
+  {
+    int dow = options.start_day_of_week;
+    int64_t added = 0;
+    while (added < options.num_days) {
+      if (!options.weekdays_only || dow < 5) {
+        days.push_back(dow);
+        ++added;
+      }
+      dow = (dow + 1) % 7;
+    }
+  }
+
+  const int64_t num_steps = static_cast<int64_t>(days.size()) * kStepsPerDay;
+  TrafficSeries series;
+  series.kind = kind;
+  series.num_nodes = n;
+  series.num_steps = num_steps;
+  series.values.assign(num_steps * n, 0.0f);
+  series.time_of_day.resize(num_steps);
+  series.day_of_week.resize(num_steps);
+
+  // --- Incident schedule ------------------------------------------------------
+  // incident_load[step * n + node] accumulates severity contributions.
+  std::vector<double> incident_load(num_steps * n, 0.0);
+  for (size_t day = 0; day < days.size(); ++day) {
+    const int count = rng->Poisson(options.incidents_per_day);
+    for (int e = 0; e < count; ++e) {
+      Incident incident;
+      incident.node = static_cast<int64_t>(rng->UniformInt(n));
+      // Incidents cluster in daytime hours (6:00–22:00).
+      incident.start_step = static_cast<int64_t>(day) * kStepsPerDay +
+                            static_cast<int64_t>(rng->UniformInt(192)) + 72;
+      incident.duration = 6 + static_cast<int64_t>(rng->UniformInt(18));
+      incident.severity = rng->Uniform(0.35, 0.85);
+      const int64_t recovery = 6 + static_cast<int64_t>(rng->UniformInt(12));
+
+      for (int64_t u = 0; u < n; ++u) {
+        const int hops = upstream_hops[incident.node][u];
+        if (hops == kUnreachable) continue;
+        const double attenuation = std::pow(0.55, hops);
+        // The wave reaches `u` one step per hop after onset.
+        const int64_t onset = incident.start_step + hops;
+        for (int64_t s = onset; s < num_steps; ++s) {
+          const int64_t since = s - onset;
+          double level;
+          if (since < incident.duration) {
+            // sharp onset: full severity after 2 steps
+            level = std::min(1.0, (since + 1) / 2.0);
+          } else {
+            const double past =
+                static_cast<double>(since - incident.duration);
+            level = std::exp(-past / static_cast<double>(recovery));
+            if (level < 0.02) break;
+          }
+          incident_load[s * n + u] +=
+              incident.severity * attenuation * level;
+        }
+      }
+    }
+  }
+
+  // --- Main loop ---------------------------------------------------------------
+  std::vector<double> ar_noise(n, 0.0);
+  const double rho = 0.82;  // AR(1) persistence of short-term fluctuation
+  for (int64_t step = 0; step < num_steps; ++step) {
+    const int64_t day = step / kStepsPerDay;
+    const int64_t step_in_day = step % kStepsPerDay;
+    const double hour = static_cast<double>(step_in_day) * 24.0 / kStepsPerDay;
+    const int dow = days[day];
+    const bool weekend = dow >= 5;
+    series.time_of_day[step] =
+        static_cast<float>(step_in_day) / static_cast<float>(kStepsPerDay);
+    series.day_of_week[step] = dow;
+
+    // Slowly-varying day-level modifier (weather etc.), shared by all nodes.
+    const double day_factor =
+        1.0 + 0.08 * std::sin(2.0 * M_PI * static_cast<double>(day) / 9.0);
+
+    for (int64_t i = 0; i < n; ++i) {
+      ar_noise[i] = rho * ar_noise[i] +
+                    rng->Normal(0.0, options.noise_level * std::sqrt(1 - rho * rho));
+
+      double congestion = rush_intensity[i] * options.rush_severity *
+                          DailyCongestion(hour, am_weight[i], pm_weight[i]) *
+                          day_factor;
+      if (weekend) congestion *= options.weekend_factor;
+      congestion += incident_load[step * n + i];
+      congestion = std::min(congestion, 0.93);
+
+      double speed = free_flow[i] * (1.0 - congestion) + ar_noise[i];
+      speed = std::clamp(speed, 3.0, free_flow[i] + 6.0);
+
+      double value;
+      if (kind == FeatureKind::kSpeed) {
+        value = speed;
+      } else {
+        // Greenshields fundamental diagram: q = 4 q_max (v/vf)(1 - v/vf),
+        // peaking at half free-flow speed — so flow and speed are related
+        // but not monotonically, as the paper notes.
+        const double ratio = std::clamp(speed / free_flow[i], 0.0, 1.0);
+        const double q = 4.0 * options.max_flow * ratio * (1.0 - ratio);
+        // Demand scaling: flow collapses at night even though speed is high.
+        const double demand =
+            0.15 + 0.85 * DailyCongestion(hour, 0.9, 0.9) +
+            0.25 * (1.0 - std::exp(-congestion * 3.0));
+        value = std::max(0.0, q * std::min(1.0, demand) +
+                                  rng->Normal(0.0, options.max_flow * 0.02));
+        if (ratio > 0.93 && demand < 0.45) {
+          // free flow at low demand: flow proportional to demand
+          value = options.max_flow * demand * rng->Uniform(0.85, 1.15);
+        }
+      }
+
+      if (rng->Bernoulli(options.missing_rate)) {
+        value = 0.0;  // missing reading, PeMS-style
+      }
+      series.values[step * n + i] = static_cast<float>(value);
+    }
+  }
+  return series;
+}
+
+}  // namespace trafficbench::data

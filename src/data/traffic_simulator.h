@@ -1,0 +1,81 @@
+#ifndef TRAFFICBENCH_DATA_TRAFFIC_SIMULATOR_H_
+#define TRAFFICBENCH_DATA_TRAFFIC_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::data {
+
+/// What the sensor channel measures.
+enum class FeatureKind {
+  kSpeed,  // mph, 5-minute mean
+  kFlow,   // vehicles per 5-minute interval
+};
+
+/// Number of 5-minute steps per day.
+inline constexpr int kStepsPerDay = 288;
+
+/// Raw sensor series over a road network: the stand-in for a PeMS download.
+struct TrafficSeries {
+  FeatureKind kind = FeatureKind::kSpeed;
+  int64_t num_nodes = 0;
+  int64_t num_steps = 0;
+  /// Row-major [num_steps, num_nodes]; 0 encodes a missing reading,
+  /// following the PeMS convention the traffic literature masks out.
+  std::vector<float> values;
+  /// Fraction of the day in [0, 1) for each step.
+  std::vector<float> time_of_day;
+  /// 0 = Monday ... 6 = Sunday for each step.
+  std::vector<int> day_of_week;
+
+  float at(int64_t step, int64_t node) const {
+    return values[step * num_nodes + node];
+  }
+};
+
+/// Knobs for the congestion-wave traffic simulator.
+struct SimulatorOptions {
+  int64_t num_days = 14;
+  /// First simulated day of week (0 = Monday).
+  int start_day_of_week = 0;
+  /// Skip Saturdays/Sundays entirely (PeMSD7(M) is weekday-only).
+  bool weekdays_only = false;
+
+  /// Mean number of incidents (accidents, stalled vehicles) per day across
+  /// the whole network. Incidents produce the abrupt, non-recurring drops
+  /// the paper's difficult-interval experiment targets.
+  double incidents_per_day = 4.0;
+  /// Peak fraction of free-flow speed lost during rush hour (0..1).
+  double rush_severity = 0.55;
+  /// Relative weight of weekend traffic vs weekday.
+  double weekend_factor = 0.45;
+  /// Standard deviation of the AR(1) short-term fluctuation, in mph.
+  double noise_level = 1.6;
+  /// Probability a reading is dropped (recorded as 0 / missing).
+  double missing_rate = 0.003;
+  /// Greenshields capacity scale for flow conversion (veh / 5 min / lane-mi).
+  double max_flow = 220.0;
+};
+
+/// Generates a synthetic PeMS-like series on `network`.
+///
+/// The generative model combines the three phenomena the paper's analysis
+/// depends on:
+///   1. recurring temporal structure — weekday AM/PM rush hours with
+///      node-specific intensity, weekend attenuation;
+///   2. spatial correlation — per-node rush intensities are smoothed over
+///      the graph, and incident congestion propagates upstream hop by hop
+///      with one 5-minute step of delay per hop;
+///   3. abrupt non-recurring events — Poisson incidents with sharp onset
+///      and exponential recovery.
+TrafficSeries SimulateTraffic(const graph::RoadNetwork& network,
+                              FeatureKind kind,
+                              const SimulatorOptions& options, Rng* rng);
+
+}  // namespace trafficbench::data
+
+#endif  // TRAFFICBENCH_DATA_TRAFFIC_SIMULATOR_H_

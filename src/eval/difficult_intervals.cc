@@ -1,0 +1,73 @@
+#include "src/eval/difficult_intervals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::eval {
+
+std::vector<float> MovingStd(const data::TrafficSeries& series,
+                             int window_steps) {
+  TB_CHECK_GE(window_steps, 2);
+  const int64_t steps = series.num_steps;
+  const int64_t n = series.num_nodes;
+  std::vector<float> out(steps * n, 0.0f);
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < steps; ++step) {
+      const int64_t begin = std::max<int64_t>(0, step - window_steps + 1);
+      double sum = 0.0, sq = 0.0;
+      int64_t count = 0;
+      for (int64_t s = begin; s <= step; ++s) {
+        const float v = series.at(s, node);
+        if (v == 0.0f) continue;  // missing
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++count;
+      }
+      if (count >= 2) {
+        const double mean = sum / count;
+        const double var = std::max(0.0, sq / count - mean * mean);
+        out[step * n + node] = static_cast<float>(std::sqrt(var));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> DifficultMask(const data::TrafficSeries& series,
+                                   const DifficultIntervalOptions& options) {
+  TB_CHECK(options.top_fraction > 0.0 && options.top_fraction <= 1.0);
+  const std::vector<float> stds = MovingStd(series, options.window_steps);
+  const int64_t steps = series.num_steps;
+  const int64_t n = series.num_nodes;
+  std::vector<uint8_t> mask(steps * n, 0);
+  std::vector<float> column(steps);
+  for (int64_t node = 0; node < n; ++node) {
+    for (int64_t step = 0; step < steps; ++step) {
+      column[step] = stds[step * n + node];
+    }
+    // Per-node quantile threshold.
+    std::vector<float> sorted = column;
+    const int64_t keep = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(options.top_fraction *
+                                             static_cast<double>(steps))));
+    std::nth_element(sorted.begin(), sorted.end() - keep, sorted.end());
+    const float threshold = sorted[steps - keep];
+    for (int64_t step = 0; step < steps; ++step) {
+      if (column[step] >= threshold && column[step] > 0.0f) {
+        mask[step * n + node] = 1;
+      }
+    }
+  }
+  return mask;
+}
+
+double MaskFraction(const std::vector<uint8_t>& mask) {
+  if (mask.empty()) return 0.0;
+  int64_t set = 0;
+  for (uint8_t m : mask) set += m;
+  return static_cast<double>(set) / static_cast<double>(mask.size());
+}
+
+}  // namespace trafficbench::eval

@@ -1,0 +1,37 @@
+#ifndef TRAFFICBENCH_EVAL_DIFFICULT_INTERVALS_H_
+#define TRAFFICBENCH_EVAL_DIFFICULT_INTERVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/traffic_simulator.h"
+
+namespace trafficbench::eval {
+
+/// Options for the paper's difficult-interval extraction (Sec. V-B):
+/// a moving standard deviation with a 30-minute window (6 five-minute
+/// steps), keeping the upper 25% of (step, node) positions.
+struct DifficultIntervalOptions {
+  int window_steps = 6;
+  double top_fraction = 0.25;
+};
+
+/// Moving standard deviation of each node's series over a trailing window.
+/// Output is [num_steps * num_nodes] row-major, matching the series layout;
+/// the first window_steps-1 positions use the partial window. Missing (0)
+/// readings inside a window are skipped.
+std::vector<float> MovingStd(const data::TrafficSeries& series,
+                             int window_steps);
+
+/// Per-(step, node) mask (1 = difficult) selecting positions whose moving
+/// std is in the upper `top_fraction` quantile, computed per node so every
+/// road contributes its own most volatile intervals.
+std::vector<uint8_t> DifficultMask(const data::TrafficSeries& series,
+                                   const DifficultIntervalOptions& options);
+
+/// Fraction of mask entries set (for sanity checks and reports).
+double MaskFraction(const std::vector<uint8_t>& mask);
+
+}  // namespace trafficbench::eval
+
+#endif  // TRAFFICBENCH_EVAL_DIFFICULT_INTERVALS_H_

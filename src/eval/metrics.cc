@@ -1,0 +1,84 @@
+#include "src/eval/metrics.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::eval {
+
+namespace {
+/// Targets below this (absolute) are excluded from MAPE.
+constexpr float kMapeFloor = 1.0f;
+}  // namespace
+
+void MetricAccumulator::Add(const float* prediction, const float* target,
+                            int64_t count, const uint8_t* include) {
+  for (int64_t i = 0; i < count; ++i) {
+    const float t = target[i];
+    if (t == 0.0f) continue;  // missing reading
+    if (include != nullptr && include[i] == 0) continue;
+    const double err = static_cast<double>(prediction[i]) - t;
+    abs_sum_ += std::fabs(err);
+    sq_sum_ += err * err;
+    ++count_;
+    if (std::fabs(t) >= kMapeFloor) {
+      ape_sum_ += std::fabs(err) / std::fabs(t);
+      ++ape_count_;
+    }
+  }
+}
+
+MetricValues MetricAccumulator::Finalize() const {
+  MetricValues values;
+  values.count = count_;
+  if (count_ > 0) {
+    values.mae = abs_sum_ / static_cast<double>(count_);
+    values.rmse = std::sqrt(sq_sum_ / static_cast<double>(count_));
+  }
+  if (ape_count_ > 0) {
+    values.mape = 100.0 * ape_sum_ / static_cast<double>(ape_count_);
+  }
+  return values;
+}
+
+MetricValues ComputeMetrics(const std::vector<float>& prediction,
+                            const std::vector<float>& target) {
+  TB_CHECK_EQ(prediction.size(), target.size());
+  MetricAccumulator acc;
+  acc.Add(prediction.data(), target.data(),
+          static_cast<int64_t>(prediction.size()));
+  return acc.Finalize();
+}
+
+Tensor MaskedMaeLoss(const Tensor& prediction, const Tensor& target) {
+  TB_CHECK(prediction.shape() == target.shape())
+      << prediction.shape().ToString() << " vs " << target.shape().ToString();
+  const float* t = target.data();
+  const int64_t n = target.numel();
+  std::vector<float> mask(n);
+  double mask_sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] = t[i] != 0.0f ? 1.0f : 0.0f;
+    mask_sum += mask[i];
+  }
+  Tensor mask_tensor = Tensor::FromVector(target.shape(), std::move(mask));
+  Tensor diff = (prediction - target.Detach()).Abs() * mask_tensor;
+  const float denom = static_cast<float>(std::max(1.0, mask_sum));
+  return diff.SumAll() * (1.0f / denom);
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace trafficbench::eval

@@ -1,0 +1,60 @@
+#ifndef TRAFFICBENCH_EVAL_METRICS_H_
+#define TRAFFICBENCH_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::eval {
+
+/// The paper's three accuracy metrics. All are "masked": target entries
+/// equal to 0 mark missing readings (PeMS convention) and are skipped;
+/// MAPE additionally skips near-zero targets to stay finite.
+struct MetricValues {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // in percent
+  int64_t count = 0;  // observations that entered the metrics
+};
+
+/// Accumulates masked errors across batches, then finalizes.
+class MetricAccumulator {
+ public:
+  /// Adds |values| prediction/target pairs; an optional `include` mask of
+  /// the same length further restricts which entries count (used for the
+  /// difficult-interval experiment).
+  void Add(const float* prediction, const float* target, int64_t count,
+           const uint8_t* include = nullptr);
+
+  MetricValues Finalize() const;
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t count_ = 0;
+  int64_t ape_count_ = 0;
+};
+
+/// One-shot convenience over flat vectors (must be equal length).
+MetricValues ComputeMetrics(const std::vector<float>& prediction,
+                            const std::vector<float>& target);
+
+/// Masked mean-absolute-error training loss in the *denormalized* scale,
+/// as used by DCRNN / Graph-WaveNet reference implementations:
+///   loss = sum(|pred - target| * mask) / max(1, sum(mask)),
+/// with mask = [target != 0]. `prediction` and `target` must have equal
+/// shapes; `target` is a constant (no gradient flows into it).
+Tensor MaskedMaeLoss(const Tensor& prediction, const Tensor& target);
+
+/// Mean and sample standard deviation of repeated-trial results.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+}  // namespace trafficbench::eval
+
+#endif  // TRAFFICBENCH_EVAL_METRICS_H_

@@ -1,0 +1,317 @@
+#include "src/eval/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/optim/optimizer.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace trafficbench::eval {
+
+namespace {
+
+/// Masked MAE over (up to) the first `max_batches` validation batches.
+double ValidationLoss(models::TrafficModel* model,
+                      const data::TrafficDataset& dataset,
+                      const data::DatasetSplits& splits, int64_t batch_size,
+                      int64_t max_batches) {
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  double loss_sum = 0.0;
+  int64_t batches = 0;
+  for (int64_t base = splits.val_begin;
+       base < splits.val_end && batches < max_batches;
+       base += batch_size, ++batches) {
+    const int64_t stop = std::min(splits.val_end, base + batch_size);
+    data::Batch batch =
+        dataset.MakeBatch(data::TrafficDataset::MakeIndices(base, stop));
+    Tensor prediction = model->Forward(batch.x, Tensor());
+    loss_sum += MaskedMaeLoss(dataset.scaler().Denormalize(prediction),
+                              batch.y)
+                    .Item();
+  }
+  model->SetTraining(true);
+  return batches > 0 ? loss_sum / batches : 0.0;
+}
+
+/// Copies the raw values of every parameter (best-epoch snapshot).
+std::vector<std::vector<float>> SnapshotParameters(
+    const models::TrafficModel& model) {
+  std::vector<std::vector<float>> snapshot;
+  for (const Tensor& p : model.Parameters()) snapshot.push_back(p.ToVector());
+  return snapshot;
+}
+
+void RestoreParameters(models::TrafficModel* model,
+                       const std::vector<std::vector<float>>& snapshot) {
+  auto params = model->Parameters();
+  TB_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(snapshot[i].begin(), snapshot[i].end(), params[i].data());
+  }
+}
+
+}  // namespace
+
+Tensor NormalizeTargets(const Tensor& raw_targets,
+                        const data::ZScoreScaler& scaler) {
+  const float* src = raw_targets.data();
+  std::vector<float> out(raw_targets.numel());
+  for (int64_t i = 0; i < raw_targets.numel(); ++i) {
+    out[i] = scaler.Normalize(src[i]);
+  }
+  return Tensor::FromVector(raw_targets.shape(), std::move(out));
+}
+
+TrainResult TrainModel(models::TrafficModel* model,
+                       const data::TrafficDataset& dataset,
+                       const TrainConfig& config) {
+  TB_CHECK(model != nullptr);
+  TrainResult result;
+  Stopwatch total_watch;
+
+  if (!model->IsTrainable()) {
+    model->Fit(dataset);
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+  const data::DatasetSplits splits = dataset.Splits();
+  Rng shuffle_rng(config.seed);
+  optim::AdamOptions adam_options;
+  adam_options.learning_rate = config.learning_rate;
+  optim::Adam optimizer(model->Parameters(), adam_options);
+  optim::StepLrSchedule schedule(&optimizer,
+                                 config.lr_decay_every > 0
+                                     ? config.lr_decay_every
+                                     : 1000000,
+                                 config.lr_decay);
+
+  std::vector<std::vector<float>> best_snapshot;
+  model->SetTraining(true);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<int64_t> order = data::TrafficDataset::MakeIndices(
+        splits.train_begin, splits.train_end, &shuffle_rng);
+    int64_t num_batches =
+        (static_cast<int64_t>(order.size()) + config.batch_size - 1) /
+        config.batch_size;
+    if (config.max_batches_per_epoch > 0) {
+      num_batches = std::min(num_batches, config.max_batches_per_epoch);
+    }
+    result.batches_per_epoch = num_batches;
+
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < num_batches; ++b) {
+      const int64_t begin = b * config.batch_size;
+      const int64_t end = std::min<int64_t>(begin + config.batch_size,
+                                            static_cast<int64_t>(order.size()));
+      std::vector<int64_t> indices(order.begin() + begin, order.begin() + end);
+      data::Batch batch = dataset.MakeBatch(indices);
+      Tensor teacher = NormalizeTargets(batch.y, dataset.scaler());
+
+      optimizer.ZeroGrad();
+      Tensor prediction = model->Forward(batch.x, teacher);
+      Tensor loss = MaskedMaeLoss(dataset.scaler().Denormalize(prediction),
+                                  batch.y);
+      loss.Backward();
+      optimizer.ClipGradNorm(config.grad_clip);
+      optimizer.Step();
+      loss_sum += loss.Item();
+    }
+    const double epoch_loss = loss_sum / std::max<int64_t>(1, num_batches);
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.select_best_on_validation) {
+      const double val_loss = ValidationLoss(model, dataset, splits,
+                                             config.batch_size,
+                                             config.max_val_batches);
+      result.val_losses.push_back(val_loss);
+      if (result.best_epoch < 0 ||
+          val_loss < result.val_losses[result.best_epoch]) {
+        result.best_epoch = epoch;
+        best_snapshot = SnapshotParameters(*model);
+      }
+    }
+    schedule.EpochEnd();
+    if (config.verbose) {
+      std::fprintf(stderr, "  [%s] epoch %d/%d: train masked-MAE %.4f\n",
+                   model->name().c_str(), epoch + 1, config.epochs,
+                   epoch_loss);
+    }
+  }
+  if (config.select_best_on_validation && !best_snapshot.empty()) {
+    RestoreParameters(model, best_snapshot);
+  }
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.seconds_per_epoch =
+      result.total_seconds / std::max(1, config.epochs);
+  return result;
+}
+
+namespace {
+
+/// Difficult-interval include mask for one batch, aligned to y layout
+/// [B, T_out, N]: entry is 1 iff the target's (series step, node) position
+/// is marked difficult.
+std::vector<uint8_t> BatchIncludeMask(
+    const std::vector<int64_t>& sample_indices,
+    const data::TrafficDataset& dataset, const std::vector<uint8_t>& mask) {
+  const int64_t n = dataset.num_nodes();
+  const int64_t t_out = dataset.output_len();
+  const int64_t batch = static_cast<int64_t>(sample_indices.size());
+  std::vector<uint8_t> include(batch * t_out * n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t start = sample_indices[b];
+    for (int64_t t = 0; t < t_out; ++t) {
+      const int64_t step = start + dataset.input_len() + t;
+      for (int64_t i = 0; i < n; ++i) {
+        include[(b * t_out + t) * n + i] = mask[step * n + i];
+      }
+    }
+  }
+  return include;
+}
+
+}  // namespace
+
+HorizonReport EvaluateModel(models::TrafficModel* model,
+                            const data::TrafficDataset& dataset,
+                            int64_t begin, int64_t end,
+                            const EvalOptions& options) {
+  TB_CHECK(model != nullptr);
+  TB_CHECK_LT(begin, end);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+
+  MetricAccumulator acc15, acc30, acc60, acc_all;
+  const int64_t n = dataset.num_nodes();
+  const int64_t t_out = dataset.output_len();
+  // 15/30/60 minutes on the 5-minute grid; clamp for shorter horizons.
+  const int64_t step15 = std::min<int64_t>(2, t_out - 1);
+  const int64_t step30 = std::min<int64_t>(5, t_out - 1);
+  const int64_t step60 = std::min<int64_t>(11, t_out - 1);
+
+  HorizonReport report;
+  Stopwatch inference_watch;
+  double inference_seconds = 0.0;
+
+  for (int64_t base = begin; base < end; base += options.batch_size) {
+    const int64_t stop = std::min(end, base + options.batch_size);
+    std::vector<int64_t> indices =
+        data::TrafficDataset::MakeIndices(base, stop);
+    data::Batch batch = dataset.MakeBatch(indices);
+
+    inference_watch.Reset();
+    Tensor prediction = model->Forward(batch.x, Tensor());
+    inference_seconds += inference_watch.ElapsedSeconds();
+
+    // Denormalize on raw floats.
+    std::vector<float> pred = prediction.ToVector();
+    for (float& p : pred) p = dataset.scaler().Denormalize(p);
+    const std::vector<float> target = batch.y.ToVector();
+
+    std::vector<uint8_t> include;
+    const uint8_t* include_ptr = nullptr;
+    if (options.difficult_mask != nullptr) {
+      include = BatchIncludeMask(indices, dataset, *options.difficult_mask);
+      include_ptr = include.data();
+    }
+
+    const int64_t b_count = static_cast<int64_t>(indices.size());
+    for (int64_t b = 0; b < b_count; ++b) {
+      auto row = [&](int64_t t) { return (b * t_out + t) * n; };
+      acc15.Add(pred.data() + row(step15), target.data() + row(step15), n,
+                include_ptr ? include_ptr + row(step15) : nullptr);
+      acc30.Add(pred.data() + row(step30), target.data() + row(step30), n,
+                include_ptr ? include_ptr + row(step30) : nullptr);
+      acc60.Add(pred.data() + row(step60), target.data() + row(step60), n,
+                include_ptr ? include_ptr + row(step60) : nullptr);
+      acc_all.Add(pred.data() + row(0), target.data() + row(0), t_out * n,
+                  include_ptr ? include_ptr + row(0) : nullptr);
+    }
+  }
+
+  report.horizon15 = acc15.Finalize();
+  report.horizon30 = acc30.Finalize();
+  report.horizon60 = acc60.Finalize();
+  report.average = acc_all.Finalize();
+  report.inference_seconds = inference_seconds;
+  return report;
+}
+
+std::vector<double> HorizonCurve(models::TrafficModel* model,
+                                 const data::TrafficDataset& dataset,
+                                 int64_t begin, int64_t end,
+                                 int64_t batch_size) {
+  TB_CHECK(model != nullptr);
+  TB_CHECK_LT(begin, end);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  const int64_t n = dataset.num_nodes();
+  const int64_t t_out = dataset.output_len();
+  std::vector<double> abs_sum(t_out, 0.0);
+  std::vector<int64_t> count(t_out, 0);
+  for (int64_t base = begin; base < end; base += batch_size) {
+    const int64_t stop = std::min(end, base + batch_size);
+    data::Batch batch =
+        dataset.MakeBatch(data::TrafficDataset::MakeIndices(base, stop));
+    Tensor prediction = model->Forward(batch.x, Tensor());
+    const float* pred = prediction.data();
+    const float* target = batch.y.data();
+    const int64_t b_count = stop - base;
+    for (int64_t b = 0; b < b_count; ++b) {
+      for (int64_t t = 0; t < t_out; ++t) {
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t idx = (b * t_out + t) * n + i;
+          if (target[idx] == 0.0f) continue;
+          abs_sum[t] += std::fabs(
+              dataset.scaler().Denormalize(pred[idx]) - target[idx]);
+          ++count[t];
+        }
+      }
+    }
+  }
+  std::vector<double> curve(t_out, 0.0);
+  for (int64_t t = 0; t < t_out; ++t) {
+    if (count[t] > 0) curve[t] = abs_sum[t] / static_cast<double>(count[t]);
+  }
+  return curve;
+}
+
+std::vector<double> PerNodeMae(models::TrafficModel* model,
+                               const data::TrafficDataset& dataset,
+                               int64_t begin, int64_t end,
+                               int64_t batch_size) {
+  TB_CHECK(model != nullptr);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  const int64_t n = dataset.num_nodes();
+  const int64_t t_out = dataset.output_len();
+  std::vector<double> abs_sum(n, 0.0);
+  std::vector<int64_t> count(n, 0);
+  for (int64_t base = begin; base < end; base += batch_size) {
+    const int64_t stop = std::min(end, base + batch_size);
+    std::vector<int64_t> indices =
+        data::TrafficDataset::MakeIndices(base, stop);
+    data::Batch batch = dataset.MakeBatch(indices);
+    Tensor prediction = model->Forward(batch.x, Tensor());
+    std::vector<float> pred = prediction.ToVector();
+    const std::vector<float> target = batch.y.ToVector();
+    for (size_t i = 0; i < pred.size(); ++i) {
+      const float t = target[i];
+      if (t == 0.0f) continue;
+      const int64_t node = static_cast<int64_t>(i) % n;
+      abs_sum[node] += std::fabs(dataset.scaler().Denormalize(pred[i]) - t);
+      ++count[node];
+    }
+    (void)t_out;
+  }
+  std::vector<double> mae(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (count[i] > 0) mae[i] = abs_sum[i] / static_cast<double>(count[i]);
+  }
+  return mae;
+}
+
+}  // namespace trafficbench::eval

@@ -1,0 +1,100 @@
+#ifndef TRAFFICBENCH_EVAL_TRAINER_H_
+#define TRAFFICBENCH_EVAL_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/eval/metrics.h"
+#include "src/models/traffic_model.h"
+
+namespace trafficbench::eval {
+
+/// Gradient-descent training configuration (paper Sec. V: Adam, batch 64,
+/// masked-MAE objective; sizes here default to laptop scale).
+struct TrainConfig {
+  int epochs = 3;
+  int64_t batch_size = 16;
+  double learning_rate = 2e-3;
+  double grad_clip = 5.0;
+  /// Caps the number of batches per epoch (0 = use the full train split).
+  int64_t max_batches_per_epoch = 0;
+  /// Halve-ish the LR every `lr_decay_every` epochs (0 = constant).
+  int lr_decay_every = 0;
+  double lr_decay = 0.7;
+  uint64_t seed = 7;
+  bool verbose = false;
+  /// When true, masked MAE on the validation split is measured after each
+  /// epoch and the best epoch's parameters are restored at the end
+  /// (validation-based model selection over the paper's 7:1:2 split).
+  bool select_best_on_validation = false;
+  /// Validation batches per epoch when selecting on validation.
+  int64_t max_val_batches = 8;
+};
+
+/// What the computation-time experiment (Table III) reports.
+struct TrainResult {
+  std::vector<double> epoch_losses;
+  /// Per-epoch validation masked MAE (only with select_best_on_validation).
+  std::vector<double> val_losses;
+  /// Epoch whose parameters were kept (-1 when selection is off).
+  int best_epoch = -1;
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  int64_t batches_per_epoch = 0;
+};
+
+/// Trains `model` on the dataset's train split with masked MAE in the raw
+/// scale. For non-trainable baselines, calls Fit() instead.
+TrainResult TrainModel(models::TrafficModel* model,
+                       const data::TrafficDataset& dataset,
+                       const TrainConfig& config);
+
+/// Evaluation options.
+struct EvalOptions {
+  int64_t batch_size = 32;
+  /// Optional per-(step, node) difficult-interval mask over the *series*
+  /// (layout [num_steps * num_nodes]); when set, metrics only count target
+  /// positions inside the mask (paper Sec. V-B).
+  const std::vector<uint8_t>* difficult_mask = nullptr;
+};
+
+/// Per-horizon evaluation report: the paper reports 15/30/60-minute
+/// horizons (steps 3, 6 and 12 of the 5-minute grid) plus the average
+/// over all 12 steps.
+struct HorizonReport {
+  MetricValues horizon15;
+  MetricValues horizon30;
+  MetricValues horizon60;
+  MetricValues average;
+  double inference_seconds = 0.0;
+};
+
+/// Runs the model over samples [begin, end) and aggregates masked metrics
+/// in the raw (denormalized) scale.
+HorizonReport EvaluateModel(models::TrafficModel* model,
+                            const data::TrafficDataset& dataset,
+                            int64_t begin, int64_t end,
+                            const EvalOptions& options = {});
+
+/// Masked MAE at every horizon step 1..T_out over samples [begin, end) —
+/// the full error-accumulation curve (the per-horizon slices of the
+/// paper's Fig. 1 are points on this curve).
+std::vector<double> HorizonCurve(models::TrafficModel* model,
+                                 const data::TrafficDataset& dataset,
+                                 int64_t begin, int64_t end,
+                                 int64_t batch_size = 32);
+
+/// Per-node MAE over samples [begin, end) (for the Fig. 3 case study).
+std::vector<double> PerNodeMae(models::TrafficModel* model,
+                               const data::TrafficDataset& dataset,
+                               int64_t begin, int64_t end,
+                               int64_t batch_size = 32);
+
+/// Normalizes raw targets with the dataset scaler (teacher-forcing input).
+Tensor NormalizeTargets(const Tensor& raw_targets,
+                        const data::ZScoreScaler& scaler);
+
+}  // namespace trafficbench::eval
+
+#endif  // TRAFFICBENCH_EVAL_TRAINER_H_

@@ -1,0 +1,399 @@
+#include "src/graph/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace trafficbench::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+RoadNetwork::RoadNetwork(std::vector<Sensor> sensors,
+                         std::vector<RoadSegment> segments)
+    : sensors_(std::move(sensors)), segments_(std::move(segments)) {
+  const int64_t n = num_nodes();
+  TB_CHECK_GT(n, 0);
+  distances_.assign(n * n, kInf);
+  in_adj_.resize(n);
+  out_adj_.resize(n);
+  for (int64_t i = 0; i < n; ++i) distances_[i * n + i] = 0.0;
+  for (const RoadSegment& seg : segments_) {
+    TB_CHECK(seg.from >= 0 && seg.from < n);
+    TB_CHECK(seg.to >= 0 && seg.to < n);
+    TB_CHECK_GT(seg.distance_miles, 0.0);
+    distances_[seg.from * n + seg.to] = seg.distance_miles;
+    out_adj_[seg.from].push_back(seg.to);
+    in_adj_[seg.to].push_back(seg.from);
+  }
+}
+
+double RoadNetwork::distance(int64_t from, int64_t to) const {
+  TB_CHECK(from >= 0 && from < num_nodes());
+  TB_CHECK(to >= 0 && to < num_nodes());
+  return distances_[from * num_nodes() + to];
+}
+
+const std::vector<int64_t>& RoadNetwork::InNeighbors(int64_t node) const {
+  TB_CHECK(node >= 0 && node < num_nodes());
+  return in_adj_[node];
+}
+
+const std::vector<int64_t>& RoadNetwork::OutNeighbors(int64_t node) const {
+  TB_CHECK(node >= 0 && node < num_nodes());
+  return out_adj_[node];
+}
+
+RoadNetwork RoadNetwork::Generate(NetworkTopology topology, int64_t num_nodes,
+                                  Rng* rng) {
+  TB_CHECK_GE(num_nodes, 2);
+  TB_CHECK(rng != nullptr);
+  std::vector<Sensor> sensors;
+  std::vector<RoadSegment> segments;
+  sensors.reserve(num_nodes);
+
+  auto add_bidirectional = [&](int64_t a, int64_t b, double dist) {
+    segments.push_back({a, b, dist});
+    segments.push_back({b, a, dist});
+  };
+
+  switch (topology) {
+    case NetworkTopology::kCorridor: {
+      // Main corridor takes ~75% of sensors; the rest become short branches
+      // (on/off ramps and parallel arterials) attached at random points.
+      const int64_t main_count = std::max<int64_t>(2, num_nodes * 3 / 4);
+      double x = 0.0;
+      for (int64_t i = 0; i < main_count; ++i) {
+        sensors.push_back({i, x, rng->Normal(0.0, 0.05)});
+        x += rng->Uniform(0.4, 1.2);  // sensor spacing in miles
+      }
+      for (int64_t i = 1; i < main_count; ++i) {
+        const double d = sensors[i].x - sensors[i - 1].x;
+        add_bidirectional(i - 1, i, d);
+      }
+      for (int64_t i = main_count; i < num_nodes; ++i) {
+        const int64_t anchor = static_cast<int64_t>(
+            rng->UniformInt(static_cast<uint64_t>(main_count)));
+        const double dist = rng->Uniform(0.3, 0.9);
+        sensors.push_back({i, sensors[anchor].x + rng->Normal(0.0, 0.2),
+                           sensors[anchor].y + (rng->Bernoulli(0.5) ? dist : -dist)});
+        add_bidirectional(anchor, i, dist);
+      }
+      break;
+    }
+    case NetworkTopology::kGrid: {
+      const int64_t cols = std::max<int64_t>(
+          2, static_cast<int64_t>(std::lround(std::sqrt(
+                 static_cast<double>(num_nodes)))));
+      const int64_t rows = (num_nodes + cols - 1) / cols;
+      for (int64_t i = 0; i < num_nodes; ++i) {
+        const int64_t r = i / cols;
+        const int64_t c = i % cols;
+        sensors.push_back({i, static_cast<double>(c) * 0.8,
+                           static_cast<double>(r) * 0.8});
+      }
+      (void)rows;
+      for (int64_t i = 0; i < num_nodes; ++i) {
+        const int64_t r = i / cols;
+        const int64_t c = i % cols;
+        if (c + 1 < cols && i + 1 < num_nodes) {
+          add_bidirectional(i, i + 1, rng->Uniform(0.6, 1.0));
+        }
+        if (i + cols < num_nodes) {
+          add_bidirectional(i, i + cols, rng->Uniform(0.6, 1.0));
+        }
+        (void)r;
+      }
+      break;
+    }
+    case NetworkTopology::kMultiCorridor: {
+      // Three corridors of roughly equal length joined at two hub nodes.
+      const int64_t per = num_nodes / 3;
+      TB_CHECK_GE(per, 2) << "kMultiCorridor needs at least 6 nodes";
+      int64_t id = 0;
+      std::vector<int64_t> heads, tails;
+      for (int corridor = 0; corridor < 3; ++corridor) {
+        const int64_t count =
+            corridor == 2 ? num_nodes - 2 * per : per;
+        double x = 0.0;
+        const double y0 = corridor * 2.0;
+        int64_t first = id;
+        for (int64_t i = 0; i < count; ++i) {
+          sensors.push_back({id, x, y0 + rng->Normal(0.0, 0.05)});
+          if (i > 0) {
+            add_bidirectional(id - 1, id, rng->Uniform(0.4, 1.1));
+          }
+          x += rng->Uniform(0.4, 1.1);
+          ++id;
+        }
+        heads.push_back(first);
+        tails.push_back(id - 1);
+      }
+      // Interchange links between corridors.
+      add_bidirectional(tails[0], heads[1], rng->Uniform(0.8, 1.5));
+      add_bidirectional(tails[1], heads[2], rng->Uniform(0.8, 1.5));
+      add_bidirectional(tails[2], heads[0], rng->Uniform(0.8, 1.5));
+      break;
+    }
+  }
+  return RoadNetwork(std::move(sensors), std::move(segments));
+}
+
+Tensor RoadNetwork::GaussianAdjacency(double threshold) const {
+  // DCRNN's released preprocessing computes the kernel over *driving*
+  // (all-pairs shortest-path) distances, so sigma — the std of all finite
+  // pair distances — is large and direct neighbours keep weights near 1
+  // while far pairs fall under the sparsity threshold.
+  const int64_t n = num_nodes();
+  std::vector<double> shortest = distances_;  // Floyd–Warshall
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double dik = shortest[i * n + k];
+      if (!std::isfinite(dik)) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        const double through = dik + shortest[k * n + j];
+        if (through < shortest[i * n + j]) shortest[i * n + j] = through;
+      }
+    }
+  }
+  double sum = 0.0, sq = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < n * n; ++i) {
+    const double d = shortest[i];
+    if (std::isfinite(d) && d > 0.0) {
+      sum += d;
+      sq += d * d;
+      ++count;
+    }
+  }
+  TB_CHECK_GT(count, 0) << "network has no segments";
+  const double mean = sum / count;
+  const double sigma = std::sqrt(std::max(1e-12, sq / count - mean * mean));
+  const double denom = std::max(sigma * sigma, 1e-6);
+
+  std::vector<float> w(n * n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = shortest[i * n + j];
+      if (!std::isfinite(d)) continue;
+      const double value = std::exp(-d * d / denom);
+      if (value >= threshold) w[i * n + j] = static_cast<float>(value);
+    }
+  }
+  return Tensor::FromVector(Shape({n, n}), std::move(w));
+}
+
+Tensor RoadNetwork::BinaryAdjacency() const {
+  const int64_t n = num_nodes();
+  std::vector<float> w(n * n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) w[i * n + i] = 1.0f;
+  for (const RoadSegment& seg : segments_) {
+    w[seg.from * n + seg.to] = 1.0f;
+  }
+  return Tensor::FromVector(Shape({n, n}), std::move(w));
+}
+
+std::vector<int> RoadNetwork::HopDistances(int64_t source, int max_hops,
+                                           int unreachable) const {
+  TB_CHECK(source >= 0 && source < num_nodes());
+  std::vector<int> hops(num_nodes(), unreachable);
+  std::deque<int64_t> queue;
+  hops[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int64_t node = queue.front();
+    queue.pop_front();
+    if (hops[node] >= max_hops) continue;
+    for (int64_t next : out_adj_[node]) {
+      if (hops[next] == unreachable) {
+        hops[next] = hops[node] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return hops;
+}
+
+// ---- Graph operators -------------------------------------------------------------
+
+Tensor RandomWalkTransition(const Tensor& adjacency) {
+  TB_CHECK_EQ(adjacency.rank(), 2);
+  const int64_t n = adjacency.dim(0);
+  TB_CHECK_EQ(adjacency.dim(1), n);
+  std::vector<float> out(n * n, 0.0f);
+  const float* w = adjacency.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) degree += w[i * n + j];
+    if (degree <= 0.0f) continue;
+    const float inv = 1.0f / degree;
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = w[i * n + j] * inv;
+  }
+  return Tensor::FromVector(adjacency.shape(), std::move(out));
+}
+
+Tensor ReverseRandomWalkTransition(const Tensor& adjacency) {
+  return RandomWalkTransition(adjacency.Transpose(0, 1).Detach());
+}
+
+Tensor SymmetricNormalizedAdjacency(const Tensor& adjacency) {
+  TB_CHECK_EQ(adjacency.rank(), 2);
+  const int64_t n = adjacency.dim(0);
+  TB_CHECK_EQ(adjacency.dim(1), n);
+  std::vector<float> a(adjacency.data(), adjacency.data() + n * n);
+  for (int64_t i = 0; i < n; ++i) {
+    a[i * n + i] = std::max(a[i * n + i], 1.0f);  // ensure self-loop
+  }
+  std::vector<float> dinv(n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) degree += a[i * n + j];
+    dinv[i] = degree > 0.0f ? 1.0f / std::sqrt(degree) : 0.0f;
+  }
+  std::vector<float> out(n * n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = dinv[i] * a[i * n + j] * dinv[j];
+    }
+  }
+  return Tensor::FromVector(adjacency.shape(), std::move(out));
+}
+
+namespace {
+
+/// Largest eigenvalue of a symmetric matrix by power iteration.
+double PowerIterationLambdaMax(const std::vector<float>& m, int64_t n) {
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> mv(n);
+  double lambda = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    for (int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) acc += m[i * n + j] * v[j];
+      mv[i] = acc;
+    }
+    double norm = 0.0;
+    for (double x : mv) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return 0.0;
+    for (int64_t i = 0; i < n; ++i) v[i] = mv[i] / norm;
+    lambda = norm;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+Tensor ScaledLaplacian(const Tensor& adjacency) {
+  TB_CHECK_EQ(adjacency.rank(), 2);
+  const int64_t n = adjacency.dim(0);
+  TB_CHECK_EQ(adjacency.dim(1), n);
+  // Symmetrize: W_sym = max(W, W^T).
+  std::vector<float> w(n * n);
+  const float* src = adjacency.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      w[i * n + j] = std::max(src[i * n + j], src[j * n + i]);
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) w[i * n + i] = 0.0f;  // no self-loops in L
+  std::vector<float> dinv(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) degree += w[i * n + j];
+    dinv[i] = degree > 0.0f ? 1.0f / std::sqrt(degree) : 0.0f;
+  }
+  std::vector<float> lap(n * n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float norm = dinv[i] * w[i * n + j] * dinv[j];
+      lap[i * n + j] = (i == j ? 1.0f : 0.0f) - norm;
+    }
+  }
+  double lambda_max = PowerIterationLambdaMax(lap, n);
+  if (lambda_max < 1e-6) lambda_max = 2.0;
+  std::vector<float> out(n * n);
+  const float scale = static_cast<float>(2.0 / lambda_max);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = scale * lap[i * n + j] - (i == j ? 1.0f : 0.0f);
+    }
+  }
+  return Tensor::FromVector(adjacency.shape(), std::move(out));
+}
+
+std::vector<Tensor> ChebyshevBasis(const Tensor& scaled_laplacian, int order) {
+  TB_CHECK_GE(order, 1);
+  TB_CHECK_EQ(scaled_laplacian.rank(), 2);
+  const int64_t n = scaled_laplacian.dim(0);
+  std::vector<Tensor> basis;
+  basis.reserve(order);
+  // T_0 = I
+  std::vector<float> eye(n * n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) eye[i * n + i] = 1.0f;
+  basis.push_back(Tensor::FromVector(Shape({n, n}), std::move(eye)));
+  if (order == 1) return basis;
+  // T_1 = L~
+  basis.push_back(scaled_laplacian.Detach());
+  // T_k = 2 L~ T_{k-1} - T_{k-2}
+  for (int k = 2; k < order; ++k) {
+    NoGradGuard guard;
+    Tensor next =
+        MatMul(scaled_laplacian, basis[k - 1]) * 2.0f - basis[k - 2];
+    basis.push_back(next.Detach());
+  }
+  return basis;
+}
+
+Tensor SpectralNodeEmbedding(const Tensor& adjacency, int64_t dim) {
+  TB_CHECK_GE(dim, 1);
+  const int64_t n = adjacency.dim(0);
+  Tensor sym = SymmetricNormalizedAdjacency(adjacency);
+  // Make it symmetric explicitly (Gaussian adjacency of a directed graph
+  // may be slightly asymmetric).
+  std::vector<float> m(n * n);
+  const float* s = sym.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      m[i * n + j] = 0.5f * (s[i * n + j] + s[j * n + i]);
+    }
+  }
+  std::vector<float> embedding(n * dim, 0.0f);
+  std::vector<double> v(n), mv(n);
+  for (int64_t d = 0; d < std::min(dim, n); ++d) {
+    // deterministic start vector, distinct per component
+    for (int64_t i = 0; i < n; ++i) {
+      v[i] = std::cos(0.7 * static_cast<double>(i * (d + 1)) + 0.3);
+    }
+    double lambda = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      for (int64_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < n; ++j) acc += m[i * n + j] * v[j];
+        mv[i] = acc;
+      }
+      double norm = 0.0;
+      for (double x : mv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (int64_t i = 0; i < n; ++i) v[i] = mv[i] / norm;
+      lambda = norm;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      embedding[i * dim + d] = static_cast<float>(v[i]);
+    }
+    // Deflate: m -= lambda v v^T.
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        m[i * n + j] -= static_cast<float>(lambda * v[i] * v[j]);
+      }
+    }
+  }
+  return Tensor::FromVector(Shape({n, dim}), std::move(embedding));
+}
+
+}  // namespace trafficbench::graph

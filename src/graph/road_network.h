@@ -1,0 +1,112 @@
+#ifndef TRAFFICBENCH_GRAPH_ROAD_NETWORK_H_
+#define TRAFFICBENCH_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::graph {
+
+/// A sensor (loop-detector) location on the road network.
+struct Sensor {
+  int64_t id = 0;
+  double x = 0.0;  // planar coordinates, in miles
+  double y = 0.0;
+};
+
+/// A directed road segment between two sensors with a driving distance.
+struct RoadSegment {
+  int64_t from = 0;
+  int64_t to = 0;
+  double distance_miles = 0.0;
+};
+
+/// Topology families for the synthetic network generator.
+enum class NetworkTopology {
+  /// One main freeway corridor with short on/off-ramp branches — METR-LA-like.
+  kCorridor,
+  /// A rectangular grid of intersecting arterials — urban-core-like.
+  kGrid,
+  /// Several corridors joined at interchange hubs — regional-freeway-like.
+  kMultiCorridor,
+};
+
+/// A directed, distance-weighted road graph over traffic sensors.
+///
+/// This is the substrate every model consumes: the paper's datasets ship a
+/// distance file from which the weighted adjacency is built with a Gaussian
+/// kernel, W_ij = exp(-dist_ij^2 / sigma^2), thresholded for sparsity.
+class RoadNetwork {
+ public:
+  RoadNetwork(std::vector<Sensor> sensors, std::vector<RoadSegment> segments);
+
+  /// Generates a synthetic network with `num_nodes` sensors.
+  static RoadNetwork Generate(NetworkTopology topology, int64_t num_nodes,
+                              Rng* rng);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(sensors_.size()); }
+  const std::vector<Sensor>& sensors() const { return sensors_; }
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+
+  /// Dense distance matrix [N, N]; +inf where there is no direct segment.
+  const std::vector<double>& distance_matrix() const { return distances_; }
+  double distance(int64_t from, int64_t to) const;
+
+  /// Gaussian-kernel weighted adjacency (paper Sec. IV-B):
+  /// W_ij = exp(-dist_ij^2 / sigma^2) for direct segments, 0 elsewhere and
+  /// below `threshold`. sigma is the std of the finite distances. The
+  /// diagonal is 1 (self-loops), as in DCRNN's released preprocessing.
+  Tensor GaussianAdjacency(double threshold = 0.1) const;
+
+  /// Binary (0/1) adjacency with self-loops.
+  Tensor BinaryAdjacency() const;
+
+  /// Hop counts along directed edges (BFS); `unreachable` where no path.
+  std::vector<int> HopDistances(int64_t source, int max_hops,
+                                int unreachable = -1) const;
+
+  /// Incoming neighbours of `node` (sources of edges into it).
+  const std::vector<int64_t>& InNeighbors(int64_t node) const;
+  /// Outgoing neighbours of `node`.
+  const std::vector<int64_t>& OutNeighbors(int64_t node) const;
+
+ private:
+  std::vector<Sensor> sensors_;
+  std::vector<RoadSegment> segments_;
+  std::vector<double> distances_;              // dense N*N
+  std::vector<std::vector<int64_t>> in_adj_;   // reverse adjacency lists
+  std::vector<std::vector<int64_t>> out_adj_;  // forward adjacency lists
+};
+
+// ---- Graph operators used by the models ---------------------------------------
+
+/// Row-normalized random-walk transition matrix D_out^{-1} W.
+/// DCRNN / Graph-WaveNet diffusion step in the forward direction.
+Tensor RandomWalkTransition(const Tensor& adjacency);
+
+/// Transition on the reversed graph: D_in^{-1} W^T (backward diffusion).
+Tensor ReverseRandomWalkTransition(const Tensor& adjacency);
+
+/// Symmetrically normalized adjacency with self-loops,
+/// D^{-1/2} (W + I) D^{-1/2} — the GCN propagation operator.
+Tensor SymmetricNormalizedAdjacency(const Tensor& adjacency);
+
+/// Scaled Laplacian 2 L / lambda_max - I with L = I - D^{-1/2} W D^{-1/2};
+/// lambda_max estimated by power iteration. Input adjacency is symmetrized.
+Tensor ScaledLaplacian(const Tensor& adjacency);
+
+/// Chebyshev polynomial basis T_0..T_{K-1} of the scaled Laplacian
+/// (spectral GCN support set used by STGCN / ASTGCN).
+std::vector<Tensor> ChebyshevBasis(const Tensor& scaled_laplacian, int order);
+
+/// Deterministic spectral node embedding [N, dim]: leading eigenvectors of
+/// the symmetric normalized adjacency via power iteration with deflation.
+/// Stands in for GMAN's node2vec pre-trained embeddings.
+Tensor SpectralNodeEmbedding(const Tensor& adjacency, int64_t dim);
+
+}  // namespace trafficbench::graph
+
+#endif  // TRAFFICBENCH_GRAPH_ROAD_NETWORK_H_

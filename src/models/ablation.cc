@@ -1,0 +1,186 @@
+#include "src/models/ablation.h"
+
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/models/dcrnn.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kDim = 24;
+constexpr int kChebOrder = 3;
+}  // namespace
+
+std::string ToString(SpatialKind kind) {
+  switch (kind) {
+    case SpatialKind::kNone:
+      return "none";
+    case SpatialKind::kChebyshev:
+      return "spectral-cheb";
+    case SpatialKind::kDiffusion:
+      return "spatial-diffusion";
+    case SpatialKind::kAdaptive:
+      return "adaptive-adj";
+  }
+  return "?";
+}
+
+std::string ToString(TemporalKind kind) {
+  switch (kind) {
+    case TemporalKind::kGru:
+      return "rnn-gru";
+    case TemporalKind::kTcn:
+      return "gated-tcn";
+    case TemporalKind::kAttention:
+      return "attention";
+  }
+  return "?";
+}
+
+StBackbone::StBackbone(const ModelContext& context, SpatialKind spatial,
+                       TemporalKind temporal)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len),
+      spatial_(spatial),
+      temporal_(temporal) {
+  Rng rng(context.seed);
+  input_proj_ =
+      RegisterModule("input_proj", std::make_shared<nn::Linear>(2, kDim, &rng));
+
+  int64_t terms = 1;
+  switch (spatial) {
+    case SpatialKind::kNone:
+      break;
+    case SpatialKind::kChebyshev:
+      supports_ = graph::ChebyshevBasis(
+          graph::ScaledLaplacian(context.adjacency), kChebOrder);
+      terms = kChebOrder;
+      break;
+    case SpatialKind::kDiffusion:
+      supports_ = DiffusionSupports(context.adjacency, 2);
+      terms = 1 + static_cast<int64_t>(supports_.size());
+      break;
+    case SpatialKind::kAdaptive:
+      e1_ = RegisterParameter(
+          "e1", Tensor::Randn(Shape({num_nodes_, 8}), &rng, 0.3f));
+      e2_ = RegisterParameter(
+          "e2", Tensor::Randn(Shape({num_nodes_, 8}), &rng, 0.3f));
+      terms = 3;  // x, A x, A^2 x
+      break;
+  }
+  if (spatial != SpatialKind::kNone) {
+    spatial_mix_ = RegisterModule(
+        "spatial_mix", std::make_shared<nn::Linear>(terms * kDim, kDim, &rng));
+  }
+
+  switch (temporal) {
+    case TemporalKind::kGru:
+      gru_ = RegisterModule("gru",
+                            std::make_shared<nn::GRUCell>(kDim, kDim, &rng));
+      gru_out_ = RegisterModule("gru_out",
+                                std::make_shared<nn::Linear>(kDim, 1, &rng));
+      break;
+    case TemporalKind::kTcn:
+      tcn1_ = RegisterModule(
+          "tcn1",
+          std::make_shared<nn::Conv2dLayer>(kDim, 2 * kDim, 1, 3, &rng));
+      tcn2_ = RegisterModule(
+          "tcn2", std::make_shared<nn::Conv2dLayer>(kDim, 2 * kDim, 1, 3,
+                                                    &rng, 1, 1, 0, 0, 1, 2));
+      tcn_head_ = RegisterModule(
+          "tcn_head",
+          std::make_shared<nn::Linear>((input_len_ - 6) * kDim, output_len_,
+                                       &rng));
+      break;
+    case TemporalKind::kAttention:
+      attention_ = RegisterModule(
+          "attention", std::make_shared<nn::MultiHeadAttention>(kDim, 4, &rng));
+      horizon_queries_ = RegisterParameter(
+          "horizon_queries",
+          Tensor::Randn(Shape({output_len_, kDim}), &rng, 0.3f));
+      attn_head_ = RegisterModule(
+          "attn_head", std::make_shared<nn::Linear>(kDim, 1, &rng));
+      break;
+  }
+}
+
+std::string StBackbone::name() const {
+  return "backbone[" + ToString(spatial_) + "+" + ToString(temporal_) + "]";
+}
+
+Tensor StBackbone::SpatialMix(const Tensor& features) const {
+  if (spatial_ == SpatialKind::kNone) return features;
+  std::vector<Tensor> terms;
+  if (spatial_ == SpatialKind::kChebyshev) {
+    for (const Tensor& support : supports_) {
+      terms.push_back(MatMul(support, features));
+    }
+  } else if (spatial_ == SpatialKind::kDiffusion) {
+    terms.push_back(features);
+    for (const Tensor& support : supports_) {
+      terms.push_back(MatMul(support, features));
+    }
+  } else {  // kAdaptive
+    Tensor adaptive = MatMul(e1_, e2_.Transpose(0, 1)).Relu().Softmax(-1);
+    Tensor hop1 = MatMul(adaptive, features);
+    terms.push_back(features);
+    terms.push_back(hop1);
+    terms.push_back(MatMul(adaptive, hop1));
+  }
+  return spatial_mix_->Forward(Concat(terms, -1)).Relu() + features;
+}
+
+Tensor StBackbone::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  // Shared trunk: project and spatially mix every history step.
+  Tensor features = SpatialMix(input_proj_->Forward(x));  // [B, T, N, D]
+
+  switch (temporal_) {
+    case TemporalKind::kGru: {
+      // Per-node GRU over time (nodes folded into the batch axis).
+      Tensor h = Tensor::Zeros(Shape({batch * num_nodes_, kDim}));
+      for (int t = 0; t < input_len_; ++t) {
+        Tensor step = features.Slice(1, t, t + 1)
+                          .Reshape(Shape({batch * num_nodes_, kDim}));
+        h = gru_->Forward(step, h);
+      }
+      // Autoregressive decoding with zero inputs (state carries the signal).
+      Tensor zero = Tensor::Zeros(Shape({batch * num_nodes_, kDim}));
+      std::vector<Tensor> outputs;
+      for (int t = 0; t < output_len_; ++t) {
+        h = gru_->Forward(zero, h);
+        outputs.push_back(gru_out_->Forward(h).Reshape(
+            Shape({batch, num_nodes_})));
+      }
+      return Stack(outputs, 1);
+    }
+    case TemporalKind::kTcn: {
+      Tensor h = ToBcnt(features);  // [B, D, N, T]
+      h = GluChannels(tcn1_->Forward(h));
+      h = GluChannels(tcn2_->Forward(h));
+      const int64_t t_len = h.dim(3);
+      Tensor flat = h.Permute({0, 2, 3, 1})
+                        .Reshape(Shape({batch, num_nodes_, t_len * kDim}));
+      return tcn_head_->Forward(flat).Permute({0, 2, 1});
+    }
+    case TemporalKind::kAttention: {
+      // Horizon queries cross-attend the history per node.
+      Tensor history = features.Permute({0, 2, 1, 3});  // [B, N, T, D]
+      Tensor queries = horizon_queries_.Unsqueeze(0).Unsqueeze(0).BroadcastTo(
+          Shape({batch, num_nodes_, output_len_, kDim}));
+      Tensor attended = attention_->Forward(queries, history, history);
+      Tensor y = attn_head_->Forward(attended);  // [B, N, T_out, 1]
+      return y.Reshape(Shape({batch, num_nodes_, output_len_}))
+          .Permute({0, 2, 1});
+    }
+  }
+  TB_CHECK(false) << "unreachable";
+  return Tensor();
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,71 @@
+#ifndef TRAFFICBENCH_MODELS_ABLATION_H_
+#define TRAFFICBENCH_MODELS_ABLATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// Spatial-module families from the paper's Table II.
+enum class SpatialKind {
+  kNone,       // no spatial mixing (control)
+  kChebyshev,  // spectral GCN (STGCN/ASTGCN family)
+  kDiffusion,  // spatial GCN on random-walk transitions (DCRNN/GWN family)
+  kAdaptive,   // learned adaptive adjacency only (Graph-WaveNet's addition)
+};
+
+/// Temporal-module families from the paper's Table II.
+enum class TemporalKind {
+  kGru,        // RNN (DCRNN/ST-MetaNet family) — autoregressive decoding
+  kTcn,        // gated temporal convolution (STGCN/GWN family) — direct
+  kAttention,  // temporal self-attention (ASTGCN/GMAN family) — direct
+};
+
+std::string ToString(SpatialKind kind);
+std::string ToString(TemporalKind kind);
+
+/// A single backbone with swappable spatial and temporal modules, used by
+/// the ablation benches to isolate the paper's component-level findings
+/// (spectral vs spatial GCN; RNN vs CNN vs attention at long horizons).
+class StBackbone : public TrafficModel {
+ public:
+  StBackbone(const ModelContext& context, SpatialKind spatial,
+             TemporalKind temporal);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override;
+
+ private:
+  /// Applies the configured spatial mixing to [..., N, C] features.
+  Tensor SpatialMix(const Tensor& features) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  SpatialKind spatial_;
+  TemporalKind temporal_;
+
+  std::vector<Tensor> supports_;  // chebyshev or diffusion matrices
+  Tensor e1_, e2_;                // adaptive embeddings (kAdaptive)
+  std::shared_ptr<nn::Linear> spatial_mix_;
+  std::shared_ptr<nn::Linear> input_proj_;
+
+  // kGru
+  std::shared_ptr<nn::GRUCell> gru_;
+  std::shared_ptr<nn::Linear> gru_out_;
+  // kTcn
+  std::shared_ptr<nn::Conv2dLayer> tcn1_, tcn2_;
+  std::shared_ptr<nn::Linear> tcn_head_;
+  // kAttention
+  std::shared_ptr<nn::MultiHeadAttention> attention_;
+  Tensor horizon_queries_;
+  std::shared_ptr<nn::Linear> attn_head_;
+};
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_ABLATION_H_

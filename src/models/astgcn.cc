@@ -1,0 +1,143 @@
+#include "src/models/astgcn.h"
+
+#include <cmath>
+
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int kChebOrder = 3;
+constexpr int64_t kChannels = 32;
+constexpr int64_t kAttentionDim = 16;
+constexpr int64_t kHeadHidden = 64;
+}  // namespace
+
+Astgcn::Astgcn(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+  cheb_ = graph::ChebyshevBasis(graph::ScaledLaplacian(context.adjacency),
+                                kChebOrder);
+
+  auto make_block = [&](int64_t c_in, int64_t c_out, int index) {
+    Block block;
+    const std::string prefix = "block" + std::to_string(index);
+    block.t_query = RegisterModule(
+        prefix + ".tq", std::make_shared<nn::Linear>(c_in, kAttentionDim, &rng));
+    block.t_key = RegisterModule(
+        prefix + ".tk", std::make_shared<nn::Linear>(c_in, kAttentionDim, &rng));
+    block.t_score = RegisterModule(
+        prefix + ".ts",
+        std::make_shared<nn::Linear>(kAttentionDim, 1, &rng, false));
+    block.s_query = RegisterModule(
+        prefix + ".sq", std::make_shared<nn::Linear>(c_in, kAttentionDim, &rng));
+    block.s_key = RegisterModule(
+        prefix + ".sk", std::make_shared<nn::Linear>(c_in, kAttentionDim, &rng));
+    block.s_score = RegisterModule(
+        prefix + ".ss",
+        std::make_shared<nn::Linear>(kAttentionDim, 1, &rng, false));
+    const float limit = std::sqrt(6.0f / static_cast<float>(c_in + c_out));
+    for (int k = 0; k < kChebOrder; ++k) {
+      block.cheb_weights.push_back(RegisterParameter(
+          prefix + ".cheb_w" + std::to_string(k),
+          Tensor::Rand(Shape({c_in, c_out}), &rng, -limit, limit)));
+    }
+    block.cheb_bias = RegisterParameter(prefix + ".cheb_b",
+                                        Tensor::Zeros(Shape({c_out})));
+    block.temporal = RegisterModule(
+        prefix + ".temporal",
+        std::make_shared<nn::Conv2dLayer>(c_out, c_out, 1, 3, &rng, 1, 1, 0,
+                                          1));
+    block.residual = RegisterModule(
+        prefix + ".residual",
+        std::make_shared<nn::Conv2dLayer>(c_in, c_out, 1, 1, &rng));
+    block.norm =
+        RegisterModule(prefix + ".norm", std::make_shared<nn::LayerNorm>(c_out));
+    blocks_.push_back(std::move(block));
+  };
+  make_block(2, kChannels, 0);
+  make_block(kChannels, kChannels, 1);
+
+  head_hidden_ = RegisterModule(
+      "head_hidden",
+      std::make_shared<nn::Linear>(input_len_ * kChannels, kHeadHidden, &rng));
+  head_out_ = RegisterModule(
+      "head_out", std::make_shared<nn::Linear>(kHeadHidden, output_len_, &rng));
+}
+
+namespace {
+
+/// Additive attention map over `L` positions: features [B, L, C] ->
+/// softmax scores [B, L, L] (row i attends over all j).
+Tensor AdditiveAttention(const nn::Linear& query, const nn::Linear& key,
+                         const nn::Linear& score, const Tensor& features) {
+  Tensor q = query.Forward(features).Unsqueeze(2);  // [B, L, 1, D]
+  Tensor k = key.Forward(features).Unsqueeze(1);    // [B, 1, L, D]
+  Tensor e = score.Forward((q + k).Tanh()).Squeeze(3);  // [B, L, L]
+  return e.Softmax(-1);
+}
+
+}  // namespace
+
+Tensor Astgcn::RunBlock(const Block& block, const Tensor& x) const {
+  const int64_t t_len = x.dim(3);
+
+  // --- Temporal attention: reweight time steps -----------------------------
+  // Mean over nodes: [B, C, N, T] -> [B, T, C].
+  Tensor time_features = x.Mean({2}).Permute({0, 2, 1});
+  Tensor e = AdditiveAttention(*block.t_query, *block.t_key, *block.t_score,
+                               time_features);  // [B, T, T]
+  // x_t[..., t] = sum_s E[t, s] * x[..., s]: contract the last axis.
+  Tensor xt = MatMul(x, e.Unsqueeze(1).Transpose(-1, -2));  // [B, C, N, T]
+
+  // --- Spatial attention: modulate the Chebyshev supports -------------------
+  // Mean over time: [B, C, N, T] -> [B, N, C].
+  Tensor node_features = xt.Mean({3}).Permute({0, 2, 1});
+  Tensor s = AdditiveAttention(*block.s_query, *block.s_key, *block.s_score,
+                               node_features);  // [B, N, N]
+
+  // --- Chebyshev graph convolution with attention-scaled supports -----------
+  Tensor features = FromBcnt(xt);  // [B, T, N, C]
+  Tensor mixed;
+  for (int k = 0; k < kChebOrder; ++k) {
+    // T_k ⊙ S: [N, N] * [B, 1, N, N] (broadcast over batch and time).
+    Tensor support = cheb_[k] * s.Unsqueeze(1);
+    Tensor term = MatMul(MatMul(support, features), block.cheb_weights[k]);
+    mixed = mixed.defined() ? mixed + term : term;
+  }
+  mixed = (mixed + block.cheb_bias).Relu();
+  Tensor h = ToBcnt(mixed);  // [B, C_out, N, T]
+
+  // --- Temporal convolution + residual + layer norm --------------------------
+  h = block.temporal->Forward(h);
+  TB_CHECK_EQ(h.dim(3), t_len);
+  h = (h + block.residual->Forward(x)).Relu();
+  return ToBcnt(block.norm->Forward(FromBcnt(h)));
+}
+
+Tensor Astgcn::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  Tensor h = ToBcnt(x);
+  for (const Block& block : blocks_) h = RunBlock(block, h);
+
+  // Head: flatten (T, C) per node, two-layer FC to all horizons.
+  Tensor features = h.Permute({0, 2, 3, 1})  // [B, N, T, C]
+                        .Reshape(Shape({batch, num_nodes_,
+                                        input_len_ * kChannels}));
+  Tensor hidden = head_hidden_->Forward(features).Relu();
+  Tensor out = head_out_->Forward(hidden);  // [B, N, T_out]
+  return out.Permute({0, 2, 1});
+}
+
+std::unique_ptr<TrafficModel> CreateAstgcn(const ModelContext& context) {
+  return std::make_unique<Astgcn>(context);
+}
+
+}  // namespace trafficbench::models

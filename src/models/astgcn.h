@@ -1,0 +1,60 @@
+#ifndef TRAFFICBENCH_MODELS_ASTGCN_H_
+#define TRAFFICBENCH_MODELS_ASTGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// ASTGCN (Guo et al., AAAI 2019), recent-component branch: each block
+/// computes a temporal attention map reweighting the input time steps, a
+/// spatial attention map modulating the Chebyshev graph convolution
+/// supports, then a temporal convolution with a residual connection.
+/// A final per-node fully-connected head emits all 12 horizons at once.
+///
+/// (The paper's daily/weekly periodic branches require history longer than
+/// the T' = 12 protocol window, so — like the benchmark's unified setup —
+/// only the recent component is active.)
+class Astgcn : public TrafficModel {
+ public:
+  explicit Astgcn(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "ASTGCN"; }
+
+ private:
+  struct Block {
+    // Additive temporal attention over mean-pooled node features.
+    std::shared_ptr<nn::Linear> t_query, t_key, t_score;
+    // Additive spatial attention over mean-pooled time features.
+    std::shared_ptr<nn::Linear> s_query, s_key, s_score;
+    // Chebyshev weights (per polynomial order).
+    std::vector<Tensor> cheb_weights;
+    Tensor cheb_bias;
+    // Temporal convolution (same-length, kernel (1,3)).
+    std::shared_ptr<nn::Conv2dLayer> temporal;
+    // Residual 1x1 channel alignment.
+    std::shared_ptr<nn::Conv2dLayer> residual;
+    std::shared_ptr<nn::LayerNorm> norm;
+  };
+
+  /// x: [B, C, N, T] -> [B, C', N, T].
+  Tensor RunBlock(const Block& block, const Tensor& x) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  std::vector<Tensor> cheb_;
+  std::vector<Block> blocks_;
+  std::shared_ptr<nn::Linear> head_hidden_;
+  std::shared_ptr<nn::Linear> head_out_;
+};
+
+std::unique_ptr<TrafficModel> CreateAstgcn(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_ASTGCN_H_

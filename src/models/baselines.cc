@@ -1,0 +1,100 @@
+#include "src/models/baselines.h"
+
+#include <cmath>
+
+#include "src/models/common.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+HistoricalAverage::HistoricalAverage(const ModelContext& context)
+    : num_nodes_(context.num_nodes), output_len_(context.output_len) {
+  means_.assign(kBuckets * num_nodes_, 0.0f);
+}
+
+void HistoricalAverage::Fit(const data::TrafficDataset& dataset) {
+  const data::TrafficSeries& series = dataset.series();
+  const data::DatasetSplits splits = dataset.Splits();
+  const int64_t train_steps = splits.train_end + dataset.input_len();
+  std::vector<double> sums(kBuckets * num_nodes_, 0.0);
+  std::vector<int64_t> counts(kBuckets * num_nodes_, 0);
+  double global_sum = 0.0;
+  int64_t global_count = 0;
+  for (int64_t step = 0; step < std::min(train_steps, series.num_steps);
+       ++step) {
+    const int bucket = std::min<int>(
+        kBuckets - 1,
+        static_cast<int>(series.time_of_day[step] * kBuckets));
+    for (int64_t node = 0; node < num_nodes_; ++node) {
+      const float v = series.at(step, node);
+      if (v == 0.0f) continue;
+      const float norm = dataset.scaler().Normalize(v);
+      sums[bucket * num_nodes_ + node] += norm;
+      ++counts[bucket * num_nodes_ + node];
+      global_sum += norm;
+      ++global_count;
+    }
+  }
+  global_mean_norm_ = global_count > 0
+                          ? static_cast<float>(global_sum / global_count)
+                          : 0.0f;
+  for (int64_t i = 0; i < kBuckets * num_nodes_; ++i) {
+    means_[i] = counts[i] > 0 ? static_cast<float>(sums[i] / counts[i])
+                              : global_mean_norm_;
+  }
+}
+
+Tensor HistoricalAverage::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(2);
+  TB_CHECK_EQ(n, num_nodes_);
+  const std::vector<float> last_tod = LastTimeOfDay(x);
+  std::vector<float> out(batch * output_len_ * n);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int t = 0; t < output_len_; ++t) {
+      float tod = last_tod[b] + static_cast<float>(t + 1) / 288.0f;
+      tod -= std::floor(tod);
+      const int bucket =
+          std::min<int>(kBuckets - 1, static_cast<int>(tod * kBuckets));
+      for (int64_t i = 0; i < n; ++i) {
+        out[(b * output_len_ + t) * n + i] = means_[bucket * n + i];
+      }
+    }
+  }
+  return Tensor::FromVector(Shape({batch, output_len_, n}), std::move(out));
+}
+
+LastValue::LastValue(const ModelContext& context)
+    : output_len_(context.output_len) {}
+
+Tensor LastValue::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+  const int64_t t_in = x.dim(1);
+  const int64_t n = x.dim(2);
+  std::vector<float> out(batch * output_len_ * n);
+  const float* data = x.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float last = data[((b * t_in + (t_in - 1)) * n + i) * 2];
+      for (int t = 0; t < output_len_; ++t) {
+        out[(b * output_len_ + t) * n + i] = last;
+      }
+    }
+  }
+  return Tensor::FromVector(Shape({batch, output_len_, n}), std::move(out));
+}
+
+std::unique_ptr<TrafficModel> CreateHistoricalAverage(
+    const ModelContext& context) {
+  return std::make_unique<HistoricalAverage>(context);
+}
+
+std::unique_ptr<TrafficModel> CreateLastValue(const ModelContext& context) {
+  return std::make_unique<LastValue>(context);
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,52 @@
+#ifndef TRAFFICBENCH_MODELS_BASELINES_H_
+#define TRAFFICBENCH_MODELS_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+
+namespace trafficbench::models {
+
+/// Historical average: per-node mean of the training series in 15-minute
+/// time-of-day buckets, separately for weekdays and weekends. Anchors the
+/// error scale of the learned models.
+class HistoricalAverage : public TrafficModel {
+ public:
+  explicit HistoricalAverage(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "HistoricalAverage"; }
+  bool IsTrainable() const override { return false; }
+  void Fit(const data::TrafficDataset& dataset) override;
+
+ private:
+  static constexpr int kBuckets = 96;  // 15-minute buckets over the day
+  int64_t num_nodes_;
+  int output_len_;
+  // means_[bucket * num_nodes + node], normalized scale.
+  std::vector<float> means_;
+  float global_mean_norm_ = 0.0f;
+};
+
+/// Persistence: repeat the last observed (normalized) reading for every
+/// horizon. The weakest sensible baseline.
+class LastValue : public TrafficModel {
+ public:
+  explicit LastValue(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "LastValue"; }
+  bool IsTrainable() const override { return false; }
+
+ private:
+  int output_len_;
+};
+
+std::unique_ptr<TrafficModel> CreateHistoricalAverage(
+    const ModelContext& context);
+std::unique_ptr<TrafficModel> CreateLastValue(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_BASELINES_H_

@@ -1,0 +1,30 @@
+#include "src/models/common.h"
+
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+std::vector<float> LastTimeOfDay(const Tensor& x) {
+  TB_CHECK_EQ(x.rank(), 4);
+  TB_CHECK_EQ(x.dim(3), 2);
+  const int64_t batch = x.dim(0);
+  const int64_t t_in = x.dim(1);
+  const int64_t n = x.dim(2);
+  std::vector<float> out(batch);
+  const float* data = x.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    out[b] = data[((b * t_in + (t_in - 1)) * n + 0) * 2 + 1];
+  }
+  return out;
+}
+
+Tensor GluChannels(const Tensor& x) {
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t channels = x.dim(1);
+  TB_CHECK_EQ(channels % 2, 0);
+  Tensor p = x.Slice(1, 0, channels / 2);
+  Tensor q = x.Slice(1, channels / 2, channels);
+  return p * q.Sigmoid();
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,35 @@
+#ifndef TRAFFICBENCH_MODELS_COMMON_H_
+#define TRAFFICBENCH_MODELS_COMMON_H_
+
+// Shared helpers for the model zoo.
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::models {
+
+/// [B, T, N, C] -> [B, C, N, T] (the NCHW layout the temporal convolutions
+/// consume, with nodes as "height" and time as "width").
+inline Tensor ToBcnt(const Tensor& x) { return x.Permute({0, 3, 2, 1}); }
+
+/// [B, C, N, T] -> [B, T, N, C].
+inline Tensor FromBcnt(const Tensor& x) { return x.Permute({0, 3, 2, 1}); }
+
+/// Graph propagation: support [N, N] applied to node-major features
+/// [..., N, C] -> [..., N, C] (leading axes broadcast through MatMul).
+inline Tensor GraphMix(const Tensor& support, const Tensor& features) {
+  return MatMul(support, features);
+}
+
+/// Time-of-day feature of the last input step, per batch element:
+/// x is [B, T, N, 2]; returns flat [B] values.
+std::vector<float> LastTimeOfDay(const Tensor& x);
+
+/// Gated linear unit over the channel axis of [B, 2C, N, T]:
+/// splits into (P, Q) and returns P * sigmoid(Q), [B, C, N, T].
+Tensor GluChannels(const Tensor& x);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_COMMON_H_

@@ -1,0 +1,123 @@
+#include "src/models/dcrnn.h"
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kHidden = 28;
+constexpr int kDiffusionSteps = 2;
+}  // namespace
+
+std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_step) {
+  NoGradGuard no_grad;
+  std::vector<Tensor> supports;
+  Tensor fwd = graph::RandomWalkTransition(adjacency);
+  Tensor bwd = graph::ReverseRandomWalkTransition(adjacency);
+  Tensor fwd_power = fwd;
+  Tensor bwd_power = bwd;
+  for (int k = 0; k < max_step; ++k) {
+    supports.push_back(fwd_power.Detach());
+    supports.push_back(bwd_power.Detach());
+    if (k + 1 < max_step) {
+      fwd_power = MatMul(fwd_power, fwd);
+      bwd_power = MatMul(bwd_power, bwd);
+    }
+  }
+  return supports;
+}
+
+DiffusionConv::DiffusionConv(std::vector<Tensor> supports,
+                             int64_t in_features, int64_t out_features,
+                             Rng* rng)
+    : supports_(std::move(supports)) {
+  const int64_t terms = static_cast<int64_t>(supports_.size()) + 1;
+  mix_ = RegisterModule(
+      "mix", std::make_shared<nn::Linear>(terms * in_features, out_features,
+                                          rng));
+}
+
+Tensor DiffusionConv::Forward(const Tensor& x) const {
+  std::vector<Tensor> terms;
+  terms.reserve(supports_.size() + 1);
+  terms.push_back(x);
+  for (const Tensor& support : supports_) {
+    terms.push_back(MatMul(support, x));
+  }
+  return mix_->Forward(Concat(terms, -1));
+}
+
+DcGruCell::DcGruCell(const std::vector<Tensor>& supports, int64_t input_size,
+                     int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  gates_ = RegisterModule(
+      "gates", std::make_shared<DiffusionConv>(
+                   supports, input_size + hidden_size, 2 * hidden_size, rng));
+  candidate_ = RegisterModule(
+      "candidate", std::make_shared<DiffusionConv>(
+                       supports, input_size + hidden_size, hidden_size, rng));
+}
+
+Tensor DcGruCell::Forward(const Tensor& x, const Tensor& h) const {
+  Tensor xh = Concat({x, h}, -1);
+  Tensor gates = gates_->Forward(xh).Sigmoid();
+  Tensor reset = gates.Slice(-1, 0, hidden_size_);
+  Tensor update = gates.Slice(-1, hidden_size_, 2 * hidden_size_);
+  Tensor cand = candidate_->Forward(Concat({x, reset * h}, -1)).Tanh();
+  return update * h + (1.0f - update) * cand;
+}
+
+Dcrnn::Dcrnn(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+  const std::vector<Tensor> supports =
+      DiffusionSupports(context.adjacency, kDiffusionSteps);
+  encoder_ = RegisterModule(
+      "encoder", std::make_shared<DcGruCell>(supports, 2, kHidden, &rng));
+  decoder_ = RegisterModule(
+      "decoder", std::make_shared<DcGruCell>(supports, 1, kHidden, &rng));
+  projection_ = RegisterModule(
+      "projection", std::make_shared<nn::Linear>(kHidden, 1, &rng));
+}
+
+Tensor Dcrnn::Forward(const Tensor& x, const Tensor& teacher) {
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+  TB_CHECK_EQ(x.dim(2), num_nodes_);
+
+  // Encode the 12 history steps.
+  Tensor h = Tensor::Zeros(Shape({batch, num_nodes_, kHidden}));
+  for (int t = 0; t < input_len_; ++t) {
+    Tensor step = x.Slice(1, t, t + 1).Squeeze(1);  // [B, N, 2]
+    h = encoder_->Forward(step, h);
+  }
+
+  // Decode 12 future steps. GO symbol is the zero input.
+  const bool use_teacher = training() && teacher.defined();
+  Tensor decoder_input = Tensor::Zeros(Shape({batch, num_nodes_, 1}));
+  std::vector<Tensor> outputs;
+  outputs.reserve(output_len_);
+  for (int t = 0; t < output_len_; ++t) {
+    h = decoder_->Forward(decoder_input, h);
+    Tensor y = projection_->Forward(h);  // [B, N, 1]
+    outputs.push_back(y.Squeeze(2));     // [B, N]
+    if (t + 1 == output_len_) break;
+    if (use_teacher) {
+      decoder_input = teacher.Slice(1, t, t + 1)  // [B, 1, N]
+                          .Reshape(Shape({batch, num_nodes_, 1}))
+                          .Detach();
+    } else {
+      decoder_input = y;
+    }
+  }
+  return Stack(outputs, 1);  // [B, T_out, N]
+}
+
+std::unique_ptr<TrafficModel> CreateDcrnn(const ModelContext& context) {
+  return std::make_unique<Dcrnn>(context);
+}
+
+}  // namespace trafficbench::models

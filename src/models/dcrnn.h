@@ -1,0 +1,73 @@
+#ifndef TRAFFICBENCH_MODELS_DCRNN_H_
+#define TRAFFICBENCH_MODELS_DCRNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// Bidirectional diffusion convolution (Li et al., ICLR 2018): features are
+/// propagated K steps along the forward random-walk transition matrix and K
+/// steps along the reverse one, concatenated, and linearly mixed.
+class DiffusionConv : public nn::Module {
+ public:
+  /// `supports` are the K-step propagation matrices (already includes both
+  /// directions and powers); identity is prepended implicitly.
+  DiffusionConv(std::vector<Tensor> supports, int64_t in_features,
+                int64_t out_features, Rng* rng);
+
+  /// x: [B, N, C_in] -> [B, N, C_out].
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<Tensor> supports_;
+  std::shared_ptr<nn::Linear> mix_;
+};
+
+/// GRU cell whose dense maps are replaced by diffusion convolutions.
+class DcGruCell : public nn::Module {
+ public:
+  DcGruCell(const std::vector<Tensor>& supports, int64_t input_size,
+            int64_t hidden_size, Rng* rng);
+
+  /// x: [B, N, in], h: [B, N, hidden] -> new hidden state.
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::shared_ptr<DiffusionConv> gates_;
+  std::shared_ptr<DiffusionConv> candidate_;
+};
+
+/// DCRNN: encoder–decoder of DcGruCells. Teacher forcing during training,
+/// autoregressive decoding at evaluation — the error-accumulation behaviour
+/// the paper attributes to RNN seq2seq models at long horizons.
+class Dcrnn : public TrafficModel {
+ public:
+  explicit Dcrnn(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "DCRNN"; }
+
+ private:
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  std::shared_ptr<DcGruCell> encoder_;
+  std::shared_ptr<DcGruCell> decoder_;
+  std::shared_ptr<nn::Linear> projection_;
+};
+
+std::unique_ptr<TrafficModel> CreateDcrnn(const ModelContext& context);
+
+/// Builds [P, P^2, P_rev, P_rev^2] diffusion supports from an adjacency.
+std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_step);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_DCRNN_H_

@@ -1,0 +1,147 @@
+#include "src/models/gman.h"
+
+#include <cmath>
+
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kGeoDim = 16;
+constexpr int64_t kDim = 40;
+constexpr int kHeads = 4;
+constexpr int64_t kFourier = 6;  // sin/cos at 1, 2, 4 cycles per day
+}  // namespace
+
+Gman::StAttentionBlock Gman::MakeBlock(const std::string& prefix, Rng* rng) {
+  StAttentionBlock block;
+  block.spatial = RegisterModule(
+      prefix + ".spatial",
+      std::make_shared<nn::MultiHeadAttention>(kDim, kHeads, rng));
+  block.temporal = RegisterModule(
+      prefix + ".temporal",
+      std::make_shared<nn::MultiHeadAttention>(kDim, kHeads, rng));
+  block.fuse_s = RegisterModule(
+      prefix + ".fuse_s", std::make_shared<nn::Linear>(kDim, kDim, rng));
+  block.fuse_t = RegisterModule(
+      prefix + ".fuse_t",
+      std::make_shared<nn::Linear>(kDim, kDim, rng, /*use_bias=*/false));
+  block.norm =
+      RegisterModule(prefix + ".norm", std::make_shared<nn::LayerNorm>(kDim));
+  return block;
+}
+
+Gman::Gman(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+  spatial_base_ = graph::SpectralNodeEmbedding(context.adjacency, kGeoDim);
+  se_proj_ = RegisterModule("se_proj",
+                            std::make_shared<nn::Linear>(kGeoDim, kDim, &rng));
+  te_proj_ = RegisterModule("te_proj",
+                            std::make_shared<nn::Linear>(kFourier, kDim, &rng));
+  input_proj_ = RegisterModule("input_proj",
+                               std::make_shared<nn::Linear>(2, kDim, &rng));
+  encoder_ = MakeBlock("encoder", &rng);
+  transform_ = RegisterModule(
+      "transform", std::make_shared<nn::MultiHeadAttention>(kDim, kHeads, &rng));
+  decoder_ = MakeBlock("decoder", &rng);
+  out_hidden_ = RegisterModule("out_hidden",
+                               std::make_shared<nn::Linear>(kDim, kDim, &rng));
+  out_proj_ = RegisterModule("out_proj",
+                             std::make_shared<nn::Linear>(kDim, 1, &rng));
+}
+
+Tensor Gman::TemporalEmbedding(const std::vector<float>& tod, int64_t batch,
+                               int64_t steps) const {
+  TB_CHECK_EQ(static_cast<int64_t>(tod.size()), batch * steps);
+  std::vector<float> features(batch * steps * kFourier);
+  for (int64_t i = 0; i < batch * steps; ++i) {
+    const double tau = 2.0 * M_PI * tod[i];
+    float* f = features.data() + i * kFourier;
+    f[0] = static_cast<float>(std::sin(tau));
+    f[1] = static_cast<float>(std::cos(tau));
+    f[2] = static_cast<float>(std::sin(2.0 * tau));
+    f[3] = static_cast<float>(std::cos(2.0 * tau));
+    f[4] = static_cast<float>(std::sin(4.0 * tau));
+    f[5] = static_cast<float>(std::cos(4.0 * tau));
+  }
+  Tensor raw = Tensor::FromVector(Shape({batch, steps, 1, kFourier}),
+                                  std::move(features));
+  return te_proj_->Forward(raw);  // [B, T, 1, D]
+}
+
+Tensor Gman::RunBlock(const StAttentionBlock& block, const Tensor& h,
+                      const Tensor& ste) const {
+  Tensor input = h + ste;
+  // Spatial attention: attend over the node axis.
+  Tensor hs = block.spatial->Forward(input, input, input);
+  // Temporal attention: attend over the step axis.
+  Tensor input_t = input.Permute({0, 2, 1, 3});  // [B, N, T, D]
+  Tensor ht = block.temporal->Forward(input_t, input_t, input_t)
+                  .Permute({0, 2, 1, 3});
+  // Gated fusion.
+  Tensor z = (block.fuse_s->Forward(hs) + block.fuse_t->Forward(ht)).Sigmoid();
+  Tensor fused = z * hs + (1.0f - z) * ht;
+  return block.norm->Forward(fused + h);
+}
+
+Tensor Gman::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  // --- Spatio-temporal embeddings -------------------------------------------
+  Tensor se = se_proj_->Forward(spatial_base_);  // [N, D]
+
+  // History time-of-day per (batch, step) from the input's time channel.
+  std::vector<float> hist_tod(batch * input_len_);
+  {
+    const float* data = x.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t t = 0; t < input_len_; ++t) {
+        hist_tod[b * input_len_ + t] =
+            data[((b * input_len_ + t) * num_nodes_ + 0) * 2 + 1];
+      }
+    }
+  }
+  std::vector<float> future_tod(batch * output_len_);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float last = hist_tod[b * input_len_ + input_len_ - 1];
+    for (int64_t t = 0; t < output_len_; ++t) {
+      float next = last + static_cast<float>(t + 1) / 288.0f;
+      next -= std::floor(next);
+      future_tod[b * output_len_ + t] = next;
+    }
+  }
+  Tensor ste_hist =
+      TemporalEmbedding(hist_tod, batch, input_len_) + se;  // [B,T,N,D]
+  Tensor ste_future = TemporalEmbedding(future_tod, batch, output_len_) + se;
+
+  // --- Encoder -----------------------------------------------------------------
+  Tensor h = input_proj_->Forward(x);  // [B, T_in, N, D]
+  h = RunBlock(encoder_, h, ste_hist);
+
+  // --- Transform attention: history steps -> future steps (per node) ------------
+  Tensor query = ste_future.Permute({0, 2, 1, 3});       // [B, N, T_out, D]
+  Tensor key = (h + ste_hist).Permute({0, 2, 1, 3});     // [B, N, T_in, D]
+  Tensor value = h.Permute({0, 2, 1, 3});
+  Tensor transformed =
+      transform_->Forward(query, key, value).Permute({0, 2, 1, 3});
+
+  // --- Decoder -------------------------------------------------------------------
+  Tensor d = RunBlock(decoder_, transformed, ste_future);
+
+  // --- Output head ------------------------------------------------------------------
+  Tensor y = out_proj_->Forward(out_hidden_->Forward(d).Relu());
+  return y.Reshape(Shape({batch, output_len_, num_nodes_}));
+}
+
+std::unique_ptr<TrafficModel> CreateGman(const ModelContext& context) {
+  return std::make_unique<Gman>(context);
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,64 @@
+#ifndef TRAFFICBENCH_MODELS_GMAN_H_
+#define TRAFFICBENCH_MODELS_GMAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// GMAN (Zheng et al., AAAI 2020): encoder–decoder built entirely from
+/// attention. Every position carries a spatio-temporal embedding (STE):
+/// a graph (spectral) node embedding plus a time-of-day encoding. Encoder
+/// and decoder blocks run spatial attention (over nodes) and temporal
+/// attention (over steps) in parallel and merge them with a gated fusion;
+/// a **transform attention** maps the encoded history directly onto each
+/// future step — which is why GMAN does not recurse and keeps its accuracy
+/// at the 60-minute horizon, at the price of the heaviest computation.
+class Gman : public TrafficModel {
+ public:
+  explicit Gman(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "GMAN"; }
+
+ private:
+  struct StAttentionBlock {
+    std::shared_ptr<nn::MultiHeadAttention> spatial;
+    std::shared_ptr<nn::MultiHeadAttention> temporal;
+    std::shared_ptr<nn::Linear> fuse_s, fuse_t;  // gated fusion
+    std::shared_ptr<nn::LayerNorm> norm;
+  };
+
+  /// h, ste: [B, T, N, D].
+  Tensor RunBlock(const StAttentionBlock& block, const Tensor& h,
+                  const Tensor& ste) const;
+
+  /// Fourier time-of-day features -> [B, T, 1, D] temporal embedding.
+  Tensor TemporalEmbedding(const std::vector<float>& tod, int64_t batch,
+                           int64_t steps) const;
+
+  StAttentionBlock MakeBlock(const std::string& prefix, Rng* rng);
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+
+  Tensor spatial_base_;                      // [N, kGeoDim] spectral embedding
+  std::shared_ptr<nn::Linear> se_proj_;      // kGeoDim -> D
+  std::shared_ptr<nn::Linear> te_proj_;      // Fourier dims -> D
+  std::shared_ptr<nn::Linear> input_proj_;   // 2 -> D
+  StAttentionBlock encoder_;
+  std::shared_ptr<nn::MultiHeadAttention> transform_;
+  StAttentionBlock decoder_;
+  std::shared_ptr<nn::Linear> out_hidden_;   // D -> D
+  std::shared_ptr<nn::Linear> out_proj_;     // D -> 1
+};
+
+std::unique_ptr<TrafficModel> CreateGman(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_GMAN_H_

@@ -1,0 +1,106 @@
+#include "src/models/graph_wavenet.h"
+
+#include "src/models/common.h"
+#include "src/models/dcrnn.h"  // DiffusionSupports
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kResidual = 16;
+constexpr int64_t kSkip = 32;
+constexpr int64_t kEnd = 48;
+constexpr int64_t kEmbeddingDim = 10;
+constexpr int kDiffusionSteps = 1;  // one hop per fixed support
+constexpr int kDilations[] = {1, 2, 1, 2};
+}  // namespace
+
+GraphWaveNet::GraphWaveNet(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+  supports_ = DiffusionSupports(context.adjacency, kDiffusionSteps);
+
+  e1_ = RegisterParameter(
+      "e1", Tensor::Randn(Shape({num_nodes_, kEmbeddingDim}), &rng, 0.3f));
+  e2_ = RegisterParameter(
+      "e2", Tensor::Randn(Shape({num_nodes_, kEmbeddingDim}), &rng, 0.3f));
+
+  input_conv_ = RegisterModule(
+      "input", std::make_shared<nn::Conv2dLayer>(2, kResidual, 1, 1, &rng));
+
+  const int64_t terms =
+      1 + static_cast<int64_t>(supports_.size()) + 1;  // x, fixed, adaptive
+  int index = 0;
+  for (int dilation : kDilations) {
+    Layer layer;
+    layer.dilation = dilation;
+    const std::string prefix = "layer" + std::to_string(index++);
+    layer.gated = RegisterModule(
+        prefix + ".gated",
+        std::make_shared<nn::Conv2dLayer>(kResidual, 2 * kResidual, 1, 2,
+                                          &rng, 1, 1, 0, 0, 1, dilation));
+    layer.gcn_mix = RegisterModule(
+        prefix + ".gcn",
+        std::make_shared<nn::Conv2dLayer>(terms * kResidual, kResidual, 1, 1,
+                                          &rng));
+    layer.residual = RegisterModule(
+        prefix + ".residual",
+        std::make_shared<nn::Conv2dLayer>(kResidual, kResidual, 1, 1, &rng));
+    layer.skip = RegisterModule(
+        prefix + ".skip",
+        std::make_shared<nn::Conv2dLayer>(kResidual, kSkip, 1, 1, &rng));
+    layers_.push_back(std::move(layer));
+  }
+  end1_ = RegisterModule(
+      "end1", std::make_shared<nn::Conv2dLayer>(kSkip, kEnd, 1, 1, &rng));
+  end2_ = RegisterModule(
+      "end2", std::make_shared<nn::Conv2dLayer>(kEnd, output_len_, 1, 1, &rng));
+}
+
+Tensor GraphWaveNet::Gcn(const Tensor& x, int layer) const {
+  // Adaptive adjacency is recomputed each call so its gradient reaches the
+  // node embeddings.
+  Tensor adaptive = MatMul(e1_, e2_.Transpose(0, 1)).Relu().Softmax(-1);
+  std::vector<Tensor> terms;
+  terms.reserve(2 + supports_.size());
+  terms.push_back(x);
+  for (const Tensor& support : supports_) {
+    terms.push_back(MatMul(support, x));
+  }
+  terms.push_back(MatMul(adaptive, x));
+  return layers_[layer].gcn_mix->Forward(Concat(terms, 1));
+}
+
+Tensor GraphWaveNet::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;  // predicts all horizons at once
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  Tensor h = input_conv_->Forward(ToBcnt(x));  // [B, R, N, T]
+  Tensor skip_sum;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Tensor residual_in = h;
+    // Gated dilated causal convolution (shrinks T by dilation).
+    h = GluChannels(layers_[l].gated->Forward(h));
+    // Skip contribution from the newest timestep.
+    const int64_t t_now = h.dim(3);
+    Tensor skip =
+        layers_[l].skip->Forward(h.Slice(3, t_now - 1, t_now));
+    skip_sum = skip_sum.defined() ? skip_sum + skip : skip;
+    // Graph convolution + residual connection (align T by truncation).
+    h = Gcn(h, static_cast<int>(l));
+    h = layers_[l].residual->Forward(h) +
+        residual_in.Slice(3, residual_in.dim(3) - t_now, residual_in.dim(3));
+  }
+  Tensor out = end1_->Forward(skip_sum.Relu()).Relu();
+  out = end2_->Forward(out);  // [B, T_out, N, 1]
+  return out.Reshape(Shape({batch, output_len_, num_nodes_}));
+}
+
+std::unique_ptr<TrafficModel> CreateGraphWaveNet(const ModelContext& context) {
+  return std::make_unique<GraphWaveNet>(context);
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,54 @@
+#ifndef TRAFFICBENCH_MODELS_GRAPH_WAVENET_H_
+#define TRAFFICBENCH_MODELS_GRAPH_WAVENET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// Graph-WaveNet (Wu et al., IJCAI 2019): a stack of gated dilated causal
+/// temporal convolutions, each followed by a graph convolution over (a) the
+/// forward/backward random-walk transition matrices and (b) a learned
+/// **adaptive adjacency** softmax(relu(E1 E2^T)); skip connections feed an
+/// output head that emits all 12 horizons at once (hence the fastest
+/// inference in Table III).
+class GraphWaveNet : public TrafficModel {
+ public:
+  explicit GraphWaveNet(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "Graph-WaveNet"; }
+
+ private:
+  /// Graph convolution over fixed supports + the adaptive adjacency.
+  /// x: [B, C, N, T].
+  Tensor Gcn(const Tensor& x, int layer) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+
+  std::vector<Tensor> supports_;  // P_fwd, P_bwd (fixed)
+  Tensor e1_, e2_;                // adaptive-adjacency node embeddings
+
+  std::shared_ptr<nn::Conv2dLayer> input_conv_;
+  struct Layer {
+    std::shared_ptr<nn::Conv2dLayer> gated;     // R -> 2R, kernel (1,2), dilated
+    std::shared_ptr<nn::Conv2dLayer> gcn_mix;   // (terms*R) -> R, 1x1
+    std::shared_ptr<nn::Conv2dLayer> residual;  // R -> R, 1x1
+    std::shared_ptr<nn::Conv2dLayer> skip;      // R -> S, 1x1
+    int dilation = 1;
+  };
+  std::vector<Layer> layers_;
+  std::shared_ptr<nn::Conv2dLayer> end1_;  // S -> E, 1x1
+  std::shared_ptr<nn::Conv2dLayer> end2_;  // E -> T_out, 1x1
+};
+
+std::unique_ptr<TrafficModel> CreateGraphWaveNet(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_GRAPH_WAVENET_H_

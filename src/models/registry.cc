@@ -1,0 +1,62 @@
+// Registers the full model zoo (paper order) plus the naive baselines.
+
+#include <memory>
+#include <mutex>
+
+#include "src/models/ablation.h"
+#include "src/models/astgcn.h"
+#include "src/models/baselines.h"
+#include "src/models/dcrnn.h"
+#include "src/models/gman.h"
+#include "src/models/graph_wavenet.h"
+#include "src/models/st_metanet.h"
+#include "src/models/stg2seq.h"
+#include "src/models/stgcn.h"
+#include "src/models/stsgcn.h"
+#include "src/models/traffic_model.h"
+
+namespace trafficbench::models {
+
+void RegisterBuiltinModels() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ModelRegistry& registry = ModelRegistry::Instance();
+    registry.Register("STGCN", CreateStgcn);
+    registry.Register("DCRNN", CreateDcrnn);
+    registry.Register("ASTGCN", CreateAstgcn);
+    registry.Register("ST-MetaNet", CreateStMetaNet);
+    registry.Register("Graph-WaveNet", CreateGraphWaveNet);
+    registry.Register("STG2Seq", CreateStg2Seq);
+    registry.Register("STSGCN", CreateStsgcn);
+    registry.Register("GMAN", CreateGman);
+    registry.Register("HistoricalAverage", CreateHistoricalAverage);
+    registry.Register("LastValue", CreateLastValue);
+
+    // Ablation backbones (benches A1/A2): fixed temporal module while the
+    // spatial family varies, and vice versa.
+    auto register_backbone = [&registry](const std::string& name,
+                                         SpatialKind spatial,
+                                         TemporalKind temporal) {
+      registry.Register(name, [spatial, temporal](const ModelContext& ctx) {
+        return std::unique_ptr<TrafficModel>(
+            std::make_unique<StBackbone>(ctx, spatial, temporal));
+      });
+    };
+    register_backbone("AB-spatial-none", SpatialKind::kNone,
+                      TemporalKind::kTcn);
+    register_backbone("AB-spatial-cheb", SpatialKind::kChebyshev,
+                      TemporalKind::kTcn);
+    register_backbone("AB-spatial-diffusion", SpatialKind::kDiffusion,
+                      TemporalKind::kTcn);
+    register_backbone("AB-spatial-adaptive", SpatialKind::kAdaptive,
+                      TemporalKind::kTcn);
+    register_backbone("AB-temporal-gru", SpatialKind::kDiffusion,
+                      TemporalKind::kGru);
+    register_backbone("AB-temporal-tcn", SpatialKind::kDiffusion,
+                      TemporalKind::kTcn);
+    register_backbone("AB-temporal-attention", SpatialKind::kDiffusion,
+                      TemporalKind::kAttention);
+  });
+}
+
+}  // namespace trafficbench::models

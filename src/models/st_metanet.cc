@@ -1,0 +1,166 @@
+#include "src/models/st_metanet.h"
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kHidden = 10;
+constexpr int64_t kGeoDim = 8;    // spectral-embedding input dim
+constexpr int64_t kMetaDim = 12;  // meta-knowledge latent dim
+constexpr int64_t kGatDim = 6;
+constexpr int64_t kEncIn = 2;
+constexpr int64_t kDecIn = 1;
+}  // namespace
+
+StMetaNet::StMetaNet(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+
+  // Static geo-knowledge: spectral embedding of the road graph.
+  Tensor geo = graph::SpectralNodeEmbedding(context.adjacency, kGeoDim);
+  meta_knowledge_ = geo;  // constant input to the meta-learners
+
+  // Edge mask: additive bias 0 on (directed) edges + self, -1e9 elsewhere.
+  {
+    const int64_t n = num_nodes_;
+    const float* adj = context.adjacency.data();
+    std::vector<float> bias(n * n);
+    for (int64_t i = 0; i < n * n; ++i) {
+      bias[i] = adj[i] > 0.0f ? 0.0f : -1e9f;
+    }
+    adjacency_bias_ = Tensor::FromVector(Shape({n, n}), std::move(bias));
+  }
+
+  meta_proj_ = RegisterModule(
+      "meta_proj", std::make_shared<nn::Linear>(kGeoDim, kMetaDim, &rng));
+  gen_enc_gates_ = RegisterModule(
+      "gen_enc_gates",
+      std::make_shared<nn::Linear>(kMetaDim,
+                                   (kEncIn + kHidden) * 2 * kHidden, &rng));
+  gen_enc_cand_ = RegisterModule(
+      "gen_enc_cand",
+      std::make_shared<nn::Linear>(kMetaDim, (kEncIn + kHidden) * kHidden,
+                                   &rng));
+  gen_dec_gates_ = RegisterModule(
+      "gen_dec_gates",
+      std::make_shared<nn::Linear>(kMetaDim,
+                                   (kDecIn + kHidden) * 2 * kHidden, &rng));
+  gen_dec_cand_ = RegisterModule(
+      "gen_dec_cand",
+      std::make_shared<nn::Linear>(kMetaDim, (kDecIn + kHidden) * kHidden,
+                                   &rng));
+  gen_gat_proj_ = RegisterModule(
+      "gen_gat_proj",
+      std::make_shared<nn::Linear>(kMetaDim, kHidden * kGatDim, &rng));
+  edge_hidden_ = RegisterModule(
+      "edge_hidden",
+      std::make_shared<nn::Linear>(2 * kGatDim + 2 * kMetaDim, 16, &rng));
+  edge_score_ = RegisterModule(
+      "edge_score", std::make_shared<nn::Linear>(16, 1, &rng, false));
+  gat_out_ = RegisterModule(
+      "gat_out", std::make_shared<nn::Linear>(kGatDim, kHidden, &rng));
+  projection_ = RegisterModule(
+      "projection", std::make_shared<nn::Linear>(kHidden, 1, &rng));
+}
+
+Tensor StMetaNet::PerNodeLinear(const Tensor& input, const Tensor& weights) {
+  // input [B, N, D_in], weights [N, D_in, D_out]:
+  // rearrange so the node axis is the (broadcast) batch of the matmul.
+  Tensor by_node = input.Permute({1, 0, 2});     // [N, B, D_in]
+  Tensor out = MatMul(by_node, weights);         // [N, B, D_out]
+  return out.Permute({1, 0, 2});                 // [B, N, D_out]
+}
+
+Tensor StMetaNet::MetaGruStep(const Tensor& x, const Tensor& h,
+                              const Tensor& gate_weights,
+                              const Tensor& cand_weights,
+                              int64_t input_size) const {
+  Tensor xh = Concat({x, h}, -1);  // [B, N, in + H]
+  (void)input_size;
+  Tensor gates = PerNodeLinear(xh, gate_weights).Sigmoid();  // [B, N, 2H]
+  Tensor reset = gates.Slice(-1, 0, kHidden);
+  Tensor update = gates.Slice(-1, kHidden, 2 * kHidden);
+  Tensor cand =
+      PerNodeLinear(Concat({x, reset * h}, -1), cand_weights).Tanh();
+  return update * h + (1.0f - update) * cand;
+}
+
+Tensor StMetaNet::MetaGat(const Tensor& h) const {
+  Tensor meta = meta_proj_->Forward(meta_knowledge_).Tanh();  // [N, meta]
+  Tensor proj_weights = gen_gat_proj_->Forward(meta).Reshape(
+      Shape({num_nodes_, kHidden, kGatDim}));
+  Tensor p = PerNodeLinear(h, proj_weights);  // [B, N, D]
+  // Edge meta-attention: e_ij = MLP([p_i ‖ p_j ‖ meta_i ‖ meta_j]),
+  // evaluated for every node pair — the per-edge meta-learner that makes
+  // ST-MetaNet's spatial step expensive despite its tiny parameter count.
+  const int64_t batch = h.dim(0);
+  Shape pair_shape({batch, num_nodes_, num_nodes_, kGatDim});
+  Shape meta_pair_shape({batch, num_nodes_, num_nodes_, kMetaDim});
+  Tensor p_i = p.Unsqueeze(2).BroadcastTo(pair_shape);
+  Tensor p_j = p.Unsqueeze(1).BroadcastTo(pair_shape);
+  Tensor meta_i = meta.Unsqueeze(1).Unsqueeze(0).BroadcastTo(meta_pair_shape);
+  Tensor meta_j = meta.Unsqueeze(0).Unsqueeze(0).BroadcastTo(meta_pair_shape);
+  Tensor pair = Concat({p_i, p_j, meta_i, meta_j}, -1);
+  Tensor scores =
+      edge_score_->Forward(edge_hidden_->Forward(pair).Tanh()).Squeeze(3);
+  scores = scores.LeakyRelu(0.2f) + adjacency_bias_;
+  Tensor alpha = scores.Softmax(-1);
+  Tensor attended = MatMul(alpha, p);  // [B, N, D]
+  return h + gat_out_->Forward(attended).Tanh();
+}
+
+Tensor StMetaNet::Forward(const Tensor& x, const Tensor& teacher) {
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+  TB_CHECK_EQ(x.dim(2), num_nodes_);
+
+  // Generate all per-node weights from the (static) meta-knowledge.
+  Tensor meta = meta_proj_->Forward(meta_knowledge_).Tanh();
+  Tensor enc_gates = gen_enc_gates_->Forward(meta).Reshape(
+      Shape({num_nodes_, kEncIn + kHidden, 2 * kHidden}));
+  Tensor enc_cand = gen_enc_cand_->Forward(meta).Reshape(
+      Shape({num_nodes_, kEncIn + kHidden, kHidden}));
+  Tensor dec_gates = gen_dec_gates_->Forward(meta).Reshape(
+      Shape({num_nodes_, kDecIn + kHidden, 2 * kHidden}));
+  Tensor dec_cand = gen_dec_cand_->Forward(meta).Reshape(
+      Shape({num_nodes_, kDecIn + kHidden, kHidden}));
+
+  // Encoder over history; meta-GAT mixes hidden states spatially.
+  Tensor h = Tensor::Zeros(Shape({batch, num_nodes_, kHidden}));
+  for (int t = 0; t < input_len_; ++t) {
+    Tensor step = x.Slice(1, t, t + 1).Squeeze(1);  // [B, N, 2]
+    h = MetaGruStep(step, h, enc_gates, enc_cand, kEncIn);
+    if (t % 3 == 2) h = MetaGat(h);  // spatial mixing along the encoder
+  }
+
+  // Decoder with teacher forcing during training.
+  const bool use_teacher = training() && teacher.defined();
+  Tensor decoder_input = Tensor::Zeros(Shape({batch, num_nodes_, 1}));
+  std::vector<Tensor> outputs;
+  outputs.reserve(output_len_);
+  for (int t = 0; t < output_len_; ++t) {
+    h = MetaGruStep(decoder_input, h, dec_gates, dec_cand, kDecIn);
+    h = MetaGat(h);  // spatial mixing at every decoder step
+    Tensor y = projection_->Forward(h);  // [B, N, 1]
+    outputs.push_back(y.Squeeze(2));
+    if (t + 1 == output_len_) break;
+    if (use_teacher) {
+      decoder_input = teacher.Slice(1, t, t + 1)
+                          .Reshape(Shape({batch, num_nodes_, 1}))
+                          .Detach();
+    } else {
+      decoder_input = y;
+    }
+  }
+  return Stack(outputs, 1);
+}
+
+std::unique_ptr<TrafficModel> CreateStMetaNet(const ModelContext& context) {
+  return std::make_unique<StMetaNet>(context);
+}
+
+}  // namespace trafficbench::models

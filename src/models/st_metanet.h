@@ -1,0 +1,66 @@
+#ifndef TRAFFICBENCH_MODELS_ST_METANET_H_
+#define TRAFFICBENCH_MODELS_ST_METANET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// ST-MetaNet (Pan et al., KDD 2019): a sequence-to-sequence GRU whose
+/// weights are *generated per node* by meta-learners conditioned on static
+/// node meta-knowledge (here: the spectral embedding of the road graph,
+/// standing in for the paper's geo-features), plus a GAT-style spatial
+/// layer whose projections are likewise meta-generated.
+///
+/// Because every learned map is a function of invariant node knowledge,
+/// the model carries the fewest parameters in the zoo — and, as the paper
+/// observes, adapts worst when conditions change abruptly.
+class StMetaNet : public TrafficModel {
+ public:
+  explicit StMetaNet(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "ST-MetaNet"; }
+
+ private:
+  /// Per-node GRU step with meta-generated weights.
+  /// x: [B, N, in], h: [B, N, H] -> [B, N, H].
+  Tensor MetaGruStep(const Tensor& x, const Tensor& h,
+                     const Tensor& gate_weights, const Tensor& cand_weights,
+                     int64_t input_size) const;
+
+  /// Meta-GAT over the adjacency mask: h [B, N, H] -> [B, N, H].
+  Tensor MetaGat(const Tensor& h) const;
+
+  /// Applies a per-node generated weight bank:
+  /// input [B, N, D_in] x weights [N, D_in, D_out] -> [B, N, D_out].
+  static Tensor PerNodeLinear(const Tensor& input, const Tensor& weights);
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+
+  Tensor meta_knowledge_;  // [N, meta_dim], derived + learned projection
+  Tensor adjacency_bias_;  // [N, N]: 0 on edges, -inf elsewhere
+
+  // Meta-learners (shared Linear layers generating per-node weights).
+  std::shared_ptr<nn::Linear> meta_proj_;
+  std::shared_ptr<nn::Linear> gen_enc_gates_, gen_enc_cand_;
+  std::shared_ptr<nn::Linear> gen_dec_gates_, gen_dec_cand_;
+  std::shared_ptr<nn::Linear> gen_gat_proj_;
+  // Edge meta-MLP: scores every (i, j) pair from the projected hidden
+  // states of both endpoints plus their static meta-knowledge.
+  std::shared_ptr<nn::Linear> edge_hidden_;
+  std::shared_ptr<nn::Linear> edge_score_;
+  std::shared_ptr<nn::Linear> gat_out_;
+  std::shared_ptr<nn::Linear> projection_;
+};
+
+std::unique_ptr<TrafficModel> CreateStMetaNet(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_ST_METANET_H_

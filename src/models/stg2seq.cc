@@ -1,0 +1,112 @@
+#include "src/models/stg2seq.h"
+
+#include <cmath>
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kDim = 32;
+constexpr int kLongLayers = 3;
+constexpr int kShortLayers = 2;
+constexpr int kShortWindow = 3;
+}  // namespace
+
+Stg2Seq::Stg2Seq(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  Rng rng(context.seed);
+  support_ = graph::SymmetricNormalizedAdjacency(context.adjacency);
+  {
+    NoGradGuard no_grad;
+    support2_ = MatMul(support_, support_).Detach();
+  }
+
+  auto make_stack = [&](const char* prefix, int layers,
+                        std::vector<Ggcm>* stack) {
+    for (int l = 0; l < layers; ++l) {
+      const int64_t d_in = l == 0 ? 2 : kDim;
+      Ggcm ggcm;
+      ggcm.mix = RegisterModule(
+          std::string(prefix) + std::to_string(l) + ".mix",
+          std::make_shared<nn::Linear>(2 * d_in, 2 * kDim, &rng));
+      ggcm.residual = RegisterModule(
+          std::string(prefix) + std::to_string(l) + ".residual",
+          std::make_shared<nn::Linear>(d_in, kDim, &rng, /*use_bias=*/false));
+      stack->push_back(std::move(ggcm));
+    }
+  };
+  make_stack("long", kLongLayers, &long_encoder_);
+  make_stack("short", kShortLayers, &short_encoder_);
+
+  horizon_embedding_ = RegisterParameter(
+      "horizon_embedding",
+      Tensor::Randn(Shape({output_len_, kDim}), &rng, 0.3f));
+  query_proj_ = RegisterModule(
+      "query_proj", std::make_shared<nn::Linear>(kDim, kDim, &rng));
+  head_hidden_ = RegisterModule(
+      "head_hidden", std::make_shared<nn::Linear>(2 * kDim, kDim, &rng));
+  head_out_ = RegisterModule("head_out",
+                             std::make_shared<nn::Linear>(kDim, 1, &rng));
+}
+
+Tensor Stg2Seq::RunGgcm(const Ggcm& ggcm, const Tensor& h) const {
+  Tensor hop1 = MatMul(support_, h);
+  Tensor hop2 = MatMul(support2_, h);
+  Tensor mixed = ggcm.mix->Forward(Concat({hop1, hop2}, -1));  // [..., 2D]
+  const int64_t d_out = mixed.dim(-1) / 2;
+  Tensor value = mixed.Slice(-1, 0, d_out);
+  Tensor gate = mixed.Slice(-1, d_out, 2 * d_out);
+  return value * gate.Sigmoid() + ggcm.residual->Forward(h);
+}
+
+Tensor Stg2Seq::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  // Long-term encoder over all steps at once: [B, T, N, C] flows through
+  // the GGCM stack (graph conv acts on the N axis).
+  Tensor long_features = x;
+  for (const Ggcm& ggcm : long_encoder_) {
+    long_features = RunGgcm(ggcm, long_features);
+  }
+  // long_features: [B, T_in, N, D]
+
+  // Short-term encoder over the last kShortWindow steps, mean-pooled.
+  Tensor short_features = x.Slice(1, input_len_ - kShortWindow, input_len_);
+  for (const Ggcm& ggcm : short_encoder_) {
+    short_features = RunGgcm(ggcm, short_features);
+  }
+  Tensor short_summary = short_features.Mean({1});  // [B, N, D]
+
+  // Attention output module: one learned query per horizon step attends
+  // over the encoded history (per node).
+  Tensor queries = query_proj_->Forward(horizon_embedding_);  // [T_out, D]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(kDim));
+  // scores[b, t_out, t_in, n] = <F[b, t_in, n, :], q[t_out, :]> * scale
+  // Compute via matmul: F [B, T_in, N, D] x q^T [D, T_out]
+  Tensor scores = MatMul(long_features, queries.Transpose(0, 1)) * scale;
+  // [B, T_in, N, T_out] -> softmax over T_in
+  Tensor alpha = scores.Softmax(1);
+  std::vector<Tensor> outputs;
+  outputs.reserve(output_len_);
+  for (int t = 0; t < output_len_; ++t) {
+    Tensor a = alpha.Slice(3, t, t + 1);              // [B, T_in, N, 1]
+    Tensor context = (long_features * a).Sum({1});    // [B, N, D]
+    Tensor combined = Concat({context, short_summary}, -1);
+    Tensor y = head_out_->Forward(head_hidden_->Forward(combined).Relu());
+    outputs.push_back(y.Squeeze(2));  // [B, N]
+  }
+  (void)batch;
+  return Stack(outputs, 1);
+}
+
+std::unique_ptr<TrafficModel> CreateStg2Seq(const ModelContext& context) {
+  return std::make_unique<Stg2Seq>(context);
+}
+
+}  // namespace trafficbench::models

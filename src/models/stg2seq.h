@@ -1,0 +1,53 @@
+#ifndef TRAFFICBENCH_MODELS_STG2SEQ_H_
+#define TRAFFICBENCH_MODELS_STG2SEQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// STG2Seq (Bai et al., IJCAI 2019): purely graph-convolutional
+/// sequence-to-sequence forecasting. A long-term encoder applies stacked
+/// gated graph convolution modules (GGCMs, spatial-based GCN + GLU gating)
+/// to every history step; a short-term encoder summarizes the most recent
+/// steps; an attention-based output module generates each horizon step from
+/// a learned horizon query attending over the encoded history.
+class Stg2Seq : public TrafficModel {
+ public:
+  explicit Stg2Seq(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "STG2Seq"; }
+
+ private:
+  struct Ggcm {
+    // Two-hop graph conv with GLU gating: GLU([A h ‖ A² h] W) + residual.
+    std::shared_ptr<nn::Linear> mix;          // 2*D_in -> 2*D_out
+    std::shared_ptr<nn::Linear> residual;     // D_in -> D_out (1x1 align)
+  };
+
+  /// h: [..., N, D_in] -> [..., N, D_out].
+  Tensor RunGgcm(const Ggcm& ggcm, const Tensor& h) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  Tensor support_;   // A_sym
+  Tensor support2_;  // A_sym^2
+
+  std::vector<Ggcm> long_encoder_;
+  std::vector<Ggcm> short_encoder_;
+  Tensor horizon_embedding_;                 // [T_out, D]
+  std::shared_ptr<nn::Linear> query_proj_;   // D -> D
+  std::shared_ptr<nn::Linear> head_hidden_;  // 2D -> D
+  std::shared_ptr<nn::Linear> head_out_;     // D -> 1
+};
+
+std::unique_ptr<TrafficModel> CreateStg2Seq(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_STG2SEQ_H_

@@ -1,0 +1,140 @@
+#include "src/models/stgcn.h"
+
+#include <cmath>
+
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int kTemporalKernel = 3;  // Kt
+constexpr int kChebOrder = 3;       // K
+constexpr int64_t kC1 = 28;         // temporal conv channels
+constexpr int64_t kC2 = 14;         // spatial conv channels
+}  // namespace
+
+Stgcn::Stgcn(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  TB_CHECK_GE(input_len_, 4 * (kTemporalKernel - 1) + 1)
+      << "input too short for two ST-Conv blocks";
+  Rng rng(context.seed);
+
+  cheb_ = graph::ChebyshevBasis(graph::ScaledLaplacian(context.adjacency),
+                                kChebOrder);
+
+  auto make_cheb_weights = [&](const char* prefix, int64_t c_in,
+                               int64_t c_out, std::vector<Tensor>* weights,
+                               Tensor* bias) {
+    const float limit = std::sqrt(6.0f / static_cast<float>(c_in + c_out));
+    for (int k = 0; k < kChebOrder; ++k) {
+      weights->push_back(RegisterParameter(
+          std::string(prefix) + "_w" + std::to_string(k),
+          Tensor::Rand(Shape({c_in, c_out}), &rng, -limit, limit)));
+    }
+    *bias = RegisterParameter(std::string(prefix) + "_b",
+                              Tensor::Zeros(Shape({c_out})));
+  };
+
+  t1a_ = RegisterModule("t1a", std::make_shared<nn::Conv2dLayer>(
+                                   2, 2 * kC1, 1, kTemporalKernel, &rng));
+  make_cheb_weights("g1", kC1, kC2, &g1_weights_, &g1_bias_);
+  t1b_ = RegisterModule("t1b", std::make_shared<nn::Conv2dLayer>(
+                                   kC2, 2 * kC1, 1, kTemporalKernel, &rng));
+  ln1_ = RegisterModule("ln1", std::make_shared<nn::LayerNorm>(kC1));
+
+  t2a_ = RegisterModule("t2a", std::make_shared<nn::Conv2dLayer>(
+                                   kC1, 2 * kC1, 1, kTemporalKernel, &rng));
+  make_cheb_weights("g2", kC1, kC2, &g2_weights_, &g2_bias_);
+  t2b_ = RegisterModule("t2b", std::make_shared<nn::Conv2dLayer>(
+                                   kC2, 2 * kC1, 1, kTemporalKernel, &rng));
+  ln2_ = RegisterModule("ln2", std::make_shared<nn::LayerNorm>(kC1));
+
+  const int64_t remaining_t =
+      input_len_ - 4 * (kTemporalKernel - 1);  // after both blocks
+  out_conv_ = RegisterModule(
+      "out_conv", std::make_shared<nn::Conv2dLayer>(
+                      kC1, kC1, 1, static_cast<int>(remaining_t), &rng));
+  out_fc_ = RegisterModule("out_fc", std::make_shared<nn::Linear>(kC1, 1, &rng));
+}
+
+Tensor Stgcn::ChebConv(const Tensor& x, const std::vector<Tensor>& weights,
+                       const Tensor& bias) const {
+  // x: [B, C, N, T] -> [B, T, N, C] so MatMul mixes the node axis.
+  Tensor features = FromBcnt(x);
+  Tensor out;
+  for (int k = 0; k < kChebOrder; ++k) {
+    Tensor mixed = MatMul(MatMul(cheb_[k], features), weights[k]);
+    out = out.defined() ? out + mixed : mixed;
+  }
+  out = (out + bias).Relu();
+  return ToBcnt(out);
+}
+
+Tensor Stgcn::PredictOneStep(const Tensor& window) {
+  Tensor h = ToBcnt(window);  // [B, 2, N, T]
+  // Block 1.
+  h = GluChannels(t1a_->Forward(h));
+  h = ChebConv(h, g1_weights_, g1_bias_);
+  h = GluChannels(t1b_->Forward(h));
+  h = ToBcnt(ln1_->Forward(FromBcnt(h)));
+  // Block 2.
+  h = GluChannels(t2a_->Forward(h));
+  h = ChebConv(h, g2_weights_, g2_bias_);
+  h = GluChannels(t2b_->Forward(h));
+  h = ToBcnt(ln2_->Forward(FromBcnt(h)));
+  // Output head: collapse time, then per-node FC -> one step.
+  h = out_conv_->Forward(h).Relu();       // [B, kC1, N, 1]
+  h = FromBcnt(h);                        // [B, 1, N, kC1]
+  Tensor y = out_fc_->Forward(h);         // [B, 1, N, 1]
+  return y.Reshape(Shape({y.dim(0), num_nodes_}));
+}
+
+Tensor Stgcn::Forward(const Tensor& x, const Tensor& teacher) {
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  if (training() && teacher.defined()) {
+    // Many-to-one training: optimize the one-step prediction; fill the
+    // remaining horizon with detached teacher values (no gradient).
+    Tensor one = PredictOneStep(x).Unsqueeze(1);  // [B, 1, N]
+    Tensor filler = teacher.Slice(1, 1, output_len_).Detach();
+    return Concat({one, filler}, 1);
+  }
+
+  // Autoregressive rollout: feed each prediction back as the next input.
+  std::vector<float> tod = LastTimeOfDay(x);
+  Tensor window = x;
+  std::vector<Tensor> steps;
+  steps.reserve(output_len_);
+  for (int t = 0; t < output_len_; ++t) {
+    Tensor pred = PredictOneStep(window);  // [B, N]
+    steps.push_back(pred);
+    if (t + 1 == output_len_) break;
+    // Append (pred, next time-of-day) and drop the oldest step.
+    std::vector<float> tod_values(batch * num_nodes_);
+    for (int64_t b = 0; b < batch; ++b) {
+      float next = tod[b] + static_cast<float>(t + 1) / 288.0f;
+      next -= std::floor(next);
+      for (int64_t i = 0; i < num_nodes_; ++i) {
+        tod_values[b * num_nodes_ + i] = next;
+      }
+    }
+    Tensor tod_tensor = Tensor::FromVector(Shape({batch, 1, num_nodes_, 1}),
+                                           std::move(tod_values));
+    Tensor new_step =
+        Concat({pred.Reshape(Shape({batch, 1, num_nodes_, 1})), tod_tensor},
+               3);  // [B, 1, N, 2]
+    window = Concat({window.Slice(1, 1, input_len_), new_step}, 1);
+  }
+  return Stack(steps, 1);  // [B, T_out, N]
+}
+
+std::unique_ptr<TrafficModel> CreateStgcn(const ModelContext& context) {
+  return std::make_unique<Stgcn>(context);
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,66 @@
+#ifndef TRAFFICBENCH_MODELS_STGCN_H_
+#define TRAFFICBENCH_MODELS_STGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// STGCN (Yu et al., IJCAI 2018): two ST-Conv blocks — gated temporal
+/// convolution, Chebyshev spectral graph convolution, gated temporal
+/// convolution — followed by an output head that predicts **one** step
+/// (the many-to-one architecture the paper calls out).
+///
+/// Training optimizes the one-step-ahead prediction only (the remaining
+/// horizon slots are filled with detached teacher values so the loss
+/// tensor has the uniform [B, T_out, N] shape but no gradient flows into
+/// the filler). Evaluation rolls the model out autoregressively for all
+/// 12 steps, which is why STGCN pairs the cheapest training epoch with a
+/// slow inference pass in Table III.
+class Stgcn : public TrafficModel {
+ public:
+  explicit Stgcn(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "STGCN"; }
+
+ private:
+  /// One-step prediction from a [B, T_in, N, 2] window -> [B, N].
+  Tensor PredictOneStep(const Tensor& window);
+
+  /// Chebyshev graph convolution over [B, C, N, T].
+  Tensor ChebConv(const Tensor& x, const std::vector<Tensor>& weights,
+                  const Tensor& bias) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  std::vector<Tensor> cheb_;  // T_0..T_{K-1} of the scaled Laplacian
+
+  // Block 1.
+  std::shared_ptr<nn::Conv2dLayer> t1a_;  // 2 -> 2*c1 (GLU)
+  std::vector<Tensor> g1_weights_;        // K x [c1, c2]
+  Tensor g1_bias_;
+  std::shared_ptr<nn::Conv2dLayer> t1b_;  // c2 -> 2*c1
+  std::shared_ptr<nn::LayerNorm> ln1_;
+
+  // Block 2.
+  std::shared_ptr<nn::Conv2dLayer> t2a_;
+  std::vector<Tensor> g2_weights_;
+  Tensor g2_bias_;
+  std::shared_ptr<nn::Conv2dLayer> t2b_;
+  std::shared_ptr<nn::LayerNorm> ln2_;
+
+  // Output head: temporal collapse + per-node FC to one step.
+  std::shared_ptr<nn::Conv2dLayer> out_conv_;
+  std::shared_ptr<nn::Linear> out_fc_;
+};
+
+std::unique_ptr<TrafficModel> CreateStgcn(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_STGCN_H_

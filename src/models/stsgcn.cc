@@ -1,0 +1,142 @@
+#include "src/models/stsgcn.h"
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+namespace {
+constexpr int64_t kDim = 16;
+constexpr int64_t kHeadHidden = 32;
+}  // namespace
+
+Stsgcn::Stsgcn(const ModelContext& context)
+    : num_nodes_(context.num_nodes),
+      input_len_(context.input_len),
+      output_len_(context.output_len) {
+  TB_CHECK_GE(input_len_, 5) << "STSGCN needs at least two window layers";
+  Rng rng(context.seed);
+
+  // Localized spatio-temporal adjacency over 3 consecutive steps:
+  // diagonal blocks are the (normalized) spatial graph, off-diagonal
+  // blocks connect each node to itself at the adjacent step.
+  {
+    Tensor sym = graph::SymmetricNormalizedAdjacency(context.adjacency);
+    const int64_t n = num_nodes_;
+    std::vector<float> local(9 * n * n, 0.0f);
+    const float* s = sym.data();
+    const int64_t stride = 3 * n;
+    for (int block = 0; block < 3; ++block) {
+      const int64_t offset = block * n;
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          local[(offset + i) * stride + offset + j] = s[i * n + j];
+        }
+      }
+    }
+    for (int block = 0; block + 1 < 3; ++block) {
+      const int64_t a = block * n;
+      const int64_t b = (block + 1) * n;
+      for (int64_t i = 0; i < n; ++i) {
+        local[(a + i) * stride + b + i] = 0.8f;  // forward temporal edge
+        local[(b + i) * stride + a + i] = 0.8f;  // backward temporal edge
+      }
+    }
+    local_adjacency_ =
+        Tensor::FromVector(Shape({stride, stride}), std::move(local));
+  }
+
+  input_embed_ = RegisterModule(
+      "input_embed", std::make_shared<nn::Linear>(2, kDim, &rng));
+
+  auto make_layer = [&](const char* prefix, int count,
+                        std::vector<SyncModule>* layer) {
+    for (int w = 0; w < count; ++w) {
+      SyncModule module;
+      const std::string name = std::string(prefix) + std::to_string(w);
+      module.conv1 = RegisterModule(
+          name + ".conv1", std::make_shared<nn::Linear>(kDim, 2 * kDim, &rng));
+      module.conv2 = RegisterModule(
+          name + ".conv2", std::make_shared<nn::Linear>(kDim, 2 * kDim, &rng));
+      layer->push_back(std::move(module));
+    }
+  };
+  make_layer("l1_", input_len_ - 2, &layer1_);
+  make_layer("l2_", input_len_ - 4, &layer2_);
+
+  const int64_t t_final = input_len_ - 4;
+  for (int t = 0; t < output_len_; ++t) {
+    Head head;
+    head.hidden = RegisterModule(
+        "head" + std::to_string(t) + ".hidden",
+        std::make_shared<nn::Linear>(t_final * kDim, kHeadHidden, &rng));
+    head.out = RegisterModule(
+        "head" + std::to_string(t) + ".out",
+        std::make_shared<nn::Linear>(kHeadHidden, 1, &rng));
+    heads_.push_back(std::move(head));
+  }
+}
+
+Tensor Stsgcn::RunModule(const SyncModule& module, const Tensor& window) const {
+  // GLU graph conv 1.
+  Tensor h = MatMul(local_adjacency_, window);
+  Tensor mixed = module.conv1->Forward(h);
+  Tensor value = mixed.Slice(-1, 0, kDim);
+  Tensor gate = mixed.Slice(-1, kDim, 2 * kDim);
+  h = value * gate.Sigmoid() + window;  // residual
+  // GLU graph conv 2.
+  Tensor h2 = MatMul(local_adjacency_, h);
+  mixed = module.conv2->Forward(h2);
+  value = mixed.Slice(-1, 0, kDim);
+  gate = mixed.Slice(-1, kDim, 2 * kDim);
+  h = value * gate.Sigmoid() + h;
+  // Crop the middle step's nodes.
+  return h.Slice(1, num_nodes_, 2 * num_nodes_);
+}
+
+Tensor Stsgcn::Forward(const Tensor& x, const Tensor& teacher) {
+  (void)teacher;
+  TB_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0);
+
+  Tensor h = input_embed_->Forward(x).Relu();  // [B, T, N, D]
+
+  auto run_layer = [&](const std::vector<SyncModule>& layer,
+                       const Tensor& features) {
+    const int64_t t_len = features.dim(1);
+    std::vector<Tensor> outputs;
+    outputs.reserve(layer.size());
+    for (size_t w = 0; w < layer.size(); ++w) {
+      Tensor window = features.Slice(1, static_cast<int64_t>(w),
+                                     static_cast<int64_t>(w) + 3);
+      // [B, 3, N, D] -> [B, 3N, D]
+      window = window.Reshape(
+          Shape({batch, 3 * num_nodes_, kDim}));
+      outputs.push_back(RunModule(layer[w], window));  // [B, N, D]
+    }
+    (void)t_len;
+    return Stack(outputs, 1);  // [B, T-2, N, D]
+  };
+
+  h = run_layer(layer1_, h);
+  h = run_layer(layer2_, h);  // [B, T-4, N, D]
+
+  // Individual per-horizon heads over flattened (T_final, D) per node.
+  const int64_t t_final = h.dim(1);
+  Tensor features = h.Permute({0, 2, 1, 3})
+                        .Reshape(Shape({batch, num_nodes_, t_final * kDim}));
+  std::vector<Tensor> outputs;
+  outputs.reserve(output_len_);
+  for (int t = 0; t < output_len_; ++t) {
+    Tensor y = heads_[t].out->Forward(
+        heads_[t].hidden->Forward(features).Relu());
+    outputs.push_back(y.Squeeze(2));
+  }
+  return Stack(outputs, 1);
+}
+
+std::unique_ptr<TrafficModel> CreateStsgcn(const ModelContext& context) {
+  return std::make_unique<Stsgcn>(context);
+}
+
+}  // namespace trafficbench::models

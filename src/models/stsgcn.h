@@ -1,0 +1,55 @@
+#ifndef TRAFFICBENCH_MODELS_STSGCN_H_
+#define TRAFFICBENCH_MODELS_STSGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+
+namespace trafficbench::models {
+
+/// STSGCN (Song et al., AAAI 2020): spatial-temporal *synchronous* graph
+/// convolution. Each module operates on a window of 3 consecutive steps
+/// through a localized 3N x 3N adjacency (spatial edges within each step,
+/// temporal self-edges between adjacent steps) and crops the middle step.
+/// Modules are **individual** — not shared across windows — and each of the
+/// 12 output horizons has its own FC head, which is why STSGCN carries the
+/// largest parameter count in Table III.
+class Stsgcn : public TrafficModel {
+ public:
+  explicit Stsgcn(const ModelContext& context);
+
+  Tensor Forward(const Tensor& x, const Tensor& teacher) override;
+  std::string name() const override { return "STSGCN"; }
+
+ private:
+  struct SyncModule {
+    // Two gated graph convolutions on the 3N-node localized graph.
+    std::shared_ptr<nn::Linear> conv1;  // D -> 2D (GLU)
+    std::shared_ptr<nn::Linear> conv2;  // D -> 2D (GLU)
+  };
+
+  /// window: [B, 3N, D] -> cropped middle step [B, N, D].
+  Tensor RunModule(const SyncModule& module, const Tensor& window) const;
+
+  int64_t num_nodes_;
+  int input_len_;
+  int output_len_;
+  Tensor local_adjacency_;  // [3N, 3N]
+
+  std::shared_ptr<nn::Linear> input_embed_;    // 2 -> D
+  std::vector<SyncModule> layer1_;             // T-2 individual modules
+  std::vector<SyncModule> layer2_;             // T-4 individual modules
+  struct Head {
+    std::shared_ptr<nn::Linear> hidden;
+    std::shared_ptr<nn::Linear> out;
+  };
+  std::vector<Head> heads_;  // one per output horizon
+};
+
+std::unique_ptr<TrafficModel> CreateStsgcn(const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_STSGCN_H_

@@ -1,0 +1,66 @@
+#include "src/models/traffic_model.h"
+
+#include "src/util/check.h"
+
+namespace trafficbench::models {
+
+ModelRegistry& ModelRegistry::Instance() {
+  static ModelRegistry* registry = new ModelRegistry();
+  return *registry;
+}
+
+void ModelRegistry::Register(const std::string& name, ModelFactory factory) {
+  TB_CHECK(!Contains(name)) << "duplicate model registration: " << name;
+  factories_.emplace_back(name, std::move(factory));
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<TrafficModel> ModelRegistry::Create(
+    const std::string& name, const ModelContext& context) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory(context);
+  }
+  TB_CHECK(false) << "unknown model: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+ModelContext MakeModelContext(const data::TrafficDataset& dataset,
+                              uint64_t seed) {
+  ModelContext context;
+  context.num_nodes = dataset.num_nodes();
+  context.input_len = dataset.input_len();
+  context.output_len = dataset.output_len();
+  context.adjacency = dataset.network().GaussianAdjacency();
+  context.seed = seed;
+  return context;
+}
+
+std::vector<std::string> PaperModelNames() {
+  return {"STGCN",         "DCRNN",   "ASTGCN", "ST-MetaNet",
+          "Graph-WaveNet", "STG2Seq", "STSGCN", "GMAN"};
+}
+
+std::vector<std::string> BaselineModelNames() {
+  return {"HistoricalAverage", "LastValue"};
+}
+
+std::unique_ptr<TrafficModel> CreateModel(const std::string& name,
+                                          const ModelContext& context) {
+  RegisterBuiltinModels();
+  return ModelRegistry::Instance().Create(name, context);
+}
+
+}  // namespace trafficbench::models

@@ -1,0 +1,92 @@
+#ifndef TRAFFICBENCH_MODELS_TRAFFIC_MODEL_H_
+#define TRAFFICBENCH_MODELS_TRAFFIC_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::models {
+
+/// Common interface of every traffic prediction model in the zoo.
+///
+/// Inputs follow the paper's protocol: T' = 12 historical steps with two
+/// channels (z-scored reading, time of day) map to T = 12 future steps.
+class TrafficModel : public nn::Module {
+ public:
+  /// x: [B, T_in, N, 2]. Returns normalized predictions [B, T_out, N].
+  ///
+  /// `teacher` optionally carries normalized targets [B, T_out, N] for
+  /// sequence-to-sequence teacher forcing; models that use it must fall
+  /// back to autoregressive decoding when it is undefined (evaluation).
+  virtual Tensor Forward(const Tensor& x, const Tensor& teacher) = 0;
+
+  /// Model name as reported in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// False for closed-form baselines (historical average, persistence)
+  /// that are fitted, not trained by gradient descent.
+  virtual bool IsTrainable() const { return true; }
+
+  /// Hook for non-trainable baselines to estimate their statistics from
+  /// the training split. Default: no-op.
+  virtual void Fit(const data::TrafficDataset& dataset) { (void)dataset; }
+};
+
+/// Everything a model constructor needs about its deployment.
+struct ModelContext {
+  /// Number of sensors N.
+  int64_t num_nodes = 0;
+  /// Input/output sequence lengths (both 12 in the paper's protocol).
+  int input_len = 12;
+  int output_len = 12;
+  /// Gaussian-kernel weighted adjacency [N, N].
+  Tensor adjacency;
+  /// Seed for parameter initialization and dropout streams.
+  uint64_t seed = 1;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<TrafficModel>(const ModelContext&)>;
+
+/// Global model registry (names match the paper: "STGCN", "DCRNN", ...).
+class ModelRegistry {
+ public:
+  static ModelRegistry& Instance();
+
+  void Register(const std::string& name, ModelFactory factory);
+  std::unique_ptr<TrafficModel> Create(const std::string& name,
+                                       const ModelContext& context) const;
+  bool Contains(const std::string& name) const;
+  /// Registered names in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  ModelRegistry() = default;
+  std::vector<std::pair<std::string, ModelFactory>> factories_;
+};
+
+/// Builds the ModelContext for a dataset.
+ModelContext MakeModelContext(const data::TrafficDataset& dataset,
+                              uint64_t seed);
+
+/// The eight deep models of the paper, in its presentation order.
+std::vector<std::string> PaperModelNames();
+/// The naive baselines (historical average, last-value persistence).
+std::vector<std::string> BaselineModelNames();
+
+/// Registers all built-in models; idempotent, called by CreateModel and the
+/// experiment binaries.
+void RegisterBuiltinModels();
+
+/// Convenience: RegisterBuiltinModels() + registry lookup.
+std::unique_ptr<TrafficModel> CreateModel(const std::string& name,
+                                          const ModelContext& context);
+
+}  // namespace trafficbench::models
+
+#endif  // TRAFFICBENCH_MODELS_TRAFFIC_MODEL_H_

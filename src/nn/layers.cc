@@ -1,0 +1,205 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::nn {
+
+namespace {
+
+/// Xavier-uniform initialization limit.
+float XavierLimit(int64_t fan_in, int64_t fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+}  // namespace
+
+// ---- Linear -----------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  TB_CHECK_GT(in_features, 0);
+  TB_CHECK_GT(out_features, 0);
+  const float limit = XavierLimit(in_features, out_features);
+  weight_ = RegisterParameter(
+      "weight",
+      Tensor::Rand(Shape({in_features, out_features}), rng, -limit, limit));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({out_features})));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  TB_CHECK(x.defined());
+  TB_CHECK_GE(x.rank(), 1);
+  TB_CHECK_EQ(x.dim(-1), in_features_);
+  Tensor input = x;
+  const bool was_vector = x.rank() == 1;
+  if (was_vector) input = x.Unsqueeze(0);
+  Tensor y = MatMul(input, weight_);
+  if (bias_.defined()) y = y + bias_;
+  if (was_vector) y = y.Squeeze(0);
+  return y;
+}
+
+// ---- Embedding --------------------------------------------------------------
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng* rng) {
+  TB_CHECK_GT(num_embeddings, 0);
+  TB_CHECK_GT(dim, 0);
+  table_ = RegisterParameter(
+      "table", Tensor::Randn(Shape({num_embeddings, dim}), rng, 0.1f));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return IndexSelect(table_, 0, indices);
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t dim, float epsilon)
+    : dim_(dim), epsilon_(epsilon) {
+  TB_CHECK_GT(dim, 0);
+  gain_ = RegisterParameter("gain", Tensor::Ones(Shape({dim})));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({dim})));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  TB_CHECK_EQ(x.dim(-1), dim_);
+  Tensor mean = x.Mean({-1}, /*keepdim=*/true);
+  Tensor centered = x - mean;
+  Tensor variance = (centered * centered).Mean({-1}, /*keepdim=*/true);
+  Tensor inv_std = (variance + epsilon_).Sqrt();
+  return centered / inv_std * gain_ + bias_;
+}
+
+// ---- Dropout -----------------------------------------------------------------
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  TB_CHECK(rate >= 0.0f && rate < 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& x) {
+  if (!training() || rate_ == 0.0f) return x;
+  const float keep = 1.0f - rate_;
+  std::vector<float> mask(x.numel());
+  for (float& m : mask) m = rng_.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  return x * Tensor::FromVector(x.shape(), std::move(mask));
+}
+
+// ---- Conv2dLayer ----------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int kernel_h, int kernel_w, Rng* rng, int stride_h,
+                         int stride_w, int pad_h, int pad_w, int dil_h,
+                         int dil_w, bool use_bias)
+    : stride_h_(stride_h),
+      stride_w_(stride_w),
+      pad_h_(pad_h),
+      pad_w_(pad_w),
+      dil_h_(dil_h),
+      dil_w_(dil_w) {
+  const int64_t fan_in = in_channels * kernel_h * kernel_w;
+  const int64_t fan_out = out_channels * kernel_h * kernel_w;
+  const float limit = XavierLimit(fan_in, fan_out);
+  weight_ = RegisterParameter(
+      "weight", Tensor::Rand(Shape({out_channels, in_channels, kernel_h,
+                                    kernel_w}),
+                             rng, -limit, limit));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape({out_channels})));
+  }
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& x) const {
+  return Conv2d(x, weight_, bias_, stride_h_, stride_w_, pad_h_, pad_w_,
+                dil_h_, dil_w_);
+}
+
+// ---- GRUCell -----------------------------------------------------------------
+
+GRUCell::GRUCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  gates_ = RegisterModule(
+      "gates",
+      std::make_shared<Linear>(input_size + hidden_size, 2 * hidden_size, rng));
+  candidate_ = RegisterModule(
+      "candidate",
+      std::make_shared<Linear>(input_size + hidden_size, hidden_size, rng));
+}
+
+Tensor GRUCell::Forward(const Tensor& x, const Tensor& h) const {
+  TB_CHECK_EQ(x.rank(), 2);
+  TB_CHECK_EQ(h.rank(), 2);
+  TB_CHECK_EQ(x.dim(0), h.dim(0));
+  Tensor xh = Concat({x, h}, 1);
+  Tensor gates = gates_->Forward(xh).Sigmoid();
+  Tensor reset = gates.Slice(1, 0, hidden_size_);
+  Tensor update = gates.Slice(1, hidden_size_, 2 * hidden_size_);
+  Tensor cand = candidate_->Forward(Concat({x, reset * h}, 1)).Tanh();
+  return update * h + (1.0f - update) * cand;
+}
+
+// ---- Attention ----------------------------------------------------------------
+
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v) {
+  TB_CHECK_GE(q.rank(), 2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(q.dim(-1)));
+  Tensor scores = MatMul(q, k.Transpose(-1, -2)) * scale;
+  return MatMul(scores.Softmax(-1), v);
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int num_heads, Rng* rng)
+    : dim_(dim), num_heads_(num_heads) {
+  TB_CHECK_GT(num_heads, 0);
+  TB_CHECK_EQ(dim % num_heads, 0)
+      << "num_heads must divide dim (" << dim << " / " << num_heads << ")";
+  wq_ = RegisterModule("wq", std::make_shared<Linear>(dim, dim, rng));
+  wk_ = RegisterModule("wk", std::make_shared<Linear>(dim, dim, rng));
+  wv_ = RegisterModule("wv", std::make_shared<Linear>(dim, dim, rng));
+  wo_ = RegisterModule("wo", std::make_shared<Linear>(dim, dim, rng));
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& key,
+                                   const Tensor& value) const {
+  TB_CHECK_GE(query.rank(), 2);
+  TB_CHECK_EQ(query.dim(-1), dim_);
+  TB_CHECK_EQ(key.dim(-1), dim_);
+  TB_CHECK_EQ(value.dim(-1), dim_);
+
+  const Shape q_shape = query.shape();
+  const int64_t lq = query.dim(-2);
+  const int64_t lk = key.dim(-2);
+  int64_t batch = 1;
+  for (int i = 0; i < query.rank() - 2; ++i) batch *= query.dim(i);
+  const int64_t dh = dim_ / num_heads_;
+
+  // Split heads: [batch, L, dim] -> [batch * heads, L, dh].
+  auto split_heads = [&](const Tensor& t, int64_t len) {
+    return t.Reshape(Shape({batch, len, num_heads_, dh}))
+        .Permute({0, 2, 1, 3})
+        .Reshape(Shape({batch * num_heads_, len, dh}));
+  };
+
+  Tensor q = split_heads(
+      wq_->Forward(query).Reshape(Shape({batch, lq, dim_})), lq);
+  Tensor k = split_heads(
+      wk_->Forward(key).Reshape(Shape({batch, lk, dim_})), lk);
+  Tensor v = split_heads(
+      wv_->Forward(value).Reshape(Shape({batch, lk, dim_})), lk);
+
+  Tensor attended = ScaledDotProductAttention(q, k, v);
+
+  Tensor merged = attended.Reshape(Shape({batch, num_heads_, lq, dh}))
+                      .Permute({0, 2, 1, 3})
+                      .Reshape(Shape({batch, lq, dim_}));
+
+  std::vector<int64_t> out_dims = q_shape.dims();
+  Tensor out = wo_->Forward(merged);
+  return out.Reshape(Shape(std::move(out_dims)));
+}
+
+}  // namespace trafficbench::nn

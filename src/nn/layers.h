@@ -1,0 +1,129 @@
+#ifndef TRAFFICBENCH_NN_LAYERS_H_
+#define TRAFFICBENCH_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::nn {
+
+/// Affine map y = x W + b applied to the last axis of an arbitrary-rank
+/// input: [..., in] -> [..., out]. Xavier-uniform initialization.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined if !use_bias)
+};
+
+/// Learnable lookup table: indices -> [len(indices), dim] rows.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng* rng);
+
+  /// Returns [indices.size(), dim].
+  Tensor Forward(const std::vector<int64_t>& indices) const;
+
+  /// The full table as a tensor [num_embeddings, dim] (differentiable).
+  Tensor Table() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+/// Layer normalization over the last axis, with learnable gain and bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t dim_;
+  float epsilon_;
+  Tensor gain_;
+  Tensor bias_;
+};
+
+/// Inverted dropout. Identity in eval mode. Holds its own RNG stream so
+/// training runs remain deterministic given the seed.
+class Dropout : public Module {
+ public:
+  Dropout(float rate, uint64_t seed);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  float rate_;
+  Rng rng_;
+};
+
+/// Conv2d module over NCHW input (used as a temporal conv with kernel 1xk).
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int kernel_h,
+              int kernel_w, Rng* rng, int stride_h = 1, int stride_w = 1,
+              int pad_h = 0, int pad_w = 0, int dil_h = 1, int dil_w = 1,
+              bool use_bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  int stride_h_, stride_w_, pad_h_, pad_w_, dil_h_, dil_w_;
+};
+
+/// Gated recurrent unit cell: h' = GRU(x, h). Input [B, in], state [B, hidden].
+class GRUCell : public Module {
+ public:
+  GRUCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::shared_ptr<Linear> gates_;      // produces [B, 2*hidden] (reset, update)
+  std::shared_ptr<Linear> candidate_;  // produces [B, hidden]
+};
+
+/// Scaled dot-product attention: softmax(Q K^T / sqrt(d)) V.
+/// Q: [..., Lq, d], K: [..., Lk, d], V: [..., Lk, dv] with broadcastable
+/// leading axes. Returns [..., Lq, dv].
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v);
+
+/// Multi-head attention over the second-to-last axis.
+/// Input/output [..., L, dim]; `num_heads` must divide `dim`.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t dim, int num_heads, Rng* rng);
+
+  /// Self- or cross-attention; query [..., Lq, dim], key/value [..., Lk, dim].
+  Tensor Forward(const Tensor& query, const Tensor& key,
+                 const Tensor& value) const;
+
+ private:
+  int64_t dim_;
+  int num_heads_;
+  std::shared_ptr<Linear> wq_, wk_, wv_, wo_;
+};
+
+}  // namespace trafficbench::nn
+
+#endif  // TRAFFICBENCH_NN_LAYERS_H_

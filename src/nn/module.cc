@@ -1,0 +1,57 @@
+#include "src/nn/module.h"
+
+#include "src/util/check.h"
+
+namespace trafficbench::nn {
+
+Tensor Module::RegisterParameter(std::string name, Tensor tensor) {
+  TB_CHECK(tensor.defined());
+  tensor.set_requires_grad(true);
+  parameters_.emplace_back(std::move(name), tensor);
+  return parameters_.back().second;
+}
+
+void Module::RegisterModuleImpl(std::string name, std::shared_ptr<Module> m) {
+  TB_CHECK(m != nullptr);
+  children_.emplace_back(std::move(name), std::move(m));
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : parameters_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : NamedParameters()) out.push_back(tensor);
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const Tensor& t : Parameters()) count += t.numel();
+  return count;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+}  // namespace trafficbench::nn

@@ -1,0 +1,65 @@
+#ifndef TRAFFICBENCH_NN_MODULE_H_
+#define TRAFFICBENCH_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::nn {
+
+/// Base class for neural-network components. Provides recursive parameter
+/// registration (for optimizers, counting, and gradient zeroing) and a
+/// training/eval mode flag (for dropout and teacher forcing).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All learnable tensors of this module and its registered children.
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with dotted path names, e.g. "encoder.cell0.weight".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of learnable scalars (the paper's "# of params").
+  int64_t ParameterCount() const;
+
+  /// Zeroes the gradient buffers of all parameters.
+  void ZeroGrad();
+
+  /// Switches train/eval behaviour recursively (dropout etc.).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  Module() = default;
+
+  /// Registers `tensor` as a learnable parameter and returns it (with
+  /// requires_grad set).
+  Tensor RegisterParameter(std::string name, Tensor tensor);
+
+  /// Registers a child module; returns the argument for chaining.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(std::string name, std::shared_ptr<M> m) {
+    RegisterModuleImpl(std::move(name), m);
+    return m;
+  }
+
+ private:
+  void RegisterModuleImpl(std::string name, std::shared_ptr<Module> m);
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> parameters_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace trafficbench::nn
+
+#endif  // TRAFFICBENCH_NN_MODULE_H_

@@ -1,0 +1,104 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace trafficbench::nn {
+
+namespace {
+
+constexpr char kMagic[] = "TBCKPT1\n";
+constexpr size_t kMagicLen = 8;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, kMagicLen);
+  const auto named = module.NamedParameters();
+  WritePod<uint64_t>(out, named.size());
+  for (const auto& [name, tensor] : named) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& dims = tensor.shape().dims();
+    WritePod<uint32_t>(out, static_cast<uint32_t>(dims.size()));
+    for (int64_t d : dims) WritePod<int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument(path + " is not a TrafficBench checkpoint");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+
+  std::map<std::string, Tensor> live;
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    live.emplace(name, tensor);
+  }
+  if (count != live.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(live.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::IoError("corrupt parameter name");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank > 8) {
+      return Status::IoError("corrupt parameter header for " + name);
+    }
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &dims[d]) || dims[d] < 0) {
+        return Status::IoError("corrupt dims for " + name);
+      }
+    }
+    auto it = live.find(name);
+    if (it == live.end()) {
+      return Status::NotFound("module has no parameter named " + name);
+    }
+    const Shape shape(dims);
+    if (shape != it->second.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " + shape.ToString() +
+          " vs module " + it->second.shape().ToString());
+    }
+    in.read(reinterpret_cast<char*>(it->second.data()),
+            static_cast<std::streamsize>(shape.numel() * sizeof(float)));
+    if (!in) return Status::IoError("truncated data for " + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace trafficbench::nn

@@ -1,0 +1,27 @@
+#ifndef TRAFFICBENCH_NN_SERIALIZE_H_
+#define TRAFFICBENCH_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace trafficbench::nn {
+
+/// Writes all named parameters of `module` to a binary checkpoint.
+///
+/// Format (little-endian):
+///   magic "TBCKPT1\n", uint64 parameter count, then per parameter:
+///   uint32 name length, name bytes, uint32 rank, int64 dims[rank],
+///   float32 data[numel].
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads a checkpoint previously written by SaveCheckpoint into `module`.
+/// Every parameter in the file must exist in the module with an identical
+/// shape, and vice versa — partial loads are rejected so silently-missing
+/// weights cannot corrupt an experiment.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+}  // namespace trafficbench::nn
+
+#endif  // TRAFFICBENCH_NN_SERIALIZE_H_

@@ -1,0 +1,114 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::optim {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    TB_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameters must require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  TB_CHECK_GT(max_norm, 0.0);
+  double total = 0.0;
+  for (const Tensor& p : parameters_) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (Tensor& p : parameters_) {
+      auto& grad = p.impl()->grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, double learning_rate, double momentum)
+    : Optimizer(std::move(parameters)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  velocity_.resize(parameters_.size());
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(learning_rate_);
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    auto impl = parameters_[i].impl();
+    if (impl->grad.empty()) continue;
+    if (momentum_ > 0.0) {
+      if (velocity_[i].empty()) velocity_[i].assign(impl->data.size(), 0.0f);
+      const float mu = static_cast<float>(momentum_);
+      for (size_t j = 0; j < impl->data.size(); ++j) {
+        velocity_[i][j] = mu * velocity_[i][j] + impl->grad[j];
+        impl->data[j] -= lr * velocity_[i][j];
+      }
+    } else {
+      for (size_t j = 0; j < impl->data.size(); ++j) {
+        impl->data[j] -= lr * impl->grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, const AdamOptions& options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  learning_rate_ = options.learning_rate;
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double beta1 = options_.beta1;
+  const double beta2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2, static_cast<double>(step_count_));
+  const double lr = learning_rate_;
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    auto impl = parameters_[i].impl();
+    if (impl->grad.empty()) continue;
+    if (m_[i].empty()) {
+      m_[i].assign(impl->data.size(), 0.0f);
+      v_[i].assign(impl->data.size(), 0.0f);
+    }
+    for (size_t j = 0; j < impl->data.size(); ++j) {
+      const double g = impl->grad[j];
+      m_[i][j] = static_cast<float>(beta1 * m_[i][j] + (1.0 - beta1) * g);
+      v_[i][j] = static_cast<float>(beta2 * v_[i][j] + (1.0 - beta2) * g * g);
+      const double m_hat = m_[i][j] / bias1;
+      const double v_hat = v_[i][j] / bias2;
+      double update = lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      if (options_.weight_decay > 0.0) {
+        update += lr * options_.weight_decay * impl->data[j];
+      }
+      impl->data[j] -= static_cast<float>(update);
+    }
+  }
+}
+
+StepLrSchedule::StepLrSchedule(Optimizer* optimizer, int step_size,
+                               double gamma)
+    : optimizer_(optimizer), step_size_(step_size), gamma_(gamma) {
+  TB_CHECK(optimizer != nullptr);
+  TB_CHECK_GT(step_size, 0);
+}
+
+void StepLrSchedule::EpochEnd() {
+  ++epoch_;
+  if (epoch_ % step_size_ == 0) {
+    optimizer_->set_learning_rate(optimizer_->learning_rate() * gamma_);
+  }
+}
+
+}  // namespace trafficbench::optim

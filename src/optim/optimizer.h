@@ -1,0 +1,94 @@
+#ifndef TRAFFICBENCH_OPTIM_OPTIMIZER_H_
+#define TRAFFICBENCH_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::optim {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Scales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  /// Current learning rate.
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+  double learning_rate_ = 1e-3;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, double learning_rate,
+      double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional decoupled weight
+/// decay; the models in this library all train with Adam, as in the paper's
+/// original implementations.
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, const AdamOptions& options);
+
+  void Step() override;
+
+ private:
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Multiplies the learning rate by `gamma` every `step_size` epochs.
+class StepLrSchedule {
+ public:
+  StepLrSchedule(Optimizer* optimizer, int step_size, double gamma);
+
+  /// Call once per epoch (after the epoch completes).
+  void EpochEnd();
+
+  int epoch() const { return epoch_; }
+
+ private:
+  Optimizer* optimizer_;
+  int step_size_;
+  double gamma_;
+  int epoch_ = 0;
+};
+
+}  // namespace trafficbench::optim
+
+#endif  // TRAFFICBENCH_OPTIM_OPTIMIZER_H_

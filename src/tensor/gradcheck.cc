@@ -1,0 +1,60 @@
+#include "src/tensor/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace trafficbench {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Tensor& t : inputs) t.ZeroGrad();
+  Tensor loss = fn(inputs);
+  TB_CHECK_EQ(loss.numel(), 1) << "gradcheck requires a scalar loss";
+  loss.Backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    TB_CHECK(t.requires_grad());
+    std::vector<float> g = t.grad();
+    if (g.empty()) g.assign(t.numel(), 0.0f);
+    analytic.push_back(std::move(g));
+  }
+
+  // Numerical gradients by central differences.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    float* data = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + static_cast<float>(epsilon);
+      const double up = fn(inputs).Item();
+      data[i] = saved - static_cast<float>(epsilon);
+      const double down = fn(inputs).Item();
+      data[i] = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      const double a = analytic[ti][i];
+      const double abs_err = std::fabs(a - numeric);
+      const double denom = std::max(std::fabs(a), std::fabs(numeric));
+      const double rel_err = denom > 1e-8 ? abs_err / denom : 0.0;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (std::min(abs_err, rel_err) > tolerance && result.passed) {
+        result.passed = false;
+        std::ostringstream out;
+        out << "input " << ti << " elem " << i << ": analytic " << a
+            << " vs numeric " << numeric;
+        result.detail = out.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace trafficbench

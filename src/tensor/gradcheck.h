@@ -1,0 +1,33 @@
+#ifndef TRAFFICBENCH_TENSOR_GRADCHECK_H_
+#define TRAFFICBENCH_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench {
+
+/// Result of a numerical gradient check.
+struct GradCheckResult {
+  bool passed = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  // first failing entry, if any
+};
+
+/// Verifies reverse-mode gradients against central finite differences.
+///
+/// `fn` must map the inputs to a scalar tensor. Each input is perturbed
+/// elementwise with step `epsilon`; a mismatch beyond `tolerance`
+/// (on min(abs err, rel err)) fails the check. Inputs must already have
+/// requires_grad set.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-3,
+    double tolerance = 2e-2);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_GRADCHECK_H_

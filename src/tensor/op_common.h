@@ -1,0 +1,36 @@
+#ifndef TRAFFICBENCH_TENSOR_OP_COMMON_H_
+#define TRAFFICBENCH_TENSOR_OP_COMMON_H_
+
+// Internal helpers shared by the op library. Not part of the public API.
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::internal_tensor {
+
+/// Creates an op output: wraps `data` with `shape`, and if grad mode is on
+/// and any input requires grad, wires `backward` into the autograd graph.
+Tensor MakeOp(Shape shape, std::vector<float> data,
+              const std::vector<Tensor>& inputs,
+              std::function<void(TensorImpl&)> backward);
+
+/// Accumulates `g` (same numel) into `t`'s grad buffer if it requires grad.
+void AccumulateGrad(TensorImpl* t, const std::vector<float>& g);
+
+/// Sums a gradient of shape `from` down to shape `to` (undoing broadcast).
+std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
+                                     const Shape& from, const Shape& to);
+
+/// Input strides aligned to an output of rank `out_rank`, with 0 strides on
+/// broadcast axes. Used by the generic broadcast iterator.
+std::vector<int64_t> BroadcastStrides(const Shape& in, int out_rank,
+                                      const std::vector<int64_t>& out_dims);
+
+}  // namespace trafficbench::internal_tensor
+
+#endif  // TRAFFICBENCH_TENSOR_OP_COMMON_H_

@@ -1,0 +1,930 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/tensor/op_common.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+
+namespace trafficbench {
+
+namespace {
+
+using internal_tensor::AccumulateGrad;
+using internal_tensor::BroadcastStrides;
+using internal_tensor::MakeOp;
+using internal_tensor::ReduceGradToShape;
+using internal_tensor::TensorImpl;
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Materializes `t` broadcast to `target` as a flat buffer.
+std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t.impl()->data;
+  const std::vector<int64_t>& out_dims = target.dims();
+  const int out_rank = target.rank();
+  const std::vector<int64_t> strides =
+      BroadcastStrides(t.shape(), out_rank, out_dims);
+  const int64_t n = target.numel();
+  std::vector<float> out(n);
+  const float* src = t.data();
+  std::vector<int64_t> index(out_rank, 0);
+  int64_t offset = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    out[linear] = src[offset];
+    for (int axis = out_rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      offset += strides[axis];
+      if (index[axis] < out_dims[axis]) break;
+      offset -= strides[axis] * out_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  return out;
+}
+
+// ---- Generic unary op -------------------------------------------------------
+
+/// fwd(x) -> y; dydx(x, y) -> local derivative.
+template <typename Fwd, typename Dydx>
+Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
+  TB_CHECK(x.defined());
+  const std::vector<float>& xd = x.impl()->data;
+  std::vector<float> out(xd.size());
+  for (size_t i = 0; i < xd.size(); ++i) out[i] = fwd(xd[i]);
+  ImplPtr xi = x.impl();
+  return MakeOp(x.shape(), std::move(out), {x},
+                [xi, dydx](TensorImpl& self) {
+                  std::vector<float> gx(xi->data.size());
+                  for (size_t i = 0; i < gx.size(); ++i) {
+                    gx[i] = dydx(xi->data[i], self.data[i]) * self.grad[i];
+                  }
+                  AccumulateGrad(xi.get(), gx);
+                });
+}
+
+// ---- Generic broadcasting binary op -----------------------------------------
+
+/// fwd(a, b) -> out; dfda(a, b) and dfdb(a, b) give local derivatives.
+template <typename Fwd, typename Dfda, typename Dfdb>
+Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
+              Dfdb dfdb) {
+  TB_CHECK(a.defined() && b.defined());
+  const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  std::vector<float> av = ExpandToShape(a, out_shape);
+  std::vector<float> bv = ExpandToShape(b, out_shape);
+  const int64_t n = out_shape.numel();
+  std::vector<float> out(n);
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(av[i], bv[i]);
+  ImplPtr ai = a.impl();
+  ImplPtr bi = b.impl();
+  const Shape a_shape = a.shape();
+  const Shape b_shape = b.shape();
+  return MakeOp(
+      out_shape, std::move(out), {a, b},
+      [ai, bi, av = std::move(av), bv = std::move(bv), a_shape, b_shape,
+       out_shape, dfda, dfdb](TensorImpl& self) {
+        const int64_t n = static_cast<int64_t>(self.grad.size());
+        if (ai->requires_grad) {
+          std::vector<float> ga(n);
+          for (int64_t i = 0; i < n; ++i) {
+            ga[i] = dfda(av[i], bv[i]) * self.grad[i];
+          }
+          AccumulateGrad(ai.get(),
+                         ReduceGradToShape(ga, out_shape, a_shape));
+        }
+        if (bi->requires_grad) {
+          std::vector<float> gb(n);
+          for (int64_t i = 0; i < n; ++i) {
+            gb[i] = dfdb(av[i], bv[i]) * self.grad[i];
+          }
+          AccumulateGrad(bi.get(),
+                         ReduceGradToShape(gb, out_shape, b_shape));
+        }
+      });
+}
+
+// ---- GEMM kernels ------------------------------------------------------------
+
+/// C[M,N] += A[M,K] * B[K,N]
+void GemmAccNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[M,K] += A[M,N] * B[K,N]^T  (i.e. C = A * B^T)
+void GemmAccNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+/// C[K,N] += A[M,K]^T * B[M,N]  (i.e. C = A^T * B)
+void GemmAccTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Per-batch float offsets for a broadcast batched matmul operand.
+std::vector<int64_t> BatchOffsets(const Shape& operand_batch,
+                                  const Shape& out_batch,
+                                  int64_t block_elems) {
+  const int64_t num_batches = out_batch.numel();
+  std::vector<int64_t> offsets(num_batches, 0);
+  if (out_batch.rank() == 0) return offsets;
+  const std::vector<int64_t> strides = BroadcastStrides(
+      operand_batch, out_batch.rank(), out_batch.dims());
+  const std::vector<int64_t>& out_dims = out_batch.dims();
+  std::vector<int64_t> index(out_batch.rank(), 0);
+  int64_t offset = 0;
+  for (int64_t linear = 0; linear < num_batches; ++linear) {
+    offsets[linear] = offset * block_elems;
+    for (int axis = out_batch.rank() - 1; axis >= 0; --axis) {
+      ++index[axis];
+      offset += strides[axis];
+      if (index[axis] < out_dims[axis]) break;
+      offset -= strides[axis] * out_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  return offsets;
+}
+
+Shape BatchShapeOf(const Shape& s) {
+  std::vector<int64_t> dims(s.dims().begin(), s.dims().end() - 2);
+  return Shape(std::move(dims));
+}
+
+/// Decomposes a shape around `axis` into (outer, mid, inner) extents.
+void OuterMidInner(const Shape& shape, int axis, int64_t* outer, int64_t* mid,
+                   int64_t* inner) {
+  *outer = 1;
+  *mid = shape.dims()[axis];
+  *inner = 1;
+  for (int i = 0; i < axis; ++i) *outer *= shape.dims()[i];
+  for (int i = axis + 1; i < shape.rank(); ++i) *inner *= shape.dims()[i];
+}
+
+std::vector<float> PermuteData(const std::vector<float>& data,
+                               const Shape& shape,
+                               const std::vector<int>& perm) {
+  const int rank = shape.rank();
+  std::vector<int64_t> out_dims(rank);
+  for (int i = 0; i < rank; ++i) out_dims[i] = shape.dims()[perm[i]];
+  const std::vector<int64_t> in_strides = shape.Strides();
+  // stride of output axis i in the input buffer
+  std::vector<int64_t> strides(rank);
+  for (int i = 0; i < rank; ++i) strides[i] = in_strides[perm[i]];
+  const int64_t n = shape.numel();
+  std::vector<float> out(n);
+  std::vector<int64_t> index(rank, 0);
+  int64_t offset = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    out[linear] = data[offset];
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      offset += strides[axis];
+      if (index[axis] < out_dims[axis]) break;
+      offset -= strides[axis] * out_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Elementwise unary ---------------------------------------------------------
+
+Tensor Tensor::Neg() const {
+  return Unary(
+      *this, [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor Tensor::Exp() const {
+  return Unary(
+      *this, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Tensor::Log() const {
+  return Unary(
+      *this, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Tensor::Sqrt() const {
+  return Unary(
+      *this, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+Tensor Tensor::Abs() const {
+  return Unary(
+      *this, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Tensor::Relu() const {
+  return Unary(
+      *this, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tensor::LeakyRelu(float negative_slope) const {
+  return Unary(
+      *this,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Tensor::Sigmoid() const {
+  return Unary(
+      *this,
+      [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tensor::Tanh() const {
+  return Unary(
+      *this, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Tensor::Pow(float exponent) const {
+  return Unary(
+      *this,
+      [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float) {
+        return exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+// ---- Binary -----------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x > y ? x : y; },
+      [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
+      [](float x, float y) { return x >= y ? 0.0f : 1.0f; });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return Binary(
+      a, b, [](float x, float y) { return x < y ? x : y; },
+      [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
+      [](float x, float y) { return x <= y ? 0.0f : 1.0f; });
+}
+
+Tensor operator+(const Tensor& a, float s) { return Add(a, Tensor::Scalar(s)); }
+Tensor operator+(float s, const Tensor& a) { return Add(Tensor::Scalar(s), a); }
+Tensor operator-(const Tensor& a, float s) { return Sub(a, Tensor::Scalar(s)); }
+Tensor operator-(float s, const Tensor& a) { return Sub(Tensor::Scalar(s), a); }
+Tensor operator*(const Tensor& a, float s) { return Mul(a, Tensor::Scalar(s)); }
+Tensor operator*(float s, const Tensor& a) { return Mul(Tensor::Scalar(s), a); }
+Tensor operator/(const Tensor& a, float s) { return Div(a, Tensor::Scalar(s)); }
+Tensor operator/(float s, const Tensor& a) { return Div(Tensor::Scalar(s), a); }
+
+// ---- Shape ops ----------------------------------------------------------------------
+
+Tensor Tensor::Reshape(const Shape& new_shape) const {
+  TB_CHECK(defined());
+  TB_CHECK_EQ(new_shape.numel(), numel())
+      << "reshape " << shape().ToString() << " -> " << new_shape.ToString();
+  ImplPtr self = impl();
+  return MakeOp(new_shape, impl()->data, {*this},
+                [self](TensorImpl& node) {
+                  AccumulateGrad(self.get(), node.grad);
+                });
+}
+
+Tensor Tensor::Unsqueeze(int axis) const {
+  TB_CHECK(defined());
+  const int r = rank();
+  TB_CHECK(axis >= -(r + 1) && axis <= r);
+  if (axis < 0) axis += r + 1;
+  std::vector<int64_t> dims = shape().dims();
+  dims.insert(dims.begin() + axis, 1);
+  return Reshape(Shape(std::move(dims)));
+}
+
+Tensor Tensor::Squeeze(int axis) const {
+  TB_CHECK(defined());
+  const int a = shape().CanonicalAxis(axis);
+  TB_CHECK_EQ(shape().dims()[a], 1);
+  std::vector<int64_t> dims = shape().dims();
+  dims.erase(dims.begin() + a);
+  return Reshape(Shape(std::move(dims)));
+}
+
+Tensor Tensor::Permute(const std::vector<int>& perm) const {
+  TB_CHECK(defined());
+  const int r = rank();
+  TB_CHECK_EQ(static_cast<int>(perm.size()), r);
+  std::vector<bool> seen(r, false);
+  for (int p : perm) {
+    TB_CHECK(p >= 0 && p < r && !seen[p]) << "invalid permutation";
+    seen[p] = true;
+  }
+  std::vector<int64_t> out_dims(r);
+  for (int i = 0; i < r; ++i) out_dims[i] = shape().dims()[perm[i]];
+  std::vector<float> out = PermuteData(impl()->data, shape(), perm);
+  // Inverse permutation maps output axes back to input axes.
+  std::vector<int> inverse(r);
+  for (int i = 0; i < r; ++i) inverse[perm[i]] = i;
+  ImplPtr self = impl();
+  Shape out_shape(std::move(out_dims));
+  return MakeOp(out_shape, std::move(out), {*this},
+                [self, inverse, out_shape](TensorImpl& node) {
+                  AccumulateGrad(self.get(),
+                                 PermuteData(node.grad, out_shape, inverse));
+                });
+}
+
+Tensor Tensor::Transpose(int axis_a, int axis_b) const {
+  const int a = shape().CanonicalAxis(axis_a);
+  const int b = shape().CanonicalAxis(axis_b);
+  std::vector<int> perm(rank());
+  for (int i = 0; i < rank(); ++i) perm[i] = i;
+  std::swap(perm[a], perm[b]);
+  return Permute(perm);
+}
+
+Tensor Tensor::Slice(int axis, int64_t start, int64_t end) const {
+  TB_CHECK(defined());
+  const int a = shape().CanonicalAxis(axis);
+  const int64_t extent = shape().dims()[a];
+  TB_CHECK(start >= 0 && start <= end && end <= extent)
+      << "slice [" << start << ", " << end << ") on axis of extent " << extent;
+  int64_t outer, mid, inner;
+  OuterMidInner(shape(), a, &outer, &mid, &inner);
+  const int64_t out_mid = end - start;
+  std::vector<int64_t> out_dims = shape().dims();
+  out_dims[a] = out_mid;
+  std::vector<float> out(outer * out_mid * inner);
+  const float* src = data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + o * out_mid * inner,
+                src + (o * mid + start) * inner,
+                sizeof(float) * out_mid * inner);
+  }
+  ImplPtr self = impl();
+  return MakeOp(Shape(std::move(out_dims)), std::move(out), {*this},
+                [self, outer, mid, inner, out_mid, start](TensorImpl& node) {
+                  if (!self->requires_grad) return;
+                  self->EnsureGrad();
+                  for (int64_t o = 0; o < outer; ++o) {
+                    float* dst = self->grad.data() + (o * mid + start) * inner;
+                    const float* g = node.grad.data() + o * out_mid * inner;
+                    for (int64_t i = 0; i < out_mid * inner; ++i) dst[i] += g[i];
+                  }
+                });
+}
+
+Tensor Tensor::BroadcastTo(const Shape& target) const {
+  TB_CHECK(defined());
+  TB_CHECK(Shape::BroadcastsTo(shape(), target))
+      << shape().ToString() << " does not broadcast to " << target.ToString();
+  std::vector<float> out = ExpandToShape(*this, target);
+  ImplPtr self = impl();
+  const Shape in_shape = shape();
+  return MakeOp(target, std::move(out), {*this},
+                [self, in_shape, target](TensorImpl& node) {
+                  AccumulateGrad(
+                      self.get(),
+                      ReduceGradToShape(node.grad, target, in_shape));
+                });
+}
+
+// ---- Reductions ------------------------------------------------------------------------
+
+namespace {
+
+/// Sum with keepdim=true over canonicalized, deduplicated axes.
+Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
+  const Shape& in_shape = t.shape();
+  std::vector<bool> reduced(in_shape.rank(), false);
+  for (int axis : axes) reduced[in_shape.CanonicalAxis(axis)] = true;
+  std::vector<int64_t> out_dims = in_shape.dims();
+  for (int i = 0; i < in_shape.rank(); ++i) {
+    if (reduced[i]) out_dims[i] = 1;
+  }
+  Shape out_shape(out_dims);
+  // Strides into the output buffer, 0 along reduced axes.
+  const std::vector<int64_t> out_strides =
+      BroadcastStrides(out_shape, in_shape.rank(), in_shape.dims());
+  const int64_t n = in_shape.numel();
+  std::vector<float> out(out_shape.numel(), 0.0f);
+  const float* src = t.data();
+  const std::vector<int64_t>& in_dims = in_shape.dims();
+  std::vector<int64_t> index(in_shape.rank(), 0);
+  int64_t offset = 0;
+  for (int64_t linear = 0; linear < n; ++linear) {
+    out[offset] += src[linear];
+    for (int axis = in_shape.rank() - 1; axis >= 0; --axis) {
+      ++index[axis];
+      offset += out_strides[axis];
+      if (index[axis] < in_dims[axis]) break;
+      offset -= out_strides[axis] * in_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  ImplPtr self = t.impl();
+  return MakeOp(out_shape, std::move(out), {t},
+                [self, in_shape, out_shape](TensorImpl& node) {
+                  // Each input element receives the grad of its output cell.
+                  Tensor g = Tensor::FromVector(out_shape, node.grad);
+                  AccumulateGrad(self.get(), ExpandToShape(g, in_shape));
+                });
+}
+
+}  // namespace
+
+Tensor Tensor::Sum(const std::vector<int>& axes, bool keepdim) const {
+  TB_CHECK(defined());
+  TB_CHECK(!axes.empty());
+  Tensor result = SumKeepdim(*this, axes);
+  if (keepdim) return result;
+  std::vector<bool> reduced(rank(), false);
+  for (int axis : axes) reduced[shape().CanonicalAxis(axis)] = true;
+  std::vector<int64_t> dims;
+  for (int i = 0; i < rank(); ++i) {
+    if (!reduced[i]) dims.push_back(shape().dims()[i]);
+  }
+  return result.Reshape(Shape(std::move(dims)));
+}
+
+Tensor Tensor::Mean(const std::vector<int>& axes, bool keepdim) const {
+  TB_CHECK(defined());
+  int64_t count = 1;
+  std::vector<bool> reduced(rank(), false);
+  for (int axis : axes) {
+    const int a = shape().CanonicalAxis(axis);
+    if (!reduced[a]) count *= shape().dims()[a];
+    reduced[a] = true;
+  }
+  return Sum(axes, keepdim) * (1.0f / static_cast<float>(count));
+}
+
+Tensor Tensor::SumAll() const {
+  TB_CHECK(defined());
+  if (rank() == 0) return *this;
+  std::vector<int> axes(rank());
+  for (int i = 0; i < rank(); ++i) axes[i] = i;
+  return Sum(axes, /*keepdim=*/false);
+}
+
+Tensor Tensor::MeanAll() const {
+  TB_CHECK(defined());
+  if (rank() == 0) return *this;
+  return SumAll() * (1.0f / static_cast<float>(numel()));
+}
+
+// ---- Softmax ----------------------------------------------------------------------------
+
+Tensor Tensor::Softmax(int axis) const {
+  TB_CHECK(defined());
+  const int a = shape().CanonicalAxis(axis);
+  int64_t outer, mid, inner;
+  OuterMidInner(shape(), a, &outer, &mid, &inner);
+  const float* src = data();
+  std::vector<float> out(numel());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      const int64_t base = o * mid * inner + in;
+      float max_val = src[base];
+      for (int64_t m = 1; m < mid; ++m) {
+        max_val = std::max(max_val, src[base + m * inner]);
+      }
+      float denom = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) {
+        const float e = std::exp(src[base + m * inner] - max_val);
+        out[base + m * inner] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t m = 0; m < mid; ++m) out[base + m * inner] *= inv;
+    }
+  }
+  ImplPtr self = impl();
+  return MakeOp(
+      shape(), std::move(out), {*this},
+      [self, outer, mid, inner](TensorImpl& node) {
+        if (!self->requires_grad) return;
+        // dx = y * (dy - sum(dy * y over the softmax axis))
+        std::vector<float> gx(node.data.size());
+        const float* y = node.data.data();
+        const float* gy = node.grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t in = 0; in < inner; ++in) {
+            const int64_t base = o * mid * inner + in;
+            float dot = 0.0f;
+            for (int64_t m = 0; m < mid; ++m) {
+              const int64_t idx = base + m * inner;
+              dot += gy[idx] * y[idx];
+            }
+            for (int64_t m = 0; m < mid; ++m) {
+              const int64_t idx = base + m * inner;
+              gx[idx] = y[idx] * (gy[idx] - dot);
+            }
+          }
+        }
+        AccumulateGrad(self.get(), gx);
+      });
+}
+
+// ---- MatMul -------------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TB_CHECK(a.defined() && b.defined());
+  TB_CHECK_GE(a.rank(), 2);
+  TB_CHECK_GE(b.rank(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t kb = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  TB_CHECK_EQ(k, kb) << "matmul inner dims: " << a.shape().ToString() << " x "
+                     << b.shape().ToString();
+  const Shape a_batch = BatchShapeOf(a.shape());
+  const Shape b_batch = BatchShapeOf(b.shape());
+  const Shape out_batch = Shape::Broadcast(a_batch, b_batch);
+  std::vector<int64_t> out_dims = out_batch.dims();
+  out_dims.push_back(m);
+  out_dims.push_back(n);
+  Shape out_shape(std::move(out_dims));
+
+  const std::vector<int64_t> a_offsets = BatchOffsets(a_batch, out_batch, m * k);
+  const std::vector<int64_t> b_offsets = BatchOffsets(b_batch, out_batch, k * n);
+  const int64_t num_batches = out_batch.numel();
+
+  std::vector<float> out(out_shape.numel(), 0.0f);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t batch = 0; batch < num_batches; ++batch) {
+    GemmAccNN(ad + a_offsets[batch], bd + b_offsets[batch],
+              out.data() + batch * m * n, m, k, n);
+  }
+
+  ImplPtr ai = a.impl();
+  ImplPtr bi = b.impl();
+  return MakeOp(
+      out_shape, std::move(out), {a, b},
+      [ai, bi, a_offsets, b_offsets, num_batches, m, k, n](TensorImpl& node) {
+        const float* gout = node.grad.data();
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          for (int64_t batch = 0; batch < num_batches; ++batch) {
+            // dA = dC * B^T
+            GemmAccNT(gout + batch * m * n, bi->data.data() + b_offsets[batch],
+                      ai->grad.data() + a_offsets[batch], m, n, k);
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int64_t batch = 0; batch < num_batches; ++batch) {
+            // dB = A^T * dC
+            GemmAccTN(ai->data.data() + a_offsets[batch], gout + batch * m * n,
+                      bi->grad.data() + b_offsets[batch], m, k, n);
+          }
+        }
+      });
+}
+
+// ---- Structural ----------------------------------------------------------------------------
+
+Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
+  TB_CHECK(!tensors.empty());
+  const Shape& first = tensors[0].shape();
+  const int a = first.CanonicalAxis(axis);
+  int64_t total_mid = 0;
+  for (const Tensor& t : tensors) {
+    TB_CHECK_EQ(t.rank(), first.rank());
+    for (int i = 0; i < first.rank(); ++i) {
+      if (i != a) {
+        TB_CHECK_EQ(t.shape().dims()[i], first.dims()[i])
+            << "concat shape mismatch on axis " << i;
+      }
+    }
+    total_mid += t.shape().dims()[a];
+  }
+  std::vector<int64_t> out_dims = first.dims();
+  out_dims[a] = total_mid;
+  Shape out_shape(std::move(out_dims));
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < a; ++i) outer *= first.dims()[i];
+  for (int i = a + 1; i < first.rank(); ++i) inner *= first.dims()[i];
+
+  std::vector<float> out(out_shape.numel());
+  std::vector<int64_t> mid_offsets(tensors.size());
+  {
+    int64_t acc = 0;
+    for (size_t t = 0; t < tensors.size(); ++t) {
+      mid_offsets[t] = acc;
+      acc += tensors[t].shape().dims()[a];
+    }
+  }
+  for (size_t t = 0; t < tensors.size(); ++t) {
+    const int64_t mid = tensors[t].shape().dims()[a];
+    const float* src = tensors[t].data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out.data() + (o * total_mid + mid_offsets[t]) * inner,
+                  src + o * mid * inner, sizeof(float) * mid * inner);
+    }
+  }
+
+  std::vector<ImplPtr> impls;
+  impls.reserve(tensors.size());
+  for (const Tensor& t : tensors) impls.push_back(t.impl());
+  std::vector<int64_t> mids;
+  mids.reserve(tensors.size());
+  for (const Tensor& t : tensors) mids.push_back(t.shape().dims()[a]);
+
+  return MakeOp(out_shape, std::move(out), tensors,
+                [impls, mids, mid_offsets, outer, inner,
+                 total_mid](TensorImpl& node) {
+                  for (size_t t = 0; t < impls.size(); ++t) {
+                    TensorImpl* dst = impls[t].get();
+                    if (!dst->requires_grad) continue;
+                    dst->EnsureGrad();
+                    const int64_t mid = mids[t];
+                    for (int64_t o = 0; o < outer; ++o) {
+                      const float* g = node.grad.data() +
+                                       (o * total_mid + mid_offsets[t]) * inner;
+                      float* gd = dst->grad.data() + o * mid * inner;
+                      for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
+                    }
+                  }
+                });
+}
+
+Tensor Stack(const std::vector<Tensor>& tensors, int axis) {
+  TB_CHECK(!tensors.empty());
+  std::vector<Tensor> unsqueezed;
+  unsqueezed.reserve(tensors.size());
+  for (const Tensor& t : tensors) unsqueezed.push_back(t.Unsqueeze(axis));
+  return Concat(unsqueezed, axis);
+}
+
+Tensor Pad(const Tensor& t, int axis, int64_t before, int64_t after) {
+  TB_CHECK(t.defined());
+  TB_CHECK_GE(before, 0);
+  TB_CHECK_GE(after, 0);
+  const int a = t.shape().CanonicalAxis(axis);
+  if (before == 0 && after == 0) return t.Reshape(t.shape());
+  int64_t outer, mid, inner;
+  OuterMidInner(t.shape(), a, &outer, &mid, &inner);
+  const int64_t out_mid = mid + before + after;
+  std::vector<int64_t> out_dims = t.shape().dims();
+  out_dims[a] = out_mid;
+  Shape out_shape(std::move(out_dims));
+  std::vector<float> out(out_shape.numel(), 0.0f);
+  const float* src = t.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + (o * out_mid + before) * inner,
+                src + o * mid * inner, sizeof(float) * mid * inner);
+  }
+  ImplPtr self = t.impl();
+  return MakeOp(out_shape, std::move(out), {t},
+                [self, outer, mid, inner, out_mid, before](TensorImpl& node) {
+                  if (!self->requires_grad) return;
+                  self->EnsureGrad();
+                  for (int64_t o = 0; o < outer; ++o) {
+                    const float* g =
+                        node.grad.data() + (o * out_mid + before) * inner;
+                    float* gd = self->grad.data() + o * mid * inner;
+                    for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
+                  }
+                });
+}
+
+Tensor IndexSelect(const Tensor& t, int axis,
+                   const std::vector<int64_t>& indices) {
+  TB_CHECK(t.defined());
+  const int a = t.shape().CanonicalAxis(axis);
+  int64_t outer, mid, inner;
+  OuterMidInner(t.shape(), a, &outer, &mid, &inner);
+  for (int64_t idx : indices) {
+    TB_CHECK(idx >= 0 && idx < mid) << "index " << idx << " out of range";
+  }
+  const int64_t out_mid = static_cast<int64_t>(indices.size());
+  std::vector<int64_t> out_dims = t.shape().dims();
+  out_dims[a] = out_mid;
+  Shape out_shape(std::move(out_dims));
+  std::vector<float> out(out_shape.numel());
+  const float* src = t.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < out_mid; ++j) {
+      std::memcpy(out.data() + (o * out_mid + j) * inner,
+                  src + (o * mid + indices[j]) * inner,
+                  sizeof(float) * inner);
+    }
+  }
+  ImplPtr self = t.impl();
+  return MakeOp(out_shape, std::move(out), {t},
+                [self, indices, outer, mid, inner, out_mid](TensorImpl& node) {
+                  if (!self->requires_grad) return;
+                  self->EnsureGrad();
+                  for (int64_t o = 0; o < outer; ++o) {
+                    for (int64_t j = 0; j < out_mid; ++j) {
+                      const float* g =
+                          node.grad.data() + (o * out_mid + j) * inner;
+                      float* gd =
+                          self->grad.data() + (o * mid + indices[j]) * inner;
+                      for (int64_t i = 0; i < inner; ++i) gd[i] += g[i];
+                    }
+                  }
+                });
+}
+
+// ---- Conv2d --------------------------------------------------------------------------------
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int stride_h, int stride_w, int pad_h, int pad_w, int dil_h,
+              int dil_w) {
+  TB_CHECK(input.defined() && weight.defined());
+  TB_CHECK_EQ(input.rank(), 4);
+  TB_CHECK_EQ(weight.rank(), 4);
+  const int64_t batch = input.dim(0);
+  const int64_t c_in = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t c_out = weight.dim(0);
+  TB_CHECK_EQ(weight.dim(1), c_in);
+  const int64_t kh = weight.dim(2);
+  const int64_t kw = weight.dim(3);
+  if (bias.defined()) {
+    TB_CHECK_EQ(bias.numel(), c_out);
+  }
+  const int64_t h_out = (h + 2 * pad_h - dil_h * (kh - 1) - 1) / stride_h + 1;
+  const int64_t w_out = (w + 2 * pad_w - dil_w * (kw - 1) - 1) / stride_w + 1;
+  TB_CHECK_GT(h_out, 0);
+  TB_CHECK_GT(w_out, 0);
+
+  Shape out_shape({batch, c_out, h_out, w_out});
+  std::vector<float> out(out_shape.numel(), 0.0f);
+  const float* in_data = input.data();
+  const float* w_data = weight.data();
+
+  if (bias.defined()) {
+    const float* b_data = bias.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t co = 0; co < c_out; ++co) {
+        float* plane = out.data() + (b * c_out + co) * h_out * w_out;
+        const float bv = b_data[co];
+        for (int64_t i = 0; i < h_out * w_out; ++i) plane[i] = bv;
+      }
+    }
+  }
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < c_out; ++co) {
+      float* out_plane = out.data() + (b * c_out + co) * h_out * w_out;
+      for (int64_t ci = 0; ci < c_in; ++ci) {
+        const float* in_plane = in_data + (b * c_in + ci) * h * w;
+        const float* w_block = w_data + (co * c_in + ci) * kh * kw;
+        for (int64_t ki = 0; ki < kh; ++ki) {
+          for (int64_t kj = 0; kj < kw; ++kj) {
+            const float wv = w_block[ki * kw + kj];
+            if (wv == 0.0f) continue;
+            for (int64_t ho = 0; ho < h_out; ++ho) {
+              const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
+              if (hi < 0 || hi >= h) continue;
+              float* out_row = out_plane + ho * w_out;
+              const float* in_row = in_plane + hi * w;
+              for (int64_t wo = 0; wo < w_out; ++wo) {
+                const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
+                if (wi < 0 || wi >= w) continue;
+                out_row[wo] += wv * in_row[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  ImplPtr in_impl = input.impl();
+  ImplPtr w_impl = weight.impl();
+  ImplPtr b_impl = bias.defined() ? bias.impl() : nullptr;
+  std::vector<Tensor> inputs = {input, weight};
+  if (bias.defined()) inputs.push_back(bias);
+
+  return MakeOp(
+      out_shape, std::move(out), inputs,
+      [in_impl, w_impl, b_impl, batch, c_in, c_out, h, w, kh, kw, h_out, w_out,
+       stride_h, stride_w, pad_h, pad_w, dil_h, dil_w](TensorImpl& node) {
+        const float* gout = node.grad.data();
+        if (b_impl != nullptr && b_impl->requires_grad) {
+          b_impl->EnsureGrad();
+          for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t co = 0; co < c_out; ++co) {
+              const float* plane = gout + (b * c_out + co) * h_out * w_out;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < h_out * w_out; ++i) acc += plane[i];
+              b_impl->grad[co] += acc;
+            }
+          }
+        }
+        const bool need_din = in_impl->requires_grad;
+        const bool need_dw = w_impl->requires_grad;
+        if (!need_din && !need_dw) return;
+        if (need_din) in_impl->EnsureGrad();
+        if (need_dw) w_impl->EnsureGrad();
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t co = 0; co < c_out; ++co) {
+            const float* gout_plane = gout + (b * c_out + co) * h_out * w_out;
+            for (int64_t ci = 0; ci < c_in; ++ci) {
+              const float* in_plane =
+                  in_impl->data.data() + (b * c_in + ci) * h * w;
+              float* gin_plane =
+                  need_din ? in_impl->grad.data() + (b * c_in + ci) * h * w
+                           : nullptr;
+              const float* w_block =
+                  w_impl->data.data() + (co * c_in + ci) * kh * kw;
+              float* gw_block =
+                  need_dw ? w_impl->grad.data() + (co * c_in + ci) * kh * kw
+                          : nullptr;
+              for (int64_t ki = 0; ki < kh; ++ki) {
+                for (int64_t kj = 0; kj < kw; ++kj) {
+                  const float wv = w_block[ki * kw + kj];
+                  float gw_acc = 0.0f;
+                  for (int64_t ho = 0; ho < h_out; ++ho) {
+                    const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
+                    if (hi < 0 || hi >= h) continue;
+                    const float* gout_row = gout_plane + ho * w_out;
+                    const float* in_row = in_plane + hi * w;
+                    float* gin_row = need_din ? gin_plane + hi * w : nullptr;
+                    for (int64_t wo = 0; wo < w_out; ++wo) {
+                      const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
+                      if (wi < 0 || wi >= w) continue;
+                      const float g = gout_row[wo];
+                      if (need_din) gin_row[wi] += g * wv;
+                      if (need_dw) gw_acc += g * in_row[wi];
+                    }
+                  }
+                  if (need_dw) gw_block[ki * kw + kj] += gw_acc;
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace trafficbench

@@ -1,0 +1,75 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace trafficbench {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) TB_CHECK_GE(d, 0) << "in shape " << ToString();
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) TB_CHECK_GE(d, 0) << "in shape " << ToString();
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+int Shape::CanonicalAxis(int axis) const {
+  const int r = rank();
+  TB_CHECK(axis >= -r && axis < r)
+      << "axis " << axis << " out of range for shape " << ToString();
+  return axis < 0 ? axis + r : axis;
+}
+
+int64_t Shape::dim(int axis) const { return dims_[CanonicalAxis(axis)]; }
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * dims_[i + 1];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Shape Shape::Broadcast(const Shape& a, const Shape& b) {
+  const int rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank, 1);
+  for (int i = 0; i < rank; ++i) {
+    const int64_t da = i < rank - a.rank() ? 1 : a.dims()[i - (rank - a.rank())];
+    const int64_t db = i < rank - b.rank() ? 1 : b.dims()[i - (rank - b.rank())];
+    TB_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << a.ToString() << " with " << b.ToString();
+    dims[i] = std::max(da, db);
+  }
+  return Shape(std::move(dims));
+}
+
+bool Shape::BroadcastsTo(const Shape& from, const Shape& to) {
+  if (from.rank() > to.rank()) return false;
+  const int offset = to.rank() - from.rank();
+  for (int i = 0; i < from.rank(); ++i) {
+    const int64_t df = from.dims()[i];
+    const int64_t dt = to.dims()[i + offset];
+    if (df != dt && df != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace trafficbench

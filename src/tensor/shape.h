@@ -1,0 +1,50 @@
+#ifndef TRAFFICBENCH_TENSOR_SHAPE_H_
+#define TRAFFICBENCH_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace trafficbench {
+
+/// Dimensions of a dense row-major tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t numel() const;
+
+  /// Dimension extent along `axis`; negative axes count from the back.
+  int64_t dim(int axis) const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements); stride of the last axis is 1.
+  std::vector<int64_t> Strides() const;
+
+  /// Canonicalizes a possibly negative axis into [0, rank).
+  int CanonicalAxis(int axis) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Renders e.g. "[2, 3, 4]".
+  std::string ToString() const;
+
+  /// NumPy-style broadcast of two shapes. Check-fails on incompatibility.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  /// True if `from` can broadcast to `to`.
+  static bool BroadcastsTo(const Shape& from, const Shape& to);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_SHAPE_H_

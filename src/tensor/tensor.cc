@@ -1,0 +1,307 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/tensor/op_common.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+
+namespace internal_tensor {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+void SetGradMode(bool enabled) { g_grad_mode = enabled; }
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+}
+
+Tensor MakeOp(Shape shape, std::vector<float> data,
+              const std::vector<Tensor>& inputs,
+              std::function<void(TensorImpl&)> backward) {
+  TB_CHECK_EQ(static_cast<int64_t>(data.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  if (GradModeEnabled()) {
+    bool any = false;
+    for (const Tensor& t : inputs) any = any || t.requires_grad();
+    if (any) {
+      impl->requires_grad = true;
+      for (const Tensor& t : inputs) impl->parents.push_back(t.impl());
+      impl->backward_fn = std::move(backward);
+    }
+  }
+  return Tensor::FromImpl(std::move(impl));
+}
+
+void AccumulateGrad(TensorImpl* t, const std::vector<float>& g) {
+  if (t == nullptr || !t->requires_grad) return;
+  TB_CHECK_EQ(g.size(), t->data.size());
+  t->EnsureGrad();
+  float* dst = t->grad.data();
+  const float* src = g.data();
+  const size_t n = g.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& in, int out_rank,
+                                      const std::vector<int64_t>& out_dims) {
+  std::vector<int64_t> strides(out_rank, 0);
+  const std::vector<int64_t> in_strides = in.Strides();
+  const int offset = out_rank - in.rank();
+  for (int i = 0; i < in.rank(); ++i) {
+    const int64_t in_dim = in.dims()[i];
+    TB_CHECK(in_dim == out_dims[i + offset] || in_dim == 1);
+    strides[i + offset] = (in_dim == 1) ? 0 : in_strides[i];
+  }
+  return strides;
+}
+
+std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
+                                     const Shape& from, const Shape& to) {
+  if (from == to) return grad;
+  std::vector<float> out(to.numel(), 0.0f);
+  const int out_rank = from.rank();
+  const std::vector<int64_t>& from_dims = from.dims();
+  const std::vector<int64_t> to_strides =
+      BroadcastStrides(to, out_rank, from_dims);
+  // Odometer walk over the full (broadcast) shape, accumulating into the
+  // reduced target offset.
+  std::vector<int64_t> index(out_rank, 0);
+  int64_t to_offset = 0;
+  const int64_t n = from.numel();
+  for (int64_t linear = 0; linear < n; ++linear) {
+    out[to_offset] += grad[linear];
+    for (int axis = out_rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      to_offset += to_strides[axis];
+      if (index[axis] < from_dims[axis]) break;
+      to_offset -= to_strides[axis] * from_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal_tensor
+
+using internal_tensor::GradModeEnabled;
+using internal_tensor::SetGradMode;
+using internal_tensor::TensorImpl;
+
+NoGradGuard::NoGradGuard() : previous_(GradModeEnabled()) {
+  SetGradMode(false);
+}
+NoGradGuard::~NoGradGuard() { SetGradMode(previous_); }
+
+Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+namespace {
+Tensor MakeFilled(const Shape& shape, float value) {
+  return Tensor::FromVector(shape,
+                            std::vector<float>(shape.numel(), value));
+}
+}  // namespace
+
+Tensor Tensor::Zeros(const Shape& shape) { return MakeFilled(shape, 0.0f); }
+Tensor Tensor::Ones(const Shape& shape) { return MakeFilled(shape, 1.0f); }
+Tensor Tensor::Full(const Shape& shape, float value) {
+  return MakeFilled(shape, value);
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  TB_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel())
+      << "for shape " << shape.ToString();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value) {
+  return FromVector(Shape({}), {value});
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev) {
+  TB_CHECK(rng != nullptr);
+  std::vector<float> values(shape.numel());
+  for (float& v : values) v = static_cast<float>(rng->Normal()) * stddev;
+  return FromVector(shape, std::move(values));
+}
+
+Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi) {
+  TB_CHECK(rng != nullptr);
+  std::vector<float> values(shape.numel());
+  for (float& v : values) v = static_cast<float>(rng->Uniform(lo, hi));
+  return FromVector(shape, std::move(values));
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  std::vector<float> values(n);
+  for (int64_t i = 0; i < n; ++i) values[i] = static_cast<float>(i);
+  return FromVector(Shape({n}), std::move(values));
+}
+
+const Shape& Tensor::shape() const {
+  TB_CHECK(defined());
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  TB_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  TB_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::At(std::initializer_list<int64_t> index) const {
+  TB_CHECK(defined());
+  TB_CHECK_EQ(static_cast<int>(index.size()), rank());
+  const std::vector<int64_t> strides = shape().Strides();
+  int64_t offset = 0;
+  int axis = 0;
+  for (int64_t i : index) {
+    TB_CHECK(i >= 0 && i < shape().dims()[axis])
+        << "index " << i << " out of bounds on axis " << axis;
+    offset += i * strides[axis];
+    ++axis;
+  }
+  return impl_->data[offset];
+}
+
+float Tensor::Item() const {
+  TB_CHECK(defined());
+  TB_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+std::vector<float> Tensor::ToVector() const {
+  TB_CHECK(defined());
+  return impl_->data;
+}
+
+Tensor& Tensor::set_requires_grad(bool requires_grad) {
+  TB_CHECK(defined());
+  TB_CHECK(!impl_->backward_fn)
+      << "set_requires_grad is for leaf tensors only";
+  impl_->requires_grad = requires_grad;
+  return *this;
+}
+
+bool Tensor::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+Tensor Tensor::GradTensor() const {
+  TB_CHECK(defined());
+  if (impl_->grad.empty()) return Tensor();
+  return FromVector(impl_->shape, impl_->grad);
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TB_CHECK(defined());
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  TB_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward(const Tensor& seed) {
+  TB_CHECK(defined());
+  TB_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+  if (seed.defined()) {
+    TB_CHECK(seed.shape() == shape())
+        << "seed shape " << seed.shape().ToString() << " vs "
+        << shape().ToString();
+  } else {
+    TB_CHECK_EQ(numel(), 1)
+        << "Backward() without a seed requires a scalar output";
+  }
+
+  // Iterative post-order DFS to get a topological order of the graph.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(impl_.get()).second) {
+    stack.push_back({impl_.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed the output gradient.
+  impl_->EnsureGrad();
+  if (seed.defined()) {
+    const std::vector<float>& sv = seed.impl()->data;
+    for (size_t i = 0; i < sv.size(); ++i) impl_->grad[i] += sv[i];
+  } else {
+    impl_->grad[0] += 1.0f;
+  }
+
+  // Reverse topological order: outputs before inputs.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  TB_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy (storage sharing would alias grads)
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string ToDebugString(const Tensor& t, int max_elements) {
+  if (!t.defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << t.shape().ToString() << " {";
+  const int64_t n = std::min<int64_t>(t.numel(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << t.data()[i];
+  }
+  if (n < t.numel()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace trafficbench

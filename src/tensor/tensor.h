@@ -1,0 +1,231 @@
+#ifndef TRAFFICBENCH_TENSOR_TENSOR_H_
+#define TRAFFICBENCH_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/shape.h"
+
+namespace trafficbench {
+
+class Rng;
+class Tensor;
+
+namespace internal_tensor {
+
+/// Shared storage + autograd node. Users interact with Tensor handles only.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+
+  /// True for leaves the optimizer updates and for any op output whose
+  /// inputs require grad (while grad mode is on).
+  bool requires_grad = false;
+
+  /// Accumulated gradient; allocated lazily on first accumulation.
+  std::vector<float> grad;
+
+  /// Inputs of the op that produced this tensor (keeps the graph alive).
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  /// Propagates this->grad into the parents' grad buffers.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  void EnsureGrad();
+};
+
+/// Thread-local flag: when false, ops do not record the autograd graph.
+bool GradModeEnabled();
+void SetGradMode(bool enabled);
+
+}  // namespace internal_tensor
+
+/// RAII guard disabling gradient recording (evaluation / inference).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// A dense float32 tensor with reverse-mode autograd, value-semantic handle
+/// over shared storage. All layouts are contiguous row-major.
+class Tensor {
+ public:
+  /// An undefined tensor (no storage). defined() is false.
+  Tensor() = default;
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  /// Takes ownership of `values`; size must equal shape.numel().
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  static Tensor Scalar(float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor Rand(const Shape& shape, Rng* rng, float lo, float hi);
+  /// [0, 1, ..., n-1] as a rank-1 tensor.
+  static Tensor Arange(int64_t n);
+
+  // ---- Metadata ------------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int rank() const { return shape().rank(); }
+  int64_t numel() const { return shape().numel(); }
+  int64_t dim(int axis) const { return shape().dim(axis); }
+
+  // ---- Data access ---------------------------------------------------------
+
+  float* data();
+  const float* data() const;
+  /// Element at a (fully-specified) multi-index. Convenience for tests.
+  float At(std::initializer_list<int64_t> index) const;
+  /// Value of a 1-element tensor.
+  float Item() const;
+  std::vector<float> ToVector() const;
+
+  // ---- Autograd ------------------------------------------------------------
+
+  /// Marks this tensor as a gradient leaf (e.g. a learnable parameter).
+  Tensor& set_requires_grad(bool requires_grad);
+  bool requires_grad() const;
+
+  /// Gradient accumulated by Backward(); undefined Tensor if none yet.
+  Tensor GradTensor() const;
+  /// Raw gradient buffer (empty if none yet).
+  const std::vector<float>& grad() const;
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this tensor. If it is not a scalar,
+  /// `seed` must be supplied with a matching shape.
+  void Backward(const Tensor& seed = Tensor());
+
+  /// A tensor sharing storage but detached from the autograd graph.
+  Tensor Detach() const;
+  /// A deep copy (fresh storage, no graph).
+  Tensor Clone() const;
+
+  // ---- Shape ops (differentiable) -------------------------------------------
+
+  Tensor Reshape(const Shape& new_shape) const;
+  /// Swaps two axes (materializes a permuted copy).
+  Tensor Transpose(int axis_a, int axis_b) const;
+  /// General axis permutation; `perm` must be a permutation of [0, rank).
+  Tensor Permute(const std::vector<int>& perm) const;
+  /// Contiguous range [start, end) along `axis`.
+  Tensor Slice(int axis, int64_t start, int64_t end) const;
+  /// Inserts a size-1 axis at `axis` (may be rank(), appending).
+  Tensor Unsqueeze(int axis) const;
+  /// Removes a size-1 axis.
+  Tensor Squeeze(int axis) const;
+  /// Broadcasts to a larger shape (differentiable; grad sums back).
+  Tensor BroadcastTo(const Shape& target) const;
+
+  // ---- Reductions (differentiable) ------------------------------------------
+
+  Tensor Sum(const std::vector<int>& axes, bool keepdim = false) const;
+  Tensor Mean(const std::vector<int>& axes, bool keepdim = false) const;
+  /// Sum over all elements, producing a scalar.
+  Tensor SumAll() const;
+  Tensor MeanAll() const;
+
+  // ---- Elementwise (differentiable) ------------------------------------------
+
+  Tensor Neg() const;
+  Tensor Exp() const;
+  Tensor Log() const;
+  Tensor Sqrt() const;
+  Tensor Abs() const;
+  Tensor Relu() const;
+  Tensor LeakyRelu(float negative_slope = 0.01f) const;
+  Tensor Sigmoid() const;
+  Tensor Tanh() const;
+  /// Elementwise power with a constant exponent.
+  Tensor Pow(float exponent) const;
+  /// Numerically-stable softmax along `axis`.
+  Tensor Softmax(int axis) const;
+
+  /// Internal handle (used by the op library and optimizers).
+  const std::shared_ptr<internal_tensor::TensorImpl>& impl() const {
+    return impl_;
+  }
+
+  /// Wraps an impl (op-library use only).
+  static Tensor FromImpl(std::shared_ptr<internal_tensor::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal_tensor::TensorImpl> impl_;
+};
+
+// ---- Binary ops with NumPy broadcasting (differentiable) ---------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// Elementwise maximum of two broadcastable tensors (subgradient to the max).
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+// Scalar convenience overloads.
+Tensor operator+(const Tensor& a, float s);
+Tensor operator+(float s, const Tensor& a);
+Tensor operator-(const Tensor& a, float s);
+Tensor operator-(float s, const Tensor& a);
+Tensor operator*(const Tensor& a, float s);
+Tensor operator*(float s, const Tensor& a);
+Tensor operator/(const Tensor& a, float s);
+Tensor operator/(float s, const Tensor& a);
+inline Tensor operator-(const Tensor& a) { return a.Neg(); }
+
+// ---- Linear algebra -----------------------------------------------------------
+
+/// Matrix product. Both operands must have rank >= 2; leading (batch) axes
+/// broadcast NumPy-style. [.., M, K] x [.., K, N] -> [.., M, N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Structural ops -------------------------------------------------------------
+
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int axis);
+/// Stacks along a new leading `axis`.
+Tensor Stack(const std::vector<Tensor>& tensors, int axis);
+/// Zero-pads `before`/`after` elements along `axis`.
+Tensor Pad(const Tensor& t, int axis, int64_t before, int64_t after);
+/// Gathers rows along `axis` by integer indices (embedding lookup).
+/// Gradient scatter-adds into the source.
+Tensor IndexSelect(const Tensor& t, int axis,
+                   const std::vector<int64_t>& indices);
+
+/// 2-D convolution over NCHW input with OIHW weights.
+/// Used throughout as a temporal convolution with kernel (1, k).
+/// Output: [B, Cout, Hout, Wout] with
+///   Hout = (H + 2*pad_h - dil_h*(kh-1) - 1)/stride_h + 1 (likewise W).
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int stride_h = 1, int stride_w = 1, int pad_h = 0, int pad_w = 0,
+              int dil_h = 1, int dil_w = 1);
+
+// ---- Debug ----------------------------------------------------------------------
+
+/// Human-readable dump (small tensors only).
+std::string ToDebugString(const Tensor& t, int max_elements = 64);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_TENSOR_H_

@@ -1,0 +1,13 @@
+#include "src/util/check.h"
+
+namespace trafficbench::internal_check {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "TB_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) out << " — " << message;
+  throw CheckError(out.str());
+}
+
+}  // namespace trafficbench::internal_check

@@ -1,0 +1,75 @@
+#ifndef TRAFFICBENCH_UTIL_CHECK_H_
+#define TRAFFICBENCH_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace trafficbench::internal_check {
+
+/// Thrown by TB_CHECK failures. Using an exception (rather than abort) keeps
+/// contract violations unit-testable without death tests.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+/// Stream-style message collector used by the TB_CHECK macros. Constructed
+/// only on the failure path; its destructor throws CheckError.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the CheckMessageBuilder so the ternary in TB_CHECK has type void.
+/// operator& binds looser than operator<<, so the whole message chain runs
+/// before the builder is destroyed (and throws).
+struct Voidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace trafficbench::internal_check
+
+/// Contract-violation check: TB_CHECK(cond) << "extra context";
+/// Throws trafficbench::internal_check::CheckError when `cond` is false.
+#define TB_CHECK(cond)                                     \
+  (cond) ? (void)0                                         \
+         : ::trafficbench::internal_check::Voidify() &     \
+               ::trafficbench::internal_check::CheckMessageBuilder( \
+                   __FILE__, __LINE__, #cond)
+
+#define TB_CHECK_EQ(a, b) TB_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TB_CHECK_NE(a, b) TB_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TB_CHECK_LT(a, b) TB_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TB_CHECK_LE(a, b) TB_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TB_CHECK_GT(a, b) TB_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TB_CHECK_GE(a, b) TB_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression succeeded.
+#define TB_CHECK_OK(expr)                                 \
+  do {                                                    \
+    const ::trafficbench::Status _tb_status = (expr);     \
+    TB_CHECK(_tb_status.ok()) << _tb_status.ToString();   \
+  } while (false)
+
+#endif  // TRAFFICBENCH_UTIL_CHECK_H_

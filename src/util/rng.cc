@@ -1,0 +1,105 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  TB_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t value = NextUint64();
+  while (value >= limit) value = NextUint64();
+  return value % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Exponential(double rate) {
+  TB_CHECK_GT(rate, 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+int Rng::Poisson(double mean) {
+  TB_CHECK_GE(mean, 0.0);
+  const double limit = std::exp(-mean);
+  double product = Uniform();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= Uniform();
+  }
+  return count;
+}
+
+void Rng::Shuffle(std::vector<int64_t>* values) {
+  TB_CHECK(values != nullptr);
+  for (size_t i = values->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformInt(i));
+    std::swap((*values)[i - 1], (*values)[j]);
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace trafficbench

@@ -1,0 +1,58 @@
+#ifndef TRAFFICBENCH_UTIL_RNG_H_
+#define TRAFFICBENCH_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace trafficbench {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Every stochastic component in the library takes one of these
+/// explicitly, so experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int Poisson(double mean);
+
+  /// In-place Fisher–Yates shuffle of indices.
+  void Shuffle(std::vector<int64_t>* values);
+
+  /// Forks an independent stream (useful to give each component its own
+  /// generator derived from one experiment seed).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_UTIL_RNG_H_

@@ -1,0 +1,43 @@
+#ifndef TRAFFICBENCH_UTIL_TABLE_H_
+#define TRAFFICBENCH_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace trafficbench {
+
+/// Plain-text table renderer used by the experiment binaries to print the
+/// paper's tables/figures as aligned rows, plus CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows (excluding the header).
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an ASCII table with a separator under the header.
+  std::string ToString() const;
+
+  /// Renders RFC-4180-ish CSV (fields quoted when they contain , " or \n).
+  std::string ToCsv() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string Num(double value, int decimals = 2);
+
+  /// Formats "mean ± std".
+  static std::string MeanStd(double mean, double std, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `contents` to `path`, returning false (and logging) on failure.
+bool WriteFileOrWarn(const std::string& path, const std::string& contents);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_UTIL_TABLE_H_

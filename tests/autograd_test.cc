@@ -1,0 +1,275 @@
+// Reverse-mode autograd tests: hand-computed gradients plus numerical
+// gradient checking (property-style, parameterized over op kinds).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+Tensor RandInput(const Shape& shape, Rng* rng, float lo = -1.5f,
+                 float hi = 1.5f) {
+  return Tensor::Rand(shape, rng, lo, hi).set_requires_grad(true);
+}
+
+TEST(Autograd, ChainRuleThroughMul) {
+  Tensor x = Tensor::Scalar(3.0f).set_requires_grad(true);
+  Tensor y = x * x * x;  // d/dx x^3 = 3 x^2 = 27
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 27.0f, 1e-4);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::Scalar(2.0f).set_requires_grad(true);
+  (x * 3.0f).Backward();
+  (x * 3.0f).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Autograd, DiamondGraphSharedInput) {
+  // y = x*x + x*x uses x twice along two paths.
+  Tensor x = Tensor::Scalar(5.0f).set_requires_grad(true);
+  Tensor a = x * x;
+  Tensor y = a + a;
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 20.0f);
+}
+
+TEST(Autograd, BroadcastAddReducesGrad) {
+  Tensor a = Tensor::Zeros(Shape({2, 3})).set_requires_grad(true);
+  Tensor b = Tensor::Zeros(Shape({3})).set_requires_grad(true);
+  (a + b).SumAll().Backward();
+  EXPECT_EQ(a.grad(), std::vector<float>(6, 1.0f));
+  EXPECT_EQ(b.grad(), std::vector<float>(3, 2.0f));  // summed over 2 rows
+}
+
+TEST(Autograd, NonScalarBackwardNeedsSeed) {
+  Tensor a = Tensor::Zeros(Shape({2})).set_requires_grad(true);
+  Tensor y = a * 2.0f;
+  EXPECT_THROW(y.Backward(), internal_check::CheckError);
+  y.Backward(Tensor::FromVector(Shape({2}), {1.0f, 10.0f}));
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 20.0f);
+}
+
+TEST(Autograd, MatMulHandGradient) {
+  Tensor a = Tensor::FromVector(Shape({1, 2}), {1, 2}).set_requires_grad(true);
+  Tensor b =
+      Tensor::FromVector(Shape({2, 1}), {3, 4}).set_requires_grad(true);
+  MatMul(a, b).SumAll().Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 4.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 2.0f);
+}
+
+// ---- Numerical gradient checks (property tests over op families) -------------
+
+struct GradCase {
+  std::string name;
+  std::function<Tensor(const std::vector<Tensor>&)> fn;
+  std::vector<Shape> input_shapes;
+  // Inputs drawn from [lo, hi] to keep ops well-conditioned (e.g. log > 0).
+  float lo = -1.5f;
+  float hi = 1.5f;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) {
+  const GradCase& test_case = GetParam();
+  Rng rng(1234);
+  std::vector<Tensor> inputs;
+  for (const Shape& shape : test_case.input_shapes) {
+    inputs.push_back(RandInput(shape, &rng, test_case.lo, test_case.hi));
+  }
+  GradCheckResult result = CheckGradients(test_case.fn, inputs);
+  EXPECT_TRUE(result.passed) << test_case.name << ": " << result.detail
+                             << " (max abs err " << result.max_abs_error
+                             << ")";
+}
+
+std::vector<GradCase> MakeGradCases() {
+  std::vector<GradCase> cases;
+  auto in = [](const std::vector<Tensor>& v, size_t i) { return v[i]; };
+
+  cases.push_back({"add_broadcast",
+                   [in](const std::vector<Tensor>& v) {
+                     return (in(v, 0) + in(v, 1)).SumAll();
+                   },
+                   {Shape({2, 3}), Shape({3})}});
+  cases.push_back({"sub", [in](const std::vector<Tensor>& v) {
+                     return (in(v, 0) - in(v, 1)).SumAll();
+                   },
+                   {Shape({4}), Shape({4})}});
+  cases.push_back({"mul_broadcast",
+                   [in](const std::vector<Tensor>& v) {
+                     return (in(v, 0) * in(v, 1)).SumAll();
+                   },
+                   {Shape({2, 1, 3}), Shape({2, 1})}});
+  cases.push_back({"div",
+                   [in](const std::vector<Tensor>& v) {
+                     return (in(v, 0) / in(v, 1)).SumAll();
+                   },
+                   {Shape({3, 2}), Shape({3, 2})},
+                   0.5f, 2.0f});
+  cases.push_back({"weighted_square",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor d = in(v, 0) - in(v, 1);
+                     return (d * d).MeanAll();
+                   },
+                   {Shape({2, 3}), Shape({2, 3})}});
+  cases.push_back({"exp", [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Exp().SumAll();
+                   },
+                   {Shape({2, 2})}});
+  cases.push_back({"log",
+                   [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Log().SumAll();
+                   },
+                   {Shape({5})},
+                   0.3f, 2.5f});
+  cases.push_back({"sqrt",
+                   [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Sqrt().SumAll();
+                   },
+                   {Shape({5})},
+                   0.3f, 2.5f});
+  cases.push_back({"sigmoid", [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Sigmoid().SumAll();
+                   },
+                   {Shape({3, 3})}});
+  cases.push_back({"tanh", [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Tanh().SumAll();
+                   },
+                   {Shape({3, 3})}});
+  cases.push_back({"leaky_relu",
+                   [in](const std::vector<Tensor>& v) {
+                     // shift away from the kink at 0
+                     return (in(v, 0) + 5.0f).LeakyRelu(0.2f).SumAll() +
+                            (in(v, 0) - 5.0f).LeakyRelu(0.2f).SumAll();
+                   },
+                   {Shape({4})}});
+  cases.push_back({"pow3", [in](const std::vector<Tensor>& v) {
+                     return in(v, 0).Pow(3.0f).SumAll();
+                   },
+                   {Shape({4})}});
+  cases.push_back({"softmax_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     // weight rows so the softmax Jacobian is exercised
+                     Tensor w = Tensor::Arange(4).Reshape(Shape({1, 4}));
+                     return (in(v, 0).Softmax(-1) * w).SumAll();
+                   },
+                   {Shape({3, 4})}});
+  cases.push_back({"matmul",
+                   [in](const std::vector<Tensor>& v) {
+                     return MatMul(in(v, 0), in(v, 1)).SumAll();
+                   },
+                   {Shape({3, 4}), Shape({4, 2})}});
+  cases.push_back({"matmul_batched_broadcast",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(8).Reshape(Shape({2, 2, 2}));
+                     return (MatMul(in(v, 0), in(v, 1)) * w).SumAll();
+                   },
+                   {Shape({2, 2, 3}), Shape({3, 2})}});
+  cases.push_back({"transpose_matmul",
+                   [in](const std::vector<Tensor>& v) {
+                     return MatMul(in(v, 0).Transpose(0, 1), in(v, 1)).SumAll();
+                   },
+                   {Shape({4, 3}), Shape({4, 2})}});
+  cases.push_back({"permute_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(24).Reshape(Shape({4, 2, 3}));
+                     return (in(v, 0).Permute({2, 0, 1}) * w).SumAll();
+                   },
+                   {Shape({2, 3, 4})}});
+  cases.push_back({"slice_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(8).Reshape(Shape({2, 2, 2}));
+                     return (in(v, 0).Slice(1, 1, 3) * w).SumAll();
+                   },
+                   {Shape({2, 4, 2})}});
+  cases.push_back({"concat_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(12).Reshape(Shape({2, 6}));
+                     return (Concat({in(v, 0), in(v, 1)}, 1) * w).SumAll();
+                   },
+                   {Shape({2, 2}), Shape({2, 4})}});
+  cases.push_back({"pad_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(10).Reshape(Shape({2, 5}));
+                     return (Pad(in(v, 0), 1, 2, 1) * w).SumAll();
+                   },
+                   {Shape({2, 2})}});
+  cases.push_back({"index_select",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(6).Reshape(Shape({3, 2}));
+                     return (IndexSelect(in(v, 0), 0, {1, 1, 0}) * w).SumAll();
+                   },
+                   {Shape({2, 2})}});
+  cases.push_back({"sum_axis_weighted",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(3);
+                     return (in(v, 0).Sum({0}) * w).SumAll();
+                   },
+                   {Shape({2, 3})}});
+  cases.push_back({"mean_keepdim",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(2).Reshape(Shape({2, 1}));
+                     return (in(v, 0).Mean({1}, true) * w).SumAll();
+                   },
+                   {Shape({2, 3})}});
+  cases.push_back({"broadcast_to",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor w = Tensor::Arange(6).Reshape(Shape({3, 2}));
+                     return (in(v, 0).BroadcastTo(Shape({3, 2})) * w).SumAll();
+                   },
+                   {Shape({1, 2})}});
+  cases.push_back({"maximum",
+                   [in](const std::vector<Tensor>& v) {
+                     return Maximum(in(v, 0), in(v, 1)).SumAll();
+                   },
+                   {Shape({6}), Shape({6})}});
+  cases.push_back({"conv2d_temporal",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor y = Conv2d(in(v, 0), in(v, 1), in(v, 2));
+                     Tensor w = Tensor::Arange(y.numel()).Reshape(y.shape());
+                     return (y * w).SumAll();
+                   },
+                   {Shape({2, 2, 3, 5}), Shape({3, 2, 1, 2}), Shape({3})}});
+  cases.push_back({"conv2d_dilated_padded",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor y = Conv2d(in(v, 0), in(v, 1), Tensor(), 1, 1, 0,
+                                       2, 1, 2);
+                     Tensor w = Tensor::Arange(y.numel()).Reshape(y.shape());
+                     return (y * w).SumAll();
+                   },
+                   {Shape({1, 2, 2, 6}), Shape({2, 2, 1, 3})}});
+  cases.push_back({"mlp_composition",
+                   [in](const std::vector<Tensor>& v) {
+                     Tensor h = MatMul(in(v, 0), in(v, 1)).Tanh();
+                     Tensor y = MatMul(h, in(v, 2)).Sigmoid();
+                     return y.MeanAll();
+                   },
+                   {Shape({4, 3}), Shape({3, 5}), Shape({5, 2})}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(MakeGradCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace trafficbench

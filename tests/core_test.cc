@@ -1,0 +1,121 @@
+// Tests for the experiment harness: environment config, RunResult
+// statistics, and the RunModelOnDataset pipeline (with a cheap baseline).
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/util/check.h"
+#include "src/data/dataset.h"
+#include "src/models/traffic_model.h"
+
+namespace trafficbench {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ExperimentConfig, DefaultsWithoutEnv) {
+  core::ExperimentConfig config = core::ExperimentConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(config.scale, 1.0);
+  EXPECT_EQ(config.epochs, 3);
+  EXPECT_EQ(config.repeats, 2);
+  EXPECT_GT(config.eval_cap, 0);
+  EXPECT_FALSE(config.verbose);
+}
+
+TEST(ExperimentConfig, EnvOverrides) {
+  EnvGuard scale("TB_SCALE", "0.5");
+  EnvGuard epochs("TB_EPOCHS", "7");
+  EnvGuard repeats("TB_REPEATS", "4");
+  EnvGuard batches("TB_BATCHES", "13");
+  EnvGuard batch("TB_BATCH", "32");
+  EnvGuard eval("TB_EVAL", "99");
+  EnvGuard verbose("TB_VERBOSE", "1");
+  core::ExperimentConfig config = core::ExperimentConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.epochs, 7);
+  EXPECT_EQ(config.repeats, 4);
+  EXPECT_EQ(config.max_batches_per_epoch, 13);
+  EXPECT_EQ(config.batch_size, 32);
+  EXPECT_EQ(config.eval_cap, 99);
+  EXPECT_TRUE(config.verbose);
+}
+
+TEST(RunResultStats, MeanStdAcrossTrials) {
+  core::RunResult result;
+  eval::HorizonReport a, b;
+  a.horizon15.mae = 2.0;
+  b.horizon15.mae = 4.0;
+  a.average.rmse = 1.0;
+  b.average.rmse = 3.0;
+  result.trials = {a, b};
+  eval::MeanStd mae15 = result.Metric("mae", 15);
+  EXPECT_DOUBLE_EQ(mae15.mean, 3.0);
+  EXPECT_GT(mae15.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(result.Metric("rmse", 0).mean, 2.0);
+  EXPECT_THROW(result.Metric("nope", 15), internal_check::CheckError);
+}
+
+TEST(RunModelOnDatasetPipeline, BaselineEndToEnd) {
+  data::DatasetProfile profile;
+  profile.name = "CORE-TEST";
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  profile.seed = 31;
+  data::TrafficDataset dataset = data::TrafficDataset::FromProfile(profile);
+
+  core::ExperimentConfig config;
+  config.repeats = 2;
+  config.epochs = 1;
+  config.eval_cap = 40;
+  core::RunResult result = core::RunModelOnDataset(
+      "HistoricalAverage", dataset, profile.name, config);
+  EXPECT_EQ(result.trials.size(), 2u);
+  EXPECT_GT(result.Metric("mae", 0).mean, 0.0);
+  // The baseline is deterministic, so trials agree exactly.
+  EXPECT_DOUBLE_EQ(result.Metric("mae", 0).stddev, 0.0);
+  EXPECT_EQ(result.parameter_count, 0);
+}
+
+TEST(RunModelOnDatasetPipeline, DifficultMaskProducesHigherMae) {
+  data::DatasetProfile profile;
+  profile.name = "CORE-TEST2";
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  profile.seed = 33;
+  profile.incidents_per_day = 6.0;
+  data::TrafficDataset dataset = data::TrafficDataset::FromProfile(profile);
+  std::vector<uint8_t> mask = eval::DifficultMask(dataset.series(), {});
+
+  core::ExperimentConfig config;
+  config.repeats = 1;
+  config.epochs = 1;
+  config.eval_cap = 60;
+  core::RunResult result = core::RunModelOnDataset(
+      "LastValue", dataset, profile.name, config, &mask);
+  ASSERT_EQ(result.difficult_trials.size(), 1u);
+  // Difficult intervals are harder than average for persistence.
+  EXPECT_GT(result.Metric("mae", 0, true).mean,
+            result.Metric("mae", 0, false).mean);
+}
+
+TEST(BuildDatasetHelper, AppliesScale) {
+  data::DatasetProfile profile = data::ProfileByName("PEMSD8-F").value();
+  core::ExperimentConfig config;
+  config.scale = 0.5;
+  data::TrafficDataset dataset = core::BuildDataset(profile, config);
+  EXPECT_EQ(dataset.num_nodes(), profile.num_nodes / 2);
+}
+
+}  // namespace
+}  // namespace trafficbench

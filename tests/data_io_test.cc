@@ -1,0 +1,147 @@
+// Tests for dataset CSV import/export: round trips, error reporting,
+// and loading a full dataset from files.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/io.h"
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+data::TrafficDataset MakeDataset() {
+  data::DatasetProfile profile;
+  profile.num_nodes = 9;
+  profile.num_days = 4;
+  profile.seed = 77;
+  return data::TrafficDataset::FromProfile(profile);
+}
+
+TEST(DataIo, NetworkRoundTrip) {
+  data::TrafficDataset dataset = MakeDataset();
+  const std::string path = TempPath("tb_net_roundtrip.csv");
+  TB_CHECK_OK(data::WriteNetworkCsv(dataset.network(), path));
+  Result<graph::RoadNetwork> loaded = data::ReadNetworkCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const graph::RoadNetwork& network = loaded.value();
+  EXPECT_EQ(network.num_nodes(), dataset.network().num_nodes());
+  EXPECT_EQ(network.segments().size(), dataset.network().segments().size());
+  // Adjacency derived from the reloaded network is identical.
+  EXPECT_EQ(network.GaussianAdjacency().ToVector(),
+            dataset.network().GaussianAdjacency().ToVector());
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, SeriesRoundTrip) {
+  data::TrafficDataset dataset = MakeDataset();
+  const std::string path = TempPath("tb_series_roundtrip.csv");
+  TB_CHECK_OK(data::WriteSeriesCsv(dataset.series(), path));
+  Result<data::TrafficSeries> loaded =
+      data::ReadSeriesCsv(path, data::FeatureKind::kSpeed);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes, dataset.series().num_nodes);
+  EXPECT_EQ(loaded.value().num_steps, dataset.series().num_steps);
+  EXPECT_EQ(loaded.value().day_of_week, dataset.series().day_of_week);
+  // Values survive the text round trip to float precision.
+  for (size_t i = 0; i < loaded.value().values.size(); i += 97) {
+    EXPECT_NEAR(loaded.value().values[i], dataset.series().values[i], 1e-3);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, LoadDatasetCsvEndToEnd) {
+  data::TrafficDataset dataset = MakeDataset();
+  const std::string net = TempPath("tb_full_net.csv");
+  const std::string series = TempPath("tb_full_series.csv");
+  TB_CHECK_OK(data::WriteNetworkCsv(dataset.network(), net));
+  TB_CHECK_OK(data::WriteSeriesCsv(dataset.series(), series));
+  Result<data::TrafficDataset> loaded =
+      data::LoadDatasetCsv(net, series, data::FeatureKind::kSpeed);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_samples(), dataset.num_samples());
+  EXPECT_NEAR(loaded.value().scaler().mean(), dataset.scaler().mean(), 1e-2);
+  std::filesystem::remove(net);
+  std::filesystem::remove(series);
+}
+
+TEST(DataIo, MissingFilesReportIoError) {
+  EXPECT_EQ(data::ReadNetworkCsv("/no/such/net.csv").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(data::ReadSeriesCsv("/no/such/series.csv",
+                                data::FeatureKind::kSpeed)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(DataIo, MalformedNetworkRejected) {
+  const std::string path = TempPath("tb_bad_net.csv");
+  std::ofstream(path) << "# sensors\nid,x,y\n0,0,0\nnot,a,number,row\n";
+  Result<graph::RoadNetwork> loaded = data::ReadNetworkCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, NonDenseSensorIdsRejected) {
+  const std::string path = TempPath("tb_sparse_ids.csv");
+  std::ofstream(path) << "# sensors\nid,x,y\n0,0,0\n5,1,1\n"
+                      << "# segments\nfrom,to,distance_miles\n";
+  Result<graph::RoadNetwork> loaded = data::ReadNetworkCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, SegmentOutOfRangeRejected) {
+  const std::string path = TempPath("tb_bad_seg.csv");
+  std::ofstream(path) << "# sensors\nid,x,y\n0,0,0\n1,1,0\n"
+                      << "# segments\nfrom,to,distance_miles\n0,7,1.0\n";
+  EXPECT_FALSE(data::ReadNetworkCsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, BadSeriesHeaderRejected) {
+  const std::string path = TempPath("tb_bad_header.csv");
+  std::ofstream(path) << "time,node0\n0,50\n";
+  EXPECT_FALSE(
+      data::ReadSeriesCsv(path, data::FeatureKind::kSpeed).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, RowArityMismatchRejected) {
+  const std::string path = TempPath("tb_bad_arity.csv");
+  std::ofstream(path) << "step,time_of_day,day_of_week,node0,node1\n"
+                      << "0,0.0,0,50\n";  // one reading missing
+  Result<data::TrafficSeries> loaded =
+      data::ReadSeriesCsv(path, data::FeatureKind::kSpeed);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2"), std::string::npos)
+      << "error should cite the line number";
+  std::filesystem::remove(path);
+}
+
+TEST(DataIo, NetworkSeriesNodeMismatchRejected) {
+  data::TrafficDataset dataset = MakeDataset();
+  const std::string net = TempPath("tb_mismatch_net.csv");
+  const std::string series = TempPath("tb_mismatch_series.csv");
+  TB_CHECK_OK(data::WriteNetworkCsv(dataset.network(), net));
+  std::ofstream(series) << "step,time_of_day,day_of_week,node0\n0,0.0,0,50\n";
+  Result<data::TrafficDataset> loaded =
+      data::LoadDatasetCsv(net, series, data::FeatureKind::kSpeed);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(net);
+  std::filesystem::remove(series);
+}
+
+}  // namespace
+}  // namespace trafficbench

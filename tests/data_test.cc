@@ -1,0 +1,266 @@
+// Tests for the traffic simulator and the windowed dataset machinery.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/traffic_simulator.h"
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using data::DatasetProfile;
+using data::FeatureKind;
+using data::SimulatorOptions;
+using data::TrafficDataset;
+using data::TrafficSeries;
+
+TrafficSeries QuickSeries(FeatureKind kind, int64_t days = 3,
+                          uint64_t seed = 42) {
+  Rng rng(seed);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 12, &net_rng);
+  SimulatorOptions options;
+  options.num_days = days;
+  Rng sim_rng = rng.Fork();
+  return SimulateTraffic(network, kind, options, &sim_rng);
+}
+
+TEST(Simulator, ShapesAndCalendar) {
+  TrafficSeries series = QuickSeries(FeatureKind::kSpeed);
+  EXPECT_EQ(series.num_nodes, 12);
+  EXPECT_EQ(series.num_steps, 3 * data::kStepsPerDay);
+  EXPECT_EQ(series.time_of_day.size(), static_cast<size_t>(series.num_steps));
+  EXPECT_FLOAT_EQ(series.time_of_day[0], 0.0f);
+  EXPECT_NEAR(series.time_of_day[144], 0.5f, 1e-5);
+  EXPECT_EQ(series.day_of_week[0], 0);
+  EXPECT_EQ(series.day_of_week[data::kStepsPerDay], 1);
+}
+
+TEST(Simulator, SpeedsPhysicallyPlausible) {
+  TrafficSeries series = QuickSeries(FeatureKind::kSpeed);
+  for (float v : series.values) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 80.0f);
+  }
+}
+
+TEST(Simulator, RushHourDepressesSpeed) {
+  TrafficSeries series = QuickSeries(FeatureKind::kSpeed, 5);
+  // Compare 03:00-05:00 (free flow) to 07:30-08:30 (AM rush) on weekdays.
+  double night = 0, rush = 0;
+  int64_t night_count = 0, rush_count = 0;
+  for (int64_t day = 0; day < 5; ++day) {
+    if (series.day_of_week[day * 288] >= 5) continue;
+    for (int64_t node = 0; node < series.num_nodes; ++node) {
+      for (int64_t s = 36; s < 60; ++s) {
+        const float v = series.at(day * 288 + s, node);
+        if (v > 0) {
+          night += v;
+          ++night_count;
+        }
+      }
+      for (int64_t s = 90; s < 102; ++s) {
+        const float v = series.at(day * 288 + s, node);
+        if (v > 0) {
+          rush += v;
+          ++rush_count;
+        }
+      }
+    }
+  }
+  ASSERT_GT(night_count, 0);
+  ASSERT_GT(rush_count, 0);
+  EXPECT_GT(night / night_count, rush / rush_count + 5.0)
+      << "rush hour should cost several mph on average";
+}
+
+TEST(Simulator, WeekdaysOnlySkipsWeekends) {
+  Rng rng(1);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 8, &net_rng);
+  SimulatorOptions options;
+  options.num_days = 10;
+  options.weekdays_only = true;
+  Rng sim_rng = rng.Fork();
+  TrafficSeries series =
+      SimulateTraffic(network, FeatureKind::kSpeed, options, &sim_rng);
+  for (int dow : series.day_of_week) EXPECT_LT(dow, 5);
+  EXPECT_EQ(series.num_steps, 10 * data::kStepsPerDay);
+}
+
+TEST(Simulator, FlowIsNotMonotoneInSpeed) {
+  // Flow collapses both at night (low demand) and in heavy congestion, so
+  // flow at 04:00 must be far below flow at 08:00 even though speeds are
+  // higher at night — the non-monotone speed/flow relation of Sec. VI.
+  TrafficSeries series = QuickSeries(FeatureKind::kFlow, 5, 9);
+  double night = 0, morning = 0;
+  int64_t nc = 0, mc = 0;
+  for (int64_t day = 0; day < 5; ++day) {
+    for (int64_t node = 0; node < series.num_nodes; ++node) {
+      for (int64_t s = 42; s < 54; ++s) {
+        night += series.at(day * 288 + s, node);
+        ++nc;
+      }
+      for (int64_t s = 92; s < 104; ++s) {
+        morning += series.at(day * 288 + s, node);
+        ++mc;
+      }
+    }
+  }
+  EXPECT_GT(morning / mc, 2.0 * (night / nc));
+}
+
+TEST(Simulator, IncidentsCreateAbruptDrops) {
+  // With vs without incidents: the max single-step speed drop should be
+  // clearly larger when incidents are enabled.
+  auto max_drop = [](const TrafficSeries& series) {
+    float worst = 0;
+    for (int64_t node = 0; node < series.num_nodes; ++node) {
+      for (int64_t s = 1; s < series.num_steps; ++s) {
+        const float prev = series.at(s - 1, node);
+        const float now = series.at(s, node);
+        if (prev > 0 && now > 0) worst = std::max(worst, prev - now);
+      }
+    }
+    return worst;
+  };
+  Rng rng(5);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 10, &net_rng);
+  SimulatorOptions calm;
+  calm.num_days = 4;
+  calm.incidents_per_day = 0.0;
+  calm.noise_level = 0.5;
+  SimulatorOptions eventful = calm;
+  eventful.incidents_per_day = 12.0;
+  Rng rng_a(77), rng_b(77);
+  TrafficSeries quiet =
+      SimulateTraffic(network, FeatureKind::kSpeed, calm, &rng_a);
+  TrafficSeries stormy =
+      SimulateTraffic(network, FeatureKind::kSpeed, eventful, &rng_b);
+  EXPECT_GT(max_drop(stormy), max_drop(quiet) + 5.0f);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  TrafficSeries a = QuickSeries(FeatureKind::kSpeed, 2, 123);
+  TrafficSeries b = QuickSeries(FeatureKind::kSpeed, 2, 123);
+  EXPECT_EQ(a.values, b.values);
+  TrafficSeries c = QuickSeries(FeatureKind::kSpeed, 2, 124);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Profiles, AllSevenPresentWithPaperStructure) {
+  const auto speed = data::SpeedProfiles();
+  const auto flow = data::FlowProfiles();
+  EXPECT_EQ(speed.size(), 3u);
+  EXPECT_EQ(flow.size(), 4u);
+  for (const auto& p : speed) EXPECT_EQ(p.kind, FeatureKind::kSpeed);
+  for (const auto& p : flow) EXPECT_EQ(p.kind, FeatureKind::kFlow);
+  // PeMSD7(M) mirror is weekday-only (Table I footnote).
+  EXPECT_TRUE(data::ProfileByName("PEMSD7M-S").value().weekdays_only);
+  // PeMSD7 mirror is the largest flow network, PeMSD8 the smallest.
+  EXPECT_GT(data::ProfileByName("PEMSD7-F").value().num_nodes,
+            data::ProfileByName("PEMSD8-F").value().num_nodes);
+  EXPECT_FALSE(data::ProfileByName("NOPE").ok());
+}
+
+TEST(Profiles, ScaleProfileClamps) {
+  DatasetProfile p = data::ProfileByName("METR-LA-S").value();
+  DatasetProfile tiny = data::ScaleProfile(p, 0.01);
+  EXPECT_EQ(tiny.num_nodes, 8);
+  EXPECT_EQ(tiny.num_days, 4);
+  DatasetProfile big = data::ScaleProfile(p, 2.0);
+  EXPECT_EQ(big.num_nodes, p.num_nodes * 2);
+}
+
+TEST(Scaler, RoundTripAndMissingSkipped) {
+  data::ZScoreScaler scaler =
+      data::ZScoreScaler::Fit({10.0f, 20.0f, 0.0f, 30.0f});
+  EXPECT_NEAR(scaler.mean(), 20.0f, 1e-4);
+  const float z = scaler.Normalize(25.0f);
+  EXPECT_NEAR(scaler.Denormalize(z), 25.0f, 1e-4);
+  Tensor t = Tensor::FromVector(Shape({2}), {z, scaler.Normalize(10.0f)});
+  Tensor back = scaler.Denormalize(t);
+  EXPECT_NEAR(back.At({0}), 25.0f, 1e-3);
+  EXPECT_NEAR(back.At({1}), 10.0f, 1e-3);
+}
+
+TEST(Dataset, WindowingShapesAndAlignment) {
+  DatasetProfile profile;
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  profile.seed = 5;
+  TrafficDataset dataset = TrafficDataset::FromProfile(profile);
+  EXPECT_EQ(dataset.num_samples(),
+            dataset.series().num_steps - 12 - 12 + 1);
+  data::Batch batch = dataset.MakeBatch({0, 100});
+  EXPECT_EQ(batch.x.shape(), Shape({2, 12, 8, 2}));
+  EXPECT_EQ(batch.y.shape(), Shape({2, 12, 8}));
+  // y of sample s at horizon t equals the raw series at step s + 12 + t.
+  EXPECT_FLOAT_EQ(batch.y.At({1, 3, 2}), dataset.series().at(100 + 12 + 3, 2));
+  // x channel 0 of sample s at step t is the normalized series value.
+  EXPECT_NEAR(batch.x.At({1, 5, 2, 0}),
+              dataset.scaler().Normalize(dataset.series().at(105, 2)), 1e-5);
+  // x channel 1 is the time of day.
+  EXPECT_FLOAT_EQ(batch.x.At({0, 0, 0, 1}), dataset.series().time_of_day[0]);
+}
+
+TEST(Dataset, SplitsAre7To1To2AndChronological) {
+  DatasetProfile profile;
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  TrafficDataset dataset = TrafficDataset::FromProfile(profile);
+  const data::DatasetSplits splits = dataset.Splits();
+  const int64_t n = dataset.num_samples();
+  EXPECT_EQ(splits.train_begin, 0);
+  EXPECT_EQ(splits.test_end, n);
+  EXPECT_NEAR(static_cast<double>(splits.train_end) / n, 0.7, 0.01);
+  EXPECT_NEAR(static_cast<double>(splits.val_end) / n, 0.8, 0.01);
+  EXPECT_LE(splits.train_end, splits.val_begin);
+  EXPECT_LE(splits.val_end, splits.test_begin);
+}
+
+TEST(Dataset, MakeIndicesShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int64_t> shuffled = TrafficDataset::MakeIndices(10, 20, &rng);
+  std::vector<int64_t> plain = TrafficDataset::MakeIndices(10, 20);
+  EXPECT_EQ(plain.front(), 10);
+  EXPECT_EQ(plain.back(), 19);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, plain);
+}
+
+TEST(Dataset, BatchIndexOutOfRangeThrows) {
+  DatasetProfile profile;
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  TrafficDataset dataset = TrafficDataset::FromProfile(profile);
+  EXPECT_THROW(dataset.MakeBatch({dataset.num_samples()}),
+               internal_check::CheckError);
+}
+
+TEST(Dataset, CsvExportRoundTripHeader) {
+  TrafficSeries series = QuickSeries(FeatureKind::kSpeed, 2);
+  const std::string path = "/tmp/tb_series_test.csv";
+  TB_CHECK_OK(data::WriteSeriesCsv(series, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line).substr(0, 28), "step,time_of_day,day_of_week");
+  std::fclose(f);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace trafficbench

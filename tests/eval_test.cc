@@ -1,0 +1,183 @@
+// Tests for the evaluation layer: masked metrics, the masked-MAE loss,
+// difficult-interval extraction, and repeated-trial statistics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/traffic_simulator.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/metrics.h"
+#include "src/util/check.h"
+
+namespace trafficbench {
+namespace {
+
+using eval::ComputeMetrics;
+using eval::MetricAccumulator;
+using eval::MetricValues;
+
+TEST(Metrics, HandComputedValues) {
+  MetricValues m = ComputeMetrics({3.0f, 5.0f}, {1.0f, 2.0f});
+  EXPECT_EQ(m.count, 2);
+  EXPECT_DOUBLE_EQ(m.mae, 2.5);                       // (2 + 3) / 2
+  EXPECT_NEAR(m.rmse, std::sqrt((4.0 + 9.0) / 2), 1e-9);
+  EXPECT_NEAR(m.mape, 100.0 * (2.0 / 1 + 3.0 / 2) / 2, 1e-9);
+}
+
+TEST(Metrics, MasksZeroTargets) {
+  MetricValues m = ComputeMetrics({10.0f, 99.0f}, {8.0f, 0.0f});
+  EXPECT_EQ(m.count, 1);
+  EXPECT_DOUBLE_EQ(m.mae, 2.0);
+}
+
+TEST(Metrics, MapeSkipsTinyTargets) {
+  // Target 0.5 is below the MAPE floor of 1.0 but counts for MAE.
+  MetricValues m = ComputeMetrics({1.0f, 2.0f}, {0.5f, 2.0f});
+  EXPECT_EQ(m.count, 2);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);  // only the exact-match target qualified
+}
+
+TEST(Metrics, IncludeMaskRestricts) {
+  MetricAccumulator acc;
+  const float pred[] = {2.0f, 4.0f, 6.0f};
+  const float target[] = {1.0f, 1.0f, 1.0f};
+  const uint8_t include[] = {1, 0, 1};
+  acc.Add(pred, target, 3, include);
+  MetricValues m = acc.Finalize();
+  EXPECT_EQ(m.count, 2);
+  EXPECT_DOUBLE_EQ(m.mae, 3.0);  // (1 + 5) / 2
+}
+
+TEST(Metrics, EmptyAccumulatorIsZero) {
+  MetricValues m = MetricAccumulator().Finalize();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+}
+
+TEST(Metrics, RmseAtLeastMae) {
+  MetricValues m =
+      ComputeMetrics({1.0f, 5.0f, 2.0f, 8.0f}, {2.0f, 2.0f, 3.0f, 3.0f});
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(MaskedMaeLossOp, ValueAndGradientMasking) {
+  Tensor pred = Tensor::FromVector(Shape({3}), {2.0f, 7.0f, 1.0f})
+                    .set_requires_grad(true);
+  Tensor target = Tensor::FromVector(Shape({3}), {1.0f, 0.0f, 3.0f});
+  Tensor loss = eval::MaskedMaeLoss(pred, target);
+  EXPECT_NEAR(loss.Item(), (1.0 + 2.0) / 2.0, 1e-6);
+  loss.Backward();
+  EXPECT_NEAR(pred.grad()[0], 0.5f, 1e-5);   // sign(+1) / 2
+  EXPECT_FLOAT_EQ(pred.grad()[1], 0.0f);     // masked out
+  EXPECT_NEAR(pred.grad()[2], -0.5f, 1e-5);  // sign(-2) / 2
+}
+
+TEST(MaskedMaeLossOp, ShapeMismatchThrows) {
+  Tensor a = Tensor::Zeros(Shape({2})).set_requires_grad(true);
+  Tensor b = Tensor::Zeros(Shape({3}));
+  EXPECT_THROW(eval::MaskedMaeLoss(a, b), internal_check::CheckError);
+}
+
+TEST(Summarize, MeanAndSampleStd) {
+  eval::MeanStd ms = eval::Summarize({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_NEAR(ms.stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(eval::Summarize({5.0}).stddev, 0.0);
+  EXPECT_DOUBLE_EQ(eval::Summarize({}).mean, 0.0);
+}
+
+// ---- Difficult intervals -----------------------------------------------------
+
+data::TrafficSeries StepSeries() {
+  // One node, 64 steps: flat at 50, then a sharp drop to 20 at step 32.
+  data::TrafficSeries series;
+  series.kind = data::FeatureKind::kSpeed;
+  series.num_nodes = 1;
+  series.num_steps = 64;
+  series.values.resize(64);
+  for (int64_t s = 0; s < 64; ++s) {
+    series.values[s] = s < 32 ? 50.0f : 20.0f;
+  }
+  series.time_of_day.assign(64, 0.5f);
+  series.day_of_week.assign(64, 2);
+  return series;
+}
+
+TEST(MovingStdOp, FlatIsZeroEdgeIsHigh) {
+  data::TrafficSeries series = StepSeries();
+  std::vector<float> stds = eval::MovingStd(series, 6);
+  EXPECT_NEAR(stds[20], 0.0f, 1e-5);  // flat region
+  EXPECT_NEAR(stds[60], 0.0f, 1e-5);  // flat again after the drop
+  // Right at the transition the window mixes 50s and 20s.
+  EXPECT_GT(stds[33], 10.0f);
+}
+
+TEST(MovingStdOp, SkipsMissingReadings) {
+  data::TrafficSeries series = StepSeries();
+  series.values[20] = 0.0f;  // missing inside a flat window
+  std::vector<float> stds = eval::MovingStd(series, 6);
+  EXPECT_NEAR(stds[22], 0.0f, 1e-5);
+}
+
+TEST(DifficultMaskOp, SelectsTransitionRegion) {
+  data::TrafficSeries series = StepSeries();
+  eval::DifficultIntervalOptions options;
+  options.window_steps = 6;
+  options.top_fraction = 0.15;
+  std::vector<uint8_t> mask = eval::DifficultMask(series, options);
+  // The steps right after the drop must be marked.
+  EXPECT_EQ(mask[33], 1);
+  EXPECT_EQ(mask[35], 1);
+  // Deep flat regions must not be.
+  EXPECT_EQ(mask[10], 0);
+  EXPECT_EQ(mask[60], 0);
+}
+
+TEST(DifficultMaskOp, FractionApproximatesRequest) {
+  Rng rng(21);
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 10, &rng);
+  data::SimulatorOptions options;
+  options.num_days = 4;
+  Rng sim_rng(5);
+  data::TrafficSeries series = SimulateTraffic(
+      network, data::FeatureKind::kSpeed, options, &sim_rng);
+  for (double top : {0.1, 0.25, 0.5}) {
+    eval::DifficultIntervalOptions dio;
+    dio.top_fraction = top;
+    std::vector<uint8_t> mask = eval::DifficultMask(series, dio);
+    EXPECT_NEAR(eval::MaskFraction(mask), top, 0.03) << "top=" << top;
+  }
+}
+
+TEST(DifficultMaskOp, PerNodeQuantiles) {
+  // Two nodes: one calm, one volatile. Both should contribute ~25% of
+  // steps because thresholds are per node.
+  data::TrafficSeries series;
+  series.kind = data::FeatureKind::kSpeed;
+  series.num_nodes = 2;
+  series.num_steps = 200;
+  series.values.resize(400);
+  Rng rng(3);
+  for (int64_t s = 0; s < 200; ++s) {
+    series.values[s * 2 + 0] =
+        50.0f + static_cast<float>(rng.Normal(0.0, 0.2));
+    series.values[s * 2 + 1] =
+        50.0f + static_cast<float>(rng.Normal(0.0, 8.0));
+  }
+  series.time_of_day.assign(200, 0.0f);
+  series.day_of_week.assign(200, 0);
+  std::vector<uint8_t> mask = eval::DifficultMask(series, {});
+  int64_t calm = 0, wild = 0;
+  for (int64_t s = 0; s < 200; ++s) {
+    calm += mask[s * 2];
+    wild += mask[s * 2 + 1];
+  }
+  EXPECT_NEAR(calm, 50, 15);
+  EXPECT_NEAR(wild, 50, 15);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,200 @@
+// Tests for the road-network substrate and its graph operators.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using graph::NetworkTopology;
+using graph::RoadNetwork;
+using graph::RoadSegment;
+using graph::Sensor;
+
+RoadNetwork Triangle() {
+  // 0 -> 1 -> 2 -> 0, plus 0 -> 2 shortcut.
+  return RoadNetwork(
+      {{0, 0, 0}, {1, 1, 0}, {2, 0, 1}},
+      {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {0, 2, 2.0}});
+}
+
+TEST(RoadNetworkBasics, DistancesAndNeighbors) {
+  RoadNetwork network = Triangle();
+  EXPECT_EQ(network.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(network.distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(network.distance(0, 2), 2.0);
+  EXPECT_TRUE(std::isinf(network.distance(1, 0)));
+  EXPECT_DOUBLE_EQ(network.distance(1, 1), 0.0);
+  EXPECT_EQ(network.OutNeighbors(0).size(), 2u);
+  EXPECT_EQ(network.InNeighbors(2).size(), 2u);
+}
+
+TEST(RoadNetworkBasics, HopDistances) {
+  RoadNetwork network = Triangle();
+  std::vector<int> hops = network.HopDistances(1, 5);
+  EXPECT_EQ(hops[1], 0);
+  EXPECT_EQ(hops[2], 1);
+  EXPECT_EQ(hops[0], 2);
+  // max_hops truncates the frontier.
+  std::vector<int> one_hop = network.HopDistances(1, 1);
+  EXPECT_EQ(one_hop[0], -1);
+}
+
+TEST(GaussianAdjacencyOp, SelfLoopsAndDecay) {
+  RoadNetwork network = Triangle();
+  Tensor w = network.GaussianAdjacency(0.01);
+  EXPECT_EQ(w.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(w.At({0, 0}), 1.0f);  // exp(0)
+  EXPECT_GT(w.At({0, 1}), 0.0f);
+  // Longer edge -> smaller weight.
+  EXPECT_LT(w.At({0, 2}), w.At({0, 1}));
+  // No reverse edge 1 -> 0.
+  EXPECT_FLOAT_EQ(w.At({1, 0}), 0.0f);
+}
+
+TEST(GaussianAdjacencyOp, ThresholdSparsifies) {
+  RoadNetwork network = Triangle();
+  Tensor dense = network.GaussianAdjacency(0.0);
+  Tensor sparse = network.GaussianAdjacency(0.9);
+  int64_t dense_nonzero = 0, sparse_nonzero = 0;
+  for (float v : dense.ToVector()) dense_nonzero += v > 0;
+  for (float v : sparse.ToVector()) sparse_nonzero += v > 0;
+  EXPECT_LT(sparse_nonzero, dense_nonzero);
+}
+
+TEST(BinaryAdjacencyOp, EdgesAndDiagonal) {
+  Tensor b = Triangle().BinaryAdjacency();
+  EXPECT_FLOAT_EQ(b.At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(b.At({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(b.At({1, 0}), 0.0f);
+}
+
+class TopologyTest : public ::testing::TestWithParam<NetworkTopology> {};
+
+TEST_P(TopologyTest, GeneratedNetworksAreSane) {
+  Rng rng(42);
+  for (int64_t n : {8, 16, 33}) {
+    Rng local = rng.Fork();
+    RoadNetwork network = RoadNetwork::Generate(GetParam(), n, &local);
+    EXPECT_EQ(network.num_nodes(), n);
+    EXPECT_GT(network.segments().size(), 0u);
+    // Every node has at least one neighbour in some direction.
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_GT(network.InNeighbors(i).size() + network.OutNeighbors(i).size(),
+                0u)
+          << "isolated node " << i;
+    }
+    // Distances are positive and finite on segments.
+    for (const RoadSegment& seg : network.segments()) {
+      EXPECT_GT(seg.distance_miles, 0.0);
+      EXPECT_LT(seg.distance_miles, 10.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyTest,
+                         ::testing::Values(NetworkTopology::kCorridor,
+                                           NetworkTopology::kGrid,
+                                           NetworkTopology::kMultiCorridor),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case NetworkTopology::kCorridor:
+                               return "Corridor";
+                             case NetworkTopology::kGrid:
+                               return "Grid";
+                             default:
+                               return "MultiCorridor";
+                           }
+                         });
+
+TEST(GraphOperators, RandomWalkRowsSumToOne) {
+  Rng rng(7);
+  RoadNetwork network =
+      RoadNetwork::Generate(NetworkTopology::kCorridor, 12, &rng);
+  Tensor p = graph::RandomWalkTransition(network.GaussianAdjacency());
+  for (int64_t i = 0; i < 12; ++i) {
+    float row = 0;
+    for (int64_t j = 0; j < 12; ++j) row += p.At({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5);
+  }
+}
+
+TEST(GraphOperators, ReverseWalkUsesTransposedGraph) {
+  RoadNetwork network = Triangle();
+  Tensor adjacency = network.GaussianAdjacency(0.0);
+  Tensor reverse = graph::ReverseRandomWalkTransition(adjacency);
+  // Edge 0->1 exists, so reverse transition row 1 gives mass to 0.
+  EXPECT_GT(reverse.At({1, 0}), 0.0f);
+}
+
+TEST(GraphOperators, SymmetricNormalizationBounded) {
+  Rng rng(8);
+  RoadNetwork network =
+      RoadNetwork::Generate(NetworkTopology::kGrid, 16, &rng);
+  Tensor sym = graph::SymmetricNormalizedAdjacency(network.GaussianAdjacency());
+  for (float v : sym.ToVector()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f + 1e-5f);
+  }
+}
+
+TEST(GraphOperators, ScaledLaplacianSpectrumInRange) {
+  Rng rng(9);
+  RoadNetwork network =
+      RoadNetwork::Generate(NetworkTopology::kCorridor, 10, &rng);
+  Tensor lap = graph::ScaledLaplacian(network.GaussianAdjacency());
+  // Rough spectral bound: |T~| entries and diagonal in [-1, 1]-ish.
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_LE(std::fabs(lap.At({i, i})), 1.2f);
+  }
+}
+
+TEST(GraphOperators, ChebyshevRecurrence) {
+  RoadNetwork network = Triangle();
+  Tensor lap = graph::ScaledLaplacian(network.GaussianAdjacency(0.0));
+  std::vector<Tensor> basis = graph::ChebyshevBasis(lap, 3);
+  ASSERT_EQ(basis.size(), 3u);
+  // T0 = I.
+  EXPECT_FLOAT_EQ(basis[0].At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(basis[0].At({0, 1}), 0.0f);
+  // T2 = 2 L T1 - T0 verified elementwise.
+  Tensor expected = MatMul(lap, basis[1]) * 2.0f - basis[0];
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(basis[2].data()[i], expected.data()[i], 1e-5);
+  }
+}
+
+TEST(GraphOperators, SpectralEmbeddingOrthogonalish) {
+  Rng rng(10);
+  RoadNetwork network =
+      RoadNetwork::Generate(NetworkTopology::kMultiCorridor, 18, &rng);
+  Tensor embedding =
+      graph::SpectralNodeEmbedding(network.GaussianAdjacency(), 4);
+  EXPECT_EQ(embedding.shape(), Shape({18, 4}));
+  // Columns are near-unit-norm eigenvectors.
+  for (int64_t d = 0; d < 4; ++d) {
+    double norm = 0;
+    for (int64_t i = 0; i < 18; ++i) {
+      norm += embedding.At({i, d}) * embedding.At({i, d});
+    }
+    EXPECT_NEAR(norm, 1.0, 0.1) << "component " << d;
+  }
+  // Deterministic: same inputs give the same embedding.
+  Tensor again = graph::SpectralNodeEmbedding(network.GaussianAdjacency(), 4);
+  EXPECT_EQ(embedding.ToVector(), again.ToVector());
+}
+
+TEST(RoadNetworkValidation, RejectsBadSegments) {
+  EXPECT_THROW(RoadNetwork({{0, 0, 0}}, {{0, 5, 1.0}}),
+               internal_check::CheckError);
+  EXPECT_THROW(RoadNetwork({{0, 0, 0}, {1, 1, 1}}, {{0, 1, -2.0}}),
+               internal_check::CheckError);
+}
+
+}  // namespace
+}  // namespace trafficbench

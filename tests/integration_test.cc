@@ -1,0 +1,155 @@
+// End-to-end integration tests across the full stack: simulate a network,
+// train models, verify they beat the persistence baseline, and exercise
+// the paper's difficult-interval pipeline on trained predictions.
+// These are the slowest tests in the suite; they use a small dataset.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/trainer.h"
+#include "src/models/ablation.h"
+#include "src/models/traffic_model.h"
+
+namespace trafficbench {
+namespace {
+
+const data::TrafficDataset& SmallDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetProfile profile;
+    profile.name = "INTEG";
+    profile.num_nodes = 12;
+    profile.num_days = 6;
+    profile.seed = 400;
+    profile.incidents_per_day = 4.0;
+    return new data::TrafficDataset(
+        data::TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+eval::HorizonReport TrainAndEvaluate(const std::string& name, int epochs,
+                                     int64_t batches) {
+  models::ModelContext context =
+      models::MakeModelContext(SmallDataset(), 123);
+  auto model = models::CreateModel(name, context);
+  eval::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = batches;
+  config.learning_rate = 5e-3;
+  TrainModel(model.get(), SmallDataset(), config);
+  const data::DatasetSplits splits = SmallDataset().Splits();
+  return eval::EvaluateModel(model.get(), SmallDataset(), splits.test_begin,
+                       std::min(splits.test_begin + 120, splits.test_end));
+}
+
+TEST(Integration, TrainedModelBeatsPersistenceAtLongHorizon) {
+  eval::HorizonReport persistence = TrainAndEvaluate("LastValue", 1, 1);
+  eval::HorizonReport gwn = TrainAndEvaluate("Graph-WaveNet", 3, 30);
+  // At the 60-minute horizon persistence decays badly; a trained model
+  // with the daily-time feature must do better.
+  EXPECT_LT(gwn.horizon60.mae, persistence.horizon60.mae)
+      << "Graph-WaveNet " << gwn.horizon60.mae << " vs persistence "
+      << persistence.horizon60.mae;
+  // And the average must improve as well.
+  EXPECT_LT(gwn.average.mae, persistence.average.mae);
+}
+
+TEST(Integration, LossDecreasesOverEpochs) {
+  models::ModelContext context = models::MakeModelContext(SmallDataset(), 7);
+  auto model = models::CreateModel("STG2Seq", context);
+  eval::TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = 20;
+  config.learning_rate = 5e-3;
+  eval::TrainResult result = TrainModel(model.get(), SmallDataset(), config);
+  ASSERT_EQ(result.epoch_losses.size(), 4u);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+}
+
+TEST(Integration, DifficultIntervalsHarderForTrainedModel) {
+  models::ModelContext context = models::MakeModelContext(SmallDataset(), 9);
+  auto model = models::CreateModel("Graph-WaveNet", context);
+  eval::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = 25;
+  config.learning_rate = 5e-3;
+  TrainModel(model.get(), SmallDataset(), config);
+
+  const data::DatasetSplits splits = SmallDataset().Splits();
+  const int64_t end = std::min(splits.test_begin + 120, splits.test_end);
+  eval::HorizonReport all =
+      eval::EvaluateModel(model.get(), SmallDataset(), splits.test_begin, end);
+  std::vector<uint8_t> mask =
+      eval::DifficultMask(SmallDataset().series(), {});
+  eval::EvalOptions options;
+  options.difficult_mask = &mask;
+  eval::HorizonReport hard = EvaluateModel(model.get(), SmallDataset(),
+                                           splits.test_begin, end, options);
+  EXPECT_GT(hard.average.mae, all.average.mae)
+      << "difficult subset must be harder (paper Fig. 2)";
+  EXPECT_LT(hard.average.count, all.average.count);
+}
+
+TEST(Integration, DeterministicTrainingGivenSeeds) {
+  auto run = [] {
+    models::ModelContext context =
+        models::MakeModelContext(SmallDataset(), 55);
+    auto model = models::CreateModel("STGCN", context);
+    eval::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 8;
+    config.max_batches_per_epoch = 5;
+    config.seed = 99;
+    eval::TrainResult result =
+        TrainModel(model.get(), SmallDataset(), config);
+    return result.epoch_losses.front();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Integration, AblationBackboneVariantsAllTrain) {
+  using models::SpatialKind;
+  using models::TemporalKind;
+  for (SpatialKind spatial :
+       {SpatialKind::kNone, SpatialKind::kChebyshev, SpatialKind::kDiffusion,
+        SpatialKind::kAdaptive}) {
+    for (TemporalKind temporal :
+         {TemporalKind::kGru, TemporalKind::kTcn, TemporalKind::kAttention}) {
+      models::ModelContext context =
+          models::MakeModelContext(SmallDataset(), 21);
+      models::StBackbone model(context, spatial, temporal);
+      eval::TrainConfig config;
+      config.epochs = 1;
+      config.batch_size = 8;
+      config.max_batches_per_epoch = 3;
+      eval::TrainResult result =
+          TrainModel(&model, SmallDataset(), config);
+      EXPECT_TRUE(std::isfinite(result.epoch_losses.front()))
+          << model.name();
+      data::Batch batch = SmallDataset().MakeBatch({0, 1});
+      model.SetTraining(false);
+      NoGradGuard guard;
+      Tensor y = model.Forward(batch.x, Tensor());
+      EXPECT_EQ(y.shape(), Shape({2, 12, 12})) << model.name();
+    }
+  }
+}
+
+TEST(Integration, HorizonDifficultyIncreasesWithLeadTime) {
+  // Persistence error grows monotonically-ish with the horizon — a basic
+  // property of the forecasting task the whole paper rests on.
+  eval::HorizonReport report = TrainAndEvaluate("LastValue", 1, 1);
+  EXPECT_LT(report.horizon15.mae, report.horizon30.mae);
+  EXPECT_LT(report.horizon30.mae, report.horizon60.mae);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,92 @@
+// Tests for the model-zoo shared helpers (layout transforms, GLU, time
+// features) and the registry's ablation entries.
+
+#include <gtest/gtest.h>
+
+#include "src/models/common.h"
+#include "src/models/traffic_model.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+TEST(ModelCommon, BcntRoundTrip) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn(Shape({2, 12, 5, 3}), &rng);  // [B, T, N, C]
+  Tensor bcnt = models::ToBcnt(x);
+  EXPECT_EQ(bcnt.shape(), Shape({2, 3, 5, 12}));
+  EXPECT_FLOAT_EQ(bcnt.At({1, 2, 4, 11}), x.At({1, 11, 4, 2}));
+  Tensor back = models::FromBcnt(bcnt);
+  EXPECT_EQ(back.ToVector(), x.ToVector());
+}
+
+TEST(ModelCommon, GraphMixAppliesSupportToNodes) {
+  // Support shifting node 1's value into node 0.
+  Tensor support = Tensor::FromVector(Shape({2, 2}), {0, 1, 0, 0});
+  Tensor features = Tensor::FromVector(Shape({1, 2, 1}), {10.0f, 20.0f});
+  Tensor mixed = models::GraphMix(support, features);
+  EXPECT_FLOAT_EQ(mixed.At({0, 0, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(mixed.At({0, 1, 0}), 0.0f);
+}
+
+TEST(ModelCommon, GluChannelsGates) {
+  // Channels [P | Q]: output = P * sigmoid(Q). Build Q with huge values so
+  // sigmoid saturates to 1 and the output equals P.
+  std::vector<float> data = {1, 2, 3, 4,      // P channel
+                             100, 100, 100, 100};  // Q channel
+  Tensor x = Tensor::FromVector(Shape({1, 2, 2, 2}), std::move(data));
+  Tensor y = models::GluChannels(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_NEAR(y.At({0, 0, 0, 0}), 1.0f, 1e-4);
+  EXPECT_NEAR(y.At({0, 0, 1, 1}), 4.0f, 1e-4);
+}
+
+TEST(ModelCommon, GluRejectsOddChannels) {
+  Tensor x = Tensor::Zeros(Shape({1, 3, 2, 2}));
+  EXPECT_THROW(models::GluChannels(x), internal_check::CheckError);
+}
+
+TEST(ModelCommon, LastTimeOfDayReadsFinalStep) {
+  Tensor x = Tensor::Zeros(Shape({2, 4, 3, 2}));
+  // Set the time channel of the last step for both batch elements.
+  x.data()[((0 * 4 + 3) * 3 + 0) * 2 + 1] = 0.25f;
+  x.data()[((1 * 4 + 3) * 3 + 0) * 2 + 1] = 0.75f;
+  std::vector<float> tod = models::LastTimeOfDay(x);
+  ASSERT_EQ(tod.size(), 2u);
+  EXPECT_FLOAT_EQ(tod[0], 0.25f);
+  EXPECT_FLOAT_EQ(tod[1], 0.75f);
+}
+
+TEST(ModelRegistryAblations, AllVariantsRegistered) {
+  models::RegisterBuiltinModels();
+  const auto& registry = models::ModelRegistry::Instance();
+  for (const char* name :
+       {"AB-spatial-none", "AB-spatial-cheb", "AB-spatial-diffusion",
+        "AB-spatial-adaptive", "AB-temporal-gru", "AB-temporal-tcn",
+        "AB-temporal-attention"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(ModelRegistryAblations, UnknownNameThrows) {
+  models::RegisterBuiltinModels();
+  models::ModelContext context;
+  context.num_nodes = 4;
+  context.adjacency = Tensor::Ones(Shape({4, 4}));
+  EXPECT_THROW(
+      models::ModelRegistry::Instance().Create("NoSuchModel", context),
+      internal_check::CheckError);
+}
+
+TEST(ModelRegistryAblations, DuplicateRegistrationThrows) {
+  models::RegisterBuiltinModels();
+  EXPECT_THROW(models::ModelRegistry::Instance().Register(
+                   "STGCN", [](const models::ModelContext&) {
+                     return std::unique_ptr<models::TrafficModel>();
+                   }),
+               internal_check::CheckError);
+}
+
+}  // namespace
+}  // namespace trafficbench

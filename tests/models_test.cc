@@ -1,0 +1,159 @@
+// Model-zoo tests: every registered model must build, produce the right
+// output shape, propagate gradients into (nearly) all of its parameters,
+// and reduce its training loss on a tiny synthetic dataset.
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/metrics.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/optim/optimizer.h"
+
+namespace trafficbench {
+namespace {
+
+using data::DatasetProfile;
+using data::TrafficDataset;
+using models::ModelContext;
+using models::TrafficModel;
+
+const TrafficDataset& TinyDataset() {
+  static const TrafficDataset* dataset = [] {
+    DatasetProfile profile;
+    profile.name = "TINY";
+    profile.kind = data::FeatureKind::kSpeed;
+    profile.num_nodes = 10;
+    profile.num_days = 4;
+    profile.incidents_per_day = 3.0;
+    profile.seed = 77;
+    return new TrafficDataset(TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TrafficModel> MakeModel() {
+    ModelContext context = models::MakeModelContext(TinyDataset(), 11);
+    return models::CreateModel(GetParam(), context);
+  }
+};
+
+TEST_P(ModelZooTest, ForwardShapeAndFiniteness) {
+  auto model = MakeModel();
+  model->Fit(TinyDataset());
+  model->SetTraining(false);
+  data::Batch batch =
+      TinyDataset().MakeBatch(TrafficDataset::MakeIndices(0, 3));
+  NoGradGuard no_grad;
+  Tensor y = model->Forward(batch.x, Tensor());
+  EXPECT_EQ(y.shape(), Shape({3, 12, 10}));
+  for (float v : y.ToVector()) {
+    ASSERT_TRUE(std::isfinite(v)) << GetParam() << " produced non-finite";
+  }
+}
+
+TEST_P(ModelZooTest, GradientsReachParameters) {
+  auto model = MakeModel();
+  if (!model->IsTrainable()) GTEST_SKIP() << "baseline has no parameters";
+  model->SetTraining(true);
+  data::Batch batch =
+      TinyDataset().MakeBatch(TrafficDataset::MakeIndices(5, 9));
+  Tensor teacher = eval::NormalizeTargets(batch.y, TinyDataset().scaler());
+  Tensor pred = model->Forward(batch.x, teacher);
+  Tensor loss = eval::MaskedMaeLoss(
+      TinyDataset().scaler().Denormalize(pred), batch.y);
+  loss.Backward();
+
+  int64_t with_grad = 0, total = 0;
+  for (const auto& [name, p] : model->NamedParameters()) {
+    ++total;
+    bool nonzero = false;
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) ++with_grad;
+  }
+  EXPECT_GT(total, 0);
+  // At least 80% of parameter tensors must receive gradient signal (some
+  // may legitimately be zero, e.g. dead ReLU paths in a tiny batch).
+  EXPECT_GE(with_grad * 5, total * 4)
+      << GetParam() << ": only " << with_grad << "/" << total
+      << " parameters received gradients";
+}
+
+TEST_P(ModelZooTest, TinyTrainingReducesLoss) {
+  auto model = MakeModel();
+  if (!model->IsTrainable()) GTEST_SKIP();
+  eval::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = 6;
+  config.learning_rate = 3e-3;
+  eval::TrainResult result = TrainModel(model.get(), TinyDataset(), config);
+  ASSERT_EQ(result.epoch_losses.size(), 2u);
+  EXPECT_TRUE(std::isfinite(result.epoch_losses.back()));
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front() * 1.05)
+      << GetParam() << " training diverged";
+}
+
+TEST_P(ModelZooTest, EvaluationProducesMaskedMetrics) {
+  auto model = MakeModel();
+  model->Fit(TinyDataset());
+  const data::DatasetSplits splits = TinyDataset().Splits();
+  eval::HorizonReport report = eval::EvaluateModel(
+      model.get(), TinyDataset(), splits.test_begin,
+      std::min(splits.test_begin + 40, splits.test_end));
+  EXPECT_GT(report.average.count, 0);
+  EXPECT_GT(report.average.mae, 0.0);
+  EXPECT_GE(report.average.rmse, report.average.mae);
+  EXPECT_TRUE(std::isfinite(report.average.mape));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("STGCN", "DCRNN", "ASTGCN", "ST-MetaNet",
+                      "Graph-WaveNet", "STG2Seq", "STSGCN", "GMAN",
+                      "HistoricalAverage", "LastValue"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelRegistry, ListsAllPaperModels) {
+  models::RegisterBuiltinModels();
+  for (const std::string& name : models::PaperModelNames()) {
+    EXPECT_TRUE(models::ModelRegistry::Instance().Contains(name)) << name;
+  }
+  for (const std::string& name : models::BaselineModelNames()) {
+    EXPECT_TRUE(models::ModelRegistry::Instance().Contains(name)) << name;
+  }
+}
+
+TEST(ModelZoo, ParameterCountOrderingMatchesPaperExtremes) {
+  // Table III: STSGCN has the most parameters, ST-MetaNet the fewest.
+  ModelContext context = models::MakeModelContext(TinyDataset(), 3);
+  auto stsgcn = models::CreateModel("STSGCN", context);
+  auto st_meta = models::CreateModel("ST-MetaNet", context);
+  for (const std::string& name : models::PaperModelNames()) {
+    auto model = models::CreateModel(name, context);
+    EXPECT_LE(model->ParameterCount(), stsgcn->ParameterCount())
+        << name << " should not exceed STSGCN";
+    EXPECT_GE(model->ParameterCount(), st_meta->ParameterCount())
+        << name << " should not undercut ST-MetaNet";
+  }
+}
+
+}  // namespace
+}  // namespace trafficbench

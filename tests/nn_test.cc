@@ -1,0 +1,218 @@
+// Tests for the NN module layer: parameter registration, each layer's
+// forward semantics, and gradient flow through composed modules.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/layers.h"
+#include "src/nn/module.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/gradcheck.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+TEST(Module, RegistersParametersRecursively) {
+  class Inner : public nn::Module {
+   public:
+    explicit Inner(Rng* rng) {
+      w = RegisterParameter("w", Tensor::Randn(Shape({2, 3}), rng));
+    }
+    Tensor w;
+  };
+  class Outer : public nn::Module {
+   public:
+    explicit Outer(Rng* rng) {
+      b = RegisterParameter("b", Tensor::Zeros(Shape({4})));
+      inner = RegisterModule("inner", std::make_shared<Inner>(rng));
+    }
+    Tensor b;
+    std::shared_ptr<Inner> inner;
+  };
+  Rng rng(1);
+  Outer outer(&rng);
+  EXPECT_EQ(outer.ParameterCount(), 4 + 6);
+  auto named = outer.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "b");
+  EXPECT_EQ(named[1].first, "inner.w");
+  for (const Tensor& p : outer.Parameters()) {
+    EXPECT_TRUE(p.requires_grad());
+  }
+}
+
+TEST(Module, TrainingFlagPropagates) {
+  class Child : public nn::Module {};
+  class Parent : public nn::Module {
+   public:
+    Parent() { child = RegisterModule("c", std::make_shared<Child>()); }
+    std::shared_ptr<Child> child;
+  };
+  Parent parent;
+  EXPECT_TRUE(parent.training());
+  parent.SetTraining(false);
+  EXPECT_FALSE(parent.training());
+  EXPECT_FALSE(parent.child->training());
+}
+
+TEST(LinearLayer, AffineMapAndShapes) {
+  Rng rng(2);
+  nn::Linear linear(3, 2, &rng);
+  EXPECT_EQ(linear.ParameterCount(), 3 * 2 + 2);
+  // Rank-3 input maps the last axis.
+  Tensor x = Tensor::Ones(Shape({4, 5, 3}));
+  Tensor y = linear.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({4, 5, 2}));
+  // Rank-1 input works too.
+  EXPECT_EQ(linear.Forward(Tensor::Ones(Shape({3}))).shape(), Shape({2}));
+}
+
+TEST(LinearLayer, NoBiasOption) {
+  Rng rng(3);
+  nn::Linear linear(3, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(linear.ParameterCount(), 6);
+  Tensor y = linear.Forward(Tensor::Zeros(Shape({1, 3})));
+  EXPECT_FLOAT_EQ(y.At({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.At({0, 1}), 0.0f);
+}
+
+TEST(EmbeddingLayer, LookupMatchesTable) {
+  Rng rng(4);
+  nn::Embedding embedding(5, 3, &rng);
+  Tensor rows = embedding.Forward({4, 0, 4});
+  EXPECT_EQ(rows.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(rows.At({0, 1}), embedding.Table().At({4, 1}));
+  EXPECT_FLOAT_EQ(rows.At({1, 2}), embedding.Table().At({0, 2}));
+  EXPECT_FLOAT_EQ(rows.At({2, 0}), rows.At({0, 0}));
+}
+
+TEST(LayerNormLayer, NormalizesLastAxis) {
+  nn::LayerNorm norm(4);
+  Tensor x = Tensor::FromVector(Shape({2, 4}),
+                                {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = norm.Forward(x);
+  for (int64_t row = 0; row < 2; ++row) {
+    double sum = 0, sq = 0;
+    for (int64_t c = 0; c < 4; ++c) {
+      sum += y.At({row, c});
+      sq += y.At({row, c}) * y.At({row, c});
+    }
+    EXPECT_NEAR(sum / 4.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 4.0, 1.0, 1e-2);
+  }
+}
+
+TEST(DropoutLayer, IdentityInEvalScaledInTrain) {
+  nn::Dropout dropout(0.5f, 99);
+  Tensor x = Tensor::Ones(Shape({1000}));
+  dropout.SetTraining(false);
+  EXPECT_EQ(dropout.Forward(x).ToVector(), x.ToVector());
+  dropout.SetTraining(true);
+  Tensor y = dropout.Forward(x);
+  int64_t zeros = 0;
+  double sum = 0;
+  for (float v : y.ToVector()) {
+    if (v == 0.0f) ++zeros;
+    sum += v;
+  }
+  EXPECT_NEAR(zeros, 500, 80);            // about half dropped
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);   // inverted scaling preserves mean
+}
+
+TEST(GruCellLayer, StateEvolvesAndIsBounded) {
+  Rng rng(5);
+  nn::GRUCell cell(3, 4, &rng);
+  Tensor x = Tensor::Randn(Shape({2, 3}), &rng);
+  Tensor h = Tensor::Zeros(Shape({2, 4}));
+  Tensor h1 = cell.Forward(x, h);
+  EXPECT_EQ(h1.shape(), Shape({2, 4}));
+  Tensor h2 = cell.Forward(x, h1);
+  EXPECT_NE(h1.ToVector(), h2.ToVector());
+  for (float v : h2.ToVector()) {
+    EXPECT_LE(std::fabs(v), 1.0f);  // tanh-bounded candidate keeps |h| <= 1
+  }
+}
+
+TEST(Attention, UniformWhenQueriesMatchNothing) {
+  // Zero queries -> uniform attention -> output equals mean of values.
+  Tensor q = Tensor::Zeros(Shape({1, 1, 4}));
+  Tensor k = Tensor::FromVector(Shape({1, 2, 4}),
+                                {1, 0, 0, 0, 0, 1, 0, 0});
+  Tensor v = Tensor::FromVector(Shape({1, 2, 2}), {0, 0, 10, 20});
+  Tensor out = nn::ScaledDotProductAttention(q, k, v);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2}));
+  EXPECT_NEAR(out.At({0, 0, 0}), 5.0f, 1e-4);
+  EXPECT_NEAR(out.At({0, 0, 1}), 10.0f, 1e-4);
+}
+
+TEST(Attention, SharpQueriesSelectMatchingValue) {
+  // A query aligned with key 1 and scaled large picks value row 1.
+  Tensor q = Tensor::FromVector(Shape({1, 1, 2}), {0.0f, 50.0f});
+  Tensor k = Tensor::FromVector(Shape({1, 2, 2}), {1, 0, 0, 1});
+  Tensor v = Tensor::FromVector(Shape({1, 2, 1}), {-3.0f, 7.0f});
+  Tensor out = nn::ScaledDotProductAttention(q, k, v);
+  EXPECT_NEAR(out.At({0, 0, 0}), 7.0f, 1e-3);
+}
+
+TEST(MultiHeadAttentionLayer, ShapePreservedAcrossRanks) {
+  Rng rng(6);
+  nn::MultiHeadAttention mha(8, 2, &rng);
+  Tensor x3 = Tensor::Randn(Shape({2, 5, 8}), &rng);
+  EXPECT_EQ(mha.Forward(x3, x3, x3).shape(), Shape({2, 5, 8}));
+  Tensor x4 = Tensor::Randn(Shape({2, 3, 5, 8}), &rng);
+  EXPECT_EQ(mha.Forward(x4, x4, x4).shape(), Shape({2, 3, 5, 8}));
+}
+
+TEST(MultiHeadAttentionLayer, CrossAttentionLengths) {
+  Rng rng(7);
+  nn::MultiHeadAttention mha(8, 4, &rng);
+  Tensor q = Tensor::Randn(Shape({2, 3, 8}), &rng);
+  Tensor kv = Tensor::Randn(Shape({2, 6, 8}), &rng);
+  EXPECT_EQ(mha.Forward(q, kv, kv).shape(), Shape({2, 3, 8}));
+}
+
+TEST(Conv2dLayerModule, MatchesFreeFunction) {
+  Rng rng(8);
+  nn::Conv2dLayer conv(2, 3, 1, 2, &rng);
+  Tensor x = Tensor::Randn(Shape({1, 2, 4, 6}), &rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 3, 4, 5}));
+}
+
+TEST(ComposedModules, GradCheckThroughLinearAndNorm) {
+  Rng rng(9);
+  auto linear = std::make_shared<nn::Linear>(3, 4, &rng);
+  auto norm = std::make_shared<nn::LayerNorm>(4);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& inputs) {
+        return norm->Forward(linear->Forward(inputs[0])).Pow(2.0f).SumAll();
+      },
+      {Tensor::Rand(Shape({2, 3}), &rng, -1, 1).set_requires_grad(true)});
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(ComposedModules, TrainLinearRegression) {
+  // y = x * 2 - 1 learned by a Linear via Adam in a few hundred steps.
+  Rng rng(10);
+  auto model = std::make_shared<nn::Linear>(1, 1, &rng);
+  optim::Adam adam(model->Parameters(), {.learning_rate = 0.05});
+  double last_loss = 1e9;
+  for (int step = 0; step < 200; ++step) {
+    Tensor x = Tensor::Rand(Shape({16, 1}), &rng, -1, 1);
+    std::vector<float> target(16);
+    for (int i = 0; i < 16; ++i) target[i] = 2.0f * x.data()[i] - 1.0f;
+    Tensor y = Tensor::FromVector(Shape({16, 1}), std::move(target));
+    adam.ZeroGrad();
+    Tensor loss = (model->Forward(x) - y).Pow(2.0f).MeanAll();
+    loss.Backward();
+    adam.Step();
+    last_loss = loss.Item();
+  }
+  EXPECT_LT(last_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,129 @@
+// Tests for the optimizers: SGD, Adam, gradient clipping, LR schedules.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/optim/optimizer.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+Tensor Param(std::vector<float> values) {
+  const int64_t size = static_cast<int64_t>(values.size());
+  return Tensor::FromVector(Shape({size}), std::move(values))
+      .set_requires_grad(true);
+}
+
+TEST(Sgd, SingleStepMatchesFormula) {
+  Tensor w = Param({1.0f, 2.0f});
+  optim::Sgd sgd({w}, 0.1);
+  (w * Tensor::FromVector(Shape({2}), {3.0f, -4.0f})).SumAll().Backward();
+  sgd.Step();
+  EXPECT_NEAR(w.data()[0], 1.0f - 0.1f * 3.0f, 1e-6);
+  EXPECT_NEAR(w.data()[1], 2.0f + 0.1f * 4.0f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor w = Param({0.0f});
+  optim::Sgd sgd({w}, 0.1, /*momentum=*/0.9);
+  for (int i = 0; i < 2; ++i) {
+    sgd.ZeroGrad();
+    (w * 1.0f + 1.0f).SumAll().Backward();  // grad = 1 every step
+    sgd.Step();
+  }
+  // v1 = 1, w -= .1; v2 = .9 + 1 = 1.9, w -= .19 → w = -0.29
+  EXPECT_NEAR(w.data()[0], -0.29f, 1e-5);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  Tensor w = Param({5.0f});
+  optim::Adam adam({w}, {.learning_rate = 0.01});
+  (w * 2.0f).SumAll().Backward();
+  adam.Step();
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  EXPECT_NEAR(w.data()[0], 5.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor w = Param({10.0f, -10.0f});
+  optim::Adam adam({w}, {.learning_rate = 0.3});
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    (w * w).SumAll().Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 0.05);
+  EXPECT_NEAR(w.data()[1], 0.0f, 0.05);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Tensor w = Param({1.0f});
+  optim::Adam adam({w}, {.learning_rate = 0.1, .weight_decay = 0.5});
+  adam.ZeroGrad();
+  (w * 0.0f).SumAll().Backward();  // zero gradient, pure decay
+  adam.Step();
+  EXPECT_LT(w.data()[0], 1.0f);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  Tensor w = Param({0.0f, 0.0f});
+  optim::Sgd sgd({w}, 1.0);
+  (w * Tensor::FromVector(Shape({2}), {3.0f, 4.0f})).SumAll().Backward();
+  const double norm = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  double clipped = 0;
+  for (float g : w.grad()) clipped += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(Optimizer, ClipGradNormLeavesSmallGradients) {
+  Tensor w = Param({0.0f});
+  optim::Sgd sgd({w}, 1.0);
+  (w * 0.25f).SumAll().Backward();
+  sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(w.grad()[0], 0.25f, 1e-6);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Tensor w = Param({1.0f});
+  optim::Sgd sgd({w}, 0.1);
+  (w * 3.0f).SumAll().Backward();
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(Optimizer, RejectsNonGradParameters) {
+  Tensor w = Tensor::Zeros(Shape({2}));
+  EXPECT_THROW(optim::Sgd({w}, 0.1), internal_check::CheckError);
+}
+
+TEST(StepLrScheduleTest, DecaysEveryN) {
+  Tensor w = Param({1.0f});
+  optim::Sgd sgd({w}, 1.0);
+  optim::StepLrSchedule schedule(&sgd, 2, 0.5);
+  schedule.EpochEnd();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 1.0);
+  schedule.EpochEnd();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.5);
+  schedule.EpochEnd();
+  schedule.EpochEnd();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.25);
+  EXPECT_EQ(schedule.epoch(), 4);
+}
+
+TEST(Adam, SkipsParametersWithoutGradients) {
+  Tensor used = Param({1.0f});
+  Tensor unused = Param({2.0f});
+  optim::Adam adam({used, unused}, {.learning_rate = 0.1});
+  (used * 1.0f).SumAll().Backward();
+  adam.Step();
+  EXPECT_NE(used.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(unused.data()[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace trafficbench

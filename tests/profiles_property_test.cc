@@ -1,0 +1,124 @@
+// Property sweeps over all seven dataset profiles (TEST_P): every mirror
+// must produce a physically plausible, deterministic, windowable dataset
+// with the paper's structural properties.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/models/traffic_model.h"
+
+namespace trafficbench {
+namespace {
+
+class ProfileSweep : public ::testing::TestWithParam<data::DatasetProfile> {
+ protected:
+  // One generated dataset per profile, cached across the suite.
+  static const data::TrafficDataset& Dataset(
+      const data::DatasetProfile& profile) {
+    static std::map<std::string, data::TrafficDataset>* cache =
+        new std::map<std::string, data::TrafficDataset>();
+    auto it = cache->find(profile.name);
+    if (it == cache->end()) {
+      data::DatasetProfile scaled = data::ScaleProfile(profile, 0.5);
+      it = cache->emplace(profile.name,
+                          data::TrafficDataset::FromProfile(scaled)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(ProfileSweep, SeriesWithinPhysicalBounds) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  const float limit =
+      GetParam().kind == data::FeatureKind::kSpeed ? 85.0f : 400.0f;
+  for (float v : dataset.series().values) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, limit);
+  }
+}
+
+TEST_P(ProfileSweep, MissingRateIsSmallButNonzero) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  int64_t missing = 0;
+  for (float v : dataset.series().values) missing += v == 0.0f;
+  const double rate =
+      static_cast<double>(missing) / dataset.series().values.size();
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST_P(ProfileSweep, ScalerFitOnTrainOnlyIsFinite) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  EXPECT_TRUE(std::isfinite(dataset.scaler().mean()));
+  EXPECT_GT(dataset.scaler().stddev(), 0.0f);
+  // Normalized train data is roughly standard.
+  const float z = dataset.scaler().Normalize(dataset.scaler().mean());
+  EXPECT_NEAR(z, 0.0f, 1e-5);
+}
+
+TEST_P(ProfileSweep, WindowCountMatchesFormula) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  EXPECT_EQ(dataset.num_samples(),
+            dataset.series().num_steps - dataset.input_len() -
+                dataset.output_len() + 1);
+  EXPECT_GT(dataset.num_samples(), 200);
+}
+
+TEST_P(ProfileSweep, DifficultMaskCoversAboutAQuarter) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  std::vector<uint8_t> mask = eval::DifficultMask(dataset.series(), {});
+  EXPECT_NEAR(eval::MaskFraction(mask), 0.25, 0.05);
+}
+
+TEST_P(ProfileSweep, AdjacencyHasSpatialStructure) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  Tensor w = dataset.network().GaussianAdjacency();
+  const int64_t n = w.dim(0);
+  int64_t off_diagonal = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j && w.At({i, j}) > 0.0f) ++off_diagonal;
+    }
+  }
+  // Every node should connect to at least one other on average.
+  EXPECT_GT(off_diagonal, n);
+}
+
+TEST_P(ProfileSweep, ModelContextIsConsistent) {
+  const data::TrafficDataset& dataset = Dataset(GetParam());
+  models::ModelContext context = models::MakeModelContext(dataset, 5);
+  EXPECT_EQ(context.num_nodes, dataset.num_nodes());
+  EXPECT_EQ(context.input_len, 12);
+  EXPECT_EQ(context.output_len, 12);
+  EXPECT_EQ(context.adjacency.shape(),
+            Shape({dataset.num_nodes(), dataset.num_nodes()}));
+}
+
+TEST_P(ProfileSweep, RegenerationIsDeterministic) {
+  data::DatasetProfile scaled = data::ScaleProfile(GetParam(), 0.5);
+  data::TrafficDataset a = data::TrafficDataset::FromProfile(scaled);
+  EXPECT_EQ(a.series().values, Dataset(GetParam()).series().values);
+}
+
+std::vector<data::DatasetProfile> AllProfiles() {
+  std::vector<data::DatasetProfile> profiles = data::SpeedProfiles();
+  for (const auto& p : data::FlowProfiles()) profiles.push_back(p);
+  return profiles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeven, ProfileSweep, ::testing::ValuesIn(AllProfiles()),
+    [](const ::testing::TestParamInfo<data::DatasetProfile>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,139 @@
+// Tests for checkpoint save/load: round trips, strict validation, and a
+// full trained-model restore producing identical predictions.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+#include "src/nn/serialize.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TwoLayer : public nn::Module {
+ public:
+  explicit TwoLayer(Rng* rng) {
+    a = RegisterModule("a", std::make_shared<nn::Linear>(3, 4, rng));
+    b = RegisterModule("b", std::make_shared<nn::Linear>(4, 2, rng));
+  }
+  std::shared_ptr<nn::Linear> a, b;
+};
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  Rng rng(1);
+  TwoLayer source(&rng);
+  const std::string path = TempPath("tb_ckpt_roundtrip.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(source, path));
+
+  Rng rng2(999);  // different init
+  TwoLayer target(&rng2);
+  TB_CHECK_OK(nn::LoadCheckpoint(&target, path));
+
+  auto src = source.NamedParameters();
+  auto dst = target.NamedParameters();
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(src[i].first, dst[i].first);
+    EXPECT_EQ(src[i].second.ToVector(), dst[i].second.ToVector());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const std::string path = TempPath("tb_ckpt_bad_magic.bin");
+  std::ofstream(path) << "definitely not a checkpoint";
+  Rng rng(2);
+  TwoLayer model(&rng);
+  Status status = nn::LoadCheckpoint(&model, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  Rng rng(3);
+  TwoLayer model(&rng);
+  Status status = nn::LoadCheckpoint(&model, "/nonexistent/dir/x.bin");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(Serialize, RejectsParameterCountMismatch) {
+  Rng rng(4);
+  TwoLayer big(&rng);
+  const std::string path = TempPath("tb_ckpt_count.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(big, path));
+  nn::Linear small(3, 4, &rng);
+  Status status = nn::LoadCheckpoint(&small, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(5);
+  nn::Linear a(3, 4, &rng);
+  const std::string path = TempPath("tb_ckpt_shape.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(a, path));
+  nn::Linear b(4, 3, &rng);  // same parameter names, different shapes
+  Status status = nn::LoadCheckpoint(&b, path);
+  EXPECT_FALSE(status.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsTruncatedData) {
+  Rng rng(6);
+  TwoLayer model(&rng);
+  const std::string path = TempPath("tb_ckpt_trunc.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(model, path));
+  // Chop off the last 8 bytes.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  Status status = nn::LoadCheckpoint(&model, path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TrainedModelRestoresIdenticalPredictions) {
+  data::DatasetProfile profile;
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  profile.seed = 88;
+  data::TrafficDataset dataset = data::TrafficDataset::FromProfile(profile);
+  models::ModelContext context = models::MakeModelContext(dataset, 17);
+
+  auto trained = models::CreateModel("Graph-WaveNet", context);
+  eval::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = 5;
+  TrainModel(trained.get(), dataset, config);
+
+  const std::string path = TempPath("tb_ckpt_model.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(*trained, path));
+
+  auto restored = models::CreateModel("Graph-WaveNet", context);
+  TB_CHECK_OK(nn::LoadCheckpoint(restored.get(), path));
+
+  data::Batch batch = dataset.MakeBatch({0, 7, 33});
+  trained->SetTraining(false);
+  restored->SetTraining(false);
+  NoGradGuard no_grad;
+  Tensor expected = trained->Forward(batch.x, Tensor());
+  Tensor actual = restored->Forward(batch.x, Tensor());
+  EXPECT_EQ(expected.ToVector(), actual.ToVector());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,221 @@
+// Statistical properties of the traffic simulator that the paper's
+// experiments depend on: weekly structure, spatial correlation along the
+// graph, noise persistence, and upstream incident propagation.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/traffic_simulator.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using data::FeatureKind;
+using data::SimulatorOptions;
+using data::TrafficSeries;
+
+double Correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / std::sqrt(va * vb + 1e-12);
+}
+
+std::vector<double> NodeSeries(const TrafficSeries& series, int64_t node) {
+  std::vector<double> out(series.num_steps);
+  for (int64_t s = 0; s < series.num_steps; ++s) {
+    out[s] = series.at(s, node);
+  }
+  return out;
+}
+
+TEST(SimulatorStats, WeekendsFasterThanWeekdays) {
+  Rng rng(50);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 10, &net_rng);
+  SimulatorOptions options;
+  options.num_days = 14;  // two full weeks
+  Rng sim_rng = rng.Fork();
+  TrafficSeries series =
+      SimulateTraffic(network, FeatureKind::kSpeed, options, &sim_rng);
+
+  // Compare daytime speeds on weekdays vs weekends.
+  double weekday = 0, weekend = 0;
+  int64_t wd = 0, we = 0;
+  for (int64_t s = 0; s < series.num_steps; ++s) {
+    const int64_t step_in_day = s % data::kStepsPerDay;
+    if (step_in_day < 84 || step_in_day > 228) continue;  // 07:00-19:00
+    for (int64_t node = 0; node < series.num_nodes; ++node) {
+      const float v = series.at(s, node);
+      if (v == 0.0f) continue;
+      if (series.day_of_week[s] < 5) {
+        weekday += v;
+        ++wd;
+      } else {
+        weekend += v;
+        ++we;
+      }
+    }
+  }
+  ASSERT_GT(wd, 0);
+  ASSERT_GT(we, 0);
+  EXPECT_GT(weekend / we, weekday / wd + 1.0)
+      << "weekend daytime traffic should be faster";
+}
+
+TEST(SimulatorStats, NeighborsMoreCorrelatedThanDistantNodes) {
+  Rng rng(51);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 16, &net_rng);
+  SimulatorOptions options;
+  options.num_days = 6;
+  options.incidents_per_day = 8.0;
+  Rng sim_rng = rng.Fork();
+  TrafficSeries series =
+      SimulateTraffic(network, FeatureKind::kSpeed, options, &sim_rng);
+
+  // Average correlation of directly-connected pairs vs far pairs (hop > 4).
+  double near_sum = 0, far_sum = 0;
+  int64_t near_count = 0, far_count = 0;
+  for (int64_t i = 0; i < 16; ++i) {
+    std::vector<int> hops = network.HopDistances(i, 16);
+    std::vector<double> a = NodeSeries(series, i);
+    for (int64_t j = i + 1; j < 16; ++j) {
+      const double corr = Correlation(a, NodeSeries(series, j));
+      if (hops[j] == 1) {
+        near_sum += corr;
+        ++near_count;
+      } else if (hops[j] > 4 || hops[j] < 0) {
+        far_sum += corr;
+        ++far_count;
+      }
+    }
+  }
+  ASSERT_GT(near_count, 0);
+  ASSERT_GT(far_count, 0);
+  EXPECT_GT(near_sum / near_count, far_sum / far_count + 0.02)
+      << "adjacent sensors must co-vary more than distant ones";
+}
+
+TEST(SimulatorStats, ShortTermNoiseIsPersistent) {
+  // The AR(1) component makes one-step changes positively correlated with
+  // the previous level (momentum), unlike white noise.
+  Rng rng(52);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 8, &net_rng);
+  SimulatorOptions options;
+  options.num_days = 6;
+  options.incidents_per_day = 0.0;  // isolate the noise process
+  options.rush_severity = 0.0;      // no daily pattern either
+  options.missing_rate = 0.0;       // a zero reading is a -60 mph outlier
+  Rng sim_rng = rng.Fork();
+  TrafficSeries series =
+      SimulateTraffic(network, FeatureKind::kSpeed, options, &sim_rng);
+
+  // Lag-1 autocorrelation of the (detrended) series per node.
+  double total = 0;
+  for (int64_t node = 0; node < 8; ++node) {
+    std::vector<double> values = NodeSeries(series, node);
+    std::vector<double> now(values.begin(), values.end() - 1);
+    std::vector<double> next(values.begin() + 1, values.end());
+    total += Correlation(now, next);
+  }
+  EXPECT_GT(total / 8.0, 0.5) << "AR(1) persistence expected";
+}
+
+TEST(SimulatorStats, IncidentsPropagateUpstreamWithDelay) {
+  // Build a directed chain 0 -> 1 -> 2 -> 3 -> 4 and inject incidents.
+  // Congestion at a node must back up onto its upstream feeders; node 4
+  // (most downstream) dips should correlate with *later* dips at node 2.
+  std::vector<graph::Sensor> sensors;
+  std::vector<graph::RoadSegment> segments;
+  for (int64_t i = 0; i < 5; ++i) sensors.push_back({i, double(i), 0.0});
+  for (int64_t i = 0; i + 1 < 5; ++i) segments.push_back({i, i + 1, 1.0});
+  graph::RoadNetwork chain(sensors, segments);
+
+  SimulatorOptions options;
+  options.num_days = 8;
+  options.incidents_per_day = 10.0;
+  options.rush_severity = 0.0;
+  options.noise_level = 0.3;
+  Rng sim_rng(53);
+  TrafficSeries series =
+      SimulateTraffic(chain, FeatureKind::kSpeed, options, &sim_rng);
+
+  // Cross-correlation of downstream node 4 with upstream node 3 at lag 1
+  // (upstream reacts one step later) should exceed the reversed lag.
+  std::vector<double> down = NodeSeries(series, 4);
+  std::vector<double> up = NodeSeries(series, 3);
+  std::vector<double> down_now(down.begin(), down.end() - 1);
+  std::vector<double> up_next(up.begin() + 1, up.end());
+  std::vector<double> up_now(up.begin(), up.end() - 1);
+  std::vector<double> down_next(down.begin() + 1, down.end());
+  const double forward = Correlation(down_now, up_next);
+  const double backward = Correlation(up_now, down_next);
+  EXPECT_GT(forward, backward - 0.05)
+      << "incident waves should travel upstream (with delay), not downstream";
+  EXPECT_GT(forward, 0.3);
+}
+
+TEST(SimulatorStats, FlowPeaksAtIntermediateSpeed) {
+  // Across (speed, flow) pairs generated from the same latent state, the
+  // mean flow in the mid-speed band must exceed both extremes
+  // (fundamental-diagram shape).
+  Rng rng(54);
+  Rng net_rng = rng.Fork();
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, 8, &net_rng);
+  SimulatorOptions options;
+  options.num_days = 8;
+  options.incidents_per_day = 8.0;
+  options.rush_severity = 0.7;
+  // Same seed twice: identical latent congestion, different observable.
+  Rng rng_speed(99), rng_flow(99);
+  TrafficSeries speed =
+      SimulateTraffic(network, FeatureKind::kSpeed, options, &rng_speed);
+  TrafficSeries flow =
+      SimulateTraffic(network, FeatureKind::kFlow, options, &rng_flow);
+
+  double low = 0, mid = 0, high = 0;
+  int64_t nl = 0, nm = 0, nh = 0;
+  for (size_t i = 0; i < speed.values.size(); ++i) {
+    const float v = speed.values[i];
+    const float q = flow.values[i];
+    if (v == 0.0f || q == 0.0f) continue;
+    if (v < 30.0f) {
+      low += q;
+      ++nl;
+    } else if (v < 48.0f) {
+      mid += q;
+      ++nm;
+    } else {
+      high += q;
+      ++nh;
+    }
+  }
+  ASSERT_GT(nl, 50);
+  ASSERT_GT(nm, 50);
+  ASSERT_GT(nh, 50);
+  EXPECT_GT(mid / nm, low / nl);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,185 @@
+// Edge cases of the tensor engine: rank-0 scalars, degenerate slices,
+// single-element concats, unusual conv configurations, and error paths.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using internal_check::CheckError;
+
+TEST(ScalarTensors, ArithmeticOnRankZero) {
+  Tensor a = Tensor::Scalar(3.0f);
+  Tensor b = Tensor::Scalar(4.0f);
+  EXPECT_EQ((a * b).rank(), 0);
+  EXPECT_FLOAT_EQ((a * b).Item(), 12.0f);
+  EXPECT_FLOAT_EQ(a.SumAll().Item(), 3.0f);
+  EXPECT_FLOAT_EQ(a.MeanAll().Item(), 3.0f);
+}
+
+TEST(ScalarTensors, BroadcastAgainstAnyRank) {
+  Tensor s = Tensor::Scalar(2.0f);
+  Tensor m = Tensor::Ones(Shape({2, 3, 4}));
+  Tensor out = s * m;
+  EXPECT_EQ(out.shape(), Shape({2, 3, 4}));
+  EXPECT_FLOAT_EQ(out.At({1, 2, 3}), 2.0f);
+}
+
+TEST(ScalarTensors, BackwardThroughScalarChain) {
+  Tensor x = Tensor::Scalar(2.0f).set_requires_grad(true);
+  Tensor y = (x.Exp() + x.Pow(2.0f)).Log();
+  y.Backward();
+  // d/dx log(e^x + x^2) = (e^x + 2x) / (e^x + x^2); at x=2 both are e^2+4.
+  EXPECT_NEAR(x.grad()[0], 1.0, 1e-4);
+}
+
+TEST(DegenerateSlices, EmptySliceHasZeroElements) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  Tensor empty = a.Slice(1, 2, 2);
+  EXPECT_EQ(empty.shape(), Shape({2, 0}));
+  EXPECT_EQ(empty.numel(), 0);
+}
+
+TEST(DegenerateSlices, FullSliceEqualsInput) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  EXPECT_EQ(a.Slice(0, 0, 2).ToVector(), a.ToVector());
+}
+
+TEST(DegenerateSlices, OutOfRangeThrows) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  EXPECT_THROW(a.Slice(1, 0, 4), CheckError);
+  EXPECT_THROW(a.Slice(1, 2, 1), CheckError);
+  EXPECT_THROW(a.Slice(5, 0, 1), CheckError);
+}
+
+TEST(ConcatEdgeCases, SingleInputIsCopy) {
+  Tensor a = Tensor::Arange(4);
+  Tensor c = Concat({a}, 0);
+  EXPECT_EQ(c.ToVector(), a.ToVector());
+}
+
+TEST(ConcatEdgeCases, MismatchedShapesThrow) {
+  Tensor a = Tensor::Zeros(Shape({2, 3}));
+  Tensor b = Tensor::Zeros(Shape({3, 3}));
+  EXPECT_THROW(Concat({a, b}, 1), CheckError);
+  EXPECT_NO_THROW(Concat({a, b}, 0));
+}
+
+TEST(ConvEdgeCases, KernelLargerThanInputThrows) {
+  Tensor x = Tensor::Ones(Shape({1, 1, 1, 3}));
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 5}));
+  EXPECT_THROW(Conv2d(x, w, Tensor()), CheckError);
+}
+
+TEST(ConvEdgeCases, StridePadDilationCombined) {
+  // 1x3 dilated-by-2 kernel, stride 2, pad 2 on a length-7 input.
+  Tensor x = Tensor::Arange(7).Reshape(Shape({1, 1, 1, 7}));
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 3}));
+  Tensor y = Conv2d(x, w, Tensor(), 1, 2, 0, 2, 1, 2);
+  // Effective kernel span = 5; output width = (7 + 4 - 5) / 2 + 1 = 4.
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 4}));
+  // First window covers positions -2, 0, 2 -> 0 + 0 + 2.
+  EXPECT_FLOAT_EQ(y.At({0, 0, 0, 0}), 2.0f);
+  // Second window covers 0, 2, 4.
+  EXPECT_FLOAT_EQ(y.At({0, 0, 0, 1}), 6.0f);
+}
+
+TEST(ConvEdgeCases, ChannelMismatchThrows) {
+  Tensor x = Tensor::Ones(Shape({1, 2, 2, 2}));
+  Tensor w = Tensor::Ones(Shape({1, 3, 1, 1}));
+  EXPECT_THROW(Conv2d(x, w, Tensor()), CheckError);
+}
+
+TEST(MatMulEdgeCases, OneByOneMatrices) {
+  Tensor a = Tensor::Full(Shape({1, 1}), 3.0f);
+  Tensor b = Tensor::Full(Shape({1, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(MatMul(a, b).Item(), 15.0f);
+}
+
+TEST(MatMulEdgeCases, Rank1InputsRejected) {
+  Tensor v = Tensor::Arange(3);
+  Tensor m = Tensor::Zeros(Shape({3, 3}));
+  EXPECT_THROW(MatMul(v, m), CheckError);
+}
+
+TEST(IndexSelectEdgeCases, InnerAxisAndRepeats) {
+  Tensor a = Tensor::Arange(12).Reshape(Shape({2, 3, 2}));
+  Tensor g = IndexSelect(a, 1, {2, 2});
+  EXPECT_EQ(g.shape(), Shape({2, 2, 2}));
+  EXPECT_FLOAT_EQ(g.At({0, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(g.At({0, 1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(g.At({1, 0, 1}), 11.0f);
+}
+
+TEST(AutogradEdgeCases, BackwardOnLeafRequiresGradFlag) {
+  Tensor a = Tensor::Scalar(1.0f);
+  Tensor b = a * 2.0f;  // no grad anywhere
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_THROW(b.Backward(), CheckError);
+}
+
+TEST(AutogradEdgeCases, SetRequiresGradOnNonLeafThrows) {
+  Tensor a = Tensor::Scalar(1.0f).set_requires_grad(true);
+  Tensor b = a * 2.0f;
+  EXPECT_THROW(b.set_requires_grad(true), CheckError);
+}
+
+TEST(AutogradEdgeCases, ReusedSubgraphAccumulatesOnce) {
+  // y = h + h where h = 2x: dy/dx = 4 exactly (no double-count of h's op).
+  Tensor x = Tensor::Scalar(1.0f).set_requires_grad(true);
+  Tensor h = x * 2.0f;
+  (h + h).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+}
+
+TEST(AutogradEdgeCases, LongChainDoesNotOverflowStack) {
+  // 3000 chained ops exercise the iterative (non-recursive) topo sort.
+  Tensor x = Tensor::Scalar(1.0f).set_requires_grad(true);
+  Tensor y = x;
+  for (int i = 0; i < 3000; ++i) y = y + 0.001f;
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  EXPECT_NEAR(y.Item(), 4.0f, 1e-3);
+}
+
+TEST(AutogradEdgeCases, GradTensorUndefinedBeforeBackward) {
+  Tensor x = Tensor::Scalar(1.0f).set_requires_grad(true);
+  EXPECT_FALSE(x.GradTensor().defined());
+  (x * 1.0f).Backward();
+  EXPECT_TRUE(x.GradTensor().defined());
+}
+
+TEST(UndefinedTensors, AccessorsThrow) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.shape(), CheckError);
+  EXPECT_THROW(t.Item(), CheckError);
+  EXPECT_THROW(t.ToVector(), CheckError);
+}
+
+TEST(NumericalStability, SigmoidSaturatesWithoutNan) {
+  Tensor x = Tensor::FromVector(Shape({2}), {-200.0f, 200.0f});
+  Tensor y = x.Sigmoid();
+  EXPECT_FLOAT_EQ(y.At({0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.At({1}), 1.0f);
+  EXPECT_FALSE(std::isnan(y.At({0})));
+}
+
+TEST(NumericalStability, GradOfSaturatedSigmoidIsZeroNotNan) {
+  Tensor x =
+      Tensor::FromVector(Shape({2}), {-200.0f, 200.0f}).set_requires_grad(true);
+  x.Sigmoid().SumAll().Backward();
+  for (float g : x.grad()) {
+    EXPECT_FALSE(std::isnan(g));
+    EXPECT_NEAR(g, 0.0f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,329 @@
+// Forward-value tests for the tensor op library.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using internal_check::CheckError;
+
+TEST(Shape, BasicProperties) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+  EXPECT_EQ(s.Strides(), (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(Shape, ScalarShape) {
+  Shape s({});
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, BroadcastRules) {
+  EXPECT_EQ(Shape::Broadcast(Shape({2, 1, 4}), Shape({3, 1})),
+            Shape({2, 3, 4}));
+  EXPECT_EQ(Shape::Broadcast(Shape({}), Shape({5})), Shape({5}));
+  EXPECT_TRUE(Shape::BroadcastsTo(Shape({1, 4}), Shape({3, 4})));
+  EXPECT_FALSE(Shape::BroadcastsTo(Shape({2, 4}), Shape({3, 4})));
+  EXPECT_THROW(Shape::Broadcast(Shape({2}), Shape({3})), CheckError);
+}
+
+TEST(TensorFactory, FullAndFromVector) {
+  Tensor t = Tensor::Full(Shape({2, 2}), 7.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 1}), 7.0f);
+  EXPECT_THROW(Tensor::FromVector(Shape({3}), {1.0f, 2.0f}), CheckError);
+}
+
+TEST(TensorFactory, RandnStatistics) {
+  Rng rng(42);
+  Tensor t = Tensor::Randn(Shape({10000}), &rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (float v : t.ToVector()) {
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / t.numel();
+  const double var = sq / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorFactory, Arange) {
+  Tensor t = Tensor::Arange(4);
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{0, 1, 2, 3}));
+}
+
+TEST(ElementwiseOps, BroadcastAdd) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape({3}), {10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 2}), 36.0f);
+}
+
+TEST(ElementwiseOps, BroadcastColumnTimesRow) {
+  Tensor col = Tensor::FromVector(Shape({2, 1}), {2, 3});
+  Tensor row = Tensor::FromVector(Shape({1, 3}), {1, 10, 100});
+  Tensor c = col * row;
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.At({0, 1}), 20.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 2}), 300.0f);
+}
+
+TEST(ElementwiseOps, ScalarOverloads) {
+  Tensor a = Tensor::FromVector(Shape({2}), {2, 4});
+  EXPECT_FLOAT_EQ((a + 1.0f).At({0}), 3.0f);
+  EXPECT_FLOAT_EQ((1.0f - a).At({1}), -3.0f);
+  EXPECT_FLOAT_EQ((a * 3.0f).At({1}), 12.0f);
+  EXPECT_FLOAT_EQ((8.0f / a).At({0}), 4.0f);
+  EXPECT_FLOAT_EQ((-a).At({0}), -2.0f);
+}
+
+TEST(ElementwiseOps, UnaryValues) {
+  Tensor x = Tensor::FromVector(Shape({3}), {-1.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(x.Relu().At({0}), 0.0f);
+  EXPECT_FLOAT_EQ(x.Relu().At({2}), 2.0f);
+  EXPECT_FLOAT_EQ(x.Abs().At({0}), 1.0f);
+  EXPECT_NEAR(x.Sigmoid().At({1}), 0.5f, 1e-6);
+  EXPECT_NEAR(x.Tanh().At({2}), std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(x.Exp().At({2}), std::exp(2.0f), 1e-4);
+  EXPECT_NEAR(x.LeakyRelu(0.1f).At({0}), -0.1f, 1e-6);
+}
+
+TEST(ElementwiseOps, MaximumMinimum) {
+  Tensor a = Tensor::FromVector(Shape({3}), {1, 5, 3});
+  Tensor b = Tensor::FromVector(Shape({3}), {2, 4, 3});
+  EXPECT_EQ(Maximum(a, b).ToVector(), (std::vector<float>{2, 5, 3}));
+  EXPECT_EQ(Minimum(a, b).ToVector(), (std::vector<float>{1, 4, 3}));
+}
+
+TEST(MatMulOp, Rectangular) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape({3, 2}), {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.At({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 1}), 154.0f);
+}
+
+TEST(MatMulOp, BatchedBroadcast) {
+  // [2, 2, 2] x [2, 2] broadcasts the right operand over the batch.
+  Tensor a = Tensor::FromVector(Shape({2, 2, 2}), {1, 0, 0, 1, 2, 0, 0, 2});
+  Tensor b = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2, 2}));
+  EXPECT_FLOAT_EQ(c.At({0, 0, 0}), 1.0f);  // identity batch
+  EXPECT_FLOAT_EQ(c.At({1, 0, 1}), 4.0f);  // 2x scaled batch
+}
+
+TEST(MatMulOp, InnerDimMismatchThrows) {
+  Tensor a = Tensor::Zeros(Shape({2, 3}));
+  Tensor b = Tensor::Zeros(Shape({2, 2}));
+  EXPECT_THROW(MatMul(a, b), CheckError);
+}
+
+TEST(ShapeOps, ReshapeRoundTrip) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  EXPECT_FLOAT_EQ(a.At({1, 0}), 3.0f);
+  EXPECT_THROW(a.Reshape(Shape({4})), CheckError);
+}
+
+TEST(ShapeOps, TransposeValues) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  Tensor t = a.Transpose(0, 1);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.At({0, 1}), 3.0f);
+  EXPECT_FLOAT_EQ(t.At({2, 0}), 2.0f);
+}
+
+TEST(ShapeOps, PermuteValues) {
+  Tensor a = Tensor::Arange(24).Reshape(Shape({2, 3, 4}));
+  Tensor p = a.Permute({2, 0, 1});
+  EXPECT_EQ(p.shape(), Shape({4, 2, 3}));
+  EXPECT_FLOAT_EQ(p.At({1, 0, 2}), a.At({0, 2, 1}));
+}
+
+TEST(ShapeOps, SliceMiddleAxis) {
+  Tensor a = Tensor::Arange(24).Reshape(Shape({2, 3, 4}));
+  Tensor s = a.Slice(1, 1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2, 4}));
+  EXPECT_FLOAT_EQ(s.At({0, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(s.At({1, 1, 3}), 23.0f);
+}
+
+TEST(ShapeOps, UnsqueezeSqueeze) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  Tensor u = a.Unsqueeze(1);
+  EXPECT_EQ(u.shape(), Shape({2, 1, 3}));
+  EXPECT_EQ(u.Squeeze(1).shape(), Shape({2, 3}));
+  EXPECT_EQ(a.Unsqueeze(-1).shape(), Shape({2, 3, 1}));
+  EXPECT_THROW(a.Squeeze(0), CheckError);
+}
+
+TEST(ShapeOps, BroadcastToValues) {
+  Tensor a = Tensor::FromVector(Shape({1, 2}), {5, 6});
+  Tensor b = a.BroadcastTo(Shape({3, 2}));
+  EXPECT_FLOAT_EQ(b.At({2, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(b.At({1, 1}), 6.0f);
+}
+
+TEST(Reductions, SumAxes) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({2, 3}));
+  Tensor s0 = a.Sum({0});
+  EXPECT_EQ(s0.shape(), Shape({3}));
+  EXPECT_EQ(s0.ToVector(), (std::vector<float>{3, 5, 7}));
+  Tensor s1 = a.Sum({1}, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), Shape({2, 1}));
+  EXPECT_EQ(s1.ToVector(), (std::vector<float>{3, 12}));
+  EXPECT_FLOAT_EQ(a.SumAll().Item(), 15.0f);
+  EXPECT_FLOAT_EQ(a.MeanAll().Item(), 2.5f);
+}
+
+TEST(Reductions, MeanWithNegativeAxis) {
+  Tensor a = Tensor::Arange(8).Reshape(Shape({2, 4}));
+  Tensor m = a.Mean({-1});
+  EXPECT_EQ(m.shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(m.At({0}), 1.5f);
+  EXPECT_FLOAT_EQ(m.At({1}), 5.5f);
+}
+
+TEST(SoftmaxOp, RowsSumToOne) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn(Shape({4, 5}), &rng);
+  Tensor y = a.Softmax(-1);
+  for (int64_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) sum += y.At({i, j});
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxOp, StableWithLargeLogits) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1000.0f, 1001.0f});
+  Tensor y = a.Softmax(0);
+  EXPECT_NEAR(y.At({1}), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+  EXPECT_FALSE(std::isnan(y.At({0})));
+}
+
+TEST(SoftmaxOp, InnerAxis) {
+  Tensor a = Tensor::Zeros(Shape({2, 3, 4}));
+  Tensor y = a.Softmax(1);
+  EXPECT_NEAR(y.At({0, 0, 0}), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(StructuralOps, ConcatAxis0And1) {
+  Tensor a = Tensor::Arange(4).Reshape(Shape({2, 2}));
+  Tensor b = Tensor::Full(Shape({2, 2}), 9.0f);
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), Shape({4, 2}));
+  EXPECT_FLOAT_EQ(c0.At({3, 1}), 9.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), Shape({2, 4}));
+  EXPECT_FLOAT_EQ(c1.At({0, 3}), 9.0f);
+  EXPECT_FLOAT_EQ(c1.At({1, 0}), 2.0f);
+}
+
+TEST(StructuralOps, StackCreatesNewAxis) {
+  Tensor a = Tensor::Arange(3);
+  Tensor b = Tensor::Full(Shape({3}), 5.0f);
+  Tensor s = Stack({a, b}, 0);
+  EXPECT_EQ(s.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(s.At({1, 2}), 5.0f);
+}
+
+TEST(StructuralOps, PadAddsZeros) {
+  Tensor a = Tensor::FromVector(Shape({1, 3}), {1, 2, 3});
+  Tensor p = Pad(a, 1, 2, 1);
+  EXPECT_EQ(p.shape(), Shape({1, 6}));
+  EXPECT_EQ(p.ToVector(), (std::vector<float>{0, 0, 1, 2, 3, 0}));
+}
+
+TEST(StructuralOps, IndexSelectGather) {
+  Tensor a = Tensor::Arange(6).Reshape(Shape({3, 2}));
+  Tensor g = IndexSelect(a, 0, {2, 0, 2});
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(g.At({0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(g.At({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(g.At({2, 0}), 4.0f);
+  EXPECT_THROW(IndexSelect(a, 0, {3}), CheckError);
+}
+
+TEST(Conv2dOp, IdentityKernel) {
+  Tensor x = Tensor::Arange(8).Reshape(Shape({1, 1, 2, 4}));
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 1}));
+  Tensor y = Conv2d(x, w, Tensor());
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 4}));
+  EXPECT_EQ(y.ToVector(), x.ToVector());
+}
+
+TEST(Conv2dOp, TemporalKernelShrinksWidth) {
+  // Kernel (1, 2): moving sum along the last (time) axis.
+  Tensor x = Tensor::FromVector(Shape({1, 1, 1, 4}), {1, 2, 3, 4});
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 2}));
+  Tensor y = Conv2d(x, w, Tensor());
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 3}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{3, 5, 7}));
+}
+
+TEST(Conv2dOp, DilationSkipsElements) {
+  Tensor x = Tensor::FromVector(Shape({1, 1, 1, 5}), {1, 2, 3, 4, 5});
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 2}));
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1, 0, 0, 1, 2);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 3}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{4, 6, 8}));
+}
+
+TEST(Conv2dOp, BiasAndMultiChannel) {
+  Tensor x = Tensor::Ones(Shape({1, 2, 1, 3}));
+  Tensor w = Tensor::Ones(Shape({3, 2, 1, 1}));
+  Tensor b = Tensor::FromVector(Shape({3}), {0.0f, 10.0f, 20.0f});
+  Tensor y = Conv2d(x, w, b);
+  EXPECT_EQ(y.shape(), Shape({1, 3, 1, 3}));
+  EXPECT_FLOAT_EQ(y.At({0, 0, 0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(y.At({0, 1, 0, 1}), 12.0f);
+  EXPECT_FLOAT_EQ(y.At({0, 2, 0, 2}), 22.0f);
+}
+
+TEST(Conv2dOp, PaddingGrowsOutput) {
+  Tensor x = Tensor::Ones(Shape({1, 1, 1, 3}));
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 3}));
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1, 0, 1);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 3}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{2, 3, 2}));
+}
+
+TEST(DetachOp, BreaksGraph) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 2}).set_requires_grad(true);
+  Tensor b = (a * 2.0f).Detach();
+  EXPECT_FALSE(b.requires_grad());
+  Tensor c = b * 3.0f;
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(NoGrad, SuppressesGraphRecording) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 2}).set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    Tensor b = a * 2.0f;
+    EXPECT_FALSE(b.requires_grad());
+  }
+  Tensor c = a * 2.0f;
+  EXPECT_TRUE(c.requires_grad());
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,237 @@
+// Property-style tests of the tensor engine: algebraic identities that
+// must hold for arbitrary shapes and values, parameterized over a sweep
+// of shapes (TEST_P).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+class ShapeSweep : public ::testing::TestWithParam<Shape> {
+ protected:
+  Tensor Random(uint64_t seed) {
+    Rng rng(seed);
+    return Tensor::Rand(GetParam(), &rng, -2.0f, 2.0f);
+  }
+};
+
+void ExpectAllNear(const Tensor& a, const Tensor& b, float tolerance = 1e-5f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  const std::vector<float> av = a.ToVector();
+  const std::vector<float> bv = b.ToVector();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ASSERT_NEAR(av[i], bv[i], tolerance) << "at flat index " << i;
+  }
+}
+
+TEST_P(ShapeSweep, AdditionCommutes) {
+  Tensor a = Random(1), b = Random(2);
+  ExpectAllNear(a + b, b + a);
+}
+
+TEST_P(ShapeSweep, MultiplicationDistributes) {
+  Tensor a = Random(3), b = Random(4), c = Random(5);
+  ExpectAllNear(a * (b + c), a * b + a * c, 1e-4f);
+}
+
+TEST_P(ShapeSweep, NegationIsInvolution) {
+  Tensor a = Random(6);
+  ExpectAllNear((-(-a)), a);
+}
+
+TEST_P(ShapeSweep, ExpLogRoundTrip) {
+  Rng rng(7);
+  Tensor a = Tensor::Rand(GetParam(), &rng, 0.1f, 3.0f);
+  ExpectAllNear(a.Log().Exp(), a, 1e-4f);
+}
+
+TEST_P(ShapeSweep, TanhViaSigmoidIdentity) {
+  // tanh(x) = 2 sigmoid(2x) - 1
+  Tensor a = Random(8);
+  ExpectAllNear(a.Tanh(), (a * 2.0f).Sigmoid() * 2.0f - 1.0f, 1e-5f);
+}
+
+TEST_P(ShapeSweep, ReluPlusNegReluIsIdentity) {
+  Tensor a = Random(9);
+  ExpectAllNear(a.Relu() - (-a).Relu(), a);
+}
+
+TEST_P(ShapeSweep, ReshapeRoundTripsThroughFlat) {
+  Tensor a = Random(10);
+  Tensor flat = a.Reshape(Shape({a.numel()}));
+  ExpectAllNear(flat.Reshape(GetParam()), a);
+}
+
+TEST_P(ShapeSweep, SumAllEqualsSumOfAxes) {
+  Tensor a = Random(11);
+  if (a.rank() == 0) GTEST_SKIP();
+  std::vector<int> axes(a.rank());
+  for (int i = 0; i < a.rank(); ++i) axes[i] = i;
+  EXPECT_NEAR(a.SumAll().Item(), a.Sum(axes).Item(), 1e-3f);
+}
+
+TEST_P(ShapeSweep, MeanIsSumOverCount) {
+  Tensor a = Random(12);
+  EXPECT_NEAR(a.MeanAll().Item() * static_cast<float>(a.numel()),
+              a.SumAll().Item(), 1e-3f);
+}
+
+TEST_P(ShapeSweep, MaximumMinimumPartition) {
+  Tensor a = Random(13), b = Random(14);
+  // max(a,b) + min(a,b) == a + b
+  ExpectAllNear(Maximum(a, b) + Minimum(a, b), a + b);
+}
+
+TEST_P(ShapeSweep, AbsIsNonNegativeAndEven) {
+  Tensor a = Random(15);
+  for (float v : a.Abs().ToVector()) EXPECT_GE(v, 0.0f);
+  ExpectAllNear(a.Abs(), (-a).Abs());
+}
+
+TEST_P(ShapeSweep, BroadcastToSelfIsIdentity) {
+  Tensor a = Random(16);
+  ExpectAllNear(a.BroadcastTo(GetParam()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(Shape({1}), Shape({7}), Shape({3, 4}), Shape({1, 5}),
+                      Shape({2, 3, 4}), Shape({2, 1, 3, 2})),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      std::string name = "s";
+      for (int64_t d : info.param.dims()) name += "_" + std::to_string(d);
+      return name;
+    });
+
+TEST(TensorProperty, TransposeIsInvolution) {
+  Rng rng(20);
+  Tensor a = Tensor::Randn(Shape({3, 5}), &rng);
+  Tensor round = a.Transpose(0, 1).Transpose(0, 1);
+  EXPECT_EQ(round.ToVector(), a.ToVector());
+}
+
+TEST(TensorProperty, PermuteComposesWithInverse) {
+  Rng rng(21);
+  Tensor a = Tensor::Randn(Shape({2, 3, 4, 5}), &rng);
+  Tensor p = a.Permute({3, 1, 0, 2});
+  // inverse of {3,1,0,2} is {2,1,3,0}
+  Tensor back = p.Permute({2, 1, 3, 0});
+  EXPECT_EQ(back.ToVector(), a.ToVector());
+}
+
+TEST(TensorProperty, MatMulIdentityIsNoop) {
+  Rng rng(22);
+  Tensor a = Tensor::Randn(Shape({4, 4}), &rng);
+  std::vector<float> eye(16, 0.0f);
+  for (int i = 0; i < 4; ++i) eye[i * 4 + i] = 1.0f;
+  Tensor identity = Tensor::FromVector(Shape({4, 4}), std::move(eye));
+  Tensor left = MatMul(identity, a);
+  Tensor right = MatMul(a, identity);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(left.data()[i], a.data()[i], 1e-5f);
+    EXPECT_NEAR(right.data()[i], a.data()[i], 1e-5f);
+  }
+}
+
+TEST(TensorProperty, MatMulAssociates) {
+  Rng rng(23);
+  Tensor a = Tensor::Randn(Shape({3, 4}), &rng);
+  Tensor b = Tensor::Randn(Shape({4, 5}), &rng);
+  Tensor c = Tensor::Randn(Shape({5, 2}), &rng);
+  Tensor left = MatMul(MatMul(a, b), c);
+  Tensor right = MatMul(a, MatMul(b, c));
+  for (int64_t i = 0; i < left.numel(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-3f);
+  }
+}
+
+TEST(TensorProperty, MatMulTransposeIdentity) {
+  // (A B)^T == B^T A^T
+  Rng rng(24);
+  Tensor a = Tensor::Randn(Shape({3, 4}), &rng);
+  Tensor b = Tensor::Randn(Shape({4, 5}), &rng);
+  Tensor lhs = MatMul(a, b).Transpose(0, 1);
+  Tensor rhs = MatMul(b.Transpose(0, 1), a.Transpose(0, 1));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4f);
+  }
+}
+
+TEST(TensorProperty, SoftmaxInvariantToShift) {
+  Rng rng(25);
+  Tensor a = Tensor::Randn(Shape({4, 6}), &rng);
+  Tensor shifted = a + 100.0f;
+  Tensor ya = a.Softmax(-1);
+  Tensor yb = shifted.Softmax(-1);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_NEAR(ya.data()[i], yb.data()[i], 1e-5f);
+  }
+}
+
+TEST(TensorProperty, ConcatThenSliceRecoversParts) {
+  Rng rng(26);
+  Tensor a = Tensor::Randn(Shape({2, 3}), &rng);
+  Tensor b = Tensor::Randn(Shape({2, 5}), &rng);
+  Tensor joined = Concat({a, b}, 1);
+  EXPECT_EQ(joined.Slice(1, 0, 3).ToVector(), a.ToVector());
+  EXPECT_EQ(joined.Slice(1, 3, 8).ToVector(), b.ToVector());
+}
+
+TEST(TensorProperty, PadThenSliceIsIdentity) {
+  Rng rng(27);
+  Tensor a = Tensor::Randn(Shape({3, 4}), &rng);
+  Tensor padded = Pad(a, 0, 2, 1);
+  EXPECT_EQ(padded.Slice(0, 2, 5).ToVector(), a.ToVector());
+}
+
+TEST(TensorProperty, Conv1x1EqualsChannelMatmul) {
+  // A 1x1 convolution is exactly a linear map over channels.
+  Rng rng(28);
+  Tensor x = Tensor::Randn(Shape({2, 3, 4, 5}), &rng);
+  Tensor w = Tensor::Randn(Shape({6, 3, 1, 1}), &rng);
+  Tensor conv = Conv2d(x, w, Tensor());
+  Tensor lin = MatMul(w.Reshape(Shape({6, 3})),
+                      x.Reshape(Shape({2, 3, 20})));
+  Tensor expected = lin.Reshape(Shape({2, 6, 4, 5}));
+  for (int64_t i = 0; i < conv.numel(); ++i) {
+    EXPECT_NEAR(conv.data()[i], expected.data()[i], 1e-4f);
+  }
+}
+
+TEST(TensorProperty, StrideTwoConvMatchesManualSubsampling) {
+  Tensor x = Tensor::Arange(8).Reshape(Shape({1, 1, 1, 8}));
+  Tensor w = Tensor::Ones(Shape({1, 1, 1, 1}));
+  Tensor strided = Conv2d(x, w, Tensor(), 1, 2);
+  EXPECT_EQ(strided.ToVector(), (std::vector<float>{0, 2, 4, 6}));
+}
+
+TEST(TensorProperty, GradOfSumIsOnes) {
+  for (int64_t n : {1, 5, 17}) {
+    Tensor a = Tensor::Zeros(Shape({n})).set_requires_grad(true);
+    a.SumAll().Backward();
+    EXPECT_EQ(a.grad(), std::vector<float>(n, 1.0f));
+  }
+}
+
+TEST(TensorProperty, LinearityOfGradients) {
+  // d/dx (3 f(x)) == 3 d/dx f(x) for f = sigmoid.
+  Rng rng(29);
+  Tensor x1 = Tensor::Randn(Shape({6}), &rng);
+  Tensor x2 = Tensor::FromVector(Shape({6}), x1.ToVector());
+  x1.set_requires_grad(true);
+  x2.set_requires_grad(true);
+  x1.Sigmoid().SumAll().Backward();
+  (x2.Sigmoid() * 3.0f).SumAll().Backward();
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(3.0f * x1.grad()[i], x2.grad()[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,38 @@
+// Smoke tests for the tensor engine; the thorough suites live in
+// tensor_ops_test.cc and autograd_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+TEST(TensorSmoke, ZerosAndShape) {
+  Tensor t = Tensor::Zeros(Shape({2, 3}));
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_FLOAT_EQ(t.At({1, 2}), 0.0f);
+}
+
+TEST(TensorSmoke, AddBackward) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector(Shape({2}), {3.0f, 4.0f}).set_requires_grad(true);
+  Tensor loss = (a * b).SumAll();
+  loss.Backward();
+  EXPECT_FLOAT_EQ(loss.Item(), 11.0f);
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 2.0f);
+}
+
+TEST(TensorSmoke, MatMul) {
+  Tensor a = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape({2, 2}), {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At({0, 0}), 19.0f);
+  EXPECT_FLOAT_EQ(c.At({1, 1}), 50.0f);
+}
+
+}  // namespace
+}  // namespace trafficbench

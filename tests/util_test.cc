@@ -1,0 +1,187 @@
+// Tests for the utility layer: Status/Result, TB_CHECK, Rng, Table.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace trafficbench {
+namespace {
+
+using internal_check::CheckError;
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad shape");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultType, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Check, PassesOnTrue) { TB_CHECK(1 + 1 == 2) << "never shown"; }
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    TB_CHECK(false) << "extra " << 42;
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("extra 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacros) {
+  TB_CHECK_EQ(2, 2);
+  TB_CHECK_LT(1, 2);
+  TB_CHECK_GE(2, 2);
+  EXPECT_THROW(TB_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(TB_CHECK_GT(1, 2), CheckError);
+  EXPECT_THROW(TB_CHECK_NE(3, 3), CheckError);
+}
+
+TEST(Check, OkMacro) {
+  TB_CHECK_OK(Status::Ok());
+  EXPECT_THROW(TB_CHECK_OK(Status::Internal("boom")), CheckError);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextUint64() == b.NextUint64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+  EXPECT_THROW(rng.UniformInt(0), CheckError);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += rng.Poisson(4.0);
+  EXPECT_NEAR(sum / 5000.0, 4.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int64_t> values = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int64_t> original = values;
+  rng.Shuffle(&values);
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(values, original);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(7);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(TableTest, AlignsAndRendersRows) {
+  Table table({"a", "long_header"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"yyyy", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| a    | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| yyyy | 2           |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), CheckError);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table table({"name", "value"});
+  table.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(-1.0, 0), "-1");
+  EXPECT_EQ(Table::MeanStd(1.5, 0.25), "1.50 ± 0.25");
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -1,0 +1,242 @@
+// trafficbench — command-line interface to the library.
+//
+//   trafficbench list
+//   trafficbench simulate --dataset METR-LA-S --out-network net.csv
+//                         --out-series series.csv
+//   trafficbench train    --model Graph-WaveNet --dataset METR-LA-S
+//                         [--epochs 3] [--batches 40] [--lr 5e-3]
+//                         [--validate] [--checkpoint model.ckpt]
+//   trafficbench evaluate --model Graph-WaveNet --dataset METR-LA-S
+//                         --checkpoint model.ckpt [--difficult]
+//
+// Instead of --dataset, pass --network net.csv --series series.csv
+// [--flow] to run on imported (e.g. real PeMS) data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/data/dataset.h"
+#include "src/data/io.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/nn/serialize.h"
+#include "src/util/table.h"
+
+namespace tb = trafficbench;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: trafficbench <list|simulate|train|evaluate> [options]\n"
+      "  list                         models and dataset profiles\n"
+      "  simulate --dataset NAME --out-network F --out-series F\n"
+      "  train    --model M (--dataset NAME | --network F --series F"
+      " [--flow])\n"
+      "           [--epochs N] [--batches N] [--batch N] [--lr X]\n"
+      "           [--seed N] [--validate] [--checkpoint F]\n"
+      "  evaluate --model M (--dataset ... | --network/--series ...)\n"
+      "           --checkpoint F [--difficult]\n");
+  return 2;
+}
+
+std::optional<tb::data::TrafficDataset> OpenDataset(const Args& args) {
+  if (args.Has("dataset")) {
+    tb::Result<tb::data::DatasetProfile> profile =
+        tb::data::ProfileByName(args.Get("dataset", ""));
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return tb::data::TrafficDataset::FromProfile(profile.value());
+  }
+  if (args.Has("network") && args.Has("series")) {
+    const tb::data::FeatureKind kind = args.Has("flow")
+                                           ? tb::data::FeatureKind::kFlow
+                                           : tb::data::FeatureKind::kSpeed;
+    tb::Result<tb::data::TrafficDataset> loaded = tb::data::LoadDatasetCsv(
+        args.Get("network", ""), args.Get("series", ""), kind);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return std::move(loaded).value();
+  }
+  std::fprintf(stderr,
+               "need --dataset NAME or --network F --series F [--flow]\n");
+  return std::nullopt;
+}
+
+int CmdList() {
+  tb::models::RegisterBuiltinModels();
+  std::printf("models:\n");
+  for (const std::string& name :
+       tb::models::ModelRegistry::Instance().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("dataset profiles:\n");
+  for (const auto& p : tb::data::SpeedProfiles()) {
+    std::printf("  %-12s (speed, mirrors %s)\n", p.name.c_str(),
+                p.mirrors.c_str());
+  }
+  for (const auto& p : tb::data::FlowProfiles()) {
+    std::printf("  %-12s (flow,  mirrors %s)\n", p.name.c_str(),
+                p.mirrors.c_str());
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
+  if (!dataset) return 1;
+  const std::string net_path = args.Get("out-network", "network.csv");
+  const std::string series_path = args.Get("out-series", "series.csv");
+  tb::Status status =
+      tb::data::WriteNetworkCsv(dataset->network(), net_path);
+  if (status.ok()) {
+    status = tb::data::WriteSeriesCsv(dataset->series(), series_path);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%lld sensors) and %s (%lld steps)\n",
+              net_path.c_str(),
+              static_cast<long long>(dataset->num_nodes()),
+              series_path.c_str(),
+              static_cast<long long>(dataset->series().num_steps));
+  return 0;
+}
+
+void PrintReport(const tb::eval::HorizonReport& report) {
+  tb::Table table({"Horizon", "MAE", "RMSE", "MAPE%", "n"});
+  auto row = [&](const char* label, const tb::eval::MetricValues& m) {
+    table.AddRow({label, tb::Table::Num(m.mae, 3), tb::Table::Num(m.rmse, 3),
+                  tb::Table::Num(m.mape, 2), std::to_string(m.count)});
+  };
+  row("15 min", report.horizon15);
+  row("30 min", report.horizon30);
+  row("60 min", report.horizon60);
+  row("average", report.average);
+  std::printf("%s", table.ToString().c_str());
+}
+
+int CmdTrain(const Args& args) {
+  std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
+  if (!dataset) return 1;
+  const std::string model_name = args.Get("model", "Graph-WaveNet");
+  const uint64_t seed = std::strtoull(args.Get("seed", "2021").c_str(),
+                                      nullptr, 10);
+  auto model = tb::models::CreateModel(
+      model_name, tb::models::MakeModelContext(*dataset, seed));
+  std::printf("training %s (%lld parameters)\n", model_name.c_str(),
+              static_cast<long long>(model->ParameterCount()));
+
+  tb::eval::TrainConfig config;
+  config.epochs = std::atoi(args.Get("epochs", "3").c_str());
+  config.max_batches_per_epoch =
+      std::atoll(args.Get("batches", "40").c_str());
+  config.batch_size = std::atoll(args.Get("batch", "8").c_str());
+  config.learning_rate = std::atof(args.Get("lr", "5e-3").c_str());
+  config.select_best_on_validation = args.Has("validate");
+  config.verbose = true;
+  tb::eval::TrainResult result = TrainModel(model.get(), *dataset, config);
+  if (config.select_best_on_validation) {
+    std::printf("kept epoch %d (val masked-MAE %.4f)\n", result.best_epoch + 1,
+                result.best_epoch >= 0
+                    ? result.val_losses[result.best_epoch]
+                    : 0.0);
+  }
+
+  const tb::data::DatasetSplits splits = dataset->Splits();
+  PrintReport(tb::eval::EvaluateModel(model.get(), *dataset,
+                                      splits.test_begin, splits.test_end));
+
+  if (args.Has("checkpoint")) {
+    const std::string path = args.Get("checkpoint", "model.ckpt");
+    tb::Status status = tb::nn::SaveCheckpoint(*model, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint saved to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
+  if (!dataset) return 1;
+  const std::string model_name = args.Get("model", "Graph-WaveNet");
+  const uint64_t seed = std::strtoull(args.Get("seed", "2021").c_str(),
+                                      nullptr, 10);
+  auto model = tb::models::CreateModel(
+      model_name, tb::models::MakeModelContext(*dataset, seed));
+  model->Fit(*dataset);  // no-op for trainable models
+  if (args.Has("checkpoint")) {
+    tb::Status status =
+        tb::nn::LoadCheckpoint(model.get(), args.Get("checkpoint", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  const tb::data::DatasetSplits splits = dataset->Splits();
+  tb::eval::EvalOptions options;
+  std::vector<uint8_t> mask;
+  if (args.Has("difficult")) {
+    mask = tb::eval::DifficultMask(dataset->series(), {});
+    options.difficult_mask = &mask;
+    std::printf("difficult intervals only (%.1f%% of positions)\n",
+                100.0 * tb::eval::MaskFraction(mask));
+  }
+  PrintReport(tb::eval::EvaluateModel(model.get(), *dataset,
+                                      splits.test_begin, splits.test_end,
+                                      options));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.command == "list") return CmdList();
+  if (args.command == "simulate") return CmdSimulate(args);
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "evaluate") return CmdEvaluate(args);
+  return Usage();
+}
