@@ -1,8 +1,16 @@
 // Micro-benchmarks of the tensor engine's hot ops (google-benchmark),
-// at the shapes the model zoo actually uses.
+// at the shapes the model zoo actually uses. The *_Threads variants bind
+// an ExecutionContext with 1/2/4 workers around the same kernels (results
+// are bit-identical; only the wall time may change). Besides the console
+// table, the run writes machine-readable bench_micro_ops.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/exec/execution_context.h"
 #include "src/nn/layers.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -79,6 +87,41 @@ void BM_ElementwiseChain(benchmark::State& state) {
 }
 BENCHMARK(BM_ElementwiseChain);
 
+void BM_MatMulThreads(benchmark::State& state) {
+  // Blocked matmul across worker counts: the speedup criterion of the
+  // parallel kernel path (n is large enough for several row chunks).
+  const int64_t n = 192;
+  const int threads = static_cast<int>(state.range(0));
+  exec::ExecutionContext context(
+      exec::ExecOptions{.threads = threads, .profile = false});
+  exec::ExecutionContext::Bind bind(&context);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({n, n}), &rng);
+  Tensor b = Tensor::Randn(Shape({n, n}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ElementwiseThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  exec::ExecutionContext context(
+      exec::ExecOptions{.threads = threads, .profile = false});
+  exec::ExecutionContext::Bind bind(&context);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({32, 12, 64, 24}), &rng);
+  Tensor b = Tensor::Randn(Shape({32, 12, 64, 24}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(((a * b).Sigmoid() + a).Tanh().data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_ElementwiseThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_BackwardMlp(benchmark::State& state) {
   Rng rng(1);
   Tensor w1 = Tensor::Randn(Shape({24, 48}), &rng).set_requires_grad(true);
@@ -97,4 +140,27 @@ BENCHMARK(BM_BackwardMlp);
 }  // namespace
 }  // namespace trafficbench
 
-BENCHMARK_MAIN();
+// Custom main: console output as usual, plus a JSON dump of every
+// benchmark (bench_micro_ops.json by default) for machine consumption.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=bench_micro_ops.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("(json: bench_micro_ops.json)\n");
+  return 0;
+}

@@ -2,6 +2,10 @@
 // dataset — training time per epoch, inference time over the test set, and
 // parameter count. Absolute numbers differ from the paper (CPU tensor
 // engine vs. Titan RTX GPUs); the *ordering* is the reproduced result.
+//
+// A per-model "Top ops" column (from the op profiler) attributes each
+// model's wall time to its dominant kernel kinds, explaining *why* the
+// ordering comes out the way it does (e.g. GMAN's attention MatMuls).
 
 #include <algorithm>
 #include <cstdio>
@@ -9,6 +13,7 @@
 #include "src/core/experiment.h"
 #include "src/data/dataset.h"
 #include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/util/table.h"
 
@@ -18,28 +23,34 @@ int main() {
   tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
   std::printf(
       "Table III reproduction: computation time with METR-LA-S "
-      "(scale=%.2f, %lld train batches/epoch, batch=%lld)\n",
+      "(scale=%.2f, %lld train batches/epoch, batch=%lld, threads=%d)\n",
       config.scale, static_cast<long long>(config.max_batches_per_epoch),
-      static_cast<long long>(config.batch_size));
+      static_cast<long long>(config.batch_size), config.threads);
 
   tb::data::DatasetProfile profile =
       tb::data::ProfileByName("METR-LA-S").value();
   tb::data::TrafficDataset dataset = tb::core::BuildDataset(profile, config);
   const tb::data::DatasetSplits splits = dataset.Splits();
 
+  tb::exec::ExecOptions exec_options = config.ExecConfig();
+  exec_options.profile = true;  // the breakdown column needs the profiler
+  tb::exec::ExecutionContext exec_context(exec_options);
+
   tb::Table table({"Model", "Training time/epoch", "Inference time",
-                   "# of params"});
+                   "# of params", "Top ops (time share)"});
   for (const std::string& name : tb::models::PaperModelNames()) {
     tb::models::ModelContext context =
         tb::models::MakeModelContext(dataset, config.seed);
     auto model = tb::models::CreateModel(name, context);
 
+    exec_context.profiler().Reset();  // per-model attribution
     tb::eval::TrainConfig train_config;
     train_config.epochs = 1;  // one measured epoch
     train_config.batch_size = config.batch_size;
     train_config.max_batches_per_epoch = config.max_batches_per_epoch;
     train_config.learning_rate = config.learning_rate;
     train_config.seed = config.seed;
+    train_config.exec = &exec_context;
     tb::eval::TrainResult train =
         tb::eval::TrainModel(model.get(), dataset, train_config);
 
@@ -47,14 +58,19 @@ int main() {
         config.eval_cap > 0
             ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
             : splits.test_end;
+    tb::eval::EvalOptions eval_options;
+    eval_options.exec = &exec_context;
     tb::eval::HorizonReport report = tb::eval::EvaluateModel(
-        model.get(), dataset, splits.test_begin, test_end);
+        model.get(), dataset, splits.test_begin, test_end, eval_options);
 
+    std::string top_ops = exec_context.profiler().TopKindsSummary(3);
+    if (top_ops.empty()) top_ops = "-";  // non-trainable baselines
     table.AddRow({name, tb::Table::Num(train.seconds_per_epoch, 2) + " secs",
                   tb::Table::Num(report.inference_seconds, 2) + " secs",
                   std::to_string(model->ParameterCount() / 1000) + "." +
                       std::to_string((model->ParameterCount() % 1000) / 100) +
-                      "k"});
+                      "k",
+                  top_ops});
     std::fprintf(stderr, "  done: %s\n", name.c_str());
   }
   tb::core::EmitTable("Computation time of the models (Table III)", table,

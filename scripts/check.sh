@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then (optionally) a
+# ThreadSanitizer build of the execution-layer tests.
+#
+#   scripts/check.sh          # tier-1 only
+#   TSAN=1 scripts/check.sh   # tier-1 + TSAN pass over exec_test
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
+  cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
+  cmake --build build-tsan -j --target trafficbench_tests >/dev/null
+  echo "== tsan: exec tests =="
+  ./build-tsan/tests/trafficbench_tests \
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*'
+fi
+
+echo "OK"

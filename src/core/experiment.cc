@@ -34,6 +34,9 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   config.eval_cap = EnvInt("TB_EVAL", config.eval_cap);
   config.learning_rate = EnvDouble("TB_LR", config.learning_rate);
   config.seed = static_cast<uint64_t>(EnvInt("TB_SEED", config.seed));
+  config.threads =
+      static_cast<int>(std::max<int64_t>(1, EnvInt("TB_THREADS", 1)));
+  config.profile = EnvInt("TB_PROFILE", 0) != 0;
   config.verbose = EnvInt("TB_VERBOSE", 0) != 0;
   return config;
 }
@@ -81,6 +84,7 @@ RunResult RunModelOnDataset(const std::string& model_name,
   RunResult result;
   result.model_name = model_name;
   result.dataset_name = dataset_name;
+  exec::ExecutionContext exec_context(config.ExecConfig());
   const data::DatasetSplits splits = dataset.Splits();
   const int64_t test_end =
       config.eval_cap > 0
@@ -101,18 +105,22 @@ RunResult RunModelOnDataset(const std::string& model_name,
     train_config.learning_rate = config.learning_rate;
     train_config.seed = seed ^ 0x5bd1e995ULL;
     train_config.verbose = config.verbose;
+    train_config.exec = &exec_context;
     eval::TrainResult train_result =
         eval::TrainModel(model.get(), dataset, train_config);
     result.train_seconds_per_epoch.push_back(train_result.seconds_per_epoch);
 
+    eval::EvalOptions eval_options;
+    eval_options.exec = &exec_context;
     eval::HorizonReport report = eval::EvaluateModel(
-        model.get(), dataset, splits.test_begin, test_end);
+        model.get(), dataset, splits.test_begin, test_end, eval_options);
     result.inference_seconds.push_back(report.inference_seconds);
     result.trials.push_back(report);
 
     if (difficult_mask != nullptr) {
       eval::EvalOptions options;
       options.difficult_mask = difficult_mask;
+      options.exec = &exec_context;
       result.difficult_trials.push_back(
           eval::EvaluateModel(model.get(), dataset, splits.test_begin,
                               test_end, options));
@@ -123,6 +131,11 @@ RunResult RunModelOnDataset(const std::string& model_name,
                    model_name.c_str(), dataset_name.c_str(), trial + 1,
                    report.average.mae, train_result.seconds_per_epoch);
     }
+  }
+  if (config.profile) {
+    std::fprintf(stderr, "\n-- op profile [%s / %s] --\n%s",
+                 model_name.c_str(), dataset_name.c_str(),
+                 exec_context.profiler().ToTable().ToString().c_str());
   }
   return result;
 }

@@ -9,6 +9,7 @@
 #include "src/data/dataset.h"
 #include "src/eval/difficult_intervals.h"
 #include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/util/table.h"
 
@@ -23,6 +24,9 @@ namespace trafficbench::core {
 ///   TB_BATCHES  max train batches/epoch  (default 40; 0 = full split)
 ///   TB_BATCH    batch size               (default 8; paper uses 64)
 ///   TB_EVAL     max test samples to score (default 160; 0 = full test set)
+///   TB_THREADS  kernel worker threads     (default 1; results are
+///               bit-identical at any value)
+///   TB_PROFILE  1 = per-op profiling
 ///   TB_VERBOSE  1 = per-epoch logging
 struct ExperimentConfig {
   double scale = 1.0;
@@ -33,9 +37,14 @@ struct ExperimentConfig {
   int64_t eval_cap = 160;
   double learning_rate = 5e-3;
   uint64_t seed = 2021;  // ICDE 2021
+  int threads = 1;
+  bool profile = false;
   bool verbose = false;
 
   static ExperimentConfig FromEnv();
+
+  /// Execution options implied by this config.
+  exec::ExecOptions ExecConfig() const { return {threads, profile}; }
 };
 
 /// Accuracy series of one (model, dataset) pair across repeated trials.

@@ -6,22 +6,18 @@
 
 namespace trafficbench::eval {
 
-namespace {
-/// Targets below this (absolute) are excluded from MAPE.
-constexpr float kMapeFloor = 1.0f;
-}  // namespace
-
 void MetricAccumulator::Add(const float* prediction, const float* target,
                             int64_t count, const uint8_t* include) {
   for (int64_t i = 0; i < count; ++i) {
     const float t = target[i];
     if (t == 0.0f) continue;  // missing reading
     if (include != nullptr && include[i] == 0) continue;
+    if (!std::isfinite(t) || !std::isfinite(prediction[i])) continue;
     const double err = static_cast<double>(prediction[i]) - t;
     abs_sum_ += std::fabs(err);
     sq_sum_ += err * err;
     ++count_;
-    if (std::fabs(t) >= kMapeFloor) {
+    if (std::fabs(t) >= kMapeTargetFloor) {
       ape_sum_ += std::fabs(err) / std::fabs(t);
       ++ape_count_;
     }

@@ -8,9 +8,16 @@
 
 namespace trafficbench::eval {
 
+/// Targets with |t| below this floor are excluded from MAPE (but still
+/// count toward MAE/RMSE). Near-zero speeds/flows would otherwise blow the
+/// relative error up without bound — the paper-standard masking used by the
+/// DCRNN / Graph-WaveNet reference implementations.
+inline constexpr float kMapeTargetFloor = 1.0f;
+
 /// The paper's three accuracy metrics. All are "masked": target entries
-/// equal to 0 mark missing readings (PeMS convention) and are skipped;
-/// MAPE additionally skips near-zero targets to stay finite.
+/// equal to 0 mark missing readings (PeMS convention) and are skipped, as
+/// is any non-finite prediction/target pair; MAPE additionally skips
+/// targets below kMapeTargetFloor to stay finite.
 struct MetricValues {
   double mae = 0.0;
   double rmse = 0.0;

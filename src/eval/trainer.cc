@@ -71,6 +71,8 @@ TrainResult TrainModel(models::TrafficModel* model,
   TB_CHECK(model != nullptr);
   TrainResult result;
   Stopwatch total_watch;
+  // One binding covers forward, backward, clipping and optimizer steps.
+  exec::ExecutionContext::Bind bind_exec(config.exec);
 
   if (!model->IsTrainable()) {
     model->Fit(dataset);
@@ -183,6 +185,7 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
   TB_CHECK_LT(begin, end);
   model->SetTraining(false);
   NoGradGuard no_grad;
+  exec::ExecutionContext::Bind bind_exec(options.exec);
 
   MetricAccumulator acc15, acc30, acc60, acc_all;
   const int64_t n = dataset.num_nodes();

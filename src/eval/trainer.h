@@ -6,6 +6,7 @@
 
 #include "src/data/dataset.h"
 #include "src/eval/metrics.h"
+#include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 
 namespace trafficbench::eval {
@@ -30,6 +31,10 @@ struct TrainConfig {
   bool select_best_on_validation = false;
   /// Validation batches per epoch when selecting on validation.
   int64_t max_val_batches = 8;
+  /// Execution context bound around the whole training loop (kernels,
+  /// backward passes and optimizer steps). Null keeps the caller's current
+  /// context — by default the process-wide serial one.
+  exec::ExecutionContext* exec = nullptr;
 };
 
 /// What the computation-time experiment (Table III) reports.
@@ -57,6 +62,8 @@ struct EvalOptions {
   /// (layout [num_steps * num_nodes]); when set, metrics only count target
   /// positions inside the mask (paper Sec. V-B).
   const std::vector<uint8_t>* difficult_mask = nullptr;
+  /// Execution context bound around inference (null = current context).
+  exec::ExecutionContext* exec = nullptr;
 };
 
 /// Per-horizon evaluation report: the paper reports 15/30/60-minute

@@ -1,0 +1,252 @@
+#include "src/exec/execution_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace trafficbench::exec {
+
+// ---- OpKind -----------------------------------------------------------------
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kMatMulBackward: return "MatMulBwd";
+    case OpKind::kConv2d: return "Conv2d";
+    case OpKind::kConv2dBackward: return "Conv2dBwd";
+    case OpKind::kUnary: return "Unary";
+    case OpKind::kUnaryBackward: return "UnaryBwd";
+    case OpKind::kBinary: return "Binary";
+    case OpKind::kBinaryBackward: return "BinaryBwd";
+    case OpKind::kSoftmax: return "Softmax";
+    case OpKind::kSoftmaxBackward: return "SoftmaxBwd";
+    case OpKind::kReduce: return "Reduce";
+    case OpKind::kReduceBackward: return "ReduceBwd";
+    case OpKind::kDataMovement: return "DataMove";
+    case OpKind::kDropoutMask: return "DropoutMask";
+    case OpKind::kAdamStep: return "AdamStep";
+    case OpKind::kNumKinds: break;
+  }
+  return "Unknown";
+}
+
+// ---- OpProfiler -------------------------------------------------------------
+
+void OpProfiler::Record(OpKind kind, double seconds, double flops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats& s = stats_[static_cast<size_t>(kind)];
+  ++s.calls;
+  s.seconds += seconds;
+  s.flops += flops;
+}
+
+void OpProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.fill(OpStats{});
+}
+
+OpStats OpProfiler::stats(OpKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<size_t>(kind)];
+}
+
+double OpProfiler::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const OpStats& s : stats_) total += s.seconds;
+  return total;
+}
+
+std::vector<std::pair<OpKind, OpStats>> OpProfiler::SortedNonEmpty() const {
+  std::vector<std::pair<OpKind, OpStats>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      if (stats_[i].calls > 0) {
+        entries.emplace_back(static_cast<OpKind>(i), stats_[i]);
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.seconds > b.second.seconds;
+            });
+  return entries;
+}
+
+Table OpProfiler::ToTable() const {
+  const std::vector<std::pair<OpKind, OpStats>> entries = SortedNonEmpty();
+  double total = 0.0;
+  for (const auto& [kind, s] : entries) total += s.seconds;
+  Table table({"Op", "Calls", "Time (s)", "Share %", "GFLOP", "GFLOP/s"});
+  for (const auto& [kind, s] : entries) {
+    const double share = total > 0.0 ? 100.0 * s.seconds / total : 0.0;
+    const double gflop = s.flops * 1e-9;
+    const double rate = s.seconds > 0.0 ? gflop / s.seconds : 0.0;
+    table.AddRow({OpKindName(kind), std::to_string(s.calls),
+                  Table::Num(s.seconds, 4), Table::Num(share, 1),
+                  Table::Num(gflop, 3), Table::Num(rate, 3)});
+  }
+  return table;
+}
+
+std::string OpProfiler::ToCsv() const { return ToTable().ToCsv(); }
+
+std::string OpProfiler::TopKindsSummary(int k) const {
+  const std::vector<std::pair<OpKind, OpStats>> entries = SortedNonEmpty();
+  double total = 0.0;
+  for (const auto& [kind, s] : entries) total += s.seconds;
+  if (entries.empty() || total <= 0.0) return "";
+  std::string out;
+  const int limit = std::min<int>(k, static_cast<int>(entries.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (i > 0) out += " | ";
+    out += OpKindName(entries[i].first);
+    out += " ";
+    out += Table::Num(100.0 * entries[i].second.seconds / total, 0);
+    out += "%";
+  }
+  return out;
+}
+
+// ---- ThreadPool -------------------------------------------------------------
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Drain(RunState* state) {
+  for (;;) {
+    const int64_t i = state->next.fetch_add(1);
+    if (i >= state->total) break;
+    try {
+      (*state->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->pending.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::shared_ptr<RunState> last;
+  for (;;) {
+    std::shared_ptr<RunState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || (run_ != nullptr && run_ != last);
+      });
+      if (shutdown_) return;
+      state = run_;
+    }
+    Drain(state.get());
+    last = std::move(state);
+  }
+}
+
+void ThreadPool::Run(int64_t count, const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  auto state = std::make_shared<RunState>();
+  state->fn = &fn;
+  state->total = count;
+  state->pending.store(count);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run_ = state;
+  }
+  cv_start_.notify_all();
+  Drain(state.get());
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return state->pending.load() <= 0; });
+  if (state->error) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+// ---- ExecutionContext -------------------------------------------------------
+
+namespace {
+
+thread_local ExecutionContext* g_current_context = nullptr;
+
+}  // namespace
+
+ExecutionContext::ExecutionContext(const ExecOptions& options)
+    : options_(options) {
+  TB_CHECK_GE(options_.threads, 1) << "execution context needs >= 1 thread";
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+void ExecutionContext::ParallelFor(
+    int64_t total, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t chunks = (total + grain - 1) / grain;
+  if (pool_ == nullptr || chunks <= 1) {
+    // Chunks are executed in index order; since every chunk's arithmetic is
+    // self-contained this equals the parallel result bit-for-bit.
+    for (int64_t c = 0; c < chunks; ++c) {
+      fn(c * grain, std::min(total, (c + 1) * grain));
+    }
+    return;
+  }
+  pool_->Run(chunks, [&](int64_t c) {
+    fn(c * grain, std::min(total, (c + 1) * grain));
+  });
+}
+
+ExecutionContext& ExecutionContext::Current() {
+  if (g_current_context != nullptr) return *g_current_context;
+  static ExecutionContext* serial = new ExecutionContext(ExecOptions{});
+  return *serial;
+}
+
+ExecutionContext::Bind::Bind(ExecutionContext* context)
+    : previous_(g_current_context), active_(context != nullptr) {
+  if (active_) g_current_context = context;
+}
+
+ExecutionContext::Bind::~Bind() {
+  if (active_) g_current_context = previous_;
+}
+
+// ---- ScopedOpTimer ----------------------------------------------------------
+
+ScopedOpTimer::ScopedOpTimer(OpKind kind, double flops)
+    : context_(&ExecutionContext::Current()),
+      kind_(kind),
+      flops_(flops),
+      enabled_(context_->profiling_enabled()) {}
+
+ScopedOpTimer::~ScopedOpTimer() {
+  if (enabled_) {
+    context_->profiler().Record(kind_, watch_.ElapsedSeconds(), flops_);
+  }
+}
+
+}  // namespace trafficbench::exec

@@ -1,0 +1,205 @@
+#ifndef TRAFFICBENCH_EXEC_EXECUTION_CONTEXT_H_
+#define TRAFFICBENCH_EXEC_EXECUTION_CONTEXT_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace trafficbench::exec {
+
+/// How the engine should execute tensor kernels.
+struct ExecOptions {
+  /// Worker count for parallel kernels. 1 (the default) keeps the engine's
+  /// historical single-threaded behaviour bit-for-bit.
+  int threads = 1;
+  /// When true, every kernel dispatch records call count / FLOPs / wall
+  /// time into the context's OpProfiler.
+  bool profile = false;
+};
+
+/// Kernel kinds tracked by the profiler. Forward and backward passes of the
+/// same op are distinct kinds so Table III breakdowns can separate them.
+enum class OpKind : int {
+  kMatMul = 0,
+  kMatMulBackward,
+  kConv2d,
+  kConv2dBackward,
+  kUnary,
+  kUnaryBackward,
+  kBinary,
+  kBinaryBackward,
+  kSoftmax,
+  kSoftmaxBackward,
+  kReduce,
+  kReduceBackward,
+  kDataMovement,
+  kDropoutMask,
+  kAdamStep,
+  kNumKinds,  // sentinel
+};
+
+/// Stable display name of an op kind ("MatMul", "Conv2dBwd", ...).
+const char* OpKindName(OpKind kind);
+
+/// Aggregate statistics of one op kind.
+struct OpStats {
+  int64_t calls = 0;
+  double seconds = 0.0;
+  double flops = 0.0;  // estimated floating-point operations
+};
+
+/// Per-op-kind call counts, FLOP estimates and wall time. Recording is
+/// mutex-guarded so profiled kernels may be dispatched from any thread;
+/// in practice the engine records from the dispatching (main) thread only.
+class OpProfiler {
+ public:
+  void Record(OpKind kind, double seconds, double flops);
+  void Reset();
+
+  OpStats stats(OpKind kind) const;
+  /// Sum of recorded wall time across all kinds.
+  double TotalSeconds() const;
+
+  /// Aligned table of all kinds with at least one call, sorted by time.
+  Table ToTable() const;
+  /// The same rows as RFC-4180-ish CSV.
+  std::string ToCsv() const;
+  /// Compact "MatMul 62% | Conv2d 21% | Binary 9%" of the top `k` kinds by
+  /// time share (empty string when nothing was recorded).
+  std::string TopKindsSummary(int k) const;
+
+ private:
+  std::vector<std::pair<OpKind, OpStats>> SortedNonEmpty() const;
+
+  mutable std::mutex mu_;
+  std::array<OpStats, static_cast<size_t>(OpKind::kNumKinds)> stats_{};
+};
+
+/// A persistent pool of `threads - 1` workers (the calling thread
+/// participates in every run). Work items are claimed with an atomic
+/// counter, so *scheduling* is dynamic — determinism comes from the chunk
+/// decomposition (fixed by problem shape) and from chunks writing disjoint
+/// output ranges, never from thread assignment.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// The first exception thrown by `fn` is rethrown on the calling thread.
+  void Run(int64_t count, const std::function<void(int64_t)>& fn);
+
+ private:
+  /// One parallel run. Heap-allocated and shared so a worker that wakes up
+  /// late drains a stale (already exhausted) run harmlessly instead of
+  /// racing with the next run's counters.
+  struct RunState {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t total = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> pending{0};
+    std::exception_ptr error;  // guarded by the pool mutex
+  };
+
+  void WorkerLoop();
+  void Drain(RunState* state);
+
+  const int threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<RunState> run_;  // guarded by mu_
+  bool shutdown_ = false;          // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Threads execution policy and observability through the whole stack.
+///
+/// The tensor kernels read the *current* context (a thread-local binding,
+/// like grad mode) instead of taking an extra argument on every op; the
+/// consumer layers (trainer, evaluator, experiment runner, CLI) own a
+/// context and bind it around their forward/backward work.
+///
+/// Deterministic-chunking contract: ParallelFor decomposes [0, total) into
+/// ceil(total / grain) chunks, where `grain` must be a pure function of the
+/// problem shape (never of the thread count). Kernels either write disjoint
+/// output ranges per chunk or keep each output element's accumulation chain
+/// entirely inside one chunk, so results are bit-identical for every
+/// `threads` value, including 1.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const ExecOptions& options = {});
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  int threads() const { return options_.threads; }
+  bool profiling_enabled() const { return options_.profile; }
+  OpProfiler& profiler() { return profiler_; }
+  const OpProfiler& profiler() const { return profiler_; }
+
+  /// Runs fn(begin, end) over the fixed chunk decomposition of [0, total).
+  /// Serial contexts (and single-chunk problems) run inline on the caller.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// The context bound to this thread; a process-wide serial context when
+  /// nothing was bound (preserving the seed single-threaded behaviour).
+  static ExecutionContext& Current();
+
+  /// RAII thread-local binding. Binding nullptr is a no-op, which lets
+  /// optional `ExecutionContext*` config fields be forwarded unconditionally.
+  class Bind {
+   public:
+    explicit Bind(ExecutionContext* context);
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    ExecutionContext* previous_;
+    bool active_;
+  };
+
+ private:
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads <= 1
+  OpProfiler profiler_;
+};
+
+/// Times one kernel dispatch and records it into the current context's
+/// profiler on destruction. Free when profiling is disabled.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(OpKind kind, double flops = 0.0);
+  ~ScopedOpTimer();
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  ExecutionContext* context_;
+  OpKind kind_;
+  double flops_;
+  bool enabled_;
+  Stopwatch watch_;
+};
+
+}  // namespace trafficbench::exec
+
+#endif  // TRAFFICBENCH_EXEC_EXECUTION_CONTEXT_H_

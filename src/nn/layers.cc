@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/exec/execution_context.h"
 #include "src/util/check.h"
 
 namespace trafficbench::nn {
@@ -85,7 +86,13 @@ Tensor Dropout::Forward(const Tensor& x) {
   if (!training() || rate_ == 0.0f) return x;
   const float keep = 1.0f - rate_;
   std::vector<float> mask(x.numel());
-  for (float& m : mask) m = rng_.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  {
+    // The mask draw consumes sequential RNG state, so it stays serial at
+    // every thread count (determinism), but it is profiled as its own kind.
+    exec::ScopedOpTimer timer(exec::OpKind::kDropoutMask,
+                              static_cast<double>(x.numel()));
+    for (float& m : mask) m = rng_.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
   return x * Tensor::FromVector(x.shape(), std::move(mask));
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/exec/execution_context.h"
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace trafficbench::optim {
@@ -43,20 +45,27 @@ Sgd::Sgd(std::vector<Tensor> parameters, double learning_rate, double momentum)
 
 void Sgd::Step() {
   const float lr = static_cast<float>(learning_rate_);
+  exec::ExecutionContext& ctx = exec::ExecutionContext::Current();
   for (size_t i = 0; i < parameters_.size(); ++i) {
     auto impl = parameters_[i].impl();
     if (impl->grad.empty()) continue;
+    const int64_t n = static_cast<int64_t>(impl->data.size());
+    exec::ScopedOpTimer timer(exec::OpKind::kAdamStep, 2.0 * n);
     if (momentum_ > 0.0) {
       if (velocity_[i].empty()) velocity_[i].assign(impl->data.size(), 0.0f);
       const float mu = static_cast<float>(momentum_);
-      for (size_t j = 0; j < impl->data.size(); ++j) {
-        velocity_[i][j] = mu * velocity_[i][j] + impl->grad[j];
-        impl->data[j] -= lr * velocity_[i][j];
-      }
+      float* vel = velocity_[i].data();
+      float* data = impl->data.data();
+      const float* grad = impl->grad.data();
+      kernels::ParallelMap(ctx, n, [&](int64_t j) {
+        vel[j] = mu * vel[j] + grad[j];
+        data[j] -= lr * vel[j];
+      });
     } else {
-      for (size_t j = 0; j < impl->data.size(); ++j) {
-        impl->data[j] -= lr * impl->grad[j];
-      }
+      float* data = impl->data.data();
+      const float* grad = impl->grad.data();
+      kernels::ParallelMap(ctx, n,
+                           [&](int64_t j) { data[j] -= lr * grad[j]; });
     }
   }
 }
@@ -75,6 +84,7 @@ void Adam::Step() {
   const double bias1 = 1.0 - std::pow(beta1, static_cast<double>(step_count_));
   const double bias2 = 1.0 - std::pow(beta2, static_cast<double>(step_count_));
   const double lr = learning_rate_;
+  exec::ExecutionContext& ctx = exec::ExecutionContext::Current();
   for (size_t i = 0; i < parameters_.size(); ++i) {
     auto impl = parameters_[i].impl();
     if (impl->grad.empty()) continue;
@@ -82,18 +92,26 @@ void Adam::Step() {
       m_[i].assign(impl->data.size(), 0.0f);
       v_[i].assign(impl->data.size(), 0.0f);
     }
-    for (size_t j = 0; j < impl->data.size(); ++j) {
-      const double g = impl->grad[j];
-      m_[i][j] = static_cast<float>(beta1 * m_[i][j] + (1.0 - beta1) * g);
-      v_[i][j] = static_cast<float>(beta2 * v_[i][j] + (1.0 - beta2) * g * g);
-      const double m_hat = m_[i][j] / bias1;
-      const double v_hat = v_[i][j] / bias2;
+    const int64_t n = static_cast<int64_t>(impl->data.size());
+    exec::ScopedOpTimer timer(exec::OpKind::kAdamStep, 10.0 * n);
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* data = impl->data.data();
+    const float* grad = impl->grad.data();
+    // Each element's update is independent, so the parallel map is
+    // bit-identical to the serial loop.
+    kernels::ParallelMap(ctx, n, [&](int64_t j) {
+      const double g = grad[j];
+      m[j] = static_cast<float>(beta1 * m[j] + (1.0 - beta1) * g);
+      v[j] = static_cast<float>(beta2 * v[j] + (1.0 - beta2) * g * g);
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
       double update = lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
       if (options_.weight_decay > 0.0) {
-        update += lr * options_.weight_decay * impl->data[j];
+        update += lr * options_.weight_decay * data[j];
       }
-      impl->data[j] -= static_cast<float>(update);
-    }
+      data[j] -= static_cast<float>(update);
+    });
   }
 }
 

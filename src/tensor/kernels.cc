@@ -1,0 +1,101 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+
+namespace trafficbench::kernels {
+
+void GemmAccNNRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmAccNTRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t n, int64_t k) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+void GemmAccTNRows(const float* a, const float* b, float* c,
+                   int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
+                   int64_t n) {
+  for (int64_t p = p_begin; p < p_end; ++p) {
+    float* crow = c + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmBatchedNN(exec::ExecutionContext& ctx, const float* a,
+                   const float* b, float* c, const int64_t* a_offsets,
+                   const int64_t* b_offsets, int64_t num_batches, int64_t m,
+                   int64_t k, int64_t n) {
+  const int64_t row_chunks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kGemmRowChunk;
+          const int64_t row_end = std::min(m, row_begin + kGemmRowChunk);
+          GemmAccNNRows(a + a_offsets[batch], b + b_offsets[batch],
+                        c + batch * m * n, row_begin, row_end, k, n);
+        }
+      });
+}
+
+void GemmBatchedNT(exec::ExecutionContext& ctx, const float* dc,
+                   const float* b, float* da, const int64_t* da_offsets,
+                   const int64_t* b_offsets, int64_t num_batches, int64_t m,
+                   int64_t n, int64_t k) {
+  const int64_t row_chunks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t chunk = begin; chunk < end; ++chunk) {
+      const int64_t row_begin = chunk * kGemmRowChunk;
+      const int64_t row_end = std::min(m, row_begin + kGemmRowChunk);
+      for (int64_t batch = 0; batch < num_batches; ++batch) {
+        GemmAccNTRows(dc + batch * m * n, b + b_offsets[batch],
+                      da + da_offsets[batch], row_begin, row_end, n, k);
+      }
+    }
+  });
+}
+
+void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
+                   const float* dc, float* db, const int64_t* a_offsets,
+                   const int64_t* db_offsets, int64_t num_batches, int64_t m,
+                   int64_t k, int64_t n) {
+  const int64_t row_chunks = (k + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t chunk = begin; chunk < end; ++chunk) {
+      const int64_t p_begin = chunk * kGemmRowChunk;
+      const int64_t p_end = std::min(k, p_begin + kGemmRowChunk);
+      for (int64_t batch = 0; batch < num_batches; ++batch) {
+        GemmAccTNRows(a + a_offsets[batch], dc + batch * m * n,
+                      db + db_offsets[batch], p_begin, p_end, m, k, n);
+      }
+    }
+  });
+}
+
+}  // namespace trafficbench::kernels

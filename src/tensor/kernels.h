@@ -1,0 +1,71 @@
+#ifndef TRAFFICBENCH_TENSOR_KERNELS_H_
+#define TRAFFICBENCH_TENSOR_KERNELS_H_
+
+// Kernel-dispatch seam of the tensor engine. The op library (ops.cc) builds
+// autograd nodes and shape logic; the numeric loops live here and are
+// executed serially or on the current ExecutionContext's thread pool.
+//
+// Determinism contract: every kernel decomposes its work into chunks that
+// depend only on the problem shape (fixed grains below, never the thread
+// count), and each output element's accumulation chain stays inside one
+// chunk. Results are therefore bit-identical for any --threads value.
+
+#include <cstdint>
+
+#include "src/exec/execution_context.h"
+
+namespace trafficbench::kernels {
+
+/// Fixed chunk grains (pure functions of problem shape; see contract above).
+inline constexpr int64_t kElementwiseGrain = 8192;
+inline constexpr int64_t kGemmRowChunk = 16;
+inline constexpr int64_t kReduceGrainElems = 4096;
+
+/// Row-range GEMM primitives (the serial bodies both paths share).
+/// C[M,N] += A[M,K] * B[K,N], rows [row_begin, row_end) of C.
+void GemmAccNNRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
+/// C[M,K] += A[M,N] * B[K,N]^T, rows [row_begin, row_end) of C.
+void GemmAccNTRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t n, int64_t k);
+/// C[K,N] += A[M,K]^T * B[M,N], rows [p_begin, p_end) of C. Loops are
+/// p-outer / i-inner, which keeps each C element's accumulation order
+/// (ascending i) identical to the historical i-outer serial kernel.
+void GemmAccTNRows(const float* a, const float* b, float* c,
+                   int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
+                   int64_t n);
+
+/// Batched C[batch] += A[batch] * B[batch] over per-batch element offsets.
+/// Output blocks are disjoint per batch, so work is chunked over
+/// (batch, row-chunk) pairs.
+void GemmBatchedNN(exec::ExecutionContext& ctx, const float* a,
+                   const float* b, float* c, const int64_t* a_offsets,
+                   const int64_t* b_offsets, int64_t num_batches, int64_t m,
+                   int64_t k, int64_t n);
+
+/// Gradient GEMMs. The `acc_offsets` side may repeat blocks (broadcast
+/// batches accumulate into the same buffer), so chunking is over output
+/// rows only and every chunk walks all batches in ascending order — the
+/// same per-element accumulation chain as the serial kernel.
+/// dA[M,K] += dC[M,N] * B[K,N]^T per batch.
+void GemmBatchedNT(exec::ExecutionContext& ctx, const float* dc,
+                   const float* b, float* da, const int64_t* da_offsets,
+                   const int64_t* b_offsets, int64_t num_batches, int64_t m,
+                   int64_t n, int64_t k);
+/// dB[K,N] += A[M,K]^T * dC[M,N] per batch.
+void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
+                   const float* dc, float* db, const int64_t* a_offsets,
+                   const int64_t* db_offsets, int64_t num_batches, int64_t m,
+                   int64_t k, int64_t n);
+
+/// Elementwise map out[i] = fn(i) for i in [0, n). Disjoint writes.
+template <typename Fn>
+void ParallelMap(exec::ExecutionContext& ctx, int64_t n, Fn fn) {
+  ctx.ParallelFor(n, kElementwiseGrain, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace trafficbench::kernels
+
+#endif  // TRAFFICBENCH_TENSOR_KERNELS_H_

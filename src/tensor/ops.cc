@@ -1,8 +1,16 @@
+// Differentiable tensor ops. Shape/autograd logic lives here; the numeric
+// loops are dispatched through the kernel seam (kernels.h) onto the current
+// ExecutionContext, which selects serial or thread-pool execution and
+// records per-op profiling. See execution_context.h for the deterministic
+// chunking contract that keeps results bit-identical across thread counts.
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "src/exec/execution_context.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/op_common.h"
 #include "src/tensor/tensor.h"
 #include "src/util/check.h"
@@ -18,6 +26,8 @@ using internal_tensor::ReduceGradToShape;
 using internal_tensor::TensorImpl;
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
+
+exec::ExecutionContext& Ctx() { return exec::ExecutionContext::Current(); }
 
 /// Materializes `t` broadcast to `target` as a flat buffer.
 std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
@@ -51,15 +61,29 @@ template <typename Fwd, typename Dydx>
 Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
   TB_CHECK(x.defined());
   const std::vector<float>& xd = x.impl()->data;
-  std::vector<float> out(xd.size());
-  for (size_t i = 0; i < xd.size(); ++i) out[i] = fwd(xd[i]);
+  const int64_t n = static_cast<int64_t>(xd.size());
+  std::vector<float> out(n);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kUnary, static_cast<double>(n));
+    const float* xp = xd.data();
+    float* op = out.data();
+    kernels::ParallelMap(Ctx(), n, [&](int64_t i) { op[i] = fwd(xp[i]); });
+  }
   ImplPtr xi = x.impl();
   return MakeOp(x.shape(), std::move(out), {x},
                 [xi, dydx](TensorImpl& self) {
-                  std::vector<float> gx(xi->data.size());
-                  for (size_t i = 0; i < gx.size(); ++i) {
-                    gx[i] = dydx(xi->data[i], self.data[i]) * self.grad[i];
-                  }
+                  const int64_t count =
+                      static_cast<int64_t>(xi->data.size());
+                  exec::ScopedOpTimer timer(exec::OpKind::kUnaryBackward,
+                                            2.0 * count);
+                  std::vector<float> gx(count);
+                  const float* xp = xi->data.data();
+                  const float* yp = self.data.data();
+                  const float* gp = self.grad.data();
+                  float* gxp = gx.data();
+                  kernels::ParallelMap(Ctx(), count, [&](int64_t i) {
+                    gxp[i] = dydx(xp[i], yp[i]) * gp[i];
+                  });
                   AccumulateGrad(xi.get(), gx);
                 });
 }
@@ -76,7 +100,14 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
   std::vector<float> bv = ExpandToShape(b, out_shape);
   const int64_t n = out_shape.numel();
   std::vector<float> out(n);
-  for (int64_t i = 0; i < n; ++i) out[i] = fwd(av[i], bv[i]);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kBinary, static_cast<double>(n));
+    const float* ap = av.data();
+    const float* bp = bv.data();
+    float* op = out.data();
+    kernels::ParallelMap(Ctx(), n,
+                         [&](int64_t i) { op[i] = fwd(ap[i], bp[i]); });
+  }
   ImplPtr ai = a.impl();
   ImplPtr bi = b.impl();
   const Shape a_shape = a.shape();
@@ -86,70 +117,29 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
       [ai, bi, av = std::move(av), bv = std::move(bv), a_shape, b_shape,
        out_shape, dfda, dfdb](TensorImpl& self) {
         const int64_t n = static_cast<int64_t>(self.grad.size());
+        exec::ScopedOpTimer timer(exec::OpKind::kBinaryBackward, 2.0 * n);
+        const float* ap = av.data();
+        const float* bp = bv.data();
+        const float* gp = self.grad.data();
         if (ai->requires_grad) {
           std::vector<float> ga(n);
-          for (int64_t i = 0; i < n; ++i) {
-            ga[i] = dfda(av[i], bv[i]) * self.grad[i];
-          }
+          float* gap = ga.data();
+          kernels::ParallelMap(Ctx(), n, [&](int64_t i) {
+            gap[i] = dfda(ap[i], bp[i]) * gp[i];
+          });
           AccumulateGrad(ai.get(),
                          ReduceGradToShape(ga, out_shape, a_shape));
         }
         if (bi->requires_grad) {
           std::vector<float> gb(n);
-          for (int64_t i = 0; i < n; ++i) {
-            gb[i] = dfdb(av[i], bv[i]) * self.grad[i];
-          }
+          float* gbp = gb.data();
+          kernels::ParallelMap(Ctx(), n, [&](int64_t i) {
+            gbp[i] = dfdb(ap[i], bp[i]) * gp[i];
+          });
           AccumulateGrad(bi.get(),
                          ReduceGradToShape(gb, out_shape, b_shape));
         }
       });
-}
-
-// ---- GEMM kernels ------------------------------------------------------------
-
-/// C[M,N] += A[M,K] * B[K,N]
-void GemmAccNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// C[M,K] += A[M,N] * B[K,N]^T  (i.e. C = A * B^T)
-void GemmAccNT(const float* a, const float* b, float* c, int64_t m, int64_t n,
-               int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[p] += acc;
-    }
-  }
-}
-
-/// C[K,N] += A[M,K]^T * B[M,N]  (i.e. C = A^T * B)
-void GemmAccTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
 }
 
 /// Per-batch float offsets for a broadcast batched matmul operand.
@@ -383,7 +373,12 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   }
   std::vector<int64_t> out_dims(r);
   for (int i = 0; i < r; ++i) out_dims[i] = shape().dims()[perm[i]];
-  std::vector<float> out = PermuteData(impl()->data, shape(), perm);
+  std::vector<float> out;
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                              static_cast<double>(numel()));
+    out = PermuteData(impl()->data, shape(), perm);
+  }
   // Inverse permutation maps output axes back to input axes.
   std::vector<int> inverse(r);
   for (int i = 0; i < r; ++i) inverse[perm[i]] = i;
@@ -418,10 +413,14 @@ Tensor Tensor::Slice(int axis, int64_t start, int64_t end) const {
   out_dims[a] = out_mid;
   std::vector<float> out(outer * out_mid * inner);
   const float* src = data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(out.data() + o * out_mid * inner,
-                src + (o * mid + start) * inner,
-                sizeof(float) * out_mid * inner);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                              static_cast<double>(out.size()));
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out.data() + o * out_mid * inner,
+                  src + (o * mid + start) * inner,
+                  sizeof(float) * out_mid * inner);
+    }
   }
   ImplPtr self = impl();
   return MakeOp(Shape(std::move(out_dims)), std::move(out), {*this},
@@ -440,7 +439,12 @@ Tensor Tensor::BroadcastTo(const Shape& target) const {
   TB_CHECK(defined());
   TB_CHECK(Shape::BroadcastsTo(shape(), target))
       << shape().ToString() << " does not broadcast to " << target.ToString();
-  std::vector<float> out = ExpandToShape(*this, target);
+  std::vector<float> out;
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                              static_cast<double>(target.numel()));
+    out = ExpandToShape(*this, target);
+  }
   ImplPtr self = impl();
   const Shape in_shape = shape();
   return MakeOp(target, std::move(out), {*this},
@@ -456,37 +460,78 @@ Tensor Tensor::BroadcastTo(const Shape& target) const {
 namespace {
 
 /// Sum with keepdim=true over canonicalized, deduplicated axes.
+///
+/// Parallelized per output cell: every cell's accumulation chain visits its
+/// inputs in ascending linear order (the same order the historical serial
+/// scatter-scan used), so results are bit-identical at any thread count.
 Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
   const Shape& in_shape = t.shape();
-  std::vector<bool> reduced(in_shape.rank(), false);
-  for (int axis : axes) reduced[in_shape.CanonicalAxis(axis)] = true;
+  const int rank = in_shape.rank();
+  std::vector<bool> is_reduced(rank, false);
+  for (int axis : axes) is_reduced[in_shape.CanonicalAxis(axis)] = true;
   std::vector<int64_t> out_dims = in_shape.dims();
-  for (int i = 0; i < in_shape.rank(); ++i) {
-    if (reduced[i]) out_dims[i] = 1;
+  for (int i = 0; i < rank; ++i) {
+    if (is_reduced[i]) out_dims[i] = 1;
   }
   Shape out_shape(out_dims);
-  // Strides into the output buffer, 0 along reduced axes.
-  const std::vector<int64_t> out_strides =
-      BroadcastStrides(out_shape, in_shape.rank(), in_shape.dims());
-  const int64_t n = in_shape.numel();
-  std::vector<float> out(out_shape.numel(), 0.0f);
-  const float* src = t.data();
-  const std::vector<int64_t>& in_dims = in_shape.dims();
-  std::vector<int64_t> index(in_shape.rank(), 0);
-  int64_t offset = 0;
-  for (int64_t linear = 0; linear < n; ++linear) {
-    out[offset] += src[linear];
-    for (int axis = in_shape.rank() - 1; axis >= 0; --axis) {
-      ++index[axis];
-      offset += out_strides[axis];
-      if (index[axis] < in_dims[axis]) break;
-      offset -= out_strides[axis] * in_dims[axis];
-      index[axis] = 0;
+  const std::vector<int64_t> in_strides = in_shape.Strides();
+  // Kept and reduced axes, both in original axis order.
+  std::vector<int64_t> kept_dims, kept_strides, red_dims, red_strides;
+  for (int i = 0; i < rank; ++i) {
+    if (is_reduced[i]) {
+      red_dims.push_back(in_shape.dims()[i]);
+      red_strides.push_back(in_strides[i]);
+    } else {
+      kept_dims.push_back(in_shape.dims()[i]);
+      kept_strides.push_back(in_strides[i]);
     }
+  }
+  int64_t red_count = 1;
+  for (int64_t d : red_dims) red_count *= d;
+  const int64_t out_numel = out_shape.numel();
+  std::vector<float> out(out_numel, 0.0f);
+  const float* src = t.data();
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kReduce,
+                              static_cast<double>(in_shape.numel()));
+    const int64_t grain =
+        std::max<int64_t>(1, kernels::kReduceGrainElems /
+                                 std::max<int64_t>(1, red_count));
+    Ctx().ParallelFor(out_numel, grain, [&](int64_t begin, int64_t end) {
+      std::vector<int64_t> rindex(red_dims.size(), 0);
+      for (int64_t o = begin; o < end; ++o) {
+        // Base input offset of this output cell (row-major kept index).
+        int64_t rem = o;
+        int64_t base = 0;
+        for (int i = static_cast<int>(kept_dims.size()) - 1; i >= 0; --i) {
+          base += (rem % kept_dims[i]) * kept_strides[i];
+          rem /= kept_dims[i];
+        }
+        // Odometer walk of the reduced subspace in row-major order.
+        std::fill(rindex.begin(), rindex.end(), 0);
+        int64_t roff = 0;
+        float acc = 0.0f;
+        for (int64_t c = 0; c < red_count; ++c) {
+          acc += src[base + roff];
+          for (int axis = static_cast<int>(red_dims.size()) - 1; axis >= 0;
+               --axis) {
+            ++rindex[axis];
+            roff += red_strides[axis];
+            if (rindex[axis] < red_dims[axis]) break;
+            roff -= red_strides[axis] * red_dims[axis];
+            rindex[axis] = 0;
+          }
+        }
+        out[o] = acc;
+      }
+    });
   }
   ImplPtr self = t.impl();
   return MakeOp(out_shape, std::move(out), {t},
                 [self, in_shape, out_shape](TensorImpl& node) {
+                  exec::ScopedOpTimer timer(
+                      exec::OpKind::kReduceBackward,
+                      static_cast<double>(in_shape.numel()));
                   // Each input element receives the grad of its output cell.
                   Tensor g = Tensor::FromVector(out_shape, node.grad);
                   AccumulateGrad(self.get(), ExpandToShape(g, in_shape));
@@ -544,34 +589,48 @@ Tensor Tensor::Softmax(int axis) const {
   OuterMidInner(shape(), a, &outer, &mid, &inner);
   const float* src = data();
   std::vector<float> out(numel());
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
-      const int64_t base = o * mid * inner + in;
-      float max_val = src[base];
-      for (int64_t m = 1; m < mid; ++m) {
-        max_val = std::max(max_val, src[base + m * inner]);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kSoftmax, 5.0 * numel());
+    const int64_t grain = std::max<int64_t>(
+        1, kernels::kReduceGrainElems / std::max<int64_t>(1, mid));
+    Ctx().ParallelFor(outer * inner, grain, [&](int64_t begin, int64_t end) {
+      for (int64_t t = begin; t < end; ++t) {
+        const int64_t o = t / inner;
+        const int64_t in = t % inner;
+        const int64_t base = o * mid * inner + in;
+        float max_val = src[base];
+        for (int64_t m = 1; m < mid; ++m) {
+          max_val = std::max(max_val, src[base + m * inner]);
+        }
+        float denom = 0.0f;
+        for (int64_t m = 0; m < mid; ++m) {
+          const float e = std::exp(src[base + m * inner] - max_val);
+          out[base + m * inner] = e;
+          denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t m = 0; m < mid; ++m) out[base + m * inner] *= inv;
       }
-      float denom = 0.0f;
-      for (int64_t m = 0; m < mid; ++m) {
-        const float e = std::exp(src[base + m * inner] - max_val);
-        out[base + m * inner] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t m = 0; m < mid; ++m) out[base + m * inner] *= inv;
-    }
+    });
   }
   ImplPtr self = impl();
   return MakeOp(
       shape(), std::move(out), {*this},
       [self, outer, mid, inner](TensorImpl& node) {
         if (!self->requires_grad) return;
+        exec::ScopedOpTimer timer(exec::OpKind::kSoftmaxBackward,
+                                  4.0 * static_cast<double>(node.data.size()));
         // dx = y * (dy - sum(dy * y over the softmax axis))
         std::vector<float> gx(node.data.size());
         const float* y = node.data.data();
         const float* gy = node.grad.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t in = 0; in < inner; ++in) {
+        const int64_t grain = std::max<int64_t>(
+            1, kernels::kReduceGrainElems / std::max<int64_t>(1, mid));
+        Ctx().ParallelFor(outer * inner, grain,
+                          [&](int64_t begin, int64_t end) {
+          for (int64_t t = begin; t < end; ++t) {
+            const int64_t o = t / inner;
+            const int64_t in = t % inner;
             const int64_t base = o * mid * inner + in;
             float dot = 0.0f;
             for (int64_t m = 0; m < mid; ++m) {
@@ -583,7 +642,7 @@ Tensor Tensor::Softmax(int axis) const {
               gx[idx] = y[idx] * (gy[idx] - dot);
             }
           }
-        }
+        });
         AccumulateGrad(self.get(), gx);
       });
 }
@@ -613,11 +672,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t num_batches = out_batch.numel();
 
   std::vector<float> out(out_shape.numel(), 0.0f);
-  const float* ad = a.data();
-  const float* bd = b.data();
-  for (int64_t batch = 0; batch < num_batches; ++batch) {
-    GemmAccNN(ad + a_offsets[batch], bd + b_offsets[batch],
-              out.data() + batch * m * n, m, k, n);
+  {
+    exec::ScopedOpTimer timer(
+        exec::OpKind::kMatMul,
+        2.0 * static_cast<double>(m * k * n) * num_batches);
+    kernels::GemmBatchedNN(Ctx(), a.data(), b.data(), out.data(),
+                           a_offsets.data(), b_offsets.data(), num_batches, m,
+                           k, n);
   }
 
   ImplPtr ai = a.impl();
@@ -625,22 +686,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return MakeOp(
       out_shape, std::move(out), {a, b},
       [ai, bi, a_offsets, b_offsets, num_batches, m, k, n](TensorImpl& node) {
+        const int grads = (ai->requires_grad ? 1 : 0) +
+                          (bi->requires_grad ? 1 : 0);
+        exec::ScopedOpTimer timer(
+            exec::OpKind::kMatMulBackward,
+            2.0 * grads * static_cast<double>(m * k * n) * num_batches);
         const float* gout = node.grad.data();
         if (ai->requires_grad) {
           ai->EnsureGrad();
-          for (int64_t batch = 0; batch < num_batches; ++batch) {
-            // dA = dC * B^T
-            GemmAccNT(gout + batch * m * n, bi->data.data() + b_offsets[batch],
-                      ai->grad.data() + a_offsets[batch], m, n, k);
-          }
+          // dA = dC * B^T
+          kernels::GemmBatchedNT(Ctx(), gout, bi->data.data(),
+                                 ai->grad.data(), a_offsets.data(),
+                                 b_offsets.data(), num_batches, m, n, k);
         }
         if (bi->requires_grad) {
           bi->EnsureGrad();
-          for (int64_t batch = 0; batch < num_batches; ++batch) {
-            // dB = A^T * dC
-            GemmAccTN(ai->data.data() + a_offsets[batch], gout + batch * m * n,
-                      bi->grad.data() + b_offsets[batch], m, k, n);
-          }
+          // dB = A^T * dC
+          kernels::GemmBatchedTN(Ctx(), ai->data.data(), gout,
+                                 bi->grad.data(), a_offsets.data(),
+                                 b_offsets.data(), num_batches, m, k, n);
         }
       });
 }
@@ -679,12 +743,16 @@ Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
       acc += tensors[t].shape().dims()[a];
     }
   }
-  for (size_t t = 0; t < tensors.size(); ++t) {
-    const int64_t mid = tensors[t].shape().dims()[a];
-    const float* src = tensors[t].data();
-    for (int64_t o = 0; o < outer; ++o) {
-      std::memcpy(out.data() + (o * total_mid + mid_offsets[t]) * inner,
-                  src + o * mid * inner, sizeof(float) * mid * inner);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                              static_cast<double>(out_shape.numel()));
+    for (size_t t = 0; t < tensors.size(); ++t) {
+      const int64_t mid = tensors[t].shape().dims()[a];
+      const float* src = tensors[t].data();
+      for (int64_t o = 0; o < outer; ++o) {
+        std::memcpy(out.data() + (o * total_mid + mid_offsets[t]) * inner,
+                    src + o * mid * inner, sizeof(float) * mid * inner);
+      }
     }
   }
 
@@ -768,11 +836,15 @@ Tensor IndexSelect(const Tensor& t, int axis,
   Shape out_shape(std::move(out_dims));
   std::vector<float> out(out_shape.numel());
   const float* src = t.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t j = 0; j < out_mid; ++j) {
-      std::memcpy(out.data() + (o * out_mid + j) * inner,
-                  src + (o * mid + indices[j]) * inner,
-                  sizeof(float) * inner);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                              static_cast<double>(out_shape.numel()));
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t j = 0; j < out_mid; ++j) {
+        std::memcpy(out.data() + (o * out_mid + j) * inner,
+                    src + (o * mid + indices[j]) * inner,
+                    sizeof(float) * inner);
+      }
     }
   }
   ImplPtr self = t.impl();
@@ -820,43 +892,48 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<float> out(out_shape.numel(), 0.0f);
   const float* in_data = input.data();
   const float* w_data = weight.data();
+  const float* b_data = bias.defined() ? bias.data() : nullptr;
+  const double flops =
+      2.0 * static_cast<double>(batch * c_out * c_in * kh * kw) *
+      static_cast<double>(h_out * w_out);
 
-  if (bias.defined()) {
-    const float* b_data = bias.data();
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t co = 0; co < c_out; ++co) {
-        float* plane = out.data() + (b * c_out + co) * h_out * w_out;
-        const float bv = b_data[co];
-        for (int64_t i = 0; i < h_out * w_out; ++i) plane[i] = bv;
-      }
-    }
-  }
-
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < c_out; ++co) {
-      float* out_plane = out.data() + (b * c_out + co) * h_out * w_out;
-      for (int64_t ci = 0; ci < c_in; ++ci) {
-        const float* in_plane = in_data + (b * c_in + ci) * h * w;
-        const float* w_block = w_data + (co * c_in + ci) * kh * kw;
-        for (int64_t ki = 0; ki < kh; ++ki) {
-          for (int64_t kj = 0; kj < kw; ++kj) {
-            const float wv = w_block[ki * kw + kj];
-            if (wv == 0.0f) continue;
-            for (int64_t ho = 0; ho < h_out; ++ho) {
-              const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
-              if (hi < 0 || hi >= h) continue;
-              float* out_row = out_plane + ho * w_out;
-              const float* in_row = in_plane + hi * w;
-              for (int64_t wo = 0; wo < w_out; ++wo) {
-                const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
-                if (wi < 0 || wi >= w) continue;
-                out_row[wo] += wv * in_row[wi];
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kConv2d, flops);
+    // One task per (batch, out-channel) output plane: planes are disjoint
+    // and each plane's accumulation order matches the serial kernel.
+    Ctx().ParallelFor(batch * c_out, /*grain=*/1,
+                      [&](int64_t begin, int64_t end) {
+      for (int64_t plane = begin; plane < end; ++plane) {
+        const int64_t b = plane / c_out;
+        const int64_t co = plane % c_out;
+        float* out_plane = out.data() + plane * h_out * w_out;
+        if (b_data != nullptr) {
+          const float bv = b_data[co];
+          for (int64_t i = 0; i < h_out * w_out; ++i) out_plane[i] = bv;
+        }
+        for (int64_t ci = 0; ci < c_in; ++ci) {
+          const float* in_plane = in_data + (b * c_in + ci) * h * w;
+          const float* w_block = w_data + (co * c_in + ci) * kh * kw;
+          for (int64_t ki = 0; ki < kh; ++ki) {
+            for (int64_t kj = 0; kj < kw; ++kj) {
+              const float wv = w_block[ki * kw + kj];
+              if (wv == 0.0f) continue;
+              for (int64_t ho = 0; ho < h_out; ++ho) {
+                const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
+                if (hi < 0 || hi >= h) continue;
+                float* out_row = out_plane + ho * w_out;
+                const float* in_row = in_plane + hi * w;
+                for (int64_t wo = 0; wo < w_out; ++wo) {
+                  const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
+                  if (wi < 0 || wi >= w) continue;
+                  out_row[wo] += wv * in_row[wi];
+                }
               }
             }
           }
         }
       }
-    }
+    });
   }
 
   ImplPtr in_impl = input.impl();
@@ -868,7 +945,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   return MakeOp(
       out_shape, std::move(out), inputs,
       [in_impl, w_impl, b_impl, batch, c_in, c_out, h, w, kh, kw, h_out, w_out,
-       stride_h, stride_w, pad_h, pad_w, dil_h, dil_w](TensorImpl& node) {
+       stride_h, stride_w, pad_h, pad_w, dil_h, dil_w, flops](TensorImpl& node) {
+        exec::ScopedOpTimer timer(exec::OpKind::kConv2dBackward, 2.0 * flops);
         const float* gout = node.grad.data();
         if (b_impl != nullptr && b_impl->requires_grad) {
           b_impl->EnsureGrad();
@@ -886,44 +964,52 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         if (!need_din && !need_dw) return;
         if (need_din) in_impl->EnsureGrad();
         if (need_dw) w_impl->EnsureGrad();
-        for (int64_t b = 0; b < batch; ++b) {
-          for (int64_t co = 0; co < c_out; ++co) {
-            const float* gout_plane = gout + (b * c_out + co) * h_out * w_out;
-            for (int64_t ci = 0; ci < c_in; ++ci) {
+        // Chunked over input channels: d(input)[b, ci] and d(weight)[co, ci]
+        // are both disjoint across ci, and for any fixed gradient element
+        // the (b-ascending, co-ascending) accumulation order matches the
+        // serial kernel, keeping backward bit-identical at any thread count.
+        Ctx().ParallelFor(c_in, /*grain=*/1, [&](int64_t ci_begin,
+                                                 int64_t ci_end) {
+          for (int64_t ci = ci_begin; ci < ci_end; ++ci) {
+            for (int64_t b = 0; b < batch; ++b) {
               const float* in_plane =
                   in_impl->data.data() + (b * c_in + ci) * h * w;
               float* gin_plane =
                   need_din ? in_impl->grad.data() + (b * c_in + ci) * h * w
                            : nullptr;
-              const float* w_block =
-                  w_impl->data.data() + (co * c_in + ci) * kh * kw;
-              float* gw_block =
-                  need_dw ? w_impl->grad.data() + (co * c_in + ci) * kh * kw
-                          : nullptr;
-              for (int64_t ki = 0; ki < kh; ++ki) {
-                for (int64_t kj = 0; kj < kw; ++kj) {
-                  const float wv = w_block[ki * kw + kj];
-                  float gw_acc = 0.0f;
-                  for (int64_t ho = 0; ho < h_out; ++ho) {
-                    const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
-                    if (hi < 0 || hi >= h) continue;
-                    const float* gout_row = gout_plane + ho * w_out;
-                    const float* in_row = in_plane + hi * w;
-                    float* gin_row = need_din ? gin_plane + hi * w : nullptr;
-                    for (int64_t wo = 0; wo < w_out; ++wo) {
-                      const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
-                      if (wi < 0 || wi >= w) continue;
-                      const float g = gout_row[wo];
-                      if (need_din) gin_row[wi] += g * wv;
-                      if (need_dw) gw_acc += g * in_row[wi];
+              for (int64_t co = 0; co < c_out; ++co) {
+                const float* gout_plane =
+                    gout + (b * c_out + co) * h_out * w_out;
+                const float* w_block =
+                    w_impl->data.data() + (co * c_in + ci) * kh * kw;
+                float* gw_block =
+                    need_dw ? w_impl->grad.data() + (co * c_in + ci) * kh * kw
+                            : nullptr;
+                for (int64_t ki = 0; ki < kh; ++ki) {
+                  for (int64_t kj = 0; kj < kw; ++kj) {
+                    const float wv = w_block[ki * kw + kj];
+                    float gw_acc = 0.0f;
+                    for (int64_t ho = 0; ho < h_out; ++ho) {
+                      const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
+                      if (hi < 0 || hi >= h) continue;
+                      const float* gout_row = gout_plane + ho * w_out;
+                      const float* in_row = in_plane + hi * w;
+                      float* gin_row = need_din ? gin_plane + hi * w : nullptr;
+                      for (int64_t wo = 0; wo < w_out; ++wo) {
+                        const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
+                        if (wi < 0 || wi >= w) continue;
+                        const float g = gout_row[wo];
+                        if (need_din) gin_row[wi] += g * wv;
+                        if (need_dw) gw_acc += g * in_row[wi];
+                      }
                     }
+                    if (need_dw) gw_block[ki * kw + kj] += gw_acc;
                   }
-                  if (need_dw) gw_block[ki * kw + kj] += gw_acc;
                 }
               }
             }
           }
-        }
+        });
       });
 }
 

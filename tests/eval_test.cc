@@ -2,6 +2,7 @@
 // difficult-interval extraction, and repeated-trial statistics.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -36,6 +37,28 @@ TEST(Metrics, MapeSkipsTinyTargets) {
   MetricValues m = ComputeMetrics({1.0f, 2.0f}, {0.5f, 2.0f});
   EXPECT_EQ(m.count, 2);
   EXPECT_DOUBLE_EQ(m.mape, 0.0);  // only the exact-match target qualified
+}
+
+TEST(Metrics, MapeFloorBoundsRelativeError) {
+  // A near-zero (but nonzero) target must not explode MAPE: it is excluded
+  // by kMapeTargetFloor, so MAPE reflects only the well-scaled entry.
+  MetricValues m = ComputeMetrics({5.0f, 55.0f}, {1e-4f, 50.0f});
+  EXPECT_EQ(m.count, 2);          // both entered MAE/RMSE
+  EXPECT_DOUBLE_EQ(m.mape, 10.0); // |55-50|/50 only
+  EXPECT_GE(eval::kMapeTargetFloor, 1.0f);
+}
+
+TEST(Metrics, NonFinitePairsAreSkipped) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  MetricValues m = ComputeMetrics({nan, inf, 9.0f}, {10.0f, 10.0f, 10.0f});
+  EXPECT_EQ(m.count, 1);
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);
+  EXPECT_DOUBLE_EQ(m.mape, 10.0);
+  // Non-finite targets are skipped too.
+  MetricValues m2 = ComputeMetrics({1.0f, 2.0f}, {nan, 4.0f});
+  EXPECT_EQ(m2.count, 1);
+  EXPECT_DOUBLE_EQ(m2.mae, 2.0);
 }
 
 TEST(Metrics, IncludeMaskRestricts) {

@@ -1,0 +1,274 @@
+// Tests for the execution layer: deterministic thread-pool parallelism
+// (bit-identical results at any thread count), ParallelFor chunk coverage,
+// the op profiler, and serial-vs-parallel training equivalence.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
+#include "src/models/traffic_model.h"
+#include "src/nn/layers.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using exec::ExecOptions;
+using exec::ExecutionContext;
+using exec::OpKind;
+using exec::OpStats;
+
+/// Runs `fn` under a context with the given thread count and returns the
+/// raw float buffer it produces.
+template <typename Fn>
+std::vector<float> RunWithThreads(int threads, Fn fn) {
+  ExecutionContext context(ExecOptions{.threads = threads});
+  ExecutionContext::Bind bind(&context);
+  return fn();
+}
+
+TEST(ExecutionContext, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 4}) {
+    ExecutionContext context(ExecOptions{.threads = threads});
+    std::mutex mu;
+    std::multiset<int64_t> seen;
+    // 103 indivisible by grain 7 => a ragged trailing chunk.
+    context.ParallelFor(103, 7, [&](int64_t begin, int64_t end) {
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end - begin, 7);
+      std::lock_guard<std::mutex> lock(mu);
+      for (int64_t i = begin; i < end; ++i) seen.insert(i);
+    });
+    ASSERT_EQ(seen.size(), 103u) << "threads=" << threads;
+    for (int64_t i = 0; i < 103; ++i) {
+      EXPECT_EQ(seen.count(i), 1u) << "index " << i;
+    }
+  }
+}
+
+TEST(ExecutionContext, ParallelForPropagatesExceptions) {
+  ExecutionContext context(ExecOptions{.threads = 4});
+  EXPECT_THROW(
+      context.ParallelFor(64, 1,
+                          [&](int64_t begin, int64_t) {
+                            if (begin == 32) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int64_t> sum{0};
+  context.ParallelFor(10, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ExecutionContext, CurrentFallsBackToSerial) {
+  ExecutionContext& current = ExecutionContext::Current();
+  EXPECT_EQ(current.threads(), 1);
+  EXPECT_FALSE(current.profiling_enabled());
+}
+
+TEST(ExecutionContext, BindNestsAndNullIsNoop) {
+  ExecutionContext outer(ExecOptions{.threads = 2});
+  ExecutionContext::Bind bind_outer(&outer);
+  EXPECT_EQ(&ExecutionContext::Current(), &outer);
+  {
+    ExecutionContext::Bind bind_null(nullptr);  // must keep `outer` bound
+    EXPECT_EQ(&ExecutionContext::Current(), &outer);
+    ExecutionContext inner(ExecOptions{.threads = 4});
+    ExecutionContext::Bind bind_inner(&inner);
+    EXPECT_EQ(&ExecutionContext::Current(), &inner);
+  }
+  EXPECT_EQ(&ExecutionContext::Current(), &outer);
+}
+
+TEST(Determinism, MatMulBitIdenticalAcrossThreads) {
+  // Odd, non-chunk-aligned shapes exercise ragged row chunks.
+  Rng rng(11);
+  Tensor a = Tensor::Randn(Shape({37, 53}), &rng);
+  Tensor b = Tensor::Randn(Shape({53, 29}), &rng);
+  NoGradGuard no_grad;
+  const std::vector<float> serial = RunWithThreads(
+      1, [&] { return MatMul(a, b).ToVector(); });
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = RunWithThreads(
+        threads, [&] { return MatMul(a, b).ToVector(); });
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i])
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+TEST(Determinism, MatMulBackwardBitIdenticalAcrossThreads) {
+  // Broadcast batches make the gradient GEMMs accumulate into shared
+  // blocks — exactly the case the row-chunked backward kernels protect.
+  auto grads = [&](int threads) {
+    return RunWithThreads(threads, [&] {
+      Rng rng(12);
+      Tensor a = Tensor::Randn(Shape({45, 19}), &rng).set_requires_grad(true);
+      Tensor b = Tensor::Randn(Shape({6, 19, 23}), &rng)
+                     .set_requires_grad(true);
+      Tensor loss = MatMul(a, b).Abs().SumAll();
+      loss.Backward();
+      std::vector<float> out = a.grad();
+      const std::vector<float>& gb = b.grad();
+      out.insert(out.end(), gb.begin(), gb.end());
+      return out;
+    });
+  };
+  const std::vector<float> serial = grads(1);
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = grads(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i])
+          << "threads=" << threads << " grad element " << i;
+    }
+  }
+}
+
+TEST(Determinism, SumBitIdenticalAcrossThreads) {
+  Rng rng(13);
+  Tensor x = Tensor::Randn(Shape({7, 13, 5, 11}), &rng);
+  NoGradGuard no_grad;
+  auto reduce = [&](int threads) {
+    return RunWithThreads(threads, [&] {
+      std::vector<float> out = x.Sum({1, 3}, /*keepdim=*/false).ToVector();
+      const std::vector<float> all = x.SumAll().ToVector();
+      out.insert(out.end(), all.begin(), all.end());
+      return out;
+    });
+  };
+  const std::vector<float> serial = reduce(1);
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = reduce(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, Conv2dLayerBitIdenticalAcrossThreads) {
+  Rng rng(14);
+  nn::Conv2dLayer conv(3, 5, 1, 3, &rng, /*stride_h=*/1, /*stride_w=*/1,
+                       /*pad_h=*/0, /*pad_w=*/1);
+  Tensor x = Tensor::Randn(Shape({4, 3, 9, 12}), &rng);
+  NoGradGuard no_grad;
+  const std::vector<float> serial = RunWithThreads(
+      1, [&] { return conv.Forward(x).ToVector(); });
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = RunWithThreads(
+        threads, [&] { return conv.Forward(x).ToVector(); });
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, SoftmaxAndElementwiseBitIdenticalAcrossThreads) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn(Shape({6, 17, 9}), &rng);
+  Tensor y = Tensor::Randn(Shape({6, 17, 9}), &rng);
+  NoGradGuard no_grad;
+  auto chain = [&](int threads) {
+    return RunWithThreads(threads, [&] {
+      return ((x * y).Sigmoid() + x.Softmax(1)).Tanh().ToVector();
+    });
+  };
+  const std::vector<float> serial = chain(1);
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = chain(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, TrainingLossIdenticalSerialVsParallel) {
+  data::DatasetProfile profile;
+  profile.name = "EXEC";
+  profile.num_nodes = 8;
+  profile.num_days = 4;
+  profile.seed = 910;
+  const data::TrafficDataset dataset =
+      data::TrafficDataset::FromProfile(profile);
+
+  auto train = [&](exec::ExecutionContext* context) {
+    auto model = models::CreateModel(
+        "STGCN", models::MakeModelContext(dataset, 77));
+    eval::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 8;
+    config.max_batches_per_epoch = 3;
+    config.seed = 5;
+    config.exec = context;
+    return eval::TrainModel(model.get(), dataset, config);
+  };
+
+  const eval::TrainResult serial = train(nullptr);
+  ExecutionContext parallel_context(ExecOptions{.threads = 4});
+  const eval::TrainResult parallel = train(&parallel_context);
+
+  ASSERT_EQ(serial.epoch_losses.size(), parallel.epoch_losses.size());
+  for (size_t i = 0; i < serial.epoch_losses.size(); ++i) {
+    // Bit-identical end-of-epoch loss: same kernels, same chunking, same
+    // accumulation order regardless of the thread count.
+    EXPECT_EQ(serial.epoch_losses[i], parallel.epoch_losses[i]);
+  }
+}
+
+TEST(OpProfiler, RecordsCountsAndMonotonicTime) {
+  ExecutionContext context(ExecOptions{.threads = 1, .profile = true});
+  ExecutionContext::Bind bind(&context);
+  Rng rng(16);
+  Tensor a = Tensor::Randn(Shape({24, 24}), &rng);
+  Tensor b = Tensor::Randn(Shape({24, 24}), &rng);
+  NoGradGuard no_grad;
+  (void)MatMul(a, b);
+  OpStats after_one = context.profiler().stats(OpKind::kMatMul);
+  EXPECT_EQ(after_one.calls, 1);
+  EXPECT_GE(after_one.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(after_one.flops, 2.0 * 24 * 24 * 24);
+
+  (void)MatMul(a, b);
+  OpStats after_two = context.profiler().stats(OpKind::kMatMul);
+  EXPECT_EQ(after_two.calls, 2);
+  EXPECT_GE(after_two.seconds, after_one.seconds);  // time is monotonic
+  EXPECT_GT(context.profiler().TotalSeconds(), 0.0);
+
+  const std::string summary = context.profiler().TopKindsSummary(3);
+  EXPECT_NE(summary.find("MatMul"), std::string::npos);
+
+  context.profiler().Reset();
+  EXPECT_EQ(context.profiler().stats(OpKind::kMatMul).calls, 0);
+  EXPECT_DOUBLE_EQ(context.profiler().TotalSeconds(), 0.0);
+}
+
+TEST(OpProfiler, DisabledProfilingRecordsNothing) {
+  ExecutionContext context(ExecOptions{.threads = 1, .profile = false});
+  ExecutionContext::Bind bind(&context);
+  Rng rng(17);
+  Tensor a = Tensor::Randn(Shape({8, 8}), &rng);
+  NoGradGuard no_grad;
+  (void)MatMul(a, a);
+  EXPECT_EQ(context.profiler().stats(OpKind::kMatMul).calls, 0);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -5,13 +5,19 @@
 //                         --out-series series.csv
 //   trafficbench train    --model Graph-WaveNet --dataset METR-LA-S
 //                         [--epochs 3] [--batches 40] [--lr 5e-3]
+//                         [--threads N] [--profile]
 //                         [--validate] [--checkpoint model.ckpt]
 //   trafficbench evaluate --model Graph-WaveNet --dataset METR-LA-S
 //                         --checkpoint model.ckpt [--difficult]
+//                         [--threads N] [--profile]
+//
+// --threads N runs tensor kernels on N worker threads; results are
+// bit-identical to --threads 1. --profile prints a per-op time/FLOP table.
 //
 // Instead of --dataset, pass --network net.csv --series series.csv
 // [--flow] to run on imported (e.g. real PeMS) data.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -25,6 +31,7 @@
 #include "src/data/io.h"
 #include "src/eval/difficult_intervals.h"
 #include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/serialize.h"
 #include "src/util/table.h"
@@ -68,10 +75,27 @@ int Usage() {
       "  train    --model M (--dataset NAME | --network F --series F"
       " [--flow])\n"
       "           [--epochs N] [--batches N] [--batch N] [--lr X]\n"
-      "           [--seed N] [--validate] [--checkpoint F]\n"
+      "           [--seed N] [--threads N] [--profile]\n"
+      "           [--validate] [--checkpoint F]\n"
       "  evaluate --model M (--dataset ... | --network/--series ...)\n"
-      "           --checkpoint F [--difficult]\n");
+      "           --checkpoint F [--difficult] [--threads N] [--profile]\n");
   return 2;
+}
+
+/// Execution context from --threads / --profile (threads default 1 keeps
+/// the single-threaded behaviour).
+tb::exec::ExecOptions ExecOptionsFromArgs(const Args& args) {
+  tb::exec::ExecOptions options;
+  options.threads = std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  options.profile = args.Has("profile");
+  return options;
+}
+
+void MaybePrintProfile(const tb::exec::ExecutionContext& context) {
+  if (!context.profiling_enabled()) return;
+  std::printf("\n-- op profile (%d thread%s) --\n%s",
+              context.threads(), context.threads() == 1 ? "" : "s",
+              context.profiler().ToTable().ToString().c_str());
 }
 
 std::optional<tb::data::TrafficDataset> OpenDataset(const Args& args) {
@@ -174,6 +198,8 @@ int CmdTrain(const Args& args) {
   config.learning_rate = std::atof(args.Get("lr", "5e-3").c_str());
   config.select_best_on_validation = args.Has("validate");
   config.verbose = true;
+  tb::exec::ExecutionContext exec_context(ExecOptionsFromArgs(args));
+  config.exec = &exec_context;
   tb::eval::TrainResult result = TrainModel(model.get(), *dataset, config);
   if (config.select_best_on_validation) {
     std::printf("kept epoch %d (val masked-MAE %.4f)\n", result.best_epoch + 1,
@@ -183,8 +209,12 @@ int CmdTrain(const Args& args) {
   }
 
   const tb::data::DatasetSplits splits = dataset->Splits();
+  tb::eval::EvalOptions eval_options;
+  eval_options.exec = &exec_context;
   PrintReport(tb::eval::EvaluateModel(model.get(), *dataset,
-                                      splits.test_begin, splits.test_end));
+                                      splits.test_begin, splits.test_end,
+                                      eval_options));
+  MaybePrintProfile(exec_context);
 
   if (args.Has("checkpoint")) {
     const std::string path = args.Get("checkpoint", "model.ckpt");
@@ -216,7 +246,9 @@ int CmdEvaluate(const Args& args) {
     }
   }
   const tb::data::DatasetSplits splits = dataset->Splits();
+  tb::exec::ExecutionContext exec_context(ExecOptionsFromArgs(args));
   tb::eval::EvalOptions options;
+  options.exec = &exec_context;
   std::vector<uint8_t> mask;
   if (args.Has("difficult")) {
     mask = tb::eval::DifficultMask(dataset->series(), {});
@@ -227,6 +259,7 @@ int CmdEvaluate(const Args& args) {
   PrintReport(tb::eval::EvaluateModel(model.get(), *dataset,
                                       splits.test_begin, splits.test_end,
                                       options));
+  MaybePrintProfile(exec_context);
   return 0;
 }
 
