@@ -6,17 +6,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/exec/execution_context.h"
 #include "src/nn/layers.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 
 namespace trafficbench {
 namespace {
+
+/// FLOP/s rate counter (renders with an SI suffix, e.g. "13.9G/s").
+void SetFlopsCounter(benchmark::State& state, double flops_per_iter) {
+  state.counters["FLOPS"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -28,8 +37,45 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b).data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetFlopsCounter(state, 2.0 * static_cast<double>(n * n * n));
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+// 207 = METR-LA node count (the paper's larger graph).
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(207);
+
+void BM_MatMulRef(benchmark::State& state) {
+  // The pre-blocking naive kernel (retained as GemmRefNNRows): the "before"
+  // row of the perf trajectory in BENCH_2.json.
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({n, n}), &rng);
+  Tensor b = Tensor::Randn(Shape({n, n}), &rng);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    kernels::GemmRefNNRows(a.data(), b.data(), c.data(), 0, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetFlopsCounter(state, 2.0 * static_cast<double>(n * n * n));
+}
+BENCHMARK(BM_MatMulRef)->Arg(128)->Arg(207);
+
+void BM_GraphConvMetrLa(benchmark::State& state) {
+  // Graph convolution at METR-LA scale: [207, 207] support applied to
+  // [B, T, 207, C] features, the hot GEMM of the paper's GNN models.
+  const int64_t nodes = 207, b = 8, t = 12, c = 32;
+  Rng rng(1);
+  Tensor support = Tensor::Randn(Shape({nodes, nodes}), &rng);
+  Tensor features = Tensor::Randn(Shape({b, t, nodes, c}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(support, features).data());
+  }
+  SetFlopsCounter(state,
+                  2.0 * static_cast<double>(b * t) *
+                      static_cast<double>(nodes * nodes * c));
+}
+BENCHMARK(BM_GraphConvMetrLa);
 
 void BM_BatchedGraphMix(benchmark::State& state) {
   // The dominant model op: [N, N] support applied to [B, T, N, C].
@@ -103,6 +149,7 @@ void BM_MatMulThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b).data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetFlopsCounter(state, 2.0 * static_cast<double>(n * n * n));
 }
 BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
 

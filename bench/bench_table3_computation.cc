@@ -44,6 +44,7 @@ int main() {
     auto model = tb::models::CreateModel(name, context);
 
     exec_context.profiler().Reset();  // per-model attribution
+    exec_context.buffer_pool()->ResetStats();
     tb::eval::TrainConfig train_config;
     train_config.epochs = 1;  // one measured epoch
     train_config.batch_size = config.batch_size;
@@ -71,7 +72,9 @@ int main() {
                       std::to_string((model->ParameterCount() % 1000) / 100) +
                       "k",
                   top_ops});
-    std::fprintf(stderr, "  done: %s\n", name.c_str());
+    const std::string pool = exec_context.PoolSummary();
+    std::fprintf(stderr, "  done: %s%s%s\n", name.c_str(),
+                 pool.empty() ? "" : " | ", pool.c_str());
   }
   tb::core::EmitTable("Computation time of the models (Table III)", table,
                       "table3_computation.csv");

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Snapshots the GEMM micro-benchmarks into the repo-root BENCH_<PR>.json so
+# the perf trajectory is tracked across PRs. The snapshot is the raw
+# google-benchmark JSON of the filtered run; BM_MatMulRef rows are the
+# retained pre-blocking naive kernel, so each snapshot self-contains its
+# before/after comparison (BM_MatMulRef/N vs BM_MatMul/N).
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 2)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+PR="${1:-2}"
+OUT="$ROOT/BENCH_${PR}.json"
+
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" --target bench_micro_ops -j >/dev/null
+
+"$BUILD/bench/bench_micro_ops" \
+  --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads' \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+
+# Headline: blocked vs naive single-thread items/sec on the large MatMul.
+awk '
+  /"name": "BM_MatMulRef\/128"/ { in_ref = 1 }
+  /"name": "BM_MatMul\/128"/ { in_new = 1 }
+  /"items_per_second":/ {
+    gsub(/[^0-9.e+]/, "", $2)
+    if (in_ref) { ref = $2; in_ref = 0 }
+    else if (in_new) { new_ips = $2; in_new = 0 }
+  }
+  END {
+    if (ref > 0 && new_ips > 0) {
+      printf "BM_MatMul/128: %.3gG items/s blocked vs %.3gG naive -> %.2fx\n",
+             new_ips / 1e9, ref / 1e9, new_ips / ref
+    }
+  }
+' "$OUT"
+echo "snapshot: $OUT"

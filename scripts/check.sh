@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, then (optionally) a
-# ThreadSanitizer build of the execution-layer tests.
+# Repo verification: tier-1 build + tests, then (optionally) sanitizer
+# builds of the concurrency- and memory-sensitive tests.
 #
 #   scripts/check.sh          # tier-1 only
-#   TSAN=1 scripts/check.sh   # tier-1 + TSAN pass over exec_test
+#   TSAN=1 scripts/check.sh   # + ThreadSanitizer pass (exec layer + pool)
+#   ASAN=1 scripts/check.sh   # + ASan/UBSan pass (tensor/kernel/pool tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,9 +18,18 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec tests =="
+  echo "== tsan: exec + pool tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*'
+fi
+
+if [[ "${ASAN:-0}" == "1" ]]; then
+  echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
+  cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
+  cmake --build build-asan -j --target trafficbench_tests >/dev/null
+  echo "== asan/ubsan: tensor/kernel/pool tests =="
+  ./build-asan/tests/trafficbench_tests \
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*'
 fi
 
 echo "OK"

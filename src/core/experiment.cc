@@ -135,7 +135,7 @@ RunResult RunModelOnDataset(const std::string& model_name,
   if (config.profile) {
     std::fprintf(stderr, "\n-- op profile [%s / %s] --\n%s",
                  model_name.c_str(), dataset_name.c_str(),
-                 exec_context.profiler().ToTable().ToString().c_str());
+                 exec_context.ProfileTable().ToString().c_str());
   }
   return result;
 }

@@ -192,7 +192,7 @@ thread_local ExecutionContext* g_current_context = nullptr;
 }  // namespace
 
 ExecutionContext::ExecutionContext(const ExecOptions& options)
-    : options_(options) {
+    : options_(options), pool_buffers_(std::make_shared<BufferPool>()) {
   TB_CHECK_GE(options_.threads, 1) << "execution context needs >= 1 thread";
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
@@ -218,6 +218,28 @@ void ExecutionContext::ParallelFor(
   pool_->Run(chunks, [&](int64_t c) {
     fn(c * grain, std::min(total, (c + 1) * grain));
   });
+}
+
+Table ExecutionContext::ProfileTable() const {
+  Table table = profiler_.ToTable();
+  const BufferPool::Stats s = pool_buffers_->stats();
+  const int64_t acquires = s.hits + s.misses;
+  if (acquires > 0) {
+    // Pool traffic is not an op, so the Time/Share/GFLOP columns carry the
+    // hit rate, acquire count and MiB served from cache instead.
+    table.AddRow({"BufferPool", std::to_string(acquires),
+                  "hit " + Table::Num(100.0 * s.HitRate(), 1) + "%",
+                  Table::Num(static_cast<double>(s.served_bytes) /
+                                 (1024.0 * 1024.0),
+                             1) +
+                      " MiB",
+                  "", ""});
+  }
+  return table;
+}
+
+std::string ExecutionContext::PoolSummary() const {
+  return pool_buffers_->Summary();
 }
 
 ExecutionContext& ExecutionContext::Current() {

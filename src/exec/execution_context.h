@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/tensor/buffer_pool.h"
 #include "src/util/stopwatch.h"
 #include "src/util/table.h"
 
@@ -154,6 +155,16 @@ class ExecutionContext {
   OpProfiler& profiler() { return profiler_; }
   const OpProfiler& profiler() const { return profiler_; }
 
+  /// The context's buffer pool. Shared so pooled tensors can hold a
+  /// reference and release their buffers safely after the context dies.
+  const std::shared_ptr<BufferPool>& buffer_pool() const { return pool_buffers_; }
+
+  /// The OpProfiler table with a trailing "BufferPool" row (hit rate,
+  /// acquires, MiB served from cache) when the pool saw any traffic.
+  Table ProfileTable() const;
+  /// One-line pool summary (BufferPool::Summary of this context's pool).
+  std::string PoolSummary() const;
+
   /// Runs fn(begin, end) over the fixed chunk decomposition of [0, total).
   /// Serial contexts (and single-chunk problems) run inline on the caller.
   void ParallelFor(int64_t total, int64_t grain,
@@ -181,6 +192,7 @@ class ExecutionContext {
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads <= 1
   OpProfiler profiler_;
+  std::shared_ptr<BufferPool> pool_buffers_;
 };
 
 /// Times one kernel dispatch and records it into the current context's

@@ -1,0 +1,102 @@
+#include "src/tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace trafficbench {
+namespace {
+
+constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
+
+}  // namespace
+
+BufferPool::BufferPool(int64_t max_pooled_bytes)
+    : max_pooled_bytes_(max_pooled_bytes) {}
+
+int64_t BufferPool::BucketCapacity(int64_t n) {
+  int64_t cap = kMinBucketFloats;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+std::vector<float> BufferPool::Acquire(int64_t n) {
+  const int64_t cap = BucketCapacity(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(cap);
+    if (it != buckets_.end() && !it->second.empty()) {
+      std::vector<float> buffer = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.hits;
+      stats_.pooled_bytes -= cap * kFloatBytes;
+      stats_.served_bytes += cap * kFloatBytes;
+      buffer.resize(static_cast<size_t>(n));
+      return buffer;
+    }
+    ++stats_.misses;
+  }
+  std::vector<float> buffer;
+  buffer.reserve(static_cast<size_t>(cap));
+  buffer.resize(static_cast<size_t>(n));
+  return buffer;
+}
+
+std::vector<float> BufferPool::AcquireZeroed(int64_t n) {
+  std::vector<float> buffer = Acquire(n);
+  std::fill(buffer.begin(), buffer.end(), 0.0f);
+  return buffer;
+}
+
+void BufferPool::Release(std::vector<float>&& buffer) {
+  const int64_t cap = static_cast<int64_t>(buffer.capacity());
+  // Buffers that never came from the pool (capacity not a bucket size) would
+  // poison the bucket keyed by their exact capacity; only exact bucket
+  // capacities are accepted so Acquire's lookup always finds full-size
+  // buffers.
+  const bool bucket_sized = cap >= kMinBucketFloats && BucketCapacity(cap) == cap;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bucket_sized ||
+      stats_.pooled_bytes + cap * kFloatBytes > max_pooled_bytes_) {
+    ++stats_.dropped;
+    return;  // `buffer` frees normally as the rvalue dies at the caller.
+  }
+  ++stats_.releases;
+  stats_.pooled_bytes += cap * kFloatBytes;
+  buckets_[cap].push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t pooled = stats_.pooled_bytes;
+  stats_ = Stats{};
+  stats_.pooled_bytes = pooled;  // still cached; only the counters reset
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  stats_.pooled_bytes = 0;
+}
+
+std::string BufferPool::Summary() const {
+  Stats s = stats();
+  const int64_t acquires = s.hits + s.misses;
+  if (acquires == 0) return "";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "pool: %.1f%% hit (%lld/%lld acquires), %.1f MiB pooled, "
+                "%lld dropped",
+                100.0 * s.HitRate(), static_cast<long long>(s.hits),
+                static_cast<long long>(acquires),
+                static_cast<double>(s.pooled_bytes) / (1024.0 * 1024.0),
+                static_cast<long long>(s.dropped));
+  return std::string(line);
+}
+
+}  // namespace trafficbench

@@ -1,0 +1,86 @@
+#ifndef TRAFFICBENCH_TENSOR_BUFFER_POOL_H_
+#define TRAFFICBENCH_TENSOR_BUFFER_POOL_H_
+
+// Size-bucketed free-list recycler for the float buffers of the tensor
+// engine. Every op output, gradient buffer and backward scratch vector used
+// to be a fresh heap allocation per call; the pool makes the steady-state
+// training loop allocation-free: buffers released when a step's autograd
+// graph dies are handed back to the next step's ops.
+//
+// Ownership: each ExecutionContext owns one pool via shared_ptr, and every
+// pooled tensor holds a reference, so buffers released after the context is
+// gone still land in a live pool (which dies with its last holder).
+//
+// Thread-safety: all members are mutex-guarded; acquire/release may be
+// called from any thread (the op layer calls from the dispatching thread,
+// tests hammer it from ParallelFor workers).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trafficbench {
+
+class BufferPool {
+ public:
+  /// Counters. `hits + misses` is the total number of acquires.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t releases = 0;       // buffers accepted back into the pool
+    int64_t dropped = 0;        // releases rejected (too small / over cap)
+    int64_t pooled_bytes = 0;   // bytes currently cached and idle
+    int64_t served_bytes = 0;   // cumulative bytes handed out from cache
+
+    double HitRate() const {
+      const int64_t acquires = hits + misses;
+      return acquires > 0 ? static_cast<double>(hits) / acquires : 0.0;
+    }
+  };
+
+  static constexpr int64_t kMinBucketFloats = 64;
+  static constexpr int64_t kDefaultMaxPooledBytes = 512ll * 1024 * 1024;
+
+  explicit BufferPool(int64_t max_pooled_bytes = kDefaultMaxPooledBytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A vector of size n whose contents are unspecified (callers overwrite
+  /// every element). Capacity is the bucket size, so a round-trip through
+  /// Release lands back in the same bucket.
+  std::vector<float> Acquire(int64_t n);
+  /// A vector of size n filled with zeros.
+  std::vector<float> AcquireZeroed(int64_t n);
+  /// Hands a buffer back for reuse. Buffers smaller than the minimum
+  /// bucket, or that would push the pool past its byte cap, are dropped
+  /// (freed normally).
+  void Release(std::vector<float>&& buffer);
+
+  Stats stats() const;
+  void ResetStats();
+  /// Frees all cached buffers (counters are kept).
+  void Clear();
+
+  /// The capacity Acquire(n) reserves: the smallest power of two >=
+  /// max(n, kMinBucketFloats). Exposed for the bucket-rounding tests.
+  static int64_t BucketCapacity(int64_t n);
+
+  /// One-line human summary, e.g.
+  /// "pool: 97.8% hit (1893/1936 acquires), 12.4 MiB pooled, 0 dropped";
+  /// empty string when nothing was acquired yet.
+  std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  const int64_t max_pooled_bytes_;
+  Stats stats_;
+  /// Free lists keyed by bucket capacity (in floats).
+  std::unordered_map<int64_t, std::vector<std::vector<float>>> buckets_;
+};
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_BUFFER_POOL_H_

@@ -4,7 +4,11 @@
 
 namespace trafficbench::kernels {
 
-void GemmAccNNRows(const float* a, const float* b, float* c,
+// ---- Naive reference kernels ------------------------------------------------
+// The historical triple loops, kept bit-for-bit as the property-test oracle
+// and as the "pre-PR kernel" row in the perf trajectory.
+
+void GemmRefNNRows(const float* a, const float* b, float* c,
                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
   for (int64_t i = row_begin; i < row_end; ++i) {
     float* crow = c + i * n;
@@ -18,7 +22,7 @@ void GemmAccNNRows(const float* a, const float* b, float* c,
   }
 }
 
-void GemmAccNTRows(const float* a, const float* b, float* c,
+void GemmRefNTRows(const float* a, const float* b, float* c,
                    int64_t row_begin, int64_t row_end, int64_t n, int64_t k) {
   for (int64_t i = row_begin; i < row_end; ++i) {
     const float* arow = a + i * n;
@@ -32,7 +36,7 @@ void GemmAccNTRows(const float* a, const float* b, float* c,
   }
 }
 
-void GemmAccTNRows(const float* a, const float* b, float* c,
+void GemmRefTNRows(const float* a, const float* b, float* c,
                    int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
                    int64_t n) {
   for (int64_t p = p_begin; p < p_end; ++p) {
@@ -45,6 +49,241 @@ void GemmAccTNRows(const float* a, const float* b, float* c,
     }
   }
 }
+
+// ---- Blocked, packed kernels ------------------------------------------------
+//
+// All three layouts funnel into one blocked driver: C rows are walked in
+// kGemmRowChunk sub-chunks, the shared (depth) dimension is blocked at
+// kGemmDepthBlock, and per block a zero-padded A panel (micro-tile
+// interleaved) and B panel (kGemmMicroCols-wide) are packed into aligned
+// stack scratch. The micro-kernel then accumulates a full register tile
+// with no branches in the inner loop. Templates select how each operand is
+// addressed while packing:
+//   NN: A row-major rows (lda=k),  B depth-major (ldb=n)
+//   NT: A row-major rows (lda=n),  B column-major (ldb=n, the transpose)
+//   TN: A column-major rows (lda=k), B depth-major (ldb=n)
+// Per C element the accumulation chain is "ascending depth inside fixed
+// depth blocks" — independent of row chunking, column panels and thread
+// count, which is what keeps exec-layer bit-identity intact.
+
+namespace {
+
+/// Packs the A panel for rows [row0, row0+rows) x depth [d0, d0+kc) as
+/// kGemmMicroRows-interleaved micro-tiles: pa[tile][d][r]. Tail rows are
+/// zero-filled so the micro-kernel never branches on the row count.
+template <bool kAColMajor>
+[[gnu::always_inline]] inline void PackA(const float* a, int64_t lda,
+                                         int64_t row0, int64_t rows,
+                                         int64_t d0, int64_t kc, float* pa) {
+  constexpr int64_t mr = kGemmMicroRows;
+  const int64_t tiles = (rows + mr - 1) / mr;
+  for (int64_t t = 0; t < tiles; ++t) {
+    float* dst = pa + t * kc * mr;
+    const int64_t r0 = row0 + t * mr;
+    const int64_t tile_rows = std::min<int64_t>(mr, row0 + rows - r0);
+    if (tile_rows < mr) {
+      for (int64_t i = 0; i < kc * mr; ++i) dst[i] = 0.0f;
+    }
+    if constexpr (kAColMajor) {
+      // a[(d0+d)*lda + (r0+r)]: contiguous reads along r.
+      for (int64_t d = 0; d < kc; ++d) {
+        const float* src = a + (d0 + d) * lda + r0;
+        for (int64_t r = 0; r < tile_rows; ++r) dst[d * mr + r] = src[r];
+      }
+    } else {
+      // a[(r0+r)*lda + (d0+d)]: contiguous reads along d.
+      for (int64_t r = 0; r < tile_rows; ++r) {
+        const float* src = a + (r0 + r) * lda + d0;
+        for (int64_t d = 0; d < kc; ++d) dst[d * mr + r] = src[d];
+      }
+    }
+  }
+}
+
+/// Packs the B panel for depth [d0, d0+kc) x columns [j0, j0+nr) as
+/// pb[d][j], zero-padding the column tail to kGemmMicroCols.
+template <bool kBColMajor>
+[[gnu::always_inline]] inline void PackB(const float* b, int64_t ldb,
+                                         int64_t d0, int64_t kc, int64_t j0,
+                                         int64_t nr, float* pb) {
+  constexpr int64_t nc = kGemmMicroCols;
+  if constexpr (kBColMajor) {
+    // b[(j0+j)*ldb + (d0+d)]: the transpose gather (NT layout).
+    for (int64_t j = 0; j < nc; ++j) {
+      if (j < nr) {
+        const float* src = b + (j0 + j) * ldb + d0;
+        for (int64_t d = 0; d < kc; ++d) pb[d * nc + j] = src[d];
+      } else {
+        for (int64_t d = 0; d < kc; ++d) pb[d * nc + j] = 0.0f;
+      }
+    }
+  } else {
+    for (int64_t d = 0; d < kc; ++d) {
+      const float* src = b + (d0 + d) * ldb + j0;
+      float* dst = pb + d * nc;
+      for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+      for (int64_t j = nr; j < nc; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// Accumulates a kGemmMicroRows x kGemmMicroCols register tile over the
+/// packed panels, then adds the valid mr x nr corner into C. The d-loop is
+/// branch-free with constant-bound inner loops: the compiler keeps `acc`
+/// in vector registers and turns the j-loop into independent (non-reducing)
+/// vector FMAs.
+[[gnu::always_inline]] inline void MicroKernel(const float* pa,
+                                               const float* pb, int64_t kc,
+                                               float* c, int64_t ldc,
+                                               int64_t mr, int64_t nr) {
+  constexpr int64_t kMr = kGemmMicroRows;
+  constexpr int64_t kNr = kGemmMicroCols;
+  float acc[kMr][kNr] = {};
+  for (int64_t d = 0; d < kc; ++d) {
+    const float* ap = pa + d * kMr;
+    const float* bp = pb + d * kNr;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = ap[r];
+      for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    for (int64_t r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < kNr; ++j) crow[j] += acc[r][j];
+    }
+  } else {
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+/// The blocked driver shared by all three layouts. Computes
+/// C[rows, cols] += op(A) * op(B) for C rows [row_begin, row_end), where
+/// `depth` is the contraction extent.
+template <bool kAColMajor, bool kBColMajor>
+[[gnu::always_inline]] inline void BlockedGemm(const float* a, int64_t lda,
+                                               const float* b, int64_t ldb,
+                                               float* c, int64_t ldc,
+                                               int64_t row_begin,
+                                               int64_t row_end, int64_t depth,
+                                               int64_t cols) {
+  alignas(64) float pa[kGemmRowChunk * kGemmDepthBlock];
+  alignas(64) float pb[kGemmDepthBlock * kGemmMicroCols];
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kGemmRowChunk) {
+    const int64_t rows = std::min(kGemmRowChunk, row_end - i0);
+    for (int64_t d0 = 0; d0 < depth; d0 += kGemmDepthBlock) {
+      const int64_t kc = std::min(kGemmDepthBlock, depth - d0);
+      PackA<kAColMajor>(a, lda, i0, rows, d0, kc, pa);
+      const int64_t tiles = (rows + kGemmMicroRows - 1) / kGemmMicroRows;
+      for (int64_t j0 = 0; j0 < cols; j0 += kGemmMicroCols) {
+        const int64_t nr = std::min(kGemmMicroCols, cols - j0);
+        PackB<kBColMajor>(b, ldb, d0, kc, j0, nr, pb);
+        for (int64_t t = 0; t < tiles; ++t) {
+          const int64_t mr = std::min(kGemmMicroRows,
+                                      rows - t * kGemmMicroRows);
+          MicroKernel(pa + t * kc * kGemmMicroRows, pb, kc,
+                      c + (i0 + t * kGemmMicroRows) * ldc + j0, ldc, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TB_KERNELS_X86 1
+#else
+#define TB_KERNELS_X86 0
+#endif
+
+// Two compilations of the identical blocked driver: the default-ISA build
+// and (on x86) an AVX2+FMA build selected once at load time. One process-
+// wide decision shared by every thread, so it cannot break thread-count
+// bit-identity; it does change float contraction (FMA), which the property
+// tests cover with tolerances against the naive reference.
+
+void BlockedNNDefault(const float* a, const float* b, float* c, int64_t rb,
+                      int64_t re, int64_t k, int64_t n) {
+  BlockedGemm<false, false>(a, k, b, n, c, n, rb, re, k, n);
+}
+void BlockedNTDefault(const float* a, const float* b, float* c, int64_t rb,
+                      int64_t re, int64_t n, int64_t k) {
+  BlockedGemm<false, true>(a, n, b, n, c, k, rb, re, n, k);
+}
+void BlockedTNDefault(const float* a, const float* b, float* c, int64_t pb,
+                      int64_t pe, int64_t m, int64_t k, int64_t n) {
+  BlockedGemm<true, false>(a, k, b, n, c, n, pb, pe, m, n);
+}
+
+#if TB_KERNELS_X86
+__attribute__((target("avx2,fma"))) void BlockedNNAvx2(
+    const float* a, const float* b, float* c, int64_t rb, int64_t re,
+    int64_t k, int64_t n) {
+  BlockedGemm<false, false>(a, k, b, n, c, n, rb, re, k, n);
+}
+__attribute__((target("avx2,fma"))) void BlockedNTAvx2(
+    const float* a, const float* b, float* c, int64_t rb, int64_t re,
+    int64_t n, int64_t k) {
+  BlockedGemm<false, true>(a, n, b, n, c, k, rb, re, n, k);
+}
+__attribute__((target("avx2,fma"))) void BlockedTNAvx2(
+    const float* a, const float* b, float* c, int64_t pb, int64_t pe,
+    int64_t m, int64_t k, int64_t n) {
+  BlockedGemm<true, false>(a, k, b, n, c, n, pb, pe, m, n);
+}
+#endif  // TB_KERNELS_X86
+
+bool DetectAvx2Fma() {
+#if TB_KERNELS_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const bool g_gemm_avx2 = DetectAvx2Fma();
+
+}  // namespace
+
+bool GemmUsesAvx2() { return g_gemm_avx2; }
+
+void GemmAccNNRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
+#if TB_KERNELS_X86
+  if (g_gemm_avx2) {
+    BlockedNNAvx2(a, b, c, row_begin, row_end, k, n);
+    return;
+  }
+#endif
+  BlockedNNDefault(a, b, c, row_begin, row_end, k, n);
+}
+
+void GemmAccNTRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t n, int64_t k) {
+#if TB_KERNELS_X86
+  if (g_gemm_avx2) {
+    BlockedNTAvx2(a, b, c, row_begin, row_end, n, k);
+    return;
+  }
+#endif
+  BlockedNTDefault(a, b, c, row_begin, row_end, n, k);
+}
+
+void GemmAccTNRows(const float* a, const float* b, float* c,
+                   int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
+                   int64_t n) {
+#if TB_KERNELS_X86
+  if (g_gemm_avx2) {
+    BlockedTNAvx2(a, b, c, p_begin, p_end, m, k, n);
+    return;
+  }
+#endif
+  BlockedTNDefault(a, b, c, p_begin, p_end, m, k, n);
+}
+
+// ---- Batched drivers --------------------------------------------------------
 
 void GemmBatchedNN(exec::ExecutionContext& ctx, const float* a,
                    const float* b, float* c, const int64_t* a_offsets,

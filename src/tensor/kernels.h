@@ -9,6 +9,20 @@
 // depend only on the problem shape (fixed grains below, never the thread
 // count), and each output element's accumulation chain stays inside one
 // chunk. Results are therefore bit-identical for any --threads value.
+//
+// GEMM architecture (see DESIGN.md §8): the row-range primitives below are
+// cache-blocked and register-tiled. Panels of A and B are packed into
+// aligned, zero-padded stack scratch (no heap allocation on the hot path),
+// the depth dimension is blocked at kGemmDepthBlock, and a fixed
+// kGemmMicroRows x kGemmMicroCols micro-kernel accumulates a register tile
+// with a branch-free, contiguous-innermost loop the compiler vectorizes.
+// At load time the engine picks an AVX2+FMA compilation of the identical
+// source when the CPU supports it (one decision per process, shared by all
+// threads, so thread-count bit-identity is unaffected). Every C element's
+// accumulation chain is "ascending depth within fixed depth blocks" — a
+// pure function of the problem shape, the same for every row chunk, panel
+// and thread count. Absolute values may differ from the historical naive
+// kernels (kept below as GemmRef*Rows) by float reassociation only.
 
 #include <cstdint>
 
@@ -21,19 +35,42 @@ inline constexpr int64_t kElementwiseGrain = 8192;
 inline constexpr int64_t kGemmRowChunk = 16;
 inline constexpr int64_t kReduceGrainElems = 4096;
 
-/// Row-range GEMM primitives (the serial bodies both paths share).
+/// GEMM blocking parameters. The micro-kernel computes a
+/// kGemmMicroRows x kGemmMicroCols register tile (4x16 floats = 8 YMM
+/// accumulators under AVX2, leaving registers for the B row and the A
+/// broadcasts); kGemmDepthBlock bounds the packed panels (16 KiB A panel +
+/// 16 KiB B panel) so both stay L1/L2-resident.
+inline constexpr int64_t kGemmMicroRows = 4;
+inline constexpr int64_t kGemmMicroCols = 16;
+inline constexpr int64_t kGemmDepthBlock = 256;
+
+/// Row-range GEMM primitives (the serial bodies both paths share), blocked
+/// and packed as described above. All of them *accumulate* into C.
 /// C[M,N] += A[M,K] * B[K,N], rows [row_begin, row_end) of C.
 void GemmAccNNRows(const float* a, const float* b, float* c,
                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
 /// C[M,K] += A[M,N] * B[K,N]^T, rows [row_begin, row_end) of C.
 void GemmAccNTRows(const float* a, const float* b, float* c,
                    int64_t row_begin, int64_t row_end, int64_t n, int64_t k);
-/// C[K,N] += A[M,K]^T * B[M,N], rows [p_begin, p_end) of C. Loops are
-/// p-outer / i-inner, which keeps each C element's accumulation order
-/// (ascending i) identical to the historical i-outer serial kernel.
+/// C[K,N] += A[M,K]^T * B[M,N], rows [p_begin, p_end) of C.
 void GemmAccTNRows(const float* a, const float* b, float* c,
                    int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
                    int64_t n);
+
+/// Naive reference GEMMs (the pre-blocking kernels, bit-for-bit). Retained
+/// as the ground truth for the blocked-kernel property tests and as the
+/// "before" row of the perf trajectory (BENCH_2.json). Same accumulate-into-C
+/// semantics and row-range contracts as the GemmAcc*Rows primitives.
+void GemmRefNNRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
+void GemmRefNTRows(const float* a, const float* b, float* c,
+                   int64_t row_begin, int64_t row_end, int64_t n, int64_t k);
+void GemmRefTNRows(const float* a, const float* b, float* c,
+                   int64_t p_begin, int64_t p_end, int64_t m, int64_t k,
+                   int64_t n);
+
+/// True when the runtime dispatch selected the AVX2+FMA kernel build.
+bool GemmUsesAvx2();
 
 /// Batched C[batch] += A[batch] * B[batch] over per-batch element offsets.
 /// Output blocks are disjoint per batch, so work is chunked over

@@ -15,9 +15,20 @@ namespace trafficbench::internal_tensor {
 
 /// Creates an op output: wraps `data` with `shape`, and if grad mode is on
 /// and any input requires grad, wires `backward` into the autograd graph.
+/// The output is tagged with the current context's buffer pool, so `data`
+/// (and the lazily-allocated grad) return to the pool on destruction —
+/// op call sites should produce `data` with AcquireBuffer below.
 Tensor MakeOp(Shape shape, std::vector<float> data,
               const std::vector<Tensor>& inputs,
               std::function<void(TensorImpl&)> backward);
+
+/// Buffer-pool access for op scratch/output vectors, routed through the
+/// current ExecutionContext's pool. Acquired buffers either flow into
+/// MakeOp (which owns returning them) or must be handed back with
+/// ReleaseBuffer once consumed (backward scratch).
+std::vector<float> AcquireBuffer(int64_t n);
+std::vector<float> AcquireZeroedBuffer(int64_t n);
+void ReleaseBuffer(std::vector<float>&& buffer);
 
 /// Accumulates `g` (same numel) into `t`'s grad buffer if it requires grad.
 void AccumulateGrad(TensorImpl* t, const std::vector<float>& g);

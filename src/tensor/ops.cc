@@ -20,25 +20,32 @@ namespace trafficbench {
 namespace {
 
 using internal_tensor::AccumulateGrad;
+using internal_tensor::AcquireBuffer;
+using internal_tensor::AcquireZeroedBuffer;
 using internal_tensor::BroadcastStrides;
 using internal_tensor::MakeOp;
 using internal_tensor::ReduceGradToShape;
+using internal_tensor::ReleaseBuffer;
 using internal_tensor::TensorImpl;
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
 
 exec::ExecutionContext& Ctx() { return exec::ExecutionContext::Current(); }
 
-/// Materializes `t` broadcast to `target` as a flat buffer.
-std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
-  if (t.shape() == target) return t.impl()->data;
+/// Materializes `src` (of shape `from`) broadcast to `target` into a pooled
+/// buffer. Callers own the result: move it into MakeOp or ReleaseBuffer it.
+std::vector<float> ExpandData(const float* src, const Shape& from,
+                              const Shape& target) {
+  const int64_t n = target.numel();
+  std::vector<float> out = AcquireBuffer(n);
+  if (from == target) {
+    std::memcpy(out.data(), src, sizeof(float) * n);
+    return out;
+  }
   const std::vector<int64_t>& out_dims = target.dims();
   const int out_rank = target.rank();
   const std::vector<int64_t> strides =
-      BroadcastStrides(t.shape(), out_rank, out_dims);
-  const int64_t n = target.numel();
-  std::vector<float> out(n);
-  const float* src = t.data();
+      BroadcastStrides(from, out_rank, out_dims);
   std::vector<int64_t> index(out_rank, 0);
   int64_t offset = 0;
   for (int64_t linear = 0; linear < n; ++linear) {
@@ -54,6 +61,11 @@ std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
   return out;
 }
 
+/// Materializes `t` broadcast to `target` as a flat (pooled) buffer.
+std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
+  return ExpandData(t.data(), t.shape(), target);
+}
+
 // ---- Generic unary op -------------------------------------------------------
 
 /// fwd(x) -> y; dydx(x, y) -> local derivative.
@@ -62,7 +74,7 @@ Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
   TB_CHECK(x.defined());
   const std::vector<float>& xd = x.impl()->data;
   const int64_t n = static_cast<int64_t>(xd.size());
-  std::vector<float> out(n);
+  std::vector<float> out = AcquireBuffer(n);
   {
     exec::ScopedOpTimer timer(exec::OpKind::kUnary, static_cast<double>(n));
     const float* xp = xd.data();
@@ -76,7 +88,7 @@ Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
                       static_cast<int64_t>(xi->data.size());
                   exec::ScopedOpTimer timer(exec::OpKind::kUnaryBackward,
                                             2.0 * count);
-                  std::vector<float> gx(count);
+                  std::vector<float> gx = AcquireBuffer(count);
                   const float* xp = xi->data.data();
                   const float* yp = self.data.data();
                   const float* gp = self.grad.data();
@@ -85,6 +97,7 @@ Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
                     gxp[i] = dydx(xp[i], yp[i]) * gp[i];
                   });
                   AccumulateGrad(xi.get(), gx);
+                  ReleaseBuffer(std::move(gx));
                 });
 }
 
@@ -96,49 +109,78 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
               Dfdb dfdb) {
   TB_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
-  std::vector<float> av = ExpandToShape(a, out_shape);
-  std::vector<float> bv = ExpandToShape(b, out_shape);
+  // Same-shape operands (the common case) are read in place; only genuinely
+  // broadcast operands are materialized, into pooled scratch.
+  const bool a_same = a.shape() == out_shape;
+  const bool b_same = b.shape() == out_shape;
+  std::vector<float> av, bv;
+  if (!a_same) av = ExpandToShape(a, out_shape);
+  if (!b_same) bv = ExpandToShape(b, out_shape);
   const int64_t n = out_shape.numel();
-  std::vector<float> out(n);
+  std::vector<float> out = AcquireBuffer(n);
   {
     exec::ScopedOpTimer timer(exec::OpKind::kBinary, static_cast<double>(n));
-    const float* ap = av.data();
-    const float* bp = bv.data();
+    const float* ap = a_same ? a.data() : av.data();
+    const float* bp = b_same ? b.data() : bv.data();
     float* op = out.data();
     kernels::ParallelMap(Ctx(), n,
                          [&](int64_t i) { op[i] = fwd(ap[i], bp[i]); });
   }
+  if (!a_same) ReleaseBuffer(std::move(av));
+  if (!b_same) ReleaseBuffer(std::move(bv));
   ImplPtr ai = a.impl();
   ImplPtr bi = b.impl();
   const Shape a_shape = a.shape();
   const Shape b_shape = b.shape();
   return MakeOp(
       out_shape, std::move(out), {a, b},
-      [ai, bi, av = std::move(av), bv = std::move(bv), a_shape, b_shape,
-       out_shape, dfda, dfdb](TensorImpl& self) {
+      [ai, bi, a_same, b_same, a_shape, b_shape, out_shape, dfda,
+       dfdb](TensorImpl& self) {
         const int64_t n = static_cast<int64_t>(self.grad.size());
         exec::ScopedOpTimer timer(exec::OpKind::kBinaryBackward, 2.0 * n);
-        const float* ap = av.data();
-        const float* bp = bv.data();
+        // Broadcast operands are re-expanded from the parent data (immutable
+        // between forward and backward) instead of captured, so the scratch
+        // round-trips through the pool within this call.
+        std::vector<float> av, bv;
+        if (!a_same) av = ExpandData(ai->data.data(), a_shape, out_shape);
+        if (!b_same) bv = ExpandData(bi->data.data(), b_shape, out_shape);
+        const float* ap = a_same ? ai->data.data() : av.data();
+        const float* bp = b_same ? bi->data.data() : bv.data();
         const float* gp = self.grad.data();
         if (ai->requires_grad) {
-          std::vector<float> ga(n);
+          std::vector<float> ga = AcquireBuffer(n);
           float* gap = ga.data();
           kernels::ParallelMap(Ctx(), n, [&](int64_t i) {
             gap[i] = dfda(ap[i], bp[i]) * gp[i];
           });
-          AccumulateGrad(ai.get(),
-                         ReduceGradToShape(ga, out_shape, a_shape));
+          if (a_same) {
+            AccumulateGrad(ai.get(), ga);
+          } else {
+            std::vector<float> reduced =
+                ReduceGradToShape(ga, out_shape, a_shape);
+            AccumulateGrad(ai.get(), reduced);
+            ReleaseBuffer(std::move(reduced));
+          }
+          ReleaseBuffer(std::move(ga));
         }
         if (bi->requires_grad) {
-          std::vector<float> gb(n);
+          std::vector<float> gb = AcquireBuffer(n);
           float* gbp = gb.data();
           kernels::ParallelMap(Ctx(), n, [&](int64_t i) {
             gbp[i] = dfdb(ap[i], bp[i]) * gp[i];
           });
-          AccumulateGrad(bi.get(),
-                         ReduceGradToShape(gb, out_shape, b_shape));
+          if (b_same) {
+            AccumulateGrad(bi.get(), gb);
+          } else {
+            std::vector<float> reduced =
+                ReduceGradToShape(gb, out_shape, b_shape);
+            AccumulateGrad(bi.get(), reduced);
+            ReleaseBuffer(std::move(reduced));
+          }
+          ReleaseBuffer(std::move(gb));
         }
+        if (!a_same) ReleaseBuffer(std::move(av));
+        if (!b_same) ReleaseBuffer(std::move(bv));
       });
 }
 
@@ -193,7 +235,7 @@ std::vector<float> PermuteData(const std::vector<float>& data,
   std::vector<int64_t> strides(rank);
   for (int i = 0; i < rank; ++i) strides[i] = in_strides[perm[i]];
   const int64_t n = shape.numel();
-  std::vector<float> out(n);
+  std::vector<float> out = AcquireBuffer(n);
   std::vector<int64_t> index(rank, 0);
   int64_t offset = 0;
   for (int64_t linear = 0; linear < n; ++linear) {
@@ -336,8 +378,10 @@ Tensor Tensor::Reshape(const Shape& new_shape) const {
   TB_CHECK(defined());
   TB_CHECK_EQ(new_shape.numel(), numel())
       << "reshape " << shape().ToString() << " -> " << new_shape.ToString();
+  std::vector<float> out = AcquireBuffer(numel());
+  std::memcpy(out.data(), data(), sizeof(float) * numel());
   ImplPtr self = impl();
-  return MakeOp(new_shape, impl()->data, {*this},
+  return MakeOp(new_shape, std::move(out), {*this},
                 [self](TensorImpl& node) {
                   AccumulateGrad(self.get(), node.grad);
                 });
@@ -386,8 +430,10 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   Shape out_shape(std::move(out_dims));
   return MakeOp(out_shape, std::move(out), {*this},
                 [self, inverse, out_shape](TensorImpl& node) {
-                  AccumulateGrad(self.get(),
-                                 PermuteData(node.grad, out_shape, inverse));
+                  std::vector<float> gx =
+                      PermuteData(node.grad, out_shape, inverse);
+                  AccumulateGrad(self.get(), gx);
+                  ReleaseBuffer(std::move(gx));
                 });
 }
 
@@ -411,7 +457,7 @@ Tensor Tensor::Slice(int axis, int64_t start, int64_t end) const {
   const int64_t out_mid = end - start;
   std::vector<int64_t> out_dims = shape().dims();
   out_dims[a] = out_mid;
-  std::vector<float> out(outer * out_mid * inner);
+  std::vector<float> out = AcquireBuffer(outer * out_mid * inner);
   const float* src = data();
   {
     exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
@@ -449,9 +495,10 @@ Tensor Tensor::BroadcastTo(const Shape& target) const {
   const Shape in_shape = shape();
   return MakeOp(target, std::move(out), {*this},
                 [self, in_shape, target](TensorImpl& node) {
-                  AccumulateGrad(
-                      self.get(),
-                      ReduceGradToShape(node.grad, target, in_shape));
+                  std::vector<float> gx =
+                      ReduceGradToShape(node.grad, target, in_shape);
+                  AccumulateGrad(self.get(), gx);
+                  ReleaseBuffer(std::move(gx));
                 });
 }
 
@@ -489,7 +536,7 @@ Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
   int64_t red_count = 1;
   for (int64_t d : red_dims) red_count *= d;
   const int64_t out_numel = out_shape.numel();
-  std::vector<float> out(out_numel, 0.0f);
+  std::vector<float> out = AcquireBuffer(out_numel);
   const float* src = t.data();
   {
     exec::ScopedOpTimer timer(exec::OpKind::kReduce,
@@ -533,8 +580,10 @@ Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
                       exec::OpKind::kReduceBackward,
                       static_cast<double>(in_shape.numel()));
                   // Each input element receives the grad of its output cell.
-                  Tensor g = Tensor::FromVector(out_shape, node.grad);
-                  AccumulateGrad(self.get(), ExpandToShape(g, in_shape));
+                  std::vector<float> gx =
+                      ExpandData(node.grad.data(), out_shape, in_shape);
+                  AccumulateGrad(self.get(), gx);
+                  ReleaseBuffer(std::move(gx));
                 });
 }
 
@@ -588,7 +637,7 @@ Tensor Tensor::Softmax(int axis) const {
   int64_t outer, mid, inner;
   OuterMidInner(shape(), a, &outer, &mid, &inner);
   const float* src = data();
-  std::vector<float> out(numel());
+  std::vector<float> out = AcquireBuffer(numel());
   {
     exec::ScopedOpTimer timer(exec::OpKind::kSoftmax, 5.0 * numel());
     const int64_t grain = std::max<int64_t>(
@@ -621,7 +670,8 @@ Tensor Tensor::Softmax(int axis) const {
         exec::ScopedOpTimer timer(exec::OpKind::kSoftmaxBackward,
                                   4.0 * static_cast<double>(node.data.size()));
         // dx = y * (dy - sum(dy * y over the softmax axis))
-        std::vector<float> gx(node.data.size());
+        std::vector<float> gx =
+            AcquireBuffer(static_cast<int64_t>(node.data.size()));
         const float* y = node.data.data();
         const float* gy = node.grad.data();
         const int64_t grain = std::max<int64_t>(
@@ -644,6 +694,7 @@ Tensor Tensor::Softmax(int axis) const {
           }
         });
         AccumulateGrad(self.get(), gx);
+        ReleaseBuffer(std::move(gx));
       });
 }
 
@@ -671,7 +722,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const std::vector<int64_t> b_offsets = BatchOffsets(b_batch, out_batch, k * n);
   const int64_t num_batches = out_batch.numel();
 
-  std::vector<float> out(out_shape.numel(), 0.0f);
+  std::vector<float> out = AcquireZeroedBuffer(out_shape.numel());
   {
     exec::ScopedOpTimer timer(
         exec::OpKind::kMatMul,
@@ -734,7 +785,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
   for (int i = 0; i < a; ++i) outer *= first.dims()[i];
   for (int i = a + 1; i < first.rank(); ++i) inner *= first.dims()[i];
 
-  std::vector<float> out(out_shape.numel());
+  std::vector<float> out = AcquireBuffer(out_shape.numel());
   std::vector<int64_t> mid_offsets(tensors.size());
   {
     int64_t acc = 0;
@@ -801,7 +852,7 @@ Tensor Pad(const Tensor& t, int axis, int64_t before, int64_t after) {
   std::vector<int64_t> out_dims = t.shape().dims();
   out_dims[a] = out_mid;
   Shape out_shape(std::move(out_dims));
-  std::vector<float> out(out_shape.numel(), 0.0f);
+  std::vector<float> out = AcquireZeroedBuffer(out_shape.numel());
   const float* src = t.data();
   for (int64_t o = 0; o < outer; ++o) {
     std::memcpy(out.data() + (o * out_mid + before) * inner,
@@ -834,7 +885,7 @@ Tensor IndexSelect(const Tensor& t, int axis,
   std::vector<int64_t> out_dims = t.shape().dims();
   out_dims[a] = out_mid;
   Shape out_shape(std::move(out_dims));
-  std::vector<float> out(out_shape.numel());
+  std::vector<float> out = AcquireBuffer(out_shape.numel());
   const float* src = t.data();
   {
     exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
@@ -889,7 +940,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   TB_CHECK_GT(w_out, 0);
 
   Shape out_shape({batch, c_out, h_out, w_out});
-  std::vector<float> out(out_shape.numel(), 0.0f);
+  std::vector<float> out = AcquireZeroedBuffer(out_shape.numel());
   const float* in_data = input.data();
   const float* w_data = weight.data();
   const float* b_data = bias.defined() ? bias.data() : nullptr;

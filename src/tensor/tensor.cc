@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "src/exec/execution_context.h"
+#include "src/tensor/buffer_pool.h"
 #include "src/tensor/op_common.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -20,8 +22,31 @@ thread_local bool g_grad_mode = true;
 bool GradModeEnabled() { return g_grad_mode; }
 void SetGradMode(bool enabled) { g_grad_mode = enabled; }
 
+TensorImpl::~TensorImpl() {
+  if (pool == nullptr) return;
+  if (!data.empty()) pool->Release(std::move(data));
+  if (!grad.empty()) pool->Release(std::move(grad));
+}
+
 void TensorImpl::EnsureGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  if (!grad.empty()) return;
+  if (pool != nullptr) {
+    grad = pool->AcquireZeroed(static_cast<int64_t>(data.size()));
+  } else {
+    grad.assign(data.size(), 0.0f);
+  }
+}
+
+std::vector<float> AcquireBuffer(int64_t n) {
+  return exec::ExecutionContext::Current().buffer_pool()->Acquire(n);
+}
+
+std::vector<float> AcquireZeroedBuffer(int64_t n) {
+  return exec::ExecutionContext::Current().buffer_pool()->AcquireZeroed(n);
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  exec::ExecutionContext::Current().buffer_pool()->Release(std::move(buffer));
 }
 
 Tensor MakeOp(Shape shape, std::vector<float> data,
@@ -31,6 +56,7 @@ Tensor MakeOp(Shape shape, std::vector<float> data,
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
+  impl->pool = exec::ExecutionContext::Current().buffer_pool();
   if (GradModeEnabled()) {
     bool any = false;
     for (const Tensor& t : inputs) any = any || t.requires_grad();
@@ -68,8 +94,12 @@ std::vector<int64_t> BroadcastStrides(const Shape& in, int out_rank,
 
 std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
                                      const Shape& from, const Shape& to) {
-  if (from == to) return grad;
-  std::vector<float> out(to.numel(), 0.0f);
+  if (from == to) {
+    std::vector<float> out = AcquireBuffer(static_cast<int64_t>(grad.size()));
+    std::copy(grad.begin(), grad.end(), out.begin());
+    return out;
+  }
+  std::vector<float> out = AcquireZeroedBuffer(to.numel());
   const int out_rank = from.rank();
   const std::vector<int64_t>& from_dims = from.dims();
   const std::vector<int64_t> to_strides =

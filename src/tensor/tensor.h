@@ -11,6 +11,7 @@
 
 namespace trafficbench {
 
+class BufferPool;
 class Rng;
 class Tensor;
 
@@ -33,6 +34,16 @@ struct TensorImpl {
 
   /// Propagates this->grad into the parents' grad buffers.
   std::function<void(TensorImpl&)> backward_fn;
+
+  /// Set by MakeOp on op outputs: the buffer pool `data`/`grad` return to
+  /// on destruction. Shared so the buffers release safely even after the
+  /// owning ExecutionContext has died.
+  std::shared_ptr<BufferPool> pool;
+
+  TensorImpl() = default;
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
 
   void EnsureGrad();
 };

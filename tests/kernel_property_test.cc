@@ -1,0 +1,188 @@
+// Property tests for the blocked, packed GEMM kernels: the blocked
+// GemmAcc*Rows primitives must agree with the retained naive reference
+// kernels (GemmRef*Rows) within float-reassociation tolerance across odd and
+// tail sizes in every layout, accumulate into (not overwrite) C, and stay
+// bit-identical across thread counts through the batched drivers.
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/execution_context.h"
+#include "src/tensor/kernels.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using exec::ExecOptions;
+using exec::ExecutionContext;
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+/// Blocked and naive results may differ by reassociation only: the bound
+/// scales with the accumulation depth and the magnitude of the reference.
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& ref,
+                 int64_t depth) {
+  ASSERT_EQ(got.size(), ref.size());
+  const float tol =
+      1e-6f * static_cast<float>(depth + 8);  // ~depth * float eps * margin
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(ref[i]));
+    ASSERT_NEAR(got[i], ref[i], tol * scale)
+        << "at flat index " << i << " (depth " << depth << ")";
+  }
+}
+
+// Edge sizes crossing the micro-tile (4x16) and row-chunk (16) boundaries;
+// depths crossing the depth block (256).
+const int64_t kEdgeSizes[] = {1, 2, 3, 4, 5, 7, 15, 16, 17, 31, 33};
+const int64_t kDepths[] = {1, 3, 16, 31, 255, 256, 257};
+
+TEST(KernelProperty, BlockedNNMatchesNaiveAcrossTailSizes) {
+  for (int64_t m : kEdgeSizes) {
+    for (int64_t n : kEdgeSizes) {
+      for (int64_t k : kDepths) {
+        const std::vector<float> a = RandomVec(m * k, 1000 + m * 31 + k);
+        const std::vector<float> b = RandomVec(k * n, 2000 + n * 31 + k);
+        // Nonzero init: the primitives accumulate into C.
+        std::vector<float> c_blocked = RandomVec(m * n, 3000 + m + n);
+        std::vector<float> c_ref = c_blocked;
+        kernels::GemmAccNNRows(a.data(), b.data(), c_blocked.data(), 0, m, k,
+                               n);
+        kernels::GemmRefNNRows(a.data(), b.data(), c_ref.data(), 0, m, k, n);
+        ExpectClose(c_blocked, c_ref, k);
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedNTMatchesNaiveAcrossTailSizes) {
+  // C[M,K] += A[M,N] * B[K,N]^T: the "cols" of the blocked kernel is k and
+  // its depth is n, so swap the roles of the size sets accordingly.
+  for (int64_t m : kEdgeSizes) {
+    for (int64_t k : kEdgeSizes) {
+      for (int64_t n : kDepths) {
+        const std::vector<float> a = RandomVec(m * n, 4000 + m * 37 + n);
+        const std::vector<float> b = RandomVec(k * n, 5000 + k * 37 + n);
+        std::vector<float> c_blocked = RandomVec(m * k, 6000 + m + k);
+        std::vector<float> c_ref = c_blocked;
+        kernels::GemmAccNTRows(a.data(), b.data(), c_blocked.data(), 0, m, n,
+                               k);
+        kernels::GemmRefNTRows(a.data(), b.data(), c_ref.data(), 0, m, n, k);
+        ExpectClose(c_blocked, c_ref, n);
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedTNMatchesNaiveAcrossTailSizes) {
+  // C[K,N] += A[M,K]^T * B[M,N]: depth is m.
+  for (int64_t k : kEdgeSizes) {
+    for (int64_t n : kEdgeSizes) {
+      for (int64_t m : kDepths) {
+        const std::vector<float> a = RandomVec(m * k, 7000 + k * 41 + m);
+        const std::vector<float> b = RandomVec(m * n, 8000 + n * 41 + m);
+        std::vector<float> c_blocked = RandomVec(k * n, 9000 + k + n);
+        std::vector<float> c_ref = c_blocked;
+        kernels::GemmAccTNRows(a.data(), b.data(), c_blocked.data(), 0, k, m,
+                               k, n);
+        kernels::GemmRefTNRows(a.data(), b.data(), c_ref.data(), 0, k, m, k,
+                               n);
+        ExpectClose(c_blocked, c_ref, m);
+      }
+    }
+  }
+}
+
+TEST(KernelProperty, RowRangeDecompositionMatchesFullRange) {
+  // Computing [0, m) in one call equals computing arbitrary row splits:
+  // each C row's accumulation chain is independent of the range bounds.
+  const int64_t m = 37, k = 129, n = 29;
+  const std::vector<float> a = RandomVec(m * k, 11);
+  const std::vector<float> b = RandomVec(k * n, 12);
+  std::vector<float> c_full(m * n, 0.0f);
+  kernels::GemmAccNNRows(a.data(), b.data(), c_full.data(), 0, m, k, n);
+  std::vector<float> c_split(m * n, 0.0f);
+  const int64_t cuts[] = {0, 5, 16, 17, 33, m};
+  for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    kernels::GemmAccNNRows(a.data(), b.data(), c_split.data(), cuts[i],
+                           cuts[i + 1], k, n);
+  }
+  EXPECT_EQ(c_full, c_split);  // bit-identical, not just close
+}
+
+/// Runs the batched NN driver under a context with `threads` workers.
+std::vector<float> BatchedNNWithThreads(
+    int threads, const std::vector<float>& a, const std::vector<float>& b,
+    const std::vector<int64_t>& a_offsets,
+    const std::vector<int64_t>& b_offsets, int64_t num_batches, int64_t m,
+    int64_t k, int64_t n) {
+  ExecutionContext context(ExecOptions{.threads = threads});
+  std::vector<float> c(num_batches * m * n, 0.0f);
+  kernels::GemmBatchedNN(context, a.data(), b.data(), c.data(),
+                         a_offsets.data(), b_offsets.data(), num_batches, m,
+                         k, n);
+  return c;
+}
+
+TEST(KernelProperty, BatchedBroadcastOffsetsBitIdenticalAcrossThreads) {
+  // One shared A ([N, N] support, offset 0 for every batch) against
+  // per-batch B blocks — the broadcast batched-matmul pattern of the
+  // models. Blocked kernels must stay bit-identical across thread counts.
+  const int64_t num_batches = 6, m = 37, k = 37, n = 23;
+  const std::vector<float> a = RandomVec(m * k, 21);
+  const std::vector<float> b = RandomVec(num_batches * k * n, 22);
+  const std::vector<int64_t> a_offsets(num_batches, 0);
+  std::vector<int64_t> b_offsets(num_batches);
+  for (int64_t i = 0; i < num_batches; ++i) b_offsets[i] = i * k * n;
+
+  const std::vector<float> serial = BatchedNNWithThreads(
+      1, a, b, a_offsets, b_offsets, num_batches, m, k, n);
+  for (int threads : {2, 4}) {
+    const std::vector<float> parallel = BatchedNNWithThreads(
+        threads, a, b, a_offsets, b_offsets, num_batches, m, k, n);
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+  }
+}
+
+TEST(KernelProperty, BatchedGradRepeatedAccOffsetsBitIdenticalAcrossThreads) {
+  // Gradient driver with a broadcast operand: every batch accumulates into
+  // the SAME dA block (repeated acc offsets), the case that forces
+  // row-range-only chunking. Must be bit-identical across thread counts.
+  const int64_t num_batches = 5, m = 33, n = 19, k = 21;
+  const std::vector<float> dc = RandomVec(num_batches * m * n, 31);
+  const std::vector<float> b = RandomVec(num_batches * k * n, 32);
+  const std::vector<int64_t> da_offsets(num_batches, 0);  // broadcast dA
+  std::vector<int64_t> b_offsets(num_batches);
+  for (int64_t i = 0; i < num_batches; ++i) b_offsets[i] = i * k * n;
+
+  auto run = [&](int threads) {
+    ExecutionContext context(ExecOptions{.threads = threads});
+    std::vector<float> da(m * k, 0.0f);
+    kernels::GemmBatchedNT(context, dc.data(), b.data(), da.data(),
+                           da_offsets.data(), b_offsets.data(), num_batches,
+                           m, n, k);
+    return da;
+  };
+  const std::vector<float> serial = run(1);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(serial, run(threads)) << threads << " threads";
+  }
+}
+
+TEST(KernelProperty, DispatchReportsConsistentIsaChoice) {
+  // The AVX2 pick is one load-time decision; both calls must agree.
+  EXPECT_EQ(kernels::GemmUsesAvx2(), kernels::GemmUsesAvx2());
+}
+
+}  // namespace
+}  // namespace trafficbench

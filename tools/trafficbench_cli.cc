@@ -95,7 +95,7 @@ void MaybePrintProfile(const tb::exec::ExecutionContext& context) {
   if (!context.profiling_enabled()) return;
   std::printf("\n-- op profile (%d thread%s) --\n%s",
               context.threads(), context.threads() == 1 ? "" : "s",
-              context.profiler().ToTable().ToString().c_str());
+              context.ProfileTable().ToString().c_str());
 }
 
 std::optional<tb::data::TrafficDataset> OpenDataset(const Args& args) {
