@@ -5,6 +5,8 @@
 #   scripts/check.sh          # tier-1 only
 #   TSAN=1 scripts/check.sh   # + ThreadSanitizer pass (exec layer + pool)
 #   ASAN=1 scripts/check.sh   # + ASan/UBSan pass (tensor/kernel/pool tests)
+#   FAULT=1 scripts/check.sh  # + fault-injection suite under ASan/UBSan
+#                             #   (guarded loop, TBCKPT2, kill-and-resume)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +32,15 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: tensor/kernel/pool tests =="
   ./build-asan/tests/trafficbench_tests \
     --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*'
+fi
+
+if [[ "${FAULT:-0}" == "1" ]]; then
+  echo "== fault: build (TRAFFICBENCH_ASAN=ON) =="
+  cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
+  cmake --build build-asan -j --target trafficbench_tests >/dev/null
+  echo "== fault: guarded loop / checkpoint / resume suite =="
+  ./build-asan/tests/trafficbench_tests \
+    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*'
 fi
 
 echo "OK"

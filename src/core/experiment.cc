@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <sstream>
 #include <string>
 
 #include "src/util/check.h"
+#include "src/util/fileio.h"
 
 namespace trafficbench::core {
 
@@ -38,6 +42,8 @@ ExperimentConfig ExperimentConfig::FromEnv() {
       static_cast<int>(std::max<int64_t>(1, EnvInt("TB_THREADS", 1)));
   config.profile = EnvInt("TB_PROFILE", 0) != 0;
   config.verbose = EnvInt("TB_VERBOSE", 0) != 0;
+  config.ckpt_every = static_cast<int>(
+      std::max<int64_t>(0, EnvInt("TB_CKPT_EVERY", config.ckpt_every)));
   return config;
 }
 
@@ -76,6 +82,206 @@ eval::MeanStd RunResult::Metric(const std::string& metric, int horizon,
   return eval::Summarize(values);
 }
 
+namespace {
+
+/// Everything one finished trial contributes to a RunResult (and what a
+/// sweep's per-trial ".done" file round-trips).
+struct TrialOutcome {
+  int64_t parameter_count = 0;
+  double train_seconds_per_epoch = 0.0;
+  eval::HorizonReport report;
+  eval::HorizonReport difficult_report;
+  bool has_difficult = false;
+  int64_t nonfinite_batches = 0;
+  int rollbacks = 0;
+};
+
+/// One (model, trial) execution: build, train, evaluate. Recoverable
+/// failures — divergence past the rollback budget, an unusable resume
+/// checkpoint, contract violations from a numerically broken model —
+/// come back as a Status so the caller can keep the sweep alive. The fault
+/// injector's SimulatedCrash deliberately flies through (it models SIGKILL).
+Status RunOneTrial(const std::string& model_name,
+                   const data::TrafficDataset& dataset,
+                   const ExperimentConfig& config, int trial,
+                   exec::ExecutionContext* exec_context,
+                   const std::vector<uint8_t>* difficult_mask,
+                   const std::string& checkpoint_path, bool resume,
+                   TrialOutcome* outcome) try {
+  const data::DatasetSplits splits = dataset.Splits();
+  const int64_t test_end =
+      config.eval_cap > 0
+          ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
+          : splits.test_end;
+  const uint64_t seed = config.seed + 1000ULL * (trial + 1);
+  models::ModelContext context = models::MakeModelContext(dataset, seed);
+  std::unique_ptr<models::TrafficModel> model =
+      models::CreateModel(model_name, context);
+  outcome->parameter_count = model->ParameterCount();
+
+  eval::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.batch_size = config.batch_size;
+  train_config.max_batches_per_epoch = config.max_batches_per_epoch;
+  train_config.learning_rate = config.learning_rate;
+  train_config.seed = seed ^ 0x5bd1e995ULL;
+  train_config.verbose = config.verbose;
+  train_config.exec = exec_context;
+  train_config.checkpoint_path = checkpoint_path;
+  train_config.checkpoint_every =
+      checkpoint_path.empty() ? 0 : config.ckpt_every;
+  train_config.resume = resume;
+  eval::TrainResult train_result =
+      eval::TrainModel(model.get(), dataset, train_config);
+  if (!train_result.status.ok()) return train_result.status;
+  outcome->train_seconds_per_epoch = train_result.seconds_per_epoch;
+  outcome->nonfinite_batches = train_result.nonfinite_batches;
+  outcome->rollbacks = train_result.rollbacks;
+
+  eval::EvalOptions eval_options;
+  eval_options.exec = exec_context;
+  outcome->report = eval::EvaluateModel(model.get(), dataset,
+                                        splits.test_begin, test_end,
+                                        eval_options);
+  if (difficult_mask != nullptr) {
+    eval::EvalOptions options;
+    options.difficult_mask = difficult_mask;
+    options.exec = exec_context;
+    outcome->difficult_report = eval::EvaluateModel(
+        model.get(), dataset, splits.test_begin, test_end, options);
+    outcome->has_difficult = true;
+  }
+  return Status::Ok();
+} catch (const internal_check::CheckError& error) {
+  return Status::Internal(std::string("contract violation: ") + error.what());
+} catch (const std::exception& error) {
+  return Status::Internal(std::string("unexpected exception: ") +
+                          error.what());
+}
+
+void AppendOutcome(const TrialOutcome& outcome, RunResult* result) {
+  result->parameter_count = outcome.parameter_count;
+  result->train_seconds_per_epoch.push_back(outcome.train_seconds_per_epoch);
+  result->inference_seconds.push_back(outcome.report.inference_seconds);
+  result->trials.push_back(outcome.report);
+  if (outcome.has_difficult) {
+    result->difficult_trials.push_back(outcome.difficult_report);
+  }
+  result->nonfinite_batches += outcome.nonfinite_batches;
+  result->rollbacks += outcome.rollbacks;
+}
+
+// ---- Sweep persistence: tiny text ".done" files, one per finished trial.
+// %.17g round-trips IEEE doubles exactly, so a resumed sweep reproduces
+// the original metrics bit for bit.
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendMetricLine(std::ostringstream* out, const char* tag,
+                      const eval::MetricValues& m) {
+  *out << tag << ' ' << FormatDouble(m.mae) << ' ' << FormatDouble(m.rmse)
+       << ' ' << FormatDouble(m.mape) << ' ' << m.count << '\n';
+}
+
+std::string DoneFileText(const TrialOutcome& outcome) {
+  std::ostringstream out;
+  out << "TBDONE1\n";
+  out << "params " << outcome.parameter_count << '\n';
+  out << "train_s " << FormatDouble(outcome.train_seconds_per_epoch) << '\n';
+  out << "infer_s " << FormatDouble(outcome.report.inference_seconds) << '\n';
+  out << "guard " << outcome.nonfinite_batches << ' ' << outcome.rollbacks
+      << '\n';
+  AppendMetricLine(&out, "h15", outcome.report.horizon15);
+  AppendMetricLine(&out, "h30", outcome.report.horizon30);
+  AppendMetricLine(&out, "h60", outcome.report.horizon60);
+  AppendMetricLine(&out, "avg", outcome.report.average);
+  return out.str();
+}
+
+Status ExpectTag(std::istringstream* in, const char* expected,
+                 const std::string& path) {
+  std::string tag;
+  if (!(*in >> tag) || tag != expected) {
+    return Status::InvalidArgument("corrupt trial record " + path +
+                                   ": expected field '" + expected +
+                                   "', got '" + tag + "'");
+  }
+  return Status::Ok();
+}
+
+Status ReadMetricLine(std::istringstream* in, const char* tag,
+                      eval::MetricValues* m, const std::string& path) {
+  Status status = ExpectTag(in, tag, path);
+  if (!status.ok()) return status;
+  if (!(*in >> m->mae >> m->rmse >> m->mape >> m->count)) {
+    return Status::InvalidArgument("corrupt trial record " + path +
+                                   ": truncated '" + tag + "' metrics");
+  }
+  return Status::Ok();
+}
+
+Result<TrialOutcome> ParseDoneFile(const std::string& text,
+                                   const std::string& path) {
+  std::istringstream in(text);
+  std::string magic;
+  if (!(in >> magic) || magic != "TBDONE1") {
+    return Status::InvalidArgument("corrupt trial record " + path +
+                                   ": bad magic");
+  }
+  TrialOutcome outcome;
+  Status status = ExpectTag(&in, "params", path);
+  if (!status.ok()) return status;
+  if (!(in >> outcome.parameter_count)) {
+    return Status::InvalidArgument("corrupt trial record " + path);
+  }
+  status = ExpectTag(&in, "train_s", path);
+  if (!status.ok()) return status;
+  if (!(in >> outcome.train_seconds_per_epoch)) {
+    return Status::InvalidArgument("corrupt trial record " + path);
+  }
+  status = ExpectTag(&in, "infer_s", path);
+  if (!status.ok()) return status;
+  if (!(in >> outcome.report.inference_seconds)) {
+    return Status::InvalidArgument("corrupt trial record " + path);
+  }
+  status = ExpectTag(&in, "guard", path);
+  if (!status.ok()) return status;
+  if (!(in >> outcome.nonfinite_batches >> outcome.rollbacks)) {
+    return Status::InvalidArgument("corrupt trial record " + path);
+  }
+  for (auto [tag, slice] : {std::pair{"h15", &outcome.report.horizon15},
+                            std::pair{"h30", &outcome.report.horizon30},
+                            std::pair{"h60", &outcome.report.horizon60},
+                            std::pair{"avg", &outcome.report.average}}) {
+    status = ReadMetricLine(&in, tag, slice, path);
+    if (!status.ok()) return status;
+  }
+  return outcome;
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+std::string TrialStem(const std::string& dir, const std::string& model_name,
+                      int trial) {
+  return (std::filesystem::path(dir) /
+          (SanitizeName(model_name) + "_trial" + std::to_string(trial)))
+      .string();
+}
+
+}  // namespace
+
 RunResult RunModelOnDataset(const std::string& model_name,
                             const data::TrafficDataset& dataset,
                             const std::string& dataset_name,
@@ -85,51 +291,27 @@ RunResult RunModelOnDataset(const std::string& model_name,
   result.model_name = model_name;
   result.dataset_name = dataset_name;
   exec::ExecutionContext exec_context(config.ExecConfig());
-  const data::DatasetSplits splits = dataset.Splits();
-  const int64_t test_end =
-      config.eval_cap > 0
-          ? std::min(splits.test_end, splits.test_begin + config.eval_cap)
-          : splits.test_end;
 
   for (int trial = 0; trial < config.repeats; ++trial) {
-    const uint64_t seed = config.seed + 1000ULL * (trial + 1);
-    models::ModelContext context = models::MakeModelContext(dataset, seed);
-    std::unique_ptr<models::TrafficModel> model =
-        models::CreateModel(model_name, context);
-    result.parameter_count = model->ParameterCount();
-
-    eval::TrainConfig train_config;
-    train_config.epochs = config.epochs;
-    train_config.batch_size = config.batch_size;
-    train_config.max_batches_per_epoch = config.max_batches_per_epoch;
-    train_config.learning_rate = config.learning_rate;
-    train_config.seed = seed ^ 0x5bd1e995ULL;
-    train_config.verbose = config.verbose;
-    train_config.exec = &exec_context;
-    eval::TrainResult train_result =
-        eval::TrainModel(model.get(), dataset, train_config);
-    result.train_seconds_per_epoch.push_back(train_result.seconds_per_epoch);
-
-    eval::EvalOptions eval_options;
-    eval_options.exec = &exec_context;
-    eval::HorizonReport report = eval::EvaluateModel(
-        model.get(), dataset, splits.test_begin, test_end, eval_options);
-    result.inference_seconds.push_back(report.inference_seconds);
-    result.trials.push_back(report);
-
-    if (difficult_mask != nullptr) {
-      eval::EvalOptions options;
-      options.difficult_mask = difficult_mask;
-      options.exec = &exec_context;
-      result.difficult_trials.push_back(
-          eval::EvaluateModel(model.get(), dataset, splits.test_begin,
-                              test_end, options));
+    TrialOutcome outcome;
+    const Status status =
+        RunOneTrial(model_name, dataset, config, trial, &exec_context,
+                    difficult_mask, /*checkpoint_path=*/"",
+                    /*resume=*/false, &outcome);
+    if (!status.ok()) {
+      result.status = status;
+      std::fprintf(stderr, "[%s / %s] trial %d FAILED: %s\n",
+                   model_name.c_str(), dataset_name.c_str(), trial + 1,
+                   status.ToString().c_str());
+      break;
     }
+    AppendOutcome(outcome, &result);
     if (config.verbose) {
       std::fprintf(stderr,
                    "[%s / %s] trial %d: avg MAE %.3f (train %.1fs/epoch)\n",
                    model_name.c_str(), dataset_name.c_str(), trial + 1,
-                   report.average.mae, train_result.seconds_per_epoch);
+                   outcome.report.average.mae,
+                   outcome.train_seconds_per_epoch);
     }
   }
   if (config.profile) {
@@ -138,6 +320,164 @@ RunResult RunModelOnDataset(const std::string& model_name,
                  exec_context.ProfileTable().ToString().c_str());
   }
   return result;
+}
+
+std::vector<RunResult> RunExperiment(const data::TrafficDataset& dataset,
+                                     const std::string& dataset_name,
+                                     const ExperimentConfig& config,
+                                     const SweepOptions& options) {
+  models::RegisterBuiltinModels();
+  std::vector<std::string> names = options.model_names;
+  if (names.empty()) {
+    names = models::BaselineModelNames();
+    for (const std::string& name : models::PaperModelNames()) {
+      names.push_back(name);
+    }
+  }
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "warning: cannot create checkpoint dir %s (%s); "
+                   "running without sweep persistence\n",
+                   options.checkpoint_dir.c_str(), ec.message().c_str());
+    }
+  }
+  const bool persist = !options.checkpoint_dir.empty();
+
+  std::vector<RunResult> results;
+  results.reserve(names.size());
+  for (const std::string& name : names) {
+    RunResult result;
+    result.model_name = name;
+    result.dataset_name = dataset_name;
+    if (!models::ModelRegistry::Instance().Contains(name)) {
+      result.status = Status::NotFound("unknown model '" + name + "'");
+      std::fprintf(stderr, "[%s / %s] FAILED: %s\n", name.c_str(),
+                   dataset_name.c_str(), result.status.ToString().c_str());
+      results.push_back(std::move(result));
+      continue;
+    }
+    exec::ExecutionContext exec_context(config.ExecConfig());
+    for (int trial = 0; trial < config.repeats; ++trial) {
+      const std::string stem =
+          persist ? TrialStem(options.checkpoint_dir, name, trial)
+                  : std::string();
+      const std::string done_path = persist ? stem + ".done" : std::string();
+      const std::string ckpt_path = persist ? stem + ".ckpt" : std::string();
+
+      if (options.resume && persist &&
+          std::filesystem::exists(done_path)) {
+        Result<std::string> text = ReadFileToString(done_path);
+        if (text.ok()) {
+          Result<TrialOutcome> loaded =
+              ParseDoneFile(text.value(), done_path);
+          if (loaded.ok()) {
+            AppendOutcome(loaded.value(), &result);
+            if (config.verbose) {
+              std::fprintf(stderr, "[%s / %s] trial %d: loaded from %s\n",
+                           name.c_str(), dataset_name.c_str(), trial + 1,
+                           done_path.c_str());
+            }
+            continue;
+          }
+          std::fprintf(stderr, "warning: %s — rerunning trial\n",
+                       loaded.status().ToString().c_str());
+        } else {
+          std::fprintf(stderr, "warning: %s — rerunning trial\n",
+                       text.status().ToString().c_str());
+        }
+      }
+
+      const bool resume_trial = options.resume && persist &&
+                                std::filesystem::exists(ckpt_path);
+      TrialOutcome outcome;
+      Status status =
+          RunOneTrial(name, dataset, config, trial, &exec_context,
+                      /*difficult_mask=*/nullptr, ckpt_path, resume_trial,
+                      &outcome);
+      if (!status.ok() && resume_trial &&
+          status.code() != StatusCode::kInternal) {
+        // The checkpoint itself was unusable (corrupt, truncated, wrong
+        // shape) — discard it and rerun the trial from scratch rather
+        // than failing the model. Divergence (kInternal) is not retried:
+        // rerunning a diverging configuration reproduces the divergence.
+        std::fprintf(stderr,
+                     "warning: discarding unusable checkpoint %s (%s); "
+                     "rerunning trial from scratch\n",
+                     ckpt_path.c_str(), status.ToString().c_str());
+        std::error_code ec;
+        std::filesystem::remove(ckpt_path, ec);
+        outcome = TrialOutcome();
+        status = RunOneTrial(name, dataset, config, trial, &exec_context,
+                             /*difficult_mask=*/nullptr, ckpt_path,
+                             /*resume=*/false, &outcome);
+      }
+      if (!status.ok()) {
+        result.status = status;
+        std::fprintf(stderr, "[%s / %s] trial %d FAILED: %s\n", name.c_str(),
+                     dataset_name.c_str(), trial + 1,
+                     status.ToString().c_str());
+        break;
+      }
+      AppendOutcome(outcome, &result);
+      if (persist) {
+        const Status write_status =
+            WriteFileAtomic(done_path, DoneFileText(outcome));
+        if (!write_status.ok()) {
+          std::fprintf(stderr, "warning: could not record trial: %s\n",
+                       write_status.ToString().c_str());
+        }
+        std::error_code ec;
+        std::filesystem::remove(ckpt_path, ec);
+      }
+      if (config.verbose) {
+        std::fprintf(stderr,
+                     "[%s / %s] trial %d: avg MAE %.3f (train %.1fs/epoch)\n",
+                     name.c_str(), dataset_name.c_str(), trial + 1,
+                     outcome.report.average.mae,
+                     outcome.train_seconds_per_epoch);
+      }
+    }
+    if (config.profile) {
+      std::fprintf(stderr, "\n-- op profile [%s / %s] --\n%s", name.c_str(),
+                   dataset_name.c_str(),
+                   exec_context.ProfileTable().ToString().c_str());
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Table SummarizeSweep(const std::vector<RunResult>& results) {
+  Table table({"Model", "Params", "MAE", "RMSE", "MAPE (%)", "Train s/epoch",
+               "Status"});
+  for (const RunResult& result : results) {
+    if (!result.status.ok()) {
+      std::string reason = result.status.message();
+      if (reason.size() > 60) reason = reason.substr(0, 57) + "...";
+      table.AddRow({result.model_name,
+                    std::to_string(result.parameter_count), "-", "-", "-",
+                    "-", "FAILED(" + reason + ")"});
+      continue;
+    }
+    const eval::MeanStd mae = result.Metric("mae", 0);
+    const eval::MeanStd rmse = result.Metric("rmse", 0);
+    const eval::MeanStd mape = result.Metric("mape", 0);
+    const eval::MeanStd train_s =
+        eval::Summarize(result.train_seconds_per_epoch);
+    std::string status = "ok";
+    if (result.rollbacks > 0) {
+      status = "ok (" + std::to_string(result.rollbacks) + " rollbacks)";
+    }
+    table.AddRow({result.model_name, std::to_string(result.parameter_count),
+                  Table::MeanStd(mae.mean, mae.stddev, 3),
+                  Table::MeanStd(rmse.mean, rmse.stddev, 3),
+                  Table::MeanStd(mape.mean, mape.stddev, 2),
+                  Table::Num(train_s.mean, 2), status});
+  }
+  return table;
 }
 
 void EmitTable(const std::string& title, const Table& table,

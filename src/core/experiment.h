@@ -11,6 +11,7 @@
 #include "src/eval/trainer.h"
 #include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
+#include "src/util/status.h"
 #include "src/util/table.h"
 
 namespace trafficbench::core {
@@ -28,6 +29,8 @@ namespace trafficbench::core {
 ///               bit-identical at any value)
 ///   TB_PROFILE  1 = per-op profiling
 ///   TB_VERBOSE  1 = per-epoch logging
+///   TB_CKPT_EVERY  epochs between sweep checkpoints (default 1; only
+///               used when a checkpoint directory is configured)
 struct ExperimentConfig {
   double scale = 1.0;
   int epochs = 3;
@@ -40,6 +43,8 @@ struct ExperimentConfig {
   int threads = 1;
   bool profile = false;
   bool verbose = false;
+  /// Epochs between TBCKPT2 checkpoints when a sweep persists progress.
+  int ckpt_every = 1;
 
   static ExperimentConfig FromEnv();
 
@@ -56,6 +61,15 @@ struct RunResult {
   std::vector<eval::HorizonReport> difficult_trials; // difficult subset
   std::vector<double> train_seconds_per_epoch;
   std::vector<double> inference_seconds;
+  /// Ok unless the model failed (diverged past the rollback budget, hit a
+  /// contract violation, or could not restore a checkpoint). Trials that
+  /// completed before the failure are kept; the sweep moves on to the next
+  /// model instead of aborting the process.
+  Status status;
+  /// Batches with non-finite loss/gradients and rollbacks, summed over
+  /// trials (from the guarded training loop).
+  int64_t nonfinite_batches = 0;
+  int rollbacks = 0;
 
   /// mean ± std of a metric across trials. `metric` ∈ {"mae","rmse","mape"},
   /// `horizon` ∈ {15, 30, 60, 0 (= average)}; difficult selects the subset.
@@ -71,6 +85,38 @@ RunResult RunModelOnDataset(const std::string& model_name,
                             const std::string& dataset_name,
                             const ExperimentConfig& config,
                             const std::vector<uint8_t>* difficult_mask = nullptr);
+
+/// A fault-tolerant multi-model sweep (the CLI `experiment` command).
+struct SweepOptions {
+  /// Models to run, in order. Empty = naive baselines + the paper's eight
+  /// deep models.
+  std::vector<std::string> model_names;
+  /// When non-empty, per-(model, trial) progress lands here: finished
+  /// trials as small ".done" result files and in-flight training as
+  /// TBCKPT2 ".ckpt" checkpoints (written every config.ckpt_every epochs).
+  std::string checkpoint_dir;
+  /// Continue a killed sweep from `checkpoint_dir`: finished trials are
+  /// loaded from their .done files and a mid-training trial resumes from
+  /// its checkpoint. The resumed sweep's metrics are bit-identical to an
+  /// uninterrupted run. A corrupt checkpoint is discarded (with a warning)
+  /// and the trial reruns from scratch.
+  bool resume = false;
+};
+
+/// Runs every model in `options.model_names` over the dataset. A model
+/// that fails — divergence past the rollback budget, contract violation,
+/// unusable checkpoint — gets a non-ok RunResult::status and the sweep
+/// continues with the next model; nothing short of SIGKILL (or the fault
+/// injector's simulated crash) aborts the process.
+std::vector<RunResult> RunExperiment(const data::TrafficDataset& dataset,
+                                     const std::string& dataset_name,
+                                     const ExperimentConfig& config,
+                                     const SweepOptions& options = {});
+
+/// Summary table of a sweep: one row per model, metrics as mean ± std, and
+/// a FAILED(<reason>) status cell for models whose RunResult carries an
+/// error.
+Table SummarizeSweep(const std::vector<RunResult>& results);
 
 /// Prints `table`, writes it as CSV next to the binary, and echoes the path.
 void EmitTable(const std::string& title, const Table& table,

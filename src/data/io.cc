@@ -1,10 +1,13 @@
 #include "src/data/io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <vector>
+
+#include "src/util/fault.h"
 
 namespace trafficbench::data {
 
@@ -51,6 +54,9 @@ Status WriteNetworkCsv(const graph::RoadNetwork& network,
 }
 
 Result<graph::RoadNetwork> ReadNetworkCsv(const std::string& path) {
+  if (FaultInjector::Global().Should(FaultSite::kIoOpenFail)) {
+    return Status::IoError("cannot open " + path + " (injected io_open)");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<graph::Sensor> sensors;
@@ -117,6 +123,9 @@ Result<graph::RoadNetwork> ReadNetworkCsv(const std::string& path) {
 
 Result<TrafficSeries> ReadSeriesCsv(const std::string& path,
                                     FeatureKind kind) {
+  if (FaultInjector::Global().Should(FaultSite::kIoOpenFail)) {
+    return Status::IoError("cannot open " + path + " (injected io_open)");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::string line;
@@ -153,10 +162,24 @@ Result<TrafficSeries> ReadSeriesCsv(const std::string& path,
     series.time_of_day.push_back(static_cast<float>(tod));
     series.day_of_week.push_back(static_cast<int>(dow));
     for (int64_t i = 0; i < num_nodes; ++i) {
+      // Real PeMS exports have holes: empty cells and NaN/inf readings.
+      // Those degrade to 0 — the PeMS missing-value marker every masked
+      // metric already skips — rather than poisoning the whole load.
+      // Genuinely malformed text is still a hard error.
+      const std::string& field = fields[3 + i];
       double value = 0;
-      if (!ParseDouble(fields[3 + i], &value)) {
+      if (field.empty()) {
+        ++series.masked_entries;
+        series.values.push_back(0.0f);
+        continue;
+      }
+      if (!ParseDouble(field, &value)) {
         return Status::InvalidArgument("bad reading at " + path + ":" +
                                        std::to_string(line_number));
+      }
+      if (!std::isfinite(value)) {
+        ++series.masked_entries;
+        value = 0.0;
       }
       series.values.push_back(static_cast<float>(value));
     }

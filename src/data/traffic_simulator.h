@@ -31,6 +31,9 @@ struct TrafficSeries {
   std::vector<float> time_of_day;
   /// 0 = Monday ... 6 = Sunday for each step.
   std::vector<int> day_of_week;
+  /// Readings that arrived as empty or non-finite fields (NaN/inf) in a CSV
+  /// load and were masked to 0 (= missing under the PeMS convention).
+  int64_t masked_entries = 0;
 
   float at(int64_t step, int64_t node) const {
     return values[step * num_nodes + node];

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
 
+#include "src/nn/serialize.h"
 #include "src/optim/optimizer.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 #include "src/util/stopwatch.h"
 
 namespace trafficbench::eval {
@@ -65,6 +69,18 @@ Tensor NormalizeTargets(const Tensor& raw_targets,
   return Tensor::FromVector(raw_targets.shape(), std::move(out));
 }
 
+namespace {
+
+/// Last-good state the guarded loop rolls back to after a non-finite batch:
+/// parameters, optimizer buffers, and the LR in effect when it was taken.
+struct GoodState {
+  std::vector<std::vector<float>> params;
+  optim::OptimizerState optimizer;
+  double learning_rate = 0.0;
+};
+
+}  // namespace
+
 TrainResult TrainModel(models::TrafficModel* model,
                        const data::TrafficDataset& dataset,
                        const TrainConfig& config) {
@@ -90,10 +106,83 @@ TrainResult TrainModel(models::TrafficModel* model,
                                      ? config.lr_decay_every
                                      : 1000000,
                                  config.lr_decay);
+  FaultInjector& fault = FaultInjector::Global();
 
   std::vector<std::vector<float>> best_snapshot;
+  int start_epoch = 0;
+
+  // ---- Resume: restore model + optimizer + RNG from a TBCKPT2 file so the
+  // remaining epochs replay exactly what the uninterrupted run would do.
+  if (config.resume && !config.checkpoint_path.empty() &&
+      std::filesystem::exists(config.checkpoint_path)) {
+    Result<nn::TrainState> loaded =
+        nn::LoadTrainCheckpoint(model, config.checkpoint_path);
+    if (!loaded.ok()) {
+      result.status = loaded.status();
+      return result;
+    }
+    const nn::TrainState& state = loaded.value();
+    start_epoch = state.epoch;
+    optimizer.set_learning_rate(state.learning_rate);
+    Status status = optimizer.SetState(state.optimizer);
+    if (status.ok()) status = model->LoadNamedLocalStates(state.module_states);
+    if (!status.ok()) {
+      result.status = status;
+      return result;
+    }
+    shuffle_rng.SetState(state.shuffle_rng);
+    schedule.SetEpoch(state.epoch);
+    result.epoch_losses = state.epoch_losses;
+    result.val_losses = state.val_losses;
+    result.best_epoch = state.best_epoch;
+    result.rollbacks = state.rollbacks;
+    result.nonfinite_batches = state.nonfinite_batches;
+    best_snapshot = state.best_snapshot;
+    result.start_epoch = start_epoch;
+    if (config.verbose) {
+      std::fprintf(stderr, "  [%s] resumed from %s at epoch %d (lr %.2e)\n",
+                   model->name().c_str(), config.checkpoint_path.c_str(),
+                   start_epoch, state.learning_rate);
+    }
+  }
+
+  GoodState good;
+  const auto capture_good = [&] {
+    good.params = SnapshotParameters(*model);
+    good.optimizer = optimizer.GetState();
+    good.learning_rate = optimizer.learning_rate();
+  };
+  const auto restore_good = [&] {
+    RestoreParameters(model, good.params);
+    TB_CHECK_OK(optimizer.SetState(good.optimizer));
+    optimizer.set_learning_rate(good.learning_rate);
+  };
+
+  const auto save_checkpoint = [&](int completed_epochs) {
+    nn::TrainState state;
+    state.epoch = completed_epochs;
+    state.learning_rate = optimizer.learning_rate();
+    state.best_epoch = result.best_epoch;
+    state.rollbacks = result.rollbacks;
+    state.nonfinite_batches = result.nonfinite_batches;
+    state.epoch_losses = result.epoch_losses;
+    state.val_losses = result.val_losses;
+    state.optimizer = optimizer.GetState();
+    state.shuffle_rng = shuffle_rng.GetState();
+    state.module_states = model->NamedLocalStates();
+    state.best_snapshot = best_snapshot;
+    Status status =
+        nn::SaveTrainCheckpoint(*model, state, config.checkpoint_path);
+    if (!status.ok()) {
+      // A failed checkpoint must not kill a healthy run; resume just loses
+      // this boundary.
+      std::fprintf(stderr, "  [%s] checkpoint failed: %s\n",
+                   model->name().c_str(), status.ToString().c_str());
+    }
+  };
+
   model->SetTraining(true);
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     std::vector<int64_t> order = data::TrafficDataset::MakeIndices(
         splits.train_begin, splits.train_end, &shuffle_rng);
     int64_t num_batches =
@@ -104,7 +193,10 @@ TrainResult TrainModel(models::TrafficModel* model,
     }
     result.batches_per_epoch = num_batches;
 
+    if (config.guard) capture_good();
+    int64_t good_since_snapshot = 0;
     double loss_sum = 0.0;
+    int64_t counted_batches = 0;
     for (int64_t b = 0; b < num_batches; ++b) {
       const int64_t begin = b * config.batch_size;
       const int64_t end = std::min<int64_t>(begin + config.batch_size,
@@ -118,11 +210,65 @@ TrainResult TrainModel(models::TrafficModel* model,
       Tensor loss = MaskedMaeLoss(dataset.scaler().Denormalize(prediction),
                                   batch.y);
       loss.Backward();
-      optimizer.ClipGradNorm(config.grad_clip);
+
+      double loss_value = loss.Item();
+      if (fault.Should(FaultSite::kTrainLossNan)) {
+        loss_value = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (fault.Should(FaultSite::kTrainGradNan)) {
+        auto params = model->Parameters();
+        if (!params.empty() && !params[0].impl()->grad.empty()) {
+          params[0].impl()->grad[0] =
+              std::numeric_limits<float>::quiet_NaN();
+        }
+      }
+      const double grad_norm = optimizer.ClipGradNorm(config.grad_clip);
+
+      if (config.guard &&
+          (!std::isfinite(loss_value) || !std::isfinite(grad_norm))) {
+        ++result.nonfinite_batches;
+        restore_good();
+        if (result.rollbacks >= config.max_rollbacks) {
+          result.status = Status::Internal(
+              "training diverged: non-finite loss/gradients at epoch " +
+              std::to_string(epoch + 1) + " batch " + std::to_string(b + 1) +
+              " after " + std::to_string(result.rollbacks) +
+              " rollbacks (nonfinite_batches=" +
+              std::to_string(result.nonfinite_batches) +
+              "); parameters restored to the last good snapshot");
+          result.total_seconds = total_watch.ElapsedSeconds();
+          result.seconds_per_epoch =
+              result.total_seconds /
+              std::max(1, epoch + 1 - start_epoch);
+          return result;
+        }
+        ++result.rollbacks;
+        const double lr =
+            optimizer.learning_rate() * config.rollback_lr_backoff;
+        optimizer.set_learning_rate(lr);
+        good.learning_rate = lr;  // keep the backoff across rollbacks
+        if (config.verbose) {
+          std::fprintf(stderr,
+                       "  [%s] non-finite batch at epoch %d batch %lld: "
+                       "rolled back, lr -> %.2e (rollback %d/%d)\n",
+                       model->name().c_str(), epoch + 1,
+                       static_cast<long long>(b + 1), lr, result.rollbacks,
+                       config.max_rollbacks);
+        }
+        continue;  // skip the poisoned batch
+      }
+
       optimizer.Step();
-      loss_sum += loss.Item();
+      loss_sum += loss_value;
+      ++counted_batches;
+      if (config.guard &&
+          ++good_since_snapshot >= config.refresh_snapshot_every) {
+        capture_good();
+        good_since_snapshot = 0;
+      }
     }
-    const double epoch_loss = loss_sum / std::max<int64_t>(1, num_batches);
+    const double epoch_loss =
+        loss_sum / std::max<int64_t>(1, counted_batches);
     result.epoch_losses.push_back(epoch_loss);
     if (config.select_best_on_validation) {
       const double val_loss = ValidationLoss(model, dataset, splits,
@@ -141,13 +287,23 @@ TrainResult TrainModel(models::TrafficModel* model,
                    model->name().c_str(), epoch + 1, config.epochs,
                    epoch_loss);
     }
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        ((epoch + 1) % config.checkpoint_every == 0 ||
+         epoch + 1 == config.epochs)) {
+      save_checkpoint(epoch + 1);
+    }
+    if (fault.Should(FaultSite::kCrash)) {
+      throw SimulatedCrash{"epoch " + std::to_string(epoch + 1) + " of " +
+                           model->name()};
+    }
   }
   if (config.select_best_on_validation && !best_snapshot.empty()) {
     RestoreParameters(model, best_snapshot);
   }
   result.total_seconds = total_watch.ElapsedSeconds();
   result.seconds_per_epoch =
-      result.total_seconds / std::max(1, config.epochs);
+      result.total_seconds /
+      std::max(1, config.epochs - start_epoch);
   return result;
 }
 
@@ -211,6 +367,14 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
 
     // Denormalize on raw floats.
     std::vector<float> pred = prediction.ToVector();
+    if (FaultInjector::Global().Should(FaultSite::kEvalPredNan)) {
+      // Poison a handful of predictions; the masked metrics must skip
+      // them rather than let one bad batch turn Table II into NaN.
+      const size_t poison = std::min<size_t>(pred.size(), 7);
+      for (size_t i = 0; i < poison; ++i) {
+        pred[i] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
     for (float& p : pred) p = dataset.scaler().Denormalize(p);
     const std::vector<float> target = batch.y.ToVector();
 

@@ -2,12 +2,14 @@
 #define TRAFFICBENCH_EVAL_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/data/dataset.h"
 #include "src/eval/metrics.h"
 #include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
+#include "src/util/status.h"
 
 namespace trafficbench::eval {
 
@@ -35,6 +37,32 @@ struct TrainConfig {
   /// backward passes and optimizer steps). Null keeps the caller's current
   /// context — by default the process-wide serial one.
   exec::ExecutionContext* exec = nullptr;
+
+  // ---- Fault tolerance (guarded loop + checkpoint/resume) ----
+
+  /// Detect non-finite loss/gradients per batch and roll back to the last
+  /// good parameter+optimizer snapshot with LR backoff instead of letting a
+  /// divergence poison the run. Costs one snapshot copy every
+  /// `refresh_snapshot_every` good batches; numerics are untouched when no
+  /// fault fires.
+  bool guard = true;
+  /// Rollback budget; exceeding it aborts training with a non-ok
+  /// TrainResult::status ("diverged") instead of looping forever.
+  int max_rollbacks = 4;
+  /// LR multiplier applied on every rollback (exponential backoff).
+  double rollback_lr_backoff = 0.5;
+  /// Good batches between refreshes of the rollback snapshot.
+  int64_t refresh_snapshot_every = 16;
+  /// When non-empty, a TBCKPT2 checkpoint is written here atomically at
+  /// epoch boundaries (`checkpoint_every` epochs apart, and always after
+  /// the final epoch).
+  std::string checkpoint_path;
+  int checkpoint_every = 0;  // 0 disables periodic checkpointing
+  /// Continue from `checkpoint_path` if it exists; a corrupt checkpoint
+  /// fails the run with the loader's diagnostics (callers decide whether to
+  /// retrain from scratch). Resumed runs finish bit-identical to
+  /// uninterrupted ones.
+  bool resume = false;
 };
 
 /// What the computation-time experiment (Table III) reports.
@@ -47,6 +75,16 @@ struct TrainResult {
   double seconds_per_epoch = 0.0;
   double total_seconds = 0.0;
   int64_t batches_per_epoch = 0;
+  /// Ok unless training aborted: divergence past the rollback budget, or a
+  /// corrupt resume checkpoint. Divergence uses StatusCode::kInternal; the
+  /// model keeps its last-good parameters either way.
+  Status status;
+  /// Batches whose loss or gradient norm came back non-finite.
+  int64_t nonfinite_batches = 0;
+  /// Rollbacks performed (each also backs the LR off).
+  int rollbacks = 0;
+  /// First epoch actually run (> 0 when resumed from a checkpoint).
+  int start_epoch = 0;
 };
 
 /// Trains `model` on the dataset's train split with masked MAE in the raw

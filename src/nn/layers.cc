@@ -1,6 +1,7 @@
 #include "src/nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/exec/execution_context.h"
 #include "src/util/check.h"
@@ -94,6 +95,21 @@ Tensor Dropout::Forward(const Tensor& x) {
     for (float& m : mask) m = rng_.Bernoulli(keep) ? 1.0f / keep : 0.0f;
   }
   return x * Tensor::FromVector(x.shape(), std::move(mask));
+}
+
+std::vector<uint8_t> Dropout::LocalState() const {
+  const RngState state = rng_.GetState();
+  std::vector<uint8_t> bytes(sizeof(RngState));
+  std::memcpy(bytes.data(), &state, sizeof(RngState));
+  return bytes;
+}
+
+bool Dropout::SetLocalState(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != sizeof(RngState)) return false;
+  RngState state;
+  std::memcpy(&state, bytes.data(), sizeof(RngState));
+  rng_.SetState(state);
+  return true;
 }
 
 // ---- Conv2dLayer ----------------------------------------------------------------

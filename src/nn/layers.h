@@ -59,12 +59,16 @@ class LayerNorm : public Module {
 };
 
 /// Inverted dropout. Identity in eval mode. Holds its own RNG stream so
-/// training runs remain deterministic given the seed.
+/// training runs remain deterministic given the seed; the stream is exposed
+/// as checkpointable local state so a resumed run draws identical masks.
 class Dropout : public Module {
  public:
   Dropout(float rate, uint64_t seed);
 
   Tensor Forward(const Tensor& x);
+
+  std::vector<uint8_t> LocalState() const override;
+  bool SetLocalState(const std::vector<uint8_t>& bytes) override;
 
  private:
   float rate_;

@@ -54,4 +54,56 @@ void Module::SetTraining(bool training) {
   for (auto& [name, child] : children_) child->SetTraining(training);
 }
 
+void Module::CollectLocalStates(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, std::vector<uint8_t>>>* out) const {
+  std::vector<uint8_t> state = LocalState();
+  if (!state.empty()) out->emplace_back(prefix, std::move(state));
+  for (const auto& [name, child] : children_) {
+    child->CollectLocalStates(prefix.empty() ? name : prefix + "." + name,
+                              out);
+  }
+}
+
+std::vector<std::pair<std::string, std::vector<uint8_t>>>
+Module::NamedLocalStates() const {
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> out;
+  CollectLocalStates("", &out);
+  return out;
+}
+
+void Module::CollectModules(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Module*>>* out) {
+  out->emplace_back(prefix, this);
+  for (auto& [name, child] : children_) {
+    child->CollectModules(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+Status Module::LoadNamedLocalStates(
+    const std::vector<std::pair<std::string, std::vector<uint8_t>>>& states) {
+  std::vector<std::pair<std::string, Module*>> modules;
+  CollectModules("", &modules);
+  for (const auto& [name, bytes] : states) {
+    Module* target = nullptr;
+    for (auto& [path, module] : modules) {
+      if (path == name) {
+        target = module;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      return Status::NotFound("module has no submodule named '" + name +
+                              "' for checkpointed local state");
+    }
+    if (!target->SetLocalState(bytes)) {
+      return Status::InvalidArgument("malformed local state for module '" +
+                                     name + "' (" +
+                                     std::to_string(bytes.size()) + " bytes)");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace trafficbench::nn

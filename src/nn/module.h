@@ -1,12 +1,14 @@
 #ifndef TRAFFICBENCH_NN_MODULE_H_
 #define TRAFFICBENCH_NN_MODULE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/status.h"
 
 namespace trafficbench::nn {
 
@@ -36,6 +38,25 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Opaque non-parameter state a training checkpoint must capture so a
+  /// resumed run is bit-identical — e.g. a dropout layer's RNG stream.
+  /// Modules without such state return empty (the default) and are omitted
+  /// from checkpoints.
+  virtual std::vector<uint8_t> LocalState() const { return {}; }
+  /// Restores what LocalState() produced; false rejects malformed bytes.
+  virtual bool SetLocalState(const std::vector<uint8_t>& bytes) {
+    return bytes.empty();
+  }
+
+  /// Non-empty local states of this module tree with dotted path names
+  /// (same naming scheme as NamedParameters).
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> NamedLocalStates()
+      const;
+  /// Restores states collected by NamedLocalStates. Unknown names and
+  /// malformed payloads are errors (a checkpoint must match its module).
+  Status LoadNamedLocalStates(
+      const std::vector<std::pair<std::string, std::vector<uint8_t>>>& states);
+
  protected:
   Module() = default;
 
@@ -54,6 +75,12 @@ class Module {
   void RegisterModuleImpl(std::string name, std::shared_ptr<Module> m);
   void CollectNamed(const std::string& prefix,
                     std::vector<std::pair<std::string, Tensor>>* out) const;
+  void CollectLocalStates(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, std::vector<uint8_t>>>* out) const;
+  /// Dotted name → module for this subtree ("" names this module itself).
+  void CollectModules(const std::string& prefix,
+                      std::vector<std::pair<std::string, Module*>>* out);
 
   std::vector<std::pair<std::string, Tensor>> parameters_;
   std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;

@@ -1,61 +1,121 @@
 #include "src/nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <vector>
+#include <set>
+
+#include "src/util/crc32.h"
+#include "src/util/fileio.h"
 
 namespace trafficbench::nn {
 
 namespace {
 
-constexpr char kMagic[] = "TBCKPT1\n";
+constexpr char kMagicV1[] = "TBCKPT1\n";
+constexpr char kMagicV2[] = "TBCKPT2\n";
 constexpr size_t kMagicLen = 8;
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 8;
 
-template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// ---- In-memory payload building/parsing -------------------------------------
+// Checkpoints are serialized into a memory buffer first: writes commit
+// atomically in one pass (util/fileio), the CRC footer covers exactly the
+// bytes on disk, and parse errors can report precise byte offsets.
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-}  // namespace
-
-Status SaveCheckpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(kMagic, kMagicLen);
-  const auto named = module.NamedParameters();
-  WritePod<uint64_t>(out, named.size());
-  for (const auto& [name, tensor] : named) {
-    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const auto& dims = tensor.shape().dims();
-    WritePod<uint32_t>(out, static_cast<uint32_t>(dims.size()));
-    for (int64_t d : dims) WritePod<int64_t>(out, d);
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+class PayloadWriter {
+ public:
+  template <typename T>
+  void WritePod(T value) {
+    const char* raw = reinterpret_cast<const char*>(&value);
+    buffer_.append(raw, sizeof(T));
   }
-  if (!out) return Status::IoError("failed writing " + path);
+
+  void WriteBytes(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors hand out null data()
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  void WriteString(const std::string& text) {
+    WritePod<uint32_t>(static_cast<uint32_t>(text.size()));
+    buffer_.append(text);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buffer) : buffer_(buffer) {}
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    if (offset_ + sizeof(T) > buffer_.size()) return false;
+    std::memcpy(value, buffer_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (offset_ + size > buffer_.size()) return false;
+    if (size > 0) std::memcpy(out, buffer_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  bool ReadString(std::string* out, uint32_t max_len) {
+    uint32_t len = 0;
+    if (!ReadPod(&len) || len > max_len) return false;
+    if (offset_ + len > buffer_.size()) return false;
+    out->assign(buffer_.data() + offset_, len);
+    offset_ += len;
+    return true;
+  }
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buffer_.size() - offset_; }
+
+ private:
+  const std::string& buffer_;
+  size_t offset_ = 0;
+};
+
+std::string At(const std::string& path, size_t offset) {
+  return " in " + path + " at byte " + std::to_string(offset);
+}
+
+// ---- Parameter section (shared by TBCKPT1 and TBCKPT2) ----------------------
+
+Status WriteParams(const Module& module, PayloadWriter* writer) {
+  const auto named = module.NamedParameters();
+  std::set<std::string> seen;
+  for (const auto& [name, tensor] : named) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument(
+          "module has duplicate parameter name '" + name +
+          "'; checkpoints require unique names");
+    }
+    (void)tensor;
+  }
+  writer->WritePod<uint64_t>(named.size());
+  for (const auto& [name, tensor] : named) {
+    writer->WriteString(name);
+    const auto& dims = tensor.shape().dims();
+    writer->WritePod<uint32_t>(static_cast<uint32_t>(dims.size()));
+    for (int64_t d : dims) writer->WritePod<int64_t>(d);
+    writer->WriteBytes(tensor.data(), tensor.numel() * sizeof(float));
+  }
   return Status::Ok();
 }
 
-Status LoadCheckpoint(Module* module, const std::string& path) {
-  if (module == nullptr) return Status::InvalidArgument("null module");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  char magic[kMagicLen];
-  in.read(magic, kMagicLen);
-  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
-    return Status::InvalidArgument(path + " is not a TrafficBench checkpoint");
-  }
+Status ReadParams(PayloadReader* reader, Module* module,
+                  const std::string& path) {
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (!reader->ReadPod(&count)) {
+    return Status::IoError("truncated header" + At(path, reader->offset()));
+  }
 
   std::map<std::string, Tensor> live;
   for (auto& [name, tensor] : module->NamedParameters()) {
@@ -64,41 +124,296 @@ Status LoadCheckpoint(Module* module, const std::string& path) {
   if (count != live.size()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(count) + " parameters, module has " +
-        std::to_string(live.size()));
+        std::to_string(live.size()) + " (" + path + ")");
   }
 
+  std::set<std::string> loaded;
   for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
-      return Status::IoError("corrupt parameter name");
+    std::string name;
+    if (!reader->ReadString(&name, kMaxNameLen)) {
+      return Status::IoError("corrupt parameter name" +
+                             At(path, reader->offset()));
     }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
     uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank > 8) {
-      return Status::IoError("corrupt parameter header for " + name);
+    if (!reader->ReadPod(&rank) || rank > kMaxRank) {
+      return Status::IoError("corrupt header for parameter '" + name + "'" +
+                             At(path, reader->offset()));
     }
     std::vector<int64_t> dims(rank);
     for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &dims[d]) || dims[d] < 0) {
-        return Status::IoError("corrupt dims for " + name);
+      if (!reader->ReadPod(&dims[d]) || dims[d] < 0) {
+        return Status::IoError("corrupt dims for parameter '" + name + "'" +
+                               At(path, reader->offset()));
       }
+    }
+    if (!loaded.insert(name).second) {
+      return Status::InvalidArgument("duplicate parameter '" + name + "'" +
+                                     At(path, reader->offset()));
     }
     auto it = live.find(name);
     if (it == live.end()) {
-      return Status::NotFound("module has no parameter named " + name);
+      return Status::NotFound("module has no parameter named '" + name + "'" +
+                              At(path, reader->offset()));
     }
     const Shape shape(dims);
     if (shape != it->second.shape()) {
       return Status::InvalidArgument(
-          "shape mismatch for " + name + ": checkpoint " + shape.ToString() +
-          " vs module " + it->second.shape().ToString());
+          "shape mismatch for parameter '" + name + "': checkpoint " +
+          shape.ToString() + " vs module " + it->second.shape().ToString() +
+          At(path, reader->offset()));
     }
-    in.read(reinterpret_cast<char*>(it->second.data()),
-            static_cast<std::streamsize>(shape.numel() * sizeof(float)));
-    if (!in) return Status::IoError("truncated data for " + name);
+    if (!reader->ReadBytes(it->second.data(), shape.numel() * sizeof(float))) {
+      return Status::IoError("truncated data for parameter '" + name + "'" +
+                             At(path, reader->offset()));
+    }
   }
   return Status::Ok();
+}
+
+// ---- Train-state section (TBCKPT2 only) -------------------------------------
+
+void WriteFloatVec(PayloadWriter* writer, const std::vector<float>& values) {
+  writer->WritePod<uint64_t>(values.size());
+  writer->WriteBytes(values.data(), values.size() * sizeof(float));
+}
+
+bool ReadFloatVec(PayloadReader* reader, std::vector<float>* out) {
+  uint64_t n = 0;
+  if (!reader->ReadPod(&n) || n > reader->remaining() / sizeof(float)) {
+    return false;
+  }
+  out->resize(n);
+  return reader->ReadBytes(out->data(), n * sizeof(float));
+}
+
+void WriteDoubleVec(PayloadWriter* writer, const std::vector<double>& values) {
+  writer->WritePod<uint64_t>(values.size());
+  writer->WriteBytes(values.data(), values.size() * sizeof(double));
+}
+
+bool ReadDoubleVec(PayloadReader* reader, std::vector<double>* out) {
+  uint64_t n = 0;
+  if (!reader->ReadPod(&n) || n > reader->remaining() / sizeof(double)) {
+    return false;
+  }
+  out->resize(n);
+  return reader->ReadBytes(out->data(), n * sizeof(double));
+}
+
+void WriteTrainState(const TrainState& state, PayloadWriter* writer) {
+  writer->WritePod<int32_t>(state.epoch);
+  writer->WritePod<double>(state.learning_rate);
+  writer->WritePod<int32_t>(state.best_epoch);
+  writer->WritePod<int32_t>(state.rollbacks);
+  writer->WritePod<int64_t>(state.nonfinite_batches);
+  WriteDoubleVec(writer, state.epoch_losses);
+  WriteDoubleVec(writer, state.val_losses);
+
+  writer->WritePod<int64_t>(state.optimizer.step_count);
+  writer->WritePod<uint64_t>(state.optimizer.slots.size());
+  for (const auto& slot : state.optimizer.slots) WriteFloatVec(writer, slot);
+
+  for (uint64_t s : state.shuffle_rng.s) writer->WritePod<uint64_t>(s);
+  writer->WritePod<uint8_t>(state.shuffle_rng.has_cached_normal ? 1 : 0);
+  writer->WritePod<double>(state.shuffle_rng.cached_normal);
+
+  writer->WritePod<uint64_t>(state.module_states.size());
+  for (const auto& [name, bytes] : state.module_states) {
+    writer->WriteString(name);
+    writer->WritePod<uint64_t>(bytes.size());
+    writer->WriteBytes(bytes.data(), bytes.size());
+  }
+
+  writer->WritePod<uint64_t>(state.best_snapshot.size());
+  for (const auto& snapshot : state.best_snapshot) {
+    WriteFloatVec(writer, snapshot);
+  }
+}
+
+Status ReadTrainState(PayloadReader* reader, const std::string& path,
+                      TrainState* state) {
+  uint8_t cached = 0;
+  const bool header_ok =
+      reader->ReadPod(&state->epoch) &&
+      reader->ReadPod(&state->learning_rate) &&
+      reader->ReadPod(&state->best_epoch) &&
+      reader->ReadPod(&state->rollbacks) &&
+      reader->ReadPod(&state->nonfinite_batches) &&
+      ReadDoubleVec(reader, &state->epoch_losses) &&
+      ReadDoubleVec(reader, &state->val_losses);
+  if (!header_ok) {
+    return Status::IoError("truncated train-state header" +
+                           At(path, reader->offset()));
+  }
+
+  uint64_t slot_count = 0;
+  if (!reader->ReadPod(&state->optimizer.step_count) ||
+      !reader->ReadPod(&slot_count) || slot_count > (1u << 20)) {
+    return Status::IoError("corrupt optimizer state" +
+                           At(path, reader->offset()));
+  }
+  state->optimizer.slots.resize(slot_count);
+  for (uint64_t i = 0; i < slot_count; ++i) {
+    if (!ReadFloatVec(reader, &state->optimizer.slots[i])) {
+      return Status::IoError("truncated optimizer slot " + std::to_string(i) +
+                             At(path, reader->offset()));
+    }
+  }
+
+  for (uint64_t& s : state->shuffle_rng.s) {
+    if (!reader->ReadPod(&s)) {
+      return Status::IoError("truncated RNG state" +
+                             At(path, reader->offset()));
+    }
+  }
+  if (!reader->ReadPod(&cached) ||
+      !reader->ReadPod(&state->shuffle_rng.cached_normal)) {
+    return Status::IoError("truncated RNG state" + At(path, reader->offset()));
+  }
+  state->shuffle_rng.has_cached_normal = cached != 0;
+
+  uint64_t module_states = 0;
+  if (!reader->ReadPod(&module_states) || module_states > (1u << 20)) {
+    return Status::IoError("corrupt module-state count" +
+                           At(path, reader->offset()));
+  }
+  state->module_states.resize(module_states);
+  for (uint64_t i = 0; i < module_states; ++i) {
+    uint64_t size = 0;
+    if (!reader->ReadString(&state->module_states[i].first, kMaxNameLen) ||
+        !reader->ReadPod(&size) || size > reader->remaining()) {
+      return Status::IoError("corrupt module state for '" +
+                             state->module_states[i].first + "'" +
+                             At(path, reader->offset()));
+    }
+    state->module_states[i].second.resize(size);
+    if (!reader->ReadBytes(state->module_states[i].second.data(), size)) {
+      return Status::IoError("truncated module state for '" +
+                             state->module_states[i].first + "'" +
+                             At(path, reader->offset()));
+    }
+  }
+
+  uint64_t snapshots = 0;
+  if (!reader->ReadPod(&snapshots) || snapshots > (1u << 20)) {
+    return Status::IoError("corrupt best-snapshot count" +
+                           At(path, reader->offset()));
+  }
+  state->best_snapshot.resize(snapshots);
+  for (uint64_t i = 0; i < snapshots; ++i) {
+    if (!ReadFloatVec(reader, &state->best_snapshot[i])) {
+      return Status::IoError("truncated best-snapshot tensor " +
+                             std::to_string(i) + At(path, reader->offset()));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Verifies the trailing CRC32 of a TBCKPT2 buffer and returns a reader
+/// positioned after the magic, covering only the payload.
+Status CheckV2Footer(const std::string& buffer, const std::string& path) {
+  if (buffer.size() < kMagicLen + sizeof(uint32_t)) {
+    return Status::IoError(path + " is too short to be a TBCKPT2 checkpoint (" +
+                           std::to_string(buffer.size()) + " bytes)");
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, buffer.data() + buffer.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual =
+      Crc32(buffer.data(), buffer.size() - sizeof(uint32_t));
+  if (stored != actual) {
+    return Status::IoError(
+        path + " failed its CRC32 integrity check (stored " +
+        std::to_string(stored) + ", computed " + std::to_string(actual) +
+        " over " + std::to_string(buffer.size() - sizeof(uint32_t)) +
+        " bytes) — the checkpoint is corrupt or was torn mid-write");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  PayloadWriter writer;
+  writer.WriteBytes(kMagicV1, kMagicLen);
+  Status status = WriteParams(module, &writer);
+  if (!status.ok()) return status;
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& buffer = contents.value();
+  if (buffer.size() < kMagicLen) {
+    return Status::InvalidArgument(path + " is not a TrafficBench checkpoint");
+  }
+  if (std::memcmp(buffer.data(), kMagicV1, kMagicLen) == 0) {
+    PayloadReader reader(buffer);
+    char magic[kMagicLen];
+    reader.ReadBytes(magic, kMagicLen);
+    return ReadParams(&reader, module, path);
+  }
+  if (std::memcmp(buffer.data(), kMagicV2, kMagicLen) == 0) {
+    // Params-only view of a v2 checkpoint; the CRC still guards the load.
+    Status status = CheckV2Footer(buffer, path);
+    if (!status.ok()) return status;
+    PayloadReader reader(buffer);
+    char magic[kMagicLen];
+    reader.ReadBytes(magic, kMagicLen);
+    return ReadParams(&reader, module, path);
+  }
+  return Status::InvalidArgument(path + " is not a TrafficBench checkpoint");
+}
+
+Status SaveTrainCheckpoint(const Module& module, const TrainState& state,
+                           const std::string& path) {
+  PayloadWriter writer;
+  writer.WriteBytes(kMagicV2, kMagicLen);
+  Status status = WriteParams(module, &writer);
+  if (!status.ok()) return status;
+  WriteTrainState(state, &writer);
+  std::string payload = writer.buffer();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  payload.append(reinterpret_cast<const char*>(&crc), sizeof(uint32_t));
+  return WriteFileAtomic(path, payload);
+}
+
+Result<TrainState> LoadTrainCheckpoint(Module* module,
+                                       const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& buffer = contents.value();
+  if (buffer.size() < kMagicLen ||
+      std::memcmp(buffer.data(), kMagicV2, kMagicLen) != 0) {
+    return Status::InvalidArgument(path +
+                                   " is not a TBCKPT2 training checkpoint");
+  }
+  Status status = CheckV2Footer(buffer, path);
+  if (!status.ok()) return status;
+
+  // The CRC above vouches for the bytes; the remaining failure mode is a
+  // structural mismatch (checkpoint from a different module), which
+  // ReadParams can detect only partway through — a failed load may leave
+  // the module partially written, so callers must treat it as
+  // "reinitialize the model".
+  PayloadReader reader(buffer);
+  char magic[kMagicLen];
+  reader.ReadBytes(magic, kMagicLen);
+  status = ReadParams(&reader, module, path);
+  if (!status.ok()) return status;
+
+  TrainState state;
+  status = ReadTrainState(&reader, path, &state);
+  if (!status.ok()) return status;
+  if (reader.remaining() != sizeof(uint32_t)) {
+    return Status::IoError("unexpected " +
+                           std::to_string(reader.remaining()) +
+                           " trailing bytes" + At(path, reader.offset()));
+  }
+  return state;
 }
 
 }  // namespace trafficbench::nn

@@ -1,26 +1,81 @@
 #ifndef TRAFFICBENCH_NN_SERIALIZE_H_
 #define TRAFFICBENCH_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/nn/module.h"
+#include "src/optim/optimizer.h"
+#include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace trafficbench::nn {
 
 /// Writes all named parameters of `module` to a binary checkpoint.
 ///
-/// Format (little-endian):
+/// Format TBCKPT1 (little-endian):
 ///   magic "TBCKPT1\n", uint64 parameter count, then per parameter:
 ///   uint32 name length, name bytes, uint32 rank, int64 dims[rank],
 ///   float32 data[numel].
+///
+/// The write is atomic: the payload lands in `path + ".tmp"` and is renamed
+/// over `path` only once complete, so a crash mid-save can never destroy an
+/// existing good checkpoint.
 Status SaveCheckpoint(const Module& module, const std::string& path);
 
-/// Loads a checkpoint previously written by SaveCheckpoint into `module`.
-/// Every parameter in the file must exist in the module with an identical
-/// shape, and vice versa — partial loads are rejected so silently-missing
-/// weights cannot corrupt an experiment.
+/// Loads a checkpoint previously written by SaveCheckpoint (TBCKPT1) or
+/// SaveTrainCheckpoint (TBCKPT2; only the parameters are applied) into
+/// `module`. Every parameter in the file must exist in the module with an
+/// identical shape, and vice versa — partial loads are rejected so
+/// silently-missing weights cannot corrupt an experiment. Corrupt or
+/// truncated files are rejected with the offending parameter name and byte
+/// offset in the Status message.
 Status LoadCheckpoint(Module* module, const std::string& path);
+
+/// Everything beyond the parameters that a resumed training run needs to be
+/// bit-identical to an uninterrupted one.
+struct TrainState {
+  /// Number of fully completed epochs (resume starts at this epoch).
+  int32_t epoch = 0;
+  /// Learning rate in effect after `epoch` epochs (decay + any rollback
+  /// backoff already applied).
+  double learning_rate = 0.0;
+  int32_t best_epoch = -1;
+  int32_t rollbacks = 0;
+  int64_t nonfinite_batches = 0;
+  std::vector<double> epoch_losses;
+  std::vector<double> val_losses;
+  optim::OptimizerState optimizer;
+  /// The training loop's shuffle stream, captured at the epoch boundary.
+  RngState shuffle_rng;
+  /// Non-parameter module state (e.g. dropout RNG streams).
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> module_states;
+  /// Best-validation-epoch parameter snapshot (empty when selection is off
+  /// or no epoch has been validated yet).
+  std::vector<std::vector<float>> best_snapshot;
+};
+
+/// Writes parameters + TrainState as a TBCKPT2 checkpoint.
+///
+/// Format TBCKPT2 (little-endian):
+///   magic "TBCKPT2\n"
+///   parameter section (identical layout to TBCKPT1's body)
+///   train-state section (epoch, LR, losses, optimizer slots, RNG state,
+///   module states, best snapshot)
+///   uint32 CRC32 footer over every preceding byte.
+///
+/// Writes are atomic (tmp + rename); LoadTrainCheckpoint verifies the CRC
+/// before trusting any field, so bit flips and short writes are rejected
+/// with precise diagnostics instead of corrupting a resumed run.
+Status SaveTrainCheckpoint(const Module& module, const TrainState& state,
+                           const std::string& path);
+
+/// Loads a TBCKPT2 checkpoint: applies the parameters to `module` (same
+/// strict matching as LoadCheckpoint) and returns the training state.
+Result<TrainState> LoadTrainCheckpoint(Module* module,
+                                       const std::string& path);
 
 }  // namespace trafficbench::nn
 

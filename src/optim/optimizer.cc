@@ -70,6 +70,31 @@ void Sgd::Step() {
   }
 }
 
+OptimizerState Sgd::GetState() const {
+  OptimizerState state;
+  state.slots = velocity_;
+  return state;
+}
+
+Status Sgd::SetState(const OptimizerState& state) {
+  if (state.slots.size() != velocity_.size()) {
+    return Status::InvalidArgument(
+        "SGD state has " + std::to_string(state.slots.size()) +
+        " velocity slots, optimizer has " + std::to_string(velocity_.size()));
+  }
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    if (!state.slots[i].empty() &&
+        state.slots[i].size() != parameters_[i].impl()->data.size()) {
+      return Status::InvalidArgument(
+          "SGD velocity slot " + std::to_string(i) + " has " +
+          std::to_string(state.slots[i].size()) + " floats, parameter has " +
+          std::to_string(parameters_[i].impl()->data.size()));
+    }
+  }
+  velocity_ = state.slots;
+  return Status::Ok();
+}
+
 Adam::Adam(std::vector<Tensor> parameters, const AdamOptions& options)
     : Optimizer(std::move(parameters)), options_(options) {
   learning_rate_ = options.learning_rate;
@@ -113,6 +138,40 @@ void Adam::Step() {
       data[j] -= static_cast<float>(update);
     });
   }
+}
+
+OptimizerState Adam::GetState() const {
+  OptimizerState state;
+  state.step_count = step_count_;
+  state.slots.reserve(m_.size() + v_.size());
+  for (const auto& m : m_) state.slots.push_back(m);
+  for (const auto& v : v_) state.slots.push_back(v);
+  return state;
+}
+
+Status Adam::SetState(const OptimizerState& state) {
+  if (state.slots.size() != m_.size() + v_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(state.slots.size()) +
+        " slots, optimizer needs " + std::to_string(m_.size() + v_.size()) +
+        " (m then v per parameter)");
+  }
+  const size_t n = m_.size();
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    const size_t param_size = parameters_[i % n].impl()->data.size();
+    if (!state.slots[i].empty() && state.slots[i].size() != param_size) {
+      return Status::InvalidArgument(
+          "Adam slot " + std::to_string(i) + " has " +
+          std::to_string(state.slots[i].size()) + " floats, parameter '" +
+          std::to_string(i % n) + "' has " + std::to_string(param_size));
+    }
+  }
+  step_count_ = state.step_count;
+  for (size_t i = 0; i < n; ++i) {
+    m_[i] = state.slots[i];
+    v_[i] = state.slots[n + i];
+  }
+  return Status::Ok();
 }
 
 StepLrSchedule::StepLrSchedule(Optimizer* optimizer, int step_size,

@@ -1,11 +1,22 @@
 #ifndef TRAFFICBENCH_OPTIM_OPTIMIZER_H_
 #define TRAFFICBENCH_OPTIM_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/status.h"
 
 namespace trafficbench::optim {
+
+/// Snapshot of an optimizer's internal buffers, used both by the guarded
+/// training loop (rollback to the last good step after a NaN blow-up) and
+/// by TBCKPT2 checkpoints (bit-identical resume). `slots` is
+/// implementation-defined: Adam stores [m..., v...], SGD its velocities.
+struct OptimizerState {
+  int64_t step_count = 0;
+  std::vector<std::vector<float>> slots;
+};
 
 /// Base optimizer over a fixed parameter list.
 class Optimizer {
@@ -18,6 +29,18 @@ class Optimizer {
 
   /// Applies one update from the accumulated gradients.
   virtual void Step() = 0;
+
+  /// Snapshot/restore of the optimizer's internal buffers (not the
+  /// parameters themselves, which the caller snapshots separately).
+  /// SetState rejects snapshots from a different optimizer type or
+  /// parameter list.
+  virtual OptimizerState GetState() const { return {}; }
+  virtual Status SetState(const OptimizerState& state) {
+    return state.slots.empty()
+               ? Status::Ok()
+               : Status::InvalidArgument(
+                     "this optimizer carries no restorable state");
+  }
 
   /// Clears all parameter gradients.
   void ZeroGrad();
@@ -42,6 +65,8 @@ class Sgd : public Optimizer {
       double momentum = 0.0);
 
   void Step() override;
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
  private:
   double momentum_;
@@ -64,6 +89,8 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor> parameters, const AdamOptions& options);
 
   void Step() override;
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
  private:
   AdamOptions options_;
@@ -81,6 +108,9 @@ class StepLrSchedule {
   void EpochEnd();
 
   int epoch() const { return epoch_; }
+  /// Fast-forwards the epoch counter without touching the learning rate
+  /// (resume restores the rate directly from the checkpoint).
+  void SetEpoch(int epoch) { epoch_ = epoch; }
 
  private:
   Optimizer* optimizer_;

@@ -1,0 +1,42 @@
+#ifndef TRAFFICBENCH_UTIL_CRC32_H_
+#define TRAFFICBENCH_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace trafficbench {
+
+namespace internal_crc32 {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace internal_crc32
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over a byte range. Used as the
+/// integrity footer of TBCKPT2 checkpoints so bit flips and torn writes are
+/// rejected at load time instead of silently corrupting a resumed run.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = internal_crc32::kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_UTIL_CRC32_H_

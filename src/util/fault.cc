@@ -1,0 +1,144 @@
+#include "src/util/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace trafficbench {
+
+namespace {
+
+const char* const kSiteNames[kNumFaultSites] = {
+    "train_loss", "train_grad",      "eval_pred", "ckpt_short_write",
+    "ckpt_bit_flip", "io_open",      "io_write",  "crash",
+};
+
+bool SiteByName(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return !text.empty() && end != nullptr && *end == '\0';
+}
+
+bool ParseInt64Strict(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return !text.empty() && end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+const char* FaultInjector::SiteName(FaultSite site) {
+  const int index = static_cast<int>(site);
+  TB_CHECK(index >= 0 && index < kNumFaultSites);
+  return kSiteNames[index];
+}
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec) {
+  FaultInjector injector;
+  if (spec.empty()) return injector;
+
+  std::istringstream stream(spec);
+  std::string clause;
+  while (std::getline(stream, clause, ',')) {
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    const size_t at = clause.find('@');
+    if (eq != std::string::npos && clause.substr(0, eq) == "seed") {
+      int64_t seed = 0;
+      if (!ParseInt64Strict(clause.substr(eq + 1), &seed)) {
+        return Status::InvalidArgument("TB_FAULT: bad seed in '" + clause +
+                                       "'");
+      }
+      injector.seed_ = static_cast<uint64_t>(seed);
+      continue;
+    }
+    FaultSite site;
+    if (at != std::string::npos) {
+      if (!SiteByName(clause.substr(0, at), &site)) {
+        return Status::InvalidArgument("TB_FAULT: unknown site in '" + clause +
+                                       "'");
+      }
+      int64_t n = 0;
+      if (!ParseInt64Strict(clause.substr(at + 1), &n) || n < 1) {
+        return Status::InvalidArgument(
+            "TB_FAULT: '" + clause + "' needs a 1-based call index after @");
+      }
+      injector.sites_[static_cast<int>(site)].fire_at = n;
+    } else if (eq != std::string::npos) {
+      if (!SiteByName(clause.substr(0, eq), &site)) {
+        return Status::InvalidArgument("TB_FAULT: unknown site in '" + clause +
+                                       "'");
+      }
+      double p = 0.0;
+      if (!ParseDoubleStrict(clause.substr(eq + 1), &p) || p < 0.0 ||
+          p > 1.0) {
+        return Status::InvalidArgument(
+            "TB_FAULT: '" + clause + "' needs a probability in [0, 1]");
+      }
+      injector.sites_[static_cast<int>(site)].probability = p;
+    } else {
+      return Status::InvalidArgument(
+          "TB_FAULT: clause '" + clause +
+          "' must be seed=N, <site>=<prob> or <site>@<n>");
+    }
+    injector.enabled_ = true;
+  }
+  return injector;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* global = [] {
+    const char* spec = std::getenv("TB_FAULT");
+    Result<FaultInjector> parsed =
+        FaultInjector::Parse(spec != nullptr ? spec : "");
+    TB_CHECK(parsed.ok()) << parsed.status().ToString();
+    return new FaultInjector(std::move(parsed).value());
+  }();
+  return *global;
+}
+
+void FaultInjector::SetGlobal(FaultInjector injector) {
+  Global() = std::move(injector);
+}
+
+bool FaultInjector::Should(FaultSite site) {
+  if (!enabled_) return false;
+  SiteState& state = sites_[static_cast<int>(site)];
+  ++state.calls;
+  bool fire = false;
+  if (state.fire_at > 0 && state.calls == state.fire_at) fire = true;
+  if (!fire && state.probability > 0.0) {
+    if (!state.rng.has_value()) {
+      // One independent stream per site so adding a site never perturbs
+      // another site's decision sequence.
+      state.rng.emplace(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                                 (static_cast<uint64_t>(site) + 1)));
+    }
+    fire = state.rng->Bernoulli(state.probability);
+  }
+  if (fire) ++state.fired;
+  return fire;
+}
+
+int64_t FaultInjector::calls(FaultSite site) const {
+  return sites_[static_cast<int>(site)].calls;
+}
+
+int64_t FaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<int>(site)].fired;
+}
+
+}  // namespace trafficbench

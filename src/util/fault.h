@@ -1,0 +1,107 @@
+#ifndef TRAFFICBENCH_UTIL_FAULT_H_
+#define TRAFFICBENCH_UTIL_FAULT_H_
+
+// Deterministic fault injection. Long-running sweeps must survive NaN
+// blow-ups, torn checkpoint writes and I/O failures; this harness makes
+// those events reproducible so every recovery path is exercised by tests
+// (tests/fault_tolerance_test.cc) instead of trusted.
+//
+// Faults are described by a spec string, e.g.
+//
+//   TB_FAULT="seed=7,train_loss=0.05,ckpt_bit_flip@1,crash@3"
+//
+// Clauses are comma-separated:
+//   seed=N         seeds the per-site random streams (default 7)
+//   <site>=<p>     the site fires with probability p per call, drawn from a
+//                  deterministic seeded stream (p in [0, 1])
+//   <site>@<n>     the site fires exactly once, on its n-th call (1-based)
+//
+// Sites (each named after the code path it corrupts):
+//   train_loss       poison one training batch's loss with NaN
+//   train_grad       poison one gradient buffer with NaN
+//   eval_pred        poison evaluation predictions with NaN
+//   ckpt_short_write truncate a checkpoint payload before commit
+//   ckpt_bit_flip    flip one byte of a checkpoint payload
+//   io_open          fail opening a file (reads and writes)
+//   io_write         fail a write mid-stream
+//   crash            simulated hard kill at a checkpoint boundary
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace trafficbench {
+
+enum class FaultSite : int {
+  kTrainLossNan = 0,
+  kTrainGradNan,
+  kEvalPredNan,
+  kCkptShortWrite,
+  kCkptBitFlip,
+  kIoOpenFail,
+  kIoWriteFail,
+  kCrash,
+};
+
+inline constexpr int kNumFaultSites = 8;
+
+/// Thrown when the "crash" site fires: simulates a hard kill at the point of
+/// injection. Deliberately NOT derived from std::exception so that generic
+/// error handlers cannot swallow it — like a real SIGKILL, only the
+/// on-disk checkpoints survive it.
+struct SimulatedCrash {
+  std::string where;
+};
+
+/// Seeded, spec-driven fault injector. A default-constructed injector is
+/// disabled and never fires; Should() then costs one branch. Not
+/// thread-safe — call only from the orchestration thread (trainer,
+/// serializer, experiment harness), never from kernel workers.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses a spec string (see file header). Empty spec → disabled injector.
+  static Result<FaultInjector> Parse(const std::string& spec);
+
+  /// Process-wide injector, configured once from $TB_FAULT (a malformed
+  /// spec aborts at first use with the parse error — fail fast, not
+  /// mid-sweep). Tests replace it with SetGlobal().
+  static FaultInjector& Global();
+  static void SetGlobal(FaultInjector injector);
+
+  bool enabled() const { return enabled_; }
+
+  /// True when the fault at `site` fires now. Advances that site's call
+  /// counter (and its random stream when probability-driven), so the
+  /// decision sequence is a pure function of the spec.
+  bool Should(FaultSite site);
+
+  /// Observability for tests and the experiment harness.
+  int64_t calls(FaultSite site) const;
+  int64_t fired(FaultSite site) const;
+
+  /// Spec token of a site, e.g. "train_loss".
+  static const char* SiteName(FaultSite site);
+
+ private:
+  struct SiteState {
+    double probability = 0.0;
+    int64_t fire_at = 0;  // 1-based call index; 0 = not armed
+    int64_t calls = 0;
+    int64_t fired = 0;
+    std::optional<Rng> rng;
+  };
+
+  bool enabled_ = false;
+  uint64_t seed_ = 7;
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_UTIL_FAULT_H_

@@ -1,0 +1,70 @@
+#include "src/util/fileio.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/fault.h"
+
+namespace trafficbench {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  if (FaultInjector::Global().Should(FaultSite::kIoOpenFail)) {
+    return Status::IoError("injected open failure reading " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading " + path);
+  return std::move(buffer).str();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& payload) {
+  FaultInjector& fault = FaultInjector::Global();
+  if (fault.Should(FaultSite::kIoOpenFail)) {
+    return Status::IoError("injected open failure writing " + path);
+  }
+
+  std::string bytes = payload;
+  if (fault.Should(FaultSite::kCkptShortWrite)) {
+    // Torn write: the tail is lost but the rename still lands, so the
+    // loader must detect the truncation.
+    bytes.resize(bytes.size() - std::min<size_t>(bytes.size(), 13));
+  }
+  if (fault.Should(FaultSite::kCkptBitFlip) && !bytes.empty()) {
+    bytes[bytes.size() / 2] ^= 0x20;
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    if (fault.Should(FaultSite::kIoWriteFail)) {
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() / 2));
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError("injected write failure on " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError("failed writing " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace trafficbench

@@ -1,0 +1,25 @@
+#ifndef TRAFFICBENCH_UTIL_FILEIO_H_
+#define TRAFFICBENCH_UTIL_FILEIO_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace trafficbench {
+
+/// Reads a whole file into a byte string. Honors the io_open fault site.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe file write: the payload goes to `path + ".tmp"` first and is
+/// renamed over `path` only after the stream is flushed and closed, so a
+/// kill mid-write can never leave a half-written file under the final name.
+///
+/// Honors the fault sites io_open, io_write (the write fails cleanly; the
+/// tmp file is removed) and ckpt_short_write / ckpt_bit_flip (the payload
+/// is corrupted *before* the rename, simulating torn or bit-rotted storage
+/// that the loader's validation must catch).
+Status WriteFileAtomic(const std::string& path, const std::string& payload);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_UTIL_FILEIO_H_

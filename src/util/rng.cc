@@ -102,4 +102,18 @@ void Rng::Shuffle(std::vector<int64_t>* values) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace trafficbench

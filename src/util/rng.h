@@ -1,10 +1,20 @@
 #ifndef TRAFFICBENCH_UTIL_RNG_H_
 #define TRAFFICBENCH_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace trafficbench {
+
+/// Complete serializable state of an Rng — what a training checkpoint must
+/// capture so a resumed run draws the exact same stream it would have drawn
+/// uninterrupted.
+struct RngState {
+  std::array<uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
 /// SplitMix64. Every stochastic component in the library takes one of these
@@ -46,6 +56,10 @@ class Rng {
   /// Forks an independent stream (useful to give each component its own
   /// generator derived from one experiment seed).
   Rng Fork();
+
+  /// Snapshot/restore of the full generator state (checkpoint/resume).
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -1,9 +1,11 @@
 // Tests for checkpoint save/load: round trips, strict validation, and a
 // full trained-model restore producing identical predictions.
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -101,6 +103,104 @@ TEST(Serialize, RejectsTruncatedData) {
   std::filesystem::resize_file(path, size - 8);
   Status status = nn::LoadCheckpoint(&model, path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
+  std::filesystem::remove(path);
+}
+
+class EdgeCaseNet : public nn::Module {
+ public:
+  EdgeCaseNet() {
+    empty = RegisterParameter("empty", Tensor::Zeros(Shape({0, 3})));
+    values = RegisterParameter("values", Tensor::Zeros(Shape({4})));
+  }
+  Tensor empty, values;
+};
+
+TEST(Serialize, ZeroSizedParameterRoundTrips) {
+  EdgeCaseNet source;
+  const std::string path = TempPath("tb_ckpt_zero_sized.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(source, path));
+  EdgeCaseNet target;
+  target.values.data()[0] = 99.0f;  // must be overwritten
+  TB_CHECK_OK(nn::LoadCheckpoint(&target, path));
+  EXPECT_EQ(target.empty.numel(), 0);
+  EXPECT_EQ(target.values.ToVector(), source.values.ToVector());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, NonFiniteParameterValuesRoundTripExactly) {
+  // Checkpoints are byte-exact: a NaN/inf snapshot (e.g. saved right before
+  // a divergence was detected) must come back as-is, not sanitized.
+  EdgeCaseNet source;
+  float* data = source.values.data();
+  data[0] = std::numeric_limits<float>::quiet_NaN();
+  data[1] = std::numeric_limits<float>::infinity();
+  data[2] = -std::numeric_limits<float>::infinity();
+  data[3] = -0.0f;
+  const std::string path = TempPath("tb_ckpt_nonfinite.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(source, path));
+  EdgeCaseNet target;
+  TB_CHECK_OK(nn::LoadCheckpoint(&target, path));
+  const std::vector<float> loaded = target.values.ToVector();
+  EXPECT_TRUE(std::isnan(loaded[0]));
+  EXPECT_EQ(loaded[1], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(loaded[2], -std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::signbit(loaded[3]));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, DuplicateParameterNamesRejectedWithName) {
+  class DupNet : public nn::Module {
+   public:
+    DupNet() {
+      RegisterParameter("twice", Tensor::Zeros(Shape({2})));
+      RegisterParameter("twice", Tensor::Zeros(Shape({2})));
+    }
+  } model;
+  const std::string path = TempPath("tb_ckpt_dup.bin");
+  Status status = nn::SaveCheckpoint(model, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("twice"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(Serialize, LoadCheckpointReadsV2ParamsIgnoringTrainState) {
+  // Backward-facing interop: evaluate-time LoadCheckpoint accepts a TBCKPT2
+  // training checkpoint and applies just the parameters.
+  Rng rng(31);
+  TwoLayer source(&rng);
+  nn::TrainState state;
+  state.epoch = 2;
+  state.learning_rate = 1e-3;
+  const std::string path = TempPath("tb_ckpt_v2_params.bin");
+  TB_CHECK_OK(nn::SaveTrainCheckpoint(source, state, path));
+
+  Rng rng2(32);
+  TwoLayer target(&rng2);
+  TB_CHECK_OK(nn::LoadCheckpoint(&target, path));
+  auto src = source.NamedParameters();
+  auto dst = target.NamedParameters();
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(src[i].second.ToVector(), dst[i].second.ToVector());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, V1CheckpointsStayLoadable) {
+  // TBCKPT1 files from before the fault-tolerance work keep loading (the
+  // format is unchanged; this pins backward compatibility explicitly).
+  Rng rng(33);
+  TwoLayer source(&rng);
+  const std::string path = TempPath("tb_ckpt_v1_compat.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(source, path));
+  std::ifstream in(path, std::ios::binary);
+  char magic[8];
+  in.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "TBCKPT1\n");
+  Rng rng2(34);
+  TwoLayer target(&rng2);
+  TB_CHECK_OK(nn::LoadCheckpoint(&target, path));
   std::filesystem::remove(path);
 }
 

@@ -7,12 +7,21 @@
 //                         [--epochs 3] [--batches 40] [--lr 5e-3]
 //                         [--threads N] [--profile]
 //                         [--validate] [--checkpoint model.ckpt]
+//                         [--ckpt-every N] [--resume]
 //   trafficbench evaluate --model Graph-WaveNet --dataset METR-LA-S
 //                         --checkpoint model.ckpt [--difficult]
 //                         [--threads N] [--profile]
+//   trafficbench experiment --dataset METR-LA-S
+//                         [--models A,B,C] [--ckpt-dir DIR] [--resume]
 //
 // --threads N runs tensor kernels on N worker threads; results are
 // bit-identical to --threads 1. --profile prints a per-op time/FLOP table.
+//
+// `experiment` runs a fault-tolerant multi-model sweep: a diverging model
+// gets a FAILED row instead of killing the process, and with --ckpt-dir a
+// killed sweep restarted with --resume finishes with bit-identical metrics
+// (TB_CKPT_EVERY controls the checkpoint cadence, TB_FAULT injects
+// deterministic faults; see DESIGN.md §9).
 //
 // Instead of --dataset, pass --network net.csv --series series.csv
 // [--flow] to run on imported (e.g. real PeMS) data.
@@ -34,6 +43,7 @@
 #include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/serialize.h"
+#include "src/util/fault.h"
 #include "src/util/table.h"
 
 namespace tb = trafficbench;
@@ -69,16 +79,22 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trafficbench <list|simulate|train|evaluate> [options]\n"
+      "usage: trafficbench <list|simulate|train|evaluate|experiment>"
+      " [options]\n"
       "  list                         models and dataset profiles\n"
       "  simulate --dataset NAME --out-network F --out-series F\n"
       "  train    --model M (--dataset NAME | --network F --series F"
       " [--flow])\n"
       "           [--epochs N] [--batches N] [--batch N] [--lr X]\n"
       "           [--seed N] [--threads N] [--profile]\n"
-      "           [--validate] [--checkpoint F]\n"
+      "           [--validate] [--checkpoint F] [--ckpt-every N]"
+      " [--resume]\n"
       "  evaluate --model M (--dataset ... | --network/--series ...)\n"
-      "           --checkpoint F [--difficult] [--threads N] [--profile]\n");
+      "           --checkpoint F [--difficult] [--threads N] [--profile]\n"
+      "  experiment (--dataset ... | --network/--series ...)\n"
+      "           [--models A,B,C] [--ckpt-dir DIR] [--resume]\n"
+      "           (TB_EPOCHS/TB_REPEATS/TB_CKPT_EVERY/TB_FAULT/... "
+      "tune the sweep)\n");
   return 2;
 }
 
@@ -200,7 +216,30 @@ int CmdTrain(const Args& args) {
   config.verbose = true;
   tb::exec::ExecutionContext exec_context(ExecOptionsFromArgs(args));
   config.exec = &exec_context;
+  const std::string ckpt_path = args.Get("checkpoint", "");
+  if (!ckpt_path.empty() && model->IsTrainable()) {
+    // TrainModel owns the checkpoint: TBCKPT2 with optimizer/RNG state at
+    // every --ckpt-every epoch boundary (and after the final epoch), so a
+    // killed run can --resume bit-identically.
+    config.checkpoint_path = ckpt_path;
+    config.checkpoint_every =
+        std::max(1, std::atoi(args.Get("ckpt-every", "1").c_str()));
+    config.resume = args.Has("resume");
+  }
   tb::eval::TrainResult result = TrainModel(model.get(), *dataset, config);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+  if (result.start_epoch > 0) {
+    std::printf("resumed from epoch %d\n", result.start_epoch);
+  }
+  if (result.rollbacks > 0) {
+    std::printf("guarded loop: %lld non-finite batches, %d rollbacks\n",
+                static_cast<long long>(result.nonfinite_batches),
+                result.rollbacks);
+  }
   if (config.select_best_on_validation) {
     std::printf("kept epoch %d (val masked-MAE %.4f)\n", result.best_epoch + 1,
                 result.best_epoch >= 0
@@ -216,14 +255,17 @@ int CmdTrain(const Args& args) {
                                       eval_options));
   MaybePrintProfile(exec_context);
 
-  if (args.Has("checkpoint")) {
-    const std::string path = args.Get("checkpoint", "model.ckpt");
-    tb::Status status = tb::nn::SaveCheckpoint(*model, path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+  if (!ckpt_path.empty()) {
+    if (!model->IsTrainable()) {
+      // Non-trainable baselines have no training state; a plain TBCKPT1
+      // parameter checkpoint is all there is to save.
+      tb::Status status = tb::nn::SaveCheckpoint(*model, ckpt_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
     }
-    std::printf("checkpoint saved to %s\n", path.c_str());
+    std::printf("checkpoint saved to %s\n", ckpt_path.c_str());
   }
   return 0;
 }
@@ -263,13 +305,67 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : text) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+int CmdExperiment(const Args& args) {
+  std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
+  if (!dataset) return 1;
+  tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
+  if (args.Has("threads")) {
+    config.threads = std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  }
+  tb::core::SweepOptions options;
+  options.model_names = SplitCommaList(args.Get("models", ""));
+  options.checkpoint_dir = args.Get("ckpt-dir", "");
+  options.resume = args.Has("resume");
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --ckpt-dir DIR\n");
+    return 2;
+  }
+
+  const std::string dataset_name = args.Get("dataset", "imported");
+  const std::vector<tb::core::RunResult> results =
+      tb::core::RunExperiment(*dataset, dataset_name, config, options);
+  tb::core::EmitTable("Fault-tolerant sweep (" + dataset_name + ")",
+                      tb::core::SummarizeSweep(results),
+                      "experiment_summary.csv");
+  int failed = 0;
+  for (const tb::core::RunResult& result : results) {
+    if (!result.status.ok()) ++failed;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "%d of %zu models failed (see FAILED rows)\n",
+                 failed, results.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Args args = Parse(argc, argv);
   if (args.command == "list") return CmdList();
   if (args.command == "simulate") return CmdSimulate(args);
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "evaluate") return CmdEvaluate(args);
+  if (args.command == "experiment") return CmdExperiment(args);
   return Usage();
+} catch (const tb::SimulatedCrash& crash) {
+  // The fault injector's stand-in for SIGKILL: die loudly, leaving only
+  // the on-disk checkpoints behind, exactly like a real kill would.
+  std::fprintf(stderr, "simulated crash at %s\n", crash.where.c_str());
+  return 3;
 }
