@@ -14,11 +14,25 @@
 #include "src/exec/execution_context.h"
 #include "src/nn/layers.h"
 #include "src/tensor/kernels.h"
+#include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 
 namespace trafficbench {
 namespace {
+
+/// Dense [n, n] support with ~`density` of entries nonzero (same generator
+/// shape the sparse property tests use).
+Tensor RandomSupport(int64_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * n, 0.0f);
+  for (float& x : data) {
+    if (rng.Uniform(0.0, 1.0) < density) {
+      x = static_cast<float>(rng.Normal());
+    }
+  }
+  return Tensor::FromVector(Shape({n, n}), std::move(data));
+}
 
 /// FLOP/s rate counter (renders with an SI suffix, e.g. "13.9G/s").
 void SetFlopsCounter(benchmark::State& state, double flops_per_iter) {
@@ -39,8 +53,8 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
   SetFlopsCounter(state, 2.0 * static_cast<double>(n * n * n));
 }
-// 207 = METR-LA node count (the paper's larger graph).
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(207);
+// 207 = METR-LA node count, 325 = PeMS-BAY (the paper's two large graphs).
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(207)->Arg(325);
 
 void BM_MatMulRef(benchmark::State& state) {
   // The pre-blocking naive kernel (retained as GemmRefNNRows): the "before"
@@ -76,6 +90,54 @@ void BM_GraphConvMetrLa(benchmark::State& state) {
                       static_cast<double>(nodes * nodes * c));
 }
 BENCHMARK(BM_GraphConvMetrLa);
+
+void BM_SpMM(benchmark::State& state) {
+  // CSR support at real road-network densities applied to a dense [n, n]
+  // operand — the same shape as BM_MatMul, so BM_SpMM/{207,40} vs
+  // BM_MatMul/207 is a direct sparse-vs-dense comparison. Densities are
+  // permille: 40‰ ≈ METR-LA (1515 edges / 207 nodes), 25‰ ≈ PeMS-BAY
+  // (2369 edges / 325 nodes), 250‰ = the CSR dispatch threshold.
+  const int64_t n = state.range(0);
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  Tensor support = RandomSupport(n, density, 1);
+  sparse::CsrPtr csr = sparse::CsrMatrix::FromDense(support);
+  Rng rng(2);
+  Tensor features = Tensor::Randn(Shape({n, n}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseMatMul(csr, features).data());
+  }
+  const double flops = 2.0 * static_cast<double>(csr->nnz()) *
+                       static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr->nnz()) * n);
+  state.counters["nnz"] = static_cast<double>(csr->nnz());
+  SetFlopsCounter(state, flops);
+}
+BENCHMARK(BM_SpMM)
+    ->Args({207, 40})    // METR-LA scale + density
+    ->Args({207, 100})
+    ->Args({207, 250})   // density threshold boundary
+    ->Args({325, 25});   // PeMS-BAY scale + density
+
+void BM_SpmmGraphConvMetrLa(benchmark::State& state) {
+  // Sparse counterpart of BM_GraphConvMetrLa: CSR support at METR-LA's
+  // real ~4% density applied to batched [B, T, 207, C] features.
+  const int64_t nodes = 207, b = 8, t = 12, c = 32;
+  Tensor support = RandomSupport(nodes, 0.04, 1);
+  sparse::CsrPtr csr = sparse::CsrMatrix::FromDense(support);
+  Rng rng(2);
+  Tensor features = Tensor::Randn(Shape({b, t, nodes, c}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseMatMul(csr, features).data());
+  }
+  state.counters["nnz"] = static_cast<double>(csr->nnz());
+  SetFlopsCounter(state, 2.0 * static_cast<double>(b * t) *
+                             static_cast<double>(csr->nnz()) *
+                             static_cast<double>(c));
+}
+BENCHMARK(BM_SpmmGraphConvMetrLa);
 
 void BM_BatchedGraphMix(benchmark::State& state) {
   // The dominant model op: [N, N] support applied to [B, T, N, C].

@@ -14,10 +14,59 @@
 #include "src/data/dataset.h"
 #include "src/eval/trainer.h"
 #include "src/exec/execution_context.h"
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/models/dcrnn.h"
 #include "src/models/traffic_model.h"
 #include "src/util/table.h"
 
 namespace tb = trafficbench;
+
+namespace {
+
+/// Per-dataset support-matrix densities (nnz / N^2): which graph operators
+/// each dataset hands the models, and whether they fall under the sparse
+/// engine's CSR dispatch threshold. Only the road network is generated here
+/// (same seed-fork order as TrafficDataset::FromProfile); no simulation runs.
+void PrintSupportDensities(const tb::core::ExperimentConfig& config) {
+  const double threshold = tb::models::GraphSupportDensityThreshold();
+  tb::Table table({"Dataset", "Nodes", "Adjacency", "Random walk",
+                   "Chebyshev T0/T1/T2", "Diffusion (max)"});
+  auto cell = [&](const tb::Tensor& support) {
+    const double d = tb::graph::SupportDensity(support);
+    return tb::Table::Num(d, 3) + (d <= threshold ? " (CSR)" : "");
+  };
+  for (const tb::data::DatasetProfile& base : tb::data::SpeedProfiles()) {
+    tb::data::DatasetProfile profile =
+        tb::data::ScaleProfile(base, config.scale);
+    tb::Rng rng(profile.seed);
+    tb::Rng net_rng = rng.Fork();
+    tb::graph::RoadNetwork network = tb::graph::RoadNetwork::Generate(
+        profile.topology, profile.num_nodes, &net_rng);
+    tb::Tensor adjacency = network.GaussianAdjacency();
+    std::vector<tb::Tensor> cheb = tb::graph::ChebyshevBasis(
+        tb::graph::ScaledLaplacian(adjacency), 3);
+    double diffusion_max = 0.0;
+    for (const tb::Tensor& support :
+         tb::models::DiffusionSupports(adjacency, 2)) {
+      diffusion_max =
+          std::max(diffusion_max, tb::graph::SupportDensity(support));
+    }
+    table.AddRow(
+        {profile.name, std::to_string(network.num_nodes()), cell(adjacency),
+         cell(tb::graph::RandomWalkTransition(adjacency)),
+         cell(cheb[0]) + " / " + cell(cheb[1]) + " / " + cell(cheb[2]),
+         tb::Table::Num(diffusion_max, 3) +
+             (diffusion_max <= threshold ? " (CSR)" : "")});
+  }
+  std::printf(
+      "\nSupport-matrix density (nnz/N^2) per dataset; \"(CSR)\" marks "
+      "supports at or below the sparse dispatch threshold (%.2f):\n",
+      threshold);
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
 
 int main() {
   tb::core::ExperimentConfig config = tb::core::ExperimentConfig::FromEnv();
@@ -26,6 +75,7 @@ int main() {
       "(scale=%.2f, %lld train batches/epoch, batch=%lld, threads=%d)\n",
       config.scale, static_cast<long long>(config.max_batches_per_epoch),
       static_cast<long long>(config.batch_size), config.threads);
+  PrintSupportDensities(config);
 
   tb::data::DatasetProfile profile =
       tb::data::ProfileByName("METR-LA-S").value();

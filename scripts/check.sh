@@ -20,18 +20,18 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec + pool tests =="
+  echo "== tsan: exec + pool + sparse tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*'
 fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== asan/ubsan: tensor/kernel/pool tests =="
+  echo "== asan/ubsan: tensor/kernel/pool/sparse tests =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*'
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*'
 fi
 
 if [[ "${FAULT:-0}" == "1" ]]; then

@@ -13,6 +13,8 @@ const char* OpKindName(OpKind kind) {
   switch (kind) {
     case OpKind::kMatMul: return "MatMul";
     case OpKind::kMatMulBackward: return "MatMulBwd";
+    case OpKind::kSpMM: return "SpMM";
+    case OpKind::kSpMMBackward: return "SpMMBwd";
     case OpKind::kConv2d: return "Conv2d";
     case OpKind::kConv2dBackward: return "Conv2dBwd";
     case OpKind::kUnary: return "Unary";

@@ -33,6 +33,8 @@ struct ExecOptions {
 enum class OpKind : int {
   kMatMul = 0,
   kMatMulBackward,
+  kSpMM,
+  kSpMMBackward,
   kConv2d,
   kConv2dBackward,
   kUnary,

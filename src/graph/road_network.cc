@@ -349,6 +349,22 @@ std::vector<Tensor> ChebyshevBasis(const Tensor& scaled_laplacian, int order) {
   return basis;
 }
 
+int64_t SupportNnz(const Tensor& support) {
+  TB_CHECK(support.defined());
+  const float* d = support.data();
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < support.numel(); ++i) nnz += d[i] != 0.0f;
+  return nnz;
+}
+
+double SupportDensity(const Tensor& support) {
+  const int64_t numel = support.numel();
+  return numel > 0
+             ? static_cast<double>(SupportNnz(support)) /
+                   static_cast<double>(numel)
+             : 0.0;
+}
+
 Tensor SpectralNodeEmbedding(const Tensor& adjacency, int64_t dim) {
   TB_CHECK_GE(dim, 1);
   const int64_t n = adjacency.dim(0);

@@ -102,6 +102,15 @@ Tensor ScaledLaplacian(const Tensor& adjacency);
 /// (spectral GCN support set used by STGCN / ASTGCN).
 std::vector<Tensor> ChebyshevBasis(const Tensor& scaled_laplacian, int order);
 
+/// Number of nonzero entries of a dense support matrix.
+int64_t SupportNnz(const Tensor& support);
+
+/// Fraction of nonzero entries, nnz / numel. Real sensor networks sit in
+/// the low single-digit percents (METR-LA ~4%, PeMS-BAY ~2.5%); the
+/// synthetic all-pairs Gaussian adjacencies are far denser. Reported per
+/// dataset by bench_table3 and used for the sparse/dense dispatch decision.
+double SupportDensity(const Tensor& support);
+
 /// Deterministic spectral node embedding [N, dim]: leading eigenvectors of
 /// the symmetric normalized adjacency via power iteration with deflation.
 /// Stands in for GMAN's node2vec pre-trained embeddings.

@@ -54,12 +54,12 @@ StBackbone::StBackbone(const ModelContext& context, SpatialKind spatial,
     case SpatialKind::kNone:
       break;
     case SpatialKind::kChebyshev:
-      supports_ = graph::ChebyshevBasis(
-          graph::ScaledLaplacian(context.adjacency), kChebOrder);
+      supports_ = MakeSupports(graph::ChebyshevBasis(
+          graph::ScaledLaplacian(context.adjacency), kChebOrder));
       terms = kChebOrder;
       break;
     case SpatialKind::kDiffusion:
-      supports_ = DiffusionSupports(context.adjacency, 2);
+      supports_ = MakeSupports(DiffusionSupports(context.adjacency, 2));
       terms = 1 + static_cast<int64_t>(supports_.size());
       break;
     case SpatialKind::kAdaptive:
@@ -114,13 +114,13 @@ Tensor StBackbone::SpatialMix(const Tensor& features) const {
   if (spatial_ == SpatialKind::kNone) return features;
   std::vector<Tensor> terms;
   if (spatial_ == SpatialKind::kChebyshev) {
-    for (const Tensor& support : supports_) {
-      terms.push_back(MatMul(support, features));
+    for (const GraphSupport& support : supports_) {
+      terms.push_back(support.Apply(features));
     }
   } else if (spatial_ == SpatialKind::kDiffusion) {
     terms.push_back(features);
-    for (const Tensor& support : supports_) {
-      terms.push_back(MatMul(support, features));
+    for (const GraphSupport& support : supports_) {
+      terms.push_back(support.Apply(features));
     }
   } else {  // kAdaptive
     Tensor adaptive = MatMul(e1_, e2_.Transpose(0, 1)).Relu().Softmax(-1);

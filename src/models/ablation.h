@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -49,7 +50,7 @@ class StBackbone : public TrafficModel {
   SpatialKind spatial_;
   TemporalKind temporal_;
 
-  std::vector<Tensor> supports_;  // chebyshev or diffusion matrices
+  std::vector<GraphSupport> supports_;  // chebyshev or diffusion matrices
   Tensor e1_, e2_;                // adaptive embeddings (kAdaptive)
   std::shared_ptr<nn::Linear> spatial_mix_;
   std::shared_ptr<nn::Linear> input_proj_;

@@ -20,8 +20,8 @@ Astgcn::Astgcn(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  cheb_ = graph::ChebyshevBasis(graph::ScaledLaplacian(context.adjacency),
-                                kChebOrder);
+  cheb_ = MakeSupports(graph::ChebyshevBasis(
+      graph::ScaledLaplacian(context.adjacency), kChebOrder));
 
   auto make_block = [&](int64_t c_in, int64_t c_out, int index) {
     Block block;
@@ -105,7 +105,7 @@ Tensor Astgcn::RunBlock(const Block& block, const Tensor& x) const {
   Tensor mixed;
   for (int k = 0; k < kChebOrder; ++k) {
     // T_k ⊙ S: [N, N] * [B, 1, N, N] (broadcast over batch and time).
-    Tensor support = cheb_[k] * s.Unsqueeze(1);
+    Tensor support = cheb_[k].dense() * s.Unsqueeze(1);
     Tensor term = MatMul(MatMul(support, features), block.cheb_weights[k]);
     mixed = mixed.defined() ? mixed + term : term;
   }

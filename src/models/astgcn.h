@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -47,7 +48,11 @@ class Astgcn : public TrafficModel {
   int64_t num_nodes_;
   int input_len_;
   int output_len_;
-  std::vector<Tensor> cheb_;
+  // Chebyshev basis. ASTGCN scales every T_k elementwise by a per-batch
+  // spatial-attention map before propagating, so the effective support is
+  // a batched dense tensor — GraphSupport::dense() keeps that product on
+  // the blocked GEMM path while still reporting density stats.
+  std::vector<GraphSupport> cheb_;
   std::vector<Block> blocks_;
   std::shared_ptr<nn::Linear> head_hidden_;
   std::shared_ptr<nn::Linear> head_out_;

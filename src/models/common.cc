@@ -1,8 +1,55 @@
 #include "src/models/common.h"
 
+#include <atomic>
+#include <utility>
+
+#include "src/graph/road_network.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
+
+namespace {
+// Stored as an atomic so test guards can flip it around model construction
+// without synchronizing with other threads' reads. Models only read it in
+// their constructors (support conversion is a build-time decision).
+std::atomic<double> g_support_density_threshold{
+    sparse::kDefaultDensityThreshold};
+}  // namespace
+
+double GraphSupportDensityThreshold() {
+  return g_support_density_threshold.load(std::memory_order_relaxed);
+}
+
+void SetGraphSupportDensityThreshold(double threshold) {
+  g_support_density_threshold.store(threshold, std::memory_order_relaxed);
+}
+
+GraphSupport::GraphSupport(Tensor dense) : dense_(std::move(dense)) {
+  TB_CHECK(dense_.defined());
+  TB_CHECK_EQ(dense_.rank(), 2);
+  nnz_ = graph::SupportNnz(dense_);
+  csr_ = sparse::CsrMatrix::FromDenseIfSparse(dense_,
+                                              GraphSupportDensityThreshold());
+}
+
+Tensor GraphSupport::Apply(const Tensor& features) const {
+  TB_CHECK(dense_.defined()) << "applying a default-constructed GraphSupport";
+  if (csr_ != nullptr) return SparseMatMul(csr_, features);
+  return GraphMix(dense_, features);
+}
+
+double GraphSupport::density() const {
+  const int64_t numel = dense_.defined() ? dense_.numel() : 0;
+  return numel > 0 ? static_cast<double>(nnz_) / static_cast<double>(numel)
+                   : 0.0;
+}
+
+std::vector<GraphSupport> MakeSupports(const std::vector<Tensor>& dense) {
+  std::vector<GraphSupport> supports;
+  supports.reserve(dense.size());
+  for (const Tensor& t : dense) supports.emplace_back(t);
+  return supports;
+}
 
 std::vector<float> LastTimeOfDay(const Tensor& x) {
   TB_CHECK_EQ(x.rank(), 4);

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 
 namespace trafficbench::models {
@@ -21,6 +22,61 @@ inline Tensor FromBcnt(const Tensor& x) { return x.Permute({0, 3, 2, 1}); }
 inline Tensor GraphMix(const Tensor& support, const Tensor& features) {
   return MatMul(support, features);
 }
+
+/// Process-wide density threshold for GraphSupport's dense→CSR conversion.
+/// Defaults to sparse::kDefaultDensityThreshold; tests override it (0.0
+/// forces every support dense, 1.0 forces every support sparse) to compare
+/// the two paths on identical models.
+double GraphSupportDensityThreshold();
+void SetGraphSupportDensityThreshold(double threshold);
+
+/// RAII override of the GraphSupport density threshold (test helper).
+class GraphSupportThresholdGuard {
+ public:
+  explicit GraphSupportThresholdGuard(double threshold)
+      : previous_(GraphSupportDensityThreshold()) {
+    SetGraphSupportDensityThreshold(threshold);
+  }
+  ~GraphSupportThresholdGuard() { SetGraphSupportDensityThreshold(previous_); }
+  GraphSupportThresholdGuard(const GraphSupportThresholdGuard&) = delete;
+  GraphSupportThresholdGuard& operator=(const GraphSupportThresholdGuard&) =
+      delete;
+
+ private:
+  double previous_;
+};
+
+/// One graph-propagation support, converted to CSR at model-build time when
+/// sparse enough and kept dense otherwise. Models construct these once per
+/// support matrix and route every propagation through Apply(), which
+/// dispatches to the deterministic SpMM kernels (sparse) or the blocked
+/// GEMM path (dense fallback) — numerically equivalent up to float
+/// reassociation, bit-identical across thread counts on either path.
+class GraphSupport {
+ public:
+  GraphSupport() = default;
+  /// Converts `dense` ([N, N], constant) with the process-wide threshold.
+  explicit GraphSupport(Tensor dense);
+
+  /// support @ features: [..., N, C] -> [..., N, C].
+  Tensor Apply(const Tensor& features) const;
+
+  /// The dense form, always retained — ASTGCN-style per-batch attention
+  /// modulation needs the full matrix even when the CSR form exists.
+  const Tensor& dense() const { return dense_; }
+  bool is_sparse() const { return csr_ != nullptr; }
+  int64_t nnz() const { return nnz_; }
+  /// nnz / numel of the support (reported per dataset by bench_table3).
+  double density() const;
+
+ private:
+  Tensor dense_;
+  sparse::CsrPtr csr_;
+  int64_t nnz_ = 0;
+};
+
+/// Converts a whole support set (diffusion steps, Chebyshev basis, ...).
+std::vector<GraphSupport> MakeSupports(const std::vector<Tensor>& dense);
 
 /// Time-of-day feature of the last input step, per batch element:
 /// x is [B, T, N, 2]; returns flat [B] values.

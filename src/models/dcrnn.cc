@@ -28,7 +28,7 @@ std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_step) {
   return supports;
 }
 
-DiffusionConv::DiffusionConv(std::vector<Tensor> supports,
+DiffusionConv::DiffusionConv(std::vector<GraphSupport> supports,
                              int64_t in_features, int64_t out_features,
                              Rng* rng)
     : supports_(std::move(supports)) {
@@ -42,14 +42,14 @@ Tensor DiffusionConv::Forward(const Tensor& x) const {
   std::vector<Tensor> terms;
   terms.reserve(supports_.size() + 1);
   terms.push_back(x);
-  for (const Tensor& support : supports_) {
-    terms.push_back(MatMul(support, x));
+  for (const GraphSupport& support : supports_) {
+    terms.push_back(support.Apply(x));
   }
   return mix_->Forward(Concat(terms, -1));
 }
 
-DcGruCell::DcGruCell(const std::vector<Tensor>& supports, int64_t input_size,
-                     int64_t hidden_size, Rng* rng)
+DcGruCell::DcGruCell(const std::vector<GraphSupport>& supports,
+                     int64_t input_size, int64_t hidden_size, Rng* rng)
     : hidden_size_(hidden_size) {
   gates_ = RegisterModule(
       "gates", std::make_shared<DiffusionConv>(
@@ -73,8 +73,8 @@ Dcrnn::Dcrnn(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  const std::vector<Tensor> supports =
-      DiffusionSupports(context.adjacency, kDiffusionSteps);
+  const std::vector<GraphSupport> supports =
+      MakeSupports(DiffusionSupports(context.adjacency, kDiffusionSteps));
   encoder_ = RegisterModule(
       "encoder", std::make_shared<DcGruCell>(supports, 2, kHidden, &rng));
   decoder_ = RegisterModule(

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -16,21 +17,21 @@ class DiffusionConv : public nn::Module {
  public:
   /// `supports` are the K-step propagation matrices (already includes both
   /// directions and powers); identity is prepended implicitly.
-  DiffusionConv(std::vector<Tensor> supports, int64_t in_features,
+  DiffusionConv(std::vector<GraphSupport> supports, int64_t in_features,
                 int64_t out_features, Rng* rng);
 
   /// x: [B, N, C_in] -> [B, N, C_out].
   Tensor Forward(const Tensor& x) const;
 
  private:
-  std::vector<Tensor> supports_;
+  std::vector<GraphSupport> supports_;
   std::shared_ptr<nn::Linear> mix_;
 };
 
 /// GRU cell whose dense maps are replaced by diffusion convolutions.
 class DcGruCell : public nn::Module {
  public:
-  DcGruCell(const std::vector<Tensor>& supports, int64_t input_size,
+  DcGruCell(const std::vector<GraphSupport>& supports, int64_t input_size,
             int64_t hidden_size, Rng* rng);
 
   /// x: [B, N, in], h: [B, N, hidden] -> new hidden state.

@@ -38,6 +38,10 @@ Gman::Gman(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
+  // GMAN never multiplies by a support matrix: the adjacency only seeds the
+  // spectral node embeddings, and all spatial mixing is learned attention
+  // over dense softmax maps — exactly the case the sparse engine's density
+  // threshold exists to keep on the blocked GEMM path.
   spatial_base_ = graph::SpectralNodeEmbedding(context.adjacency, kGeoDim);
   se_proj_ = RegisterModule("se_proj",
                             std::make_shared<nn::Linear>(kGeoDim, kDim, &rng));

@@ -20,7 +20,7 @@ GraphWaveNet::GraphWaveNet(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  supports_ = DiffusionSupports(context.adjacency, kDiffusionSteps);
+  supports_ = MakeSupports(DiffusionSupports(context.adjacency, kDiffusionSteps));
 
   e1_ = RegisterParameter(
       "e1", Tensor::Randn(Shape({num_nodes_, kEmbeddingDim}), &rng, 0.3f));
@@ -66,8 +66,8 @@ Tensor GraphWaveNet::Gcn(const Tensor& x, int layer) const {
   std::vector<Tensor> terms;
   terms.reserve(2 + supports_.size());
   terms.push_back(x);
-  for (const Tensor& support : supports_) {
-    terms.push_back(MatMul(support, x));
+  for (const GraphSupport& support : supports_) {
+    terms.push_back(support.Apply(x));
   }
   terms.push_back(MatMul(adaptive, x));
   return layers_[layer].gcn_mix->Forward(Concat(terms, 1));

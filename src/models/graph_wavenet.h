@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -31,8 +32,11 @@ class GraphWaveNet : public TrafficModel {
   int input_len_;
   int output_len_;
 
-  std::vector<Tensor> supports_;  // P_fwd, P_bwd (fixed)
-  Tensor e1_, e2_;                // adaptive-adjacency node embeddings
+  // P_fwd, P_bwd (fixed, CSR when sparse enough). The adaptive adjacency
+  // is recomputed from e1_/e2_ every call and is inherently dense (softmax
+  // output), so it always rides the blocked GEMM path.
+  std::vector<GraphSupport> supports_;
+  Tensor e1_, e2_;  // adaptive-adjacency node embeddings
 
   std::shared_ptr<nn::Conv2dLayer> input_conv_;
   struct Layer {

@@ -1,6 +1,7 @@
 #include "src/models/st_metanet.h"
 
 #include "src/graph/road_network.h"
+#include "src/tensor/sparse.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
@@ -25,12 +26,16 @@ StMetaNet::StMetaNet(const ModelContext& context)
   meta_knowledge_ = geo;  // constant input to the meta-learners
 
   // Edge mask: additive bias 0 on (directed) edges + self, -1e9 elsewhere.
+  // Built from the CSR sparsity structure — the mask only depends on which
+  // entries are present, so scattering nnz positions beats scanning N^2.
   {
     const int64_t n = num_nodes_;
-    const float* adj = context.adjacency.data();
-    std::vector<float> bias(n * n);
-    for (int64_t i = 0; i < n * n; ++i) {
-      bias[i] = adj[i] > 0.0f ? 0.0f : -1e9f;
+    sparse::CsrPtr adj = sparse::CsrMatrix::FromDense(context.adjacency);
+    std::vector<float> bias(n * n, -1e9f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t k = adj->row_ptr()[i]; k < adj->row_ptr()[i + 1]; ++k) {
+        if (adj->values()[k] > 0.0f) bias[i * n + adj->col_idx()[k]] = 0.0f;
+      }
     }
     adjacency_bias_ = Tensor::FromVector(Shape({n, n}), std::move(bias));
   }

@@ -19,10 +19,11 @@ Stg2Seq::Stg2Seq(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  support_ = graph::SymmetricNormalizedAdjacency(context.adjacency);
+  Tensor sym = graph::SymmetricNormalizedAdjacency(context.adjacency);
+  support_ = GraphSupport(sym);
   {
     NoGradGuard no_grad;
-    support2_ = MatMul(support_, support_).Detach();
+    support2_ = GraphSupport(MatMul(sym, sym).Detach());
   }
 
   auto make_stack = [&](const char* prefix, int layers,
@@ -54,8 +55,8 @@ Stg2Seq::Stg2Seq(const ModelContext& context)
 }
 
 Tensor Stg2Seq::RunGgcm(const Ggcm& ggcm, const Tensor& h) const {
-  Tensor hop1 = MatMul(support_, h);
-  Tensor hop2 = MatMul(support2_, h);
+  Tensor hop1 = support_.Apply(h);
+  Tensor hop2 = support2_.Apply(h);
   Tensor mixed = ggcm.mix->Forward(Concat({hop1, hop2}, -1));  // [..., 2D]
   const int64_t d_out = mixed.dim(-1) / 2;
   Tensor value = mixed.Slice(-1, 0, d_out);

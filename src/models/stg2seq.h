@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -35,8 +36,8 @@ class Stg2Seq : public TrafficModel {
   int64_t num_nodes_;
   int input_len_;
   int output_len_;
-  Tensor support_;   // A_sym
-  Tensor support2_;  // A_sym^2
+  GraphSupport support_;   // A_sym
+  GraphSupport support2_;  // A_sym^2 (denser; may fall back to GEMM)
 
   std::vector<Ggcm> long_encoder_;
   std::vector<Ggcm> short_encoder_;

@@ -23,8 +23,8 @@ Stgcn::Stgcn(const ModelContext& context)
       << "input too short for two ST-Conv blocks";
   Rng rng(context.seed);
 
-  cheb_ = graph::ChebyshevBasis(graph::ScaledLaplacian(context.adjacency),
-                                kChebOrder);
+  cheb_ = MakeSupports(graph::ChebyshevBasis(
+      graph::ScaledLaplacian(context.adjacency), kChebOrder));
 
   auto make_cheb_weights = [&](const char* prefix, int64_t c_in,
                                int64_t c_out, std::vector<Tensor>* weights,
@@ -67,7 +67,7 @@ Tensor Stgcn::ChebConv(const Tensor& x, const std::vector<Tensor>& weights,
   Tensor features = FromBcnt(x);
   Tensor out;
   for (int k = 0; k < kChebOrder; ++k) {
-    Tensor mixed = MatMul(MatMul(cheb_[k], features), weights[k]);
+    Tensor mixed = MatMul(cheb_[k].Apply(features), weights[k]);
     out = out.defined() ? out + mixed : mixed;
   }
   out = (out + bias).Relu();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -38,7 +39,9 @@ class Stgcn : public TrafficModel {
   int64_t num_nodes_;
   int input_len_;
   int output_len_;
-  std::vector<Tensor> cheb_;  // T_0..T_{K-1} of the scaled Laplacian
+  // T_0..T_{K-1} of the scaled Laplacian; T_0 (identity) and sparse
+  // Laplacians run as CSR SpMM, dense ones fall back to blocked GEMM.
+  std::vector<GraphSupport> cheb_;
 
   // Block 1.
   std::shared_ptr<nn::Conv2dLayer> t1a_;  // 2 -> 2*c1 (GLU)

@@ -42,8 +42,8 @@ Stsgcn::Stsgcn(const ModelContext& context)
         local[(b + i) * stride + a + i] = 0.8f;  // backward temporal edge
       }
     }
-    local_adjacency_ =
-        Tensor::FromVector(Shape({stride, stride}), std::move(local));
+    local_adjacency_ = GraphSupport(
+        Tensor::FromVector(Shape({stride, stride}), std::move(local)));
   }
 
   input_embed_ = RegisterModule(
@@ -79,13 +79,13 @@ Stsgcn::Stsgcn(const ModelContext& context)
 
 Tensor Stsgcn::RunModule(const SyncModule& module, const Tensor& window) const {
   // GLU graph conv 1.
-  Tensor h = MatMul(local_adjacency_, window);
+  Tensor h = local_adjacency_.Apply(window);
   Tensor mixed = module.conv1->Forward(h);
   Tensor value = mixed.Slice(-1, 0, kDim);
   Tensor gate = mixed.Slice(-1, kDim, 2 * kDim);
   h = value * gate.Sigmoid() + window;  // residual
   // GLU graph conv 2.
-  Tensor h2 = MatMul(local_adjacency_, h);
+  Tensor h2 = local_adjacency_.Apply(h);
   mixed = module.conv2->Forward(h2);
   value = mixed.Slice(-1, 0, kDim);
   gate = mixed.Slice(-1, kDim, 2 * kDim);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/models/common.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/layers.h"
 
@@ -36,7 +37,9 @@ class Stsgcn : public TrafficModel {
   int64_t num_nodes_;
   int input_len_;
   int output_len_;
-  Tensor local_adjacency_;  // [3N, 3N]
+  // [3N, 3N]; mostly zeros (3 spatial blocks + temporal self-edge
+  // diagonals out of 9 blocks), so it typically converts to CSR.
+  GraphSupport local_adjacency_;
 
   std::shared_ptr<nn::Linear> input_embed_;    // 2 -> D
   std::vector<SyncModule> layer1_;             // T-2 individual modules

@@ -235,6 +235,40 @@ __attribute__((target("avx2,fma"))) void BlockedTNAvx2(
 }
 #endif  // TB_KERNELS_X86
 
+// SpMM row-range body. The inner axpy over the feature axis is contiguous
+// and branch-free, so both compilations vectorize it; the AVX2+FMA clone is
+// selected by the same process-wide decision as the GEMM kernels (one
+// choice for every thread → thread-count bit-identity holds). Accumulation
+// per y element is "ascending column within the row", fixed by the
+// sparsity pattern alone.
+void SpmmRowsDefault(const int64_t* row_ptr, const int32_t* col_idx,
+                     const float* values, const float* x, float* y,
+                     int64_t row_begin, int64_t row_end, int64_t f) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* yi = y + i * f;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = values[k];
+      const float* xc = x + static_cast<int64_t>(col_idx[k]) * f;
+      for (int64_t j = 0; j < f; ++j) yi[j] += v * xc[j];
+    }
+  }
+}
+
+#if TB_KERNELS_X86
+__attribute__((target("avx2,fma"))) void SpmmRowsAvx2(
+    const int64_t* row_ptr, const int32_t* col_idx, const float* values,
+    const float* x, float* y, int64_t row_begin, int64_t row_end, int64_t f) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* yi = y + i * f;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = values[k];
+      const float* xc = x + static_cast<int64_t>(col_idx[k]) * f;
+      for (int64_t j = 0; j < f; ++j) yi[j] += v * xc[j];
+    }
+  }
+}
+#endif  // TB_KERNELS_X86
+
 bool DetectAvx2Fma() {
 #if TB_KERNELS_X86
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -335,6 +369,38 @@ void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
       }
     }
   });
+}
+
+// ---- Sparse drivers ---------------------------------------------------------
+
+void SpmmAccRows(const int64_t* row_ptr, const int32_t* col_idx,
+                 const float* values, const float* x, float* y,
+                 int64_t row_begin, int64_t row_end, int64_t f) {
+#if TB_KERNELS_X86
+  if (g_gemm_avx2) {
+    SpmmRowsAvx2(row_ptr, col_idx, values, x, y, row_begin, row_end, f);
+    return;
+  }
+#endif
+  SpmmRowsDefault(row_ptr, col_idx, values, x, y, row_begin, row_end, f);
+}
+
+void SpmmBatched(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                 const int32_t* col_idx, const float* values, const float* x,
+                 float* y, int64_t num_batches, int64_t rows, int64_t cols,
+                 int64_t f) {
+  const int64_t row_chunks = (rows + kSpmmRowChunk - 1) / kSpmmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kSpmmRowChunk;
+          const int64_t row_end = std::min(rows, row_begin + kSpmmRowChunk);
+          SpmmAccRows(row_ptr, col_idx, values, x + batch * cols * f,
+                      y + batch * rows * f, row_begin, row_end, f);
+        }
+      });
 }
 
 }  // namespace trafficbench::kernels

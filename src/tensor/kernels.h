@@ -95,6 +95,28 @@ void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
                    const int64_t* db_offsets, int64_t num_batches, int64_t m,
                    int64_t k, int64_t n);
 
+/// Sparse-support row chunk. Smaller than a dense GEMM chunk would need:
+/// one SpMM row touches only nnz-per-row feature rows, so chunks are cheap
+/// and a finer grain keeps all workers busy at METR-LA-scale row counts.
+inline constexpr int64_t kSpmmRowChunk = 16;
+
+/// Row-range SpMM primitive: y[i, :] += sum_k values[k] * x[col_idx[k], :]
+/// for rows i in [row_begin, row_end), k in [row_ptr[i], row_ptr[i+1]).
+/// Column indices must be ascending within each row (CsrMatrix guarantees
+/// this), making every y element's accumulation chain a pure function of
+/// the sparsity pattern — the same contract as the dense kernels above.
+void SpmmAccRows(const int64_t* row_ptr, const int32_t* col_idx,
+                 const float* values, const float* x, float* y,
+                 int64_t row_begin, int64_t row_end, int64_t f);
+
+/// Batched y[batch] += A * x[batch] with one shared CSR support: x strides
+/// by cols * f, y by rows * f. Output blocks are disjoint per batch, so
+/// work is chunked over (batch, row-chunk) pairs like GemmBatchedNN.
+void SpmmBatched(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                 const int32_t* col_idx, const float* values, const float* x,
+                 float* y, int64_t num_batches, int64_t rows, int64_t cols,
+                 int64_t f);
+
 /// Elementwise map out[i] = fn(i) for i in [0, n). Disjoint writes.
 template <typename Fn>
 void ParallelMap(exec::ExecutionContext& ctx, int64_t n, Fn fn) {

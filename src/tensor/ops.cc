@@ -12,6 +12,7 @@
 #include "src/exec/execution_context.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/op_common.h"
+#include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/util/check.h"
 
@@ -757,6 +758,50 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                  bi->grad.data(), a_offsets.data(),
                                  b_offsets.data(), num_batches, m, k, n);
         }
+      });
+}
+
+// ---- SparseMatMul -------------------------------------------------------------------------
+
+Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features) {
+  TB_CHECK(support != nullptr);
+  TB_CHECK(features.defined());
+  TB_CHECK_GE(features.rank(), 2);
+  const int64_t rows = support->rows();
+  const int64_t cols = support->cols();
+  const int64_t f = features.dim(-1);
+  TB_CHECK_EQ(features.dim(-2), cols)
+      << "sparse matmul inner dims: [" << rows << ", " << cols << "] x "
+      << features.shape().ToString();
+  std::vector<int64_t> out_dims = features.shape().dims();
+  out_dims[out_dims.size() - 2] = rows;
+  Shape out_shape(std::move(out_dims));
+  const int64_t num_batches = features.numel() / (cols * f);
+  const double flops =
+      2.0 * static_cast<double>(support->nnz() * f) * num_batches;
+
+  std::vector<float> out = AcquireZeroedBuffer(out_shape.numel());
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kSpMM, flops);
+    kernels::SpmmBatched(Ctx(), support->row_ptr().data(),
+                         support->col_idx().data(), support->values().data(),
+                         features.data(), out.data(), num_batches, rows, cols,
+                         f);
+  }
+
+  ImplPtr xi = features.impl();
+  return MakeOp(
+      out_shape, std::move(out), {features},
+      [xi, support, num_batches, rows, cols, f, flops](TensorImpl& node) {
+        if (!xi->requires_grad) return;
+        exec::ScopedOpTimer timer(exec::OpKind::kSpMMBackward, flops);
+        xi->EnsureGrad();
+        // dX = A^T * dY via the transpose CSR; same row-parallel kernel
+        // with the roles of rows/cols swapped.
+        kernels::SpmmBatched(Ctx(), support->t_row_ptr().data(),
+                             support->t_col_idx().data(),
+                             support->t_values().data(), node.grad.data(),
+                             xi->grad.data(), num_batches, cols, rows, f);
       });
 }
 

@@ -1,0 +1,93 @@
+#include "src/tensor/sparse.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace trafficbench::sparse {
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::FromDense(const Tensor& dense) {
+  TB_CHECK(dense.defined());
+  TB_CHECK_EQ(dense.rank(), 2);
+  const int64_t rows = dense.dim(0);
+  const int64_t cols = dense.dim(1);
+  const float* d = dense.data();
+
+  auto csr = std::shared_ptr<CsrMatrix>(new CsrMatrix());
+  csr->rows_ = rows;
+  csr->cols_ = cols;
+  csr->row_ptr_.assign(rows + 1, 0);
+
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < rows * cols; ++i) nnz += d[i] != 0.0f;
+  csr->col_idx_.reserve(nnz);
+  csr->values_.reserve(nnz);
+
+  // Row-major scan: columns come out strictly ascending within each row,
+  // which the SpMM determinism contract relies on.
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const float v = d[i * cols + j];
+      if (v != 0.0f) {
+        csr->col_idx_.push_back(static_cast<int32_t>(j));
+        csr->values_.push_back(v);
+      }
+    }
+    csr->row_ptr_[i + 1] = static_cast<int64_t>(csr->values_.size());
+  }
+
+  // Transpose CSR by counting sort over the forward arrays. Scattering the
+  // forward entries in order makes the transpose's column indices (original
+  // row indices) ascending within each transpose row automatically.
+  csr->t_row_ptr_.assign(cols + 1, 0);
+  csr->t_col_idx_.resize(nnz);
+  csr->t_values_.resize(nnz);
+  for (int32_t j : csr->col_idx_) ++csr->t_row_ptr_[j + 1];
+  for (int64_t j = 0; j < cols; ++j) {
+    csr->t_row_ptr_[j + 1] += csr->t_row_ptr_[j];
+  }
+  std::vector<int64_t> cursor(csr->t_row_ptr_.begin(),
+                              csr->t_row_ptr_.end() - 1);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t k = csr->row_ptr_[i]; k < csr->row_ptr_[i + 1]; ++k) {
+      const int32_t j = csr->col_idx_[k];
+      const int64_t slot = cursor[j]++;
+      csr->t_col_idx_[slot] = static_cast<int32_t>(i);
+      csr->t_values_[slot] = csr->values_[k];
+    }
+  }
+  return csr;
+}
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::FromDenseIfSparse(
+    const Tensor& dense, double max_density) {
+  TB_CHECK(dense.defined());
+  TB_CHECK_EQ(dense.rank(), 2);
+  const int64_t numel = dense.numel();
+  const float* d = dense.data();
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < numel; ++i) nnz += d[i] != 0.0f;
+  if (numel > 0 &&
+      static_cast<double>(nnz) / static_cast<double>(numel) > max_density) {
+    return nullptr;
+  }
+  return FromDense(dense);
+}
+
+double CsrMatrix::density() const {
+  const int64_t numel = rows_ * cols_;
+  return numel > 0 ? static_cast<double>(nnz()) / static_cast<double>(numel)
+                   : 0.0;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  std::vector<float> out(rows_ * cols_, 0.0f);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out[i * cols_ + col_idx_[k]] = values_[k];
+    }
+  }
+  return Tensor::FromVector(Shape({rows_, cols_}), std::move(out));
+}
+
+}  // namespace trafficbench::sparse

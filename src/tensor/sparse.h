@@ -1,0 +1,105 @@
+#ifndef TRAFFICBENCH_TENSOR_SPARSE_H_
+#define TRAFFICBENCH_TENSOR_SPARSE_H_
+
+// Compressed-sparse-row support matrices for graph propagation.
+//
+// Road-network supports (thresholded Gaussian adjacencies and the
+// random-walk / Chebyshev operators derived from them) are mostly zeros on
+// real sensor networks — METR-LA's released 207-node adjacency keeps ~4% of
+// entries, PeMS-BAY's 325-node one ~2.5% — so the N x N side of every graph
+// convolution can skip the zero columns entirely. A CsrMatrix is an
+// immutable snapshot of one such support: it is built once at model-build
+// time (supports are constants, never trained) and consumed by the
+// SparseMatMul op below.
+//
+// The matrix stores BOTH the forward CSR arrays and the CSR of its
+// transpose. The forward arrays drive the SpMM forward pass
+// (y = A * x); the transpose arrays drive the backward pass
+// (dx = A^T * dy) with the exact same row-parallel kernel. Both are built
+// eagerly at construction (a counting sort over the forward arrays), which
+// keeps the type immutable and lock-free to share across threads.
+//
+// Determinism: column indices are strictly ascending within every row of
+// both directions, so each output element's accumulation chain is a pure
+// function of the sparsity pattern — see kernels.h for the contract that
+// makes SpMM bit-identical at any thread count.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::sparse {
+
+/// Supports denser than this stay on the blocked dense GEMM path: with a
+/// register-tiled AVX2 GEMM on the other side, indirect column gathers only
+/// pay off when most of the inner dimension can be skipped. The synthetic
+/// corridor adjacencies (all-pairs Gaussian kernel, ~58% dense) fall back;
+/// identity-like Chebyshev T0 terms, windowed STSGCN block adjacencies and
+/// real-data-scale supports convert.
+inline constexpr double kDefaultDensityThreshold = 0.25;
+
+/// Immutable CSR matrix (forward + transpose index arrays). Create through
+/// the factories and share as CsrPtr; the SparseMatMul autograd op and the
+/// SpMM kernels read it concurrently without synchronization.
+class CsrMatrix {
+ public:
+  /// Converts a dense [rows, cols] tensor, keeping every nonzero entry.
+  static std::shared_ptr<const CsrMatrix> FromDense(const Tensor& dense);
+
+  /// Like FromDense, but returns null when nnz/numel exceeds `max_density`
+  /// — the caller keeps such supports on the dense GEMM path.
+  static std::shared_ptr<const CsrMatrix> FromDenseIfSparse(
+      const Tensor& dense, double max_density = kDefaultDensityThreshold);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  /// nnz / (rows * cols).
+  double density() const;
+
+  /// Materializes the matrix back to a dense [rows, cols] tensor.
+  Tensor ToDense() const;
+
+  /// Forward CSR arrays: row_ptr has rows()+1 entries; col_idx/values hold
+  /// nnz() entries with strictly ascending columns within each row.
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// CSR arrays of the transpose ([cols, rows]); same ordering guarantees.
+  const std::vector<int64_t>& t_row_ptr() const { return t_row_ptr_; }
+  const std::vector<int32_t>& t_col_idx() const { return t_col_idx_; }
+  const std::vector<float>& t_values() const { return t_values_; }
+
+ private:
+  CsrMatrix() = default;
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+  std::vector<int64_t> t_row_ptr_;
+  std::vector<int32_t> t_col_idx_;
+  std::vector<float> t_values_;
+};
+
+using CsrPtr = std::shared_ptr<const CsrMatrix>;
+
+}  // namespace trafficbench::sparse
+
+namespace trafficbench {
+
+/// Sparse graph propagation: support [R, C] applied to features
+/// [..., C, F] -> [..., R, F] (leading axes are batch; the support is
+/// shared across batches). Differentiable w.r.t. `features` only — support
+/// matrices are constants, so no gradient flows into the CSR values.
+/// FLOPs are profiled as 2 * nnz * F per batch (OpKind::kSpMM), the true
+/// cost, not the dense 2 * R * C * F.
+Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_SPARSE_H_

@@ -1,0 +1,356 @@
+// Property tests for the sparse graph-convolution engine: CSR conversion
+// round-trips, SpMM-vs-dense GraphMix equality over random sparse supports
+// (including empty rows, all-zero matrices and N=1), bit-identity across
+// thread counts, gradcheck on SparseMatMul, and sparse-vs-dense forward
+// parity of the DCRNN / Graph-WaveNet models.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/execution_context.h"
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/models/traffic_model.h"
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using exec::ExecOptions;
+using exec::ExecutionContext;
+using models::GraphSupport;
+using models::GraphSupportThresholdGuard;
+using sparse::CsrMatrix;
+using sparse::CsrPtr;
+
+/// Dense [rows, cols] matrix with ~`density` of entries nonzero.
+Tensor RandomSparseDense(int64_t rows, int64_t cols, double density,
+                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(rows * cols, 0.0f);
+  for (float& x : data) {
+    if (rng.Uniform(0.0, 1.0) < density) {
+      x = static_cast<float>(rng.Normal());
+    }
+  }
+  return Tensor::FromVector(Shape({rows, cols}), std::move(data));
+}
+
+/// Sparse and dense paths differ by float reassociation only; the bound
+/// scales with the accumulation depth (columns of the support).
+void ExpectClose(const Tensor& got, const Tensor& ref, int64_t depth) {
+  ASSERT_EQ(got.shape().dims(), ref.shape().dims());
+  const float tol = 1e-6f * static_cast<float>(depth + 8);
+  const float* g = got.data();
+  const float* r = ref.data();
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(r[i]));
+    ASSERT_NEAR(g[i], r[i], tol * scale) << "at flat index " << i;
+  }
+}
+
+// ---- CSR conversion ---------------------------------------------------------
+
+TEST(SparseCsr, RoundTripPreservesDenseExactly) {
+  for (double density : {0.02, 0.1, 0.5, 1.0}) {
+    Tensor dense = RandomSparseDense(17, 23, density,
+                                     100 + static_cast<uint64_t>(density * 100));
+    CsrPtr csr = CsrMatrix::FromDense(dense);
+    Tensor back = csr->ToDense();
+    const float* a = dense.data();
+    const float* b = back.data();
+    for (int64_t i = 0; i < dense.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "at flat index " << i;
+    }
+    EXPECT_EQ(csr->nnz(), graph::SupportNnz(dense));
+    EXPECT_DOUBLE_EQ(csr->density(), graph::SupportDensity(dense));
+  }
+}
+
+TEST(SparseCsr, ColumnsAscendWithinEveryRowBothDirections) {
+  Tensor dense = RandomSparseDense(31, 19, 0.2, 7);
+  CsrPtr csr = CsrMatrix::FromDense(dense);
+  for (int64_t i = 0; i < csr->rows(); ++i) {
+    for (int64_t k = csr->row_ptr()[i] + 1; k < csr->row_ptr()[i + 1]; ++k) {
+      EXPECT_LT(csr->col_idx()[k - 1], csr->col_idx()[k]) << "row " << i;
+    }
+  }
+  for (int64_t j = 0; j < csr->cols(); ++j) {
+    for (int64_t k = csr->t_row_ptr()[j] + 1; k < csr->t_row_ptr()[j + 1];
+         ++k) {
+      EXPECT_LT(csr->t_col_idx()[k - 1], csr->t_col_idx()[k])
+          << "transpose row " << j;
+    }
+  }
+}
+
+TEST(SparseCsr, TransposeArraysMatchTransposedDense) {
+  Tensor dense = RandomSparseDense(13, 29, 0.15, 11);
+  CsrPtr csr = CsrMatrix::FromDense(dense);
+  CsrPtr transposed =
+      CsrMatrix::FromDense(dense.Transpose(0, 1).Detach());
+  ASSERT_EQ(csr->t_row_ptr(), transposed->row_ptr());
+  ASSERT_EQ(csr->t_col_idx(), transposed->col_idx());
+  ASSERT_EQ(csr->t_values(), transposed->values());
+}
+
+TEST(SparseCsr, HandlesEmptyRowsAndAllZeroMatrix) {
+  // Rows 1 and 3 empty; column 0 empty.
+  Tensor dense = Tensor::FromVector(
+      Shape({4, 3}), {0.0f, 2.0f, 0.0f,  //
+                      0.0f, 0.0f, 0.0f,  //
+                      0.0f, 1.0f, 3.0f,  //
+                      0.0f, 0.0f, 0.0f});
+  CsrPtr csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr->nnz(), 3);
+  EXPECT_EQ(csr->row_ptr()[1], csr->row_ptr()[2]);  // row 1 empty
+  EXPECT_EQ(csr->t_row_ptr()[0], 0);
+  EXPECT_EQ(csr->t_row_ptr()[1], 0);  // transpose row 0 (column 0) empty
+
+  Tensor zeros = Tensor::Zeros(Shape({5, 5}));
+  CsrPtr zcsr = CsrMatrix::FromDense(zeros);
+  EXPECT_EQ(zcsr->nnz(), 0);
+  EXPECT_DOUBLE_EQ(zcsr->density(), 0.0);
+  Tensor x = RandomSparseDense(5, 4, 1.0, 21);
+  Tensor y = SparseMatMul(zcsr, x);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y.data()[i], 0.0f);
+}
+
+TEST(SparseCsr, SingleElementMatrix) {
+  Tensor one = Tensor::FromVector(Shape({1, 1}), {2.5f});
+  CsrPtr csr = CsrMatrix::FromDense(one);
+  EXPECT_EQ(csr->nnz(), 1);
+  EXPECT_DOUBLE_EQ(csr->density(), 1.0);
+  Tensor x = Tensor::FromVector(Shape({1, 3}), {1.0f, -2.0f, 4.0f});
+  Tensor y = SparseMatMul(csr, x);
+  EXPECT_EQ(y.data()[0], 2.5f);
+  EXPECT_EQ(y.data()[1], -5.0f);
+  EXPECT_EQ(y.data()[2], 10.0f);
+}
+
+TEST(SparseCsr, DensityThresholdGatesConversion) {
+  Tensor sparse_m = RandomSparseDense(20, 20, 0.05, 31);
+  Tensor dense_m = RandomSparseDense(20, 20, 0.9, 32);
+  EXPECT_NE(CsrMatrix::FromDenseIfSparse(sparse_m), nullptr);
+  EXPECT_EQ(CsrMatrix::FromDenseIfSparse(dense_m), nullptr);
+  // The unconditional factory converts anything.
+  EXPECT_NE(CsrMatrix::FromDense(dense_m), nullptr);
+}
+
+// ---- SpMM vs dense GraphMix -------------------------------------------------
+
+TEST(SpmmProperty, MatchesDenseGraphMixOverRandomSupports) {
+  const int64_t sizes[] = {1, 2, 5, 16, 17, 33};
+  const double densities[] = {0.05, 0.3, 1.0};
+  for (int64_t n : sizes) {
+    for (double density : densities) {
+      Tensor support = RandomSparseDense(
+          n, n, density, 500 + static_cast<uint64_t>(n * 7 + density * 10));
+      CsrPtr csr = CsrMatrix::FromDense(support);
+      // Batched features [2, n, 6] exercise the shared-support batching.
+      Rng rng(600 + static_cast<uint64_t>(n));
+      Tensor features = Tensor::Rand(Shape({2, n, 6}), &rng, -1.5f, 1.5f);
+      Tensor got = SparseMatMul(csr, features);
+      Tensor ref = models::GraphMix(support, features);
+      ExpectClose(got, ref, n);
+    }
+  }
+}
+
+TEST(SpmmProperty, BackwardMatchesDenseGradient) {
+  Tensor support = RandomSparseDense(9, 11, 0.25, 41);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  Rng rng(42);
+  Tensor x_sparse =
+      Tensor::Rand(Shape({3, 11, 5}), &rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor x_dense = Tensor::FromVector(x_sparse.shape(),
+                                      std::vector<float>(
+                                          x_sparse.data(),
+                                          x_sparse.data() + x_sparse.numel()))
+                       .set_requires_grad(true);
+  SparseMatMul(csr, x_sparse).SumAll().Backward();
+  models::GraphMix(support, x_dense).SumAll().Backward();
+  Tensor gs = Tensor::FromVector(x_sparse.shape(), x_sparse.grad());
+  Tensor gd = Tensor::FromVector(x_dense.shape(), x_dense.grad());
+  ExpectClose(gs, gd, 9);
+}
+
+TEST(SpmmProperty, ForwardAndBackwardBitIdenticalAcrossThreadCounts) {
+  Tensor support = RandomSparseDense(37, 37, 0.1, 51);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  std::vector<float> baseline_y;
+  std::vector<float> baseline_g;
+  for (int threads : {1, 2, 4}) {
+    ExecutionContext context(ExecOptions{.threads = threads});
+    ExecutionContext::Bind bind(&context);
+    Rng rng(52);
+    Tensor x = Tensor::Rand(Shape({4, 37, 8}), &rng, -1.0f, 1.0f)
+                   .set_requires_grad(true);
+    Tensor y = SparseMatMul(csr, x);
+    y.SumAll().Backward();
+    std::vector<float> yv(y.data(), y.data() + y.numel());
+    std::vector<float> gv = x.grad();
+    if (threads == 1) {
+      baseline_y = std::move(yv);
+      baseline_g = std::move(gv);
+    } else {
+      EXPECT_EQ(baseline_y, yv) << "forward differs at threads=" << threads;
+      EXPECT_EQ(baseline_g, gv) << "backward differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(SpmmProperty, GradcheckSparseMatMul) {
+  Tensor support = RandomSparseDense(6, 7, 0.3, 61);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  Rng rng(62);
+  std::vector<Tensor> inputs = {
+      Tensor::Rand(Shape({2, 7, 3}), &rng, -1.5f, 1.5f)
+          .set_requires_grad(true)};
+  GradCheckResult result = CheckGradients(
+      [&csr](const std::vector<Tensor>& in) {
+        return SparseMatMul(csr, in[0]).SumAll();
+      },
+      inputs);
+  EXPECT_TRUE(result.passed) << result.detail << " (max abs err "
+                             << result.max_abs_error << ")";
+}
+
+TEST(SpmmProperty, ProfilerCountsSparseNotDenseFlops) {
+  ExecutionContext context(ExecOptions{.threads = 1, .profile = true});
+  ExecutionContext::Bind bind(&context);
+  Tensor support = RandomSparseDense(50, 50, 0.1, 71);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  Rng rng(72);
+  Tensor x = Tensor::Rand(Shape({3, 50, 4}), &rng, -1.0f, 1.0f)
+                 .set_requires_grad(true);
+  Tensor y = SparseMatMul(csr, x);
+  y.SumAll().Backward();
+  const exec::OpStats fwd = context.profiler().stats(exec::OpKind::kSpMM);
+  const exec::OpStats bwd =
+      context.profiler().stats(exec::OpKind::kSpMMBackward);
+  EXPECT_EQ(fwd.calls, 1);
+  EXPECT_EQ(bwd.calls, 1);
+  const double expected = 2.0 * static_cast<double>(csr->nnz()) * 4 * 3;
+  EXPECT_DOUBLE_EQ(fwd.flops, expected);
+  EXPECT_DOUBLE_EQ(bwd.flops, expected);
+  EXPECT_LT(expected, 2.0 * 50 * 50 * 4 * 3);  // strictly below dense cost
+}
+
+// ---- GraphSupport dispatch --------------------------------------------------
+
+TEST(SparseGraphSupport, DispatchesByDensityThreshold) {
+  Tensor sparse_m = RandomSparseDense(20, 20, 0.05, 81);
+  Tensor dense_m = RandomSparseDense(20, 20, 0.9, 82);
+  GraphSupport s(sparse_m);
+  GraphSupport d(dense_m);
+  EXPECT_TRUE(s.is_sparse());
+  EXPECT_FALSE(d.is_sparse());
+  EXPECT_EQ(s.nnz(), graph::SupportNnz(sparse_m));
+  EXPECT_NEAR(d.density(), graph::SupportDensity(dense_m), 1e-12);
+  // Both paths agree regardless of dispatch.
+  Rng rng(83);
+  Tensor x = Tensor::Rand(Shape({2, 20, 5}), &rng, -1.0f, 1.0f);
+  ExpectClose(s.Apply(x), models::GraphMix(sparse_m, x), 20);
+  ExpectClose(d.Apply(x), models::GraphMix(dense_m, x), 20);
+}
+
+TEST(SparseGraphSupport, ThresholdGuardForcesEitherPath) {
+  Tensor m = RandomSparseDense(12, 12, 0.4, 91);
+  {
+    GraphSupportThresholdGuard force_dense(0.0);
+    EXPECT_FALSE(GraphSupport(m).is_sparse());
+  }
+  {
+    GraphSupportThresholdGuard force_sparse(1.0);
+    EXPECT_TRUE(GraphSupport(m).is_sparse());
+  }
+  EXPECT_DOUBLE_EQ(models::GraphSupportDensityThreshold(),
+                   sparse::kDefaultDensityThreshold);
+}
+
+// ---- Model-level parity -----------------------------------------------------
+
+/// A genuinely sparse adjacency (binary corridor graph) so DCRNN's and
+/// Graph-WaveNet's diffusion supports convert to CSR — the synthetic
+/// all-pairs Gaussian adjacency is too dense to exercise the sparse path.
+models::ModelContext SparseModelContext() {
+  models::ModelContext context;
+  context.num_nodes = 16;
+  context.seed = 5;
+  Rng rng(2021);
+  graph::RoadNetwork network = graph::RoadNetwork::Generate(
+      graph::NetworkTopology::kCorridor, context.num_nodes, &rng);
+  context.adjacency = network.BinaryAdjacency();
+  return context;
+}
+
+void ExpectModelParity(const std::string& name) {
+  models::ModelContext context = SparseModelContext();
+  EXPECT_LE(graph::SupportDensity(context.adjacency),
+            sparse::kDefaultDensityThreshold)
+      << "test adjacency must be sparse for the parity to be meaningful";
+
+  std::unique_ptr<models::TrafficModel> sparse_model;
+  {
+    GraphSupportThresholdGuard force_sparse(1.0);
+    sparse_model = models::CreateModel(name, context);
+  }
+  std::unique_ptr<models::TrafficModel> dense_model;
+  {
+    GraphSupportThresholdGuard force_dense(0.0);
+    dense_model = models::CreateModel(name, context);
+  }
+  sparse_model->SetTraining(false);
+  dense_model->SetTraining(false);
+
+  Rng rng(7);
+  Tensor x = Tensor::Rand(Shape({2, 12, context.num_nodes, 2}), &rng, 0.0f,
+                          1.0f);
+  NoGradGuard no_grad;
+  Tensor ys = sparse_model->Forward(x, Tensor());
+  Tensor yd = dense_model->Forward(x, Tensor());
+  ExpectClose(ys, yd, context.num_nodes);
+}
+
+TEST(SparseModelParity, DcrnnSparseForwardMatchesDense) {
+  ExpectModelParity("DCRNN");
+}
+
+TEST(SparseModelParity, GraphWaveNetSparseForwardMatchesDense) {
+  ExpectModelParity("Graph-WaveNet");
+}
+
+TEST(SparseModelParity, DcrnnSparseForwardBitIdenticalAcrossThreadCounts) {
+  models::ModelContext context = SparseModelContext();
+  GraphSupportThresholdGuard force_sparse(1.0);
+  std::unique_ptr<models::TrafficModel> model =
+      models::CreateModel("DCRNN", context);
+  model->SetTraining(false);
+  Rng rng(9);
+  Tensor x = Tensor::Rand(Shape({2, 12, context.num_nodes, 2}), &rng, 0.0f,
+                          1.0f);
+  std::vector<float> baseline;
+  for (int threads : {1, 2, 4}) {
+    ExecutionContext exec_context(ExecOptions{.threads = threads});
+    ExecutionContext::Bind bind(&exec_context);
+    NoGradGuard no_grad;
+    Tensor y = model->Forward(x, Tensor());
+    std::vector<float> yv(y.data(), y.data() + y.numel());
+    if (threads == 1) {
+      baseline = std::move(yv);
+    } else {
+      EXPECT_EQ(baseline, yv) << "forward differs at threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trafficbench
