@@ -87,7 +87,7 @@ int main() {
   tb::exec::ExecutionContext exec_context(exec_options);
 
   tb::Table table({"Model", "Training time/epoch", "Inference time",
-                   "# of params", "Top ops (time share)"});
+                   "Inference/window", "# of params", "Top ops (time share)"});
   for (const std::string& name : tb::models::PaperModelNames()) {
     tb::models::ModelContext context =
         tb::models::MakeModelContext(dataset, config.seed);
@@ -116,8 +116,15 @@ int main() {
 
     std::string top_ops = exec_context.profiler().TopKindsSummary(3);
     if (top_ops.empty()) top_ops = "-";  // non-trainable baselines
+    // Testset time ÷ windows: the offline per-window latency the serving
+    // path's serve-bench percentiles are compared against.
+    const double ms_per_window =
+        report.windows > 0
+            ? report.inference_seconds * 1e3 / static_cast<double>(report.windows)
+            : 0.0;
     table.AddRow({name, tb::Table::Num(train.seconds_per_epoch, 2) + " secs",
                   tb::Table::Num(report.inference_seconds, 2) + " secs",
+                  tb::Table::Num(ms_per_window, 3) + " ms",
                   std::to_string(model->ParameterCount() / 1000) + "." +
                       std::to_string((model->ParameterCount() % 1000) / 100) +
                       "k",

@@ -14,17 +14,23 @@
 # library only; the repo's own kernels are -O2 + native. The snapshot context
 # is annotated with "trafficbench_build_type" to record this.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 4)
+# The snapshot also records the serving subsystem's headline numbers: a
+# serve-bench replay of test windows through the dynamic micro-batching
+# server (all eight models, bit-identity verified against batch-of-1) lands
+# under the "serve_bench" key, giving Table III a deployment-shaped
+# latency/throughput counterpart tracked across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 5)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-4}"
+PR="${1:-5}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=Release -DTRAFFICBENCH_NATIVE=ON >/dev/null
-cmake --build "$BUILD" --target bench_micro_ops -j >/dev/null
+cmake --build "$BUILD" --target bench_micro_ops trafficbench_cli -j >/dev/null
 
 "$BUILD/bench/bench_micro_ops" \
   --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpmmGraphConvMetrLa' \
@@ -61,5 +67,31 @@ headline("SpMM vs dense MatMul at METR-LA density",
          "BM_MatMul/207", "BM_SpMM/207/40", "real_time")
 headline("SpMM vs dense at PeMS-BAY scale/density",
          "BM_MatMul/325", "BM_SpMM/325/25", "real_time")
+EOF
+# Serve-bench replay: all eight models on METR-LA-S, micro-batching server,
+# bit-identity verified. The per-model CSV is folded into the snapshot.
+(cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
+  --requests 64 --batch-max 8 --workers 2 --verify >/dev/null)
+
+python3 - "$OUT" "$BUILD/serve_bench.csv" <<'EOF'
+import csv, json, sys
+
+out_path, csv_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    snap = json.load(f)
+with open(csv_path) as f:
+    rows = list(csv.DictReader(f))
+snap["serve_bench"] = {
+    "config": "METR-LA-S, 64 requests/model, batch-max 8, 2 workers, verify",
+    "models": rows,
+}
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+
+by_rate = sorted(rows, key=lambda r: float(r["windows/s"]))
+print("serve-bench headlines (p50 ms | windows/s):")
+for r in (by_rate[-1], by_rate[0]):
+    print(f"  {r['Model']}: {r['p50 ms']} ms p50 | {r['windows/s']} windows/s")
 EOF
 echo "snapshot: $OUT"

@@ -3,8 +3,10 @@
 # builds of the concurrency- and memory-sensitive tests.
 #
 #   scripts/check.sh          # tier-1 only
-#   TSAN=1 scripts/check.sh   # + ThreadSanitizer pass (exec layer + pool)
-#   ASAN=1 scripts/check.sh   # + ASan/UBSan pass (tensor/kernel/pool tests)
+#   TSAN=1 scripts/check.sh   # + ThreadSanitizer pass (exec layer + pool +
+#                             #   sparse + serving queue/batcher/server)
+#   ASAN=1 scripts/check.sh   # + ASan/UBSan pass (tensor/kernel/pool/
+#                             #   sparse/serve tests)
 #   FAULT=1 scripts/check.sh  # + fault-injection suite under ASan/UBSan
 #                             #   (guarded loop, TBCKPT2, kill-and-resume)
 set -euo pipefail
@@ -20,18 +22,18 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec + pool + sparse tests =="
+  echo "== tsan: exec + pool + sparse + serve tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*'
 fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== asan/ubsan: tensor/kernel/pool/sparse tests =="
+  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve tests =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*'
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*'
 fi
 
 if [[ "${FAULT:-0}" == "1" ]]; then

@@ -404,6 +404,7 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
   report.horizon60 = acc60.Finalize();
   report.average = acc_all.Finalize();
   report.inference_seconds = inference_seconds;
+  report.windows = end - begin;
   return report;
 }
 

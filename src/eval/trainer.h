@@ -113,6 +113,9 @@ struct HorizonReport {
   MetricValues horizon60;
   MetricValues average;
   double inference_seconds = 0.0;
+  /// Windows scored; inference_seconds / windows is the offline per-window
+  /// latency, directly comparable with the serving path's request latency.
+  int64_t windows = 0;
 };
 
 /// Runs the model over samples [begin, end) and aggregates masked metrics

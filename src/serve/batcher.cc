@@ -1,0 +1,123 @@
+#include "src/serve/batcher.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace trafficbench::serve {
+
+RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {
+  TB_CHECK_GT(capacity, 0);
+}
+
+Status RequestQueue::Push(PendingRequest&& request) {
+  TB_CHECK(request.model != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::ResourceExhausted("request queue is closed");
+    }
+    if (size_ >= capacity_) {
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(capacity_) +
+          " waiting); shedding");
+    }
+    lanes_[Key(request.model->model_name(), request.model->dataset_name())]
+        .push_back(std::move(request));
+    ++size_;
+  }
+  // notify_all, not notify_one: the woken worker may be mid-wait on another
+  // lane's fill deadline and go straight back to sleep; a second worker
+  // parked on the outer wait must still see this request.
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+int64_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+Batcher::Batcher(RequestQueue* queue, const BatchOptions& options)
+    : queue_(queue), options_(options) {
+  TB_CHECK(queue != nullptr);
+  TB_CHECK_GT(options.max_batch_size, 0);
+}
+
+std::optional<MicroBatch> Batcher::NextBatch() {
+  const auto max_delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double,
+                                                                 std::milli>(
+      std::max(0.0, options_.max_queue_delay_ms)));
+
+  std::unique_lock<std::mutex> lock(queue_->mu_);
+  for (;;) {
+    queue_->cv_.wait(lock,
+                     [&] { return queue_->size_ > 0 || queue_->closed_; });
+    if (queue_->size_ == 0) return std::nullopt;  // closed and drained
+
+    // Oldest-first across lanes: serve the lane whose head has waited
+    // longest, so no model starves behind a busier one.
+    auto oldest = queue_->lanes_.end();
+    for (auto it = queue_->lanes_.begin(); it != queue_->lanes_.end(); ++it) {
+      if (it->second.empty()) continue;
+      if (oldest == queue_->lanes_.end() ||
+          it->second.front().enqueue_time <
+              oldest->second.front().enqueue_time) {
+        oldest = it;
+      }
+    }
+    TB_CHECK(oldest != queue_->lanes_.end());
+
+    // Give the batch a chance to fill: wait until the lane reaches
+    // max_batch_size, the head request ages out, or the queue closes
+    // (drain immediately on close — latency no longer matters).
+    const auto deadline = oldest->second.front().enqueue_time + max_delay;
+    const RequestQueue::Key key = oldest->first;
+    queue_->cv_.wait_until(lock, deadline, [&] {
+      auto it = queue_->lanes_.find(key);
+      const int64_t lane_size =
+          it != queue_->lanes_.end()
+              ? static_cast<int64_t>(it->second.size())
+              : 0;
+      return lane_size >= options_.max_batch_size || lane_size == 0 ||
+             queue_->closed_;
+    });
+    // Another worker may have drained the lane while we waited; restart
+    // the scan in that case.
+    auto it = queue_->lanes_.find(key);
+    if (it == queue_->lanes_.end() || it->second.empty()) continue;
+
+    MicroBatch batch;
+    batch.model = it->second.front().model;
+    const int64_t take = std::min<int64_t>(
+        options_.max_batch_size, static_cast<int64_t>(it->second.size()));
+    batch.requests.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.requests.push_back(std::move(it->second.front()));
+      it->second.pop_front();
+    }
+    queue_->size_ -= take;
+    if (it->second.empty()) queue_->lanes_.erase(it);
+    // Leftover work (this lane's tail or other lanes) may have no awake
+    // worker: every Push notification could have been absorbed by waits
+    // that went back to sleep. Hand the remainder to a sibling.
+    if (queue_->size_ > 0) queue_->cv_.notify_one();
+    return batch;
+  }
+}
+
+}  // namespace trafficbench::serve

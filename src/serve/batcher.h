@@ -1,0 +1,114 @@
+#ifndef TRAFFICBENCH_SERVE_BATCHER_H_
+#define TRAFFICBENCH_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/model_registry.h"
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace trafficbench::serve {
+
+/// What a serving client gets back for one window.
+struct PredictResponse {
+  /// Ok, or ResourceExhausted (shed at submit), or NotFound (unknown
+  /// model/dataset pair).
+  Status status;
+  /// Raw-scale predictions [T_out, N]; undefined unless status is ok.
+  Tensor prediction;
+  /// Seconds spent queued (submit -> micro-batch formed).
+  double queue_seconds = 0.0;
+  /// Seconds of model compute for the micro-batch this request rode in.
+  double compute_seconds = 0.0;
+  /// End-to-end seconds (submit -> response fulfilled).
+  double total_seconds = 0.0;
+  /// Size of that micro-batch (1 when the request ran alone).
+  int64_t batch_size = 0;
+};
+
+/// One queued window plus its completion promise (internal to the serving
+/// pipeline; clients see only the future).
+struct PendingRequest {
+  LoadedModelPtr model;
+  Tensor window;  // [T_in, N, 2]
+  std::promise<PredictResponse> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// A micro-batch handed to one server worker: requests for the same loaded
+/// model instance, popped FIFO.
+struct MicroBatch {
+  LoadedModelPtr model;
+  std::vector<PendingRequest> requests;
+};
+
+/// Bounded multi-producer request queue with per-(model, dataset) FIFO
+/// lanes. Push sheds with ResourceExhausted once `capacity` requests are
+/// waiting (backpressure: clients must slow down or scale workers). Close()
+/// wakes all consumers; a closed queue rejects further pushes and keeps
+/// serving what is already queued (drain semantics).
+class RequestQueue {
+ public:
+  explicit RequestQueue(int64_t capacity);
+
+  /// Consumes `request` only on success; on shed/closed the caller still
+  /// owns it (and its promise, which it must fulfil with the error).
+  Status Push(PendingRequest&& request);
+  void Close();
+  bool closed() const;
+
+  /// Waiting requests across all lanes.
+  int64_t size() const;
+
+ private:
+  friend class Batcher;
+
+  using Key = std::pair<std::string, std::string>;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<PendingRequest>> lanes_;
+  int64_t size_ = 0;
+  const int64_t capacity_;
+  bool closed_ = false;
+};
+
+/// Dynamic micro-batching policy.
+struct BatchOptions {
+  /// Hard cap on the requests coalesced into one model forward.
+  int64_t max_batch_size = 8;
+  /// How long the oldest queued request may wait for the batch to fill
+  /// before it is dispatched partially full.
+  double max_queue_delay_ms = 2.0;
+};
+
+/// Coalesces queued requests into micro-batches. The lane whose head
+/// request has waited longest is served first (oldest-first across lanes,
+/// FIFO within a lane); a batch dispatches as soon as it is full or its
+/// head request has aged past max_queue_delay_ms. Multiple workers may call
+/// NextBatch concurrently; each request is handed out exactly once.
+class Batcher {
+ public:
+  Batcher(RequestQueue* queue, const BatchOptions& options);
+
+  /// Blocks for the next micro-batch; nullopt once the queue is closed and
+  /// fully drained (worker shutdown signal).
+  std::optional<MicroBatch> NextBatch();
+
+ private:
+  RequestQueue* const queue_;
+  const BatchOptions options_;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_BATCHER_H_

@@ -1,0 +1,126 @@
+#include "src/serve/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trafficbench::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample copy (q in [0, 100]).
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size());
+  int64_t index = static_cast<int64_t>(std::ceil(rank)) - 1;
+  index = std::clamp<int64_t>(index, 0, static_cast<int64_t>(samples.size()) - 1);
+  return samples[index];
+}
+
+double MaxOf(const std::vector<double>& samples) {
+  return samples.empty() ? 0.0
+                         : *std::max_element(samples.begin(), samples.end());
+}
+
+std::string Ms(double seconds) { return Table::Num(seconds * 1e3, 3); }
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() { Reset(); }
+
+void LatencyRecorder::RecordRequest(double queue_seconds,
+                                    double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_seconds_.push_back(queue_seconds);
+  request_seconds_.push_back(total_seconds);
+}
+
+void LatencyRecorder::RecordBatch(int64_t size, double compute_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_seconds_.push_back(compute_seconds);
+  batched_requests_ += size;
+  ++batches_;
+}
+
+void LatencyRecorder::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void LatencyRecorder::RecordQueueDepth(int64_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++depth_samples_;
+  depth_sum_ += static_cast<double>(depth);
+  depth_max_ = std::max(depth_max_, depth);
+}
+
+void LatencyRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_seconds_.clear();
+  queue_seconds_.clear();
+  batch_seconds_.clear();
+  batched_requests_ = 0;
+  batches_ = 0;
+  shed_ = 0;
+  depth_samples_ = 0;
+  depth_sum_ = 0.0;
+  depth_max_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+LatencySummary LatencyRecorder::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencySummary s;
+  s.requests = static_cast<int64_t>(request_seconds_.size());
+  s.batches = batches_;
+  s.shed = shed_;
+  s.request_p50 = Percentile(request_seconds_, 50.0);
+  s.request_p95 = Percentile(request_seconds_, 95.0);
+  s.request_p99 = Percentile(request_seconds_, 99.0);
+  s.request_max = MaxOf(request_seconds_);
+  s.queue_p50 = Percentile(queue_seconds_, 50.0);
+  s.queue_p99 = Percentile(queue_seconds_, 99.0);
+  s.batch_p50 = Percentile(batch_seconds_, 50.0);
+  s.batch_p99 = Percentile(batch_seconds_, 99.0);
+  s.batch_max = MaxOf(batch_seconds_);
+  s.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(batched_requests_) /
+                         static_cast<double>(batches_)
+                   : 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  s.throughput = elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed
+                               : 0.0;
+  s.mean_queue_depth =
+      depth_samples_ > 0 ? depth_sum_ / static_cast<double>(depth_samples_)
+                         : 0.0;
+  s.max_queue_depth = depth_max_;
+  return s;
+}
+
+Table LatencyRecorder::ToTable() const {
+  const LatencySummary s = Summary();
+  Table table({"Metric", "Value"});
+  table.AddRow({"requests completed", std::to_string(s.requests)});
+  table.AddRow({"micro-batches", std::to_string(s.batches)});
+  table.AddRow({"requests shed", std::to_string(s.shed)});
+  table.AddRow({"request p50 (ms)", Ms(s.request_p50)});
+  table.AddRow({"request p95 (ms)", Ms(s.request_p95)});
+  table.AddRow({"request p99 (ms)", Ms(s.request_p99)});
+  table.AddRow({"request max (ms)", Ms(s.request_max)});
+  table.AddRow({"queue p50 (ms)", Ms(s.queue_p50)});
+  table.AddRow({"queue p99 (ms)", Ms(s.queue_p99)});
+  table.AddRow({"batch compute p50 (ms)", Ms(s.batch_p50)});
+  table.AddRow({"batch compute p99 (ms)", Ms(s.batch_p99)});
+  table.AddRow({"batch compute max (ms)", Ms(s.batch_max)});
+  table.AddRow({"mean batch size", Table::Num(s.mean_batch_size, 2)});
+  table.AddRow({"throughput (windows/s)", Table::Num(s.throughput, 1)});
+  table.AddRow({"mean queue depth", Table::Num(s.mean_queue_depth, 2)});
+  table.AddRow({"max queue depth", std::to_string(s.max_queue_depth)});
+  return table;
+}
+
+std::string LatencyRecorder::ToCsv() const { return ToTable().ToCsv(); }
+
+}  // namespace trafficbench::serve

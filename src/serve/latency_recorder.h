@@ -1,0 +1,87 @@
+#ifndef TRAFFICBENCH_SERVE_LATENCY_RECORDER_H_
+#define TRAFFICBENCH_SERVE_LATENCY_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/table.h"
+
+namespace trafficbench::serve {
+
+/// Latency-SLO view of one serving run: per-request and per-batch latency
+/// percentiles, throughput, micro-batch fill, queue pressure and shed
+/// counts. All durations in seconds.
+struct LatencySummary {
+  int64_t requests = 0;  // completed (shed requests are not included)
+  int64_t batches = 0;
+  int64_t shed = 0;  // requests rejected with ResourceExhausted
+
+  // Per-request end-to-end latency (submit -> response ready).
+  double request_p50 = 0.0;
+  double request_p95 = 0.0;
+  double request_p99 = 0.0;
+  double request_max = 0.0;
+  // Per-request queueing share of the above (submit -> batch formed).
+  double queue_p50 = 0.0;
+  double queue_p99 = 0.0;
+  // Per-micro-batch model compute latency.
+  double batch_p50 = 0.0;
+  double batch_p99 = 0.0;
+  double batch_max = 0.0;
+
+  double mean_batch_size = 0.0;
+  /// Completed windows per second of recording wall time (0 until Seal()
+  /// or Summary() is called with a running clock).
+  double throughput = 0.0;
+  double mean_queue_depth = 0.0;
+  int64_t max_queue_depth = 0;
+};
+
+/// Thread-safe sink for the serving pipeline's timing events. Workers and
+/// the submit path record concurrently; Summary() sorts the samples and
+/// reduces them to the SLO percentiles (nearest-rank, so p50 of one sample
+/// is that sample). Reportable as an aligned table or CSV next to the
+/// OpProfiler output.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// One completed request: queueing share and end-to-end latency.
+  void RecordRequest(double queue_seconds, double total_seconds);
+  /// One executed micro-batch of `size` requests.
+  void RecordBatch(int64_t size, double compute_seconds);
+  /// One request shed at submit time (queue full).
+  void RecordShed();
+  /// Queue depth observed after an enqueue (pressure gauge).
+  void RecordQueueDepth(int64_t depth);
+
+  /// Restarts the throughput clock and drops all samples.
+  void Reset();
+
+  LatencySummary Summary() const;
+
+  /// "Latency (serving)" table: one metric per row, values in ms except
+  /// counts and windows/s.
+  Table ToTable() const;
+  std::string ToCsv() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> request_seconds_;
+  std::vector<double> queue_seconds_;
+  std::vector<double> batch_seconds_;
+  int64_t batched_requests_ = 0;
+  int64_t batches_ = 0;
+  int64_t shed_ = 0;
+  int64_t depth_samples_ = 0;
+  double depth_sum_ = 0.0;
+  int64_t depth_max_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_LATENCY_RECORDER_H_

@@ -1,0 +1,104 @@
+#include "src/serve/model_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "src/nn/serialize.h"
+#include "src/util/check.h"
+
+namespace trafficbench::serve {
+
+LoadedModel::LoadedModel(std::unique_ptr<models::TrafficModel> model,
+                         const data::TrafficDataset& dataset,
+                         std::string model_name, std::string dataset_name)
+    : model_(std::move(model)),
+      scaler_(dataset.scaler()),
+      model_name_(std::move(model_name)),
+      dataset_name_(std::move(dataset_name)),
+      num_nodes_(dataset.num_nodes()),
+      input_len_(dataset.input_len()),
+      output_len_(dataset.output_len()) {
+  TB_CHECK(model_ != nullptr);
+  parameter_count_ = model_->ParameterCount();
+  model_->SetTraining(false);
+}
+
+Tensor LoadedModel::Predict(const Tensor& x) const {
+  TB_CHECK_EQ(x.rank(), 4);
+  TB_CHECK_EQ(x.dim(1), input_len_);
+  TB_CHECK_EQ(x.dim(2), num_nodes_);
+  NoGradGuard no_grad;
+  Tensor normalized;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    normalized = model_->Forward(x, Tensor());
+  }
+  // Scalar denormalization outside the model lock: per-element and thus
+  // independent of batch composition (part of the bit-identity contract).
+  std::vector<float> raw = normalized.ToVector();
+  for (float& v : raw) v = scaler_.Denormalize(v);
+  return Tensor::FromVector(normalized.shape(), std::move(raw));
+}
+
+Status ModelRegistry::Load(const ModelSpec& spec) {
+  if (spec.dataset == nullptr) {
+    return Status::InvalidArgument("ModelRegistry::Load: spec.dataset is null");
+  }
+  models::RegisterBuiltinModels();
+  if (!models::ModelRegistry::Instance().Contains(spec.model_name)) {
+    return Status::NotFound("ModelRegistry::Load: unknown model '" +
+                            spec.model_name + "'");
+  }
+  std::unique_ptr<models::TrafficModel> model = models::CreateModel(
+      spec.model_name, models::MakeModelContext(*spec.dataset, spec.seed));
+  // Baselines estimate their statistics from the train split; for trainable
+  // models Fit is a no-op and the checkpoint (if any) supplies the weights.
+  model->Fit(*spec.dataset);
+  if (!spec.checkpoint_path.empty()) {
+    if (!std::filesystem::exists(spec.checkpoint_path)) {
+      return Status::NotFound("ModelRegistry::Load: checkpoint '" +
+                              spec.checkpoint_path + "' does not exist");
+    }
+    Status loaded = nn::LoadCheckpoint(model.get(), spec.checkpoint_path);
+    if (!loaded.ok()) {
+      return Status(loaded.code(), "ModelRegistry::Load(" + spec.model_name +
+                                       ", " + spec.dataset_name +
+                                       "): " + loaded.message());
+    }
+  }
+  auto entry = std::make_shared<const LoadedModel>(
+      std::move(model), *spec.dataset, spec.model_name, spec.dataset_name);
+  if (spec.warmup) {
+    // Prime lazily-built scratch state (buffer pool, autoregressive
+    // decode paths) with one real-shaped window of zeros.
+    entry->Predict(Tensor::Zeros(
+        {1, spec.dataset->input_len(), spec.dataset->num_nodes(), 2}));
+  }
+  const Key key(spec.model_name, spec.dataset_name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.emplace(key, entry).second) {
+    load_order_.push_back(key);
+  } else {
+    entries_[key] = std::move(entry);
+  }
+  return Status::Ok();
+}
+
+LoadedModelPtr ModelRegistry::Find(const std::string& model_name,
+                                   const std::string& dataset_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key(model_name, dataset_name));
+  return it != entries_.end() ? it->second : nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> ModelRegistry::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return load_order_;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace trafficbench::serve

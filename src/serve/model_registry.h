@@ -1,0 +1,111 @@
+#ifndef TRAFFICBENCH_SERVE_MODEL_REGISTRY_H_
+#define TRAFFICBENCH_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/traffic_model.h"
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace trafficbench::serve {
+
+/// What to load into the registry. The dataset supplies the model context
+/// (node count, adjacency — from which the models pre-convert their graph
+/// supports through models::GraphSupport at build time) and the z-score
+/// scaler used to denormalize predictions; it must outlive the registry.
+struct ModelSpec {
+  std::string model_name;    // registry name, e.g. "Graph-WaveNet"
+  std::string dataset_name;  // registry key half, e.g. "METR-LA-S"
+  const data::TrafficDataset* dataset = nullptr;
+  /// Optional trained weights: a TBCKPT1 (v1) or TBCKPT2 checkpoint read
+  /// through nn::LoadCheckpoint. Empty serves the seed-initialized model
+  /// (latency benchmarking does not need trained weights).
+  std::string checkpoint_path;
+  uint64_t seed = 2021;
+  /// Run one batch-of-1 forward after loading so first-request latency is
+  /// not dominated by lazily-built scratch state.
+  bool warmup = true;
+};
+
+/// One warm, immutable serving instance: a built model (eval mode, graph
+/// supports already CSR-converted where sparse enough), its dataset's
+/// scaler, and the shape contract of its windows. Forward passes are
+/// serialized per instance — TrafficModel::Forward is not reentrant — so
+/// concurrent server workers can share one instance safely; different
+/// instances run fully in parallel.
+class LoadedModel {
+ public:
+  LoadedModel(std::unique_ptr<models::TrafficModel> model,
+              const data::TrafficDataset& dataset, std::string model_name,
+              std::string dataset_name);
+
+  /// x: [B, T_in, N, 2] -> raw-scale (denormalized) predictions
+  /// [B, T_out, N]. Runs under NoGrad; bit-identical for every batch
+  /// composition and thread count (each output element's value depends only
+  /// on its own window).
+  Tensor Predict(const Tensor& x) const;
+
+  const std::string& model_name() const { return model_name_; }
+  const std::string& dataset_name() const { return dataset_name_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int input_len() const { return input_len_; }
+  int output_len() const { return output_len_; }
+  int64_t parameter_count() const { return parameter_count_; }
+
+ private:
+  // Forward mutates transient module state, so the instance is logically
+  // immutable (same input -> same output) but needs the mutex.
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<models::TrafficModel> model_;
+  data::ZScoreScaler scaler_;
+  std::string model_name_;
+  std::string dataset_name_;
+  int64_t num_nodes_ = 0;
+  int input_len_ = 0;
+  int output_len_ = 0;
+  int64_t parameter_count_ = 0;
+};
+
+using LoadedModelPtr = std::shared_ptr<const LoadedModel>;
+
+/// Registry of warm model instances keyed by (model, dataset). Load()
+/// builds the model, applies the checkpoint (rejecting corrupt or missing
+/// files with the serializer's CRC/byte-offset diagnostics), fits
+/// non-trainable baselines, switches to eval mode and (optionally) runs a
+/// warmup forward. Lookups after loading are lock-cheap and return shared
+/// pointers, so entries stay valid even if the registry dies first.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads (or replaces) the entry for (spec.model_name, spec.dataset_name).
+  Status Load(const ModelSpec& spec);
+
+  /// The entry, or null when the pair was never loaded.
+  LoadedModelPtr Find(const std::string& model_name,
+                      const std::string& dataset_name) const;
+
+  /// Loaded (model, dataset) keys in load order.
+  std::vector<std::pair<std::string, std::string>> Keys() const;
+  size_t size() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+
+  mutable std::mutex mu_;
+  std::map<Key, LoadedModelPtr> entries_;
+  std::vector<Key> load_order_;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_MODEL_REGISTRY_H_

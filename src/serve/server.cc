@@ -1,0 +1,179 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/exec/execution_context.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+#include "src/util/stopwatch.h"
+
+namespace trafficbench::serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(const ModelRegistry* registry, const ServerOptions& options)
+    : registry_(registry),
+      options_(options),
+      queue_(options.queue_capacity),
+      batcher_(&queue_, options.batch) {
+  TB_CHECK(registry != nullptr);
+  TB_CHECK_GT(options.workers, 0);
+  TB_CHECK_GT(options.threads_per_worker, 0);
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  TB_CHECK(!running_);
+  running_ = true;
+  // No recorder reset here: requests may legitimately be submitted (and
+  // shed) before the workers spin up, and those events belong to this
+  // run's metrics. Callers wanting a fresh window call recorder().Reset().
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Server::Stop() {
+  if (!running_) return;
+  queue_.Close();  // workers drain what is queued, then exit
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  running_ = false;
+}
+
+std::future<PredictResponse> Server::Submit(PredictRequest request) {
+  std::promise<PredictResponse> promise;
+  std::future<PredictResponse> future = promise.get_future();
+
+  LoadedModelPtr model =
+      registry_->Find(request.model_name, request.dataset_name);
+  if (model == nullptr) {
+    PredictResponse response;
+    response.status = Status::NotFound(
+        "Submit: no loaded model for (" + request.model_name + ", " +
+        request.dataset_name + ")");
+    promise.set_value(std::move(response));
+    return future;
+  }
+  // Accept [T_in, N, 2] or [1, T_in, N, 2]. Copy through a vector rather
+  // than Reshape: this detaches the window from any autograd graph and
+  // normalizes its layout without needing contiguity.
+  Tensor window = request.window;
+  if (window.defined() && window.rank() == 4 && window.dim(0) == 1) {
+    window = Tensor::FromVector({window.dim(1), window.dim(2), window.dim(3)},
+                                window.ToVector());
+  }
+  if (!window.defined() || window.rank() != 3 ||
+      window.dim(0) != model->input_len() ||
+      window.dim(1) != model->num_nodes() || window.dim(2) != 2) {
+    PredictResponse response;
+    response.status = Status::InvalidArgument(
+        "Submit: window must be [T_in, N, 2] = [" +
+        std::to_string(model->input_len()) + ", " +
+        std::to_string(model->num_nodes()) + ", 2]");
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  PendingRequest pending;
+  pending.model = std::move(model);
+  pending.window = std::move(window);
+  pending.promise = std::move(promise);
+  pending.enqueue_time = std::chrono::steady_clock::now();
+  const Status pushed = queue_.Push(std::move(pending));
+  if (!pushed.ok()) {
+    // Shed: Push consumes the request only on success, so the promise is
+    // still inside `pending` and ours to fulfil with the error.
+    recorder_.RecordShed();
+    PredictResponse response;
+    response.status = pushed;
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+  recorder_.RecordQueueDepth(queue_.size());
+  return future;
+}
+
+PredictResponse Server::Predict(PredictRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+bool Server::ShouldStall() {
+  FaultInjector& fault = FaultInjector::Global();
+  if (!fault.enabled()) return false;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault.Should(FaultSite::kServeSlowWorker);
+}
+
+void Server::WorkerLoop() {
+  // Each worker owns its execution context: contexts are not reentrant
+  // across threads, and per-worker buffer pools keep scratch reuse local.
+  exec::ExecutionContext context(
+      {.threads = options_.threads_per_worker, .profile = false});
+  exec::ExecutionContext::Bind bind(&context);
+  NoGradGuard no_grad;
+  while (std::optional<MicroBatch> batch = batcher_.NextBatch()) {
+    ProcessBatch(std::move(*batch));
+  }
+}
+
+void Server::ProcessBatch(MicroBatch batch) {
+  const auto formed = std::chrono::steady_clock::now();
+  const LoadedModel& model = *batch.model;
+  const int64_t k = static_cast<int64_t>(batch.requests.size());
+  const int64_t t_in = model.input_len();
+  const int64_t t_out = model.output_len();
+  const int64_t n = model.num_nodes();
+
+  if (ShouldStall()) {
+    // Deterministic injected worker stall (serve_slow_worker): the batch
+    // still computes correctly, but its latency must show up in the
+    // recorder's p99/max and, under pressure, in shed counts.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.fault_stall_ms));
+  }
+
+  // Coalesce the windows into one [K, T_in, N, 2] forward.
+  std::vector<float> input(static_cast<size_t>(k * t_in * n * 2));
+  for (int64_t i = 0; i < k; ++i) {
+    const std::vector<float> w = batch.requests[i].window.ToVector();
+    std::copy(w.begin(), w.end(), input.begin() + i * t_in * n * 2);
+  }
+  Stopwatch compute_watch;
+  Tensor prediction = model.Predict(
+      Tensor::FromVector({k, t_in, n, 2}, std::move(input)));
+  const double compute_seconds = compute_watch.ElapsedSeconds();
+  TB_CHECK_EQ(prediction.numel(), k * t_out * n);
+
+  const float* out = prediction.data();
+  for (int64_t i = 0; i < k; ++i) {
+    PendingRequest& request = batch.requests[i];
+    PredictResponse response;
+    response.status = Status::Ok();
+    response.prediction = Tensor::FromVector(
+        {t_out, n},
+        std::vector<float>(out + i * t_out * n, out + (i + 1) * t_out * n));
+    response.queue_seconds =
+        std::chrono::duration<double>(formed - request.enqueue_time).count();
+    response.compute_seconds = compute_seconds;
+    response.batch_size = k;
+    response.total_seconds = SecondsSince(request.enqueue_time);
+    recorder_.RecordRequest(response.queue_seconds, response.total_seconds);
+    request.promise.set_value(std::move(response));
+  }
+  recorder_.RecordBatch(k, compute_seconds);
+}
+
+}  // namespace trafficbench::serve

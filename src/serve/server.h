@@ -1,0 +1,94 @@
+#ifndef TRAFFICBENCH_SERVE_SERVER_H_
+#define TRAFFICBENCH_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/batcher.h"
+#include "src/serve/latency_recorder.h"
+#include "src/serve/model_registry.h"
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::serve {
+
+/// One client request: predict the next T_out steps from a single input
+/// window for a (model, dataset) pair already loaded into the registry.
+struct PredictRequest {
+  std::string model_name;
+  std::string dataset_name;
+  /// [T_in, N, 2] (a leading batch axis of 1 is also accepted).
+  Tensor window;
+};
+
+struct ServerOptions {
+  /// Worker loops pulling micro-batches. Each worker owns its own
+  /// ExecutionContext of `threads_per_worker` kernel threads.
+  int workers = 1;
+  int threads_per_worker = 1;
+  BatchOptions batch;
+  /// Queue bound; submits past it are shed with ResourceExhausted.
+  int64_t queue_capacity = 256;
+  /// Stall injected by the serve_slow_worker fault site, when armed.
+  double fault_stall_ms = 25.0;
+};
+
+/// Multi-worker inference server over a ModelRegistry.
+///
+/// Determinism contract: a request's prediction is a pure function of its
+/// own window and the loaded model — bit-identical no matter which
+/// micro-batch it rides in, how full that batch is, how many workers or
+/// kernel threads the server runs, or what other traffic is in flight
+/// (pinned by ServeDeterminism tests). The kernels guarantee this because
+/// every output element's accumulation chain stays inside its own batch
+/// element; the server preserves it by keeping per-request post-processing
+/// (denormalization, splitting) elementwise.
+///
+/// Backpressure: the queue is bounded; when it is full, Submit sheds the
+/// request immediately — the returned future is already fulfilled with
+/// ResourceExhausted — instead of letting latency grow without bound.
+class Server {
+ public:
+  Server(const ModelRegistry* registry, const ServerOptions& options);
+  ~Server();  // Stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void Start();
+  /// Closes the queue, drains queued requests, joins the workers.
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Enqueue one window. Always returns a valid future; shed or invalid
+  /// requests resolve immediately with a non-ok PredictResponse::status.
+  std::future<PredictResponse> Submit(PredictRequest request);
+
+  /// Convenience: Submit + wait.
+  PredictResponse Predict(PredictRequest request);
+
+  LatencyRecorder& recorder() { return recorder_; }
+  const LatencyRecorder& recorder() const { return recorder_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  void ProcessBatch(MicroBatch batch);
+  bool ShouldStall();
+
+  const ModelRegistry* const registry_;
+  const ServerOptions options_;
+  RequestQueue queue_;
+  Batcher batcher_;
+  LatencyRecorder recorder_;
+  std::vector<std::thread> workers_;
+  std::mutex fault_mu_;  // serializes FaultInjector access across workers
+  bool running_ = false;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_SERVER_H_

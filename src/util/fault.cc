@@ -12,8 +12,9 @@ namespace trafficbench {
 namespace {
 
 const char* const kSiteNames[kNumFaultSites] = {
-    "train_loss", "train_grad",      "eval_pred", "ckpt_short_write",
-    "ckpt_bit_flip", "io_open",      "io_write",  "crash",
+    "train_loss",    "train_grad", "eval_pred", "ckpt_short_write",
+    "ckpt_bit_flip", "io_open",    "io_write",  "crash",
+    "serve_slow_worker",
 };
 
 bool SiteByName(const std::string& name, FaultSite* out) {

@@ -25,6 +25,8 @@
 //   io_open          fail opening a file (reads and writes)
 //   io_write         fail a write mid-stream
 //   crash            simulated hard kill at a checkpoint boundary
+//   serve_slow_worker stall one serving worker before it runs a micro-batch
+//                    (latency-SLO metrics must observe it; results must not)
 
 #include <array>
 #include <cstdint>
@@ -45,9 +47,10 @@ enum class FaultSite : int {
   kIoOpenFail,
   kIoWriteFail,
   kCrash,
+  kServeSlowWorker,
 };
 
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 9;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic
@@ -60,7 +63,9 @@ struct SimulatedCrash {
 /// Seeded, spec-driven fault injector. A default-constructed injector is
 /// disabled and never fires; Should() then costs one branch. Not
 /// thread-safe — call only from the orchestration thread (trainer,
-/// serializer, experiment harness), never from kernel workers.
+/// serializer, experiment harness), never from kernel workers. The serving
+/// layer's workers are the one exception: they serialize their Should()
+/// calls through the Server's own fault mutex (see src/serve/server.cc).
 class FaultInjector {
  public:
   FaultInjector() = default;

@@ -16,6 +16,9 @@ enum class StatusCode {
   kOutOfRange,
   kIoError,
   kInternal,
+  /// A bounded resource (e.g. the serving request queue) is full; the
+  /// caller should back off and retry. Used for load shedding.
+  kResourceExhausted,
 };
 
 /// A lightweight status object in the RocksDB / Abseil style: cheap to pass
@@ -43,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,597 @@
+// Inference-serving suite: registry loading (warm instances, checkpoint
+// integrity), bounded-queue backpressure, dynamic micro-batching, the
+// batched-equals-batch-of-1 determinism contract at any worker/thread
+// count, the serve_slow_worker fault site's visibility in the latency SLO
+// metrics, and the latency recorder's percentile math.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/models/traffic_model.h"
+#include "src/nn/serialize.h"
+#include "src/serve/batcher.h"
+#include "src/serve/latency_recorder.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/server.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+
+namespace trafficbench {
+namespace {
+
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    Result<FaultInjector> parsed = FaultInjector::Parse(spec);
+    TB_CHECK(parsed.ok()) << parsed.status().ToString();
+    FaultInjector::SetGlobal(std::move(parsed).value());
+  }
+  ~ScopedFault() { FaultInjector::SetGlobal(FaultInjector()); }
+};
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+const data::TrafficDataset& TinyDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetProfile profile;
+    profile.name = "SERVE";
+    profile.num_nodes = 8;
+    profile.num_days = 4;
+    profile.seed = 414;
+    return new data::TrafficDataset(
+        data::TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+constexpr char kDataset[] = "SERVE";
+
+serve::ModelSpec SpecFor(const std::string& model_name) {
+  serve::ModelSpec spec;
+  spec.model_name = model_name;
+  spec.dataset_name = kDataset;
+  spec.dataset = &TinyDataset();
+  spec.seed = 2021;
+  return spec;
+}
+
+/// One test window as [T_in, N, 2] (sample index into the full dataset).
+Tensor Window(int64_t sample) {
+  Tensor x = TinyDataset().MakeBatch({sample}).x;
+  return Tensor::FromVector({x.dim(1), x.dim(2), x.dim(3)}, x.ToVector());
+}
+
+/// Raw-scale batch-of-1 reference prediction straight off the registry
+/// entry (the value every batched serve of the same window must match
+/// bit for bit).
+std::vector<float> DirectPrediction(const serve::LoadedModel& model,
+                                    int64_t sample) {
+  return model.Predict(TinyDataset().MakeBatch({sample}).x).ToVector();
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ---- ModelRegistry ----------------------------------------------------------
+
+TEST(ServeRegistry, LoadsWarmInstanceAndFindsByKey) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  EXPECT_EQ(registry.size(), 1u);
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->model_name(), "STGCN");
+  EXPECT_EQ(entry->num_nodes(), TinyDataset().num_nodes());
+  EXPECT_GT(entry->parameter_count(), 0);
+  EXPECT_EQ(registry.Find("STGCN", "other-dataset"), nullptr);
+  EXPECT_EQ(registry.Find("DCRNN", kDataset), nullptr);
+
+  Tensor y = entry->Predict(TinyDataset().MakeBatch({0, 1}).x);
+  EXPECT_EQ(y.shape(), Shape({2, TinyDataset().output_len(),
+                              TinyDataset().num_nodes()}));
+}
+
+TEST(ServeRegistry, UnknownModelIsCleanNotFound) {
+  serve::ModelRegistry registry;
+  Status status = registry.Load(SpecFor("NoSuchModel"));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServeRegistry, NullDatasetIsInvalidArgument) {
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.dataset = nullptr;
+  EXPECT_EQ(registry.Load(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeRegistry, MissingCheckpointIsCleanNotFound) {
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.checkpoint_path = TempPath("tb_serve_no_such_ckpt.bin");
+  std::filesystem::remove(spec.checkpoint_path);
+  Status status = registry.Load(spec);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find(spec.checkpoint_path), std::string::npos);
+  EXPECT_EQ(registry.Find("STGCN", kDataset), nullptr);
+}
+
+TEST(ServeRegistry, V1CheckpointLoadsBitIdentical) {
+  // Save a v1 (TBCKPT1) parameter checkpoint from a differently-seeded
+  // source model; the registry must serve exactly those weights.
+  auto source = models::CreateModel(
+      "STGCN", models::MakeModelContext(TinyDataset(), /*seed=*/77));
+  const std::string path = TempPath("tb_serve_ckpt_v1.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(*source, path));
+
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.seed = 5;  // different init; the checkpoint must win
+  spec.checkpoint_path = path;
+  TB_CHECK_OK(registry.Load(spec));
+
+  source->SetTraining(false);
+  NoGradGuard no_grad;
+  Tensor expected = source->Forward(TinyDataset().MakeBatch({3}).x, Tensor());
+  std::vector<float> raw = expected.ToVector();
+  for (float& v : raw) v = TinyDataset().scaler().Denormalize(v);
+  EXPECT_TRUE(BitEqual(
+      raw, DirectPrediction(*registry.Find("STGCN", kDataset), 3)));
+}
+
+TEST(ServeRegistry, Tbckpt2CheckpointLoads) {
+  auto source = models::CreateModel(
+      "Graph-WaveNet", models::MakeModelContext(TinyDataset(), 77));
+  nn::TrainState state;
+  state.epoch = 1;
+  state.learning_rate = 1e-3;
+  const std::string path = TempPath("tb_serve_ckpt_v2.bin");
+  TB_CHECK_OK(nn::SaveTrainCheckpoint(*source, state, path));
+
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("Graph-WaveNet");
+  spec.seed = 5;
+  spec.checkpoint_path = path;
+  TB_CHECK_OK(registry.Load(spec));
+
+  source->SetTraining(false);
+  NoGradGuard no_grad;
+  Tensor expected = source->Forward(TinyDataset().MakeBatch({0}).x, Tensor());
+  std::vector<float> raw = expected.ToVector();
+  for (float& v : raw) v = TinyDataset().scaler().Denormalize(v);
+  EXPECT_TRUE(BitEqual(
+      raw, DirectPrediction(*registry.Find("Graph-WaveNet", kDataset), 0)));
+}
+
+TEST(ServeRegistry, CorruptCheckpointRejectedViaCrc) {
+  auto source = models::CreateModel(
+      "STGCN", models::MakeModelContext(TinyDataset(), 77));
+  const std::string path = TempPath("tb_serve_ckpt_corrupt.bin");
+  TB_CHECK_OK(nn::SaveTrainCheckpoint(*source, nn::TrainState{}, path));
+  // Flip one payload byte: the TBCKPT2 CRC32 footer must reject the load.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    ASSERT_GT(size, 64);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.checkpoint_path = path;
+  Status status = registry.Load(spec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(registry.Find("STGCN", kDataset), nullptr);
+}
+
+TEST(ServeRegistry, TruncatedCheckpointRejected) {
+  auto source = models::CreateModel(
+      "STGCN", models::MakeModelContext(TinyDataset(), 77));
+  const std::string path = TempPath("tb_serve_ckpt_trunc.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(*source, path));
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.checkpoint_path = path;
+  EXPECT_FALSE(registry.Load(spec).ok());
+}
+
+TEST(ServeRegistry, WrongArchitectureCheckpointRejected) {
+  auto source = models::CreateModel(
+      "DCRNN", models::MakeModelContext(TinyDataset(), 77));
+  const std::string path = TempPath("tb_serve_ckpt_wrong_arch.bin");
+  TB_CHECK_OK(nn::SaveCheckpoint(*source, path));
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");  // mismatched parameter set
+  spec.checkpoint_path = path;
+  EXPECT_FALSE(registry.Load(spec).ok());
+}
+
+// ---- RequestQueue + Batcher -------------------------------------------------
+
+serve::PendingRequest MakePending(serve::LoadedModelPtr model,
+                                  int64_t sample) {
+  serve::PendingRequest request;
+  request.model = std::move(model);
+  request.window = Window(sample);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  return request;
+}
+
+TEST(ServeQueue, BoundedQueueShedsWithResourceExhausted) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr model = registry.Find("STGCN", kDataset);
+
+  serve::RequestQueue queue(/*capacity=*/2);
+  EXPECT_TRUE(queue.Push(MakePending(model, 0)).ok());
+  EXPECT_TRUE(queue.Push(MakePending(model, 1)).ok());
+  Status third = queue.Push(MakePending(model, 2));
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2);
+}
+
+TEST(ServeQueue, ClosedQueueRejectsPushes) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::RequestQueue queue(4);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Push(MakePending(registry.Find("STGCN", kDataset), 0))
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ServeBatcher, CoalescesUpToMaxBatchThenDrains) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr model = registry.Find("STGCN", kDataset);
+
+  serve::RequestQueue queue(16);
+  for (int64_t i = 0; i < 5; ++i) {
+    TB_CHECK_OK(queue.Push(MakePending(model, i)));
+  }
+  queue.Close();  // drain mode: no fill waiting
+  serve::Batcher batcher(&queue, {.max_batch_size = 4});
+
+  std::optional<serve::MicroBatch> first = batcher.NextBatch();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->requests.size(), 4u);
+  std::optional<serve::MicroBatch> second = batcher.NextBatch();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->requests.size(), 1u);
+  EXPECT_FALSE(batcher.NextBatch().has_value());  // closed and drained
+}
+
+TEST(ServeBatcher, KeepsModelLanesApart) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  TB_CHECK_OK(registry.Load(SpecFor("DCRNN")));
+  serve::LoadedModelPtr stgcn = registry.Find("STGCN", kDataset);
+  serve::LoadedModelPtr dcrnn = registry.Find("DCRNN", kDataset);
+
+  serve::RequestQueue queue(16);
+  // Interleaved arrivals; each micro-batch must stay single-model.
+  TB_CHECK_OK(queue.Push(MakePending(stgcn, 0)));
+  TB_CHECK_OK(queue.Push(MakePending(dcrnn, 1)));
+  TB_CHECK_OK(queue.Push(MakePending(stgcn, 2)));
+  TB_CHECK_OK(queue.Push(MakePending(dcrnn, 3)));
+  queue.Close();
+  serve::Batcher batcher(&queue, {.max_batch_size = 8});
+
+  int batches = 0;
+  while (std::optional<serve::MicroBatch> batch = batcher.NextBatch()) {
+    ++batches;
+    ASSERT_FALSE(batch->requests.empty());
+    for (const serve::PendingRequest& request : batch->requests) {
+      EXPECT_EQ(request.model.get(), batch->model.get());
+    }
+    EXPECT_EQ(batch->requests.size(), 2u);
+  }
+  EXPECT_EQ(batches, 2);
+}
+
+TEST(ServeBatcher, DispatchesPartialBatchAfterDelay) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::RequestQueue queue(16);
+  TB_CHECK_OK(queue.Push(MakePending(registry.Find("STGCN", kDataset), 0)));
+  // max_batch_size 8 will never fill; the 5 ms age-out must release the
+  // single queued request rather than wait forever.
+  serve::Batcher batcher(&queue,
+                         {.max_batch_size = 8, .max_queue_delay_ms = 5.0});
+  std::optional<serve::MicroBatch> batch = batcher.NextBatch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 1u);
+}
+
+// ---- Server: determinism contract ------------------------------------------
+
+/// Serves `count` windows through a fresh server and checks every response
+/// bit-equal to the direct batch-of-1 prediction of the same window.
+void ServeAndCheck(const std::string& model_name, int workers,
+                   int threads_per_worker, int64_t max_batch,
+                   int64_t count) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor(model_name)));
+  serve::LoadedModelPtr entry = registry.Find(model_name, kDataset);
+
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.threads_per_worker = threads_per_worker;
+  options.batch.max_batch_size = max_batch;
+  options.batch.max_queue_delay_ms = 2.0;
+  serve::Server server(&registry, options);
+  server.Start();
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int64_t i = 0; i < count; ++i) {
+    serve::PredictRequest request;
+    request.model_name = model_name;
+    request.dataset_name = kDataset;
+    request.window = Window(i);
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    serve::PredictResponse response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.prediction.shape(),
+              Shape({TinyDataset().output_len(), TinyDataset().num_nodes()}));
+    EXPECT_TRUE(BitEqual(response.prediction.ToVector(),
+                         DirectPrediction(*entry, i)))
+        << model_name << " window " << i << " (batch size "
+        << response.batch_size << ") diverged from batch-of-1";
+  }
+  server.Stop();
+  const serve::LatencySummary summary = server.recorder().Summary();
+  EXPECT_EQ(summary.requests, count);
+  EXPECT_EQ(summary.shed, 0);
+  EXPECT_GT(summary.batches, 0);
+  EXPECT_GT(summary.request_max, 0.0);
+}
+
+class ServeDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServeDeterminismTest, BatchedBitIdenticalToBatchOfOne) {
+  ServeAndCheck(GetParam(), /*workers=*/2, /*threads_per_worker=*/1,
+                /*max_batch=*/3, /*count=*/7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperModels, ServeDeterminismTest,
+                         ::testing::ValuesIn(models::PaperModelNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ServeDeterminism, InvariantAcrossWorkerAndThreadCounts) {
+  // The same windows through 1 worker x 1 thread and 3 workers x 2 threads
+  // must produce the same bits (both are checked against batch-of-1).
+  ServeAndCheck("Graph-WaveNet", 1, 1, 4, 8);
+  ServeAndCheck("Graph-WaveNet", 3, 2, 4, 8);
+}
+
+TEST(ServeServer, UnknownModelAndBadWindowFailFast) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::Server server(&registry, {});
+  server.Start();
+
+  serve::PredictRequest unknown;
+  unknown.model_name = "DCRNN";  // not loaded
+  unknown.dataset_name = kDataset;
+  unknown.window = Window(0);
+  EXPECT_EQ(server.Submit(std::move(unknown)).get().status.code(),
+            StatusCode::kNotFound);
+
+  serve::PredictRequest bad_shape;
+  bad_shape.model_name = "STGCN";
+  bad_shape.dataset_name = kDataset;
+  bad_shape.window = Tensor::Zeros({3, 3});
+  EXPECT_EQ(server.Submit(std::move(bad_shape)).get().status.code(),
+            StatusCode::kInvalidArgument);
+  server.Stop();
+}
+
+TEST(ServeServer, ShedsWhenQueueFullAndCountsIt) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.batch.max_batch_size = 2;
+  options.queue_capacity = 2;
+  serve::Server server(&registry, options);
+  // Flood before Start: with no worker draining, pushes past the bound
+  // must shed deterministically.
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int64_t i = 0; i < 6; ++i) {
+    serve::PredictRequest request;
+    request.model_name = "STGCN";
+    request.dataset_name = kDataset;
+    request.window = Window(i);
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Start();
+  int64_t ok = 0, shed = 0;
+  for (auto& future : futures) {
+    serve::PredictResponse response = future.get();
+    if (response.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(server.recorder().Summary().shed, 4);
+}
+
+// ---- serve_slow_worker fault site ------------------------------------------
+
+TEST(ServeFault, SlowWorkerShowsUpInTailLatencyNotInResults) {
+  ScopedFault fault("serve_slow_worker@1");  // stall the first micro-batch
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.batch.max_batch_size = 4;
+  options.fault_stall_ms = 60.0;
+  serve::Server server(&registry, options);
+  server.Start();
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int64_t i = 0; i < 4; ++i) {
+    serve::PredictRequest request;
+    request.model_name = "STGCN";
+    request.dataset_name = kDataset;
+    request.window = Window(i);
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    serve::PredictResponse response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.status.ok());
+    // Results stay bit-correct through the stall.
+    EXPECT_TRUE(BitEqual(response.prediction.ToVector(),
+                         DirectPrediction(*entry, i)));
+  }
+  server.Stop();
+  const serve::LatencySummary summary = server.recorder().Summary();
+  EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kServeSlowWorker), 1);
+  // The injected 60 ms stall must be visible in the tail percentiles.
+  EXPECT_GE(summary.request_max, 0.060);
+  EXPECT_GE(summary.request_p99, 0.060);
+}
+
+TEST(ServeFault, StalledWorkerCausesShedUnderPressure) {
+  ScopedFault fault("serve_slow_worker=1");  // every micro-batch stalls
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.batch.max_batch_size = 1;
+  options.batch.max_queue_delay_ms = 0.0;
+  options.queue_capacity = 2;
+  options.fault_stall_ms = 30.0;
+  serve::Server server(&registry, options);
+  server.Start();
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int64_t i = 0; i < 10; ++i) {
+    serve::PredictRequest request;
+    request.model_name = "STGCN";
+    request.dataset_name = kDataset;
+    request.window = Window(i % 3);
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  int64_t ok = 0, shed = 0;
+  for (int64_t i = 0; i < 10; ++i) {
+    serve::PredictResponse response = futures[static_cast<size_t>(i)].get();
+    if (response.status.ok()) {
+      ++ok;
+      EXPECT_TRUE(BitEqual(response.prediction.ToVector(),
+                           DirectPrediction(*entry, i % 3)));
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  server.Stop();
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0) << "a 30 ms stall per batch with a 2-deep queue must "
+                        "shed some of 10 back-to-back submits";
+  EXPECT_EQ(server.recorder().Summary().shed, shed);
+}
+
+// ---- LatencyRecorder --------------------------------------------------------
+
+TEST(ServeLatency, NearestRankPercentiles) {
+  serve::LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) {
+    recorder.RecordRequest(/*queue_seconds=*/i * 1e-4,
+                           /*total_seconds=*/i * 1e-3);
+  }
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_EQ(s.requests, 100);
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.050);
+  EXPECT_DOUBLE_EQ(s.request_p95, 0.095);
+  EXPECT_DOUBLE_EQ(s.request_p99, 0.099);
+  EXPECT_DOUBLE_EQ(s.request_max, 0.100);
+  EXPECT_DOUBLE_EQ(s.queue_p50, 0.0050);
+  EXPECT_DOUBLE_EQ(s.queue_p99, 0.0099);
+}
+
+TEST(ServeLatency, SingleSampleIsEveryPercentile) {
+  serve::LatencyRecorder recorder;
+  recorder.RecordRequest(0.001, 0.004);
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.004);
+  EXPECT_DOUBLE_EQ(s.request_p99, 0.004);
+  EXPECT_DOUBLE_EQ(s.request_max, 0.004);
+}
+
+TEST(ServeLatency, BatchShedAndDepthCounters) {
+  serve::LatencyRecorder recorder;
+  recorder.RecordBatch(4, 0.010);
+  recorder.RecordBatch(2, 0.020);
+  recorder.RecordShed();
+  recorder.RecordShed();
+  recorder.RecordShed();
+  recorder.RecordQueueDepth(3);
+  recorder.RecordQueueDepth(7);
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_EQ(s.batches, 2);
+  EXPECT_EQ(s.shed, 3);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 3.0);
+  EXPECT_DOUBLE_EQ(s.batch_max, 0.020);
+  EXPECT_DOUBLE_EQ(s.mean_queue_depth, 5.0);
+  EXPECT_EQ(s.max_queue_depth, 7);
+
+  Table table = recorder.ToTable();
+  EXPECT_EQ(table.num_rows(), 16u);
+  EXPECT_NE(recorder.ToCsv().find("requests shed"), std::string::npos);
+  recorder.Reset();
+  EXPECT_EQ(recorder.Summary().batches, 0);
+}
+
+TEST(ServeLatency, ThroughputUsesWallClock) {
+  serve::LatencyRecorder recorder;
+  recorder.RecordRequest(0.0, 0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_GT(s.throughput, 0.0);
+  EXPECT_LT(s.throughput, 50.0);  // 1 request / >=20 ms
+}
+
+}  // namespace
+}  // namespace trafficbench

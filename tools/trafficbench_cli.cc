@@ -13,6 +13,11 @@
 //                         [--threads N] [--profile]
 //   trafficbench experiment --dataset METR-LA-S
 //                         [--models A,B,C] [--ckpt-dir DIR] [--resume]
+//   trafficbench serve-bench --dataset METR-LA-S
+//                         [--models A,B,C] [--requests N] [--rate R]
+//                         [--batch-max B] [--max-delay-ms D] [--workers W]
+//                         [--threads K] [--queue-cap Q] [--checkpoint F]
+//                         [--verify]
 //
 // --threads N runs tensor kernels on N worker threads; results are
 // bit-identical to --threads 1. --profile prints a per-op time/FLOP table.
@@ -27,16 +32,22 @@
 // [--flow] to run on imported (e.g. real PeMS) data.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/experiment.h"
 #include "src/data/dataset.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/server.h"
 #include "src/data/io.h"
 #include "src/eval/difficult_intervals.h"
 #include "src/eval/trainer.h"
@@ -79,8 +90,8 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trafficbench <list|simulate|train|evaluate|experiment>"
-      " [options]\n"
+      "usage: trafficbench"
+      " <list|simulate|train|evaluate|experiment|serve-bench> [options]\n"
       "  list                         models and dataset profiles\n"
       "  simulate --dataset NAME --out-network F --out-series F\n"
       "  train    --model M (--dataset NAME | --network F --series F"
@@ -94,7 +105,12 @@ int Usage() {
       "  experiment (--dataset ... | --network/--series ...)\n"
       "           [--models A,B,C] [--ckpt-dir DIR] [--resume]\n"
       "           (TB_EPOCHS/TB_REPEATS/TB_CKPT_EVERY/TB_FAULT/... "
-      "tune the sweep)\n");
+      "tune the sweep)\n"
+      "  serve-bench (--dataset ... | --network/--series ...)\n"
+      "           [--models A,B,C] [--requests N] [--rate R/s]\n"
+      "           [--batch-max B] [--max-delay-ms D] [--workers W]\n"
+      "           [--threads K] [--queue-cap Q] [--checkpoint F]"
+      " [--verify]\n");
   return 2;
 }
 
@@ -353,6 +369,160 @@ int CmdExperiment(const Args& args) {
   return 0;
 }
 
+// Deployment-shaped counterpart of Table III: replays held-out test windows
+// through the serving subsystem (registry -> bounded queue -> dynamic
+// micro-batcher -> workers) at a configurable open-loop arrival rate and
+// reports per-model latency SLO percentiles and throughput.
+int CmdServeBench(const Args& args) {
+  std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
+  if (!dataset) return 1;
+  const std::string dataset_name = args.Get("dataset", "imported");
+  const uint64_t seed =
+      std::strtoull(args.Get("seed", "2021").c_str(), nullptr, 10);
+
+  // --models A,B,C like `experiment`; --model X like `train`/`evaluate`.
+  std::vector<std::string> model_names =
+      SplitCommaList(args.Get("models", args.Get("model", "")));
+  if (model_names.empty()) model_names = tb::models::PaperModelNames();
+  const std::string checkpoint = args.Get("checkpoint", "");
+  if (!checkpoint.empty() && model_names.size() != 1) {
+    std::fprintf(stderr, "--checkpoint needs a single --models entry\n");
+    return 2;
+  }
+
+  const int64_t requests = std::max<int64_t>(
+      1, std::atoll(args.Get("requests", "64").c_str()));
+  const double rate = std::atof(args.Get("rate", "0").c_str());
+  tb::serve::ServerOptions server_options;
+  server_options.workers =
+      std::max(1, std::atoi(args.Get("workers", "1").c_str()));
+  server_options.threads_per_worker =
+      std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  server_options.batch.max_batch_size =
+      std::max<int64_t>(1, std::atoll(args.Get("batch-max", "8").c_str()));
+  server_options.batch.max_queue_delay_ms =
+      std::atof(args.Get("max-delay-ms", "2").c_str());
+  server_options.queue_capacity =
+      std::max<int64_t>(1, std::atoll(args.Get("queue-cap", "256").c_str()));
+  const bool verify = args.Has("verify");
+
+  const tb::data::DatasetSplits splits = dataset->Splits();
+  const int64_t test_count = splits.test_end - splits.test_begin;
+  if (test_count <= 0) {
+    std::fprintf(stderr, "dataset has no test windows\n");
+    return 1;
+  }
+
+  std::printf(
+      "serve-bench: %s | %lld requests/model, rate %s, batch-max %lld, "
+      "max-delay %.2f ms, %d worker(s) x %d thread(s), queue cap %lld\n",
+      dataset_name.c_str(), static_cast<long long>(requests),
+      rate > 0 ? (tb::Table::Num(rate, 1) + "/s").c_str() : "unthrottled",
+      static_cast<long long>(server_options.batch.max_batch_size),
+      server_options.batch.max_queue_delay_ms, server_options.workers,
+      server_options.threads_per_worker,
+      static_cast<long long>(server_options.queue_capacity));
+
+  tb::serve::ModelRegistry registry;
+  tb::Table table({"Model", "ok", "shed", "p50 ms", "p95 ms", "p99 ms",
+                   "max ms", "windows/s", "mean batch", "queue depth"});
+  bool verify_failed = false;
+  for (const std::string& name : model_names) {
+    tb::serve::ModelSpec spec;
+    spec.model_name = name;
+    spec.dataset_name = dataset_name;
+    spec.dataset = &*dataset;
+    spec.checkpoint_path = checkpoint;
+    spec.seed = seed;
+    tb::Status loaded = registry.Load(spec);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+
+    tb::serve::Server server(&registry, server_options);
+    server.Start();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<tb::serve::PredictResponse>> futures;
+    std::vector<int64_t> sample_of;
+    futures.reserve(requests);
+    for (int64_t i = 0; i < requests; ++i) {
+      if (rate > 0) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(i / rate)));
+      }
+      const int64_t sample = splits.test_begin + (i % test_count);
+      tb::serve::PredictRequest request;
+      request.model_name = name;
+      request.dataset_name = dataset_name;
+      request.window =
+          dataset->MakeBatch({sample}).x;  // [1, T_in, N, 2] accepted
+      futures.push_back(server.Submit(std::move(request)));
+      sample_of.push_back(sample);
+    }
+
+    int64_t ok = 0, shed = 0, failed = 0;
+    tb::serve::LoadedModelPtr entry = registry.Find(name, dataset_name);
+    int verified = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      tb::serve::PredictResponse response = futures[i].get();
+      if (response.status.ok()) {
+        ++ok;
+        // Bit-identity spot check: the served prediction must equal a
+        // batch-of-1 run of the same window, byte for byte.
+        if (verify && verified < 4) {
+          tb::Tensor direct =
+              entry->Predict(dataset->MakeBatch({sample_of[i]}).x);
+          const std::vector<float> a = response.prediction.ToVector();
+          const std::vector<float> b = direct.ToVector();
+          bool equal = a.size() == b.size();
+          for (size_t j = 0; equal && j < a.size(); ++j) {
+            equal = std::memcmp(&a[j], &b[j], sizeof(float)) == 0;
+          }
+          if (!equal) {
+            std::fprintf(stderr,
+                         "verify FAILED: %s window %lld differs from "
+                         "batch-of-1\n",
+                         name.c_str(), static_cast<long long>(sample_of[i]));
+            verify_failed = true;
+          }
+          ++verified;
+        }
+      } else if (response.status.code() ==
+                 tb::StatusCode::kResourceExhausted) {
+        ++shed;
+      } else {
+        ++failed;
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     response.status.ToString().c_str());
+      }
+    }
+    server.Stop();
+    const tb::serve::LatencySummary s = server.recorder().Summary();
+    table.AddRow({name, std::to_string(ok), std::to_string(shed),
+                  tb::Table::Num(s.request_p50 * 1e3, 3),
+                  tb::Table::Num(s.request_p95 * 1e3, 3),
+                  tb::Table::Num(s.request_p99 * 1e3, 3),
+                  tb::Table::Num(s.request_max * 1e3, 3),
+                  tb::Table::Num(s.throughput, 1),
+                  tb::Table::Num(s.mean_batch_size, 2),
+                  tb::Table::Num(s.mean_queue_depth, 2)});
+    if (failed > 0) return 1;
+    if (model_names.size() == 1) {
+      std::printf("\n%s", server.recorder().ToTable().ToString().c_str());
+    }
+  }
+  tb::core::EmitTable(
+      "Serving latency/throughput (" + dataset_name + ")", table,
+      "serve_bench.csv");
+  if (verify) {
+    std::printf("verify: %s\n", verify_failed ? "FAILED" : "OK");
+  }
+  return verify_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -362,6 +532,7 @@ int main(int argc, char** argv) try {
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "evaluate") return CmdEvaluate(args);
   if (args.command == "experiment") return CmdExperiment(args);
+  if (args.command == "serve-bench") return CmdServeBench(args);
   return Usage();
 } catch (const tb::SimulatedCrash& crash) {
   // The fault injector's stand-in for SIGKILL: die loudly, leaving only
