@@ -18,6 +18,8 @@
 #include "src/models/common.h"
 #include "src/models/dcrnn.h"
 #include "src/models/traffic_model.h"
+#include "src/serve/model_registry.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table.h"
 
 namespace tb = trafficbench;
@@ -87,7 +89,8 @@ int main() {
   tb::exec::ExecutionContext exec_context(exec_options);
 
   tb::Table table({"Model", "Training time/epoch", "Inference time",
-                   "Inference/window", "# of params", "Top ops (time share)"});
+                   "Inference/window", "Plan/window", "# of params",
+                   "Top ops (time share)"});
   for (const std::string& name : tb::models::PaperModelNames()) {
     tb::models::ModelContext context =
         tb::models::MakeModelContext(dataset, config.seed);
@@ -122,12 +125,43 @@ int main() {
         report.windows > 0
             ? report.inference_seconds * 1e3 / static_cast<double>(report.windows)
             : 0.0;
+
+    // Compiled-plan counterpart of "Inference/window": the trained model
+    // becomes a serving entry (which compiles its static plan on the first
+    // bucket) and replays a capped slice of the same test windows; "-"
+    // marks entries without a plan (e.g. host-computed baselines).
+    const int64_t params = model->ParameterCount();
+    std::string plan_cell = "-";
+    {
+      const int64_t batch = std::max<int64_t>(1, config.batch_size);
+      const int64_t count = std::min<int64_t>(test_end - splits.test_begin,
+                                              4 * batch);
+      auto make_batch = [&](int64_t begin, int64_t k) {
+        std::vector<int64_t> samples;
+        for (int64_t j = 0; j < k; ++j) {
+          samples.push_back(splits.test_begin + begin + j);
+        }
+        return dataset.MakeBatch(samples).x;
+      };
+      auto entry = std::make_shared<const tb::serve::LoadedModel>(
+          std::move(model), dataset, name, profile.name);
+      entry->Predict(make_batch(0, std::min(batch, count)));  // compile+warm
+      if (entry->plans_active() && count > 0) {
+        tb::Stopwatch watch;
+        for (int64_t done = 0; done < count; done += batch) {
+          entry->Predict(make_batch(done, std::min(batch, count - done)));
+        }
+        plan_cell = tb::Table::Num(
+                        watch.ElapsedSeconds() * 1e3 /
+                            static_cast<double>(count), 3) + " ms";
+      }
+    }
+
     table.AddRow({name, tb::Table::Num(train.seconds_per_epoch, 2) + " secs",
                   tb::Table::Num(report.inference_seconds, 2) + " secs",
-                  tb::Table::Num(ms_per_window, 3) + " ms",
-                  std::to_string(model->ParameterCount() / 1000) + "." +
-                      std::to_string((model->ParameterCount() % 1000) / 100) +
-                      "k",
+                  tb::Table::Num(ms_per_window, 3) + " ms", plan_cell,
+                  std::to_string(params / 1000) + "." +
+                      std::to_string((params % 1000) / 100) + "k",
                   top_ops});
     const std::string pool = exec_context.PoolSummary();
     std::fprintf(stderr, "  done: %s%s%s\n", name.c_str(),

@@ -18,14 +18,17 @@
 # serve-bench replay of test windows through the dynamic micro-batching
 # server (all eight models, bit-identity verified against batch-of-1) lands
 # under the "serve_bench" key, giving Table III a deployment-shaped
-# latency/throughput counterpart tracked across PRs.
+# latency/throughput counterpart tracked across PRs. Since PR 6 each model
+# is replayed twice — compiled-inference-plan pass and eager autograd pass —
+# so the per-model rows carry "windows/s" (plan), "auto w/s" (autograd) and
+# "speedup" columns.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 5)
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 6)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-5}"
+PR="${1:-6}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -69,7 +72,9 @@ headline("SpMM vs dense at PeMS-BAY scale/density",
          "BM_MatMul/325", "BM_SpMM/325/25", "real_time")
 EOF
 # Serve-bench replay: all eight models on METR-LA-S, micro-batching server,
-# bit-identity verified. The per-model CSV is folded into the snapshot.
+# bit-identity verified across served/plan/eager. The default mode runs a
+# compiled-plan pass and an autograd pass per model; both throughputs and
+# their ratio land in the per-model CSV folded into the snapshot.
 (cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
   --requests 64 --batch-max 8 --workers 2 --verify >/dev/null)
 
@@ -82,7 +87,8 @@ with open(out_path) as f:
 with open(csv_path) as f:
     rows = list(csv.DictReader(f))
 snap["serve_bench"] = {
-    "config": "METR-LA-S, 64 requests/model, batch-max 8, 2 workers, verify",
+    "config": "METR-LA-S, 64 requests/model, batch-max 8, 2 workers, "
+              "verify, plan+autograd passes",
     "models": rows,
 }
 with open(out_path, "w") as f:
@@ -90,8 +96,13 @@ with open(out_path, "w") as f:
     f.write("\n")
 
 by_rate = sorted(rows, key=lambda r: float(r["windows/s"]))
-print("serve-bench headlines (p50 ms | windows/s):")
+print("serve-bench headlines (p50 ms | plan windows/s | autograd windows/s | speedup):")
 for r in (by_rate[-1], by_rate[0]):
-    print(f"  {r['Model']}: {r['p50 ms']} ms p50 | {r['windows/s']} windows/s")
+    print(f"  {r['Model']}: {r['p50 ms']} ms p50 | {r['windows/s']} w/s"
+          f" | {r.get('auto w/s', '-')} w/s | {r.get('speedup', '-')}")
+by_speed = [r for r in rows if r.get("speedup", "-") != "-"]
+if by_speed:
+    best = max(by_speed, key=lambda r: float(r["speedup"].rstrip("x")))
+    print(f"  best plan speedup: {best['Model']} {best['speedup']}")
 EOF
 echo "snapshot: $OUT"

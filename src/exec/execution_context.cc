@@ -28,6 +28,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kDataMovement: return "DataMove";
     case OpKind::kDropoutMask: return "DropoutMask";
     case OpKind::kAdamStep: return "AdamStep";
+    case OpKind::kFusedEpilogue: return "FusedEpilogue";
     case OpKind::kNumKinds: break;
   }
   return "Unknown";

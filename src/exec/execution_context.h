@@ -48,6 +48,10 @@ enum class OpKind : int {
   kDataMovement,
   kDropoutMask,
   kAdamStep,
+  /// Plan-execution dispatch of a GEMM/SpMM/conv with a fused bias and/or
+  /// activation epilogue (DESIGN.md §12). Counted separately so profiler
+  /// tables show fused vs unfused dispatch counts and FLOPs side by side.
+  kFusedEpilogue,
   kNumKinds,  // sentinel
 };
 

@@ -1,0 +1,103 @@
+#include "src/exec/plan_executor.h"
+
+#include <cstring>
+
+#include "src/exec/execution_context.h"
+#include "src/util/check.h"
+
+namespace trafficbench::exec {
+
+using plan::InferencePlan;
+using plan::PlanStep;
+using plan::Slot;
+
+PlanExecutor::PlanExecutor(std::shared_ptr<const InferencePlan> plan)
+    : plan_(std::move(plan)),
+      pool_(ExecutionContext::Current().buffer_pool()) {
+  TB_CHECK(plan_ != nullptr);
+  buffers_.reserve(plan_->buffer_sizes.size());
+  for (const int64_t n : plan_->buffer_sizes) {
+    buffers_.push_back(pool_->Acquire(n));
+  }
+
+  // Resolve what is resolvable now; remember the rest as patch locations.
+  // A slot resolves to: its constant's storage, its bound buffer, or (input
+  // / output slots) nullptr + a patch entry.
+  const int num_steps = static_cast<int>(plan_->steps.size());
+  step_inputs_.resize(num_steps);
+  step_output_.resize(num_steps, nullptr);
+  step_aux_.resize(num_steps);
+  auto resolve = [&](int slot) -> const float* {
+    const Slot& s = plan_->slots[slot];
+    if (slot == plan_->output_slot) return nullptr;  // caller memory
+    switch (s.kind) {
+      case Slot::Kind::kInput: return nullptr;  // caller memory
+      case Slot::Kind::kConstant: return s.constant->data.data();
+      case Slot::Kind::kBuffer: return buffers_[s.buffer].data();
+    }
+    return nullptr;
+  };
+  for (int i = 0; i < num_steps; ++i) {
+    const PlanStep& p = plan_->steps[i];
+    step_inputs_[i].reserve(p.inputs.size());
+    for (size_t a = 0; a < p.inputs.size(); ++a) {
+      const int slot = p.inputs[a];
+      step_inputs_[i].push_back(resolve(slot));
+      if (slot == plan_->output_slot) {
+        output_arg_patches_.emplace_back(i, static_cast<int>(a));
+      } else if (plan_->slots[slot].kind == Slot::Kind::kInput) {
+        input_arg_patches_.emplace_back(i, static_cast<int>(a));
+      }
+    }
+    if (p.output == plan_->output_slot) {
+      output_step_patches_.push_back(i);
+    } else {
+      const Slot& out = plan_->slots[p.output];
+      TB_CHECK(out.kind == Slot::Kind::kBuffer && out.buffer >= 0);
+      step_output_[i] = buffers_[out.buffer].data();
+    }
+    step_aux_[i].reserve(p.aux.size());
+    for (const int b : p.aux) step_aux_[i].push_back(buffers_[b].data());
+  }
+}
+
+PlanExecutor::~PlanExecutor() {
+  for (std::vector<float>& b : buffers_) pool_->Release(std::move(b));
+}
+
+void PlanExecutor::Run(const float* input, int64_t input_numel, float* output,
+                       int64_t output_numel) {
+  TB_CHECK_EQ(input_numel, plan_->input_shape.numel());
+  TB_CHECK_EQ(output_numel, plan_->output_shape.numel());
+
+  // Degenerate plans: the output is the input or a folded constant.
+  const Slot& out_slot = plan_->slots[plan_->output_slot];
+  if (plan_->output_slot == plan_->input_slot) {
+    std::memcpy(output, input, output_numel * sizeof(float));
+    return;
+  }
+  if (out_slot.kind == Slot::Kind::kConstant) {
+    std::memcpy(output, out_slot.constant->data.data(),
+                output_numel * sizeof(float));
+    return;
+  }
+
+  for (const auto& [step, arg] : input_arg_patches_) {
+    step_inputs_[step][arg] = input;
+  }
+  for (const auto& [step, arg] : output_arg_patches_) {
+    step_inputs_[step][arg] = output;
+  }
+  for (const int step : output_step_patches_) step_output_[step] = output;
+
+  const int num_steps = static_cast<int>(plan_->steps.size());
+  for (int i = 0; i < num_steps; ++i) {
+    trace::ReplayArgs args;
+    args.inputs = step_inputs_[i].data();
+    args.output = step_output_[i];
+    args.aux = step_aux_[i].data();
+    plan_->steps[i].replay(args);
+  }
+}
+
+}  // namespace trafficbench::exec

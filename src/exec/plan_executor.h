@@ -1,0 +1,69 @@
+#ifndef TRAFFICBENCH_EXEC_PLAN_EXECUTOR_H_
+#define TRAFFICBENCH_EXEC_PLAN_EXECUTOR_H_
+
+// Executes a compiled InferencePlan against pre-bound buffers
+// (DESIGN.md §12).
+//
+// Construction binds everything once: every intermediate/scratch buffer is
+// acquired from the current ExecutionContext's BufferPool (and released to
+// it on destruction), every step's input/aux pointer array is resolved, and
+// the few entries that depend on the caller — the plan input and the plan
+// output — are remembered as patch locations. Run() then patches those
+// entries and dispatches the replay closures in order: no allocations, no
+// pool traffic, no autograd, no shape checks on the hot path. Per-step
+// profiler accounting comes from the timers inside the replay closures
+// (fused steps record under OpKind::kFusedEpilogue).
+//
+// Not thread-safe: Run() rewrites the patched pointer slots in place. Give
+// each serving worker its own executor (they are cheap — the buffers come
+// from the shared pool) or serialize access externally.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/plan/plan.h"
+#include "src/tensor/buffer_pool.h"
+
+namespace trafficbench::exec {
+
+class PlanExecutor {
+ public:
+  /// Binds buffers from the *current* execution context's pool.
+  explicit PlanExecutor(std::shared_ptr<const plan::InferencePlan> plan);
+  ~PlanExecutor();
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  const plan::InferencePlan& plan() const { return *plan_; }
+
+  /// Runs the schedule: reads `input_numel` floats from `input`, writes
+  /// `output_numel` floats to `output` (the plan's traced shapes). The
+  /// final step writes the caller's buffer directly. Uses the execution
+  /// context bound to the calling thread, so worker threads parallelize
+  /// kernels exactly like the eager path.
+  void Run(const float* input, int64_t input_numel, float* output,
+           int64_t output_numel);
+
+ private:
+  std::shared_ptr<const plan::InferencePlan> plan_;
+  std::shared_ptr<BufferPool> pool_;
+  /// Owned intermediates, index-aligned with plan_->buffer_sizes.
+  std::vector<std::vector<float>> buffers_;
+  /// Per-step resolved pointer arrays (constants and buffers fixed at
+  /// construction; input/output references patched per Run).
+  std::vector<std::vector<const float*>> step_inputs_;
+  std::vector<float*> step_output_;
+  std::vector<std::vector<float*>> step_aux_;
+  /// (step, arg) locations whose pointer is the caller's input / output.
+  std::vector<std::pair<int, int>> input_arg_patches_;
+  std::vector<std::pair<int, int>> output_arg_patches_;
+  /// Steps writing the plan output (patched to the caller's pointer).
+  std::vector<int> output_step_patches_;
+};
+
+}  // namespace trafficbench::exec
+
+#endif  // TRAFFICBENCH_EXEC_PLAN_EXECUTOR_H_

@@ -4,6 +4,7 @@
 
 #include "src/graph/road_network.h"
 #include "src/models/common.h"
+#include "src/tensor/trace.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
@@ -59,22 +60,42 @@ Gman::Gman(const ModelContext& context)
                              std::make_shared<nn::Linear>(kDim, 1, &rng));
 }
 
-Tensor Gman::TemporalEmbedding(const std::vector<float>& tod, int64_t batch,
-                               int64_t steps) const {
-  TB_CHECK_EQ(static_cast<int64_t>(tod.size()), batch * steps);
-  std::vector<float> features(batch * steps * kFourier);
-  for (int64_t i = 0; i < batch * steps; ++i) {
-    const double tau = 2.0 * M_PI * tod[i];
-    float* f = features.data() + i * kFourier;
-    f[0] = static_cast<float>(std::sin(tau));
-    f[1] = static_cast<float>(std::cos(tau));
-    f[2] = static_cast<float>(std::sin(2.0 * tau));
-    f[3] = static_cast<float>(std::cos(2.0 * tau));
-    f[4] = static_cast<float>(std::sin(4.0 * tau));
-    f[5] = static_cast<float>(std::cos(4.0 * tau));
-  }
-  Tensor raw = Tensor::FromVector(Shape({batch, steps, 1, kFourier}),
-                                  std::move(features));
+Tensor Gman::TemporalFeatures(const Tensor& x, bool future) const {
+  const int64_t batch = x.dim(0);
+  const int64_t t_in = input_len_;
+  const int64_t steps = future ? output_len_ : input_len_;
+  const int64_t n = num_nodes_;
+  // The time channel is read on the host, so this must go through HostOp:
+  // in a compiled plan the closure re-reads the bound input on every run
+  // instead of the traced values being baked in as constants.
+  trace::HostFn fn = [batch, t_in, steps, n, future](
+                         const float* const* inputs, float* out) {
+    const float* data = inputs[0];
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t t = 0; t < steps; ++t) {
+        float tod;
+        if (future) {
+          const float last = data[((b * t_in + (t_in - 1)) * n + 0) * 2 + 1];
+          float next = last + static_cast<float>(t + 1) / 288.0f;
+          next -= std::floor(next);
+          tod = next;
+        } else {
+          tod = data[((b * t_in + t) * n + 0) * 2 + 1];
+        }
+        const double tau = 2.0 * M_PI * tod;
+        float* f = out + (b * steps + t) * kFourier;
+        f[0] = static_cast<float>(std::sin(tau));
+        f[1] = static_cast<float>(std::cos(tau));
+        f[2] = static_cast<float>(std::sin(2.0 * tau));
+        f[3] = static_cast<float>(std::cos(2.0 * tau));
+        f[4] = static_cast<float>(std::sin(4.0 * tau));
+        f[5] = static_cast<float>(std::cos(4.0 * tau));
+      }
+    }
+  };
+  Tensor raw = trace::HostOp(future ? "GmanTodFuture" : "GmanTodHist", {x},
+                             Shape({batch, steps, 1, kFourier}),
+                             std::move(fn));
   return te_proj_->Forward(raw);  // [B, T, 1, D]
 }
 
@@ -101,29 +122,10 @@ Tensor Gman::Forward(const Tensor& x, const Tensor& teacher) {
   // --- Spatio-temporal embeddings -------------------------------------------
   Tensor se = se_proj_->Forward(spatial_base_);  // [N, D]
 
-  // History time-of-day per (batch, step) from the input's time channel.
-  std::vector<float> hist_tod(batch * input_len_);
-  {
-    const float* data = x.data();
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t t = 0; t < input_len_; ++t) {
-        hist_tod[b * input_len_ + t] =
-            data[((b * input_len_ + t) * num_nodes_ + 0) * 2 + 1];
-      }
-    }
-  }
-  std::vector<float> future_tod(batch * output_len_);
-  for (int64_t b = 0; b < batch; ++b) {
-    const float last = hist_tod[b * input_len_ + input_len_ - 1];
-    for (int64_t t = 0; t < output_len_; ++t) {
-      float next = last + static_cast<float>(t + 1) / 288.0f;
-      next -= std::floor(next);
-      future_tod[b * output_len_ + t] = next;
-    }
-  }
-  Tensor ste_hist =
-      TemporalEmbedding(hist_tod, batch, input_len_) + se;  // [B,T,N,D]
-  Tensor ste_future = TemporalEmbedding(future_tod, batch, output_len_) + se;
+  // Time-of-day embeddings from the input's time channel (via HostOp so
+  // the read stays input-dependent in compiled plans).
+  Tensor ste_hist = TemporalFeatures(x, /*future=*/false) + se;  // [B,T,N,D]
+  Tensor ste_future = TemporalFeatures(x, /*future=*/true) + se;
 
   // --- Encoder -----------------------------------------------------------------
   Tensor h = input_proj_->Forward(x);  // [B, T_in, N, D]

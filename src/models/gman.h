@@ -36,9 +36,10 @@ class Gman : public TrafficModel {
   Tensor RunBlock(const StAttentionBlock& block, const Tensor& h,
                   const Tensor& ste) const;
 
-  /// Fourier time-of-day features -> [B, T, 1, D] temporal embedding.
-  Tensor TemporalEmbedding(const std::vector<float>& tod, int64_t batch,
-                           int64_t steps) const;
+  /// Projected Fourier time-of-day embedding [B, steps, 1, D], computed
+  /// from `x`'s time channel through trace::HostOp so compiled plans keep
+  /// it input-dependent. `future` rolls the last history step forward.
+  Tensor TemporalFeatures(const Tensor& x, bool future) const;
 
   StAttentionBlock MakeBlock(const std::string& prefix, Rng* rng);
 

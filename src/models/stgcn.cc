@@ -4,6 +4,7 @@
 
 #include "src/graph/road_network.h"
 #include "src/models/common.h"
+#include "src/tensor/trace.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
@@ -106,7 +107,6 @@ Tensor Stgcn::Forward(const Tensor& x, const Tensor& teacher) {
   }
 
   // Autoregressive rollout: feed each prediction back as the next input.
-  std::vector<float> tod = LastTimeOfDay(x);
   Tensor window = x;
   std::vector<Tensor> steps;
   steps.reserve(output_len_);
@@ -114,17 +114,22 @@ Tensor Stgcn::Forward(const Tensor& x, const Tensor& teacher) {
     Tensor pred = PredictOneStep(window);  // [B, N]
     steps.push_back(pred);
     if (t + 1 == output_len_) break;
-    // Append (pred, next time-of-day) and drop the oldest step.
-    std::vector<float> tod_values(batch * num_nodes_);
-    for (int64_t b = 0; b < batch; ++b) {
-      float next = tod[b] + static_cast<float>(t + 1) / 288.0f;
-      next -= std::floor(next);
-      for (int64_t i = 0; i < num_nodes_; ++i) {
-        tod_values[b * num_nodes_ + i] = next;
-      }
-    }
-    Tensor tod_tensor = Tensor::FromVector(Shape({batch, 1, num_nodes_, 1}),
-                                           std::move(tod_values));
+    // Append (pred, next time-of-day) and drop the oldest step. The
+    // time-of-day read goes through HostOp so compiled plans keep it
+    // input-dependent (same arithmetic as LastTimeOfDay + the old inline
+    // rollout loop).
+    Tensor tod_tensor = trace::HostOp(
+        "StgcnTod", {x}, Shape({batch, 1, num_nodes_, 1}),
+        [batch, t_in = input_len_, n = num_nodes_, t](
+            const float* const* inputs, float* out) {
+          const float* data = inputs[0];
+          for (int64_t b = 0; b < batch; ++b) {
+            const float tod = data[((b * t_in + (t_in - 1)) * n + 0) * 2 + 1];
+            float next = tod + static_cast<float>(t + 1) / 288.0f;
+            next -= std::floor(next);
+            for (int64_t i = 0; i < n; ++i) out[b * n + i] = next;
+          }
+        });
     Tensor new_step =
         Concat({pred.Reshape(Shape({batch, 1, num_nodes_, 1})), tod_tensor},
                3);  // [B, 1, N, 2]

@@ -1,0 +1,456 @@
+#include "src/plan/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/tensor/buffer_pool.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+
+namespace trafficbench::plan {
+
+namespace {
+
+using internal_tensor::TensorImpl;
+using trace::OpPattern;
+using trace::TraceStep;
+
+/// Mutable compile-time view of one tape step. `live` steps survive into
+/// the plan; inputs/output are canonical impl identities (reshape aliasing
+/// rewrites them in place).
+struct WorkStep {
+  const TraceStep* traced = nullptr;
+  bool live = true;
+  std::string name;
+  exec::OpKind kind;
+  double flops = 0.0;
+  bool fused = false;
+  std::vector<const TensorImpl*> inputs;
+  const TensorImpl* output = nullptr;
+  std::vector<int64_t> aux_sizes;
+  trace::ReplayFn replay;
+};
+
+/// True when `act` names an activation the fused epilogues implement.
+bool IsActivation(OpPattern p) {
+  return p == OpPattern::kRelu || p == OpPattern::kSigmoid ||
+         p == OpPattern::kTanh || p == OpPattern::kLeakyRelu;
+}
+
+kernels::EpilogueAct ToEpilogueAct(OpPattern p) {
+  switch (p) {
+    case OpPattern::kRelu: return kernels::EpilogueAct::kRelu;
+    case OpPattern::kSigmoid: return kernels::EpilogueAct::kSigmoid;
+    case OpPattern::kTanh: return kernels::EpilogueAct::kTanh;
+    case OpPattern::kLeakyRelu: return kernels::EpilogueAct::kLeakyRelu;
+    default: return kernels::EpilogueAct::kNone;
+  }
+}
+
+const char* FusedName(OpPattern head, bool with_bias, bool with_act) {
+  switch (head) {
+    case OpPattern::kMatMul:
+      if (with_bias && with_act) return "MatMul+Bias+Act";
+      return with_bias ? "MatMul+Bias" : "MatMul+Act";
+    case OpPattern::kSpMM:
+      if (with_bias && with_act) return "SpMM+Bias+Act";
+      return with_bias ? "SpMM+Bias" : "SpMM+Act";
+    case OpPattern::kConv2d:
+      return "Conv2d+Act";
+    default:
+      return "Fused";
+  }
+}
+
+/// True when `shape` broadcasts against a row of length n purely along the
+/// last axis: numel == n and the last dim == n (every other dim 1). This is
+/// what EpilogueSpec::bias[j]-per-column assumes.
+bool IsRowBias(const Shape& shape, int64_t n) {
+  if (shape.numel() != n) return false;
+  if (shape.rank() == 0) return n == 1;
+  return shape.dim(shape.rank() - 1) == n;
+}
+
+}  // namespace
+
+std::string InferencePlan::Summary() const {
+  std::string s = std::to_string(steps.size()) + " steps (" +
+                  std::to_string(stats.fused) + " fused, " +
+                  std::to_string(stats.folded) + " folded, " +
+                  std::to_string(stats.elided) + " elided, " +
+                  std::to_string(stats.traced_steps) + " traced) | " +
+                  std::to_string(stats.buffers) + " buffers, ";
+  const double mib =
+      static_cast<double>(stats.buffer_bytes) / (1024.0 * 1024.0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MiB", mib);
+  return s + buf;
+}
+
+Result<std::shared_ptr<const InferencePlan>> Compile(
+    const trace::Tracer& tracer,
+    const std::shared_ptr<TensorImpl>& input,
+    const std::shared_ptr<TensorImpl>& output,
+    const CompileOptions& options) {
+  TB_CHECK(input != nullptr && output != nullptr);
+  if (tracer.failed()) {
+    return Status::InvalidArgument("trace poisoned: op '" + tracer.failure() +
+                                   "' has no replay");
+  }
+
+  const std::vector<TraceStep>& tape = tracer.steps();
+
+  // Producer index and impl-identity bookkeeping. `keep_alive` pins every
+  // impl we may reference while passes run.
+  std::unordered_map<const TensorImpl*, std::shared_ptr<TensorImpl>> pin;
+  pin[input.get()] = input;
+  pin[output.get()] = output;
+  for (const TraceStep& t : tape) {
+    for (const auto& in : t.inputs) pin[in.get()] = in;
+    pin[t.output.get()] = t.output;
+  }
+
+  std::vector<WorkStep> work;
+  work.reserve(tape.size());
+  std::unordered_map<const TensorImpl*, int> producer;
+  for (const TraceStep& t : tape) {
+    WorkStep w;
+    w.traced = &t;
+    w.name = t.name;
+    w.kind = t.kind;
+    w.flops = t.flops;
+    w.output = t.output.get();
+    w.aux_sizes = t.aux_sizes;
+    w.replay = t.replay;
+    for (const auto& in : t.inputs) w.inputs.push_back(in.get());
+    producer[w.output] = static_cast<int>(work.size());
+    work.push_back(std::move(w));
+  }
+
+  CompileStats stats;
+  stats.traced_steps = static_cast<int64_t>(tape.size());
+
+  // Pass 1: untraced dataflow. Any referenced impl that MakeOp produced
+  // under this tracer without a recorded step is a silent-constant hazard.
+  auto untraced = [&](const TensorImpl* impl) {
+    return tracer.IsUntraced(impl);
+  };
+  if (untraced(output.get())) {
+    return Status::InvalidArgument(
+        "plan output was produced by an untraced op");
+  }
+  for (const WorkStep& w : work) {
+    for (const TensorImpl* in : w.inputs) {
+      if (untraced(in)) {
+        return Status::InvalidArgument(std::string("input of '") + w.name +
+                                       "' was produced by an untraced op");
+      }
+    }
+  }
+
+  // A leaf is anything no step produced: the plan input, or a constant
+  // (weights, adjacency supports, host-loaded features). Folding below may
+  // grow the constant set.
+  std::unordered_set<const TensorImpl*> constants;
+  auto is_const = [&](const TensorImpl* impl) {
+    return impl != input.get() && producer.find(impl) == producer.end();
+  };
+
+  // Pass 2: constant folding. The tape was recorded from a real forward, so
+  // a step whose inputs are all constants already computed its result: drop
+  // the step and let its (pinned) output impl become a constant leaf.
+  if (options.fold_constants) {
+    for (WorkStep& w : work) {
+      bool all_const = true;
+      for (const TensorImpl* in : w.inputs) {
+        if (!is_const(in)) { all_const = false; break; }
+      }
+      if (all_const && w.output != output.get()) {
+        w.live = false;
+        producer.erase(w.output);  // now a leaf → constant
+        ++stats.folded;
+      }
+    }
+  }
+
+  // Pass 3: dead-step elimination — keep only ancestors of the output.
+  {
+    std::vector<char> needed(work.size(), 0);
+    std::vector<int> stack;
+    auto need = [&](const TensorImpl* impl) {
+      auto it = producer.find(impl);
+      if (it != producer.end() && !needed[it->second]) {
+        needed[it->second] = 1;
+        stack.push_back(it->second);
+      }
+    };
+    need(output.get());
+    while (!stack.empty()) {
+      const int i = stack.back();
+      stack.pop_back();
+      for (const TensorImpl* in : work[i].inputs) need(in);
+    }
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (work[i].live && !needed[i]) {
+        work[i].live = false;
+        producer.erase(work[i].output);
+        ++stats.dead;
+      }
+    }
+  }
+
+  // Pass 4: reshape elision. A pure-copy step disappears by aliasing its
+  // output to its input's canonical identity; later references are
+  // rewritten. The plan output keeps its copy step so the caller's buffer
+  // is still written.
+  std::unordered_map<const TensorImpl*, const TensorImpl*> alias;
+  auto canon = [&](const TensorImpl* impl) {
+    while (true) {
+      auto it = alias.find(impl);
+      if (it == alias.end()) return impl;
+      impl = it->second;
+    }
+  };
+  if (options.elide_reshapes) {
+    for (WorkStep& w : work) {
+      if (!w.live || w.traced->info.pattern != OpPattern::kReshape) continue;
+      if (w.output == output.get()) continue;
+      alias[w.output] = canon(w.inputs[0]);
+      w.live = false;
+      producer.erase(w.output);
+      ++stats.elided;
+    }
+    for (WorkStep& w : work) {
+      if (!w.live) continue;
+      for (const TensorImpl*& in : w.inputs) in = canon(in);
+    }
+  }
+
+  // Use counts over the live steps (post-aliasing), for the single-consumer
+  // checks of the fusion peephole.
+  std::unordered_map<const TensorImpl*, int> uses;
+  for (const WorkStep& w : work) {
+    if (!w.live) continue;
+    for (const TensorImpl* in : w.inputs) ++uses[in];
+  }
+
+  // Pass 5: epilogue fusion. Head step (MatMul/SpMM/Conv2d) → optional
+  // constant row-bias add (GEMM/SpMM only) → optional activation, each link
+  // requiring the intermediate to have exactly one consumer and not be the
+  // plan output. The head's FusedReplayFactory builds the combined kernel;
+  // the bias impl is appended as the step's LAST input (the convention the
+  // factories were recorded with).
+  if (options.fuse_epilogues) {
+    // Index of the one live step consuming `impl` after step `after`, or -1
+    // when it is the plan output / multiply-used / unused.
+    auto sole_consumer = [&](const TensorImpl* impl, size_t after) -> int {
+      if (impl == output.get()) return -1;
+      auto it = uses.find(impl);
+      if (it == uses.end() || it->second != 1) return -1;
+      for (size_t j = after + 1; j < work.size(); ++j) {
+        if (!work[j].live) continue;
+        for (const TensorImpl* in : work[j].inputs) {
+          if (in == impl) return static_cast<int>(j);
+        }
+      }
+      return -1;
+    };
+    for (size_t i = 0; i < work.size(); ++i) {
+      WorkStep& head = work[i];
+      if (!head.live || head.traced->make_fused == nullptr) continue;
+      const OpPattern hp = head.traced->info.pattern;
+      const int64_t n = head.traced->info.n;
+
+      // Optional constant row-bias add (GEMM/SpMM heads only).
+      const TensorImpl* bias = nullptr;
+      int bias_idx = -1;
+      const TensorImpl* tail_out = head.output;
+      size_t tail_idx = i;
+      if (hp == OpPattern::kMatMul || hp == OpPattern::kSpMM) {
+        const int ci = sole_consumer(tail_out, tail_idx);
+        if (ci >= 0) {
+          WorkStep& c = work[ci];
+          if (c.traced->info.pattern == OpPattern::kAdd &&
+              c.inputs.size() == 2 &&
+              c.output->shape.numel() == tail_out->shape.numel()) {
+            const TensorImpl* other =
+                c.inputs[0] == tail_out ? c.inputs[1] : c.inputs[0];
+            if (other != tail_out && is_const(other) &&
+                IsRowBias(other->shape, n)) {
+              bias = other;
+              bias_idx = ci;
+              tail_out = c.output;
+              tail_idx = static_cast<size_t>(ci);
+            }
+          }
+        }
+      }
+
+      // Optional activation tail.
+      int act_idx = -1;
+      OpPattern act = OpPattern::kOpaque;
+      {
+        const int ci = sole_consumer(tail_out, tail_idx);
+        if (ci >= 0) {
+          WorkStep& c = work[ci];
+          if (IsActivation(c.traced->info.pattern) && c.inputs.size() == 1 &&
+              c.inputs[0] == tail_out) {
+            act_idx = ci;
+            act = c.traced->info.pattern;
+            tail_out = c.output;
+          }
+        }
+      }
+
+      if (bias_idx < 0 && act_idx < 0) continue;
+      if (hp == OpPattern::kConv2d && act_idx < 0) continue;
+
+      const float slope =
+          act_idx >= 0 ? work[act_idx].traced->info.leaky_slope : 0.0f;
+      head.replay = head.traced->make_fused(
+          static_cast<int>(ToEpilogueAct(act)), slope, bias != nullptr);
+      head.kind = exec::OpKind::kFusedEpilogue;
+      head.fused = true;
+      head.name = FusedName(hp, bias != nullptr, act_idx >= 0);
+      if (bias != nullptr) {
+        head.inputs.push_back(bias);
+        ++uses[bias];
+      }
+      for (const int absorbed : {bias_idx, act_idx}) {
+        if (absorbed < 0) continue;
+        head.flops += work[absorbed].flops;
+        work[absorbed].live = false;
+        producer.erase(work[absorbed].output);
+        ++stats.fused;
+      }
+      producer.erase(head.output);
+      head.output = tail_out;
+      producer[head.output] = static_cast<int>(i);
+    }
+  }
+
+  // ---- Slot assignment -----------------------------------------------------
+  // Number every surviving impl; then liveness-scan to share pool buffers
+  // between non-overlapping intermediates of the same bucket class.
+  std::vector<Slot> slots;
+  std::unordered_map<const TensorImpl*, int> slot_of;
+  auto slot_for = [&](const TensorImpl* impl) {
+    auto it = slot_of.find(impl);
+    if (it != slot_of.end()) return it->second;
+    Slot s;
+    s.size = impl->shape.numel();
+    if (impl == canon(input.get())) {
+      s.kind = Slot::Kind::kInput;
+    } else if (producer.find(impl) == producer.end()) {
+      s.kind = Slot::Kind::kConstant;
+      auto pit = pin.find(impl);
+      TB_CHECK(pit != pin.end());
+      s.constant = pit->second;
+    } else {
+      s.kind = Slot::Kind::kBuffer;
+    }
+    const int id = static_cast<int>(slots.size());
+    slots.push_back(std::move(s));
+    slot_of[impl] = id;
+    return id;
+  };
+
+  const TensorImpl* cin = canon(input.get());
+  const TensorImpl* cout = canon(output.get());
+  const int input_slot = slot_for(cin);
+
+  std::vector<PlanStep> steps;
+  std::vector<std::vector<int64_t>> step_aux_sizes;
+  for (WorkStep& w : work) {
+    if (!w.live) continue;
+    PlanStep p;
+    p.name = std::move(w.name);
+    p.kind = w.kind;
+    p.flops = w.flops;
+    p.fused = w.fused;
+    for (const TensorImpl* in : w.inputs) p.inputs.push_back(slot_for(in));
+    p.output = slot_for(w.output);
+    p.replay = std::move(w.replay);
+    steps.push_back(std::move(p));
+    step_aux_sizes.push_back(w.aux_sizes);  // buffers assigned below
+  }
+  const int output_slot = slot_for(cout);
+  // A constant output means the forward never routed the input through
+  // traced ops (e.g. a host-computed baseline): executing such a "plan"
+  // would replay a stale value, so refuse it.
+  if (slots[output_slot].kind == Slot::Kind::kConstant) {
+    return Status::InvalidArgument(
+        "plan output does not depend on the input");
+  }
+
+  // Liveness: last step index reading each slot (the output slot is pinned
+  // forever — it is the caller's memory).
+  const int num_steps = static_cast<int>(steps.size());
+  std::vector<int> last_use(slots.size(), -1);
+  for (int i = 0; i < num_steps; ++i) {
+    for (int s : steps[i].inputs) last_use[s] = std::max(last_use[s], i);
+  }
+  last_use[output_slot] = num_steps;  // never recycled
+
+  // Greedy buffer assignment by bucket class. `free_at[cap]` holds
+  // (buffer id, step it was freed at); a buffer freed at step j serves a
+  // definition at step i only when i > j, so no replay aliases its own
+  // inputs or scratch.
+  std::vector<int64_t> buffer_sizes;
+  std::unordered_map<int64_t, std::vector<std::pair<int, int>>> free_at;
+  auto take_buffer = [&](int64_t numel, int step) {
+    const int64_t cap = BufferPool::BucketCapacity(numel);
+    auto& list = free_at[cap];
+    for (size_t k = 0; k < list.size(); ++k) {
+      if (list[k].second < step) {
+        const int id = list[k].first;
+        list.erase(list.begin() + k);
+        return id;
+      }
+    }
+    buffer_sizes.push_back(cap);
+    return static_cast<int>(buffer_sizes.size() - 1);
+  };
+  for (int i = 0; i < num_steps; ++i) {
+    PlanStep& p = steps[i];
+    Slot& out = slots[p.output];
+    if (out.kind == Slot::Kind::kBuffer && out.buffer < 0 &&
+        p.output != output_slot) {
+      out.buffer = take_buffer(out.size, i);
+    }
+    // Step-private scratch: defined and freed at i.
+    for (int64_t sz : step_aux_sizes[i]) {
+      const int id = take_buffer(sz, i);
+      p.aux.push_back(id);
+      free_at[buffer_sizes[id]].emplace_back(id, i);
+    }
+    for (int s : p.inputs) {
+      if (slots[s].kind == Slot::Kind::kBuffer && last_use[s] == i &&
+          s != output_slot && slots[s].buffer >= 0) {
+        free_at[buffer_sizes[slots[s].buffer]].emplace_back(slots[s].buffer,
+                                                            i);
+      }
+    }
+  }
+
+  auto result = std::make_shared<InferencePlan>();
+  result->input_shape = input->shape;
+  result->output_shape = output->shape;
+  result->input_slot = input_slot;
+  result->output_slot = output_slot;
+  result->slots = std::move(slots);
+  result->buffer_sizes = std::move(buffer_sizes);
+  result->steps = std::move(steps);
+  stats.steps = num_steps;
+  stats.buffers = static_cast<int64_t>(result->buffer_sizes.size());
+  for (int64_t b : result->buffer_sizes) {
+    stats.buffer_bytes += b * static_cast<int64_t>(sizeof(float));
+  }
+  result->stats = stats;
+  return std::shared_ptr<const InferencePlan>(std::move(result));
+}
+
+}  // namespace trafficbench::plan

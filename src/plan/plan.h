@@ -1,0 +1,127 @@
+#ifndef TRAFFICBENCH_PLAN_PLAN_H_
+#define TRAFFICBENCH_PLAN_PLAN_H_
+
+// Compiled inference plans (DESIGN.md §12).
+//
+// An InferencePlan is the static form of one traced forward pass: a
+// topologically-ordered list of replay closures wired to *slots* instead of
+// tensors. Slots come in three kinds — the plan input (rebound to the
+// caller's pointer on every run), constants (weights and folded
+// intermediates, kept alive by the plan), and buffers (intermediates the
+// executor pre-binds once from the context's BufferPool). Executing a plan
+// therefore performs zero allocations, zero shape checks and builds zero
+// autograd nodes; its output is bit-identical to the eager forward it was
+// traced from, at any thread count (see src/tensor/trace.h for the replay
+// determinism contract).
+//
+// Compile() runs the pass pipeline over a Tracer's tape:
+//   1. untraced-dataflow detection — refuse tapes whose output depends on a
+//      tensor produced by an op that did not record a step (its value would
+//      silently become a stale constant);
+//   2. constant folding — a step whose inputs are all constants already
+//      holds its result (the trace *ran*), so the step is dropped and its
+//      output becomes a constant;
+//   3. dead-step elimination — drop steps the output does not depend on;
+//   4. reshape elision — pure-copy steps are removed by aliasing their
+//      output to the producer's slot;
+//   5. epilogue fusion — GEMM/SpMM followed by a constant bias-vector add
+//      and/or an activation (conv: activation only) collapse into one fused
+//      kernel dispatch (kernels::*Fused / conv::Conv2dPlan epilogues);
+//   6. liveness buffer assignment — intermediates whose live ranges do not
+//      overlap share pool buffers of the same bucket class. A buffer freed
+//      at step i is reusable only by steps strictly after i, so a replay
+//      never reads and writes the same memory.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/execution_context.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/trace.h"
+#include "src/util/status.h"
+
+namespace trafficbench::plan {
+
+struct CompileOptions {
+  bool fold_constants = true;
+  bool elide_reshapes = true;
+  bool fuse_epilogues = true;
+};
+
+/// What the pass pipeline did, for logs and the serve-bench report.
+struct CompileStats {
+  int64_t traced_steps = 0;  // steps on the raw tape
+  int64_t steps = 0;         // steps surviving all passes
+  int64_t folded = 0;        // steps turned into constants
+  int64_t dead = 0;          // steps the output never depended on
+  int64_t elided = 0;        // reshapes removed by slot aliasing
+  int64_t fused = 0;         // epilogue steps absorbed into their head
+  int64_t buffers = 0;       // distinct pool buffers the executor binds
+  int64_t buffer_bytes = 0;  // their total size
+};
+
+/// One value in the plan's dataflow.
+struct Slot {
+  enum class Kind : int {
+    kInput = 0,  // the plan input; rebound to the caller pointer per run
+    kConstant,   // weight / folded value; `constant->data` is the storage
+    kBuffer,     // intermediate; executor binds pool buffer `buffer`
+  };
+  Kind kind = Kind::kBuffer;
+  int64_t size = 0;  // numel
+  /// Keeps constant storage alive (kConstant only).
+  std::shared_ptr<internal_tensor::TensorImpl> constant;
+  /// Index into InferencePlan::buffer_sizes (kBuffer only).
+  int buffer = -1;
+};
+
+/// One kernel dispatch: a replay closure plus the slot ids it reads and
+/// writes. `aux` names scratch buffers private to this step.
+struct PlanStep {
+  std::string name;
+  exec::OpKind kind = exec::OpKind::kUnary;
+  double flops = 0.0;
+  bool fused = false;
+  std::vector<int> inputs;
+  int output = -1;
+  std::vector<int> aux;
+  trace::ReplayFn replay;
+};
+
+/// An immutable compiled forward pass. Thread-safe to share; each executor
+/// (src/exec/plan_executor.h) binds its own buffers against it.
+struct InferencePlan {
+  Shape input_shape;
+  Shape output_shape;
+  int input_slot = -1;
+  /// May equal input_slot or name a constant slot when every step folded
+  /// away; the executor then degenerates to one memcpy.
+  int output_slot = -1;
+  std::vector<Slot> slots;
+  /// Pre-bind sizes (numel, bucket-rounded) of the shared buffer set.
+  std::vector<int64_t> buffer_sizes;
+  std::vector<PlanStep> steps;
+  CompileStats stats;
+
+  /// e.g. "9 steps (4 fused, 2 folded, 3 elided, 14 traced) | 5 buffers,
+  /// 1.3 MiB".
+  std::string Summary() const;
+};
+
+/// Compiles a recorded trace into a plan. `input` is the tensor the caller
+/// will rebind per run; `output` is the traced forward's result. Fails
+/// (never aborts) on poisoned tapes, untraced dataflow, or an output that
+/// does not descend from the tape — the registry falls back to the eager
+/// path on failure.
+Result<std::shared_ptr<const InferencePlan>> Compile(
+    const trace::Tracer& tracer,
+    const std::shared_ptr<internal_tensor::TensorImpl>& input,
+    const std::shared_ptr<internal_tensor::TensorImpl>& output,
+    const CompileOptions& options = {});
+
+}  // namespace trafficbench::plan
+
+#endif  // TRAFFICBENCH_PLAN_PLAN_H_

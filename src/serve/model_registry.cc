@@ -1,26 +1,151 @@
 #include "src/serve/model_registry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
 
 #include "src/nn/serialize.h"
+#include "src/tensor/trace.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 
 namespace trafficbench::serve {
 
+namespace {
+
+/// Batch-size bucket: the smallest power of two >= b. Requests share a
+/// compiled plan per bucket; smaller batches are zero-padded up to it.
+int64_t BucketFor(int64_t b) {
+  int64_t bucket = 1;
+  while (bucket < b) bucket <<= 1;
+  return bucket;
+}
+
+/// Deterministic perturbation for the second verification input: remaps
+/// every element (values and time channel alike) so a plan that baked any
+/// host-read or folded any input-dependent value produces a mismatch.
+void Perturb(std::vector<float>* values) {
+  for (float& v : *values) v = v * 0.5f + 0.125f;
+}
+
+bool BitEqual(const float* a, const float* b, int64_t n) {
+  return std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
 LoadedModel::LoadedModel(std::unique_ptr<models::TrafficModel> model,
                          const data::TrafficDataset& dataset,
-                         std::string model_name, std::string dataset_name)
+                         std::string model_name, std::string dataset_name,
+                         bool compile_plans)
     : model_(std::move(model)),
       scaler_(dataset.scaler()),
       model_name_(std::move(model_name)),
       dataset_name_(std::move(dataset_name)),
       num_nodes_(dataset.num_nodes()),
       input_len_(dataset.input_len()),
-      output_len_(dataset.output_len()) {
+      output_len_(dataset.output_len()),
+      plans_enabled_(compile_plans) {
   TB_CHECK(model_ != nullptr);
   parameter_count_ = model_->ParameterCount();
   model_->SetTraining(false);
+  if (!compile_plans) plans_disabled_reason_ = "disabled by spec";
+}
+
+Tensor LoadedModel::DenormalizeTo(const Shape& shape,
+                                  const float* normalized) const {
+  // Scalar denormalization: per-element and thus independent of batch
+  // composition (part of the bit-identity contract).
+  const int64_t n = shape.numel();
+  std::vector<float> raw(normalized, normalized + n);
+  for (float& v : raw) v = scaler_.Denormalize(v);
+  return Tensor::FromVector(shape, std::move(raw));
+}
+
+Tensor LoadedModel::PredictEagerLocked(const Tensor& x) const {
+  Tensor normalized = model_->Forward(x, Tensor());
+  return DenormalizeTo(normalized.shape(), normalized.data());
+}
+
+void LoadedModel::DisablePlansLocked(const std::string& reason) const {
+  plans_enabled_ = false;
+  plans_disabled_reason_ = reason;
+  plans_.clear();  // executors release their buffers back to the pool
+}
+
+LoadedModel::BucketPlan* LoadedModel::CompileBucketLocked(
+    int64_t bucket) const {
+  {
+    // The global injector is not thread-safe; concurrent first requests to
+    // *different* models may reach this site at once (cf. the server's
+    // fault mutex for serve_slow_worker).
+    static std::mutex fault_mu;
+    std::lock_guard<std::mutex> fault_lock(fault_mu);
+    if (FaultInjector::Global().Should(FaultSite::kPlanCompile)) {
+      DisablePlansLocked("fault injected at plan_compile");
+      return nullptr;
+    }
+  }
+
+  const Shape in_shape({bucket, input_len_, num_nodes_, 2});
+  const int64_t in_numel = in_shape.numel();
+
+  // Trace one eager forward over a zero batch of the bucket shape.
+  Tensor traced_in = Tensor::Zeros(in_shape);
+  trace::Tracer tracer;
+  Tensor traced_out;
+  {
+    trace::Tracer::Scope scope(&tracer);
+    traced_out = model_->Forward(traced_in, Tensor());
+  }
+
+  Result<std::shared_ptr<const plan::InferencePlan>> compiled =
+      plan::Compile(tracer, traced_in.impl(), traced_out.impl());
+  if (!compiled.ok()) {
+    DisablePlansLocked("compile failed: " + compiled.status().message());
+    return nullptr;
+  }
+  // Slicing the first `batch` windows out of the padded output requires the
+  // batch axis to be outermost.
+  if (traced_out.rank() < 1 || traced_out.dim(0) != bucket) {
+    DisablePlansLocked("output batch axis is not outermost");
+    return nullptr;
+  }
+
+  BucketPlan bp;
+  bp.plan = std::move(compiled).value();
+  bp.executor = std::make_unique<exec::PlanExecutor>(bp.plan);
+  bp.staging_in.assign(in_numel, 0.0f);
+  bp.staging_out.assign(bp.plan->output_shape.numel(), 0.0f);
+
+  // Verification 1: replaying the traced input must reproduce the traced
+  // output bit for bit.
+  bp.executor->Run(traced_in.data(), in_numel, bp.staging_out.data(),
+                   static_cast<int64_t>(bp.staging_out.size()));
+  if (!BitEqual(bp.staging_out.data(), traced_out.data(),
+                traced_out.numel())) {
+    DisablePlansLocked("verify failed: plan != eager on traced input");
+    return nullptr;
+  }
+
+  // Verification 2: a perturbed input must also match the eager forward —
+  // this catches any input-dependent value the compile baked in as a
+  // constant (e.g. a host-side read that bypassed trace::HostOp).
+  std::vector<float> perturbed = traced_in.ToVector();
+  Perturb(&perturbed);
+  Tensor check_in = Tensor::FromVector(in_shape, std::move(perturbed));
+  Tensor check_out = model_->Forward(check_in, Tensor());
+  bp.executor->Run(check_in.data(), in_numel, bp.staging_out.data(),
+                   static_cast<int64_t>(bp.staging_out.size()));
+  if (!BitEqual(bp.staging_out.data(), check_out.data(), check_out.numel())) {
+    DisablePlansLocked("verify failed: plan != eager on perturbed input");
+    return nullptr;
+  }
+
+  auto [it, inserted] = plans_.emplace(bucket, std::move(bp));
+  TB_CHECK(inserted);
+  return &it->second;
 }
 
 Tensor LoadedModel::Predict(const Tensor& x) const {
@@ -28,16 +153,62 @@ Tensor LoadedModel::Predict(const Tensor& x) const {
   TB_CHECK_EQ(x.dim(1), input_len_);
   TB_CHECK_EQ(x.dim(2), num_nodes_);
   NoGradGuard no_grad;
-  Tensor normalized;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    normalized = model_->Forward(x, Tensor());
+  const int64_t batch = x.dim(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!plans_enabled_) return PredictEagerLocked(x);
+
+  const int64_t bucket = BucketFor(batch);
+  BucketPlan* bp = nullptr;
+  auto it = plans_.find(bucket);
+  if (it != plans_.end()) {
+    bp = &it->second;
+  } else {
+    bp = CompileBucketLocked(bucket);
+    if (bp == nullptr) return PredictEagerLocked(x);  // fell back
   }
-  // Scalar denormalization outside the model lock: per-element and thus
-  // independent of batch composition (part of the bit-identity contract).
-  std::vector<float> raw = normalized.ToVector();
-  for (float& v : raw) v = scaler_.Denormalize(v);
-  return Tensor::FromVector(normalized.shape(), std::move(raw));
+
+  // Stage the batch into the bucket-shaped input. The tail beyond `batch`
+  // is re-zeroed so plan execution is independent of request history; its
+  // outputs are discarded (windows are batch-independent).
+  const int64_t window = input_len_ * num_nodes_ * 2;
+  std::memcpy(bp->staging_in.data(), x.data(),
+              static_cast<size_t>(batch * window) * sizeof(float));
+  std::fill(bp->staging_in.begin() + batch * window, bp->staging_in.end(),
+            0.0f);
+  bp->executor->Run(bp->staging_in.data(),
+                    static_cast<int64_t>(bp->staging_in.size()),
+                    bp->staging_out.data(),
+                    static_cast<int64_t>(bp->staging_out.size()));
+  std::vector<int64_t> out_dims = bp->plan->output_shape.dims();
+  out_dims[0] = batch;  // slice the first `batch` windows off the bucket
+  return DenormalizeTo(Shape(std::move(out_dims)), bp->staging_out.data());
+}
+
+Tensor LoadedModel::PredictReference(const Tensor& x) const {
+  TB_CHECK_EQ(x.rank(), 4);
+  TB_CHECK_EQ(x.dim(1), input_len_);
+  TB_CHECK_EQ(x.dim(2), num_nodes_);
+  NoGradGuard no_grad;
+  std::lock_guard<std::mutex> lock(mu_);
+  return PredictEagerLocked(x);
+}
+
+bool LoadedModel::plans_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_enabled_;
+}
+
+std::string LoadedModel::plan_summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (!plans_enabled_) {
+    return "plans off (" + plans_disabled_reason_ + ")";
+  }
+  for (const auto& [bucket, bp] : plans_) {
+    if (!out.empty()) out += "; ";
+    out += "B" + std::to_string(bucket) + ": " + bp.plan->Summary();
+  }
+  return out;
 }
 
 Status ModelRegistry::Load(const ModelSpec& spec) {
@@ -67,7 +238,8 @@ Status ModelRegistry::Load(const ModelSpec& spec) {
     }
   }
   auto entry = std::make_shared<const LoadedModel>(
-      std::move(model), *spec.dataset, spec.model_name, spec.dataset_name);
+      std::move(model), *spec.dataset, spec.model_name, spec.dataset_name,
+      spec.compile_plans);
   if (spec.warmup) {
     // Prime lazily-built scratch state (buffer pool, autoregressive
     // decode paths) with one real-shaped window of zeros.

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/exec/plan_executor.h"
 #include "src/models/traffic_model.h"
+#include "src/plan/plan.h"
 #include "src/tensor/tensor.h"
 #include "src/util/status.h"
 
@@ -32,6 +34,11 @@ struct ModelSpec {
   /// Run one batch-of-1 forward after loading so first-request latency is
   /// not dominated by lazily-built scratch state.
   bool warmup = true;
+  /// Compile traced inference plans (DESIGN.md §12). The first request of
+  /// each batch-size bucket traces the eager forward, compiles it, and
+  /// verifies the plan bit-identical on two inputs before serving from it;
+  /// any failure permanently falls back to the eager path for this entry.
+  bool compile_plans = true;
 };
 
 /// One warm, immutable serving instance: a built model (eval mode, graph
@@ -44,13 +51,32 @@ class LoadedModel {
  public:
   LoadedModel(std::unique_ptr<models::TrafficModel> model,
               const data::TrafficDataset& dataset, std::string model_name,
-              std::string dataset_name);
+              std::string dataset_name, bool compile_plans = true);
 
   /// x: [B, T_in, N, 2] -> raw-scale (denormalized) predictions
   /// [B, T_out, N]. Runs under NoGrad; bit-identical for every batch
   /// composition and thread count (each output element's value depends only
   /// on its own window).
+  ///
+  /// When plan compilation is enabled, the hot path executes the compiled
+  /// plan of the request's batch-size bucket (compiled and verified lazily
+  /// on the bucket's first request; the batch is zero-padded to the bucket
+  /// size and the padding outputs discarded — valid because each window's
+  /// output is independent of its batchmates). Output is bit-identical to
+  /// PredictReference by construction, and enforced at compile time by a
+  /// two-input bitwise verification.
   Tensor Predict(const Tensor& x) const;
+
+  /// The eager (autograd-graph) forward, always. The reference Predict is
+  /// verified against; also the fallback when plans are disabled.
+  Tensor PredictReference(const Tensor& x) const;
+
+  /// True when plan execution is enabled and no compile/verify failure has
+  /// forced the eager fallback.
+  bool plans_active() const;
+  /// Per-bucket plan summaries and the fallback reason (if any), for logs
+  /// and serve-bench. Empty when no plan was ever compiled.
+  std::string plan_summary() const;
 
   const std::string& model_name() const { return model_name_; }
   const std::string& dataset_name() const { return dataset_name_; }
@@ -60,6 +86,24 @@ class LoadedModel {
   int64_t parameter_count() const { return parameter_count_; }
 
  private:
+  /// A compiled plan for one batch-size bucket, with its executor and the
+  /// zero-padded staging buffers (guarded by mu_, like the model).
+  struct BucketPlan {
+    std::shared_ptr<const plan::InferencePlan> plan;
+    std::unique_ptr<exec::PlanExecutor> executor;
+    std::vector<float> staging_in;
+    std::vector<float> staging_out;
+  };
+
+  /// Eager forward + denormalization; `mu_` must be held by the caller.
+  Tensor PredictEagerLocked(const Tensor& x) const;
+  /// Applies the scaler to the first `numel` floats of `normalized`.
+  Tensor DenormalizeTo(const Shape& shape, const float* normalized) const;
+  /// Compiles + verifies the plan for `bucket`, or disables plans for this
+  /// entry (recording the reason). Requires mu_. Returns null on fallback.
+  BucketPlan* CompileBucketLocked(int64_t bucket) const;
+  void DisablePlansLocked(const std::string& reason) const;
+
   // Forward mutates transient module state, so the instance is logically
   // immutable (same input -> same output) but needs the mutex.
   mutable std::mutex mu_;
@@ -71,6 +115,11 @@ class LoadedModel {
   int input_len_ = 0;
   int output_len_ = 0;
   int64_t parameter_count_ = 0;
+
+  // Plan state (guarded by mu_).
+  mutable bool plans_enabled_ = true;
+  mutable std::string plans_disabled_reason_;
+  mutable std::map<int64_t, BucketPlan> plans_;  // keyed by bucket size
 };
 
 using LoadedModelPtr = std::shared_ptr<const LoadedModel>;

@@ -152,8 +152,9 @@ void Server::ProcessBatch(MicroBatch batch) {
     std::copy(w.begin(), w.end(), input.begin() + i * t_in * n * 2);
   }
   Stopwatch compute_watch;
-  Tensor prediction = model.Predict(
-      Tensor::FromVector({k, t_in, n, 2}, std::move(input)));
+  Tensor batched = Tensor::FromVector({k, t_in, n, 2}, std::move(input));
+  Tensor prediction = options_.use_plan ? model.Predict(batched)
+                                        : model.PredictReference(batched);
   const double compute_seconds = compute_watch.ElapsedSeconds();
   TB_CHECK_EQ(prediction.numel(), k * t_out * n);
 

@@ -34,6 +34,10 @@ struct ServerOptions {
   int64_t queue_capacity = 256;
   /// Stall injected by the serve_slow_worker fault site, when armed.
   double fault_stall_ms = 25.0;
+  /// Serve micro-batches from compiled inference plans (LoadedModel::
+  /// Predict); false forces the eager reference path. Entries that failed
+  /// plan compilation fall back to eager either way.
+  bool use_plan = true;
 };
 
 /// Multi-worker inference server over a ModelRegistry.

@@ -1,0 +1,227 @@
+#include "src/tensor/conv_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
+
+namespace trafficbench::conv {
+
+namespace {
+
+/// How many kernel taps one accumulation pass may fuse. Bounded so the
+/// broadcast registers and source pointers stay in registers.
+constexpr int kMaxFuseTaps = 4;
+
+/// dst[i] += w[0]*src[0][i]; dst[i] += w[1]*src[1][i]; ... for i in
+/// [0, n), terms applied in index order. The SSE2 body performs the exact
+/// scalar operations per lane — one multiply then one add per term, each
+/// individually rounded, in the same per-element order — so it is
+/// bit-identical to `cnt` separate scalar passes (elements are
+/// independent; no reassociation). This TU is compiled without FMA, so
+/// neither body can be contracted. Fusing taps cuts the dst
+/// read-modify-write traffic by `cnt`, which is what bounds this kernel.
+inline void AxpyRunN(float* dst, const float* const* srcs, const float* ws,
+                     int cnt, int64_t n) {
+#ifdef __SSE2__
+  __m128 w4[kMaxFuseTaps];
+  for (int t = 0; t < cnt; ++t) w4[t] = _mm_set1_ps(ws[t]);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 d = _mm_loadu_ps(dst + i);
+    for (int t = 0; t < cnt; ++t) {
+      d = _mm_add_ps(d, _mm_mul_ps(w4[t], _mm_loadu_ps(srcs[t] + i)));
+    }
+    _mm_storeu_ps(dst + i, d);
+  }
+  for (; i < n; ++i) {
+    float v = dst[i];
+    for (int t = 0; t < cnt; ++t) v += ws[t] * srcs[t][i];
+    dst[i] = v;
+  }
+#else
+  for (int64_t i = 0; i < n; ++i) {
+    float v = dst[i];
+    for (int t = 0; t < cnt; ++t) v += ws[t] * srcs[t][i];
+    dst[i] = v;
+  }
+#endif
+}
+
+/// ceil(x / d) for d > 0 and x of any sign (truncation toward zero already
+/// equals the ceiling for negative numerators).
+inline int64_t CeilDiv(int64_t x, int64_t d) {
+  return x >= 0 ? (x + d - 1) / d : -((-x) / d);
+}
+
+void ApplyActivation(float* data, int64_t n, kernels::EpilogueAct act,
+                     float slope) {
+  switch (act) {
+    case kernels::EpilogueAct::kNone:
+      break;
+    case kernels::EpilogueAct::kRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        const float v = data[i];
+        data[i] = v > 0.0f ? v : 0.0f;
+      }
+      break;
+    case kernels::EpilogueAct::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) {
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+      }
+      break;
+    case kernels::EpilogueAct::kTanh:
+      for (int64_t i = 0; i < n; ++i) data[i] = std::tanh(data[i]);
+      break;
+    case kernels::EpilogueAct::kLeakyRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        const float v = data[i];
+        data[i] = v > 0.0f ? v : slope * v;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void Conv2dNaive(exec::ExecutionContext& ctx, const float* in,
+                 const float* weight, const float* bias, float* out,
+                 const Conv2dGeometry& g) {
+  // One task per (batch, out-channel) output plane: planes are disjoint
+  // and each plane's accumulation order matches the serial kernel.
+  ctx.ParallelFor(g.batch * g.c_out, /*grain=*/1,
+                  [&](int64_t begin, int64_t end) {
+    for (int64_t plane = begin; plane < end; ++plane) {
+      const int64_t b = plane / g.c_out;
+      const int64_t co = plane % g.c_out;
+      float* out_plane = out + plane * g.h_out * g.w_out;
+      if (bias != nullptr) {
+        const float bv = bias[co];
+        for (int64_t i = 0; i < g.h_out * g.w_out; ++i) out_plane[i] = bv;
+      }
+      for (int64_t ci = 0; ci < g.c_in; ++ci) {
+        const float* in_plane = in + (b * g.c_in + ci) * g.h * g.w;
+        const float* w_block = weight + (co * g.c_in + ci) * g.kh * g.kw;
+        for (int64_t ki = 0; ki < g.kh; ++ki) {
+          for (int64_t kj = 0; kj < g.kw; ++kj) {
+            const float wv = w_block[ki * g.kw + kj];
+            if (wv == 0.0f) continue;
+            for (int64_t ho = 0; ho < g.h_out; ++ho) {
+              const int64_t hi = ho * g.stride_h - g.pad_h + ki * g.dil_h;
+              if (hi < 0 || hi >= g.h) continue;
+              float* out_row = out_plane + ho * g.w_out;
+              const float* in_row = in_plane + hi * g.w;
+              for (int64_t wo = 0; wo < g.w_out; ++wo) {
+                const int64_t wi = wo * g.stride_w - g.pad_w + kj * g.dil_w;
+                if (wi < 0 || wi >= g.w) continue;
+                out_row[wo] += wv * in_row[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+int64_t Conv2dPlanAuxIn(const Conv2dGeometry& g) {
+  return g.batch * g.c_in * g.h * g.w;
+}
+
+int64_t Conv2dPlanAuxOut(const Conv2dGeometry& g) {
+  return g.batch * g.c_out * g.h_out * g.w_out;
+}
+
+void Conv2dPlan(exec::ExecutionContext& ctx, const float* in,
+                const float* weight, const float* bias, float* out,
+                float* aux_in, float* aux_out, const Conv2dGeometry& g,
+                kernels::EpilogueAct act, float leaky_slope) {
+  const int64_t h = g.h, w = g.w, h_out = g.h_out, w_out = g.w_out;
+  // 1) Transpose every input plane [H][W] -> [W][H] so the accumulation
+  //    below runs contiguously over H (the long axis in temporal convs).
+  ctx.ParallelFor(g.batch * g.c_in, /*grain=*/1,
+                  [&](int64_t begin, int64_t end) {
+    for (int64_t plane = begin; plane < end; ++plane) {
+      const float* src = in + plane * h * w;
+      float* dst = aux_in + plane * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) dst[x * h + y] = src[y * w + x];
+      }
+    }
+  });
+  // 2) Accumulate into [W_out][H_out] planes. Terms are ordered by
+  //    ascending (ci, ki, kj) with the same zero-weight skip as
+  //    Conv2dNaive, so every output element sees the identical float
+  //    sequence; only the iteration over elements is rearranged.
+  ctx.ParallelFor(g.batch * g.c_out, /*grain=*/1,
+                  [&](int64_t begin, int64_t end) {
+    for (int64_t plane = begin; plane < end; ++plane) {
+      const int64_t b = plane / g.c_out;
+      const int64_t co = plane % g.c_out;
+      float* out_plane = aux_out + plane * h_out * w_out;
+      const float init = bias != nullptr ? bias[co] : 0.0f;
+      for (int64_t i = 0; i < h_out * w_out; ++i) out_plane[i] = init;
+      for (int64_t ci = 0; ci < g.c_in; ++ci) {
+        const float* in_plane = aux_in + (b * g.c_in + ci) * h * w;
+        const float* w_block = weight + (co * g.c_in + ci) * g.kh * g.kw;
+        for (int64_t ki = 0; ki < g.kh; ++ki) {
+          const int64_t y_off = ki * g.dil_h - g.pad_h;
+          const int64_t yo_lo =
+              std::max<int64_t>(0, CeilDiv(-y_off, g.stride_h));
+          const int64_t yo_hi =
+              std::min<int64_t>(h_out, CeilDiv(h - y_off, g.stride_h));
+          for (int64_t xo = 0; xo < w_out; ++xo) {
+            float* dst_col = out_plane + xo * h_out;
+            // All kj taps for this (ci, ki, xo) write the same yo range
+            // (the bounds depend only on ki) and are consecutive in the
+            // reference (ci, ki, kj) term order, so up to kMaxFuseTaps of
+            // them fuse into one pass over the destination column.
+            const float* srcs[kMaxFuseTaps];
+            float ws[kMaxFuseTaps];
+            int cnt = 0;
+            for (int64_t kj = 0; kj < g.kw; ++kj) {
+              const float wv = w_block[ki * g.kw + kj];
+              if (wv == 0.0f) continue;
+              const int64_t xi = xo * g.stride_w - g.pad_w + kj * g.dil_w;
+              if (xi < 0 || xi >= w) continue;
+              if (g.stride_h != 1) {
+                const float* src_col = in_plane + xi * h;
+                for (int64_t yo = yo_lo; yo < yo_hi; ++yo) {
+                  dst_col[yo] += wv * src_col[yo * g.stride_h + y_off];
+                }
+                continue;
+              }
+              srcs[cnt] = in_plane + xi * h + y_off + yo_lo;
+              ws[cnt] = wv;
+              if (++cnt == kMaxFuseTaps) {
+                AxpyRunN(dst_col + yo_lo, srcs, ws, cnt, yo_hi - yo_lo);
+                cnt = 0;
+              }
+            }
+            if (cnt > 0) {
+              AxpyRunN(dst_col + yo_lo, srcs, ws, cnt, yo_hi - yo_lo);
+            }
+          }
+        }
+      }
+      // Fused activation: applied once per element after its full
+      // accumulation chain, matching a separate eager activation pass.
+      ApplyActivation(out_plane, h_out * w_out, act, leaky_slope);
+    }
+  });
+  // 3) Transpose output planes [W_out][H_out] -> [H_out][W_out].
+  ctx.ParallelFor(g.batch * g.c_out, /*grain=*/1,
+                  [&](int64_t begin, int64_t end) {
+    for (int64_t plane = begin; plane < end; ++plane) {
+      const float* src = aux_out + plane * h_out * w_out;
+      float* dst = out + plane * h_out * w_out;
+      for (int64_t x = 0; x < w_out; ++x) {
+        for (int64_t y = 0; y < h_out; ++y) dst[y * w_out + x] = src[x * h_out + y];
+      }
+    }
+  });
+}
+
+}  // namespace trafficbench::conv

@@ -1,0 +1,64 @@
+#ifndef TRAFFICBENCH_TENSOR_CONV_CORE_H_
+#define TRAFFICBENCH_TENSOR_CONV_CORE_H_
+
+// Conv2d kernel cores, shared by the eager op (ops.cc) and compiled-plan
+// replays (DESIGN.md §12).
+//
+// Two cores compute the identical convolution:
+//   - Conv2dNaive: the historical NCHW loop nest, dispatched by the eager
+//     op. Slow when W_out is small (the temporal-conv case: H = nodes,
+//     W = time, so the contiguous inner loop is only a few elements).
+//   - Conv2dPlan: the plan-path core. It transposes each input plane to
+//     [W][H] scratch so the inner accumulation runs contiguously over the
+//     long H axis (nodes), then transposes the result back.
+//
+// Bit-identity: for every output element both cores produce the exact same
+// float sequence — terms ordered by ascending (ci, ki, kj) with the same
+// zero-weight skip, one multiply-add per term, initialized from the same
+// bias value (or 0). Transposes only move data. Both cores live in this
+// translation unit ON PURPOSE: it is compiled with the base (non--march=
+// native) flags like ops.cc, so the multiply-add here is never contracted
+// to FMA even in NATIVE builds, keeping plan output bit-identical to the
+// eager forward. Do not move these loops into kernels.cc.
+//
+// Parallelism: one task per (batch, channel) plane for the conv and the
+// transposes; planes are disjoint and each output element's chain stays in
+// one task, satisfying the deterministic-chunking contract.
+
+#include <cstdint>
+
+#include "src/exec/execution_context.h"
+#include "src/tensor/kernels.h"
+
+namespace trafficbench::conv {
+
+struct Conv2dGeometry {
+  int64_t batch = 0, c_in = 0, h = 0, w = 0;
+  int64_t c_out = 0, kh = 0, kw = 0, h_out = 0, w_out = 0;
+  int stride_h = 1, stride_w = 1, pad_h = 0, pad_w = 0, dil_h = 1, dil_w = 1;
+};
+
+/// The historical NCHW loop nest. `out` must be pre-zeroed when `bias` is
+/// null (with bias, every plane is initialized from it).
+void Conv2dNaive(exec::ExecutionContext& ctx, const float* in,
+                 const float* weight, const float* bias, float* out,
+                 const Conv2dGeometry& g);
+
+/// Scratch sizes (floats) for Conv2dPlan: the [B,C,W,H] input transpose and
+/// the [B,C_out,W_out,H_out] pre-transpose output.
+int64_t Conv2dPlanAuxIn(const Conv2dGeometry& g);
+int64_t Conv2dPlanAuxOut(const Conv2dGeometry& g);
+
+/// The permuted-layout core with an optional fused activation epilogue
+/// (applied per output plane after its accumulation completes — the same
+/// per-element op order as a separate eager activation pass). `out` need
+/// not be pre-zeroed. `aux_in`/`aux_out` are caller-bound scratch of the
+/// sizes above.
+void Conv2dPlan(exec::ExecutionContext& ctx, const float* in,
+                const float* weight, const float* bias, float* out,
+                float* aux_in, float* aux_out, const Conv2dGeometry& g,
+                kernels::EpilogueAct act, float leaky_slope);
+
+}  // namespace trafficbench::conv
+
+#endif  // TRAFFICBENCH_TENSOR_CONV_CORE_H_

@@ -1,6 +1,7 @@
 #include "src/tensor/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace trafficbench::kernels {
 
@@ -369,6 +370,94 @@ void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
       }
     }
   });
+}
+
+// ---- Fused epilogue drivers -------------------------------------------------
+
+namespace {
+
+/// Applies bias-add then activation to rows [row_begin, row_end) of an
+/// [*, n] block. Statement-per-element with no multiply-add pairs; see the
+/// contraction-safety note in kernels.h.
+void ApplyEpilogueRows(float* c, int64_t row_begin, int64_t row_end,
+                       int64_t n, const EpilogueSpec& e) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* crow = c + i * n;
+    if (e.bias != nullptr) {
+      for (int64_t j = 0; j < n; ++j) crow[j] = crow[j] + e.bias[j];
+    }
+    switch (e.act) {
+      case EpilogueAct::kNone:
+        break;
+      case EpilogueAct::kRelu:
+        for (int64_t j = 0; j < n; ++j) {
+          const float v = crow[j];
+          crow[j] = v > 0.0f ? v : 0.0f;
+        }
+        break;
+      case EpilogueAct::kSigmoid:
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = 1.0f / (1.0f + std::exp(-crow[j]));
+        }
+        break;
+      case EpilogueAct::kTanh:
+        for (int64_t j = 0; j < n; ++j) crow[j] = std::tanh(crow[j]);
+        break;
+      case EpilogueAct::kLeakyRelu:
+        for (int64_t j = 0; j < n; ++j) {
+          const float v = crow[j];
+          crow[j] = v > 0.0f ? v : e.leaky_slope * v;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmBatchedNNFused(exec::ExecutionContext& ctx, const float* a,
+                        const float* b, float* c, const int64_t* a_offsets,
+                        const int64_t* b_offsets, int64_t num_batches,
+                        int64_t m, int64_t k, int64_t n,
+                        const EpilogueSpec& epilogue) {
+  const int64_t row_chunks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kGemmRowChunk;
+          const int64_t row_end = std::min(m, row_begin + kGemmRowChunk);
+          float* c_block = c + batch * m * n;
+          GemmAccNNRows(a + a_offsets[batch], b + b_offsets[batch], c_block,
+                        row_begin, row_end, k, n);
+          // Each output row lives in exactly one (batch, chunk) task, so
+          // the epilogue runs once per element, after its full
+          // accumulation chain.
+          ApplyEpilogueRows(c_block, row_begin, row_end, n, epilogue);
+        }
+      });
+}
+
+void SpmmBatchedFused(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                      const int32_t* col_idx, const float* values,
+                      const float* x, float* y, int64_t num_batches,
+                      int64_t rows, int64_t cols, int64_t f,
+                      const EpilogueSpec& epilogue) {
+  const int64_t row_chunks = (rows + kSpmmRowChunk - 1) / kSpmmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kSpmmRowChunk;
+          const int64_t row_end = std::min(rows, row_begin + kSpmmRowChunk);
+          float* y_block = y + batch * rows * f;
+          SpmmAccRows(row_ptr, col_idx, values, x + batch * cols * f,
+                      y_block, row_begin, row_end, f);
+          ApplyEpilogueRows(y_block, row_begin, row_end, f, epilogue);
+        }
+      });
 }
 
 // ---- Sparse drivers ---------------------------------------------------------

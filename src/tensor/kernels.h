@@ -117,6 +117,40 @@ void SpmmBatched(exec::ExecutionContext& ctx, const int64_t* row_ptr,
                  float* y, int64_t num_batches, int64_t rows, int64_t cols,
                  int64_t f);
 
+// ---- Fused elementwise epilogues (plan execution path) ----------------------
+//
+// A compiled InferencePlan may fold a trailing bias add and/or activation
+// into the producing GEMM/SpMM dispatch: the epilogue is applied to each
+// output row chunk right after its accumulation completes, while the rows
+// are still cache-hot. Per output element the float sequence is exactly
+// "full accumulation chain, then + bias, then activation" — the same ops in
+// the same order as the separate eager passes, so fusion preserves the
+// bit-identity contract. The epilogue loops carry no multiply-add pairs, so
+// they are contraction-safe under every ISA this file is compiled for.
+
+enum class EpilogueAct : int { kNone = 0, kRelu, kSigmoid, kTanh, kLeakyRelu };
+
+struct EpilogueSpec {
+  /// Per-column bias of length `n` (the output's innermost extent), or null.
+  const float* bias = nullptr;
+  EpilogueAct act = EpilogueAct::kNone;
+  float leaky_slope = 0.0f;
+};
+
+/// GemmBatchedNN with a fused per-row epilogue (same chunk decomposition).
+void GemmBatchedNNFused(exec::ExecutionContext& ctx, const float* a,
+                        const float* b, float* c, const int64_t* a_offsets,
+                        const int64_t* b_offsets, int64_t num_batches,
+                        int64_t m, int64_t k, int64_t n,
+                        const EpilogueSpec& epilogue);
+
+/// SpmmBatched with a fused per-row epilogue (same chunk decomposition).
+void SpmmBatchedFused(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                      const int32_t* col_idx, const float* values,
+                      const float* x, float* y, int64_t num_batches,
+                      int64_t rows, int64_t cols, int64_t f,
+                      const EpilogueSpec& epilogue);
+
 /// Elementwise map out[i] = fn(i) for i in [0, n). Disjoint writes.
 template <typename Fn>
 void ParallelMap(exec::ExecutionContext& ctx, int64_t n, Fn fn) {

@@ -3,17 +3,27 @@
 // ExecutionContext, which selects serial or thread-pool execution and
 // records per-op profiling. See execution_context.h for the deterministic
 // chunking contract that keeps results bit-identical across thread counts.
+//
+// Tracing seam (DESIGN.md §12): when a trace::Tracer is active, every op
+// additionally records a TraceStep whose replay closure captures the same
+// forward functor / geometry the eager dispatch just used and re-runs the
+// identical kernel core on raw pointers. Replay closures never touch the
+// buffer pool — broadcast/permute scratch is pre-bound by the plan executor
+// through TraceStep::aux_sizes — and never build autograd state.
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "src/exec/execution_context.h"
+#include "src/tensor/conv_core.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/op_common.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
+#include "src/tensor/trace.h"
 #include "src/util/check.h"
 
 namespace trafficbench {
@@ -33,15 +43,15 @@ using ImplPtr = std::shared_ptr<TensorImpl>;
 
 exec::ExecutionContext& Ctx() { return exec::ExecutionContext::Current(); }
 
-/// Materializes `src` (of shape `from`) broadcast to `target` into a pooled
-/// buffer. Callers own the result: move it into MakeOp or ReleaseBuffer it.
-std::vector<float> ExpandData(const float* src, const Shape& from,
-                              const Shape& target) {
+/// Broadcast-materializes `src` (of shape `from`) to `target` into `out`
+/// (caller-provided, target.numel() floats). The shared core of eager
+/// broadcast expansion and its plan replay.
+void ExpandDataInto(const float* src, const Shape& from, const Shape& target,
+                    float* out) {
   const int64_t n = target.numel();
-  std::vector<float> out = AcquireBuffer(n);
   if (from == target) {
-    std::memcpy(out.data(), src, sizeof(float) * n);
-    return out;
+    std::memcpy(out, src, sizeof(float) * n);
+    return;
   }
   const std::vector<int64_t>& out_dims = target.dims();
   const int out_rank = target.rank();
@@ -59,6 +69,14 @@ std::vector<float> ExpandData(const float* src, const Shape& from,
       index[axis] = 0;
     }
   }
+}
+
+/// Materializes `src` (of shape `from`) broadcast to `target` into a pooled
+/// buffer. Callers own the result: move it into MakeOp or ReleaseBuffer it.
+std::vector<float> ExpandData(const float* src, const Shape& from,
+                              const Shape& target) {
+  std::vector<float> out = AcquireBuffer(target.numel());
+  ExpandDataInto(src, from, target, out.data());
   return out;
 }
 
@@ -69,9 +87,11 @@ std::vector<float> ExpandToShape(const Tensor& t, const Shape& target) {
 
 // ---- Generic unary op -------------------------------------------------------
 
-/// fwd(x) -> y; dydx(x, y) -> local derivative.
+/// fwd(x) -> y; dydx(x, y) -> local derivative. `name`/`pattern` feed the
+/// tracing seam (pattern lets the plan compiler fuse activation tails).
 template <typename Fwd, typename Dydx>
-Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
+Tensor Unary(const char* name, trace::OpPattern pattern, const Tensor& x,
+             Fwd fwd, Dydx dydx, float leaky_slope = 0.0f) {
   TB_CHECK(x.defined());
   const std::vector<float>& xd = x.impl()->data;
   const int64_t n = static_cast<int64_t>(xd.size());
@@ -83,7 +103,7 @@ Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
     kernels::ParallelMap(Ctx(), n, [&](int64_t i) { op[i] = fwd(xp[i]); });
   }
   ImplPtr xi = x.impl();
-  return MakeOp(x.shape(), std::move(out), {x},
+  Tensor result = MakeOp(x.shape(), std::move(out), {x},
                 [xi, dydx](TensorImpl& self) {
                   const int64_t count =
                       static_cast<int64_t>(xi->data.size());
@@ -100,14 +120,33 @@ Tensor Unary(const Tensor& x, Fwd fwd, Dydx dydx) {
                   AccumulateGrad(xi.get(), gx);
                   ReleaseBuffer(std::move(gx));
                 });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = name;
+    step.kind = exec::OpKind::kUnary;
+    step.flops = static_cast<double>(n);
+    step.info.pattern = pattern;
+    step.info.leaky_slope = leaky_slope;
+    step.inputs = {x.impl()};
+    step.output = result.impl();
+    step.replay = [fwd, n](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kUnary, static_cast<double>(n));
+      const float* xp = args.inputs[0];
+      float* op = args.output;
+      kernels::ParallelMap(Ctx(), n, [&](int64_t i) { op[i] = fwd(xp[i]); });
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- Generic broadcasting binary op -----------------------------------------
 
 /// fwd(a, b) -> out; dfda(a, b) and dfdb(a, b) give local derivatives.
+/// `name`/`pattern` feed the tracing seam (kAdd marks bias-add candidates).
 template <typename Fwd, typename Dfda, typename Dfdb>
-Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
-              Dfdb dfdb) {
+Tensor Binary(const char* name, trace::OpPattern pattern, const Tensor& a,
+              const Tensor& b, Fwd fwd, Dfda dfda, Dfdb dfdb) {
   TB_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
   // Same-shape operands (the common case) are read in place; only genuinely
@@ -133,7 +172,7 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
   ImplPtr bi = b.impl();
   const Shape a_shape = a.shape();
   const Shape b_shape = b.shape();
-  return MakeOp(
+  Tensor result = MakeOp(
       out_shape, std::move(out), {a, b},
       [ai, bi, a_same, b_same, a_shape, b_shape, out_shape, dfda,
        dfdb](TensorImpl& self) {
@@ -183,6 +222,43 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
         if (!a_same) ReleaseBuffer(std::move(av));
         if (!b_same) ReleaseBuffer(std::move(bv));
       });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = name;
+    step.kind = exec::OpKind::kBinary;
+    step.flops = static_cast<double>(n);
+    step.info.pattern = pattern;
+    step.info.n = out_shape.rank() > 0
+                      ? out_shape.dims()[out_shape.rank() - 1]
+                      : 1;
+    step.inputs = {a.impl(), b.impl()};
+    step.output = result.impl();
+    // Broadcast operands are expanded into executor-bound aux scratch with
+    // the same odometer walk the eager path used; the map itself is then
+    // the identical ParallelMap over same-length arrays.
+    if (!a_same) step.aux_sizes.push_back(n);
+    if (!b_same) step.aux_sizes.push_back(n);
+    step.replay = [fwd, a_same, b_same, a_shape, b_shape, out_shape,
+                   n](const trace::ReplayArgs& args) {
+      int aux = 0;
+      const float* ap = args.inputs[0];
+      const float* bp = args.inputs[1];
+      if (!a_same) {
+        ExpandDataInto(ap, a_shape, out_shape, args.aux[aux]);
+        ap = args.aux[aux++];
+      }
+      if (!b_same) {
+        ExpandDataInto(bp, b_shape, out_shape, args.aux[aux]);
+        bp = args.aux[aux++];
+      }
+      exec::ScopedOpTimer timer(exec::OpKind::kBinary, static_cast<double>(n));
+      float* op = args.output;
+      kernels::ParallelMap(Ctx(), n,
+                           [&](int64_t i) { op[i] = fwd(ap[i], bp[i]); });
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 /// Per-batch float offsets for a broadcast batched matmul operand.
@@ -225,9 +301,10 @@ void OuterMidInner(const Shape& shape, int axis, int64_t* outer, int64_t* mid,
   for (int i = axis + 1; i < shape.rank(); ++i) *inner *= shape.dims()[i];
 }
 
-std::vector<float> PermuteData(const std::vector<float>& data,
-                               const Shape& shape,
-                               const std::vector<int>& perm) {
+/// Gathers `data` (of `shape`) permuted by `perm` into `out` (caller-
+/// provided, shape.numel() floats). Shared by the eager path and replays.
+void PermuteDataInto(const float* data, const Shape& shape,
+                     const std::vector<int>& perm, float* out) {
   const int rank = shape.rank();
   std::vector<int64_t> out_dims(rank);
   for (int i = 0; i < rank; ++i) out_dims[i] = shape.dims()[perm[i]];
@@ -236,7 +313,6 @@ std::vector<float> PermuteData(const std::vector<float>& data,
   std::vector<int64_t> strides(rank);
   for (int i = 0; i < rank; ++i) strides[i] = in_strides[perm[i]];
   const int64_t n = shape.numel();
-  std::vector<float> out = AcquireBuffer(n);
   std::vector<int64_t> index(rank, 0);
   int64_t offset = 0;
   for (int64_t linear = 0; linear < n; ++linear) {
@@ -249,6 +325,13 @@ std::vector<float> PermuteData(const std::vector<float>& data,
       index[axis] = 0;
     }
   }
+}
+
+std::vector<float> PermuteData(const std::vector<float>& data,
+                               const Shape& shape,
+                               const std::vector<int>& perm) {
+  std::vector<float> out = AcquireBuffer(shape.numel());
+  PermuteDataInto(data.data(), shape, perm, out.data());
   return out;
 }
 
@@ -258,65 +341,71 @@ std::vector<float> PermuteData(const std::vector<float>& data,
 
 Tensor Tensor::Neg() const {
   return Unary(
-      *this, [](float x) { return -x; },
+      "Neg", trace::OpPattern::kOpaque, *this, [](float x) { return -x; },
       [](float, float) { return -1.0f; });
 }
 
 Tensor Tensor::Exp() const {
   return Unary(
-      *this, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+      "Exp", trace::OpPattern::kOpaque, *this,
+      [](float x) { return std::exp(x); }, [](float, float y) { return y; });
 }
 
 Tensor Tensor::Log() const {
   return Unary(
-      *this, [](float x) { return std::log(x); },
+      "Log", trace::OpPattern::kOpaque, *this,
+      [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
 }
 
 Tensor Tensor::Sqrt() const {
   return Unary(
-      *this, [](float x) { return std::sqrt(x); },
+      "Sqrt", trace::OpPattern::kOpaque, *this,
+      [](float x) { return std::sqrt(x); },
       [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
 }
 
 Tensor Tensor::Abs() const {
   return Unary(
-      *this, [](float x) { return std::fabs(x); },
+      "Abs", trace::OpPattern::kOpaque, *this,
+      [](float x) { return std::fabs(x); },
       [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 
 Tensor Tensor::Relu() const {
   return Unary(
-      *this, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", trace::OpPattern::kRelu, *this,
+      [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor Tensor::LeakyRelu(float negative_slope) const {
   return Unary(
-      *this,
+      "LeakyRelu", trace::OpPattern::kLeakyRelu, *this,
       [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
       [negative_slope](float x, float) {
         return x > 0.0f ? 1.0f : negative_slope;
-      });
+      },
+      negative_slope);
 }
 
 Tensor Tensor::Sigmoid() const {
   return Unary(
-      *this,
+      "Sigmoid", trace::OpPattern::kSigmoid, *this,
       [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Tensor::Tanh() const {
   return Unary(
-      *this, [](float x) { return std::tanh(x); },
+      "Tanh", trace::OpPattern::kTanh, *this,
+      [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Tensor::Pow(float exponent) const {
   return Unary(
-      *this,
+      "Pow", trace::OpPattern::kOpaque, *this,
       [exponent](float x) { return std::pow(x, exponent); },
       [exponent](float x, float) {
         return exponent * std::pow(x, exponent - 1.0f);
@@ -327,39 +416,45 @@ Tensor Tensor::Pow(float exponent) const {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x + y; },
+      "Add", trace::OpPattern::kAdd, a, b,
+      [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x - y; },
+      "Sub", trace::OpPattern::kOpaque, a, b,
+      [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x * y; },
+      "Mul", trace::OpPattern::kOpaque, a, b,
+      [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x / y; },
+      "Div", trace::OpPattern::kOpaque, a, b,
+      [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor Maximum(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x > y ? x : y; },
+      "Maximum", trace::OpPattern::kOpaque, a, b,
+      [](float x, float y) { return x > y ? x : y; },
       [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
       [](float x, float y) { return x >= y ? 0.0f : 1.0f; });
 }
 
 Tensor Minimum(const Tensor& a, const Tensor& b) {
   return Binary(
-      a, b, [](float x, float y) { return x < y ? x : y; },
+      "Minimum", trace::OpPattern::kOpaque, a, b,
+      [](float x, float y) { return x < y ? x : y; },
       [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
       [](float x, float y) { return x <= y ? 0.0f : 1.0f; });
 }
@@ -382,10 +477,24 @@ Tensor Tensor::Reshape(const Shape& new_shape) const {
   std::vector<float> out = AcquireBuffer(numel());
   std::memcpy(out.data(), data(), sizeof(float) * numel());
   ImplPtr self = impl();
-  return MakeOp(new_shape, std::move(out), {*this},
-                [self](TensorImpl& node) {
-                  AccumulateGrad(self.get(), node.grad);
-                });
+  Tensor result = MakeOp(new_shape, std::move(out), {*this},
+                         [self](TensorImpl& node) {
+                           AccumulateGrad(self.get(), node.grad);
+                         });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Reshape";
+    step.kind = exec::OpKind::kDataMovement;
+    step.info.pattern = trace::OpPattern::kReshape;
+    step.inputs = {impl()};
+    step.output = result.impl();
+    const int64_t n = numel();
+    step.replay = [n](const trace::ReplayArgs& args) {
+      std::memcpy(args.output, args.inputs[0], sizeof(float) * n);
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 Tensor Tensor::Unsqueeze(int axis) const {
@@ -429,13 +538,29 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   for (int i = 0; i < r; ++i) inverse[perm[i]] = i;
   ImplPtr self = impl();
   Shape out_shape(std::move(out_dims));
-  return MakeOp(out_shape, std::move(out), {*this},
-                [self, inverse, out_shape](TensorImpl& node) {
-                  std::vector<float> gx =
-                      PermuteData(node.grad, out_shape, inverse);
-                  AccumulateGrad(self.get(), gx);
-                  ReleaseBuffer(std::move(gx));
-                });
+  Tensor result = MakeOp(out_shape, std::move(out), {*this},
+                         [self, inverse, out_shape](TensorImpl& node) {
+                           std::vector<float> gx =
+                               PermuteData(node.grad, out_shape, inverse);
+                           AccumulateGrad(self.get(), gx);
+                           ReleaseBuffer(std::move(gx));
+                         });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Permute";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(numel());
+    step.inputs = {impl()};
+    step.output = result.impl();
+    const Shape in_shape = shape();
+    step.replay = [in_shape, perm](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                                static_cast<double>(in_shape.numel()));
+      PermuteDataInto(args.inputs[0], in_shape, perm, args.output);
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 Tensor Tensor::Transpose(int axis_a, int axis_b) const {
@@ -470,16 +595,37 @@ Tensor Tensor::Slice(int axis, int64_t start, int64_t end) const {
     }
   }
   ImplPtr self = impl();
-  return MakeOp(Shape(std::move(out_dims)), std::move(out), {*this},
-                [self, outer, mid, inner, out_mid, start](TensorImpl& node) {
-                  if (!self->requires_grad) return;
-                  self->EnsureGrad();
-                  for (int64_t o = 0; o < outer; ++o) {
-                    float* dst = self->grad.data() + (o * mid + start) * inner;
-                    const float* g = node.grad.data() + o * out_mid * inner;
-                    for (int64_t i = 0; i < out_mid * inner; ++i) dst[i] += g[i];
-                  }
-                });
+  Tensor result =
+      MakeOp(Shape(std::move(out_dims)), std::move(out), {*this},
+             [self, outer, mid, inner, out_mid, start](TensorImpl& node) {
+               if (!self->requires_grad) return;
+               self->EnsureGrad();
+               for (int64_t o = 0; o < outer; ++o) {
+                 float* dst = self->grad.data() + (o * mid + start) * inner;
+                 const float* g = node.grad.data() + o * out_mid * inner;
+                 for (int64_t i = 0; i < out_mid * inner; ++i) dst[i] += g[i];
+               }
+             });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Slice";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(outer * out_mid * inner);
+    step.inputs = {impl()};
+    step.output = result.impl();
+    step.replay = [outer, mid, inner, out_mid,
+                   start](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                                static_cast<double>(outer * out_mid * inner));
+      for (int64_t o = 0; o < outer; ++o) {
+        std::memcpy(args.output + o * out_mid * inner,
+                    args.inputs[0] + (o * mid + start) * inner,
+                    sizeof(float) * out_mid * inner);
+      }
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 Tensor Tensor::BroadcastTo(const Shape& target) const {
@@ -494,24 +640,78 @@ Tensor Tensor::BroadcastTo(const Shape& target) const {
   }
   ImplPtr self = impl();
   const Shape in_shape = shape();
-  return MakeOp(target, std::move(out), {*this},
-                [self, in_shape, target](TensorImpl& node) {
-                  std::vector<float> gx =
-                      ReduceGradToShape(node.grad, target, in_shape);
-                  AccumulateGrad(self.get(), gx);
-                  ReleaseBuffer(std::move(gx));
-                });
+  Tensor result = MakeOp(target, std::move(out), {*this},
+                         [self, in_shape, target](TensorImpl& node) {
+                           std::vector<float> gx =
+                               ReduceGradToShape(node.grad, target, in_shape);
+                           AccumulateGrad(self.get(), gx);
+                           ReleaseBuffer(std::move(gx));
+                         });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "BroadcastTo";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(target.numel());
+    step.inputs = {impl()};
+    step.output = result.impl();
+    step.replay = [in_shape, target](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                                static_cast<double>(target.numel()));
+      ExpandDataInto(args.inputs[0], in_shape, target, args.output);
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- Reductions ------------------------------------------------------------------------
 
 namespace {
 
-/// Sum with keepdim=true over canonicalized, deduplicated axes.
-///
-/// Parallelized per output cell: every cell's accumulation chain visits its
-/// inputs in ascending linear order (the same order the historical serial
+/// The keepdim-sum kernel core shared by the eager dispatch and plan
+/// replays. Every output cell's accumulation chain visits its inputs in
+/// ascending linear order (the same order the historical serial
 /// scatter-scan used), so results are bit-identical at any thread count.
+void SumKeepdimInto(const float* src, float* out,
+                    const std::vector<int64_t>& kept_dims,
+                    const std::vector<int64_t>& kept_strides,
+                    const std::vector<int64_t>& red_dims,
+                    const std::vector<int64_t>& red_strides,
+                    int64_t red_count, int64_t out_numel) {
+  const int64_t grain =
+      std::max<int64_t>(1, kernels::kReduceGrainElems /
+                               std::max<int64_t>(1, red_count));
+  Ctx().ParallelFor(out_numel, grain, [&](int64_t begin, int64_t end) {
+    std::vector<int64_t> rindex(red_dims.size(), 0);
+    for (int64_t o = begin; o < end; ++o) {
+      // Base input offset of this output cell (row-major kept index).
+      int64_t rem = o;
+      int64_t base = 0;
+      for (int i = static_cast<int>(kept_dims.size()) - 1; i >= 0; --i) {
+        base += (rem % kept_dims[i]) * kept_strides[i];
+        rem /= kept_dims[i];
+      }
+      // Odometer walk of the reduced subspace in row-major order.
+      std::fill(rindex.begin(), rindex.end(), 0);
+      int64_t roff = 0;
+      float acc = 0.0f;
+      for (int64_t c = 0; c < red_count; ++c) {
+        acc += src[base + roff];
+        for (int axis = static_cast<int>(red_dims.size()) - 1; axis >= 0;
+             --axis) {
+          ++rindex[axis];
+          roff += red_strides[axis];
+          if (rindex[axis] < red_dims[axis]) break;
+          roff -= red_strides[axis] * red_dims[axis];
+          rindex[axis] = 0;
+        }
+      }
+      out[o] = acc;
+    }
+  });
+}
+
+/// Sum with keepdim=true over canonicalized, deduplicated axes.
 Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
   const Shape& in_shape = t.shape();
   const int rank = in_shape.rank();
@@ -542,50 +742,39 @@ Tensor SumKeepdim(const Tensor& t, const std::vector<int>& axes) {
   {
     exec::ScopedOpTimer timer(exec::OpKind::kReduce,
                               static_cast<double>(in_shape.numel()));
-    const int64_t grain =
-        std::max<int64_t>(1, kernels::kReduceGrainElems /
-                                 std::max<int64_t>(1, red_count));
-    Ctx().ParallelFor(out_numel, grain, [&](int64_t begin, int64_t end) {
-      std::vector<int64_t> rindex(red_dims.size(), 0);
-      for (int64_t o = begin; o < end; ++o) {
-        // Base input offset of this output cell (row-major kept index).
-        int64_t rem = o;
-        int64_t base = 0;
-        for (int i = static_cast<int>(kept_dims.size()) - 1; i >= 0; --i) {
-          base += (rem % kept_dims[i]) * kept_strides[i];
-          rem /= kept_dims[i];
-        }
-        // Odometer walk of the reduced subspace in row-major order.
-        std::fill(rindex.begin(), rindex.end(), 0);
-        int64_t roff = 0;
-        float acc = 0.0f;
-        for (int64_t c = 0; c < red_count; ++c) {
-          acc += src[base + roff];
-          for (int axis = static_cast<int>(red_dims.size()) - 1; axis >= 0;
-               --axis) {
-            ++rindex[axis];
-            roff += red_strides[axis];
-            if (rindex[axis] < red_dims[axis]) break;
-            roff -= red_strides[axis] * red_dims[axis];
-            rindex[axis] = 0;
-          }
-        }
-        out[o] = acc;
-      }
-    });
+    SumKeepdimInto(src, out.data(), kept_dims, kept_strides, red_dims,
+                   red_strides, red_count, out_numel);
   }
   ImplPtr self = t.impl();
-  return MakeOp(out_shape, std::move(out), {t},
-                [self, in_shape, out_shape](TensorImpl& node) {
-                  exec::ScopedOpTimer timer(
-                      exec::OpKind::kReduceBackward,
-                      static_cast<double>(in_shape.numel()));
-                  // Each input element receives the grad of its output cell.
-                  std::vector<float> gx =
-                      ExpandData(node.grad.data(), out_shape, in_shape);
-                  AccumulateGrad(self.get(), gx);
-                  ReleaseBuffer(std::move(gx));
-                });
+  Tensor result =
+      MakeOp(out_shape, std::move(out), {t},
+             [self, in_shape, out_shape](TensorImpl& node) {
+               exec::ScopedOpTimer timer(
+                   exec::OpKind::kReduceBackward,
+                   static_cast<double>(in_shape.numel()));
+               // Each input element receives the grad of its output cell.
+               std::vector<float> gx =
+                   ExpandData(node.grad.data(), out_shape, in_shape);
+               AccumulateGrad(self.get(), gx);
+               ReleaseBuffer(std::move(gx));
+             });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Sum";
+    step.kind = exec::OpKind::kReduce;
+    step.flops = static_cast<double>(in_shape.numel());
+    step.inputs = {t.impl()};
+    step.output = result.impl();
+    const double flops = static_cast<double>(in_shape.numel());
+    step.replay = [kept_dims, kept_strides, red_dims, red_strides, red_count,
+                   out_numel, flops](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kReduce, flops);
+      SumKeepdimInto(args.inputs[0], args.output, kept_dims, kept_strides,
+                     red_dims, red_strides, red_count, out_numel);
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 }  // namespace
@@ -632,6 +821,38 @@ Tensor Tensor::MeanAll() const {
 
 // ---- Softmax ----------------------------------------------------------------------------
 
+namespace {
+
+/// The stable-softmax kernel core shared by the eager dispatch and plan
+/// replays. Per-row max/exp/normalize with the row's full chain inside one
+/// chunk (see the determinism contract in execution_context.h).
+void SoftmaxInto(const float* src, float* out, int64_t outer, int64_t mid,
+                 int64_t inner) {
+  const int64_t grain = std::max<int64_t>(
+      1, kernels::kReduceGrainElems / std::max<int64_t>(1, mid));
+  Ctx().ParallelFor(outer * inner, grain, [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      const int64_t o = t / inner;
+      const int64_t in = t % inner;
+      const int64_t base = o * mid * inner + in;
+      float max_val = src[base];
+      for (int64_t m = 1; m < mid; ++m) {
+        max_val = std::max(max_val, src[base + m * inner]);
+      }
+      float denom = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) {
+        const float e = std::exp(src[base + m * inner] - max_val);
+        out[base + m * inner] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t m = 0; m < mid; ++m) out[base + m * inner] *= inv;
+    }
+  });
+}
+
+}  // namespace
+
 Tensor Tensor::Softmax(int axis) const {
   TB_CHECK(defined());
   const int a = shape().CanonicalAxis(axis);
@@ -641,30 +862,10 @@ Tensor Tensor::Softmax(int axis) const {
   std::vector<float> out = AcquireBuffer(numel());
   {
     exec::ScopedOpTimer timer(exec::OpKind::kSoftmax, 5.0 * numel());
-    const int64_t grain = std::max<int64_t>(
-        1, kernels::kReduceGrainElems / std::max<int64_t>(1, mid));
-    Ctx().ParallelFor(outer * inner, grain, [&](int64_t begin, int64_t end) {
-      for (int64_t t = begin; t < end; ++t) {
-        const int64_t o = t / inner;
-        const int64_t in = t % inner;
-        const int64_t base = o * mid * inner + in;
-        float max_val = src[base];
-        for (int64_t m = 1; m < mid; ++m) {
-          max_val = std::max(max_val, src[base + m * inner]);
-        }
-        float denom = 0.0f;
-        for (int64_t m = 0; m < mid; ++m) {
-          const float e = std::exp(src[base + m * inner] - max_val);
-          out[base + m * inner] = e;
-          denom += e;
-        }
-        const float inv = 1.0f / denom;
-        for (int64_t m = 0; m < mid; ++m) out[base + m * inner] *= inv;
-      }
-    });
+    SoftmaxInto(src, out.data(), outer, mid, inner);
   }
   ImplPtr self = impl();
-  return MakeOp(
+  Tensor result = MakeOp(
       shape(), std::move(out), {*this},
       [self, outer, mid, inner](TensorImpl& node) {
         if (!self->requires_grad) return;
@@ -697,6 +898,21 @@ Tensor Tensor::Softmax(int axis) const {
         AccumulateGrad(self.get(), gx);
         ReleaseBuffer(std::move(gx));
       });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Softmax";
+    step.kind = exec::OpKind::kSoftmax;
+    step.flops = 5.0 * static_cast<double>(numel());
+    step.inputs = {impl()};
+    step.output = result.impl();
+    const double flops = step.flops;
+    step.replay = [outer, mid, inner, flops](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kSoftmax, flops);
+      SoftmaxInto(args.inputs[0], args.output, outer, mid, inner);
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- MatMul -------------------------------------------------------------------------------
@@ -735,7 +951,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   ImplPtr ai = a.impl();
   ImplPtr bi = b.impl();
-  return MakeOp(
+  Tensor result = MakeOp(
       out_shape, std::move(out), {a, b},
       [ai, bi, a_offsets, b_offsets, num_batches, m, k, n](TensorImpl& node) {
         const int grads = (ai->requires_grad ? 1 : 0) +
@@ -759,6 +975,44 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                  b_offsets.data(), num_batches, m, k, n);
         }
       });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "MatMul";
+    step.kind = exec::OpKind::kMatMul;
+    step.flops = 2.0 * static_cast<double>(m * k * n) * num_batches;
+    step.info.pattern = trace::OpPattern::kMatMul;
+    step.info.n = n;
+    step.inputs = {a.impl(), b.impl()};
+    step.output = result.impl();
+    const double flops = step.flops;
+    const int64_t out_n = out_shape.numel();
+    step.replay = [a_offsets, b_offsets, num_batches, m, k, n, out_n,
+                   flops](const trace::ReplayArgs& args) {
+      std::fill(args.output, args.output + out_n, 0.0f);
+      exec::ScopedOpTimer timer(exec::OpKind::kMatMul, flops);
+      kernels::GemmBatchedNN(Ctx(), args.inputs[0], args.inputs[1],
+                             args.output, a_offsets.data(), b_offsets.data(),
+                             num_batches, m, k, n);
+    };
+    step.make_fused = [a_offsets, b_offsets, num_batches, m, k, n, out_n,
+                       flops](int act, float slope,
+                              bool with_bias) -> trace::ReplayFn {
+      return [=](const trace::ReplayArgs& args) {
+        std::fill(args.output, args.output + out_n, 0.0f);
+        exec::ScopedOpTimer timer(exec::OpKind::kFusedEpilogue, flops);
+        kernels::EpilogueSpec epilogue;
+        epilogue.bias = with_bias ? args.inputs[2] : nullptr;
+        epilogue.act = static_cast<kernels::EpilogueAct>(act);
+        epilogue.leaky_slope = slope;
+        kernels::GemmBatchedNNFused(Ctx(), args.inputs[0], args.inputs[1],
+                                    args.output, a_offsets.data(),
+                                    b_offsets.data(), num_batches, m, k, n,
+                                    epilogue);
+      };
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- SparseMatMul -------------------------------------------------------------------------
@@ -790,7 +1044,7 @@ Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features) {
   }
 
   ImplPtr xi = features.impl();
-  return MakeOp(
+  Tensor result = MakeOp(
       out_shape, std::move(out), {features},
       [xi, support, num_batches, rows, cols, f, flops](TensorImpl& node) {
         if (!xi->requires_grad) return;
@@ -803,6 +1057,46 @@ Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features) {
                              support->t_values().data(), node.grad.data(),
                              xi->grad.data(), num_batches, cols, rows, f);
       });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "SparseMatMul";
+    step.kind = exec::OpKind::kSpMM;
+    step.flops = flops;
+    step.info.pattern = trace::OpPattern::kSpMM;
+    step.info.n = f;
+    step.inputs = {features.impl()};
+    step.output = result.impl();
+    const int64_t out_n = out_shape.numel();
+    // The CsrPtr is captured by value: the plan keeps the support alive.
+    step.replay = [support, num_batches, rows, cols, f, out_n,
+                   flops](const trace::ReplayArgs& args) {
+      std::fill(args.output, args.output + out_n, 0.0f);
+      exec::ScopedOpTimer timer(exec::OpKind::kSpMM, flops);
+      kernels::SpmmBatched(Ctx(), support->row_ptr().data(),
+                           support->col_idx().data(),
+                           support->values().data(), args.inputs[0],
+                           args.output, num_batches, rows, cols, f);
+    };
+    step.make_fused = [support, num_batches, rows, cols, f, out_n,
+                       flops](int act, float slope,
+                              bool with_bias) -> trace::ReplayFn {
+      return [=](const trace::ReplayArgs& args) {
+        std::fill(args.output, args.output + out_n, 0.0f);
+        exec::ScopedOpTimer timer(exec::OpKind::kFusedEpilogue, flops);
+        kernels::EpilogueSpec epilogue;
+        epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+        epilogue.act = static_cast<kernels::EpilogueAct>(act);
+        epilogue.leaky_slope = slope;
+        kernels::SpmmBatchedFused(Ctx(), support->row_ptr().data(),
+                                  support->col_idx().data(),
+                                  support->values().data(), args.inputs[0],
+                                  args.output, num_batches, rows, cols, f,
+                                  epilogue);
+      };
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- Structural ----------------------------------------------------------------------------
@@ -859,22 +1153,46 @@ Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
   mids.reserve(tensors.size());
   for (const Tensor& t : tensors) mids.push_back(t.shape().dims()[a]);
 
-  return MakeOp(out_shape, std::move(out), tensors,
-                [impls, mids, mid_offsets, outer, inner,
-                 total_mid](TensorImpl& node) {
-                  for (size_t t = 0; t < impls.size(); ++t) {
-                    TensorImpl* dst = impls[t].get();
-                    if (!dst->requires_grad) continue;
-                    dst->EnsureGrad();
-                    const int64_t mid = mids[t];
-                    for (int64_t o = 0; o < outer; ++o) {
-                      const float* g = node.grad.data() +
-                                       (o * total_mid + mid_offsets[t]) * inner;
-                      float* gd = dst->grad.data() + o * mid * inner;
-                      for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
-                    }
-                  }
-                });
+  Tensor result =
+      MakeOp(out_shape, std::move(out), tensors,
+             [impls, mids, mid_offsets, outer, inner,
+              total_mid](TensorImpl& node) {
+               for (size_t t = 0; t < impls.size(); ++t) {
+                 TensorImpl* dst = impls[t].get();
+                 if (!dst->requires_grad) continue;
+                 dst->EnsureGrad();
+                 const int64_t mid = mids[t];
+                 for (int64_t o = 0; o < outer; ++o) {
+                   const float* g = node.grad.data() +
+                                    (o * total_mid + mid_offsets[t]) * inner;
+                   float* gd = dst->grad.data() + o * mid * inner;
+                   for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
+                 }
+               }
+             });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Concat";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(out_shape.numel());
+    step.inputs = impls;
+    step.output = result.impl();
+    const double flops = step.flops;
+    step.replay = [mids, mid_offsets, outer, inner, total_mid,
+                   flops](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement, flops);
+      for (size_t t = 0; t < mids.size(); ++t) {
+        const int64_t mid = mids[t];
+        const float* src = args.inputs[t];
+        for (int64_t o = 0; o < outer; ++o) {
+          std::memcpy(args.output + (o * total_mid + mid_offsets[t]) * inner,
+                      src + o * mid * inner, sizeof(float) * mid * inner);
+        }
+      }
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 Tensor Stack(const std::vector<Tensor>& tensors, int axis) {
@@ -904,17 +1222,39 @@ Tensor Pad(const Tensor& t, int axis, int64_t before, int64_t after) {
                 src + o * mid * inner, sizeof(float) * mid * inner);
   }
   ImplPtr self = t.impl();
-  return MakeOp(out_shape, std::move(out), {t},
-                [self, outer, mid, inner, out_mid, before](TensorImpl& node) {
-                  if (!self->requires_grad) return;
-                  self->EnsureGrad();
-                  for (int64_t o = 0; o < outer; ++o) {
-                    const float* g =
-                        node.grad.data() + (o * out_mid + before) * inner;
-                    float* gd = self->grad.data() + o * mid * inner;
-                    for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
-                  }
-                });
+  Tensor result =
+      MakeOp(out_shape, std::move(out), {t},
+             [self, outer, mid, inner, out_mid, before](TensorImpl& node) {
+               if (!self->requires_grad) return;
+               self->EnsureGrad();
+               for (int64_t o = 0; o < outer; ++o) {
+                 const float* g =
+                     node.grad.data() + (o * out_mid + before) * inner;
+                 float* gd = self->grad.data() + o * mid * inner;
+                 for (int64_t i = 0; i < mid * inner; ++i) gd[i] += g[i];
+               }
+             });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Pad";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(outer * out_mid * inner);
+    step.inputs = {t.impl()};
+    step.output = result.impl();
+    step.replay = [outer, mid, inner, out_mid,
+                   before](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement,
+                                static_cast<double>(outer * out_mid * inner));
+      std::fill(args.output, args.output + outer * out_mid * inner, 0.0f);
+      for (int64_t o = 0; o < outer; ++o) {
+        std::memcpy(args.output + (o * out_mid + before) * inner,
+                    args.inputs[0] + o * mid * inner,
+                    sizeof(float) * mid * inner);
+      }
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 Tensor IndexSelect(const Tensor& t, int axis,
@@ -944,20 +1284,43 @@ Tensor IndexSelect(const Tensor& t, int axis,
     }
   }
   ImplPtr self = t.impl();
-  return MakeOp(out_shape, std::move(out), {t},
-                [self, indices, outer, mid, inner, out_mid](TensorImpl& node) {
-                  if (!self->requires_grad) return;
-                  self->EnsureGrad();
-                  for (int64_t o = 0; o < outer; ++o) {
-                    for (int64_t j = 0; j < out_mid; ++j) {
-                      const float* g =
-                          node.grad.data() + (o * out_mid + j) * inner;
-                      float* gd =
-                          self->grad.data() + (o * mid + indices[j]) * inner;
-                      for (int64_t i = 0; i < inner; ++i) gd[i] += g[i];
-                    }
-                  }
-                });
+  Tensor result =
+      MakeOp(out_shape, std::move(out), {t},
+             [self, indices, outer, mid, inner, out_mid](TensorImpl& node) {
+               if (!self->requires_grad) return;
+               self->EnsureGrad();
+               for (int64_t o = 0; o < outer; ++o) {
+                 for (int64_t j = 0; j < out_mid; ++j) {
+                   const float* g =
+                       node.grad.data() + (o * out_mid + j) * inner;
+                   float* gd =
+                       self->grad.data() + (o * mid + indices[j]) * inner;
+                   for (int64_t i = 0; i < inner; ++i) gd[i] += g[i];
+                 }
+               }
+             });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "IndexSelect";
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = static_cast<double>(out_shape.numel());
+    step.inputs = {t.impl()};
+    step.output = result.impl();
+    const double flops = step.flops;
+    step.replay = [indices, outer, mid, inner, out_mid,
+                   flops](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kDataMovement, flops);
+      for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t j = 0; j < out_mid; ++j) {
+          std::memcpy(args.output + (o * out_mid + j) * inner,
+                      args.inputs[0] + (o * mid + indices[j]) * inner,
+                      sizeof(float) * inner);
+        }
+      }
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 // ---- Conv2d --------------------------------------------------------------------------------
@@ -993,43 +1356,26 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       2.0 * static_cast<double>(batch * c_out * c_in * kh * kw) *
       static_cast<double>(h_out * w_out);
 
+  conv::Conv2dGeometry geom;
+  geom.batch = batch;
+  geom.c_in = c_in;
+  geom.h = h;
+  geom.w = w;
+  geom.c_out = c_out;
+  geom.kh = kh;
+  geom.kw = kw;
+  geom.h_out = h_out;
+  geom.w_out = w_out;
+  geom.stride_h = stride_h;
+  geom.stride_w = stride_w;
+  geom.pad_h = pad_h;
+  geom.pad_w = pad_w;
+  geom.dil_h = dil_h;
+  geom.dil_w = dil_w;
+
   {
     exec::ScopedOpTimer timer(exec::OpKind::kConv2d, flops);
-    // One task per (batch, out-channel) output plane: planes are disjoint
-    // and each plane's accumulation order matches the serial kernel.
-    Ctx().ParallelFor(batch * c_out, /*grain=*/1,
-                      [&](int64_t begin, int64_t end) {
-      for (int64_t plane = begin; plane < end; ++plane) {
-        const int64_t b = plane / c_out;
-        const int64_t co = plane % c_out;
-        float* out_plane = out.data() + plane * h_out * w_out;
-        if (b_data != nullptr) {
-          const float bv = b_data[co];
-          for (int64_t i = 0; i < h_out * w_out; ++i) out_plane[i] = bv;
-        }
-        for (int64_t ci = 0; ci < c_in; ++ci) {
-          const float* in_plane = in_data + (b * c_in + ci) * h * w;
-          const float* w_block = w_data + (co * c_in + ci) * kh * kw;
-          for (int64_t ki = 0; ki < kh; ++ki) {
-            for (int64_t kj = 0; kj < kw; ++kj) {
-              const float wv = w_block[ki * kw + kj];
-              if (wv == 0.0f) continue;
-              for (int64_t ho = 0; ho < h_out; ++ho) {
-                const int64_t hi = ho * stride_h - pad_h + ki * dil_h;
-                if (hi < 0 || hi >= h) continue;
-                float* out_row = out_plane + ho * w_out;
-                const float* in_row = in_plane + hi * w;
-                for (int64_t wo = 0; wo < w_out; ++wo) {
-                  const int64_t wi = wo * stride_w - pad_w + kj * dil_w;
-                  if (wi < 0 || wi >= w) continue;
-                  out_row[wo] += wv * in_row[wi];
-                }
-              }
-            }
-          }
-        }
-      }
-    });
+    conv::Conv2dNaive(Ctx(), in_data, w_data, b_data, out.data(), geom);
   }
 
   ImplPtr in_impl = input.impl();
@@ -1038,7 +1384,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<Tensor> inputs = {input, weight};
   if (bias.defined()) inputs.push_back(bias);
 
-  return MakeOp(
+  Tensor result = MakeOp(
       out_shape, std::move(out), inputs,
       [in_impl, w_impl, b_impl, batch, c_in, c_out, h, w, kh, kw, h_out, w_out,
        stride_h, stride_w, pad_h, pad_w, dil_h, dil_w, flops](TensorImpl& node) {
@@ -1107,6 +1453,41 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           }
         });
       });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "Conv2d";
+    step.kind = exec::OpKind::kConv2d;
+    step.flops = flops;
+    step.info.pattern = trace::OpPattern::kConv2d;
+    step.inputs.reserve(inputs.size());
+    for (const Tensor& t : inputs) step.inputs.push_back(t.impl());
+    step.output = result.impl();
+    const bool has_bias = bias.defined();
+    // Plan replays use the permuted-layout core (contiguous accumulation
+    // over the long H axis) — bit-identical to the naive core, much faster
+    // on temporal convs. Scratch is executor-bound.
+    step.aux_sizes = {conv::Conv2dPlanAuxIn(geom),
+                      conv::Conv2dPlanAuxOut(geom)};
+    step.replay = [geom, has_bias, flops](const trace::ReplayArgs& args) {
+      exec::ScopedOpTimer timer(exec::OpKind::kConv2d, flops);
+      conv::Conv2dPlan(Ctx(), args.inputs[0], args.inputs[1],
+                       has_bias ? args.inputs[2] : nullptr, args.output,
+                       args.aux[0], args.aux[1], geom,
+                       kernels::EpilogueAct::kNone, 0.0f);
+    };
+    step.make_fused = [geom, has_bias, flops](int act, float slope,
+                                              bool) -> trace::ReplayFn {
+      return [=](const trace::ReplayArgs& args) {
+        exec::ScopedOpTimer timer(exec::OpKind::kFusedEpilogue, flops);
+        conv::Conv2dPlan(Ctx(), args.inputs[0], args.inputs[1],
+                         has_bias ? args.inputs[2] : nullptr, args.output,
+                         args.aux[0], args.aux[1], geom,
+                         static_cast<kernels::EpilogueAct>(act), slope);
+      };
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
 }
 
 }  // namespace trafficbench

@@ -8,6 +8,7 @@
 #include "src/exec/execution_context.h"
 #include "src/tensor/buffer_pool.h"
 #include "src/tensor/op_common.h"
+#include "src/tensor/trace.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -57,6 +58,10 @@ Tensor MakeOp(Shape shape, std::vector<float> data,
   impl->shape = std::move(shape);
   impl->data = std::move(data);
   impl->pool = exec::ExecutionContext::Current().buffer_pool();
+  // While a tracer rides this forward, remember the output as untraced
+  // until the op site records its step; the plan compiler refuses tapes
+  // whose dataflow passes through an op that never did.
+  trace::Tracer::NoteOpOutput(impl.get());
   if (GradModeEnabled()) {
     bool any = false;
     for (const Tensor& t : inputs) any = any || t.requires_grad();

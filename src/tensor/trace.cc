@@ -1,0 +1,70 @@
+#include "src/tensor/trace.h"
+
+#include <utility>
+
+#include "src/tensor/op_common.h"
+
+namespace trafficbench::trace {
+namespace {
+
+thread_local Tracer* t_active = nullptr;
+
+}  // namespace
+
+Tracer::Scope::Scope(Tracer* tracer) : previous_(t_active) { t_active = tracer; }
+
+Tracer::Scope::~Scope() { t_active = previous_; }
+
+Tracer* Tracer::Active() { return t_active; }
+
+void Tracer::Record(TraceStep step) {
+  Tracer* tracer = t_active;
+  if (tracer == nullptr) return;
+  tracer->untraced_.erase(step.output.get());
+  tracer->steps_.push_back(std::move(step));
+}
+
+void Tracer::Fail(const char* op_name) {
+  Tracer* tracer = t_active;
+  if (tracer == nullptr) return;
+  if (!tracer->failed_) {
+    tracer->failed_ = true;
+    tracer->failure_ = std::string("op has no replay: ") + op_name;
+  }
+}
+
+void Tracer::NoteOpOutput(const internal_tensor::TensorImpl* impl) {
+  Tracer* tracer = t_active;
+  if (tracer == nullptr) return;
+  tracer->untraced_.insert(impl);
+}
+
+Tensor HostOp(const char* name, const std::vector<Tensor>& inputs,
+              const Shape& out_shape, HostFn fn) {
+  using internal_tensor::MakeOp;
+  std::vector<const float*> in_ptrs;
+  in_ptrs.reserve(inputs.size());
+  for (const Tensor& t : inputs) in_ptrs.push_back(t.data());
+  std::vector<float> out = internal_tensor::AcquireBuffer(out_shape.numel());
+  fn(in_ptrs.data(), out.data());
+  // No parent edges: the output is an autograd leaf, matching the
+  // FromVector-built tensors these host computations used to produce.
+  Tensor result =
+      MakeOp(out_shape, std::move(out), /*inputs=*/{}, /*backward=*/nullptr);
+  if (Tracer::Active() != nullptr) {
+    TraceStep step;
+    step.name = name;
+    step.kind = exec::OpKind::kDataMovement;
+    step.flops = 0.0;
+    step.inputs.reserve(inputs.size());
+    for (const Tensor& t : inputs) step.inputs.push_back(t.impl());
+    step.output = result.impl();
+    step.replay = [fn = std::move(fn)](const ReplayArgs& args) {
+      fn(args.inputs, args.output);
+    };
+    Tracer::Record(std::move(step));
+  }
+  return result;
+}
+
+}  // namespace trafficbench::trace

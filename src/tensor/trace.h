@@ -1,0 +1,156 @@
+#ifndef TRAFFICBENCH_TENSOR_TRACE_H_
+#define TRAFFICBENCH_TENSOR_TRACE_H_
+
+// Tracing seam of the tensor engine (DESIGN.md §12).
+//
+// A Tracer rides one eager forward pass and records, per op, a TraceStep:
+// the op's inputs/output (as TensorImpl identities), its profiler kind and
+// FLOP estimate, and a *replay closure* that re-executes the op's numeric
+// kernel on raw pointers. The plan compiler (src/plan) turns the recorded
+// tape into a static InferencePlan; the executor (src/exec/plan_executor)
+// then runs the closures against pre-bound buffers — no autograd nodes, no
+// shape checks, no pool traffic on the hot path.
+//
+// Determinism contract: a replay closure must perform the exact same
+// floating-point operations, per output element in the exact same order,
+// as the eager op it was recorded from. Op sites guarantee this by sharing
+// the kernel core between the eager call and the captured closure (same
+// translation unit, same grains, same accumulation chains), so plan output
+// is bit-identical to the eager forward at any thread count.
+//
+// Robustness: an op that creates a tensor through MakeOp without recording
+// a step while a tracer is active is remembered as "untraced"; the plan
+// compiler refuses to compile a tape whose dataflow passes through such a
+// tensor (the value would be silently baked in as a constant). Host-side
+// computations that *read* tensor data (e.g. time-of-day rollout features)
+// must go through HostOp below to stay traceable.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/exec/execution_context.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::trace {
+
+/// Pointer bundle handed to a replay closure by the plan executor. Inputs
+/// follow the recorded order; aux buffers (scratch the closure asked for
+/// via TraceStep::aux_sizes) are pre-bound like the output.
+struct ReplayArgs {
+  const float* const* inputs = nullptr;
+  float* output = nullptr;
+  float* const* aux = nullptr;
+};
+
+using ReplayFn = std::function<void(const ReplayArgs&)>;
+
+/// Structural role of a step, read by the plan compiler's peephole passes
+/// (reshape elision, GEMM/SpMM/conv epilogue fusion).
+enum class OpPattern : int {
+  kOpaque = 0,
+  kReshape,  // pure copy with a new shape; elided by slot aliasing
+  kMatMul,   // fusion head: batched GEMM
+  kSpMM,     // fusion head: batched sparse matmul
+  kConv2d,   // fusion head: conv (activation-only epilogue)
+  kAdd,      // fusable bias add (when one operand is a constant vector)
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kLeakyRelu,
+};
+
+/// Epilogue geometry for fusion-head steps: `n` is the output's innermost
+/// extent (the length a fused bias vector must have).
+struct StepInfo {
+  OpPattern pattern = OpPattern::kOpaque;
+  int64_t n = 0;
+  float leaky_slope = 0.0f;
+};
+
+/// Factory for a fused replay closure, provided by fusion-head op sites.
+/// `act` selects the epilogue activation (kernels::EpilogueAct as int, to
+/// keep this header light); when `with_bias` is true the bias vector is the
+/// step's last input.
+using FusedReplayFactory =
+    std::function<ReplayFn(int act, float slope, bool with_bias)>;
+
+struct TraceStep {
+  const char* name = "";
+  exec::OpKind kind = exec::OpKind::kUnary;
+  double flops = 0.0;
+  StepInfo info;
+  std::vector<std::shared_ptr<internal_tensor::TensorImpl>> inputs;
+  std::shared_ptr<internal_tensor::TensorImpl> output;
+  /// Sizes (in floats) of scratch buffers the replay needs, pre-bound by
+  /// the executor and passed via ReplayArgs::aux.
+  std::vector<int64_t> aux_sizes;
+  ReplayFn replay;
+  FusedReplayFactory make_fused;  // fusion heads only
+};
+
+/// Records one forward pass. Activate with Tracer::Scope around the eager
+/// forward; op sites call Record() through the thread-local binding. Not
+/// thread-safe: one tracer, one thread, one forward.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const std::vector<TraceStep>& steps() const { return steps_; }
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
+
+  /// True when `impl` was created by MakeOp under this tracer but never
+  /// recorded as a step output (an unhooked op; unsafe to compile through).
+  bool IsUntraced(const internal_tensor::TensorImpl* impl) const {
+    return untraced_.count(impl) > 0;
+  }
+
+  /// RAII thread-local activation.
+  class Scope {
+   public:
+    explicit Scope(Tracer* tracer);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* previous_;
+  };
+
+  /// The tracer bound to this thread, or null.
+  static Tracer* Active();
+  /// Appends a step to the active tracer (no-op without one).
+  static void Record(TraceStep step);
+  /// Poisons the active trace: `op_name` cannot be replayed.
+  static void Fail(const char* op_name);
+  /// MakeOp bookkeeping: marks `impl` as produced-but-not-yet-recorded.
+  static void NoteOpOutput(const internal_tensor::TensorImpl* impl);
+
+ private:
+  std::vector<TraceStep> steps_;
+  std::unordered_set<const internal_tensor::TensorImpl*> untraced_;
+  bool failed_ = false;
+  std::string failure_;
+};
+
+/// Host-computed op: runs `fn` over the inputs' raw data into a fresh
+/// tensor of `out_shape`, eagerly and on every plan replay. This is the
+/// seam for forward-pass logic that must read tensor *values* on the host
+/// (e.g. autoregressive time-of-day features): routed through HostOp it
+/// stays input-dependent in the plan instead of being baked in as a
+/// constant. The output is an autograd leaf (like Tensor::FromVector).
+/// `fn` must write every output element and be deterministic.
+using HostFn = std::function<void(const float* const* inputs, float* output)>;
+Tensor HostOp(const char* name, const std::vector<Tensor>& inputs,
+              const Shape& out_shape, HostFn fn);
+
+}  // namespace trafficbench::trace
+
+#endif  // TRAFFICBENCH_TENSOR_TRACE_H_

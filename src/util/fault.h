@@ -27,6 +27,8 @@
 //   crash            simulated hard kill at a checkpoint boundary
 //   serve_slow_worker stall one serving worker before it runs a micro-batch
 //                    (latency-SLO metrics must observe it; results must not)
+//   plan_compile     fail compiling an inference plan at model-load time
+//                    (the registry must fall back to the eager forward)
 
 #include <array>
 #include <cstdint>
@@ -48,9 +50,10 @@ enum class FaultSite : int {
   kIoWriteFail,
   kCrash,
   kServeSlowWorker,
+  kPlanCompile,
 };
 
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 10;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic

@@ -1,0 +1,266 @@
+// Compiled-inference-plan suite (DESIGN.md §12): the plan-vs-autograd
+// bit-identity contract across every paper model, batch bucket and thread
+// count; allocation-free steady-state execution out of pre-bound BufferPool
+// buffers; fused-epilogue profiler accounting; the plan_compile fault
+// site's eager fallback; and the compiler's rejection of host-computed
+// (input-independent) outputs.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/exec/execution_context.h"
+#include "src/models/traffic_model.h"
+#include "src/plan/plan.h"
+#include "src/serve/model_registry.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/trace.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+
+namespace trafficbench {
+namespace {
+
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    Result<FaultInjector> parsed = FaultInjector::Parse(spec);
+    TB_CHECK(parsed.ok()) << parsed.status().ToString();
+    FaultInjector::SetGlobal(std::move(parsed).value());
+  }
+  ~ScopedFault() { FaultInjector::SetGlobal(FaultInjector()); }
+};
+
+const data::TrafficDataset& TinyDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetProfile profile;
+    profile.name = "SERVE";
+    profile.num_nodes = 8;
+    profile.num_days = 4;
+    profile.seed = 414;
+    return new data::TrafficDataset(
+        data::TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+constexpr char kDataset[] = "SERVE";
+
+serve::ModelSpec SpecFor(const std::string& model_name) {
+  serve::ModelSpec spec;
+  spec.model_name = model_name;
+  spec.dataset_name = kDataset;
+  spec.dataset = &TinyDataset();
+  spec.seed = 2021;
+  return spec;
+}
+
+/// A [batch, T_in, N, 2] batch of the first `batch` dataset samples.
+Tensor Batch(int64_t batch) {
+  std::vector<int64_t> samples;
+  for (int64_t i = 0; i < batch; ++i) samples.push_back(i);
+  return TinyDataset().MakeBatch(samples).x;
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ---- Bit-identity contract --------------------------------------------------
+
+// The headline determinism contract: for every paper model, the compiled
+// plan's prediction is bit-identical to the eager autograd forward, for
+// every micro-batch bucket the server can form and at every kernel thread
+// count (the eager reference itself is thread-invariant by the
+// deterministic-chunking contract, so one reference pins all of them).
+TEST(PlanBitIdentity, MatchesEagerForAllPaperModelsBucketsAndThreads) {
+  serve::ModelRegistry registry;
+  for (const std::string& name : models::PaperModelNames()) {
+    TB_CHECK_OK(registry.Load(SpecFor(name)));
+    serve::LoadedModelPtr entry = registry.Find(name, kDataset);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->plans_active()) << name << ": "
+                                       << entry->plan_summary();
+    for (const int64_t batch : {int64_t{1}, int64_t{4}, int64_t{8}}) {
+      const Tensor x = Batch(batch);
+      const std::vector<float> reference =
+          entry->PredictReference(x).ToVector();
+      for (const int threads : {1, 2, 4}) {
+        exec::ExecutionContext context({.threads = threads});
+        exec::ExecutionContext::Bind bind(&context);
+        EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(), reference))
+            << name << " batch " << batch << " threads " << threads;
+      }
+    }
+  }
+}
+
+// ---- Execution out of pre-bound buffers -------------------------------------
+
+// After the first (compiling) call on a bucket, plan execution runs
+// entirely out of buffers bound at compile time: repeated predictions
+// acquire nothing further from the context's BufferPool.
+TEST(PlanExecution, SteadyStateAcquiresNoPoolBuffers) {
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.warmup = false;  // keep the load-time warmup off this pool's books
+  TB_CHECK_OK(registry.Load(spec));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+
+  exec::ExecutionContext context({.threads = 1});
+  exec::ExecutionContext::Bind bind(&context);
+  const Tensor x = Batch(4);
+  entry->Predict(x);  // compiles the bucket and binds its buffers
+  ASSERT_TRUE(entry->plans_active()) << entry->plan_summary();
+
+  const BufferPool::Stats warm = context.buffer_pool()->stats();
+  std::vector<float> first = entry->Predict(x).ToVector();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(), first));
+  }
+  const BufferPool::Stats steady = context.buffer_pool()->stats();
+  EXPECT_EQ(steady.hits + steady.misses, warm.hits + warm.misses)
+      << "plan execution acquired pool buffers in steady state";
+}
+
+// Fused plan steps dispatch under OpKind::kFusedEpilogue, so profiled
+// contexts show fused vs unfused kernel counts side by side.
+TEST(PlanExecution, FusedStepsRecordUnderFusedEpilogue) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+
+  exec::ExecutionContext context({.threads = 1, .profile = true});
+  exec::ExecutionContext::Bind bind(&context);
+  entry->Predict(Batch(2));
+  ASSERT_TRUE(entry->plans_active()) << entry->plan_summary();
+  context.profiler().Reset();
+  entry->Predict(Batch(2));
+
+  const exec::OpStats fused =
+      context.profiler().stats(exec::OpKind::kFusedEpilogue);
+  EXPECT_GT(fused.calls, 0);
+  EXPECT_GT(fused.flops, 0.0);
+}
+
+// ---- Fallbacks --------------------------------------------------------------
+
+// The plan_compile fault site fails compilation at model-load time; the
+// registry must disable plans for the entry and serve the eager forward,
+// bit-identical and with no error surfaced to the caller.
+TEST(PlanFault, CompileFaultFallsBackToEager) {
+  ScopedFault fault("plan_compile@1");
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN")));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kPlanCompile), 1);
+
+  EXPECT_FALSE(entry->plans_active());
+  EXPECT_NE(entry->plan_summary().find("plans off"), std::string::npos)
+      << entry->plan_summary();
+  const Tensor x = Batch(4);
+  EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(),
+                       entry->PredictReference(x).ToVector()));
+}
+
+// Baselines compute their predictions host-side, so their traced outputs
+// do not depend on the plan input; the compiler must reject them (baking
+// the traced values would serve stale constants) and the entry must fall
+// back to eager.
+TEST(PlanFault, HostComputedBaselineFallsBackToEager) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("HistoricalAverage")));
+  serve::LoadedModelPtr entry = registry.Find("HistoricalAverage", kDataset);
+  ASSERT_NE(entry, nullptr);
+
+  EXPECT_FALSE(entry->plans_active());
+  EXPECT_NE(entry->plan_summary().find("plans off"), std::string::npos)
+      << entry->plan_summary();
+  const Tensor x = Batch(2);
+  EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(),
+                       entry->PredictReference(x).ToVector()));
+}
+
+// A spec can opt an entry out of plan compilation entirely.
+TEST(PlanFault, SpecCanDisablePlans)  {
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec = SpecFor("STGCN");
+  spec.compile_plans = false;
+  TB_CHECK_OK(registry.Load(spec));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->plans_active());
+  const Tensor x = Batch(1);
+  EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(),
+                       entry->PredictReference(x).ToVector()));
+}
+
+// ---- Compiler internals -----------------------------------------------------
+
+// Tracing an STGCN forward and compiling it directly: the optimization
+// passes must do real work (fusion, reshape elision, step elimination) and
+// the summary must reflect the counts.
+TEST(PlanCompile, PassesFuseElideAndAssignBuffers) {
+  auto model = models::CreateModel(
+      "STGCN", models::MakeModelContext(TinyDataset(), /*seed=*/2021));
+  TB_CHECK(model != nullptr);
+  NoGradGuard no_grad;
+  Tensor x = Tensor::Zeros(
+      {2, TinyDataset().input_len(), TinyDataset().num_nodes(), 2});
+  trace::Tracer tracer;
+  Tensor y;
+  {
+    trace::Tracer::Scope scope(&tracer);
+    y = model->Forward(x, Tensor());
+  }
+  Result<std::shared_ptr<const plan::InferencePlan>> compiled =
+      plan::Compile(tracer, x.impl(), y.impl());
+  TB_CHECK_OK(compiled.status());
+  const plan::InferencePlan& plan = *compiled.value();
+
+  EXPECT_GT(plan.stats.fused, 0);
+  EXPECT_GT(plan.stats.elided, 0);
+  EXPECT_LT(plan.stats.steps, plan.stats.traced_steps);
+  EXPECT_GT(plan.stats.buffers, 0);
+  EXPECT_LT(plan.stats.buffers, plan.stats.steps)
+      << "liveness assignment did not recycle buffers";
+  EXPECT_NE(plan.Summary().find("fused"), std::string::npos);
+  EXPECT_EQ(plan.input_shape, x.shape());
+  EXPECT_EQ(plan.output_shape, y.shape());
+}
+
+// The compiler refuses to bake an output that does not depend on the
+// traced input (e.g. a host-computed baseline prediction).
+TEST(PlanCompile, RejectsInputIndependentOutput) {
+  auto model = models::CreateModel(
+      "HistoricalAverage",
+      models::MakeModelContext(TinyDataset(), /*seed=*/2021));
+  TB_CHECK(model != nullptr);
+  NoGradGuard no_grad;
+  Tensor x = Tensor::Zeros(
+      {1, TinyDataset().input_len(), TinyDataset().num_nodes(), 2});
+  trace::Tracer tracer;
+  Tensor y;
+  {
+    trace::Tracer::Scope scope(&tracer);
+    y = model->Forward(x, Tensor());
+  }
+  Result<std::shared_ptr<const plan::InferencePlan>> compiled =
+      plan::Compile(tracer, x.impl(), y.impl());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(compiled.status().message().find("depend"), std::string::npos)
+      << compiled.status().ToString();
+}
+
+}  // namespace
+}  // namespace trafficbench

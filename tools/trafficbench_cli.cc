@@ -110,7 +110,9 @@ int Usage() {
       "           [--models A,B,C] [--requests N] [--rate R/s]\n"
       "           [--batch-max B] [--max-delay-ms D] [--workers W]\n"
       "           [--threads K] [--queue-cap Q] [--checkpoint F]"
-      " [--verify]\n");
+      " [--verify]\n"
+      "           [--plan | --no-plan]  (default: both passes + speedup"
+      " column)\n");
   return 2;
 }
 
@@ -373,6 +375,11 @@ int CmdExperiment(const Args& args) {
 // through the serving subsystem (registry -> bounded queue -> dynamic
 // micro-batcher -> workers) at a configurable open-loop arrival rate and
 // reports per-model latency SLO percentiles and throughput.
+//
+// By default every model is replayed twice — once served from compiled
+// inference plans and once from the eager autograd forward — and the table
+// reports both throughputs plus their ratio. --plan / --no-plan restrict
+// the run to a single pass.
 int CmdServeBench(const Args& args) {
   std::optional<tb::data::TrafficDataset> dataset = OpenDataset(args);
   if (!dataset) return 1;
@@ -405,6 +412,12 @@ int CmdServeBench(const Args& args) {
   server_options.queue_capacity =
       std::max<int64_t>(1, std::atoll(args.Get("queue-cap", "256").c_str()));
   const bool verify = args.Has("verify");
+  if (args.Has("plan") && args.Has("no-plan")) {
+    std::fprintf(stderr, "--plan and --no-plan are mutually exclusive\n");
+    return 2;
+  }
+  const bool run_plan = !args.Has("no-plan");
+  const bool run_eager = !args.Has("plan");
 
   const tb::data::DatasetSplits splits = dataset->Splits();
   const int64_t test_count = splits.test_end - splits.test_begin;
@@ -415,17 +428,20 @@ int CmdServeBench(const Args& args) {
 
   std::printf(
       "serve-bench: %s | %lld requests/model, rate %s, batch-max %lld, "
-      "max-delay %.2f ms, %d worker(s) x %d thread(s), queue cap %lld\n",
+      "max-delay %.2f ms, %d worker(s) x %d thread(s), queue cap %lld, "
+      "pass: %s\n",
       dataset_name.c_str(), static_cast<long long>(requests),
       rate > 0 ? (tb::Table::Num(rate, 1) + "/s").c_str() : "unthrottled",
       static_cast<long long>(server_options.batch.max_batch_size),
       server_options.batch.max_queue_delay_ms, server_options.workers,
       server_options.threads_per_worker,
-      static_cast<long long>(server_options.queue_capacity));
+      static_cast<long long>(server_options.queue_capacity),
+      run_plan && run_eager ? "plan+autograd" : (run_plan ? "plan" : "autograd"));
 
   tb::serve::ModelRegistry registry;
   tb::Table table({"Model", "ok", "shed", "p50 ms", "p95 ms", "p99 ms",
-                   "max ms", "windows/s", "mean batch", "queue depth"});
+                   "max ms", "windows/s", "auto w/s", "speedup",
+                   "mean batch", "queue depth"});
   bool verify_failed = false;
   for (const std::string& name : model_names) {
     tb::serve::ModelSpec spec;
@@ -439,79 +455,127 @@ int CmdServeBench(const Args& args) {
       std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
       return 1;
     }
-
-    tb::serve::Server server(&registry, server_options);
-    server.Start();
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::future<tb::serve::PredictResponse>> futures;
-    std::vector<int64_t> sample_of;
-    futures.reserve(requests);
-    for (int64_t i = 0; i < requests; ++i) {
-      if (rate > 0) {
-        std::this_thread::sleep_until(
-            t0 + std::chrono::duration_cast<
-                     std::chrono::steady_clock::duration>(
-                     std::chrono::duration<double>(i / rate)));
-      }
-      const int64_t sample = splits.test_begin + (i % test_count);
-      tb::serve::PredictRequest request;
-      request.model_name = name;
-      request.dataset_name = dataset_name;
-      request.window =
-          dataset->MakeBatch({sample}).x;  // [1, T_in, N, 2] accepted
-      futures.push_back(server.Submit(std::move(request)));
-      sample_of.push_back(sample);
-    }
-
-    int64_t ok = 0, shed = 0, failed = 0;
     tb::serve::LoadedModelPtr entry = registry.Find(name, dataset_name);
-    int verified = 0;
-    for (size_t i = 0; i < futures.size(); ++i) {
-      tb::serve::PredictResponse response = futures[i].get();
-      if (response.status.ok()) {
-        ++ok;
-        // Bit-identity spot check: the served prediction must equal a
-        // batch-of-1 run of the same window, byte for byte.
-        if (verify && verified < 4) {
-          tb::Tensor direct =
-              entry->Predict(dataset->MakeBatch({sample_of[i]}).x);
-          const std::vector<float> a = response.prediction.ToVector();
-          const std::vector<float> b = direct.ToVector();
-          bool equal = a.size() == b.size();
-          for (size_t j = 0; equal && j < a.size(); ++j) {
-            equal = std::memcmp(&a[j], &b[j], sizeof(float)) == 0;
-          }
-          if (!equal) {
-            std::fprintf(stderr,
-                         "verify FAILED: %s window %lld differs from "
-                         "batch-of-1\n",
-                         name.c_str(), static_cast<long long>(sample_of[i]));
-            verify_failed = true;
-          }
-          ++verified;
+    if (run_plan) {
+      // Warm every micro-batch bucket the batcher can form so plan
+      // compilation is billed to model load, not to the timed replay.
+      for (int64_t b = 1; b <= server_options.batch.max_batch_size; b *= 2) {
+        std::vector<int64_t> samples;
+        for (int64_t j = 0; j < b; ++j) {
+          samples.push_back(splits.test_begin + (j % test_count));
         }
-      } else if (response.status.code() ==
-                 tb::StatusCode::kResourceExhausted) {
-        ++shed;
-      } else {
-        ++failed;
-        std::fprintf(stderr, "%s: %s\n", name.c_str(),
-                     response.status.ToString().c_str());
+        entry->Predict(dataset->MakeBatch(samples).x);
       }
     }
-    server.Stop();
-    const tb::serve::LatencySummary s = server.recorder().Summary();
-    table.AddRow({name, std::to_string(ok), std::to_string(shed),
+
+    struct PassStats {
+      tb::serve::LatencySummary summary;
+      int64_t ok = 0, shed = 0, failed = 0;
+      std::string recorder_table;
+    };
+    // One full open-loop replay of the request stream against a fresh
+    // server in the given execution mode.
+    auto run_pass = [&](bool use_plan) -> PassStats {
+      tb::serve::ServerOptions pass_options = server_options;
+      pass_options.use_plan = use_plan;
+      tb::serve::Server server(&registry, pass_options);
+      server.Start();
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::future<tb::serve::PredictResponse>> futures;
+      std::vector<int64_t> sample_of;
+      futures.reserve(requests);
+      for (int64_t i = 0; i < requests; ++i) {
+        if (rate > 0) {
+          std::this_thread::sleep_until(
+              t0 + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(i / rate)));
+        }
+        const int64_t sample = splits.test_begin + (i % test_count);
+        tb::serve::PredictRequest request;
+        request.model_name = name;
+        request.dataset_name = dataset_name;
+        request.window =
+            dataset->MakeBatch({sample}).x;  // [1, T_in, N, 2] accepted
+        futures.push_back(server.Submit(std::move(request)));
+        sample_of.push_back(sample);
+      }
+
+      PassStats stats;
+      std::vector<std::pair<int64_t, tb::Tensor>> to_verify;
+      for (size_t i = 0; i < futures.size(); ++i) {
+        tb::serve::PredictResponse response = futures[i].get();
+        if (response.status.ok()) {
+          ++stats.ok;
+          if (verify && to_verify.size() < 4) {
+            to_verify.emplace_back(sample_of[i], response.prediction);
+          }
+        } else if (response.status.code() ==
+                   tb::StatusCode::kResourceExhausted) {
+          ++stats.shed;
+        } else {
+          ++stats.failed;
+          std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                       response.status.ToString().c_str());
+        }
+      }
+      server.Stop();
+      stats.summary = server.recorder().Summary();
+      stats.recorder_table = server.recorder().ToTable().ToString();
+      // Bit-identity spot check, deliberately after Stop() and Summary():
+      // the served predictions must equal a batch-of-1 run of the same
+      // window through both the compiled plan and the eager reference
+      // forward, byte for byte — but the direct runs must not steal CPU
+      // from (or serialize against) the measured replay.
+      for (const auto& [sample, prediction] : to_verify) {
+        const tb::Tensor window = dataset->MakeBatch({sample}).x;
+        const std::vector<float> served = prediction.ToVector();
+        const std::vector<float> plan = entry->Predict(window).ToVector();
+        const std::vector<float> eager =
+            entry->PredictReference(window).ToVector();
+        const bool equal =
+            served.size() == plan.size() && plan.size() == eager.size() &&
+            std::memcmp(served.data(), plan.data(),
+                        served.size() * sizeof(float)) == 0 &&
+            std::memcmp(plan.data(), eager.data(),
+                        plan.size() * sizeof(float)) == 0;
+        if (!equal) {
+          std::fprintf(stderr,
+                       "verify FAILED: %s window %lld differs across "
+                       "served/plan/eager\n",
+                       name.c_str(), static_cast<long long>(sample));
+          verify_failed = true;
+        }
+      }
+      return stats;
+    };
+
+    // Autograd first so the plan pass reuses every warmed cache.
+    PassStats eager_stats, plan_stats;
+    if (run_eager) eager_stats = run_pass(false);
+    if (run_plan) plan_stats = run_pass(true);
+    const PassStats& primary = run_plan ? plan_stats : eager_stats;
+    const bool both = run_plan && run_eager;
+    const tb::serve::LatencySummary& s = primary.summary;
+    table.AddRow({name, std::to_string(primary.ok),
+                  std::to_string(primary.shed),
                   tb::Table::Num(s.request_p50 * 1e3, 3),
                   tb::Table::Num(s.request_p95 * 1e3, 3),
                   tb::Table::Num(s.request_p99 * 1e3, 3),
                   tb::Table::Num(s.request_max * 1e3, 3),
                   tb::Table::Num(s.throughput, 1),
+                  both ? tb::Table::Num(eager_stats.summary.throughput, 1)
+                       : "-",
+                  both && eager_stats.summary.throughput > 0
+                      ? tb::Table::Num(s.throughput /
+                                           eager_stats.summary.throughput,
+                                       2) + "x"
+                      : "-",
                   tb::Table::Num(s.mean_batch_size, 2),
                   tb::Table::Num(s.mean_queue_depth, 2)});
-    if (failed > 0) return 1;
+    if (primary.failed > 0 || (both && eager_stats.failed > 0)) return 1;
     if (model_names.size() == 1) {
-      std::printf("\n%s", server.recorder().ToTable().ToString().c_str());
+      std::printf("\n%s", primary.recorder_table.c_str());
     }
   }
   tb::core::EmitTable(
