@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -119,6 +120,68 @@ BENCHMARK(BM_SpMM)
     ->Args({207, 100})
     ->Args({207, 250})   // density threshold boundary
     ->Args({325, 25});   // PeMS-BAY scale + density
+
+// Plan-tier weight GEMM at a serving shape (m activation rows against a
+// constant [64, 64] layer weight, GMAN/STGCN-like). The fp32 row packs its
+// B panel per 16-row chunk on every call; the reduced tiers read the panel
+// buffer pre-packed at plan-compile time (PackBf16Panels/PackInt8Panels),
+// so BM_GemmPlanBf16/N vs BM_GemmPlanFp32/N is the per-step speedup the
+// bf16 execution tier buys (DESIGN.md §13).
+void BM_GemmPlanFp32(benchmark::State& state) {
+  const int64_t m = state.range(0), k = 64, n = 64;
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng);
+  Tensor b = Tensor::Randn(Shape({k, n}), &rng);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    kernels::GemmAccNNRows(a.data(), b.data(), c.data(), 0, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetFlopsCounter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmPlanFp32)->Arg(256)->Arg(1656);
+
+void BM_GemmPlanBf16(benchmark::State& state) {
+  const int64_t m = state.range(0), k = 64, n = 64;
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng);
+  Tensor b = Tensor::Randn(Shape({k, n}), &rng);
+  std::vector<uint16_t> packed(kernels::PackedPanelElems(k, n));
+  kernels::PackBf16Panels(b.data(), k, n, packed.data());
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    kernels::GemmBf16AccNNRows(a.data(), packed.data(), c.data(), 0, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetFlopsCounter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmPlanBf16)->Arg(256)->Arg(1656);
+
+void BM_GemmPlanInt8(benchmark::State& state) {
+  const int64_t m = state.range(0), k = 64, n = 64;
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng);
+  Tensor b = Tensor::Randn(Shape({k, n}), &rng);
+  std::vector<int8_t> row_q(k * n);
+  std::vector<float> col_scales(n);
+  kernels::QuantizeInt8PerColumn(b.data(), k, n, row_q.data(),
+                                 col_scales.data());
+  std::vector<int8_t> q(kernels::PackedPanelElems(k, n));
+  kernels::PackInt8Panels(row_q.data(), k, n, q.data());
+  std::vector<float> scales(kernels::PaddedScaleElems(n));
+  kernels::PadScales(col_scales.data(), n, scales.data());
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    kernels::GemmInt8AccNNRows(a.data(), q.data(), scales.data(), c.data(),
+                               0, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetFlopsCounter(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_GemmPlanInt8)->Arg(256)->Arg(1656);
 
 void BM_SpmmGraphConvMetrLa(benchmark::State& state) {
   // Sparse counterpart of BM_GraphConvMetrLa: CSR support at METR-LA's

@@ -23,12 +23,19 @@
 # so the per-model rows carry "windows/s" (plan), "auto w/s" (autograd) and
 # "speedup" columns.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 6)
+# Since PR 7 the snapshot also records the reduced-precision tier
+# (DESIGN.md §13) under "precision_bench": a plan-only fp32 pass and a
+# plan-only bf16 pass per model, with the bf16-vs-fp32-plan throughput
+# ratio and the verify-mode MAE delta vs the fp32 eager forward. The
+# BM_GemmPlan* rows capture the per-kernel view at serving shapes: fp32
+# per-call-packed GEMM vs the pre-panelized bf16/int8 kernels.
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 7)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-6}"
+PR="${1:-7}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -36,7 +43,7 @@ cmake -S "$ROOT" -B "$BUILD" \
 cmake --build "$BUILD" --target bench_micro_ops trafficbench_cli -j >/dev/null
 
 "$BUILD/bench/bench_micro_ops" \
-  --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpmmGraphConvMetrLa' \
+  --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpmmGraphConvMetrLa|BM_GemmPlan' \
   --benchmark_out="$OUT" --benchmark_out_format=json
 
 # Annotate the context with the repo-side build type and print the headline
@@ -70,13 +77,20 @@ headline("SpMM vs dense MatMul at METR-LA density",
          "BM_MatMul/207", "BM_SpMM/207/40", "real_time")
 headline("SpMM vs dense at PeMS-BAY scale/density",
          "BM_MatMul/325", "BM_SpMM/325/25", "real_time")
+# Reduced-precision plan GEMM vs the fp32 plan GEMM at a serving shape.
+for tier in ("Bf16", "Int8"):
+    name = f"BM_GemmPlan{tier}/1656"
+    if name in rows and "BM_GemmPlanFp32/1656" in rows:
+        r = rows["BM_GemmPlanFp32/1656"]["real_time"] / rows[name]["real_time"]
+        print(f"plan GEMM {tier.lower()} vs fp32 (m=1656,k=n=64): {r:.2f}x")
 EOF
 # Serve-bench replay: all eight models on METR-LA-S, micro-batching server,
 # bit-identity verified across served/plan/eager. The default mode runs a
 # compiled-plan pass and an autograd pass per model; both throughputs and
 # their ratio land in the per-model CSV folded into the snapshot.
 (cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
-  --requests 64 --batch-max 8 --workers 2 --verify >/dev/null)
+  --requests 64 --batch-max 8 --workers 2 --verify \
+  --csv serve_bench.csv >/dev/null)
 
 python3 - "$OUT" "$BUILD/serve_bench.csv" <<'EOF'
 import csv, json, sys
@@ -104,5 +118,81 @@ by_speed = [r for r in rows if r.get("speedup", "-") != "-"]
 if by_speed:
     best = max(by_speed, key=lambda r: float(r["speedup"].rstrip("x")))
     print(f"  best plan speedup: {best['Model']} {best['speedup']}")
+EOF
+# Precision tier A/B: plan-only fp32 pass vs plan-only bf16 pass, single
+# worker so the tier ratio is not confounded by worker contention on small
+# machines. Serve throughput on a loaded host is noisy (+-10%), so each
+# pass runs REPS times and the fold below keeps the best windows/s per
+# model per tier — the standard best-of-N for throughput A/Bs. The bf16
+# pass runs --verify, whose reduced mode prints per-model max-abs/max-rel/
+# MAE-delta error vs the fp32 eager forward instead of asserting bitwise.
+REPS=${REPS:-3}
+for rep in $(seq 1 "$REPS"); do
+  (cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
+    --requests 128 --batch-max 8 --workers 1 --plan --precision fp32 \
+    --csv "serve_bench_fp32_$rep.csv" >/dev/null)
+  (cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
+    --requests 128 --batch-max 8 --workers 1 --plan --precision bf16 \
+    --verify --csv "serve_bench_bf16_$rep.csv" >serve_bench_bf16.log)
+done
+
+python3 - "$OUT" "$BUILD" "$REPS" <<'EOF'
+import csv, glob, json, re, sys
+
+out_path, build, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+with open(out_path) as f:
+    snap = json.load(f)
+
+def load(tier):
+    """Best windows/s per model across the tier's repetitions."""
+    best = {}
+    for path in glob.glob(f"{build}/serve_bench_{tier}_*.csv"):
+        for r in csv.DictReader(open(path)):
+            cur = best.get(r["Model"])
+            if cur is None or float(r["windows/s"]) > float(cur["windows/s"]):
+                best[r["Model"]] = r
+    return best
+
+fp32, bf16 = load("fp32"), load("bf16")
+# verify[bf16]: <model> max abs X, max rel Y, mae delta Z vs fp32 eager ...
+errors = {}
+with open(f"{build}/serve_bench_bf16.log") as f:
+    for line in f:
+        m = re.match(r"verify\[\w+\]: (\S+) max abs (\S+), max rel (\S+), "
+                     r"mae delta (\S+)", line)
+        if m:
+            errors[m.group(1)] = {"max_abs": float(m.group(2)),
+                                  "max_rel": float(m.group(3)),
+                                  "mae_delta": float(m.group(4))}
+models = []
+for name, f32 in fp32.items():
+    b16 = bf16.get(name)
+    if b16 is None:
+        continue
+    row = {"model": name,
+           "fp32_windows_per_s": float(f32["windows/s"]),
+           "bf16_windows_per_s": float(b16["windows/s"]),
+           "bf16_served_precision": b16.get("precision", "bf16"),
+           "bf16_vs_fp32_plan":
+               round(float(b16["windows/s"]) / float(f32["windows/s"]), 3)}
+    row.update(errors.get(name, {}))
+    models.append(row)
+snap["precision_bench"] = {
+    "config": f"METR-LA-S, 128 requests/model, batch-max 8, 1 worker "
+              f"(uncontended A/B), plan-only passes, best of {reps} runs "
+              f"per tier; bf16 errors vs fp32 eager from --verify",
+    "models": models,
+}
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+
+print("precision-bench headlines (bf16-plan vs fp32-plan serve throughput):")
+for row in sorted(models, key=lambda r: -r["bf16_vs_fp32_plan"]):
+    mae = row.get("mae_delta")
+    mae_s = f", mae delta {mae:.2e}" if mae is not None else ""
+    mark = " >=1.5x" if row["bf16_vs_fp32_plan"] >= 1.5 else ""
+    print(f"  {row['model']}: {row['bf16_vs_fp32_plan']:.2f}x{mae_s}{mark}")
 EOF
 echo "snapshot: $OUT"

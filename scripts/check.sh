@@ -23,18 +23,18 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec + pool + sparse + serve + plan tests =="
+  echo "== tsan: exec + pool + sparse + serve + plan + precision tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*'
 fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan tests =="
+  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan/precision tests =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*'
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*'
 fi
 
 if [[ "${FAULT:-0}" == "1" ]]; then
@@ -43,7 +43,7 @@ if [[ "${FAULT:-0}" == "1" ]]; then
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
   echo "== fault: guarded loop / checkpoint / resume suite =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*'
+    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*:PrecisionFault.*'
 fi
 
 echo "OK"

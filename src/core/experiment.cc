@@ -483,7 +483,7 @@ Table SummarizeSweep(const std::vector<RunResult>& results) {
 void EmitTable(const std::string& title, const Table& table,
                const std::string& csv_name) {
   std::printf("\n== %s ==\n%s", title.c_str(), table.ToString().c_str());
-  if (WriteFileOrWarn(csv_name, table.ToCsv())) {
+  if (!csv_name.empty() && WriteFileOrWarn(csv_name, table.ToCsv())) {
     std::printf("(csv: %s)\n", csv_name.c_str());
   }
   std::fflush(stdout);

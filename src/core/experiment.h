@@ -118,7 +118,8 @@ std::vector<RunResult> RunExperiment(const data::TrafficDataset& dataset,
 /// error.
 Table SummarizeSweep(const std::vector<RunResult>& results);
 
-/// Prints `table`, writes it as CSV next to the binary, and echoes the path.
+/// Prints `table`; when `csv_name` is non-empty, also writes it as CSV at
+/// that path (relative to the working directory) and echoes the path.
 void EmitTable(const std::string& title, const Table& table,
                const std::string& csv_name);
 

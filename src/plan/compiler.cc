@@ -32,6 +32,12 @@ struct WorkStep {
   const TensorImpl* output = nullptr;
   std::vector<int64_t> aux_sizes;
   trace::ReplayFn replay;
+  /// Epilogue parameters recorded by the fusion pass so precision lowering
+  /// can rebuild the fused closure around the packed weights (defaults =
+  /// "no epilogue" for unfused steps).
+  int fused_act = 0;  // kernels::EpilogueAct as int
+  float fused_slope = 0.0f;
+  bool fused_bias = false;
 };
 
 /// True when `act` names an activation the fused epilogues implement.
@@ -85,9 +91,17 @@ std::string InferencePlan::Summary() const {
                   std::to_string(stats.buffers) + " buffers, ";
   const double mib =
       static_cast<double>(stats.buffer_bytes) / (1024.0 * 1024.0);
-  char buf[32];
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f MiB", mib);
-  return s + buf;
+  s += buf;
+  if (precision != Precision::kFp32) {
+    std::snprintf(buf, sizeof(buf), " | %s: %lld lowered, %.1f MiB packed",
+                  kernels::PrecisionName(precision),
+                  static_cast<long long>(stats.lowered),
+                  static_cast<double>(stats.packed_bytes) / (1024.0 * 1024.0));
+    s += buf;
+  }
+  return s;
 }
 
 Result<std::shared_ptr<const InferencePlan>> Compile(
@@ -312,6 +326,9 @@ Result<std::shared_ptr<const InferencePlan>> Compile(
           act_idx >= 0 ? work[act_idx].traced->info.leaky_slope : 0.0f;
       head.replay = head.traced->make_fused(
           static_cast<int>(ToEpilogueAct(act)), slope, bias != nullptr);
+      head.fused_act = static_cast<int>(ToEpilogueAct(act));
+      head.fused_slope = slope;
+      head.fused_bias = bias != nullptr;
       head.kind = exec::OpKind::kFusedEpilogue;
       head.fused = true;
       head.name = FusedName(hp, bias != nullptr, act_idx >= 0);
@@ -329,6 +346,38 @@ Result<std::shared_ptr<const InferencePlan>> Compile(
       producer.erase(head.output);
       head.output = tail_out;
       producer[head.output] = static_cast<int>(i);
+    }
+  }
+
+  // Pass 5½: precision lowering. A step whose op site provided a
+  // make_lowered factory — and whose weight operand (if it is a step input)
+  // is a constant — is rewritten to dispatch the reduced-precision kernels
+  // over weights packed right here, at compile time. The packed storage
+  // lives in the new replay closure (shared by every executor of this
+  // plan, read-only after this point); the fp32 weight input leaves the
+  // step so its constant slot is never created. Runs after fusion so the
+  // packed kernel keeps the fused epilogue.
+  if (options.precision != Precision::kFp32) {
+    for (WorkStep& w : work) {
+      if (!w.live || w.traced->make_lowered == nullptr) continue;
+      const int wi = w.traced->info.weight_input;
+      const float* weights = nullptr;
+      if (wi >= 0) {
+        if (wi >= static_cast<int>(w.inputs.size())) continue;
+        const TensorImpl* wt = w.inputs[wi];
+        if (!is_const(wt)) continue;  // activation operand — stays fp32
+        weights = wt->data.data();
+      }
+      int64_t packed_bytes = 0;
+      trace::ReplayFn lowered = w.traced->make_lowered(
+          static_cast<int>(options.precision), w.fused_act, w.fused_slope,
+          w.fused_bias, weights, &packed_bytes);
+      if (lowered == nullptr) continue;
+      w.replay = std::move(lowered);
+      if (wi >= 0) w.inputs.erase(w.inputs.begin() + wi);
+      w.name += std::string("·") + kernels::PrecisionName(options.precision);
+      ++stats.lowered;
+      stats.packed_bytes += packed_bytes;
     }
   }
 
@@ -450,6 +499,7 @@ Result<std::shared_ptr<const InferencePlan>> Compile(
     stats.buffer_bytes += b * static_cast<int64_t>(sizeof(float));
   }
   result->stats = stats;
+  result->precision = options.precision;
   return std::shared_ptr<const InferencePlan>(std::move(result));
 }
 

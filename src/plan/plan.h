@@ -27,6 +27,13 @@
 //   5. epilogue fusion — GEMM/SpMM followed by a constant bias-vector add
 //      and/or an activation (conv: activation only) collapse into one fused
 //      kernel dispatch (kernels::*Fused / conv::Conv2dPlan epilogues);
+//   5½. precision lowering (DESIGN.md §13) — when options.precision is a
+//      reduced tier, steps whose constant weight operand provides a
+//      TraceStep::make_lowered factory are rewritten to pack that operand
+//      (bf16 or int8 + per-column scales) once at compile time and dispatch
+//      the reduced-precision kernels; the packed weight input leaves the
+//      step, so its fp32 constant is never bound. fp32 plans are untouched
+//      and keep the bitwise contract;
 //   6. liveness buffer assignment — intermediates whose live ranges do not
 //      overlap share pool buffers of the same bucket class. A buffer freed
 //      at step i is reusable only by steps strictly after i, so a replay
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "src/exec/execution_context.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/shape.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/trace.h"
@@ -45,10 +53,16 @@
 
 namespace trafficbench::plan {
 
+/// Per-plan weight-storage tier (kernels.h). fp32 plans replay bitwise
+/// against the eager forward; reduced tiers are epsilon-verified by the
+/// serving registry instead.
+using Precision = kernels::Precision;
+
 struct CompileOptions {
   bool fold_constants = true;
   bool elide_reshapes = true;
   bool fuse_epilogues = true;
+  Precision precision = Precision::kFp32;
 };
 
 /// What the pass pipeline did, for logs and the serve-bench report.
@@ -61,6 +75,8 @@ struct CompileStats {
   int64_t fused = 0;         // epilogue steps absorbed into their head
   int64_t buffers = 0;       // distinct pool buffers the executor binds
   int64_t buffer_bytes = 0;  // their total size
+  int64_t lowered = 0;       // steps rewritten to a reduced-precision tier
+  int64_t packed_bytes = 0;  // packed reduced-precision weight storage
 };
 
 /// One value in the plan's dataflow.
@@ -105,9 +121,10 @@ struct InferencePlan {
   std::vector<int64_t> buffer_sizes;
   std::vector<PlanStep> steps;
   CompileStats stats;
+  Precision precision = Precision::kFp32;
 
   /// e.g. "9 steps (4 fused, 2 folded, 3 elided, 14 traced) | 5 buffers,
-  /// 1.3 MiB".
+  /// 1.3 MiB | bf16: 4 lowered, 0.2 MiB packed".
   std::string Summary() const;
 };
 

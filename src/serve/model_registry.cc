@@ -33,12 +33,30 @@ bool BitEqual(const float* a, const float* b, int64_t n) {
   return std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) == 0;
 }
 
+/// Epsilon comparison for reduced-precision plans over normalized outputs:
+/// per element |plan - eager| <= abs_bound + rel_bound * |eager|, written
+/// as !(diff <= bound) so NaN/Inf from a corrupted packed panel fail; plus
+/// the mean-abs-delta bound (see LoadedModel::kMaeDeltaFrac).
+bool EpsilonClose(const float* plan_out, const float* eager, int64_t n,
+                  float abs_bound, float rel_bound, float mae_bound) {
+  double sum_abs = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float diff = std::fabs(plan_out[i] - eager[i]);
+    const float bound = abs_bound + rel_bound * std::fabs(eager[i]);
+    if (!(diff <= bound)) return false;
+    sum_abs += diff;
+  }
+  if (n == 0) return true;
+  const double mean_abs = sum_abs / static_cast<double>(n);
+  return mean_abs <= static_cast<double>(mae_bound);
+}
+
 }  // namespace
 
 LoadedModel::LoadedModel(std::unique_ptr<models::TrafficModel> model,
                          const data::TrafficDataset& dataset,
                          std::string model_name, std::string dataset_name,
-                         bool compile_plans)
+                         bool compile_plans, plan::Precision precision)
     : model_(std::move(model)),
       scaler_(dataset.scaler()),
       model_name_(std::move(model_name)),
@@ -46,7 +64,8 @@ LoadedModel::LoadedModel(std::unique_ptr<models::TrafficModel> model,
       num_nodes_(dataset.num_nodes()),
       input_len_(dataset.input_len()),
       output_len_(dataset.output_len()),
-      plans_enabled_(compile_plans) {
+      plans_enabled_(compile_plans),
+      precision_(precision) {
   TB_CHECK(model_ != nullptr);
   parameter_count_ = model_->ParameterCount();
   model_->SetTraining(false);
@@ -72,6 +91,12 @@ void LoadedModel::DisablePlansLocked(const std::string& reason) const {
   plans_enabled_ = false;
   plans_disabled_reason_ = reason;
   plans_.clear();  // executors release their buffers back to the pool
+}
+
+void LoadedModel::DowngradeToFp32Locked(const std::string& reason) const {
+  precision_ = plan::Precision::kFp32;
+  precision_downgrade_reason_ = reason;
+  plans_.clear();  // every cached plan carried the rejected tier
 }
 
 LoadedModel::BucketPlan* LoadedModel::CompileBucketLocked(
@@ -100,8 +125,11 @@ LoadedModel::BucketPlan* LoadedModel::CompileBucketLocked(
     traced_out = model_->Forward(traced_in, Tensor());
   }
 
+  plan::CompileOptions options;
+  options.precision = precision_;
+  const bool reduced = precision_ != plan::Precision::kFp32;
   Result<std::shared_ptr<const plan::InferencePlan>> compiled =
-      plan::Compile(tracer, traced_in.impl(), traced_out.impl());
+      plan::Compile(tracer, traced_in.impl(), traced_out.impl(), options);
   if (!compiled.ok()) {
     DisablePlansLocked("compile failed: " + compiled.status().message());
     return nullptr;
@@ -119,26 +147,52 @@ LoadedModel::BucketPlan* LoadedModel::CompileBucketLocked(
   bp.staging_in.assign(in_numel, 0.0f);
   bp.staging_out.assign(bp.plan->output_shape.numel(), 0.0f);
 
+  // Reduced-precision tiers are compared against the fp32 eager forward
+  // within the documented epsilon bounds (header). A violation walks the
+  // downgrade ladder: drop to fp32 plans and recompile this bucket — the
+  // fp32 plan then faces the bitwise verifier, and its failure falls back
+  // to eager. An unverified plan is never installed.
+  auto epsilon_ok = [&](const float* eager, int64_t n) {
+    return EpsilonClose(bp.staging_out.data(), eager, n, kEpsAbs, kEpsRel,
+                        kMaeDeltaFrac);
+  };
+
   // Verification 1: replaying the traced input must reproduce the traced
-  // output bit for bit.
+  // output — bit for bit at fp32, within epsilon at reduced tiers.
   bp.executor->Run(traced_in.data(), in_numel, bp.staging_out.data(),
                    static_cast<int64_t>(bp.staging_out.size()));
-  if (!BitEqual(bp.staging_out.data(), traced_out.data(),
-                traced_out.numel())) {
+  if (reduced) {
+    if (!epsilon_ok(traced_out.data(), traced_out.numel())) {
+      DowngradeToFp32Locked(std::string(kernels::PrecisionName(precision_)) +
+                            " plan outside epsilon on traced input");
+      return CompileBucketLocked(bucket);
+    }
+  } else if (!BitEqual(bp.staging_out.data(), traced_out.data(),
+                       traced_out.numel())) {
     DisablePlansLocked("verify failed: plan != eager on traced input");
     return nullptr;
   }
 
   // Verification 2: a perturbed input must also match the eager forward —
   // this catches any input-dependent value the compile baked in as a
-  // constant (e.g. a host-side read that bypassed trace::HostOp).
+  // constant (e.g. a host-side read that bypassed trace::HostOp). For
+  // reduced tiers the nonzero activations make this the check that a
+  // corrupted packed panel cannot survive (on the zero input a weight
+  // never multiplies a nonzero activation).
   std::vector<float> perturbed = traced_in.ToVector();
   Perturb(&perturbed);
   Tensor check_in = Tensor::FromVector(in_shape, std::move(perturbed));
   Tensor check_out = model_->Forward(check_in, Tensor());
   bp.executor->Run(check_in.data(), in_numel, bp.staging_out.data(),
                    static_cast<int64_t>(bp.staging_out.size()));
-  if (!BitEqual(bp.staging_out.data(), check_out.data(), check_out.numel())) {
+  if (reduced) {
+    if (!epsilon_ok(check_out.data(), check_out.numel())) {
+      DowngradeToFp32Locked(std::string(kernels::PrecisionName(precision_)) +
+                            " plan outside epsilon on perturbed input");
+      return CompileBucketLocked(bucket);
+    }
+  } else if (!BitEqual(bp.staging_out.data(), check_out.data(),
+                       check_out.numel())) {
     DisablePlansLocked("verify failed: plan != eager on perturbed input");
     return nullptr;
   }
@@ -198,14 +252,24 @@ bool LoadedModel::plans_active() const {
   return plans_enabled_;
 }
 
+plan::Precision LoadedModel::plan_precision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return precision_;
+}
+
 std::string LoadedModel::plan_summary() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   if (!plans_enabled_) {
     return "plans off (" + plans_disabled_reason_ + ")";
   }
+  if (!precision_downgrade_reason_.empty()) {
+    out += "downgraded to fp32 (" + precision_downgrade_reason_ + "): ";
+  }
+  bool first = true;
   for (const auto& [bucket, bp] : plans_) {
-    if (!out.empty()) out += "; ";
+    if (!first) out += "; ";
+    first = false;
     out += "B" + std::to_string(bucket) + ": " + bp.plan->Summary();
   }
   return out;
@@ -239,7 +303,7 @@ Status ModelRegistry::Load(const ModelSpec& spec) {
   }
   auto entry = std::make_shared<const LoadedModel>(
       std::move(model), *spec.dataset, spec.model_name, spec.dataset_name,
-      spec.compile_plans);
+      spec.compile_plans, spec.precision);
   if (spec.warmup) {
     // Prime lazily-built scratch state (buffer pool, autoregressive
     // decode paths) with one real-shaped window of zeros.

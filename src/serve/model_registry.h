@@ -39,6 +39,12 @@ struct ModelSpec {
   /// verifies the plan bit-identical on two inputs before serving from it;
   /// any failure permanently falls back to the eager path for this entry.
   bool compile_plans = true;
+  /// Weight-storage tier for compiled plans (DESIGN.md §13). kFp32 plans
+  /// are verified bitwise against the eager forward; reduced tiers are
+  /// verified within the registry's documented epsilon bounds, and any
+  /// violation downgrades the entry to fp32 plans (then to eager if those
+  /// fail too) — an unverified plan is never served.
+  plan::Precision precision = plan::Precision::kFp32;
 };
 
 /// One warm, immutable serving instance: a built model (eval mode, graph
@@ -51,7 +57,19 @@ class LoadedModel {
  public:
   LoadedModel(std::unique_ptr<models::TrafficModel> model,
               const data::TrafficDataset& dataset, std::string model_name,
-              std::string dataset_name, bool compile_plans = true);
+              std::string dataset_name, bool compile_plans = true,
+              plan::Precision precision = plan::Precision::kFp32);
+
+  /// Epsilon-verification bounds for reduced-precision plans (DESIGN.md
+  /// §13). On the *normalized* outputs, every element must satisfy
+  /// |plan - eager| <= kEpsAbs + kEpsRel * |eager| (NaN/Inf fail), and the
+  /// mean absolute delta must stay within kMaeDeltaFrac — which, because
+  /// denormalization is affine with scale stddev, bounds the denormalized
+  /// (raw-scale) MAE delta of the verification window to
+  /// kMaeDeltaFrac * stddev, i.e. 1% of one standard deviation of the data.
+  static constexpr float kEpsAbs = 0.05f;
+  static constexpr float kEpsRel = 0.05f;
+  static constexpr float kMaeDeltaFrac = 0.01f;
 
   /// x: [B, T_in, N, 2] -> raw-scale (denormalized) predictions
   /// [B, T_out, N]. Runs under NoGrad; bit-identical for every batch
@@ -74,8 +92,11 @@ class LoadedModel {
   /// True when plan execution is enabled and no compile/verify failure has
   /// forced the eager fallback.
   bool plans_active() const;
-  /// Per-bucket plan summaries and the fallback reason (if any), for logs
-  /// and serve-bench. Empty when no plan was ever compiled.
+  /// The tier plans currently compile at: the spec's precision until an
+  /// epsilon-verification failure downgrades the entry to kFp32.
+  plan::Precision plan_precision() const;
+  /// Per-bucket plan summaries and the fallback/downgrade reason (if any),
+  /// for logs and serve-bench. Empty when no plan was ever compiled.
   std::string plan_summary() const;
 
   const std::string& model_name() const { return model_name_; }
@@ -99,10 +120,14 @@ class LoadedModel {
   Tensor PredictEagerLocked(const Tensor& x) const;
   /// Applies the scaler to the first `numel` floats of `normalized`.
   Tensor DenormalizeTo(const Shape& shape, const float* normalized) const;
-  /// Compiles + verifies the plan for `bucket`, or disables plans for this
-  /// entry (recording the reason). Requires mu_. Returns null on fallback.
+  /// Compiles + verifies the plan for `bucket`, or walks the downgrade
+  /// ladder: a reduced-precision verification failure recompiles at fp32
+  /// (bitwise-verified), and an fp32 failure disables plans for this entry
+  /// (recording the reason). Requires mu_. Returns null on eager fallback.
   BucketPlan* CompileBucketLocked(int64_t bucket) const;
   void DisablePlansLocked(const std::string& reason) const;
+  /// Drops every reduced-precision plan and pins the entry to fp32 plans.
+  void DowngradeToFp32Locked(const std::string& reason) const;
 
   // Forward mutates transient module state, so the instance is logically
   // immutable (same input -> same output) but needs the mutex.
@@ -119,6 +144,8 @@ class LoadedModel {
   // Plan state (guarded by mu_).
   mutable bool plans_enabled_ = true;
   mutable std::string plans_disabled_reason_;
+  mutable plan::Precision precision_ = plan::Precision::kFp32;  // active tier
+  mutable std::string precision_downgrade_reason_;
   mutable std::map<int64_t, BucketPlan> plans_;  // keyed by bucket size
 };
 

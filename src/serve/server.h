@@ -36,7 +36,9 @@ struct ServerOptions {
   double fault_stall_ms = 25.0;
   /// Serve micro-batches from compiled inference plans (LoadedModel::
   /// Predict); false forces the eager reference path. Entries that failed
-  /// plan compilation fall back to eager either way.
+  /// plan compilation fall back to eager either way. The plans' weight-
+  /// storage tier (fp32/bf16/int8, DESIGN.md §13) is chosen per model by
+  /// ModelSpec::precision at load time.
   bool use_plan = true;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #ifdef __SSE2__
 #include <emmintrin.h>
@@ -219,6 +221,160 @@ void Conv2dPlan(exec::ExecutionContext& ctx, const float* in,
       float* dst = out + plane * h_out * w_out;
       for (int64_t x = 0; x < w_out; ++x) {
         for (int64_t y = 0; y < h_out; ++y) dst[y * w_out + x] = src[x * h_out + y];
+      }
+    }
+  });
+}
+
+int64_t Conv2dGemmAuxCol(const Conv2dGeometry& g) {
+  return g.batch * g.h_out * g.w_out * g.c_in * g.kh * g.kw;
+}
+
+int64_t Conv2dGemmAuxOut(const Conv2dGeometry& g) {
+  return g.batch * g.h_out * g.w_out * g.c_out;
+}
+
+void Conv2dGemmBf16(exec::ExecutionContext& ctx, const float* in,
+                    const uint16_t* taps, const float* bias, float* out,
+                    float* aux_col, float* aux_gemm, const Conv2dGeometry& g,
+                    kernels::EpilogueAct act, float leaky_slope) {
+  const int64_t kk = g.c_in * g.kh * g.kw;
+  const int64_t rows_per_batch = g.h_out * g.w_out;
+  const int64_t m = g.batch * rows_per_batch;
+  const int64_t n = g.c_out;
+  kernels::EpilogueSpec epilogue;
+  epilogue.bias = bias;
+  epilogue.act = act;
+  epilogue.leaky_slope = leaky_slope;
+  // Zero-copy im2col (the gather path): with no padding, every tap of
+  // every output element is an in-bounds input element, so im2col row
+  // (b, ho, wo) is just a fixed per-depth offset pattern applied to the
+  // base pointer in + b*C*H*W + ho*sh*W + wo*sw. The gather GEMM broadcasts
+  // A straight out of the NCHW input through that shared table — the
+  // materialized [m, kk] matrix is never written. Values and FMA order are
+  // identical to the materialized path, so the two are bit-identical; the
+  // int32 guard only matters for inputs too large to index (fall back to
+  // materializing).
+  const bool gather = g.pad_h == 0 && g.pad_w == 0 &&
+                      g.c_in * g.h * g.w <=
+                          std::numeric_limits<int32_t>::max();
+  std::vector<int32_t> offs;
+  if (gather) {
+    offs.resize(kk);
+    int64_t idx = 0;
+    for (int64_t ci = 0; ci < g.c_in; ++ci) {
+      for (int64_t ki = 0; ki < g.kh; ++ki) {
+        for (int64_t kj = 0; kj < g.kw; ++kj) {
+          offs[idx++] = static_cast<int32_t>(ci * g.h * g.w +
+                                             ki * g.dil_h * g.w +
+                                             kj * g.dil_w);
+        }
+      }
+    }
+  }
+  // One task per kGemmRowChunk output rows, the GEMM micro-kernel's native
+  // granularity. Each task runs the whole im2col -> GEMM -> epilogue ->
+  // scatter chain on its tile while it is cache-hot, instead of streaming
+  // the full [m, kk] im2col matrix through memory twice. The chunk grid
+  // depends only on m, every output element's arithmetic stays inside one
+  // task, and all writes are disjoint — so the result is bit-identical at
+  // any thread count; AVX2-vs-scalar identity comes from the GEMM kernel
+  // (the loops in this TU are copies and contraction-free epilogue ops).
+  const int64_t row_chunks =
+      (m + kernels::kGemmRowChunk - 1) / kernels::kGemmRowChunk;
+  ctx.ParallelFor(row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t chunk = begin; chunk < end; ++chunk) {
+      const int64_t r0 = chunk * kernels::kGemmRowChunk;
+      const int64_t r1 = std::min(m, r0 + kernels::kGemmRowChunk);
+      float* acol = aux_col + r0 * kk;
+      float* ctile = aux_gemm + r0 * n;
+      if (gather) {
+        const float* rows[kernels::kGemmRowChunk];
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t b = r / rows_per_batch;
+          const int64_t rem = r % rows_per_batch;
+          const int64_t ho = rem / g.w_out;
+          const int64_t wo = rem % g.w_out;
+          rows[r - r0] = in + b * g.c_in * g.h * g.w +
+                         ho * g.stride_h * g.w + wo * g.stride_w;
+        }
+        for (int64_t i = 0; i < (r1 - r0) * n; ++i) ctile[i] = 0.0f;
+        kernels::GemmBf16GatherAccNNRows(rows, offs.data(), taps, ctile,
+                                         r1 - r0, kk, n);
+        kernels::ApplyEpilogueRows(ctile, 0, r1 - r0, n, epilogue);
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t b = r / rows_per_batch;
+          const int64_t rem = r % rows_per_batch;
+          const float* src = ctile + (r - r0) * n;
+          float* dst = out + b * n * rows_per_batch + rem;
+          for (int64_t co = 0; co < n; ++co) {
+            dst[co * rows_per_batch] = src[co];
+          }
+        }
+        continue;
+      }
+      // im2col: tile row (r - r0) holds output element r's receptive field
+      // ordered by ascending (ci, ki, kj) — the same term order the direct
+      // cores accumulate in — with out-of-bounds taps zero-filled. A chunk
+      // may straddle batch boundaries; b is derived per row.
+      const bool single_row = g.kh == 1 && g.stride_h == 1 && g.dil_h == 1 &&
+                              g.pad_h == 0;
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t b = r / rows_per_batch;
+        const int64_t rem = r % rows_per_batch;
+        const int64_t ho = rem / g.w_out;
+        const int64_t wo = rem % g.w_out;
+        float* dst = acol + (r - r0) * kk;
+        const float* in_b = in + b * g.c_in * g.h * g.w;
+        if (single_row) {
+          // Temporal-conv fast path (1 x Kw kernel, H untouched): each
+          // channel contributes the strip in[ci][ho][base + kj*dil_w] for
+          // kj in [0, kw), zero outside [0, w). The in-bounds tap range
+          // [lo, hi) depends only on wo, so the per-tap branches reduce to
+          // three short branch-free runs per channel (contiguous reads
+          // when dil_w == 1, strided otherwise).
+          const int64_t base = wo * g.stride_w - g.pad_w;
+          const int64_t lo = std::min<int64_t>(
+              g.kw, std::max<int64_t>(0, CeilDiv(-base, g.dil_w)));
+          const int64_t hi = std::max<int64_t>(
+              lo, std::min<int64_t>(g.kw, CeilDiv(g.w - base, g.dil_w)));
+          const float* src = in_b + ho * g.w + base;
+          for (int64_t ci = 0; ci < g.c_in; ++ci, src += g.h * g.w,
+                       dst += g.kw) {
+            for (int64_t kj = 0; kj < lo; ++kj) dst[kj] = 0.0f;
+            for (int64_t kj = lo; kj < hi; ++kj) dst[kj] = src[kj * g.dil_w];
+            for (int64_t kj = hi; kj < g.kw; ++kj) dst[kj] = 0.0f;
+          }
+          continue;
+        }
+        int64_t idx = 0;
+        for (int64_t ci = 0; ci < g.c_in; ++ci) {
+          const float* in_plane = in_b + ci * g.h * g.w;
+          for (int64_t ki = 0; ki < g.kh; ++ki) {
+            const int64_t hi = ho * g.stride_h - g.pad_h + ki * g.dil_h;
+            const float* in_row =
+                (hi >= 0 && hi < g.h) ? in_plane + hi * g.w : nullptr;
+            for (int64_t kj = 0; kj < g.kw; ++kj) {
+              const int64_t wi = wo * g.stride_w - g.pad_w + kj * g.dil_w;
+              dst[idx++] = (in_row != nullptr && wi >= 0 && wi < g.w)
+                               ? in_row[wi]
+                               : 0.0f;
+            }
+          }
+        }
+      }
+      // Tile GEMM: [r1-r0, kk] x bf16 [kk, n]. The kernel accumulates, so
+      // zero the C tile first; then the driver-identical epilogue.
+      for (int64_t i = 0; i < (r1 - r0) * n; ++i) ctile[i] = 0.0f;
+      kernels::GemmBf16AccNNRows(acol, taps, ctile, 0, r1 - r0, kk, n);
+      kernels::ApplyEpilogueRows(ctile, 0, r1 - r0, n, epilogue);
+      // Scatter tile rows back to NCHW output planes.
+      for (int64_t r = r0; r < r1; ++r) {
+        const int64_t b = r / rows_per_batch;
+        const int64_t rem = r % rows_per_batch;
+        const float* src = ctile + (r - r0) * n;
+        float* dst = out + b * n * rows_per_batch + rem;
+        for (int64_t co = 0; co < n; ++co) dst[co * rows_per_batch] = src[co];
       }
     }
   });

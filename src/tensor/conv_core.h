@@ -24,6 +24,14 @@
 // Parallelism: one task per (batch, channel) plane for the conv and the
 // transposes; planes are disjoint and each output element's chain stays in
 // one task, satisfying the deterministic-chunking contract.
+//
+// A third core, Conv2dGemmBf16, serves the reduced-precision plan tiers
+// only (DESIGN.md §13): it rewrites the conv as im2col + a bf16
+// blocked-panel GEMM. It is deliberately NOT bit-identical to the two fp32
+// cores — reduced tiers are governed by the registry's epsilon contract —
+// but keeps the per-tier determinism guarantees (thread count, AVX2 vs
+// scalar). Its loops here are copies only; the arithmetic lives in
+// kernels.cc behind the CPUID dispatch.
 
 #include <cstdint>
 
@@ -58,6 +66,33 @@ void Conv2dPlan(exec::ExecutionContext& ctx, const float* in,
                 const float* weight, const float* bias, float* out,
                 float* aux_in, float* aux_out, const Conv2dGeometry& g,
                 kernels::EpilogueAct act, float leaky_slope);
+
+/// Scratch sizes (floats) for Conv2dGemmBf16: the im2col matrix
+/// [B*H_out*W_out, C_in*Kh*Kw] and the row-major GEMM output
+/// [B*H_out*W_out, C_out].
+int64_t Conv2dGemmAuxCol(const Conv2dGeometry& g);
+int64_t Conv2dGemmAuxOut(const Conv2dGeometry& g);
+
+/// Reduced-tier conv core: im2col + blocked-panel bf16 GEMM with a fused
+/// bias/activation epilogue. `taps` is the [C_in*Kh*Kw, C_out] tap matrix
+/// packed once at plan-compile time by kernels::PackBf16Panels; the matmul
+/// runs through kernels::GemmBf16AccNNRows, so weight bytes are read at
+/// half the fp32 width with no per-call packing. Unpadded convolutions
+/// (every tap in-bounds) skip the im2col materialization entirely: the
+/// gather GEMM broadcasts A straight out of the NCHW input through a
+/// per-depth offset table, bit-identically to the materialized path.
+/// Per output element the
+/// accumulation still walks ascending (ci, ki, kj) — the same term order
+/// as the fp32 cores — but each step is a fused multiply-add over bf16
+/// taps, so the result is NOT bit-identical to Conv2dPlan. Callers are the
+/// reduced-precision plan replays, bound by the registry's epsilon
+/// contract (DESIGN.md §13), not by eager bit-parity; within a tier the
+/// result is bit-identical at any thread count and across the AVX2/scalar
+/// kernel pair, inherited from the GEMM driver.
+void Conv2dGemmBf16(exec::ExecutionContext& ctx, const float* in,
+                    const uint16_t* taps, const float* bias, float* out,
+                    float* aux_col, float* aux_gemm, const Conv2dGeometry& g,
+                    kernels::EpilogueAct act, float leaky_slope);
 
 }  // namespace trafficbench::conv
 

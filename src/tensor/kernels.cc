@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 namespace trafficbench::kernels {
 
@@ -374,11 +379,6 @@ void GemmBatchedTN(exec::ExecutionContext& ctx, const float* a,
 
 // ---- Fused epilogue drivers -------------------------------------------------
 
-namespace {
-
-/// Applies bias-add then activation to rows [row_begin, row_end) of an
-/// [*, n] block. Statement-per-element with no multiply-add pairs; see the
-/// contraction-safety note in kernels.h.
 void ApplyEpilogueRows(float* c, int64_t row_begin, int64_t row_end,
                        int64_t n, const EpilogueSpec& e) {
   for (int64_t i = row_begin; i < row_end; ++i) {
@@ -413,7 +413,6 @@ void ApplyEpilogueRows(float* c, int64_t row_begin, int64_t row_end,
   }
 }
 
-}  // namespace
 
 void GemmBatchedNNFused(exec::ExecutionContext& ctx, const float* a,
                         const float* b, float* c, const int64_t* a_offsets,
@@ -488,6 +487,616 @@ void SpmmBatched(exec::ExecutionContext& ctx, const int64_t* row_ptr,
           const int64_t row_end = std::min(rows, row_begin + kSpmmRowChunk);
           SpmmAccRows(row_ptr, col_idx, values, x + batch * cols * f,
                       y + batch * rows * f, row_begin, row_end, f);
+        }
+      });
+}
+
+// ---- Reduced-precision tiers ------------------------------------------------
+//
+// Packed-weight kernels for compiled plans (DESIGN.md §13). Unlike the
+// fp32 kernels above — whose AVX2 and default builds may differ by FMA
+// contraction — each tier's scalar and AVX2 kernels are bit-identical by
+// construction: one fused multiply-add per (element, depth) step (std::fma
+// is correctly rounded, i.e. the same operation vfmadd performs), identical
+// ascending-depth chains, one plain add into C at the end.
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kBf16: return "bf16";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+bool ParsePrecision(const std::string& text, Precision* out) {
+  if (text == "fp32") { *out = Precision::kFp32; return true; }
+  if (text == "bf16") { *out = Precision::kBf16; return true; }
+  if (text == "int8") { *out = Precision::kInt8; return true; }
+  return false;
+}
+
+uint16_t FloatToBf16(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  // NaN: quiet the payload instead of letting the rounding increment carry
+  // into the exponent (which would turn NaN into infinity).
+  if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<uint16_t>((u >> 16) | 0x0040u);
+  }
+  u += 0x7FFFu + ((u >> 16) & 1u);  // round to nearest, ties to even
+  return static_cast<uint16_t>(u >> 16);
+}
+
+void PackBf16(const float* src, uint16_t* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = FloatToBf16(src[i]);
+}
+
+void QuantizeInt8PerColumn(const float* b, int64_t k, int64_t n, int8_t* q,
+                           float* scales) {
+  for (int64_t j = 0; j < n; ++j) {
+    float max_abs = 0.0f;
+    for (int64_t d = 0; d < k; ++d) {
+      max_abs = std::max(max_abs, std::fabs(b[d * n + j]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    scales[j] = scale;
+    for (int64_t d = 0; d < k; ++d) {
+      // Default fenv rounds to nearest-even; clamp keeps the symmetric
+      // [-127, 127] range (never -128, so negation stays exact).
+      long qi = std::lrintf(b[d * n + j] / scale);
+      qi = std::min<long>(127, std::max<long>(-127, qi));
+      q[d * n + j] = static_cast<int8_t>(qi);
+    }
+  }
+}
+
+void PackBf16Panels(const float* b, int64_t k, int64_t n, uint16_t* dst) {
+  constexpr int64_t nc = kGemmMicroCols;
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t nr = std::min(nc, n - j0);
+    uint16_t* block = dst + (j0 / nc) * k * nc;
+    for (int64_t d = 0; d < k; ++d) {
+      const float* src = b + d * n + j0;
+      uint16_t* out = block + d * nc;
+      for (int64_t j = 0; j < nr; ++j) out[j] = FloatToBf16(src[j]);
+      for (int64_t j = nr; j < nc; ++j) out[j] = 0;
+    }
+  }
+}
+
+void PackInt8Panels(const int8_t* q, int64_t k, int64_t n, int8_t* dst) {
+  constexpr int64_t nc = kGemmMicroCols;
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t nr = std::min(nc, n - j0);
+    int8_t* block = dst + (j0 / nc) * k * nc;
+    for (int64_t d = 0; d < k; ++d) {
+      const int8_t* src = q + d * n + j0;
+      int8_t* out = block + d * nc;
+      for (int64_t j = 0; j < nr; ++j) out[j] = src[j];
+      for (int64_t j = nr; j < nc; ++j) out[j] = 0;
+    }
+  }
+}
+
+void PadScales(const float* scales, int64_t n, float* dst) {
+  const int64_t padded = PaddedScaleElems(n);
+  for (int64_t j = 0; j < n; ++j) dst[j] = scales[j];
+  for (int64_t j = n; j < padded; ++j) dst[j] = 0.0f;
+}
+
+namespace {
+
+/// Scalar bf16 micro-kernel: std::fma per (element, depth) step, matching
+/// the AVX2 build bit for bit (see the section comment). A is read straight
+/// from the source rows (at + r*lda) — no packed A panel. Rows past mr
+/// alias the last valid row: their lanes are computed and discarded, which
+/// keeps the loop branch-free without reading out of bounds.
+void MicroKernelBf16Scalar(const float* at, int64_t lda, const uint16_t* pb,
+                           int64_t kc, float* c, int64_t ldc, int64_t mr,
+                           int64_t nr) {
+  constexpr int64_t kMr = kGemmMicroRows;
+  constexpr int64_t kNr = kGemmMicroCols;
+  const float* ar[kMr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    ar[r] = at + (r < mr ? r : mr - 1) * lda;
+  }
+  float acc[kMr][kNr] = {};
+  for (int64_t d = 0; d < kc; ++d) {
+    const uint16_t* bp = pb + d * kNr;
+    float bv[kNr];
+    for (int64_t j = 0; j < kNr; ++j) bv[j] = Bf16ToFloat(bp[j]);
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = ar[r][d];
+      for (int64_t j = 0; j < kNr; ++j) {
+        acc[r][j] = std::fma(av, bv[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+/// Scalar gather bf16 micro-kernel: identical FMA chain to
+/// MicroKernelBf16Scalar, but row r's depth-d element is read from
+/// rows[r][offs[d]] instead of a materialized contiguous A row. Rows past
+/// mr alias the last valid row, as in the contiguous kernel.
+void MicroKernelBf16GatherScalar(const float* const* rows,
+                                 const int32_t* offs, const uint16_t* pb,
+                                 int64_t kc, float* c, int64_t ldc,
+                                 int64_t mr, int64_t nr) {
+  constexpr int64_t kMr = kGemmMicroRows;
+  constexpr int64_t kNr = kGemmMicroCols;
+  const float* ar[kMr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    ar[r] = rows[r < mr ? r : mr - 1];
+  }
+  float acc[kMr][kNr] = {};
+  for (int64_t d = 0; d < kc; ++d) {
+    const uint16_t* bp = pb + d * kNr;
+    float bv[kNr];
+    for (int64_t j = 0; j < kNr; ++j) bv[j] = Bf16ToFloat(bp[j]);
+    const int64_t o = offs[d];
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = ar[r][o];
+      for (int64_t j = 0; j < kNr; ++j) {
+        acc[r][j] = std::fma(av, bv[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+/// Scalar int8 micro-kernel. The dequantized weight scales[j] * q is
+/// rounded once by the scalar multiply — the identical rounding vmulps
+/// performs in the AVX2 build.
+void MicroKernelInt8Scalar(const float* at, int64_t lda, const int8_t* pq,
+                           const float* pscales, int64_t kc, float* c,
+                           int64_t ldc, int64_t mr, int64_t nr) {
+  constexpr int64_t kMr = kGemmMicroRows;
+  constexpr int64_t kNr = kGemmMicroCols;
+  const float* ar[kMr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    ar[r] = at + (r < mr ? r : mr - 1) * lda;
+  }
+  float acc[kMr][kNr] = {};
+  for (int64_t d = 0; d < kc; ++d) {
+    const int8_t* bp = pq + d * kNr;
+    float bv[kNr];
+    for (int64_t j = 0; j < kNr; ++j) {
+      bv[j] = pscales[j] * static_cast<float>(bp[j]);
+    }
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = ar[r][d];
+      for (int64_t j = 0; j < kNr; ++j) {
+        acc[r][j] = std::fma(av, bv[j], acc[r][j]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+#if TB_KERNELS_X86
+
+/// AVX2 bf16 micro-kernel: up-converts 16 bf16 weights per depth step in
+/// registers (zero-extend + shift — exact), then one vfmadd per row.
+__attribute__((target("avx2,fma"))) void MicroKernelBf16Avx2(
+    const float* at, int64_t lda, const uint16_t* pb, int64_t kc, float* c,
+    int64_t ldc, int64_t mr, int64_t nr) {
+  constexpr int kMr = static_cast<int>(kGemmMicroRows);
+  const float* ar[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    ar[r] = at + (r < mr ? r : mr - 1) * lda;
+  }
+  __m256 acc0[kMr], acc1[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (int64_t d = 0; d < kc; ++d) {
+    const uint16_t* bp = pb + d * kGemmMicroCols;
+    const __m256 b0 = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_cvtepu16_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp))),
+        16));
+    const __m256 b1 = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_cvtepu16_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + 8))),
+        16));
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ar[r] + d);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  if (mr == kGemmMicroRows && nr == kGemmMicroCols) {
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc0[r]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc1[r]));
+    }
+  } else {
+    alignas(32) float tmp[kGemmMicroRows][kGemmMicroCols];
+    for (int r = 0; r < kMr; ++r) {
+      _mm256_store_ps(tmp[r], acc0[r]);
+      _mm256_store_ps(tmp[r] + 8, acc1[r]);
+    }
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r][j];
+    }
+  }
+}
+
+/// AVX2 gather bf16 micro-kernel: MicroKernelBf16Avx2 with the per-row
+/// broadcast redirected through the shared offset table.
+__attribute__((target("avx2,fma"))) void MicroKernelBf16GatherAvx2(
+    const float* const* rows, const int32_t* offs, const uint16_t* pb,
+    int64_t kc, float* c, int64_t ldc, int64_t mr, int64_t nr) {
+  constexpr int kMr = static_cast<int>(kGemmMicroRows);
+  const float* ar[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    ar[r] = rows[r < mr ? r : mr - 1];
+  }
+  __m256 acc0[kMr], acc1[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (int64_t d = 0; d < kc; ++d) {
+    const uint16_t* bp = pb + d * kGemmMicroCols;
+    const __m256 b0 = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_cvtepu16_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp))),
+        16));
+    const __m256 b1 = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_cvtepu16_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + 8))),
+        16));
+    const int64_t o = offs[d];
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ar[r] + o);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  if (mr == kGemmMicroRows && nr == kGemmMicroCols) {
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc0[r]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc1[r]));
+    }
+  } else {
+    alignas(32) float tmp[kGemmMicroRows][kGemmMicroCols];
+    for (int r = 0; r < kMr; ++r) {
+      _mm256_store_ps(tmp[r], acc0[r]);
+      _mm256_store_ps(tmp[r] + 8, acc1[r]);
+    }
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r][j];
+    }
+  }
+}
+
+/// AVX2 int8 micro-kernel: sign-extend + int→float convert (exact for the
+/// int8 range) + one vmulps by the hoisted scales, then vfmadd.
+__attribute__((target("avx2,fma"))) void MicroKernelInt8Avx2(
+    const float* at, int64_t lda, const int8_t* pq, const float* pscales,
+    int64_t kc, float* c, int64_t ldc, int64_t mr, int64_t nr) {
+  constexpr int kMr = static_cast<int>(kGemmMicroRows);
+  const float* ar[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    ar[r] = at + (r < mr ? r : mr - 1) * lda;
+  }
+  const __m256 s0 = _mm256_loadu_ps(pscales);
+  const __m256 s1 = _mm256_loadu_ps(pscales + 8);
+  __m256 acc0[kMr], acc1[kMr];
+  for (int r = 0; r < kMr; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (int64_t d = 0; d < kc; ++d) {
+    const __m128i q = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pq + d * kGemmMicroCols));
+    const __m256 b0 = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q)), s0);
+    const __m256 b1 = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(q, 8))), s1);
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ar[r] + d);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  if (mr == kGemmMicroRows && nr == kGemmMicroCols) {
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc0[r]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc1[r]));
+    }
+  } else {
+    alignas(32) float tmp[kGemmMicroRows][kGemmMicroCols];
+    for (int r = 0; r < kMr; ++r) {
+      _mm256_store_ps(tmp[r], acc0[r]);
+      _mm256_store_ps(tmp[r] + 8, acc1[r]);
+    }
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r][j];
+    }
+  }
+}
+
+#endif  // TB_KERNELS_X86
+
+/// Blocked bf16 driver: the fp32 BlockedGemm loop structure, but neither
+/// operand is repacked in the hot loop — B is already in the blocked panel
+/// layout (packed once at plan-compile time) and A is broadcast straight
+/// from its four source rows by the micro-kernel. The fp32 path pays a
+/// PackB per row chunk and a PackA per depth block; at the skinny serving
+/// shapes (k, n of a few dozen) that packing rivals the FMA work itself,
+/// so skipping it is most of the tier's speedup.
+void BlockedGemmBf16(const float* a, const uint16_t* b, float* c,
+                     int64_t row_begin, int64_t row_end, int64_t k, int64_t n,
+                     [[maybe_unused]] bool use_avx2) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kGemmRowChunk) {
+    const int64_t rows = std::min(kGemmRowChunk, row_end - i0);
+    for (int64_t d0 = 0; d0 < k; d0 += kGemmDepthBlock) {
+      const int64_t kc = std::min(kGemmDepthBlock, k - d0);
+      const int64_t tiles = (rows + kGemmMicroRows - 1) / kGemmMicroRows;
+      for (int64_t j0 = 0; j0 < n; j0 += kGemmMicroCols) {
+        const int64_t nr = std::min(kGemmMicroCols, n - j0);
+        const uint16_t* pb =
+            b + (j0 / kGemmMicroCols) * k * kGemmMicroCols +
+            d0 * kGemmMicroCols;
+        for (int64_t t = 0; t < tiles; ++t) {
+          const int64_t mr =
+              std::min(kGemmMicroRows, rows - t * kGemmMicroRows);
+          const float* at = a + (i0 + t * kGemmMicroRows) * k + d0;
+          float* ct = c + (i0 + t * kGemmMicroRows) * n + j0;
+#if TB_KERNELS_X86
+          if (use_avx2) {
+            MicroKernelBf16Avx2(at, k, pb, kc, ct, n, mr, nr);
+            continue;
+          }
+#endif
+          MicroKernelBf16Scalar(at, k, pb, kc, ct, n, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+/// Gather variant of the blocked bf16 driver: same chunk / depth-block /
+/// column-block decomposition, but each micro-tile receives its four row
+/// base pointers plus the depth-block slice of the shared offset table.
+void BlockedGemmBf16Gather(const float* const* rows, const int32_t* offs,
+                           const uint16_t* b, float* c, int64_t m, int64_t k,
+                           int64_t n, [[maybe_unused]] bool use_avx2) {
+  for (int64_t i0 = 0; i0 < m; i0 += kGemmRowChunk) {
+    const int64_t chunk_rows = std::min(kGemmRowChunk, m - i0);
+    for (int64_t d0 = 0; d0 < k; d0 += kGemmDepthBlock) {
+      const int64_t kc = std::min(kGemmDepthBlock, k - d0);
+      const int64_t tiles =
+          (chunk_rows + kGemmMicroRows - 1) / kGemmMicroRows;
+      for (int64_t j0 = 0; j0 < n; j0 += kGemmMicroCols) {
+        const int64_t nr = std::min(kGemmMicroCols, n - j0);
+        const uint16_t* pb =
+            b + (j0 / kGemmMicroCols) * k * kGemmMicroCols +
+            d0 * kGemmMicroCols;
+        for (int64_t t = 0; t < tiles; ++t) {
+          const int64_t mr =
+              std::min(kGemmMicroRows, chunk_rows - t * kGemmMicroRows);
+          const float* const* rt = rows + i0 + t * kGemmMicroRows;
+          float* ct = c + (i0 + t * kGemmMicroRows) * n + j0;
+#if TB_KERNELS_X86
+          if (use_avx2) {
+            MicroKernelBf16GatherAvx2(rt, offs + d0, pb, kc, ct, n, mr, nr);
+            continue;
+          }
+#endif
+          MicroKernelBf16GatherScalar(rt, offs + d0, pb, kc, ct, n, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+void BlockedGemmInt8(const float* a, const int8_t* q, const float* scales,
+                     float* c, int64_t row_begin, int64_t row_end, int64_t k,
+                     int64_t n, [[maybe_unused]] bool use_avx2) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kGemmRowChunk) {
+    const int64_t rows = std::min(kGemmRowChunk, row_end - i0);
+    for (int64_t d0 = 0; d0 < k; d0 += kGemmDepthBlock) {
+      const int64_t kc = std::min(kGemmDepthBlock, k - d0);
+      const int64_t tiles = (rows + kGemmMicroRows - 1) / kGemmMicroRows;
+      for (int64_t j0 = 0; j0 < n; j0 += kGemmMicroCols) {
+        const int64_t nr = std::min(kGemmMicroCols, n - j0);
+        const int8_t* pq = q + (j0 / kGemmMicroCols) * k * kGemmMicroCols +
+                           d0 * kGemmMicroCols;
+        const float* pscales = scales + j0;  // PadScales zero-pads the tail
+        for (int64_t t = 0; t < tiles; ++t) {
+          const int64_t mr =
+              std::min(kGemmMicroRows, rows - t * kGemmMicroRows);
+          const float* at = a + (i0 + t * kGemmMicroRows) * k + d0;
+          float* ct = c + (i0 + t * kGemmMicroRows) * n + j0;
+#if TB_KERNELS_X86
+          if (use_avx2) {
+            MicroKernelInt8Avx2(at, k, pq, pscales, kc, ct, n, mr, nr);
+            continue;
+          }
+#endif
+          MicroKernelInt8Scalar(at, k, pq, pscales, kc, ct, n, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+/// SpMM with bf16 values, scalar build: one std::fma per (element, nnz).
+void SpmmBf16RowsScalar(const int64_t* row_ptr, const int32_t* col_idx,
+                        const uint16_t* values, const float* x, float* y,
+                        int64_t row_begin, int64_t row_end, int64_t f) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* yi = y + i * f;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = Bf16ToFloat(values[k]);
+      const float* xc = x + static_cast<int64_t>(col_idx[k]) * f;
+      for (int64_t j = 0; j < f; ++j) yi[j] = std::fma(v, xc[j], yi[j]);
+    }
+  }
+}
+
+#if TB_KERNELS_X86
+__attribute__((target("avx2,fma"))) void SpmmBf16RowsAvx2(
+    const int64_t* row_ptr, const int32_t* col_idx, const uint16_t* values,
+    const float* x, float* y, int64_t row_begin, int64_t row_end, int64_t f) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* yi = y + i * f;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = Bf16ToFloat(values[k]);
+      const __m256 vv = _mm256_set1_ps(v);
+      const float* xc = x + static_cast<int64_t>(col_idx[k]) * f;
+      int64_t j = 0;
+      for (; j + 8 <= f; j += 8) {
+        _mm256_storeu_ps(
+            yi + j, _mm256_fmadd_ps(vv, _mm256_loadu_ps(xc + j),
+                                    _mm256_loadu_ps(yi + j)));
+      }
+      for (; j < f; ++j) yi[j] = std::fma(v, xc[j], yi[j]);
+    }
+  }
+}
+#endif  // TB_KERNELS_X86
+
+}  // namespace
+
+void GemmBf16AccNNRows(const float* a, const uint16_t* b, float* c,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t n) {
+  BlockedGemmBf16(a, b, c, row_begin, row_end, k, n, g_gemm_avx2);
+}
+
+void GemmBf16RefNNRows(const float* a, const uint16_t* b, float* c,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t n) {
+  BlockedGemmBf16(a, b, c, row_begin, row_end, k, n, /*use_avx2=*/false);
+}
+
+void GemmBf16GatherAccNNRows(const float* const* rows, const int32_t* offs,
+                             const uint16_t* b, float* c, int64_t m,
+                             int64_t k, int64_t n) {
+  BlockedGemmBf16Gather(rows, offs, b, c, m, k, n, g_gemm_avx2);
+}
+
+void GemmBf16GatherRefNNRows(const float* const* rows, const int32_t* offs,
+                             const uint16_t* b, float* c, int64_t m,
+                             int64_t k, int64_t n) {
+  BlockedGemmBf16Gather(rows, offs, b, c, m, k, n, /*use_avx2=*/false);
+}
+
+void GemmInt8AccNNRows(const float* a, const int8_t* q, const float* scales,
+                       float* c, int64_t row_begin, int64_t row_end,
+                       int64_t k, int64_t n) {
+  BlockedGemmInt8(a, q, scales, c, row_begin, row_end, k, n, g_gemm_avx2);
+}
+
+void GemmInt8RefNNRows(const float* a, const int8_t* q, const float* scales,
+                       float* c, int64_t row_begin, int64_t row_end,
+                       int64_t k, int64_t n) {
+  BlockedGemmInt8(a, q, scales, c, row_begin, row_end, k, n,
+                  /*use_avx2=*/false);
+}
+
+void SpmmBf16AccRows(const int64_t* row_ptr, const int32_t* col_idx,
+                     const uint16_t* values, const float* x, float* y,
+                     int64_t row_begin, int64_t row_end, int64_t f) {
+#if TB_KERNELS_X86
+  if (g_gemm_avx2) {
+    SpmmBf16RowsAvx2(row_ptr, col_idx, values, x, y, row_begin, row_end, f);
+    return;
+  }
+#endif
+  SpmmBf16RowsScalar(row_ptr, col_idx, values, x, y, row_begin, row_end, f);
+}
+
+void SpmmBf16RefRows(const int64_t* row_ptr, const int32_t* col_idx,
+                     const uint16_t* values, const float* x, float* y,
+                     int64_t row_begin, int64_t row_end, int64_t f) {
+  SpmmBf16RowsScalar(row_ptr, col_idx, values, x, y, row_begin, row_end, f);
+}
+
+void GemmBatchedNNBf16Fused(exec::ExecutionContext& ctx, const float* a,
+                            const uint16_t* b, float* c,
+                            const int64_t* a_offsets, int64_t num_batches,
+                            int64_t m, int64_t k, int64_t n,
+                            const EpilogueSpec& epilogue) {
+  const int64_t row_chunks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kGemmRowChunk;
+          const int64_t row_end = std::min(m, row_begin + kGemmRowChunk);
+          float* c_block = c + batch * m * n;
+          GemmBf16AccNNRows(a + a_offsets[batch], b, c_block, row_begin,
+                            row_end, k, n);
+          ApplyEpilogueRows(c_block, row_begin, row_end, n, epilogue);
+        }
+      });
+}
+
+void GemmBatchedNNInt8Fused(exec::ExecutionContext& ctx, const float* a,
+                            const int8_t* q, const float* scales, float* c,
+                            const int64_t* a_offsets, int64_t num_batches,
+                            int64_t m, int64_t k, int64_t n,
+                            const EpilogueSpec& epilogue) {
+  const int64_t row_chunks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kGemmRowChunk;
+          const int64_t row_end = std::min(m, row_begin + kGemmRowChunk);
+          float* c_block = c + batch * m * n;
+          GemmInt8AccNNRows(a + a_offsets[batch], q, scales, c_block,
+                            row_begin, row_end, k, n);
+          ApplyEpilogueRows(c_block, row_begin, row_end, n, epilogue);
+        }
+      });
+}
+
+void SpmmBatchedBf16Fused(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                          const int32_t* col_idx, const uint16_t* values,
+                          const float* x, float* y, int64_t num_batches,
+                          int64_t rows, int64_t cols, int64_t f,
+                          const EpilogueSpec& epilogue) {
+  const int64_t row_chunks = (rows + kSpmmRowChunk - 1) / kSpmmRowChunk;
+  ctx.ParallelFor(
+      num_batches * row_chunks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int64_t batch = task / row_chunks;
+          const int64_t chunk = task % row_chunks;
+          const int64_t row_begin = chunk * kSpmmRowChunk;
+          const int64_t row_end = std::min(rows, row_begin + kSpmmRowChunk);
+          float* y_block = y + batch * rows * f;
+          SpmmBf16AccRows(row_ptr, col_idx, values, x + batch * cols * f,
+                          y_block, row_begin, row_end, f);
+          ApplyEpilogueRows(y_block, row_begin, row_end, f, epilogue);
         }
       });
 }

@@ -25,6 +25,7 @@
 // kernels (kept below as GemmRef*Rows) by float reassociation only.
 
 #include <cstdint>
+#include <string>
 
 #include "src/exec/execution_context.h"
 
@@ -137,6 +138,13 @@ struct EpilogueSpec {
   float leaky_slope = 0.0f;
 };
 
+/// Applies bias-add then activation to rows [row_begin, row_end) of a
+/// row-major [*, n] block — the exact per-element op order the fused
+/// drivers below use. Statement-per-element with no multiply-add pairs, so
+/// it is contraction-safe (see the note above).
+void ApplyEpilogueRows(float* c, int64_t row_begin, int64_t row_end,
+                       int64_t n, const EpilogueSpec& e);
+
 /// GemmBatchedNN with a fused per-row epilogue (same chunk decomposition).
 void GemmBatchedNNFused(exec::ExecutionContext& ctx, const float* a,
                         const float* b, float* c, const int64_t* a_offsets,
@@ -150,6 +158,150 @@ void SpmmBatchedFused(exec::ExecutionContext& ctx, const int64_t* row_ptr,
                       const float* x, float* y, int64_t num_batches,
                       int64_t rows, int64_t cols, int64_t f,
                       const EpilogueSpec& epilogue);
+
+// ---- Reduced-precision weight tiers (plan execution path) -------------------
+//
+// Compiled plans may store *constant weight operands* (GEMM B panels, CSR
+// values, conv taps) in a reduced-precision format packed once at plan
+// compile time; activations, accumulators and outputs stay fp32 throughout
+// (see DESIGN.md §13). The kernels below read the packed operand and
+// up-convert in registers, halving (bf16) or quartering (int8) the weight
+// bandwidth of the inner loop.
+//
+// Determinism contract, extended: for a FIXED precision tier the results
+// are bit-identical at any thread count AND across the AVX2/scalar kernel
+// pair. The latter is stronger than the fp32 kernels (where the two ISA
+// builds differ by contraction) and is achieved by construction: both
+// builds perform one fused multiply-add per (element, depth) step — the
+// scalar build via std::fma (correctly rounded, the same operation as the
+// hardware vfmadd) and the AVX2 build via _mm256_fmadd_ps — over identical
+// ascending-depth chains, followed by one plain add into C. Up-conversion
+// is exact for bf16 (bit shift) and single-rounded for int8
+// (scale * int, rounded identically by vmulps and scalar multiply).
+
+enum class Precision : int { kFp32 = 0, kBf16 = 1, kInt8 = 2 };
+
+const char* PrecisionName(Precision p);
+/// Parses "fp32" / "bf16" / "int8". Returns false on anything else.
+bool ParsePrecision(const std::string& text, Precision* out);
+
+/// bf16 <-> fp32 scalar conversions. Packing rounds to nearest-even (NaN
+/// payloads are quieted, never rounded up into infinity); unpacking is an
+/// exact bit shift.
+uint16_t FloatToBf16(float v);
+inline float Bf16ToFloat(uint16_t v) {
+  union { uint32_t u; float f; } bits;
+  bits.u = static_cast<uint32_t>(v) << 16;
+  return bits.f;
+}
+
+/// Rounds src[0, n) to bf16 (round-to-nearest-even) into dst.
+void PackBf16(const float* src, uint16_t* dst, int64_t n);
+
+/// Symmetric per-output-column int8 quantization of a row-major B[k, n]:
+/// scales[j] = max|B[:, j]| / 127 (1.0 for an all-zero column), and
+/// q[d, j] = round_to_nearest_even(B[d, j] / scales[j]) in [-127, 127].
+void QuantizeInt8PerColumn(const float* b, int64_t k, int64_t n, int8_t* q,
+                           float* scales);
+
+// The reduced-precision GEMM weight is stored in the *blocked panel
+// layout* the micro-kernel consumes, produced once at plan-compile time:
+// column blocks of kGemmMicroCols, each holding its k depth rows
+// contiguously (dst[block][d][j], zero-padded column tail). The hot loop
+// therefore performs no per-call packing at all: B is pre-panelized and A
+// is broadcast straight from its source rows by the micro-kernel. The fp32
+// path repacks its B panel once per 16-row chunk and its A tile once per
+// depth block — at serving-shaped GEMMs (k, n of a few dozen) that packing
+// rivals the FMA work itself — while the reduced path skips both and reads
+// the weight sequentially at half (bf16) or a quarter (int8) of the fp32
+// bytes.
+
+/// Elements of the blocked panel buffer for a [k, n] weight.
+inline constexpr int64_t PackedPanelElems(int64_t k, int64_t n) {
+  return ((n + kGemmMicroCols - 1) / kGemmMicroCols) * k * kGemmMicroCols;
+}
+/// Elements of the zero-padded per-column scale vector (int8 tier).
+inline constexpr int64_t PaddedScaleElems(int64_t n) {
+  return ((n + kGemmMicroCols - 1) / kGemmMicroCols) * kGemmMicroCols;
+}
+
+/// Packs a row-major fp32 B[k, n] to bf16 blocked panels (layout above).
+void PackBf16Panels(const float* b, int64_t k, int64_t n, uint16_t* dst);
+/// Re-lays a row-major int8 Q[k, n] (from QuantizeInt8PerColumn) into
+/// blocked panels; `PadScales` zero-pads the matching scale vector.
+void PackInt8Panels(const int8_t* q, int64_t k, int64_t n, int8_t* dst);
+void PadScales(const float* scales, int64_t n, float* dst);
+
+/// Row-range bf16 GEMM: C[M,N] += A[M,K] * bf16(B)[K,N], rows
+/// [row_begin, row_end). `b` is the blocked bf16 panel buffer from
+/// PackBf16Panels. Dispatches to the AVX2 micro-kernel when the
+/// process-wide CPUID decision selected it; bit-identical to
+/// GemmBf16RefNNRows either way.
+void GemmBf16AccNNRows(const float* a, const uint16_t* b, float* c,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t n);
+/// The scalar (std::fma) build of the same kernel, always. Test oracle for
+/// the AVX2-vs-scalar bit-identity property.
+void GemmBf16RefNNRows(const float* a, const uint16_t* b, float* c,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t n);
+
+/// Gather-addressed bf16 GEMM: logical A row i lives at an arbitrary base
+/// pointer rows[i], and depth step d reads rows[i][offs[d]] — an offset
+/// table shared by every row. This is the reduced-tier conv core's
+/// zero-copy im2col: for an unpadded convolution every tap of every output
+/// element is an in-bounds input element, so the [M, K] im2col matrix never
+/// needs to be materialized; the micro-kernel broadcasts A straight out of
+/// the NCHW input. Same blocked loop, same FMA order, and the same source
+/// values as GemmBf16AccNNRows over the materialized matrix, so the output
+/// is bit-identical to it (and across the AVX2/scalar pair). All offsets
+/// must be valid reads from their row's base pointer.
+void GemmBf16GatherAccNNRows(const float* const* rows, const int32_t* offs,
+                             const uint16_t* b, float* c, int64_t m,
+                             int64_t k, int64_t n);
+/// The scalar build of the gather kernel, always. Test oracle.
+void GemmBf16GatherRefNNRows(const float* const* rows, const int32_t* offs,
+                             const uint16_t* b, float* c, int64_t m,
+                             int64_t k, int64_t n);
+
+/// Row-range int8 GEMM: C[M,N] += A[M,K] * (scales ⊙ q)[K,N] with fp32
+/// accumulation; `q` is the blocked panel buffer from PackInt8Panels and
+/// `scales` the zero-padded vector from PadScales.
+void GemmInt8AccNNRows(const float* a, const int8_t* q, const float* scales,
+                       float* c, int64_t row_begin, int64_t row_end,
+                       int64_t k, int64_t n);
+void GemmInt8RefNNRows(const float* a, const int8_t* q, const float* scales,
+                       float* c, int64_t row_begin, int64_t row_end,
+                       int64_t k, int64_t n);
+
+/// Row-range bf16 SpMM: like SpmmAccRows with bf16-packed CSR values.
+void SpmmBf16AccRows(const int64_t* row_ptr, const int32_t* col_idx,
+                     const uint16_t* values, const float* x, float* y,
+                     int64_t row_begin, int64_t row_end, int64_t f);
+void SpmmBf16RefRows(const int64_t* row_ptr, const int32_t* col_idx,
+                     const uint16_t* values, const float* x, float* y,
+                     int64_t row_begin, int64_t row_end, int64_t f);
+
+/// Batched reduced-precision drivers with fused epilogues, mirroring the
+/// fp32 *Fused drivers' chunk decomposition. The weight operand is shared
+/// across batches (plan lowering only rewrites steps whose B has no
+/// per-batch offsets), so there is no b_offsets argument; GEMM weights are
+/// in the blocked panel layout (PackBf16Panels / PackInt8Panels).
+void GemmBatchedNNBf16Fused(exec::ExecutionContext& ctx, const float* a,
+                            const uint16_t* b, float* c,
+                            const int64_t* a_offsets, int64_t num_batches,
+                            int64_t m, int64_t k, int64_t n,
+                            const EpilogueSpec& epilogue);
+void GemmBatchedNNInt8Fused(exec::ExecutionContext& ctx, const float* a,
+                            const int8_t* q, const float* scales, float* c,
+                            const int64_t* a_offsets, int64_t num_batches,
+                            int64_t m, int64_t k, int64_t n,
+                            const EpilogueSpec& epilogue);
+void SpmmBatchedBf16Fused(exec::ExecutionContext& ctx, const int64_t* row_ptr,
+                          const int32_t* col_idx, const uint16_t* values,
+                          const float* x, float* y, int64_t num_batches,
+                          int64_t rows, int64_t cols, int64_t f,
+                          const EpilogueSpec& epilogue);
 
 /// Elementwise map out[i] = fn(i) for i in [0, n). Disjoint writes.
 template <typename Fn>

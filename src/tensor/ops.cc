@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "src/tensor/tensor.h"
 #include "src/tensor/trace.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 
 namespace trafficbench {
 
@@ -42,6 +44,28 @@ using internal_tensor::TensorImpl;
 using ImplPtr = std::shared_ptr<TensorImpl>;
 
 exec::ExecutionContext& Ctx() { return exec::ExecutionContext::Current(); }
+
+/// Corrupts a freshly packed reduced-precision weight panel when the
+/// precision_verify fault site fires: XORs bit 0x40 into a 64-byte stripe
+/// at the panel's midpoint. For bf16 panels the stripe's odd bytes are
+/// exponent bytes (values scale by 2^±64); for int8 panels each byte moves
+/// by ±64 of a ±127 range — either way far outside the serving registry's
+/// epsilon bounds, which must reject the plan (the downgrade-ladder test).
+/// The global injector is not thread-safe; concurrent plan compiles for
+/// different models serialize here (cf. the plan_compile mutex in
+/// CompileBucketLocked).
+void MaybeCorruptPackedPanel(void* data, size_t bytes) {
+  static std::mutex fault_mu;
+  std::lock_guard<std::mutex> lock(fault_mu);
+  if (bytes == 0 ||
+      !FaultInjector::Global().Should(FaultSite::kPrecisionVerify)) {
+    return;
+  }
+  unsigned char* p = static_cast<unsigned char*>(data);
+  const size_t begin = bytes / 2;
+  const size_t end = std::min(bytes, begin + 64);
+  for (size_t i = begin; i < end; ++i) p[i] ^= 0x40u;
+}
 
 /// Broadcast-materializes `src` (of shape `from`) to `target` into `out`
 /// (caller-provided, target.numel() floats). The shared core of eager
@@ -1010,6 +1034,71 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                     epilogue);
       };
     };
+    // Precision lowering (DESIGN.md §13) applies when B is one shared
+    // constant across batches — true for weight matmuls; attention-style
+    // products with per-batch B blocks stay fp32.
+    bool b_shared = true;
+    for (const int64_t off : b_offsets) b_shared = b_shared && off == 0;
+    if (b_shared) {
+      step.info.weight_input = 1;
+      step.make_lowered = [a_offsets, num_batches, m, k, n, out_n, flops](
+                              int precision, int act, float slope,
+                              bool with_bias, const float* weights,
+                              int64_t* packed_bytes) -> trace::ReplayFn {
+        const auto p = static_cast<kernels::Precision>(precision);
+        const exec::OpKind kind = (act != 0 || with_bias)
+                                      ? exec::OpKind::kFusedEpilogue
+                                      : exec::OpKind::kMatMul;
+        if (p == kernels::Precision::kBf16) {
+          auto packed = std::make_shared<std::vector<uint16_t>>(
+              kernels::PackedPanelElems(k, n));
+          kernels::PackBf16Panels(weights, k, n, packed->data());
+          MaybeCorruptPackedPanel(packed->data(),
+                                  packed->size() * sizeof(uint16_t));
+          *packed_bytes =
+              static_cast<int64_t>(packed->size() * sizeof(uint16_t));
+          return [=](const trace::ReplayArgs& args) {
+            std::fill(args.output, args.output + out_n, 0.0f);
+            exec::ScopedOpTimer timer(kind, flops);
+            kernels::EpilogueSpec epilogue;
+            epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+            epilogue.act = static_cast<kernels::EpilogueAct>(act);
+            epilogue.leaky_slope = slope;
+            kernels::GemmBatchedNNBf16Fused(Ctx(), args.inputs[0],
+                                            packed->data(), args.output,
+                                            a_offsets.data(), num_batches, m,
+                                            k, n, epilogue);
+          };
+        }
+        if (p == kernels::Precision::kInt8) {
+          std::vector<int8_t> row_q(k * n);
+          std::vector<float> col_scales(n);
+          kernels::QuantizeInt8PerColumn(weights, k, n, row_q.data(),
+                                         col_scales.data());
+          auto q = std::make_shared<std::vector<int8_t>>(
+              kernels::PackedPanelElems(k, n));
+          kernels::PackInt8Panels(row_q.data(), k, n, q->data());
+          auto scales = std::make_shared<std::vector<float>>(
+              kernels::PaddedScaleElems(n));
+          kernels::PadScales(col_scales.data(), n, scales->data());
+          MaybeCorruptPackedPanel(q->data(), q->size());
+          *packed_bytes = static_cast<int64_t>(
+              q->size() + scales->size() * sizeof(float));
+          return [=](const trace::ReplayArgs& args) {
+            std::fill(args.output, args.output + out_n, 0.0f);
+            exec::ScopedOpTimer timer(kind, flops);
+            kernels::EpilogueSpec epilogue;
+            epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+            epilogue.act = static_cast<kernels::EpilogueAct>(act);
+            epilogue.leaky_slope = slope;
+            kernels::GemmBatchedNNInt8Fused(
+                Ctx(), args.inputs[0], q->data(), scales->data(), args.output,
+                a_offsets.data(), num_batches, m, k, n, epilogue);
+          };
+        }
+        return nullptr;
+      };
+    }
     trace::Tracer::Record(std::move(step));
   }
   return result;
@@ -1092,6 +1181,40 @@ Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features) {
                                   support->values().data(), args.inputs[0],
                                   args.output, num_batches, rows, cols, f,
                                   epilogue);
+      };
+    };
+    // Precision lowering: both reduced tiers store CSR values as bf16
+    // (per-column int8 scaling is meaningless for scalar-per-edge
+    // supports). weight_input stays -1 — the support lives in the closure.
+    step.make_lowered = [support, num_batches, rows, cols, f, out_n, flops](
+                            int precision, int act, float slope,
+                            bool with_bias, const float* /*weights*/,
+                            int64_t* packed_bytes) -> trace::ReplayFn {
+      if (static_cast<kernels::Precision>(precision) ==
+          kernels::Precision::kFp32) {
+        return nullptr;
+      }
+      auto packed = std::make_shared<std::vector<uint16_t>>(support->nnz());
+      kernels::PackBf16(support->values().data(), packed->data(),
+                        support->nnz());
+      MaybeCorruptPackedPanel(packed->data(),
+                              packed->size() * sizeof(uint16_t));
+      *packed_bytes = static_cast<int64_t>(packed->size() * sizeof(uint16_t));
+      const exec::OpKind kind = (act != 0 || with_bias)
+                                    ? exec::OpKind::kFusedEpilogue
+                                    : exec::OpKind::kSpMM;
+      return [=](const trace::ReplayArgs& args) {
+        std::fill(args.output, args.output + out_n, 0.0f);
+        exec::ScopedOpTimer timer(kind, flops);
+        kernels::EpilogueSpec epilogue;
+        epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+        epilogue.act = static_cast<kernels::EpilogueAct>(act);
+        epilogue.leaky_slope = slope;
+        kernels::SpmmBatchedBf16Fused(Ctx(), support->row_ptr().data(),
+                                      support->col_idx().data(),
+                                      packed->data(), args.inputs[0],
+                                      args.output, num_batches, rows, cols, f,
+                                      epilogue);
       };
     };
     trace::Tracer::Record(std::move(step));
@@ -1466,8 +1589,14 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     // Plan replays use the permuted-layout core (contiguous accumulation
     // over the long H axis) — bit-identical to the naive core, much faster
     // on temporal convs. Scratch is executor-bound.
-    step.aux_sizes = {conv::Conv2dPlanAuxIn(geom),
-                      conv::Conv2dPlanAuxOut(geom)};
+    // Aux scratch covers both replay cores: the fp32 Conv2dPlan transposes
+    // (aux_in/aux_out) and the reduced-tier Conv2dGemmBf16 im2col/GEMM
+    // buffers. Sizes are fixed at trace time, before the precision tier is
+    // chosen, so each slot takes the max of the two.
+    step.aux_sizes = {std::max(conv::Conv2dPlanAuxIn(geom),
+                               conv::Conv2dGemmAuxCol(geom)),
+                      std::max(conv::Conv2dPlanAuxOut(geom),
+                               conv::Conv2dGemmAuxOut(geom))};
     step.replay = [geom, has_bias, flops](const trace::ReplayArgs& args) {
       exec::ScopedOpTimer timer(exec::OpKind::kConv2d, flops);
       conv::Conv2dPlan(Ctx(), args.inputs[0], args.inputs[1],
@@ -1483,6 +1612,50 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                          has_bias ? args.inputs[2] : nullptr, args.output,
                          args.aux[0], args.aux[1], geom,
                          static_cast<kernels::EpilogueAct>(act), slope);
+      };
+    };
+    // Precision lowering: taps are rounded through bf16 (both reduced
+    // tiers — per-column int8 scaling does not fit the [co, ci, kh, kw]
+    // layout), transposed to the [C_in*Kh*Kw, C_out] GEMM weight matrix
+    // and packed into blocked bf16 panels at compile time. The replay runs
+    // the conv as im2col + bf16 GEMM (Conv2dGemmBf16), which reads tap
+    // bytes at half the fp32 width with no per-call packing — the tier's
+    // bandwidth win applies to convs, not just MatMul lowerings.
+    step.info.weight_input = 1;
+    step.make_lowered = [geom, has_bias, flops](
+                            int precision, int act, float slope,
+                            bool /*with_bias*/, const float* weights,
+                            int64_t* packed_bytes) -> trace::ReplayFn {
+      if (static_cast<kernels::Precision>(precision) ==
+          kernels::Precision::kFp32) {
+        return nullptr;
+      }
+      const int64_t kk = geom.c_in * geom.kh * geom.kw;
+      const int64_t c_out = geom.c_out;
+      // weight[co, ci, ki, kj] row-major is [c_out, kk]; the GEMM wants the
+      // transpose, whose rows follow the im2col column order.
+      std::vector<float> bmat(kk * c_out);
+      for (int64_t co = 0; co < c_out; ++co) {
+        for (int64_t d = 0; d < kk; ++d) {
+          bmat[d * c_out + co] = weights[co * kk + d];
+        }
+      }
+      auto packed = std::make_shared<std::vector<uint16_t>>(
+          kernels::PackedPanelElems(kk, c_out));
+      kernels::PackBf16Panels(bmat.data(), kk, c_out, packed->data());
+      MaybeCorruptPackedPanel(packed->data(),
+                              packed->size() * sizeof(uint16_t));
+      *packed_bytes = static_cast<int64_t>(packed->size() * sizeof(uint16_t));
+      const exec::OpKind kind = act != 0 ? exec::OpKind::kFusedEpilogue
+                                         : exec::OpKind::kConv2d;
+      // The weight input is removed by the compiler, so a fused bias (an
+      // original op input, not an appended one) shifts down to index 1.
+      return [=](const trace::ReplayArgs& args) {
+        exec::ScopedOpTimer timer(kind, flops);
+        conv::Conv2dGemmBf16(Ctx(), args.inputs[0], packed->data(),
+                             has_bias ? args.inputs[1] : nullptr, args.output,
+                             args.aux[0], args.aux[1], geom,
+                             static_cast<kernels::EpilogueAct>(act), slope);
       };
     };
     trace::Tracer::Record(std::move(step));

@@ -70,6 +70,11 @@ struct StepInfo {
   OpPattern pattern = OpPattern::kOpaque;
   int64_t n = 0;
   float leaky_slope = 0.0f;
+  /// Index (into TraceStep::inputs) of the constant weight operand that
+  /// precision lowering may pack, or -1 when the weight is captured inside
+  /// the replay closure (SpMM's CSR support). Only meaningful on steps that
+  /// provide make_lowered.
+  int weight_input = -1;
 };
 
 /// Factory for a fused replay closure, provided by fusion-head op sites.
@@ -78,6 +83,20 @@ struct StepInfo {
 /// step's last input.
 using FusedReplayFactory =
     std::function<ReplayFn(int act, float slope, bool with_bias)>;
+
+/// Factory for a reduced-precision replay closure (DESIGN.md §13), provided
+/// by op sites whose constant weight operand can be packed at plan-compile
+/// time. `precision` is kernels::Precision as int; `weights` points at the
+/// constant weight data when StepInfo::weight_input >= 0 (null otherwise —
+/// the site packs from state captured in the closure). The epilogue
+/// parameters mirror FusedReplayFactory so lowering composes with fusion;
+/// when StepInfo::weight_input >= 0 the returned closure no longer reads
+/// that input (the compiler removes it from the step), shifting any bias
+/// input down by one. On success `*packed_bytes` reports the packed storage
+/// size; a null return means the step stays at fp32.
+using LoweredReplayFactory = std::function<ReplayFn(
+    int precision, int act, float slope, bool with_bias, const float* weights,
+    int64_t* packed_bytes)>;
 
 struct TraceStep {
   const char* name = "";
@@ -90,7 +109,8 @@ struct TraceStep {
   /// the executor and passed via ReplayArgs::aux.
   std::vector<int64_t> aux_sizes;
   ReplayFn replay;
-  FusedReplayFactory make_fused;  // fusion heads only
+  FusedReplayFactory make_fused;      // fusion heads only
+  LoweredReplayFactory make_lowered;  // packable-weight steps only
 };
 
 /// Records one forward pass. Activate with Tracer::Scope around the eager

@@ -29,6 +29,10 @@
 //                    (latency-SLO metrics must observe it; results must not)
 //   plan_compile     fail compiling an inference plan at model-load time
 //                    (the registry must fall back to the eager forward)
+//   precision_verify corrupt a packed reduced-precision weight panel at
+//                    plan-compile time (the epsilon verification must
+//                    reject the plan and walk the downgrade ladder
+//                    reduced-precision -> fp32 plan -> eager)
 
 #include <array>
 #include <cstdint>
@@ -51,9 +55,10 @@ enum class FaultSite : int {
   kCrash,
   kServeSlowWorker,
   kPlanCompile,
+  kPrecisionVerify,
 };
 
-inline constexpr int kNumFaultSites = 10;
+inline constexpr int kNumFaultSites = 11;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic

@@ -1,0 +1,436 @@
+// Reduced-precision plan suite (DESIGN.md §13): bf16/int8 pack round-trip
+// guarantees; the AVX2-vs-scalar bit-identity contract of the reduced
+// kernels; thread-count bit-identity of reduced-tier serving; the epsilon
+// verifier accepting every paper model within the documented MAE-delta
+// bound; and the precision_verify fault site driving the downgrade ladder
+// (corrupted panel -> fp32 plans -> eager) without ever serving an
+// unverified plan.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/exec/execution_context.h"
+#include "src/models/traffic_model.h"
+#include "src/plan/plan.h"
+#include "src/serve/model_registry.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+
+namespace trafficbench {
+namespace {
+
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    Result<FaultInjector> parsed = FaultInjector::Parse(spec);
+    TB_CHECK(parsed.ok()) << parsed.status().ToString();
+    FaultInjector::SetGlobal(std::move(parsed).value());
+  }
+  ~ScopedFault() { FaultInjector::SetGlobal(FaultInjector()); }
+};
+
+const data::TrafficDataset& TinyDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetProfile profile;
+    profile.name = "SERVE";
+    profile.num_nodes = 8;
+    profile.num_days = 4;
+    profile.seed = 414;
+    return new data::TrafficDataset(
+        data::TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+constexpr char kDataset[] = "SERVE";
+
+serve::ModelSpec SpecFor(const std::string& model_name,
+                         plan::Precision precision) {
+  serve::ModelSpec spec;
+  spec.model_name = model_name;
+  spec.dataset_name = kDataset;
+  spec.dataset = &TinyDataset();
+  spec.seed = 2021;
+  spec.precision = precision;
+  return spec;
+}
+
+Tensor Batch(int64_t batch) {
+  std::vector<int64_t> samples;
+  for (int64_t i = 0; i < batch; ++i) samples.push_back(i);
+  return TinyDataset().MakeBatch(samples).x;
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// Deterministic pseudo-random fill in roughly [-1, 1] (mixed magnitudes).
+void Fill(float* data, int64_t n, uint32_t seed) {
+  uint32_t state = seed * 2654435761u + 1u;
+  for (int64_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    data[i] = (static_cast<float>(state >> 8) / 8388608.0f) - 1.0f;
+  }
+}
+
+// ---- Packing round-trips ----------------------------------------------------
+
+TEST(PrecisionPack, Bf16RoundTripExactAndBounded) {
+  // Values with <= 8 significant bits (bf16: 1 implicit + 7 explicit
+  // mantissa bits) survive exactly.
+  for (const float v : {0.0f, 1.0f, -2.5f, 0.15625f, 1024.0f, -0x1p-125f}) {
+    EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(v)), v) << v;
+  }
+  // Round-to-nearest-even: 1 + 2^-8 is exactly halfway between bf16
+  // neighbours 1.0 and 1 + 2^-7; ties go to the even mantissa (1.0).
+  EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(1.0f + 0x1p-8f)), 1.0f);
+  // ...while anything past halfway rounds up.
+  EXPECT_EQ(kernels::Bf16ToFloat(kernels::FloatToBf16(1.0f + 0x1.8p-8f)),
+            1.0f + 0x1p-7f);
+  // NaN is quieted, never rounded up into infinity.
+  EXPECT_TRUE(std::isnan(
+      kernels::Bf16ToFloat(kernels::FloatToBf16(std::nanf("")))));
+  // General bound: relative error < 2^-8 after round-to-nearest.
+  std::vector<float> values(997);
+  Fill(values.data(), values.size(), 7);
+  std::vector<uint16_t> packed(values.size());
+  kernels::PackBf16(values.data(), packed.data(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const float back = kernels::Bf16ToFloat(packed[i]);
+    EXPECT_LE(std::fabs(back - values[i]),
+              std::ldexp(std::fabs(values[i]), -8))
+        << "i=" << i << " v=" << values[i];
+  }
+}
+
+TEST(PrecisionPack, Int8PerColumnQuantization) {
+  const int64_t k = 13, n = 5;
+  std::vector<float> b(k * n);
+  Fill(b.data(), b.size(), 11);
+  for (int64_t d = 0; d < k; ++d) b[d * n + 3] = 0.0f;  // all-zero column
+  b[2 * n + 1] = -4.0f;  // a dominant magnitude in column 1
+
+  std::vector<int8_t> q(k * n);
+  std::vector<float> scales(n);
+  kernels::QuantizeInt8PerColumn(b.data(), k, n, q.data(), scales.data());
+
+  EXPECT_EQ(scales[3], 1.0f);  // all-zero column: scale 1, codes 0
+  EXPECT_FLOAT_EQ(scales[1], 4.0f / 127.0f);
+  for (int64_t d = 0; d < k; ++d) {
+    EXPECT_EQ(q[d * n + 3], 0);
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_GE(q[d * n + j], -127);
+      EXPECT_LE(q[d * n + j], 127);
+      // Reconstruction is within half a quantization step.
+      const float back = scales[j] * static_cast<float>(q[d * n + j]);
+      EXPECT_LE(std::fabs(back - b[d * n + j]), 0.5f * scales[j] + 1e-7f)
+          << "(" << d << "," << j << ")";
+    }
+  }
+}
+
+// ---- AVX2-vs-scalar bit identity --------------------------------------------
+
+// Sizes chosen to exercise the K blocking (KC = 256) and the N tail of the
+// 16-wide micro-kernel; the dispatch (Acc) and scalar-reference (Ref)
+// builds must agree bitwise, per the §13 determinism contract.
+TEST(PrecisionKernels, GemmBf16DispatchMatchesScalarBitwise) {
+  const int64_t m = 5, k = 300, n = 19;
+  std::vector<float> a(m * k), b(k * n);
+  Fill(a.data(), a.size(), 21);
+  Fill(b.data(), b.size(), 22);
+  std::vector<uint16_t> packed(kernels::PackedPanelElems(k, n));
+  kernels::PackBf16Panels(b.data(), k, n, packed.data());
+
+  std::vector<float> c_acc(m * n, 0.5f), c_ref(m * n, 0.5f);
+  kernels::GemmBf16AccNNRows(a.data(), packed.data(), c_acc.data(), 0, m, k,
+                             n);
+  kernels::GemmBf16RefNNRows(a.data(), packed.data(), c_ref.data(), 0, m, k,
+                             n);
+  EXPECT_TRUE(BitEqual(c_acc, c_ref))
+      << (kernels::GemmUsesAvx2() ? "avx2" : "scalar") << " dispatch";
+}
+
+// The gather-addressed kernel (the conv core's zero-copy im2col) must be
+// bit-identical to the contiguous kernel run over the materialized A it
+// describes — and bit-identical across its own AVX2/scalar pair. A is laid
+// out as strided rows inside a larger buffer, addressed by base pointer +
+// shared offset table.
+TEST(PrecisionKernels, GemmBf16GatherMatchesMaterializedBitwise) {
+  const int64_t m = 23, k = 37, n = 19, stride = 61;
+  std::vector<float> src(m * stride);
+  Fill(src.data(), src.size(), 41);
+  std::vector<const float*> rows(m);
+  std::vector<int32_t> offs(k);
+  std::vector<float> a(m * k);
+  for (int64_t i = 0; i < m; ++i) rows[i] = src.data() + i * stride;
+  for (int64_t d = 0; d < k; ++d) {
+    offs[d] = static_cast<int32_t>((d * 7 + 3) % stride);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t d = 0; d < k; ++d) a[i * k + d] = rows[i][offs[d]];
+  }
+  std::vector<float> b(k * n);
+  Fill(b.data(), b.size(), 42);
+  std::vector<uint16_t> packed(kernels::PackedPanelElems(k, n));
+  kernels::PackBf16Panels(b.data(), k, n, packed.data());
+
+  std::vector<float> c_mat(m * n, 0.125f), c_gat(m * n, 0.125f),
+      c_ref(m * n, 0.125f);
+  kernels::GemmBf16AccNNRows(a.data(), packed.data(), c_mat.data(), 0, m, k,
+                             n);
+  kernels::GemmBf16GatherAccNNRows(rows.data(), offs.data(), packed.data(),
+                                   c_gat.data(), m, k, n);
+  kernels::GemmBf16GatherRefNNRows(rows.data(), offs.data(), packed.data(),
+                                   c_ref.data(), m, k, n);
+  EXPECT_TRUE(BitEqual(c_gat, c_mat)) << "gather vs materialized";
+  EXPECT_TRUE(BitEqual(c_gat, c_ref)) << "gather avx2 vs scalar";
+}
+
+TEST(PrecisionKernels, GemmInt8DispatchMatchesScalarBitwise) {
+  const int64_t m = 4, k = 300, n = 21;
+  std::vector<float> a(m * k), b(k * n);
+  Fill(a.data(), a.size(), 31);
+  Fill(b.data(), b.size(), 32);
+  std::vector<int8_t> row_q(k * n);
+  std::vector<float> col_scales(n);
+  kernels::QuantizeInt8PerColumn(b.data(), k, n, row_q.data(),
+                                 col_scales.data());
+  std::vector<int8_t> q(kernels::PackedPanelElems(k, n));
+  kernels::PackInt8Panels(row_q.data(), k, n, q.data());
+  std::vector<float> scales(kernels::PaddedScaleElems(n));
+  kernels::PadScales(col_scales.data(), n, scales.data());
+
+  std::vector<float> c_acc(m * n, -0.25f), c_ref(m * n, -0.25f);
+  kernels::GemmInt8AccNNRows(a.data(), q.data(), scales.data(), c_acc.data(),
+                             0, m, k, n);
+  kernels::GemmInt8RefNNRows(a.data(), q.data(), scales.data(), c_ref.data(),
+                             0, m, k, n);
+  EXPECT_TRUE(BitEqual(c_acc, c_ref));
+}
+
+TEST(PrecisionKernels, SpmmBf16DispatchMatchesScalarBitwise) {
+  // 6x6 CSR support with irregular row lengths; f = 13 exercises the
+  // 8-wide vector body plus a scalar tail.
+  const std::vector<int64_t> row_ptr = {0, 2, 5, 5, 8, 10, 12};
+  const std::vector<int32_t> col_idx = {0, 3, 1, 2, 5, 0, 2, 4, 3, 5, 1, 4};
+  const int64_t rows = 6, f = 13;
+  std::vector<float> values_f32(col_idx.size());
+  Fill(values_f32.data(), values_f32.size(), 41);
+  std::vector<uint16_t> values(col_idx.size());
+  kernels::PackBf16(values_f32.data(), values.data(), values_f32.size());
+  std::vector<float> x(6 * f);
+  Fill(x.data(), x.size(), 42);
+
+  std::vector<float> y_acc(rows * f, 0.125f), y_ref(rows * f, 0.125f);
+  kernels::SpmmBf16AccRows(row_ptr.data(), col_idx.data(), values.data(),
+                           x.data(), y_acc.data(), 0, rows, f);
+  kernels::SpmmBf16RefRows(row_ptr.data(), col_idx.data(), values.data(),
+                           x.data(), y_ref.data(), 0, rows, f);
+  EXPECT_TRUE(BitEqual(y_acc, y_ref));
+}
+
+// ---- Reduced-tier serving: determinism + accuracy ---------------------------
+
+// For a fixed reduced tier, the served prediction is bit-identical at any
+// kernel thread count, and across repeated calls (including from
+// concurrent callers — the TSan pass leans on this test).
+TEST(PrecisionServe, ThreadCountBitIdentityPerTier) {
+  for (const plan::Precision tier :
+       {plan::Precision::kBf16, plan::Precision::kInt8}) {
+    serve::ModelRegistry registry;
+    TB_CHECK_OK(registry.Load(SpecFor("STGCN", tier)));
+    serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+    ASSERT_NE(entry, nullptr);
+    const Tensor x = Batch(4);
+
+    std::vector<float> reference;
+    {
+      exec::ExecutionContext context({.threads = 1});
+      exec::ExecutionContext::Bind bind(&context);
+      reference = entry->Predict(x).ToVector();
+      ASSERT_TRUE(entry->plans_active()) << entry->plan_summary();
+    }
+    for (const int threads : {2, 4}) {
+      exec::ExecutionContext context({.threads = threads});
+      exec::ExecutionContext::Bind bind(&context);
+      EXPECT_TRUE(BitEqual(entry->Predict(x).ToVector(), reference))
+          << kernels::PrecisionName(tier) << " threads " << threads;
+    }
+    // Concurrent callers on the shared entry see the same bits.
+    std::vector<std::vector<float>> got(4);
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&, t] {
+        exec::ExecutionContext context({.threads = 2});
+        exec::ExecutionContext::Bind bind(&context);
+        got[t] = entry->Predict(x).ToVector();
+      });
+    }
+    for (std::thread& c : callers) c.join();
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_TRUE(BitEqual(got[t], reference))
+          << kernels::PrecisionName(tier) << " caller " << t;
+    }
+  }
+}
+
+// The epsilon verifier accepts the bf16 tier for every paper model (no
+// silent downgrade), and the end-to-end raw-scale MAE delta vs the fp32
+// eager forward stays within kMaeDeltaFrac of one data stddev — the
+// accuracy half of the §13 contract.
+TEST(PrecisionServe, Bf16WithinMaeDeltaBoundForAllPaperModels) {
+  const float bound =
+      serve::LoadedModel::kMaeDeltaFrac * TinyDataset().scaler().stddev();
+  serve::ModelRegistry registry;
+  exec::ExecutionContext context({.threads = 2});
+  exec::ExecutionContext::Bind bind(&context);
+  for (const std::string& name : models::PaperModelNames()) {
+    TB_CHECK_OK(registry.Load(SpecFor(name, plan::Precision::kBf16)));
+    serve::LoadedModelPtr entry = registry.Find(name, kDataset);
+    ASSERT_NE(entry, nullptr);
+    const Tensor x = Batch(4);
+    const std::vector<float> plan_out = entry->Predict(x).ToVector();
+    EXPECT_TRUE(entry->plans_active()) << name << ": "
+                                       << entry->plan_summary();
+    EXPECT_EQ(entry->plan_precision(), plan::Precision::kBf16)
+        << name << " downgraded: " << entry->plan_summary();
+    const std::vector<float> eager = entry->PredictReference(x).ToVector();
+    ASSERT_EQ(plan_out.size(), eager.size());
+    double abs_sum = 0.0;
+    for (size_t i = 0; i < eager.size(); ++i) {
+      abs_sum += std::fabs(plan_out[i] - eager[i]);
+    }
+    const double mae_delta = abs_sum / static_cast<double>(eager.size());
+    EXPECT_LE(mae_delta, bound) << name;
+  }
+}
+
+// int8 serving honours the ladder for every paper model: whatever tier the
+// verifier settled on (int8, or fp32 after a downgrade), the served
+// prediction stays within the MAE-delta bound — an unverified plan is
+// never served.
+TEST(PrecisionServe, Int8ServesWithinMaeDeltaBoundForAllPaperModels) {
+  const float bound =
+      serve::LoadedModel::kMaeDeltaFrac * TinyDataset().scaler().stddev();
+  serve::ModelRegistry registry;
+  exec::ExecutionContext context({.threads = 2});
+  exec::ExecutionContext::Bind bind(&context);
+  for (const std::string& name : models::PaperModelNames()) {
+    TB_CHECK_OK(registry.Load(SpecFor(name, plan::Precision::kInt8)));
+    serve::LoadedModelPtr entry = registry.Find(name, kDataset);
+    ASSERT_NE(entry, nullptr);
+    const Tensor x = Batch(4);
+    const std::vector<float> plan_out = entry->Predict(x).ToVector();
+    EXPECT_TRUE(entry->plans_active()) << name << ": "
+                                       << entry->plan_summary();
+    const std::vector<float> eager = entry->PredictReference(x).ToVector();
+    ASSERT_EQ(plan_out.size(), eager.size());
+    double abs_sum = 0.0;
+    for (size_t i = 0; i < eager.size(); ++i) {
+      abs_sum += std::fabs(plan_out[i] - eager[i]);
+    }
+    EXPECT_LE(abs_sum / static_cast<double>(eager.size()), bound)
+        << name << " (" << kernels::PrecisionName(entry->plan_precision())
+        << "): " << entry->plan_summary();
+  }
+}
+
+// fp32 specs are untouched by the precision machinery: plans stay at the
+// fp32 tier and keep the bitwise contract.
+TEST(PrecisionServe, Fp32PlansStayBitwise) {
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("GMAN", plan::Precision::kFp32)));
+  serve::LoadedModelPtr entry = registry.Find("GMAN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  exec::ExecutionContext context({.threads = 2});
+  exec::ExecutionContext::Bind bind(&context);
+  const Tensor x = Batch(4);
+  const std::vector<float> plan_out = entry->Predict(x).ToVector();
+  EXPECT_EQ(entry->plan_precision(), plan::Precision::kFp32);
+  EXPECT_TRUE(entry->plans_active()) << entry->plan_summary();
+  EXPECT_TRUE(BitEqual(plan_out, entry->PredictReference(x).ToVector()));
+}
+
+// ---- Fault injection: the downgrade ladder ----------------------------------
+
+// A corrupted packed panel (precision_verify fault site) must fail the
+// epsilon verification; the entry downgrades to fp32 plans, which are
+// recompiled, bitwise-verified, and served.
+TEST(PrecisionFault, CorruptedPanelDowngradesToFp32Plans) {
+  ScopedFault fault("precision_verify@1");
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN", plan::Precision::kBf16)));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  exec::ExecutionContext context({.threads = 1});
+  exec::ExecutionContext::Bind bind(&context);
+
+  const Tensor x = Batch(4);
+  const std::vector<float> served = entry->Predict(x).ToVector();
+  EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kPrecisionVerify), 1);
+  EXPECT_EQ(entry->plan_precision(), plan::Precision::kFp32);
+  EXPECT_TRUE(entry->plans_active()) << entry->plan_summary();
+  EXPECT_NE(entry->plan_summary().find("downgraded to fp32"),
+            std::string::npos)
+      << entry->plan_summary();
+  // The fp32 plan that replaced the rejected bf16 plan is bitwise.
+  EXPECT_TRUE(BitEqual(served, entry->PredictReference(x).ToVector()));
+}
+
+// Same for the int8 tier (the corruption lands in the int8 code panel).
+TEST(PrecisionFault, CorruptedInt8PanelDowngradesToFp32Plans) {
+  ScopedFault fault("precision_verify@1");
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("GMAN", plan::Precision::kInt8)));
+  serve::LoadedModelPtr entry = registry.Find("GMAN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  exec::ExecutionContext context({.threads = 1});
+  exec::ExecutionContext::Bind bind(&context);
+
+  const Tensor x = Batch(2);
+  const std::vector<float> served = entry->Predict(x).ToVector();
+  EXPECT_EQ(entry->plan_precision(), plan::Precision::kFp32);
+  EXPECT_TRUE(entry->plans_active()) << entry->plan_summary();
+  EXPECT_TRUE(BitEqual(served, entry->PredictReference(x).ToVector()));
+}
+
+// The full ladder: the bf16 plan is rejected (corrupted panel), and the
+// fp32 recompile then hits the plan_compile fault — the entry must end at
+// the eager path, still bit-identical, with no error surfaced. The first
+// plan_compile check (call #1, the bf16 compile) passes; call #2 is the
+// downgrade recompile.
+TEST(PrecisionFault, LadderFallsThroughToEagerWhenFp32RecompileFails) {
+  ScopedFault fault("precision_verify@1,plan_compile@2");
+  serve::ModelRegistry registry;
+  TB_CHECK_OK(registry.Load(SpecFor("STGCN", plan::Precision::kBf16)));
+  serve::LoadedModelPtr entry = registry.Find("STGCN", kDataset);
+  ASSERT_NE(entry, nullptr);
+  exec::ExecutionContext context({.threads = 1});
+  exec::ExecutionContext::Bind bind(&context);
+
+  const Tensor x = Batch(4);
+  const std::vector<float> served = entry->Predict(x).ToVector();
+  EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kPrecisionVerify), 1);
+  EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kPlanCompile), 1);
+  EXPECT_FALSE(entry->plans_active());
+  EXPECT_NE(entry->plan_summary().find("plans off"), std::string::npos)
+      << entry->plan_summary();
+  EXPECT_TRUE(BitEqual(served, entry->PredictReference(x).ToVector()));
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -17,7 +17,7 @@
 //                         [--models A,B,C] [--requests N] [--rate R]
 //                         [--batch-max B] [--max-delay-ms D] [--workers W]
 //                         [--threads K] [--queue-cap Q] [--checkpoint F]
-//                         [--verify]
+//                         [--verify] [--precision fp32|bf16|int8] [--csv F]
 //
 // --threads N runs tensor kernels on N worker threads; results are
 // bit-identical to --threads 1. --profile prints a per-op time/FLOP table.
@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,7 @@
 #include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/serialize.h"
+#include "src/tensor/kernels.h"
 #include "src/util/fault.h"
 #include "src/util/table.h"
 
@@ -112,7 +114,10 @@ int Usage() {
       "           [--threads K] [--queue-cap Q] [--checkpoint F]"
       " [--verify]\n"
       "           [--plan | --no-plan]  (default: both passes + speedup"
-      " column)\n");
+      " column)\n"
+      "           [--precision fp32|bf16|int8]  (plan weight tier,"
+      " DESIGN.md §13)\n"
+      "           [--csv F]  (write the table as CSV to F; default: none)\n");
   return 2;
 }
 
@@ -418,6 +423,13 @@ int CmdServeBench(const Args& args) {
   }
   const bool run_plan = !args.Has("no-plan");
   const bool run_eager = !args.Has("plan");
+  tb::plan::Precision precision = tb::plan::Precision::kFp32;
+  if (!tb::kernels::ParsePrecision(args.Get("precision", "fp32"),
+                                   &precision)) {
+    std::fprintf(stderr, "--precision must be fp32, bf16 or int8\n");
+    return 2;
+  }
+  const std::string csv_path = args.Get("csv", "");
 
   const tb::data::DatasetSplits splits = dataset->Splits();
   const int64_t test_count = splits.test_end - splits.test_begin;
@@ -429,18 +441,19 @@ int CmdServeBench(const Args& args) {
   std::printf(
       "serve-bench: %s | %lld requests/model, rate %s, batch-max %lld, "
       "max-delay %.2f ms, %d worker(s) x %d thread(s), queue cap %lld, "
-      "pass: %s\n",
+      "pass: %s, precision: %s\n",
       dataset_name.c_str(), static_cast<long long>(requests),
       rate > 0 ? (tb::Table::Num(rate, 1) + "/s").c_str() : "unthrottled",
       static_cast<long long>(server_options.batch.max_batch_size),
       server_options.batch.max_queue_delay_ms, server_options.workers,
       server_options.threads_per_worker,
       static_cast<long long>(server_options.queue_capacity),
-      run_plan && run_eager ? "plan+autograd" : (run_plan ? "plan" : "autograd"));
+      run_plan && run_eager ? "plan+autograd" : (run_plan ? "plan" : "autograd"),
+      tb::kernels::PrecisionName(precision));
 
   tb::serve::ModelRegistry registry;
-  tb::Table table({"Model", "ok", "shed", "p50 ms", "p95 ms", "p99 ms",
-                   "max ms", "windows/s", "auto w/s", "speedup",
+  tb::Table table({"Model", "precision", "ok", "shed", "p50 ms", "p95 ms",
+                   "p99 ms", "max ms", "windows/s", "auto w/s", "speedup",
                    "mean batch", "queue depth"});
   bool verify_failed = false;
   for (const std::string& name : model_names) {
@@ -450,6 +463,7 @@ int CmdServeBench(const Args& args) {
     spec.dataset = &*dataset;
     spec.checkpoint_path = checkpoint;
     spec.seed = seed;
+    spec.precision = precision;
     tb::Status loaded = registry.Load(spec);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
@@ -467,6 +481,18 @@ int CmdServeBench(const Args& args) {
         entry->Predict(dataset->MakeBatch(samples).x);
       }
     }
+
+    // The tier actually served after the lazy compile + verification walked
+    // the downgrade ladder ("eager" when plans are off for this entry).
+    const bool plans_on = run_plan && entry->plans_active();
+    const std::string served_tier =
+        plans_on ? tb::kernels::PrecisionName(entry->plan_precision())
+                 : "eager";
+    const bool reduced =
+        plans_on && entry->plan_precision() != tb::plan::Precision::kFp32;
+    double verify_max_abs = 0.0, verify_max_rel = 0.0;
+    double verify_abs_sum = 0.0;
+    int64_t verify_elems = 0, verify_windows = 0;
 
     struct PassStats {
       tb::serve::LatencySummary summary;
@@ -522,29 +548,51 @@ int CmdServeBench(const Args& args) {
       server.Stop();
       stats.summary = server.recorder().Summary();
       stats.recorder_table = server.recorder().ToTable().ToString();
-      // Bit-identity spot check, deliberately after Stop() and Summary():
-      // the served predictions must equal a batch-of-1 run of the same
-      // window through both the compiled plan and the eager reference
-      // forward, byte for byte — but the direct runs must not steal CPU
-      // from (or serialize against) the measured replay.
+      // Spot check, deliberately after Stop() and Summary(): the direct
+      // runs must not steal CPU from (or serialize against) the measured
+      // replay. fp32 tier: the served predictions must equal a batch-of-1
+      // run of the same window through both the compiled plan and the
+      // eager reference forward, byte for byte. Reduced tier: the served
+      // output is still bitwise against this pass's execution path (plan
+      // determinism), but against the fp32 eager forward it is only
+      // epsilon-close — report the max abs/rel error instead of asserting.
       for (const auto& [sample, prediction] : to_verify) {
         const tb::Tensor window = dataset->MakeBatch({sample}).x;
         const std::vector<float> served = prediction.ToVector();
         const std::vector<float> plan = entry->Predict(window).ToVector();
         const std::vector<float> eager =
             entry->PredictReference(window).ToVector();
-        const bool equal =
-            served.size() == plan.size() && plan.size() == eager.size() &&
-            std::memcmp(served.data(), plan.data(),
-                        served.size() * sizeof(float)) == 0 &&
-            std::memcmp(plan.data(), eager.data(),
-                        plan.size() * sizeof(float)) == 0;
-        if (!equal) {
+        if (served.size() != plan.size() || plan.size() != eager.size()) {
+          std::fprintf(stderr, "verify FAILED: %s window %lld shape\n",
+                       name.c_str(), static_cast<long long>(sample));
+          verify_failed = true;
+          continue;
+        }
+        const std::vector<float>& expect_bits = use_plan ? plan : eager;
+        if (std::memcmp(served.data(), expect_bits.data(),
+                        served.size() * sizeof(float)) != 0 ||
+            (!reduced &&
+             std::memcmp(plan.data(), eager.data(),
+                         plan.size() * sizeof(float)) != 0)) {
           std::fprintf(stderr,
                        "verify FAILED: %s window %lld differs across "
                        "served/plan/eager\n",
                        name.c_str(), static_cast<long long>(sample));
           verify_failed = true;
+        }
+        if (reduced) {
+          for (size_t j = 0; j < plan.size(); ++j) {
+            const double abs_err =
+                std::fabs(static_cast<double>(plan[j]) - eager[j]);
+            verify_max_abs = std::max(verify_max_abs, abs_err);
+            verify_max_rel = std::max(
+                verify_max_rel,
+                abs_err / std::max(1e-6, std::fabs(
+                                             static_cast<double>(eager[j]))));
+            verify_abs_sum += abs_err;
+          }
+          verify_elems += static_cast<int64_t>(plan.size());
+          ++verify_windows;
         }
       }
       return stats;
@@ -557,7 +605,7 @@ int CmdServeBench(const Args& args) {
     const PassStats& primary = run_plan ? plan_stats : eager_stats;
     const bool both = run_plan && run_eager;
     const tb::serve::LatencySummary& s = primary.summary;
-    table.AddRow({name, std::to_string(primary.ok),
+    table.AddRow({name, served_tier, std::to_string(primary.ok),
                   std::to_string(primary.shed),
                   tb::Table::Num(s.request_p50 * 1e3, 3),
                   tb::Table::Num(s.request_p95 * 1e3, 3),
@@ -574,13 +622,21 @@ int CmdServeBench(const Args& args) {
                   tb::Table::Num(s.mean_batch_size, 2),
                   tb::Table::Num(s.mean_queue_depth, 2)});
     if (primary.failed > 0 || (both && eager_stats.failed > 0)) return 1;
+    if (verify && reduced && verify_windows > 0) {
+      std::printf(
+          "verify[%s]: %s max abs %.3e, max rel %.3e, mae delta %.3e "
+          "vs fp32 eager (%lld windows)\n",
+          served_tier.c_str(), name.c_str(), verify_max_abs, verify_max_rel,
+          verify_abs_sum / static_cast<double>(std::max<int64_t>(
+                               1, verify_elems)),
+          static_cast<long long>(verify_windows));
+    }
     if (model_names.size() == 1) {
       std::printf("\n%s", primary.recorder_table.c_str());
     }
   }
-  tb::core::EmitTable(
-      "Serving latency/throughput (" + dataset_name + ")", table,
-      "serve_bench.csv");
+  tb::core::EmitTable("Serving latency/throughput (" + dataset_name + ")",
+                      table, csv_path);
   if (verify) {
     std::printf("verify: %s\n", verify_failed ? "FAILED" : "OK");
   }
