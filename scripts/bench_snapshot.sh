@@ -30,12 +30,19 @@
 # BM_GemmPlan* rows capture the per-kernel view at serving shapes: fp32
 # per-call-packed GEMM vs the pre-panelized bf16/int8 kernels.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 7)
+# Since PR 8 the snapshot also records the overload behaviour under
+# "overload_bench": each model is replayed closed-loop at 10x its own
+# measured plan throughput (the BENCH_5-equivalent arrival rate) with the
+# bursty arrival trace and the admission ladder enabled — the fold keeps
+# per-tier response counts, the hard-drop count (must be 0 with the ladder
+# on) and the all-tier p99.
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 8)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-7}"
+PR="${1:-8}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -194,5 +201,75 @@ for row in sorted(models, key=lambda r: -r["bf16_vs_fp32_plan"]):
     mae_s = f", mae delta {mae:.2e}" if mae is not None else ""
     mark = " >=1.5x" if row["bf16_vs_fp32_plan"] >= 1.5 else ""
     print(f"  {row['model']}: {row['bf16_vs_fp32_plan']:.2f}x{mae_s}{mark}")
+EOF
+# Overload run (DESIGN.md §14): flood each model at 10x its own measured
+# compiled-plan throughput — the arrival rate the serve_bench section above
+# says this model can sustain, times ten — with the bursty trace and the
+# degradation ladder on. A small queue keeps the pressure on the admission
+# controller instead of on queueing slack. --verify pins that tier-0
+# responses stay bitwise-identical to direct inference while the ladder
+# degrades around them.
+rm -f "$BUILD"/overload_*.csv
+python3 - "$BUILD/serve_bench.csv" <<'EOF' > "$BUILD/overload_rates.txt"
+import csv, sys
+for r in csv.DictReader(open(sys.argv[1])):
+    print(r["Model"], 10.0 * float(r["windows/s"]))
+EOF
+i=0
+while read -r model rate; do
+  i=$((i + 1))
+  (cd "$BUILD" && ./tools/trafficbench serve-bench --dataset METR-LA-S \
+    --models "$model" --requests 192 --rate "$rate" --trace burst \
+    --trace-seed 2021 --admission --slo-ms 50 --queue-cap 16 \
+    --batch-max 8 --workers 2 --plan --verify \
+    --csv "overload_$i.csv" >/dev/null)
+done < "$BUILD/overload_rates.txt"
+
+python3 - "$OUT" "$BUILD" <<'EOF'
+import csv, glob, json, sys
+
+out_path, build = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    snap = json.load(f)
+
+rates = {}
+with open(f"{build}/overload_rates.txt") as f:
+    for line in f:
+        model, rate = line.split()
+        rates[model] = float(rate)
+
+models = []
+for path in sorted(glob.glob(f"{build}/overload_*.csv")):
+    for r in csv.DictReader(open(path)):
+        t0, t1, t2 = (int(x) for x in r["t0/t1/t2"].split("/"))
+        models.append({
+            "model": r["Model"],
+            "arrival_rate_per_s": round(rates.get(r["Model"], 0.0), 1),
+            "ok": int(r["ok"]),
+            "hard_dropped": int(r["shed"]),
+            "tier0": t0, "tier1": t1, "tier2": t2,
+            "p99_ms_all_tiers": float(r["p99 ms"]),
+            "windows_per_s": float(r["windows/s"]),
+        })
+snap["overload_bench"] = {
+    "config": "METR-LA-S, 192 requests/model at 10x the model's own "
+              "serve_bench plan windows/s, burst trace (seed 2021), "
+              "admission ladder on (slo 50 ms), queue cap 16, batch-max 8, "
+              "2 workers, verify (tier-0 bitwise vs direct inference)",
+    "models": models,
+}
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+
+print("overload-bench headlines (10x arrival, burst trace, ladder on):")
+drops = sum(m["hard_dropped"] for m in models)
+print(f"  hard drops across all models: {drops} (ladder contract: 0)")
+for m in models:
+    total = max(1, m["tier0"] + m["tier1"] + m["tier2"])
+    degraded = 100.0 * (m["tier1"] + m["tier2"]) / total
+    print(f"  {m['model']}: {m['arrival_rate_per_s']}/s in, "
+          f"tiers {m['tier0']}/{m['tier1']}/{m['tier2']} "
+          f"({degraded:.0f}% degraded), p99 {m['p99_ms_all_tiers']} ms")
 EOF
 echo "snapshot: $OUT"

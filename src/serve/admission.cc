@@ -1,0 +1,80 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace trafficbench::serve {
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kFull:
+      return "full";
+    case Tier::kCached:
+      return "cache";
+    case Tier::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  TB_CHECK_GT(options.slo_ms, 0.0);
+  TB_CHECK_GT(options.latency_window, 0);
+}
+
+double AdmissionController::RecentP99Locked(const LaneState& state) const {
+  if (state.recent.empty()) return 0.0;
+  std::vector<double> sorted = state.recent;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      0.99 * static_cast<double>(sorted.size());  // nearest-rank, like the
+  int64_t index = static_cast<int64_t>(std::ceil(rank)) - 1;  // recorder
+  index = std::clamp<int64_t>(index, 0,
+                              static_cast<int64_t>(sorted.size()) - 1);
+  return sorted[static_cast<size_t>(index)];
+}
+
+double AdmissionController::RecentP99(const std::string& lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lanes_.find(lane);
+  return it != lanes_.end() ? RecentP99Locked(it->second) : 0.0;
+}
+
+double AdmissionController::Pressure(const std::string& lane,
+                                     const LaneSignals& signals) const {
+  const double depth =
+      signals.queue_capacity > 0
+          ? static_cast<double>(signals.queue_depth) /
+                static_cast<double>(signals.queue_capacity)
+          : 0.0;
+  // Head age and recent p99 are scaled so that "at twice the SLO" maps to
+  // pressure 1.0 — the same level as a completely full queue.
+  const double age = 0.5 * signals.head_age_ms / options_.slo_ms;
+  const double p99 = 0.5 * (RecentP99(lane) * 1e3) / options_.slo_ms;
+  return std::max(depth, std::max(age, p99));
+}
+
+Tier AdmissionController::Admit(const std::string& lane,
+                                const LaneSignals& signals) {
+  const double pressure = Pressure(lane, signals);
+  if (pressure >= options_.baseline_at) return Tier::kBaseline;
+  if (pressure >= options_.degrade_at) return Tier::kCached;
+  return Tier::kFull;
+}
+
+void AdmissionController::ObserveCompletion(const std::string& lane,
+                                            double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LaneState& state = lanes_[lane];
+  if (static_cast<int64_t>(state.recent.size()) < options_.latency_window) {
+    state.recent.push_back(total_seconds);
+  } else {
+    state.recent[state.next] = total_seconds;
+    state.next = (state.next + 1) % state.recent.size();
+  }
+}
+
+}  // namespace trafficbench::serve

@@ -1,0 +1,86 @@
+#ifndef TRAFFICBENCH_SERVE_ADMISSION_H_
+#define TRAFFICBENCH_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trafficbench::serve {
+
+/// Degradation-ladder tier that answers one request. Overload never
+/// hard-drops: instead the admission controller pushes requests down the
+/// ladder, trading answer quality for bounded latency (ROADMAP item 3).
+enum class Tier : int {
+  kFull = 0,      // full model through the queue + micro-batcher
+  kCached = 1,    // window-keyed response cache hit (exact-bytes key)
+  kBaseline = 2,  // training-free baseline (HistoricalAverage/LastValue)
+};
+
+const char* TierName(Tier tier);
+
+struct AdmissionOptions {
+  /// Off by default: the server keeps the seed shed-on-full behaviour
+  /// unless the caller opts into the degradation ladder.
+  bool enabled = false;
+  /// End-to-end latency SLO the controller defends (per request).
+  double slo_ms = 50.0;
+  /// Pressure thresholds for the ladder. Pressure 1.0 means "queue full or
+  /// lane latency at twice the SLO"; a request degrades to the cache tier
+  /// at `degrade_at` and straight to the baseline tier at `baseline_at`.
+  double degrade_at = 0.5;
+  double baseline_at = 0.9;
+  /// Completed tier-0 latencies kept per lane for the recent-p99 signal.
+  int64_t latency_window = 64;
+};
+
+/// Pressure signals sampled at submit time for one (model, dataset) lane.
+struct LaneSignals {
+  int64_t queue_depth = 0;     // waiting requests across all lanes
+  int64_t queue_capacity = 1;  // the queue's bound
+  int64_t lane_depth = 0;      // waiting requests in this lane
+  double head_age_ms = 0.0;    // age of this lane's oldest waiting request
+};
+
+/// Assigns every incoming request a ladder tier instead of shedding.
+/// Pressure is the max of three normalized signals: global queue fill
+/// (depth / capacity), lane head age relative to twice the SLO, and the
+/// lane's recent tier-0 p99 relative to twice the SLO. The decision is a
+/// pure function of the observed signals, so tests can pin tier choices by
+/// constructing signals directly. Thread-safe: submit threads Admit() while
+/// workers ObserveCompletion().
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Ladder tier for one incoming request under the given lane pressure.
+  Tier Admit(const std::string& lane, const LaneSignals& signals);
+
+  /// Feedback from a completed tier-0 request (degraded responses are
+  /// deliberately excluded: they are fast by construction and would mask
+  /// the full-model path's latency from the p99 signal).
+  void ObserveCompletion(const std::string& lane, double total_seconds);
+
+  /// The normalized pressure in [0, inf) used by Admit (for tests/logs).
+  double Pressure(const std::string& lane, const LaneSignals& signals) const;
+
+  /// Recent tier-0 p99 for a lane in seconds (0 before any completion).
+  double RecentP99(const std::string& lane) const;
+
+ private:
+  struct LaneState {
+    std::vector<double> recent;  // ring buffer of tier-0 total_seconds
+    size_t next = 0;
+  };
+
+  double RecentP99Locked(const LaneState& state) const;
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, LaneState> lanes_;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_ADMISSION_H_

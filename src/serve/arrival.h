@@ -1,0 +1,46 @@
+#ifndef TRAFFICBENCH_SERVE_ARRIVAL_H_
+#define TRAFFICBENCH_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trafficbench::serve {
+
+/// Deterministic arrival-trace shapes for serve-bench's open-loop request
+/// stream. Each trace modulates a base arrival rate with a profile derived
+/// from the traffic simulator's own rate structure (weekday AM/PM rush
+/// hours, incident bursts), compressed into the run's [0, 1) progress axis:
+///   kUniform  constant rate (exactly the old fixed --rate behaviour)
+///   kBurst    alternating calm (0.4x) and burst (2.5x) phases — the
+///             arrival-side analogue of the simulator's incident clusters
+///   kDiurnal  double-peaked day: two rush-hour peaks at ~1/(1 - 0.55) =
+///             2.2x the base rate (the simulator's default rush_severity)
+///             over a 0.45x off-peak floor
+///   kFlash    flash crowd: 0.6x background with one 8x spike over the
+///             middle tenth of the run
+enum class TraceKind : int {
+  kUniform = 0,
+  kBurst,
+  kDiurnal,
+  kFlash,
+};
+
+/// "uniform" / "burst" / "diurnal" / "flash" (CLI --trace values).
+bool ParseTraceKind(const std::string& name, TraceKind* out);
+const char* TraceKindName(TraceKind kind);
+
+/// Rate multiplier of `kind` at run progress u in [0, 1). Pure function.
+double TraceRateMultiplier(TraceKind kind, double u);
+
+/// Arrival times in seconds from stream start for `n` requests whose mean
+/// rate is `base_rate` (requests/second), shaped by `kind`. Strictly
+/// nondecreasing and a pure function of (kind, base_rate, n, seed): the
+/// seeded jitter (±20% per gap, none for kUniform) makes bursts ragged the
+/// way real arrivals are while keeping every replay bit-reproducible.
+std::vector<double> ArrivalTimes(TraceKind kind, double base_rate, int64_t n,
+                                 uint64_t seed);
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_ARRIVAL_H_

@@ -10,14 +10,16 @@ RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {
   TB_CHECK_GT(capacity, 0);
 }
 
-Status RequestQueue::Push(PendingRequest&& request) {
+Status RequestQueue::Push(PendingRequest&& request, ShedReason* why) {
   TB_CHECK(request.model != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
+      if (why != nullptr) *why = ShedReason::kClosed;
       return Status::ResourceExhausted("request queue is closed");
     }
     if (size_ >= capacity_) {
+      if (why != nullptr) *why = ShedReason::kQueueFull;
       return Status::ResourceExhausted(
           "request queue full (" + std::to_string(capacity_) +
           " waiting); shedding");
@@ -51,10 +53,29 @@ int64_t RequestQueue::size() const {
   return size_;
 }
 
+LaneSignals RequestQueue::Signals(const std::string& model_name,
+                                  const std::string& dataset_name) const {
+  LaneSignals signals;
+  std::lock_guard<std::mutex> lock(mu_);
+  signals.queue_depth = size_;
+  signals.queue_capacity = capacity_;
+  auto it = lanes_.find(Key(model_name, dataset_name));
+  if (it != lanes_.end() && !it->second.empty()) {
+    signals.lane_depth = static_cast<int64_t>(it->second.size());
+    signals.head_age_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() -
+            it->second.front().enqueue_time)
+            .count();
+  }
+  return signals;
+}
+
 Batcher::Batcher(RequestQueue* queue, const BatchOptions& options)
     : queue_(queue), options_(options) {
   TB_CHECK(queue != nullptr);
   TB_CHECK_GT(options.max_batch_size, 0);
+  TB_CHECK_GE(options.max_lane_age_ms, 0.0);
 }
 
 std::optional<MicroBatch> Batcher::NextBatch() {
@@ -68,6 +89,39 @@ std::optional<MicroBatch> Batcher::NextBatch() {
     queue_->cv_.wait(lock,
                      [&] { return queue_->size_ > 0 || queue_->closed_; });
     if (queue_->size_ == 0) return std::nullopt;  // closed and drained
+
+    // Age-out sweep: requests that waited past max_lane_age_ms will not get
+    // fresher by queueing longer — pull them out so the worker can resolve
+    // them (degrade via the ladder, or shed with kAgedOut) without model
+    // compute, and so they stop blocking their lane's head.
+    if (options_.max_lane_age_ms > 0.0) {
+      MicroBatch swept;
+      const auto now = std::chrono::steady_clock::now();
+      const auto max_age = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.max_lane_age_ms));
+      for (auto it = queue_->lanes_.begin(); it != queue_->lanes_.end();) {
+        auto& lane = it->second;
+        while (!lane.empty() &&
+               now - lane.front().enqueue_time > max_age) {
+          swept.expired.push_back(std::move(lane.front()));
+          lane.pop_front();
+          --queue_->size_;
+        }
+        it = lane.empty() ? queue_->lanes_.erase(it) : std::next(it);
+      }
+      if (!swept.expired.empty()) {
+        // Expired-only batch (model == nullptr): hand it back right away so
+        // the stale promises are fulfilled promptly; a sibling worker picks
+        // up whatever is still queued.
+        if (queue_->size_ > 0) queue_->cv_.notify_one();
+        return swept;
+      }
+      if (queue_->size_ == 0) {
+        if (queue_->closed_) return std::nullopt;
+        continue;
+      }
+    }
 
     // Oldest-first across lanes: serve the lane whose head has waited
     // longest, so no model starves behind a busier one.

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/serve/admission.h"
+#include "src/serve/latency_recorder.h"
 #include "src/serve/model_registry.h"
 #include "src/tensor/tensor.h"
 #include "src/util/status.h"
@@ -25,13 +27,18 @@ struct PredictResponse {
   Status status;
   /// Raw-scale predictions [T_out, N]; undefined unless status is ok.
   Tensor prediction;
+  /// Degradation-ladder tier that produced the prediction: 0 = full model,
+  /// 1 = response-cache hit, 2 = training-free baseline. Every ok response
+  /// carries its tier so clients can tell a degraded answer from a full one.
+  int tier = 0;
   /// Seconds spent queued (submit -> micro-batch formed).
   double queue_seconds = 0.0;
   /// Seconds of model compute for the micro-batch this request rode in.
   double compute_seconds = 0.0;
   /// End-to-end seconds (submit -> response fulfilled).
   double total_seconds = 0.0;
-  /// Size of that micro-batch (1 when the request ran alone).
+  /// Size of that micro-batch (1 when the request ran alone; 0 for
+  /// degraded responses, which never ride a micro-batch).
   int64_t batch_size = 0;
 };
 
@@ -45,10 +52,14 @@ struct PendingRequest {
 };
 
 /// A micro-batch handed to one server worker: requests for the same loaded
-/// model instance, popped FIFO.
+/// model instance, popped FIFO. `expired` carries requests whose lane wait
+/// exceeded BatchOptions::max_lane_age_ms; the worker must resolve them
+/// (degrade or shed) without running the model. An expired-only sweep has
+/// `model == nullptr` and empty `requests`.
 struct MicroBatch {
   LoadedModelPtr model;
   std::vector<PendingRequest> requests;
+  std::vector<PendingRequest> expired;
 };
 
 /// Bounded multi-producer request queue with per-(model, dataset) FIFO
@@ -61,13 +72,23 @@ class RequestQueue {
   explicit RequestQueue(int64_t capacity);
 
   /// Consumes `request` only on success; on shed/closed the caller still
-  /// owns it (and its promise, which it must fulfil with the error).
-  Status Push(PendingRequest&& request);
+  /// owns it (and its promise, which it must fulfil with the error). When
+  /// `why` is non-null it is set to the shed reason on failure (kQueueFull
+  /// or kClosed) so the caller can account for — or degrade — the request
+  /// instead of collapsing both causes into one count.
+  Status Push(PendingRequest&& request, ShedReason* why = nullptr);
   void Close();
   bool closed() const;
 
   /// Waiting requests across all lanes.
   int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+
+  /// Pressure snapshot for one (model, dataset) lane: global depth and
+  /// capacity, this lane's depth, and the age of its oldest waiting
+  /// request. Feeds AdmissionController::Admit at submit time.
+  LaneSignals Signals(const std::string& model_name,
+                      const std::string& dataset_name) const;
 
  private:
   friend class Batcher;
@@ -89,6 +110,11 @@ struct BatchOptions {
   /// How long the oldest queued request may wait for the batch to fill
   /// before it is dispatched partially full.
   double max_queue_delay_ms = 2.0;
+  /// Oldest a request may grow in its lane before the batcher pulls it out
+  /// as expired (returned via MicroBatch::expired for the worker to degrade
+  /// or shed). 0 disables age-out (the seed behaviour: requests wait
+  /// however long the queue takes).
+  double max_lane_age_ms = 0.0;
 };
 
 /// Coalesces queued requests into micro-batches. The lane whose head
@@ -101,7 +127,9 @@ class Batcher {
   Batcher(RequestQueue* queue, const BatchOptions& options);
 
   /// Blocks for the next micro-batch; nullopt once the queue is closed and
-  /// fully drained (worker shutdown signal).
+  /// fully drained (worker shutdown signal). When max_lane_age_ms is set,
+  /// over-age requests are swept out first and returned in `expired`
+  /// (possibly as an expired-only batch with no model).
   std::optional<MicroBatch> NextBatch();
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/check.h"
+
 namespace trafficbench::serve {
 
 namespace {
@@ -26,6 +28,18 @@ std::string Ms(double seconds) { return Table::Num(seconds * 1e3, 3); }
 
 }  // namespace
 
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kAgedOut:
+      return "aged_out";
+    case ShedReason::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
 LatencyRecorder::LatencyRecorder() { Reset(); }
 
 void LatencyRecorder::RecordRequest(double queue_seconds,
@@ -35,6 +49,19 @@ void LatencyRecorder::RecordRequest(double queue_seconds,
   request_seconds_.push_back(total_seconds);
 }
 
+void LatencyRecorder::RecordDegraded(int tier, const std::string& lane,
+                                     double total_seconds) {
+  TB_CHECK(tier == 1 || tier == 2);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tier == 1) {
+    tier1_seconds_.push_back(total_seconds);
+    ++lanes_[lane].degraded_cache;
+  } else {
+    tier2_seconds_.push_back(total_seconds);
+    ++lanes_[lane].degraded_baseline;
+  }
+}
+
 void LatencyRecorder::RecordBatch(int64_t size, double compute_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   batch_seconds_.push_back(compute_seconds);
@@ -42,9 +69,23 @@ void LatencyRecorder::RecordBatch(int64_t size, double compute_seconds) {
   ++batches_;
 }
 
-void LatencyRecorder::RecordShed() {
+void LatencyRecorder::RecordShed(ShedReason reason, const std::string& lane) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++shed_;
+  LaneCounters& counters = lanes_[lane];
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      ++shed_queue_full_;
+      ++counters.shed_queue_full;
+      break;
+    case ShedReason::kAgedOut:
+      ++shed_aged_out_;
+      ++counters.shed_aged_out;
+      break;
+    case ShedReason::kClosed:
+      ++shed_closed_;
+      ++counters.shed_closed;
+      break;
+  }
 }
 
 void LatencyRecorder::RecordQueueDepth(int64_t depth) {
@@ -59,30 +100,50 @@ void LatencyRecorder::Reset() {
   request_seconds_.clear();
   queue_seconds_.clear();
   batch_seconds_.clear();
+  tier1_seconds_.clear();
+  tier2_seconds_.clear();
   batched_requests_ = 0;
   batches_ = 0;
-  shed_ = 0;
+  shed_queue_full_ = 0;
+  shed_aged_out_ = 0;
+  shed_closed_ = 0;
   depth_samples_ = 0;
   depth_sum_ = 0.0;
   depth_max_ = 0;
+  lanes_.clear();
   start_ = std::chrono::steady_clock::now();
 }
 
 LatencySummary LatencyRecorder::Summary() const {
   std::lock_guard<std::mutex> lock(mu_);
   LatencySummary s;
-  s.requests = static_cast<int64_t>(request_seconds_.size());
+  s.tier0 = static_cast<int64_t>(request_seconds_.size());
+  s.tier1 = static_cast<int64_t>(tier1_seconds_.size());
+  s.tier2 = static_cast<int64_t>(tier2_seconds_.size());
+  s.requests = s.tier0 + s.tier1 + s.tier2;
   s.batches = batches_;
-  s.shed = shed_;
-  s.request_p50 = Percentile(request_seconds_, 50.0);
-  s.request_p95 = Percentile(request_seconds_, 95.0);
-  s.request_p99 = Percentile(request_seconds_, 99.0);
-  s.request_max = MaxOf(request_seconds_);
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_aged_out = shed_aged_out_;
+  s.shed_closed = shed_closed_;
+  s.shed = shed_queue_full_ + shed_aged_out_ + shed_closed_;
+
+  // End-to-end percentiles cover every completed response, whatever tier
+  // produced it — "p99 stays bounded under overload" is a statement about
+  // the whole answer stream, not just the full-model slice.
+  std::vector<double> all = request_seconds_;
+  all.insert(all.end(), tier1_seconds_.begin(), tier1_seconds_.end());
+  all.insert(all.end(), tier2_seconds_.begin(), tier2_seconds_.end());
+  s.request_p50 = Percentile(all, 50.0);
+  s.request_p95 = Percentile(all, 95.0);
+  s.request_p99 = Percentile(all, 99.0);
+  s.request_max = MaxOf(all);
   s.queue_p50 = Percentile(queue_seconds_, 50.0);
   s.queue_p99 = Percentile(queue_seconds_, 99.0);
   s.batch_p50 = Percentile(batch_seconds_, 50.0);
   s.batch_p99 = Percentile(batch_seconds_, 99.0);
   s.batch_max = MaxOf(batch_seconds_);
+  s.tier1_p99 = Percentile(tier1_seconds_, 99.0);
+  s.tier2_p99 = Percentile(tier2_seconds_, 99.0);
   s.mean_batch_size =
       batches_ > 0 ? static_cast<double>(batched_requests_) /
                          static_cast<double>(batches_)
@@ -96,6 +157,7 @@ LatencySummary LatencyRecorder::Summary() const {
       depth_samples_ > 0 ? depth_sum_ / static_cast<double>(depth_samples_)
                          : 0.0;
   s.max_queue_depth = depth_max_;
+  s.lanes = lanes_;
   return s;
 }
 
@@ -104,7 +166,14 @@ Table LatencyRecorder::ToTable() const {
   Table table({"Metric", "Value"});
   table.AddRow({"requests completed", std::to_string(s.requests)});
   table.AddRow({"micro-batches", std::to_string(s.batches)});
+  table.AddRow({"tiers (full/cache/baseline)",
+                std::to_string(s.tier0) + "/" + std::to_string(s.tier1) +
+                    "/" + std::to_string(s.tier2)});
   table.AddRow({"requests shed", std::to_string(s.shed)});
+  table.AddRow({"shed (queue_full/aged_out/closed)",
+                std::to_string(s.shed_queue_full) + "/" +
+                    std::to_string(s.shed_aged_out) + "/" +
+                    std::to_string(s.shed_closed)});
   table.AddRow({"request p50 (ms)", Ms(s.request_p50)});
   table.AddRow({"request p95 (ms)", Ms(s.request_p95)});
   table.AddRow({"request p99 (ms)", Ms(s.request_p99)});
@@ -114,10 +183,21 @@ Table LatencyRecorder::ToTable() const {
   table.AddRow({"batch compute p50 (ms)", Ms(s.batch_p50)});
   table.AddRow({"batch compute p99 (ms)", Ms(s.batch_p99)});
   table.AddRow({"batch compute max (ms)", Ms(s.batch_max)});
+  table.AddRow({"tier1 p99 (ms)", Ms(s.tier1_p99)});
+  table.AddRow({"tier2 p99 (ms)", Ms(s.tier2_p99)});
   table.AddRow({"mean batch size", Table::Num(s.mean_batch_size, 2)});
   table.AddRow({"throughput (windows/s)", Table::Num(s.throughput, 1)});
   table.AddRow({"mean queue depth", Table::Num(s.mean_queue_depth, 2)});
   table.AddRow({"max queue depth", std::to_string(s.max_queue_depth)});
+  for (const auto& [lane, counters] : s.lanes) {
+    table.AddRow({"lane " + lane + " shed (full/aged/closed)",
+                  std::to_string(counters.shed_queue_full) + "/" +
+                      std::to_string(counters.shed_aged_out) + "/" +
+                      std::to_string(counters.shed_closed)});
+    table.AddRow({"lane " + lane + " degraded (cache/baseline)",
+                  std::to_string(counters.degraded_cache) + "/" +
+                      std::to_string(counters.degraded_baseline)});
+  }
   return table;
 }
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -11,26 +12,59 @@
 
 namespace trafficbench::serve {
 
-/// Latency-SLO view of one serving run: per-request and per-batch latency
-/// percentiles, throughput, micro-batch fill, queue pressure and shed
-/// counts. All durations in seconds.
-struct LatencySummary {
-  int64_t requests = 0;  // completed (shed requests are not included)
-  int64_t batches = 0;
-  int64_t shed = 0;  // requests rejected with ResourceExhausted
+/// Why a request was hard-rejected instead of served. Recorded per lane so
+/// an overload postmortem can tell "the shared queue was full" apart from
+/// "this lane's requests aged out" and "the server was shutting down".
+enum class ShedReason : int {
+  kQueueFull = 0,  // bounded queue at capacity at submit time
+  kAgedOut,        // waited past BatchOptions::max_lane_age_ms in its lane
+  kClosed,         // submit after Stop() closed the queue
+};
 
-  // Per-request end-to-end latency (submit -> response ready).
+const char* ShedReasonName(ShedReason reason);
+
+/// Per-(model/dataset)-lane shed and degrade counters.
+struct LaneCounters {
+  int64_t shed_queue_full = 0;
+  int64_t shed_aged_out = 0;
+  int64_t shed_closed = 0;
+  int64_t degraded_cache = 0;     // tier-1 responses
+  int64_t degraded_baseline = 0;  // tier-2 responses
+};
+
+/// Latency-SLO view of one serving run: per-request and per-batch latency
+/// percentiles, throughput, micro-batch fill, queue pressure, and the
+/// overload accounting (per-tier response counts, shed reasons, per-lane
+/// counters). All durations in seconds.
+struct LatencySummary {
+  int64_t requests = 0;  // completed at any ladder tier (shed not included)
+  int64_t batches = 0;
+  /// Hard-dropped requests (ResourceExhausted), by reason; shed is the sum.
+  int64_t shed = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_aged_out = 0;
+  int64_t shed_closed = 0;
+  /// Completed responses per degradation-ladder tier; their sum is
+  /// `requests`. tier0 = full model, tier1 = cache hit, tier2 = baseline.
+  int64_t tier0 = 0;
+  int64_t tier1 = 0;
+  int64_t tier2 = 0;
+
+  // Per-request end-to-end latency (submit -> response ready), all tiers.
   double request_p50 = 0.0;
   double request_p95 = 0.0;
   double request_p99 = 0.0;
   double request_max = 0.0;
-  // Per-request queueing share of the above (submit -> batch formed).
+  // Per-request queueing share (submit -> batch formed), tier 0 only.
   double queue_p50 = 0.0;
   double queue_p99 = 0.0;
   // Per-micro-batch model compute latency.
   double batch_p50 = 0.0;
   double batch_p99 = 0.0;
   double batch_max = 0.0;
+  // End-to-end latency of the degraded tiers alone.
+  double tier1_p99 = 0.0;
+  double tier2_p99 = 0.0;
 
   double mean_batch_size = 0.0;
   /// Completed windows per second of recording wall time (0 until Seal()
@@ -38,47 +72,59 @@ struct LatencySummary {
   double throughput = 0.0;
   double mean_queue_depth = 0.0;
   int64_t max_queue_depth = 0;
+
+  /// Shed/degrade counters keyed by "model/dataset" lane.
+  std::map<std::string, LaneCounters> lanes;
 };
 
 /// Thread-safe sink for the serving pipeline's timing events. Workers and
 /// the submit path record concurrently; Summary() sorts the samples and
 /// reduces them to the SLO percentiles (nearest-rank, so p50 of one sample
 /// is that sample). Reportable as an aligned table or CSV next to the
-/// OpProfiler output.
+/// OpProfiler output; the table carries one row per active lane so shed
+/// and degrade counts are attributable, not just a global total.
 class LatencyRecorder {
  public:
   LatencyRecorder();
 
-  /// One completed request: queueing share and end-to-end latency.
+  /// One completed tier-0 request: queueing share and end-to-end latency.
   void RecordRequest(double queue_seconds, double total_seconds);
+  /// One completed degraded request (tier 1 or 2) on `lane`.
+  void RecordDegraded(int tier, const std::string& lane,
+                      double total_seconds);
   /// One executed micro-batch of `size` requests.
   void RecordBatch(int64_t size, double compute_seconds);
-  /// One request shed at submit time (queue full).
-  void RecordShed();
+  /// One request hard-dropped with ResourceExhausted, and why.
+  void RecordShed(ShedReason reason, const std::string& lane);
   /// Queue depth observed after an enqueue (pressure gauge).
   void RecordQueueDepth(int64_t depth);
 
-  /// Restarts the throughput clock and drops all samples.
+  /// Restarts the throughput clock and drops all samples and counters.
   void Reset();
 
   LatencySummary Summary() const;
 
   /// "Latency (serving)" table: one metric per row, values in ms except
-  /// counts and windows/s.
+  /// counts and windows/s; per-lane shed/degrade rows at the bottom.
   Table ToTable() const;
   std::string ToCsv() const;
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> request_seconds_;
+  std::vector<double> request_seconds_;  // tier 0
   std::vector<double> queue_seconds_;
   std::vector<double> batch_seconds_;
+  std::vector<double> tier1_seconds_;
+  std::vector<double> tier2_seconds_;
   int64_t batched_requests_ = 0;
   int64_t batches_ = 0;
-  int64_t shed_ = 0;
+  int64_t shed_queue_full_ = 0;
+  int64_t shed_aged_out_ = 0;
+  int64_t shed_closed_ = 0;
   int64_t depth_samples_ = 0;
   double depth_sum_ = 0.0;
   int64_t depth_max_ = 0;
+  std::map<std::string, LaneCounters> lanes_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -68,6 +68,7 @@ LoadedModel::LoadedModel(std::unique_ptr<models::TrafficModel> model,
       precision_(precision) {
   TB_CHECK(model_ != nullptr);
   parameter_count_ = model_->ParameterCount();
+  trainable_ = model_->IsTrainable();
   model_->SetTraining(false);
   if (!compile_plans) plans_disabled_reason_ = "disabled by spec";
 }
@@ -325,6 +326,17 @@ LoadedModelPtr ModelRegistry::Find(const std::string& model_name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(Key(model_name, dataset_name));
   return it != entries_.end() ? it->second : nullptr;
+}
+
+LoadedModelPtr ModelRegistry::FindFallback(
+    const std::string& dataset_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Key& key : load_order_) {
+    if (key.second != dataset_name) continue;
+    auto it = entries_.find(key);
+    if (it != entries_.end() && !it->second->trainable()) return it->second;
+  }
+  return nullptr;
 }
 
 std::vector<std::pair<std::string, std::string>> ModelRegistry::Keys() const {

@@ -105,6 +105,10 @@ class LoadedModel {
   int input_len() const { return input_len_; }
   int output_len() const { return output_len_; }
   int64_t parameter_count() const { return parameter_count_; }
+  /// Whether the wrapped model learns by gradient descent. False for the
+  /// training-free baselines (HistoricalAverage/LastValue) that the
+  /// degradation ladder may substitute for the full model under overload.
+  bool trainable() const { return trainable_; }
 
  private:
   /// A compiled plan for one batch-size bucket, with its executor and the
@@ -140,6 +144,7 @@ class LoadedModel {
   int input_len_ = 0;
   int output_len_ = 0;
   int64_t parameter_count_ = 0;
+  bool trainable_ = true;
 
   // Plan state (guarded by mu_).
   mutable bool plans_enabled_ = true;
@@ -169,6 +174,12 @@ class ModelRegistry {
   /// The entry, or null when the pair was never loaded.
   LoadedModelPtr Find(const std::string& model_name,
                       const std::string& dataset_name) const;
+
+  /// The first training-free entry (in load order) serving `dataset_name`,
+  /// or null if none was loaded. The degradation ladder's tier 2 answers
+  /// from this model; callers that want tier 2 available must load a
+  /// baseline (e.g. HistoricalAverage) alongside the full models.
+  LoadedModelPtr FindFallback(const std::string& dataset_name) const;
 
   /// Loaded (model, dataset) keys in load order.
   std::vector<std::pair<std::string, std::string>> Keys() const;

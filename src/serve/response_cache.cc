@@ -1,0 +1,153 @@
+#include "src/serve/response_cache.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+
+namespace trafficbench::serve {
+
+ResponseCache::ResponseCache(const ResponseCacheOptions& options)
+    : options_(options) {
+  TB_CHECK_GE(options.capacity, 0);
+}
+
+uint64_t ResponseCache::HashKey(const std::string& model_name,
+                                const std::string& dataset_name,
+                                const std::vector<float>& key) const {
+  const size_t bytes = key.size() * sizeof(float);
+  if (options_.hash_fn != nullptr) {
+    return options_.hash_fn(key.data(), bytes);
+  }
+  // Two independent CRC passes (window bytes, then names chained on top)
+  // packed into 64 bits. Collisions are survivable either way — the stored
+  // key bytes are compared on every candidate hit — the hash only has to
+  // spread the index.
+  uint32_t lo = Crc32(key.data(), bytes);
+  uint32_t hi = Crc32(model_name.data(), model_name.size(), lo);
+  hi = Crc32(dataset_name.data(), dataset_name.size(), hi);
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+void ResponseCache::EraseLocked(List::iterator it) {
+  auto range = index_.equal_range(it->hash);
+  for (auto idx = range.first; idx != range.second; ++idx) {
+    if (idx->second == it) {
+      index_.erase(idx);
+      break;
+    }
+  }
+  lru_.erase(it);
+}
+
+bool ResponseCache::Lookup(const LoadedModelPtr& model, const Tensor& window,
+                           Tensor* prediction) {
+  if (!enabled()) return false;
+  TB_CHECK(model != nullptr);
+  TB_CHECK(prediction != nullptr);
+  const std::vector<float> key = window.ToVector();
+  const uint64_t hash = HashKey(model->model_name(), model->dataset_name(),
+                                key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = index_.equal_range(hash);
+  for (auto idx = range.first; idx != range.second; ++idx) {
+    List::iterator it = idx->second;
+    if (it->model_name != model->model_name() ||
+        it->dataset_name != model->dataset_name() ||
+        it->key.size() != key.size() ||
+        std::memcmp(it->key.data(), key.data(),
+                    key.size() * sizeof(float)) != 0) {
+      ++stats_.collisions;  // same hash, different window — never served
+      continue;
+    }
+    if (it->producer.lock() != model) {
+      // The registry swapped this (model, dataset) entry since the insert;
+      // the cached prediction belongs to the old weights.
+      ++stats_.invalidated;
+      ++stats_.misses;
+      EraseLocked(it);
+      return false;
+    }
+    const uint32_t crc = Crc32(it->prediction.data(),
+                               it->prediction.size() * sizeof(float));
+    if (crc != it->checksum) {
+      // Poisoned entry: detected, dropped, reported as a miss so the
+      // ladder falls through to tier 2 instead of serving garbage.
+      ++stats_.poisoned;
+      ++stats_.misses;
+      EraseLocked(it);
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it);  // refresh to MRU
+    ++stats_.hits;
+    *prediction = Tensor::FromVector(Shape(it->pred_dims), it->prediction);
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void ResponseCache::Insert(const LoadedModelPtr& model, const Tensor& window,
+                           const Tensor& prediction) {
+  if (!enabled()) return;
+  TB_CHECK(model != nullptr);
+  Entry entry;
+  entry.model_name = model->model_name();
+  entry.dataset_name = model->dataset_name();
+  entry.producer = model;
+  entry.key = window.ToVector();
+  entry.pred_dims = prediction.shape().dims();
+  entry.prediction = prediction.ToVector();
+  entry.checksum = Crc32(entry.prediction.data(),
+                         entry.prediction.size() * sizeof(float));
+  entry.hash = HashKey(entry.model_name, entry.dataset_name, entry.key);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Replace an existing entry for the same exact key (fresher producer).
+  auto range = index_.equal_range(entry.hash);
+  for (auto idx = range.first; idx != range.second; ++idx) {
+    List::iterator it = idx->second;
+    if (it->model_name == entry.model_name &&
+        it->dataset_name == entry.dataset_name &&
+        it->key.size() == entry.key.size() &&
+        std::memcmp(it->key.data(), entry.key.data(),
+                    entry.key.size() * sizeof(float)) == 0) {
+      EraseLocked(it);
+      break;
+    }
+  }
+  while (static_cast<int64_t>(lru_.size()) >= options_.capacity) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+  lru_.push_front(std::move(entry));
+  index_.emplace(lru_.front().hash, lru_.begin());
+  ++stats_.insertions;
+}
+
+bool ResponseCache::CorruptMostRecent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.empty() || lru_.front().prediction.empty()) return false;
+  auto* bytes =
+      reinterpret_cast<unsigned char*>(lru_.front().prediction.data());
+  bytes[0] ^= 0x40;  // same single-byte flip the checkpoint tests use
+  return true;
+}
+
+void ResponseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+int64_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+ResponseCacheStats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace trafficbench::serve

@@ -1,0 +1,112 @@
+#ifndef TRAFFICBENCH_SERVE_RESPONSE_CACHE_H_
+#define TRAFFICBENCH_SERVE_RESPONSE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/model_registry.h"
+#include "src/tensor/tensor.h"
+
+namespace trafficbench::serve {
+
+struct ResponseCacheOptions {
+  /// Entry bound of the shared LRU; 0 disables the cache entirely.
+  int64_t capacity = 1024;
+  /// Test seam: overrides the window hash (e.g. a constant, to force every
+  /// insert onto one hash chain and exercise the collision check). Null
+  /// uses the built-in CRC-based hash.
+  uint64_t (*hash_fn)(const void* data, size_t size) = nullptr;
+};
+
+struct ResponseCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;    // LRU pressure
+  int64_t collisions = 0;   // same hash, different key bytes — never served
+  int64_t poisoned = 0;     // checksum mismatch detected; entry dropped
+  int64_t invalidated = 0;  // producing model swapped out of the registry
+};
+
+/// Window-keyed response cache: the degradation ladder's tier 1. Traffic
+/// windows repeat across clients, so an overloaded lane can answer from a
+/// recent identical window instead of queueing a full forward.
+///
+/// Correctness contract:
+///  - The key is the *exact* normalized [T_in, N, 2] bytes (no float
+///    tolerance) plus the (model, dataset) names. A hit additionally
+///    compares the stored key bytes, so a hash collision can never return
+///    another window's prediction (it counts as `collisions` and misses).
+///  - Every entry stores a CRC32 checksum of its prediction bytes; a
+///    lookup that finds a mismatching checksum (a poisoned entry — e.g.
+///    the degrade_ladder fault site) drops the entry and reports a miss,
+///    so corrupted data is never served and the ladder falls through to
+///    the tier-2 baseline.
+///  - Entries remember which LoadedModel instance produced them (weak
+///    pointer); a registry swap changes the instance, so stale entries
+///    invalidate themselves on their next lookup.
+///
+/// Thread-safe: one mutex shared by submit threads (Lookup) and workers
+/// (Insert) — entries are small ([T_out, N] floats) and the critical
+/// sections are memcmp/memcpy only.
+class ResponseCache {
+ public:
+  explicit ResponseCache(const ResponseCacheOptions& options);
+
+  bool enabled() const { return options_.capacity > 0; }
+
+  /// Exact-key lookup for `model`'s prediction of `window` ([T_in, N, 2]).
+  /// True only on a verified hit (key bytes equal, checksum intact, same
+  /// registry instance); `*prediction` is then the cached [T_out, N].
+  bool Lookup(const LoadedModelPtr& model, const Tensor& window,
+              Tensor* prediction);
+
+  /// Stores a tier-0 result. Re-inserting an existing key refreshes the
+  /// entry; over capacity the least-recently-used entry is evicted.
+  void Insert(const LoadedModelPtr& model, const Tensor& window,
+              const Tensor& prediction);
+
+  /// Fault hook (degrade_ladder): XORs one byte of the most recently used
+  /// entry's prediction without refreshing its checksum, so the next
+  /// lookup of that key must detect the poison. False when empty.
+  bool CorruptMostRecent();
+
+  /// Drops every entry (registry-wide swap/rollover).
+  void Clear();
+
+  int64_t size() const;
+  ResponseCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    std::string model_name;
+    std::string dataset_name;
+    std::weak_ptr<const LoadedModel> producer;
+    std::vector<float> key;         // exact normalized window bytes
+    std::vector<int64_t> pred_dims;
+    std::vector<float> prediction;
+    uint32_t checksum = 0;  // CRC32 over the prediction bytes
+  };
+  using List = std::list<Entry>;
+
+  uint64_t HashKey(const std::string& model_name,
+                   const std::string& dataset_name,
+                   const std::vector<float>& key) const;
+  void EraseLocked(List::iterator it);
+
+  const ResponseCacheOptions options_;
+  mutable std::mutex mu_;
+  List lru_;  // front = most recently used
+  std::unordered_multimap<uint64_t, List::iterator> index_;
+  ResponseCacheStats stats_;
+};
+
+}  // namespace trafficbench::serve
+
+#endif  // TRAFFICBENCH_SERVE_RESPONSE_CACHE_H_

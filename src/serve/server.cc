@@ -19,13 +19,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+std::string LaneName(const LoadedModel& model) {
+  return model.model_name() + "/" + model.dataset_name();
+}
+
+ResponseCacheOptions CacheOptionsFor(const ServerOptions& options) {
+  ResponseCacheOptions cache;
+  cache.capacity = options.cache_capacity;
+  return cache;
+}
+
 }  // namespace
 
 Server::Server(const ModelRegistry* registry, const ServerOptions& options)
     : registry_(registry),
       options_(options),
       queue_(options.queue_capacity),
-      batcher_(&queue_, options.batch) {
+      batcher_(&queue_, options.batch),
+      admission_(options.admission),
+      cache_(CacheOptionsFor(options)) {
   TB_CHECK(registry != nullptr);
   TB_CHECK_GT(options.workers, 0);
   TB_CHECK_GT(options.threads_per_worker, 0);
@@ -51,6 +63,51 @@ void Server::Stop() {
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   running_ = false;
+}
+
+bool Server::RespondDegraded(Tier tier, const LoadedModelPtr& model,
+                             const Tensor& window, const std::string& lane,
+                             std::chrono::steady_clock::time_point start,
+                             std::promise<PredictResponse>* promise) {
+  TB_CHECK(tier == Tier::kCached || tier == Tier::kBaseline);
+  PredictResponse response;
+
+  // Tier 1: the exact same normalized window answered by the exact same
+  // loaded instance before. A poisoned or stale entry reads as a miss
+  // (detected inside the cache), so the ladder falls through to tier 2.
+  const bool try_cache_first = tier == Tier::kCached;
+  if (try_cache_first && cache_.Lookup(model, window, &response.prediction)) {
+    response.tier = 1;
+  } else {
+    LoadedModelPtr fallback = registry_->FindFallback(model->dataset_name());
+    if (fallback != nullptr) {
+      const int64_t t_in = fallback->input_len();
+      const int64_t n = fallback->num_nodes();
+      Tensor batched = Tensor::FromVector({1, t_in, n, 2}, window.ToVector());
+      Tensor prediction = options_.use_plan
+                              ? fallback->Predict(batched)
+                              : fallback->PredictReference(batched);
+      response.prediction = Tensor::FromVector(
+          {fallback->output_len(), n}, prediction.ToVector());
+      response.tier = 2;
+    } else if (!try_cache_first &&
+               cache_.Lookup(model, window, &response.prediction)) {
+      // Asked for the baseline tier but none is loaded; a cache hit is
+      // still a better answer than forcing tier 0 under pressure.
+      response.tier = 1;
+    } else {
+      return false;  // nothing degraded can answer; caller runs tier 0
+    }
+  }
+
+  response.status = Status::Ok();
+  response.queue_seconds = 0.0;
+  response.compute_seconds = 0.0;
+  response.batch_size = 0;
+  response.total_seconds = SecondsSince(start);
+  recorder_.RecordDegraded(response.tier, lane, response.total_seconds);
+  promise->set_value(std::move(response));
+  return true;
 }
 
 std::future<PredictResponse> Server::Submit(PredictRequest request) {
@@ -87,16 +144,45 @@ std::future<PredictResponse> Server::Submit(PredictRequest request) {
     return future;
   }
 
+  const auto submit_time = std::chrono::steady_clock::now();
+  const std::string lane = LaneName(*model);
+
+  // Admission: read the lane's pressure and pick a ladder tier. The
+  // degrade_ladder fault site overrides the decision to the cache tier and
+  // poisons the cache's freshest entry, pinning the corrupted-entry
+  // fall-through end to end.
+  Tier tier = Tier::kFull;
+  if (options_.admission.enabled) {
+    tier = admission_.Admit(
+        lane, queue_.Signals(model->model_name(), model->dataset_name()));
+  }
+  if (ShouldForceDegrade()) {
+    cache_.CorruptMostRecent();
+    tier = Tier::kCached;
+  }
+  if (tier != Tier::kFull &&
+      RespondDegraded(tier, model, window, lane, submit_time, &promise)) {
+    return future;
+  }
+
   PendingRequest pending;
   pending.model = std::move(model);
   pending.window = std::move(window);
   pending.promise = std::move(promise);
-  pending.enqueue_time = std::chrono::steady_clock::now();
-  const Status pushed = queue_.Push(std::move(pending));
+  pending.enqueue_time = submit_time;
+  ShedReason why = ShedReason::kQueueFull;
+  const Status pushed = queue_.Push(std::move(pending), &why);
   if (!pushed.ok()) {
-    // Shed: Push consumes the request only on success, so the promise is
-    // still inside `pending` and ours to fulfil with the error.
-    recorder_.RecordShed();
+    // Push consumes the request only on success, so the promise is still
+    // inside `pending` and ours to fulfil. A full queue degrades when the
+    // ladder is on (zero hard drops under overload); a closed queue — or a
+    // full one with admission off — sheds with the recorded reason.
+    if (options_.admission.enabled && why == ShedReason::kQueueFull &&
+        RespondDegraded(Tier::kCached, pending.model, pending.window, lane,
+                        submit_time, &pending.promise)) {
+      return future;
+    }
+    recorder_.RecordShed(why, lane);
     PredictResponse response;
     response.status = pushed;
     pending.promise.set_value(std::move(response));
@@ -117,6 +203,13 @@ bool Server::ShouldStall() {
   return fault.Should(FaultSite::kServeSlowWorker);
 }
 
+bool Server::ShouldForceDegrade() {
+  FaultInjector& fault = FaultInjector::Global();
+  if (!fault.enabled()) return false;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault.Should(FaultSite::kDegradeLadder);
+}
+
 void Server::WorkerLoop() {
   // Each worker owns its execution context: contexts are not reentrant
   // across threads, and per-worker buffer pools keep scratch reuse local.
@@ -131,7 +224,29 @@ void Server::WorkerLoop() {
 
 void Server::ProcessBatch(MicroBatch batch) {
   const auto formed = std::chrono::steady_clock::now();
+
+  // Requests the batcher aged out of their lanes: resolve them without
+  // model compute. With the ladder on they degrade (their answer is stale
+  // but bounded-latency); otherwise they shed with the aged_out reason.
+  for (PendingRequest& expired : batch.expired) {
+    const std::string lane = LaneName(*expired.model);
+    if (options_.admission.enabled &&
+        RespondDegraded(Tier::kCached, expired.model, expired.window, lane,
+                        expired.enqueue_time, &expired.promise)) {
+      continue;
+    }
+    recorder_.RecordShed(ShedReason::kAgedOut, lane);
+    PredictResponse response;
+    response.status = Status::ResourceExhausted(
+        "request aged out after " +
+        std::to_string(options_.batch.max_lane_age_ms) + " ms in lane " +
+        lane);
+    expired.promise.set_value(std::move(response));
+  }
+  if (batch.model == nullptr || batch.requests.empty()) return;
+
   const LoadedModel& model = *batch.model;
+  const std::string lane = LaneName(model);
   const int64_t k = static_cast<int64_t>(batch.requests.size());
   const int64_t t_in = model.input_len();
   const int64_t t_out = model.output_len();
@@ -163,6 +278,7 @@ void Server::ProcessBatch(MicroBatch batch) {
     PendingRequest& request = batch.requests[i];
     PredictResponse response;
     response.status = Status::Ok();
+    response.tier = 0;
     response.prediction = Tensor::FromVector(
         {t_out, n},
         std::vector<float>(out + i * t_out * n, out + (i + 1) * t_out * n));
@@ -171,7 +287,11 @@ void Server::ProcessBatch(MicroBatch batch) {
     response.compute_seconds = compute_seconds;
     response.batch_size = k;
     response.total_seconds = SecondsSince(request.enqueue_time);
+    // Populate the response cache from the full-model path: the next time
+    // this exact window arrives under pressure, tier 1 can answer it.
+    cache_.Insert(batch.model, request.window, response.prediction);
     recorder_.RecordRequest(response.queue_seconds, response.total_seconds);
+    admission_.ObserveCompletion(lane, response.total_seconds);
     request.promise.set_value(std::move(response));
   }
   recorder_.RecordBatch(k, compute_seconds);

@@ -1,6 +1,7 @@
 #ifndef TRAFFICBENCH_SERVE_SERVER_H_
 #define TRAFFICBENCH_SERVE_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -8,9 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "src/serve/admission.h"
 #include "src/serve/batcher.h"
 #include "src/serve/latency_recorder.h"
 #include "src/serve/model_registry.h"
+#include "src/serve/response_cache.h"
 #include "src/tensor/tensor.h"
 
 namespace trafficbench::serve {
@@ -30,7 +33,9 @@ struct ServerOptions {
   int workers = 1;
   int threads_per_worker = 1;
   BatchOptions batch;
-  /// Queue bound; submits past it are shed with ResourceExhausted.
+  /// Queue bound; submits past it are shed with ResourceExhausted — unless
+  /// the admission controller is enabled, in which case they degrade down
+  /// the ladder instead (only a closed queue still hard-rejects).
   int64_t queue_capacity = 256;
   /// Stall injected by the serve_slow_worker fault site, when armed.
   double fault_stall_ms = 25.0;
@@ -40,6 +45,12 @@ struct ServerOptions {
   /// storage tier (fp32/bf16/int8, DESIGN.md §13) is chosen per model by
   /// ModelSpec::precision at load time.
   bool use_plan = true;
+  /// Overload admission control (DESIGN.md §14). Disabled by default: the
+  /// server sheds on a full queue exactly as the seed did.
+  AdmissionOptions admission;
+  /// Window-keyed response cache capacity (entries, shared across workers);
+  /// 0 disables the cache and with it ladder tier 1.
+  int64_t cache_capacity = 0;
 };
 
 /// Multi-worker inference server over a ModelRegistry.
@@ -56,6 +67,17 @@ struct ServerOptions {
 /// Backpressure: the queue is bounded; when it is full, Submit sheds the
 /// request immediately — the returned future is already fulfilled with
 /// ResourceExhausted — instead of letting latency grow without bound.
+///
+/// Overload (DESIGN.md §14): with options.admission.enabled the server
+/// executes a degradation ladder instead of shedding. The admission
+/// controller reads the request's lane pressure and assigns a tier:
+///   tier 0  full model through the queue and micro-batcher,
+///   tier 1  window-keyed response-cache hit (exact normalized bytes),
+///   tier 2  the registry's training-free baseline for the dataset.
+/// A tier-1/2 decision that cannot be satisfied (cache miss and no loaded
+/// baseline) falls back up to tier 0, and a full queue degrades rather than
+/// drops, so enabling admission eliminates hard drops except on shutdown.
+/// Every ok response carries the tier that produced it.
 class Server {
  public:
   Server(const ModelRegistry* registry, const ServerOptions& options);
@@ -71,6 +93,8 @@ class Server {
 
   /// Enqueue one window. Always returns a valid future; shed or invalid
   /// requests resolve immediately with a non-ok PredictResponse::status.
+  /// Degraded (tier 1/2) responses also resolve immediately — they never
+  /// touch the queue.
   std::future<PredictResponse> Submit(PredictRequest request);
 
   /// Convenience: Submit + wait.
@@ -78,18 +102,37 @@ class Server {
 
   LatencyRecorder& recorder() { return recorder_; }
   const LatencyRecorder& recorder() const { return recorder_; }
+  AdmissionController& admission() { return admission_; }
+  ResponseCache& cache() { return cache_; }
+  const ResponseCache& cache() const { return cache_; }
   const ServerOptions& options() const { return options_; }
 
  private:
   void WorkerLoop();
   void ProcessBatch(MicroBatch batch);
   bool ShouldStall();
+  /// degrade_ladder fault site: when it fires, one submit's admission
+  /// decision is forced to the cache tier and the cache's most-recent
+  /// entry is corrupted (checksum left stale) to exercise the poisoned-
+  /// entry fall-through.
+  bool ShouldForceDegrade();
+
+  /// Resolves `promise` at the requested degraded tier, preferring the
+  /// given tier but falling across (cache miss -> baseline, no baseline ->
+  /// cache). Records the completion and returns true; false means neither
+  /// degraded source could answer and the caller should run tier 0.
+  bool RespondDegraded(Tier tier, const LoadedModelPtr& model,
+                       const Tensor& window, const std::string& lane,
+                       std::chrono::steady_clock::time_point start,
+                       std::promise<PredictResponse>* promise);
 
   const ModelRegistry* const registry_;
   const ServerOptions options_;
   RequestQueue queue_;
   Batcher batcher_;
   LatencyRecorder recorder_;
+  AdmissionController admission_;
+  ResponseCache cache_;
   std::vector<std::thread> workers_;
   std::mutex fault_mu_;  // serializes FaultInjector access across workers
   bool running_ = false;

@@ -33,6 +33,11 @@
 //                    plan-compile time (the epsilon verification must
 //                    reject the plan and walk the downgrade ladder
 //                    reduced-precision -> fp32 plan -> eager)
+//   degrade_ladder   force one submit's admission decision to the cache
+//                    tier and corrupt the cache's most-recent entry (the
+//                    checksum must detect the poisoned entry and the
+//                    ladder must fall through to the tier-2 baseline
+//                    instead of serving the corrupted prediction)
 
 #include <array>
 #include <cstdint>
@@ -56,9 +61,10 @@ enum class FaultSite : int {
   kServeSlowWorker,
   kPlanCompile,
   kPrecisionVerify,
+  kDegradeLadder,
 };
 
-inline constexpr int kNumFaultSites = 11;
+inline constexpr int kNumFaultSites = 12;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic

@@ -564,24 +564,94 @@ TEST(ServeLatency, BatchShedAndDepthCounters) {
   serve::LatencyRecorder recorder;
   recorder.RecordBatch(4, 0.010);
   recorder.RecordBatch(2, 0.020);
-  recorder.RecordShed();
-  recorder.RecordShed();
-  recorder.RecordShed();
+  recorder.RecordShed(serve::ShedReason::kQueueFull, "M/A");
+  recorder.RecordShed(serve::ShedReason::kQueueFull, "M/A");
+  recorder.RecordShed(serve::ShedReason::kAgedOut, "M/B");
   recorder.RecordQueueDepth(3);
   recorder.RecordQueueDepth(7);
   const serve::LatencySummary s = recorder.Summary();
   EXPECT_EQ(s.batches, 2);
   EXPECT_EQ(s.shed, 3);
+  EXPECT_EQ(s.shed_queue_full, 2);
+  EXPECT_EQ(s.shed_aged_out, 1);
+  EXPECT_EQ(s.shed_closed, 0);
+  ASSERT_EQ(s.lanes.count("M/A"), 1u);
+  EXPECT_EQ(s.lanes.at("M/A").shed_queue_full, 2);
+  EXPECT_EQ(s.lanes.at("M/B").shed_aged_out, 1);
   EXPECT_DOUBLE_EQ(s.mean_batch_size, 3.0);
   EXPECT_DOUBLE_EQ(s.batch_max, 0.020);
   EXPECT_DOUBLE_EQ(s.mean_queue_depth, 5.0);
   EXPECT_EQ(s.max_queue_depth, 7);
 
   Table table = recorder.ToTable();
-  EXPECT_EQ(table.num_rows(), 16u);
+  // 20 fixed metric rows plus two rows for each of the two active lanes.
+  EXPECT_EQ(table.num_rows(), 24u);
   EXPECT_NE(recorder.ToCsv().find("requests shed"), std::string::npos);
+  EXPECT_NE(recorder.ToCsv().find("lane M/A"), std::string::npos);
   recorder.Reset();
   EXPECT_EQ(recorder.Summary().batches, 0);
+  EXPECT_TRUE(recorder.Summary().lanes.empty());
+}
+
+TEST(ServeLatency, TwoSamplePercentiles) {
+  // Nearest-rank with n=2: p50 is the first sample, p99 (and max) the
+  // second.
+  serve::LatencyRecorder recorder;
+  recorder.RecordRequest(0.001, 0.010);
+  recorder.RecordRequest(0.002, 0.030);
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.010);
+  EXPECT_DOUBLE_EQ(s.request_p99, 0.030);
+  EXPECT_DOUBLE_EQ(s.request_max, 0.030);
+}
+
+TEST(ServeLatency, NinetyNineSamplePercentiles) {
+  // n=99: rank(p99) = ceil(98.01) = 99 -> the largest sample; rank(p50) =
+  // ceil(49.5) = 50 -> the middle one.
+  serve::LatencyRecorder recorder;
+  for (int i = 1; i <= 99; ++i) {
+    recorder.RecordRequest(0.0, i * 1e-3);
+  }
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.050);
+  EXPECT_DOUBLE_EQ(s.request_p99, 0.099);
+}
+
+TEST(ServeLatency, AllEqualLatenciesCollapseEveryPercentile) {
+  serve::LatencyRecorder recorder;
+  for (int i = 0; i < 37; ++i) {
+    recorder.RecordRequest(0.002, 0.008);
+  }
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.008);
+  EXPECT_DOUBLE_EQ(s.request_p95, 0.008);
+  EXPECT_DOUBLE_EQ(s.request_p99, 0.008);
+  EXPECT_DOUBLE_EQ(s.request_max, 0.008);
+  EXPECT_DOUBLE_EQ(s.queue_p50, 0.002);
+  EXPECT_DOUBLE_EQ(s.queue_p99, 0.002);
+}
+
+TEST(ServeLatency, OnlyDegradedResponsesStillSummarize) {
+  // A run answered entirely from the ladder's lower tiers: the request
+  // percentiles must cover those latencies, tier0 stays zero, and the
+  // tier-0-only queue percentiles stay zero (no sample, not a crash).
+  serve::LatencyRecorder recorder;
+  recorder.RecordDegraded(1, "M/A", 0.001);
+  recorder.RecordDegraded(1, "M/A", 0.003);
+  recorder.RecordDegraded(2, "M/A", 0.002);
+  const serve::LatencySummary s = recorder.Summary();
+  EXPECT_EQ(s.requests, 3);
+  EXPECT_EQ(s.tier0, 0);
+  EXPECT_EQ(s.tier1, 2);
+  EXPECT_EQ(s.tier2, 1);
+  EXPECT_DOUBLE_EQ(s.request_p50, 0.002);
+  EXPECT_DOUBLE_EQ(s.request_max, 0.003);
+  EXPECT_DOUBLE_EQ(s.tier1_p99, 0.003);
+  EXPECT_DOUBLE_EQ(s.tier2_p99, 0.002);
+  EXPECT_DOUBLE_EQ(s.queue_p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.queue_p99, 0.0);
+  EXPECT_EQ(s.lanes.at("M/A").degraded_cache, 2);
+  EXPECT_EQ(s.lanes.at("M/A").degraded_baseline, 1);
 }
 
 TEST(ServeLatency, ThroughputUsesWallClock) {

@@ -15,6 +15,9 @@
 //                         [--models A,B,C] [--ckpt-dir DIR] [--resume]
 //   trafficbench serve-bench --dataset METR-LA-S
 //                         [--models A,B,C] [--requests N] [--rate R]
+//                         [--trace uniform|burst|diurnal|flash]
+//                         [--trace-seed S] [--admission] [--slo-ms X]
+//                         [--cache-cap N] [--max-age-ms A]
 //                         [--batch-max B] [--max-delay-ms D] [--workers W]
 //                         [--threads K] [--queue-cap Q] [--checkpoint F]
 //                         [--verify] [--precision fp32|bf16|int8] [--csv F]
@@ -47,6 +50,7 @@
 
 #include "src/core/experiment.h"
 #include "src/data/dataset.h"
+#include "src/serve/arrival.h"
 #include "src/serve/model_registry.h"
 #include "src/serve/server.h"
 #include "src/data/io.h"
@@ -110,6 +114,12 @@ int Usage() {
       "tune the sweep)\n"
       "  serve-bench (--dataset ... | --network/--series ...)\n"
       "           [--models A,B,C] [--requests N] [--rate R/s]\n"
+      "           [--trace uniform|burst|diurnal|flash] [--trace-seed S]\n"
+      "           (deterministic arrival shapes; --rate is the mean)\n"
+      "           [--admission] [--slo-ms X] [--cache-cap N]"
+      " [--max-age-ms A]\n"
+      "           (degradation ladder: degrade under overload instead of"
+      " shedding)\n"
       "           [--batch-max B] [--max-delay-ms D] [--workers W]\n"
       "           [--threads K] [--queue-cap Q] [--checkpoint F]"
       " [--verify]\n"
@@ -416,6 +426,22 @@ int CmdServeBench(const Args& args) {
       std::atof(args.Get("max-delay-ms", "2").c_str());
   server_options.queue_capacity =
       std::max<int64_t>(1, std::atoll(args.Get("queue-cap", "256").c_str()));
+  server_options.batch.max_lane_age_ms =
+      std::atof(args.Get("max-age-ms", "0").c_str());
+  tb::serve::TraceKind trace = tb::serve::TraceKind::kUniform;
+  if (!tb::serve::ParseTraceKind(args.Get("trace", "uniform"), &trace)) {
+    std::fprintf(stderr, "--trace must be uniform, burst, diurnal or flash\n");
+    return 2;
+  }
+  const uint64_t trace_seed =
+      std::strtoull(args.Get("trace-seed", "2021").c_str(), nullptr, 10);
+  const bool admission = args.Has("admission");
+  server_options.admission.enabled = admission;
+  server_options.admission.slo_ms = std::atof(args.Get("slo-ms", "50").c_str());
+  // The response cache (ladder tier 1) defaults on with admission, off
+  // without — matching the server's seed behaviour for plain benches.
+  server_options.cache_capacity = std::atoll(
+      args.Get("cache-cap", admission ? "1024" : "0").c_str());
   const bool verify = args.Has("verify");
   if (args.Has("plan") && args.Has("no-plan")) {
     std::fprintf(stderr, "--plan and --no-plan are mutually exclusive\n");
@@ -439,22 +465,39 @@ int CmdServeBench(const Args& args) {
   }
 
   std::printf(
-      "serve-bench: %s | %lld requests/model, rate %s, batch-max %lld, "
+      "serve-bench: %s | %lld requests/model, rate %s (%s trace), "
+      "batch-max %lld, "
       "max-delay %.2f ms, %d worker(s) x %d thread(s), queue cap %lld, "
-      "pass: %s, precision: %s\n",
+      "pass: %s, precision: %s%s\n",
       dataset_name.c_str(), static_cast<long long>(requests),
       rate > 0 ? (tb::Table::Num(rate, 1) + "/s").c_str() : "unthrottled",
+      tb::serve::TraceKindName(trace),
       static_cast<long long>(server_options.batch.max_batch_size),
       server_options.batch.max_queue_delay_ms, server_options.workers,
       server_options.threads_per_worker,
       static_cast<long long>(server_options.queue_capacity),
       run_plan && run_eager ? "plan+autograd" : (run_plan ? "plan" : "autograd"),
-      tb::kernels::PrecisionName(precision));
+      tb::kernels::PrecisionName(precision),
+      admission ? ", admission ladder ON" : "");
 
   tb::serve::ModelRegistry registry;
-  tb::Table table({"Model", "precision", "ok", "shed", "p50 ms", "p95 ms",
-                   "p99 ms", "max ms", "windows/s", "auto w/s", "speedup",
-                   "mean batch", "queue depth"});
+  // Tier 2 of the degradation ladder answers from the registry's
+  // training-free fallback; make sure one is loaded when the ladder is on.
+  if (admission) {
+    tb::serve::ModelSpec fallback_spec;
+    fallback_spec.model_name = "HistoricalAverage";
+    fallback_spec.dataset_name = dataset_name;
+    fallback_spec.dataset = &*dataset;
+    fallback_spec.seed = seed;
+    tb::Status loaded = registry.Load(fallback_spec);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+  tb::Table table({"Model", "precision", "ok", "t0/t1/t2", "shed", "p50 ms",
+                   "p95 ms", "p99 ms", "max ms", "windows/s", "auto w/s",
+                   "speedup", "mean batch", "queue depth"});
   bool verify_failed = false;
   for (const std::string& name : model_names) {
     tb::serve::ModelSpec spec;
@@ -506,6 +549,12 @@ int CmdServeBench(const Args& args) {
       pass_options.use_plan = use_plan;
       tb::serve::Server server(&registry, pass_options);
       server.Start();
+      // Arrival schedule: precomputed, deterministic, shaped by --trace
+      // (uniform reproduces the old fixed-rate pacing bit for bit).
+      std::vector<double> arrivals;
+      if (rate > 0) {
+        arrivals = tb::serve::ArrivalTimes(trace, rate, requests, trace_seed);
+      }
       const auto t0 = std::chrono::steady_clock::now();
       std::vector<std::future<tb::serve::PredictResponse>> futures;
       std::vector<int64_t> sample_of;
@@ -515,7 +564,7 @@ int CmdServeBench(const Args& args) {
           std::this_thread::sleep_until(
               t0 + std::chrono::duration_cast<
                        std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(i / rate)));
+                       std::chrono::duration<double>(arrivals[i])));
         }
         const int64_t sample = splits.test_begin + (i % test_count);
         tb::serve::PredictRequest request;
@@ -533,7 +582,10 @@ int CmdServeBench(const Args& args) {
         tb::serve::PredictResponse response = futures[i].get();
         if (response.status.ok()) {
           ++stats.ok;
-          if (verify && to_verify.size() < 4) {
+          // Only tier-0 responses carry the full model's prediction; the
+          // bitwise spot check below is a statement about that path (and
+          // must hold even while the ladder degrades other requests).
+          if (verify && response.tier == 0 && to_verify.size() < 4) {
             to_verify.emplace_back(sample_of[i], response.prediction);
           }
         } else if (response.status.code() ==
@@ -606,6 +658,8 @@ int CmdServeBench(const Args& args) {
     const bool both = run_plan && run_eager;
     const tb::serve::LatencySummary& s = primary.summary;
     table.AddRow({name, served_tier, std::to_string(primary.ok),
+                  std::to_string(s.tier0) + "/" + std::to_string(s.tier1) +
+                      "/" + std::to_string(s.tier2),
                   std::to_string(primary.shed),
                   tb::Table::Num(s.request_p50 * 1e3, 3),
                   tb::Table::Num(s.request_p95 * 1e3, 3),
