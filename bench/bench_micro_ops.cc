@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "src/exec/execution_context.h"
+#include "src/graph/partition.h"
 #include "src/nn/layers.h"
 #include "src/tensor/kernels.h"
+#include "src/tensor/partitioned.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -120,6 +122,103 @@ BENCHMARK(BM_SpMM)
     ->Args({207, 100})
     ->Args({207, 250})   // density threshold boundary
     ->Args({325, 25});   // PeMS-BAY scale + density
+
+/// Random square CSR built directly in COO form — no N x N dense tensor is
+/// ever materialized, which is the whole point at 2k/4k nodes.
+sparse::CsrPtr RandomCooCsr(int64_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t target =
+      static_cast<int64_t>(density * static_cast<double>(n) *
+                           static_cast<double>(n));
+  std::vector<sparse::CooEntry> coo;
+  coo.reserve(target);
+  for (int64_t i = 0; i < target; ++i) {
+    coo.push_back({static_cast<int32_t>(rng.UniformInt(
+                       static_cast<uint64_t>(n))),
+                   static_cast<int32_t>(rng.UniformInt(
+                       static_cast<uint64_t>(n))),
+                   static_cast<float>(rng.Normal())});
+  }
+  return sparse::CsrMatrix::FromCoo(n, n, std::move(coo));
+}
+
+// City-scale SpMM: [n, n] CSR support at road-network densities against a
+// [n, 64] feature block. Args are {nodes, density permille}; the 325-row is
+// the per-node-cost baseline for the 2k/4k rows (BENCH_9 headline:
+// seconds / (nnz * 64) should stay flat as n grows). Monolithic dispatch.
+void BM_SpMMCity(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = 64;
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  sparse::CsrPtr csr = RandomCooCsr(n, density, 1);
+  Rng rng(2);
+  Tensor features = Tensor::Randn(Shape({n, f}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseMatMul(csr, features).data());
+  }
+  const double flops =
+      2.0 * static_cast<double>(csr->nnz()) * static_cast<double>(f);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr->nnz()) * f);
+  state.counters["nnz"] = static_cast<double>(csr->nnz());
+  state.counters["nodes"] = static_cast<double>(n);
+  SetFlopsCounter(state, flops);
+}
+BENCHMARK(BM_SpMMCity)
+    ->Args({325, 25})    // PeMS-BAY: the per-node-cost baseline
+    ->Args({2048, 15})   // ~1.5% density, avg degree ~31
+    ->Args({4096, 10});  // ~1.0% density, avg degree ~41
+
+// Same shapes through the partitioned path: {nodes, density permille,
+// parts}. Blocks gather their halo columns and run per-partition SpMM —
+// bit-identical to BM_SpMMCity's monolithic result (tests pin this).
+void BM_PartitionedSpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = 64;
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const int parts = static_cast<int>(state.range(2));
+  sparse::CsrPtr csr = RandomCooCsr(n, density, 1);
+  const graph::GraphPartition partition = graph::PartitionCsr(*csr, parts);
+  sparse::PartitionedCsrPtr partitioned =
+      sparse::PartitionedCsr::Build(csr, partition);
+  Rng rng(2);
+  Tensor features = Tensor::Randn(Shape({n, f}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseMatMul(partitioned, features).data());
+  }
+  const double flops =
+      2.0 * static_cast<double>(csr->nnz()) * static_cast<double>(f);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr->nnz()) * f);
+  state.counters["nnz"] = static_cast<double>(csr->nnz());
+  state.counters["nodes"] = static_cast<double>(n);
+  SetFlopsCounter(state, flops);
+}
+BENCHMARK(BM_PartitionedSpMM)
+    ->Args({2048, 15, 2})
+    ->Args({4096, 10, 4});
+
+// The "before" row for the 2k headline: what dispatching the same support
+// densely would cost ([n, n] MatMul against the same [n, 64] features).
+// BM_PartitionedSpMM/2048 must beat this by >= 2x (it does by far more —
+// dense does n/avg_degree times the work).
+void BM_DenseDispatchCity(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = 64;
+  Rng rng(1);
+  Tensor support = RandomSupport(n, 0.015, 1);
+  Tensor features = Tensor::Randn(Shape({n, f}), &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(support, features).data());
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  SetFlopsCounter(state, 2.0 * static_cast<double>(n) *
+                             static_cast<double>(n) * static_cast<double>(f));
+}
+BENCHMARK(BM_DenseDispatchCity)->Arg(2048);
 
 // Plan-tier weight GEMM at a serving shape (m activation rows against a
 // constant [64, 64] layer weight, GMAN/STGCN-like). The fp32 row packs its

@@ -37,12 +37,22 @@
 # per-tier response counts, the hard-drop count (must be 0 with the ladder
 # on) and the all-tier p99.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 8)
+# Since PR 9 the snapshot also records the partitioned-execution view
+# under the BM_SpMMCity / BM_PartitionedSpMM / BM_DenseDispatchCity rows:
+# city-scale CSR propagation at 2k/4k nodes (~1-3% density, built straight
+# from COO — no N x N dense tensor), the same shapes through the
+# edge-cut-partitioned halo-exchange path, and the dense-dispatch "before"
+# row at 2048 nodes. The fold prints the per-node-cost-vs-N headline
+# (ns per nonzero per feature column, flat-ness across 325 -> 2k -> 4k) and
+# the partitioned-vs-dense-dispatch speedup at 2k, and lands both under the
+# "partition_bench" key.
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 9)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-8}"
+PR="${1:-9}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
@@ -50,7 +60,7 @@ cmake -S "$ROOT" -B "$BUILD" \
 cmake --build "$BUILD" --target bench_micro_ops trafficbench_cli -j >/dev/null
 
 "$BUILD/bench/bench_micro_ops" \
-  --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpmmGraphConvMetrLa|BM_GemmPlan' \
+  --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpMMCity/|BM_PartitionedSpMM/|BM_DenseDispatchCity/|BM_SpmmGraphConvMetrLa|BM_GemmPlan' \
   --benchmark_out="$OUT" --benchmark_out_format=json
 
 # Annotate the context with the repo-side build type and print the headline
@@ -90,6 +100,48 @@ for tier in ("Bf16", "Int8"):
     if name in rows and "BM_GemmPlanFp32/1656" in rows:
         r = rows["BM_GemmPlanFp32/1656"]["real_time"] / rows[name]["real_time"]
         print(f"plan GEMM {tier.lower()} vs fp32 (m=1656,k=n=64): {r:.2f}x")
+
+# Partitioned execution (PR 9): per-node-cost-vs-N curve and the
+# partitioned-vs-dense-dispatch speedup at 2k nodes. "Per-node cost" is
+# normalized per unit of SpMM work — ns per nonzero per feature column —
+# so the 325-node baseline and the 2k/4k rows are directly comparable
+# even though average degree differs across the profiles.
+def unit_cost(name):
+    """ns per (nnz * feature column) of the monolithic/partitioned rows."""
+    b = rows.get(name)
+    if b is None:
+        return None
+    return b["real_time"] / (b["nnz"] * 64.0)
+
+partition_bench = {"unit_cost_ns_per_nnz_col": {}, "headlines": {}}
+base = unit_cost("BM_SpMMCity/325/25")
+print("per-node SpMM cost vs N (ns per nnz per feature column):")
+for name in ("BM_SpMMCity/325/25", "BM_SpMMCity/2048/15",
+             "BM_SpMMCity/4096/10", "BM_PartitionedSpMM/2048/15/2",
+             "BM_PartitionedSpMM/4096/10/4"):
+    c = unit_cost(name)
+    if c is None:
+        continue
+    partition_bench["unit_cost_ns_per_nnz_col"][name] = round(c, 4)
+    rel = f" ({c / base:.2f}x of 325-node baseline)" if base else ""
+    print(f"  {name}: {c:.3f}{rel}")
+if ("BM_PartitionedSpMM/2048/15/2" in rows
+        and "BM_DenseDispatchCity/2048" in rows):
+    speedup = (rows["BM_DenseDispatchCity/2048"]["real_time"]
+               / rows["BM_PartitionedSpMM/2048/15/2"]["real_time"])
+    partition_bench["headlines"]["partitioned_vs_dense_dispatch_2048"] = \
+        round(speedup, 2)
+    print(f"partitioned vs dense dispatch at 2048 nodes: {speedup:.1f}x "
+          f"(contract: >= 2x)")
+for big in ("BM_SpMMCity/2048/15", "BM_SpMMCity/4096/10"):
+    c = unit_cost(big)
+    if base and c:
+        partition_bench["headlines"][f"{big}_unit_cost_vs_325"] = \
+            round(c / base, 3)
+snap["partition_bench"] = partition_bench
+with open(path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
 EOF
 # Serve-bench replay: all eight models on METR-LA-S, micro-batching server,
 # bit-identity verified across served/plan/eager. The default mode runs a

@@ -23,27 +23,27 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec + pool + sparse + serve + plan + precision + ladder tests =="
+  echo "== tsan: exec + pool + sparse + serve + plan + precision + ladder + partition tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*'
 fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan/precision/ladder tests =="
+  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan/precision/ladder/partition tests =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*'
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*'
 fi
 
 if [[ "${FAULT:-0}" == "1" ]]; then
   echo "== fault: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== fault: guarded loop / checkpoint / resume / degrade-ladder suite =="
+  echo "== fault: guarded loop / checkpoint / resume / degrade-ladder / halo suite =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*:PrecisionFault.*:DegradeFault.*'
+    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*:PrecisionFault.*:DegradeFault.*:HaloFault.*'
 fi
 
 echo "OK"

@@ -104,11 +104,45 @@ std::vector<DatasetProfile> FlowProfiles() {
   return profiles;
 }
 
+std::vector<DatasetProfile> CityScaleProfiles() {
+  std::vector<DatasetProfile> profiles;
+  // SYNTH-2K: a regional freeway web at 2048 sensors — the smallest size
+  // where the partitioner engages by default (>= 1024-node threshold).
+  profiles.push_back({.name = "SYNTH-2K",
+                      .mirrors = "synthetic-city-2k",
+                      .kind = FeatureKind::kSpeed,
+                      .topology = graph::NetworkTopology::kMultiCorridor,
+                      .num_nodes = 2048,
+                      .num_days = 4,
+                      .weekdays_only = false,
+                      .incidents_per_day = 8.0,
+                      .rush_severity = 0.55,
+                      .noise_level = 1.5,
+                      .seed = 301});
+  // SYNTH-4K: an urban-core grid at 4096 sensors, the stress size for the
+  // per-node-cost headline in BENCH_9.
+  profiles.push_back({.name = "SYNTH-4K",
+                      .mirrors = "synthetic-city-4k",
+                      .kind = FeatureKind::kSpeed,
+                      .topology = graph::NetworkTopology::kGrid,
+                      .num_nodes = 4096,
+                      .num_days = 4,
+                      .weekdays_only = false,
+                      .incidents_per_day = 10.0,
+                      .rush_severity = 0.60,
+                      .noise_level = 1.8,
+                      .seed = 302});
+  return profiles;
+}
+
 Result<DatasetProfile> ProfileByName(const std::string& name) {
   for (const auto& p : SpeedProfiles()) {
     if (p.name == name) return p;
   }
   for (const auto& p : FlowProfiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : CityScaleProfiles()) {
     if (p.name == name) return p;
   }
   return Status::NotFound("no dataset profile named " + name);

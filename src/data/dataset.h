@@ -36,7 +36,13 @@ struct DatasetProfile {
 std::vector<DatasetProfile> SpeedProfiles();
 /// The four flow-prediction profiles (PeMSD3, PeMSD4, PeMSD7, PeMSD8).
 std::vector<DatasetProfile> FlowProfiles();
-/// Looks up any of the seven profiles by name.
+/// City-scale synthetic profiles (SYNTH-2K, SYNTH-4K) for the partitioned
+/// execution path: 2048-node multi-corridor and 4096-node grid networks,
+/// few days (these exercise scaling, not accuracy tables). Both sit above
+/// graph::kDenseAdjacencyNodeLimit, so models built on them take the
+/// sparse-adjacency + partitioned-SpMM route end to end.
+std::vector<DatasetProfile> CityScaleProfiles();
+/// Looks up any of the nine profiles by name.
 Result<DatasetProfile> ProfileByName(const std::string& name);
 
 /// Multiplies node and day counts by `scale` (min 8 nodes / 4 days) so the

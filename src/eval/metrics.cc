@@ -24,6 +24,14 @@ void MetricAccumulator::Add(const float* prediction, const float* target,
   }
 }
 
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  ape_sum_ += other.ape_sum_;
+  count_ += other.count_;
+  ape_count_ += other.ape_count_;
+}
+
 MetricValues MetricAccumulator::Finalize() const {
   MetricValues values;
   values.count = count_;

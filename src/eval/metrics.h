@@ -34,6 +34,11 @@ class MetricAccumulator {
   void Add(const float* prediction, const float* target, int64_t count,
            const uint8_t* include = nullptr);
 
+  /// Folds another accumulator's sums into this one. Merging per-shard
+  /// accumulators in ascending shard order is how the sharded evaluator
+  /// keeps its report a pure function of the shard results (DESIGN.md §15).
+  void Merge(const MetricAccumulator& other);
+
   MetricValues Finalize() const;
 
  private:

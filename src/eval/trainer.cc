@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "src/nn/serialize.h"
 #include "src/optim/optimizer.h"
@@ -307,6 +309,155 @@ TrainResult TrainModel(models::TrafficModel* model,
   return result;
 }
 
+TrainResult TrainModelSharded(
+    const std::vector<models::TrafficModel*>& replicas,
+    const data::TrafficDataset& dataset, const TrainConfig& config,
+    exec::ShardGroup& shards) {
+  const int num_shards = shards.shards();
+  TB_CHECK_EQ(static_cast<int>(replicas.size()), num_shards);
+  TrainResult result;
+  Stopwatch total_watch;
+
+  // Cache the parameter lists once; Parameters() rebuilds the vector but
+  // the tensors alias the module parameters, so grads written through these
+  // handles are the grads the optimizers step on.
+  std::vector<std::vector<Tensor>> params(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    TB_CHECK(replicas[s] != nullptr);
+    TB_CHECK(replicas[s]->IsTrainable())
+        << replicas[s]->name() << " is not trainable; sharded training only "
+        << "covers gradient-descent models";
+    params[s] = replicas[s]->Parameters();
+    TB_CHECK_EQ(params[s].size(), params[0].size());
+    for (size_t i = 0; i < params[s].size(); ++i) {
+      TB_CHECK_EQ(params[s][i].numel(), params[0][i].numel())
+          << "replica " << s << " disagrees on parameter " << i
+          << ": replicas must be built from the same ModelContext and seed";
+    }
+  }
+  const size_t num_params = params[0].size();
+
+  const data::DatasetSplits splits = dataset.Splits();
+  Rng shuffle_rng(config.seed);
+
+  // One Adam per shard, stepping its own replica. Identical reduced
+  // gradients keep all replicas (and their optimizer moments) in bitwise
+  // lockstep, so no parameter broadcast is needed after the initial clone.
+  optim::AdamOptions adam_options;
+  adam_options.learning_rate = config.learning_rate;
+  std::vector<std::unique_ptr<optim::Adam>> optimizers;
+  std::vector<std::unique_ptr<optim::StepLrSchedule>> schedules;
+  optimizers.reserve(num_shards);
+  schedules.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    optimizers.push_back(
+        std::make_unique<optim::Adam>(params[s], adam_options));
+    schedules.push_back(std::make_unique<optim::StepLrSchedule>(
+        optimizers[s].get(),
+        config.lr_decay_every > 0 ? config.lr_decay_every : 1000000,
+        config.lr_decay));
+  }
+
+  for (models::TrafficModel* replica : replicas) replica->SetTraining(true);
+
+  std::vector<double> micro_loss(num_shards);
+  std::vector<int64_t> micro_count(num_shards);
+  int64_t max_param = 0;
+  for (const Tensor& p : params[0]) {
+    max_param = std::max(max_param, p.numel());
+  }
+  std::vector<float> reduced(max_param);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<int64_t> order = data::TrafficDataset::MakeIndices(
+        splits.train_begin, splits.train_end, &shuffle_rng);
+    int64_t num_batches =
+        (static_cast<int64_t>(order.size()) + config.batch_size - 1) /
+        config.batch_size;
+    if (config.max_batches_per_epoch > 0) {
+      num_batches = std::min(num_batches, config.max_batches_per_epoch);
+    }
+    result.batches_per_epoch = num_batches;
+
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < num_batches; ++b) {
+      const int64_t begin = b * config.batch_size;
+      const int64_t end = std::min<int64_t>(
+          begin + config.batch_size, static_cast<int64_t>(order.size()));
+      const int64_t count = end - begin;
+
+      // Forward/backward the contiguous micro-batches in parallel, one per
+      // shard, each on its own ExecutionContext and buffer pool.
+      shards.Run([&](int s) {
+        const auto [mb, me] = shards.Range(s, count);
+        micro_count[s] = me - mb;
+        micro_loss[s] = 0.0;
+        optimizers[s]->ZeroGrad();
+        if (mb >= me) return;
+        std::vector<int64_t> indices(order.begin() + begin + mb,
+                                     order.begin() + begin + me);
+        data::Batch batch = dataset.MakeBatch(indices);
+        Tensor teacher = NormalizeTargets(batch.y, dataset.scaler());
+        Tensor prediction = replicas[s]->Forward(batch.x, teacher);
+        Tensor loss = MaskedMaeLoss(
+            dataset.scaler().Denormalize(prediction), batch.y);
+        loss.Backward();
+        micro_loss[s] = loss.Item();
+      });
+
+      // Fixed-order weighted all-reduce on the caller's thread: shard s
+      // contributes with weight micro_count / batch_count, accumulated in
+      // ascending shard order, and the identical reduced bits are written
+      // into every replica's gradients.
+      std::vector<float> scales(num_shards);
+      double batch_loss = 0.0;
+      for (int s = 0; s < num_shards; ++s) {
+        scales[s] = static_cast<float>(
+            static_cast<double>(micro_count[s]) / static_cast<double>(count));
+        batch_loss += (static_cast<double>(micro_count[s]) /
+                       static_cast<double>(count)) *
+                      micro_loss[s];
+      }
+      for (size_t i = 0; i < num_params; ++i) {
+        const int64_t numel = params[0][i].numel();
+        std::vector<const float*> grads(num_shards, nullptr);
+        for (int s = 0; s < num_shards; ++s) {
+          const std::vector<float>& g = params[s][i].impl()->grad;
+          if (!g.empty()) grads[s] = g.data();
+        }
+        exec::ReduceShardBuffers(grads, scales, numel, reduced.data());
+        for (int s = 0; s < num_shards; ++s) {
+          params[s][i].impl()->grad.assign(reduced.begin(),
+                                           reduced.begin() + numel);
+        }
+      }
+
+      // Each shard clips and steps on the same gradient bits -> identical
+      // clip norms, identical updates, replicas stay in lockstep.
+      shards.Run([&](int s) {
+        optimizers[s]->ClipGradNorm(config.grad_clip);
+        optimizers[s]->Step();
+      });
+      loss_sum += batch_loss;
+    }
+    const double epoch_loss =
+        loss_sum / std::max<int64_t>(1, num_batches);
+    result.epoch_losses.push_back(epoch_loss);
+    for (int s = 0; s < num_shards; ++s) schedules[s]->EpochEnd();
+    if (config.verbose) {
+      std::fprintf(stderr,
+                   "  [%s x%d shards] epoch %d/%d: train masked-MAE %.4f\n",
+                   replicas[0]->name().c_str(), num_shards, epoch + 1,
+                   config.epochs, epoch_loss);
+    }
+  }
+
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.seconds_per_epoch =
+      result.total_seconds / std::max(1, config.epochs);
+  return result;
+}
+
 namespace {
 
 /// Difficult-interval include mask for one batch, aligned to y layout
@@ -331,19 +482,22 @@ std::vector<uint8_t> BatchIncludeMask(
   return include;
 }
 
-}  // namespace
-
-HorizonReport EvaluateModel(models::TrafficModel* model,
-                            const data::TrafficDataset& dataset,
-                            int64_t begin, int64_t end,
-                            const EvalOptions& options) {
-  TB_CHECK(model != nullptr);
-  TB_CHECK_LT(begin, end);
-  model->SetTraining(false);
-  NoGradGuard no_grad;
-  exec::ExecutionContext::Bind bind_exec(options.exec);
-
+/// Per-range evaluation state: the four paper accumulators plus the time
+/// spent inside Forward. Mergeable across shards in ascending order.
+struct EvalAccumulators {
   MetricAccumulator acc15, acc30, acc60, acc_all;
+  double inference_seconds = 0.0;
+};
+
+/// Shared core of the serial and sharded evaluators: scores samples
+/// [begin, end) on whatever execution context is currently bound and folds
+/// the masked errors into `out`. Thread-compatible — concurrent calls must
+/// use distinct `out` (the eval fault-injection check is the one shared
+/// touch point and is serialized below).
+void AccumulateEval(models::TrafficModel* model,
+                    const data::TrafficDataset& dataset, int64_t begin,
+                    int64_t end, const EvalOptions& options,
+                    EvalAccumulators* out) {
   const int64_t n = dataset.num_nodes();
   const int64_t t_out = dataset.output_len();
   // 15/30/60 minutes on the 5-minute grid; clamp for shorter horizons.
@@ -351,9 +505,7 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
   const int64_t step30 = std::min<int64_t>(5, t_out - 1);
   const int64_t step60 = std::min<int64_t>(11, t_out - 1);
 
-  HorizonReport report;
   Stopwatch inference_watch;
-  double inference_seconds = 0.0;
 
   for (int64_t base = begin; base < end; base += options.batch_size) {
     const int64_t stop = std::min(end, base + options.batch_size);
@@ -363,15 +515,23 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
 
     inference_watch.Reset();
     Tensor prediction = model->Forward(batch.x, Tensor());
-    inference_seconds += inference_watch.ElapsedSeconds();
+    out->inference_seconds += inference_watch.ElapsedSeconds();
 
     // Denormalize on raw floats.
     std::vector<float> pred = prediction.ToVector();
-    if (FaultInjector::Global().Should(FaultSite::kEvalPredNan)) {
+    bool poison = false;
+    {
+      // The injector is not thread-safe; the sharded evaluator's workers
+      // all pass through here (see the note in src/util/fault.h).
+      static std::mutex fault_mutex;
+      std::lock_guard<std::mutex> lock(fault_mutex);
+      poison = FaultInjector::Global().Should(FaultSite::kEvalPredNan);
+    }
+    if (poison) {
       // Poison a handful of predictions; the masked metrics must skip
       // them rather than let one bad batch turn Table II into NaN.
-      const size_t poison = std::min<size_t>(pred.size(), 7);
-      for (size_t i = 0; i < poison; ++i) {
+      const size_t count = std::min<size_t>(pred.size(), 7);
+      for (size_t i = 0; i < count; ++i) {
         pred[i] = std::numeric_limits<float>::quiet_NaN();
       }
     }
@@ -388,24 +548,79 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
     const int64_t b_count = static_cast<int64_t>(indices.size());
     for (int64_t b = 0; b < b_count; ++b) {
       auto row = [&](int64_t t) { return (b * t_out + t) * n; };
-      acc15.Add(pred.data() + row(step15), target.data() + row(step15), n,
-                include_ptr ? include_ptr + row(step15) : nullptr);
-      acc30.Add(pred.data() + row(step30), target.data() + row(step30), n,
-                include_ptr ? include_ptr + row(step30) : nullptr);
-      acc60.Add(pred.data() + row(step60), target.data() + row(step60), n,
-                include_ptr ? include_ptr + row(step60) : nullptr);
-      acc_all.Add(pred.data() + row(0), target.data() + row(0), t_out * n,
-                  include_ptr ? include_ptr + row(0) : nullptr);
+      out->acc15.Add(pred.data() + row(step15), target.data() + row(step15),
+                     n, include_ptr ? include_ptr + row(step15) : nullptr);
+      out->acc30.Add(pred.data() + row(step30), target.data() + row(step30),
+                     n, include_ptr ? include_ptr + row(step30) : nullptr);
+      out->acc60.Add(pred.data() + row(step60), target.data() + row(step60),
+                     n, include_ptr ? include_ptr + row(step60) : nullptr);
+      out->acc_all.Add(pred.data() + row(0), target.data() + row(0),
+                       t_out * n, include_ptr ? include_ptr + row(0) : nullptr);
     }
   }
+}
 
-  report.horizon15 = acc15.Finalize();
-  report.horizon30 = acc30.Finalize();
-  report.horizon60 = acc60.Finalize();
-  report.average = acc_all.Finalize();
-  report.inference_seconds = inference_seconds;
-  report.windows = end - begin;
+HorizonReport FinalizeReport(const EvalAccumulators& acc, int64_t windows) {
+  HorizonReport report;
+  report.horizon15 = acc.acc15.Finalize();
+  report.horizon30 = acc.acc30.Finalize();
+  report.horizon60 = acc.acc60.Finalize();
+  report.average = acc.acc_all.Finalize();
+  report.inference_seconds = acc.inference_seconds;
+  report.windows = windows;
   return report;
+}
+
+}  // namespace
+
+HorizonReport EvaluateModel(models::TrafficModel* model,
+                            const data::TrafficDataset& dataset,
+                            int64_t begin, int64_t end,
+                            const EvalOptions& options) {
+  TB_CHECK(model != nullptr);
+  TB_CHECK_LT(begin, end);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  exec::ExecutionContext::Bind bind_exec(options.exec);
+
+  EvalAccumulators acc;
+  AccumulateEval(model, dataset, begin, end, options, &acc);
+  return FinalizeReport(acc, end - begin);
+}
+
+HorizonReport EvaluateModelSharded(
+    const std::vector<models::TrafficModel*>& replicas,
+    const data::TrafficDataset& dataset, int64_t begin, int64_t end,
+    exec::ShardGroup& shards, const EvalOptions& options) {
+  TB_CHECK_EQ(static_cast<int>(replicas.size()), shards.shards());
+  TB_CHECK_LT(begin, end);
+  for (models::TrafficModel* replica : replicas) {
+    TB_CHECK(replica != nullptr);
+    replica->SetTraining(false);
+  }
+
+  std::vector<EvalAccumulators> accs(replicas.size());
+  shards.Run([&](int s) {
+    // Grad mode is thread-local: each shard thread needs its own guard.
+    NoGradGuard no_grad;
+    const auto [rb, re] =
+        shards.Range(s, end - begin, options.batch_size);
+    if (rb >= re) return;
+    AccumulateEval(replicas[s], dataset, begin + rb, begin + re, options,
+                   &accs[s]);
+  });
+
+  // Ascending-shard-order merge: the report is a pure function of the shard
+  // results, independent of thread scheduling.
+  EvalAccumulators total;
+  for (EvalAccumulators& acc : accs) {
+    total.acc15.Merge(acc.acc15);
+    total.acc30.Merge(acc.acc30);
+    total.acc60.Merge(acc.acc60);
+    total.acc_all.Merge(acc.acc_all);
+    total.inference_seconds += acc.inference_seconds;
+  }
+  return FinalizeReport(total, end - begin);
 }
 
 std::vector<double> HorizonCurve(models::TrafficModel* model,

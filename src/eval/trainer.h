@@ -8,6 +8,7 @@
 #include "src/data/dataset.h"
 #include "src/eval/metrics.h"
 #include "src/exec/execution_context.h"
+#include "src/exec/shard.h"
 #include "src/models/traffic_model.h"
 #include "src/util/status.h"
 
@@ -93,6 +94,30 @@ TrainResult TrainModel(models::TrafficModel* model,
                        const data::TrafficDataset& dataset,
                        const TrainConfig& config);
 
+/// Data-parallel training across a ShardGroup for the 2k/4k-node profiles.
+/// `replicas` holds one identically-constructed model per shard (same
+/// ModelContext, same seed — so identical initial parameter bits). Each
+/// global batch is split into contiguous micro-batches (ShardGroup::Range);
+/// shards forward/backward in parallel on their own ExecutionContext +
+/// BufferPool, then gradients are combined with a fixed-order weighted
+/// all-reduce (ReduceShardBuffers, ascending shard order, weights
+/// micro_count / batch_count) and written into EVERY replica. Each shard
+/// then clips and steps its own Adam on identical gradient bits, keeping
+/// all replicas bitwise in lockstep — no parameter broadcast is ever
+/// needed, and the result is identical whether the shards ran serially or
+/// on threads (DESIGN.md §15).
+///
+/// Honors epochs / batch_size / learning_rate / grad_clip /
+/// max_batches_per_epoch / lr_decay* / seed / verbose from `config`. The
+/// guarded-loop, checkpoint/resume and validation-selection fields are
+/// IGNORED here: the sharded path targets throughput experiments; wrap it
+/// with TrainModel on a single shard when those are needed. `config.exec`
+/// is also ignored (each shard binds its own context).
+TrainResult TrainModelSharded(const std::vector<models::TrafficModel*>& replicas,
+                              const data::TrafficDataset& dataset,
+                              const TrainConfig& config,
+                              exec::ShardGroup& shards);
+
 /// Evaluation options.
 struct EvalOptions {
   int64_t batch_size = 32;
@@ -124,6 +149,22 @@ HorizonReport EvaluateModel(models::TrafficModel* model,
                             const data::TrafficDataset& dataset,
                             int64_t begin, int64_t end,
                             const EvalOptions& options = {});
+
+/// Sharded evaluation: splits [begin, end) into batch-aligned contiguous
+/// ranges (ShardGroup::Range with align = options.batch_size), scores each
+/// range on its shard's replica in parallel, and merges the per-shard
+/// metric accumulators in ascending shard order. Because the ranges are
+/// batch-aligned, every shard sees exactly the batches the serial evaluator
+/// would have built, so the merged sums match the unsharded report up to
+/// the reordering of double-precision additions across shard boundaries.
+/// `options.exec` is ignored (each shard binds its own context);
+/// inference_seconds is the SUM of per-shard inference time (device-seconds,
+/// not wall clock). `replicas` must hold one model per shard with identical
+/// parameters.
+HorizonReport EvaluateModelSharded(
+    const std::vector<models::TrafficModel*>& replicas,
+    const data::TrafficDataset& dataset, int64_t begin, int64_t end,
+    exec::ShardGroup& shards, const EvalOptions& options = {});
 
 /// Masked MAE at every horizon step 1..T_out over samples [begin, end) —
 /// the full error-accumulation curve (the per-horizon slices of the

@@ -1,0 +1,90 @@
+#include "src/exec/shard.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace trafficbench::exec {
+
+ShardGroup::ShardGroup(const ShardOptions& options) : options_(options) {
+  TB_CHECK_GE(options_.shards, 1);
+  TB_CHECK_GE(options_.threads_per_shard, 1);
+  contexts_.reserve(options_.shards);
+  for (int s = 0; s < options_.shards; ++s) {
+    ExecOptions exec;
+    exec.threads = options_.threads_per_shard;
+    exec.profile = options_.profile;
+    contexts_.push_back(std::make_unique<ExecutionContext>(exec));
+  }
+}
+
+void ShardGroup::Run(const std::function<void(int shard)>& fn) {
+  const int n = options_.shards;
+  if (!options_.parallel || n == 1) {
+    for (int s = 0; s < n; ++s) {
+      ExecutionContext::Bind bind(contexts_[s].get());
+      fn(s);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    threads.emplace_back([this, s, &fn, &errors] {
+      ExecutionContext::Bind bind(contexts_[s].get());
+      try {
+        fn(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Rethrow by ascending shard index so the surfaced error is deterministic
+  // even when several shards failed.
+  for (int s = 0; s < n; ++s) {
+    if (errors[s]) std::rethrow_exception(errors[s]);
+  }
+}
+
+std::pair<int64_t, int64_t> ShardGroup::Range(int shard, int64_t total,
+                                              int64_t align) const {
+  TB_CHECK(shard >= 0 && shard < options_.shards);
+  TB_CHECK_GE(align, 1);
+  const int64_t shards = options_.shards;
+  int64_t per = (total + shards - 1) / shards;
+  per = (per + align - 1) / align * align;  // round the stride up to align
+  const int64_t begin = std::min<int64_t>(total, shard * per);
+  const int64_t end = std::min<int64_t>(total, begin + per);
+  return {begin, end};
+}
+
+void ReduceShardBuffers(const std::vector<const float*>& buffers, int64_t n,
+                        float scale, float* dst) {
+  TB_CHECK(!buffers.empty());
+  for (int64_t i = 0; i < n; ++i) dst[i] = 0.0f;
+  for (const float* buffer : buffers) {
+    TB_CHECK(buffer != nullptr);
+    for (int64_t i = 0; i < n; ++i) dst[i] += scale * buffer[i];
+  }
+}
+
+void ReduceShardBuffers(const std::vector<const float*>& buffers,
+                        const std::vector<float>& scales, int64_t n,
+                        float* dst) {
+  TB_CHECK(!buffers.empty());
+  TB_CHECK_EQ(buffers.size(), scales.size());
+  for (int64_t i = 0; i < n; ++i) dst[i] = 0.0f;
+  for (size_t s = 0; s < buffers.size(); ++s) {
+    const float* buffer = buffers[s];
+    if (buffer == nullptr) continue;  // empty micro-batch: all-zero gradient
+    const float scale = scales[s];
+    for (int64_t i = 0; i < n; ++i) dst[i] += scale * buffer[i];
+  }
+}
+
+}  // namespace trafficbench::exec

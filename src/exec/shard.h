@@ -1,0 +1,86 @@
+#ifndef TRAFFICBENCH_EXEC_SHARD_H_
+#define TRAFFICBENCH_EXEC_SHARD_H_
+
+// Sharded execution: a fixed group of ExecutionContexts, one per shard,
+// each with its own thread pool and buffer pool. The sharded trainer and
+// evaluator (src/eval/trainer.h) run one model replica per shard —
+// micro-batches in parallel, gradients reduced in a fixed order — to scale
+// the 2k/4k-node profiles across cores without touching the kernels'
+// single-context determinism story (see DESIGN.md §15).
+//
+// Determinism contract: Run() executes fn(shard) for every shard, each
+// bound to its own context; shards share NO mutable state except what the
+// caller hands them (disjoint output slots, by construction). The
+// reduction helper below combines per-shard buffers strictly in ascending
+// shard order, so the reduced floats are a pure function of the shard
+// results — identical whether Run() executed serially or on threads.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/exec/execution_context.h"
+
+namespace trafficbench::exec {
+
+struct ShardOptions {
+  /// Number of shards (model replicas / eval ranges).
+  int shards = 1;
+  /// Worker threads inside each shard's ExecutionContext.
+  int threads_per_shard = 1;
+  /// When false, Run() executes the shards sequentially on the calling
+  /// thread (same bits, easier debugging; also the TSan-friendly mode).
+  bool parallel = true;
+  /// Forwarded to each shard's ExecOptions.
+  bool profile = false;
+};
+
+/// A fixed team of per-shard ExecutionContexts.
+class ShardGroup {
+ public:
+  explicit ShardGroup(const ShardOptions& options);
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shards() const { return options_.shards; }
+  const ShardOptions& options() const { return options_; }
+  ExecutionContext& context(int shard) { return *contexts_[shard]; }
+
+  /// Runs fn(shard) for every shard in [0, shards), each bound (Bind) to
+  /// its shard's context — on std::threads when `parallel`, else serially
+  /// in ascending shard order. Blocks until all shards finish; the first
+  /// exception (by shard index) is rethrown on the caller.
+  void Run(const std::function<void(int shard)>& fn);
+
+  /// Splits [0, total) into shards() contiguous ranges: shard s gets
+  /// [s * ceil(total / shards), ...) clamped to total — the same balance
+  /// rule as graph partitioning, and a pure function of (total, shards).
+  /// When `align` > 1, the boundary is rounded up to a multiple of `align`
+  /// (batch-aligned eval ranges). Returns {begin, end} of one shard.
+  std::pair<int64_t, int64_t> Range(int shard, int64_t total,
+                                    int64_t align = 1) const;
+
+ private:
+  ShardOptions options_;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+};
+
+/// Fixed-order reduction: dst[i] = sum_s scale * buffers[s][i], accumulated
+/// in ascending shard order — the deterministic gradient all-reduce of the
+/// sharded trainer. All buffers must have length `n`.
+void ReduceShardBuffers(const std::vector<const float*>& buffers, int64_t n,
+                        float scale, float* dst);
+
+/// Per-shard-weighted variant: dst[i] = sum_s scales[s] * buffers[s][i],
+/// still accumulated in ascending shard order. A null buffer contributes
+/// zeros (a shard whose micro-batch was empty, or whose parameter never
+/// received a gradient). `scales.size()` must equal `buffers.size()`.
+void ReduceShardBuffers(const std::vector<const float*>& buffers,
+                        const std::vector<float>& scales, int64_t n,
+                        float* dst);
+
+}  // namespace trafficbench::exec
+
+#endif  // TRAFFICBENCH_EXEC_SHARD_H_

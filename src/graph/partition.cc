@@ -1,0 +1,123 @@
+#include "src/graph/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/graph/road_network.h"
+#include "src/util/check.h"
+
+namespace trafficbench::graph {
+
+namespace {
+
+/// Greedy BFS growth over an adjacency-list view. `neighbors(v)` must
+/// return ids in ascending order (both callers below guarantee it).
+template <typename NeighborFn>
+GraphPartition GrowPartitions(int64_t num_nodes, int num_parts,
+                              const NeighborFn& neighbors) {
+  TB_CHECK_GE(num_nodes, 0);
+  TB_CHECK_GE(num_parts, 1);
+  GraphPartition partition;
+  partition.num_nodes = num_nodes;
+  partition.num_parts = num_parts;
+  partition.owner.assign(num_nodes, -1);
+  partition.nodes.assign(num_parts, {});
+  if (num_nodes == 0) return partition;
+
+  const int64_t target = partition.BalanceBound();
+  int64_t next_seed = 0;  // lowest unassigned id is always >= this cursor
+  for (int p = 0; p < num_parts; ++p) {
+    std::vector<int32_t>& members = partition.nodes[p];
+    std::deque<int32_t> frontier;
+    while (static_cast<int64_t>(members.size()) < target) {
+      if (frontier.empty()) {
+        while (next_seed < num_nodes && partition.owner[next_seed] >= 0) {
+          ++next_seed;
+        }
+        if (next_seed >= num_nodes) break;  // everything assigned
+        frontier.push_back(static_cast<int32_t>(next_seed));
+        partition.owner[next_seed] = p;
+        members.push_back(static_cast<int32_t>(next_seed));
+        continue;  // the seed itself counted toward the target
+      }
+      const int32_t v = frontier.front();
+      frontier.pop_front();
+      for (int32_t u : neighbors(v)) {
+        if (static_cast<int64_t>(members.size()) >= target) break;
+        if (partition.owner[u] >= 0) continue;
+        partition.owner[u] = p;
+        members.push_back(u);
+        frontier.push_back(u);
+      }
+    }
+    // BFS discovery order is not ascending; the contract is.
+    std::sort(members.begin(), members.end());
+  }
+  return partition;
+}
+
+}  // namespace
+
+GraphPartition PartitionCsr(const sparse::CsrMatrix& support, int num_parts) {
+  TB_CHECK_EQ(support.rows(), support.cols())
+      << "partitioning needs a square support";
+  const int64_t n = support.rows();
+  // Merged (forward ∪ transpose) neighbour lists, ascending and deduped.
+  // Built once so the BFS does no per-visit merging.
+  std::vector<std::vector<int32_t>> adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int32_t>& out = adj[i];
+    const auto& rp = support.row_ptr();
+    const auto& trp = support.t_row_ptr();
+    out.reserve((rp[i + 1] - rp[i]) + (trp[i + 1] - trp[i]));
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      out.push_back(support.col_idx()[k]);
+    }
+    for (int64_t k = trp[i]; k < trp[i + 1]; ++k) {
+      out.push_back(support.t_col_idx()[k]);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return GrowPartitions(n, num_parts,
+                        [&adj](int32_t v) -> const std::vector<int32_t>& {
+                          return adj[v];
+                        });
+}
+
+GraphPartition PartitionRoadNetwork(const RoadNetwork& network,
+                                    int num_parts) {
+  const int64_t n = network.num_nodes();
+  std::vector<std::vector<int32_t>> adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int32_t>& out = adj[i];
+    for (int64_t j : network.OutNeighbors(i)) {
+      out.push_back(static_cast<int32_t>(j));
+    }
+    for (int64_t j : network.InNeighbors(i)) {
+      out.push_back(static_cast<int32_t>(j));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return GrowPartitions(n, num_parts,
+                        [&adj](int32_t v) -> const std::vector<int32_t>& {
+                          return adj[v];
+                        });
+}
+
+int64_t EdgeCut(const sparse::CsrMatrix& support,
+                const GraphPartition& partition) {
+  TB_CHECK_EQ(support.rows(), partition.num_nodes);
+  TB_CHECK_EQ(support.cols(), partition.num_nodes);
+  int64_t cut = 0;
+  for (int64_t i = 0; i < support.rows(); ++i) {
+    const int32_t owner = partition.owner[i];
+    for (int64_t k = support.row_ptr()[i]; k < support.row_ptr()[i + 1]; ++k) {
+      cut += partition.owner[support.col_idx()[k]] != owner;
+    }
+  }
+  return cut;
+}
+
+}  // namespace trafficbench::graph

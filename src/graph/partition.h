@@ -1,0 +1,65 @@
+#ifndef TRAFFICBENCH_GRAPH_PARTITION_H_
+#define TRAFFICBENCH_GRAPH_PARTITION_H_
+
+// Deterministic edge-cut graph partitioning.
+//
+// City-scale support matrices (thousands of nodes) make monolithic N x N
+// propagation the dominant cost of every graph model. The partitioner below
+// splits the node set into K balanced parts by greedy BFS growth so that
+// per-partition SpMM blocks stay cache-resident and only the cut-crossing
+// ("halo") columns have to be exchanged between propagation hops — see
+// src/tensor/partitioned.h for the execution side and DESIGN.md §15 for the
+// determinism contract.
+//
+// The algorithm is a pure function of the adjacency structure and K:
+// partitions are grown one at a time from the lowest-id unassigned seed,
+// expanding a FIFO frontier whose neighbours are visited in ascending node
+// id, until the part reaches its balance target ceil(N / K). Disconnected
+// remainders re-seed from the lowest unassigned id, so every node lands in
+// exactly one part regardless of connectivity. No randomness, no thread
+// interaction: two runs (at any thread count) produce identical parts.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/sparse.h"
+
+namespace trafficbench::graph {
+
+class RoadNetwork;
+
+/// A K-way node partition. Balance bound: every part holds at most
+/// ceil(num_nodes / num_parts) nodes (the greedy target), and every node
+/// belongs to exactly one part.
+struct GraphPartition {
+  int64_t num_nodes = 0;
+  int num_parts = 1;
+  /// owner[v] = part index of node v.
+  std::vector<int32_t> owner;
+  /// nodes[p] = node ids of part p, strictly ascending.
+  std::vector<std::vector<int32_t>> nodes;
+
+  /// ceil(num_nodes / num_parts) — the balance bound of every part.
+  int64_t BalanceBound() const {
+    return num_parts > 0 ? (num_nodes + num_parts - 1) / num_parts : 0;
+  }
+};
+
+/// Partitions the sparsity pattern of a square CSR support. Neighbourhood
+/// growth follows the *union* of the forward and transpose patterns
+/// (undirected reachability), so strongly-coupled row/column pairs land in
+/// the same part whichever direction the edge points.
+GraphPartition PartitionCsr(const sparse::CsrMatrix& support, int num_parts);
+
+/// Partitions a road network over its directed segments (same growth rule,
+/// union of in- and out-neighbours).
+GraphPartition PartitionRoadNetwork(const RoadNetwork& network, int num_parts);
+
+/// Number of support entries A[i][j] != 0 whose endpoints live in different
+/// parts — the edge-cut objective the greedy BFS keeps low.
+int64_t EdgeCut(const sparse::CsrMatrix& support,
+                const GraphPartition& partition);
+
+}  // namespace trafficbench::graph
+
+#endif  // TRAFFICBENCH_GRAPH_PARTITION_H_

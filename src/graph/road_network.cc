@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -187,6 +188,90 @@ Tensor RoadNetwork::GaussianAdjacency(double threshold) const {
   return Tensor::FromVector(Shape({n, n}), std::move(w));
 }
 
+sparse::CsrPtr RoadNetwork::SparseGaussianAdjacency(double threshold,
+                                                    int max_hops) const {
+  TB_CHECK_GE(max_hops, 1);
+  const int64_t n = num_nodes();
+  // Weighted out-adjacency straight from the segments.
+  std::vector<std::vector<std::pair<int32_t, double>>> out_w(n);
+  for (const RoadSegment& seg : segments_) {
+    out_w[seg.from].push_back({static_cast<int32_t>(seg.to),
+                               seg.distance_miles});
+  }
+
+  // Hop-bounded Bellman–Ford per source: round h relaxes one segment from
+  // the distances frozen at round h-1, so a reached node's distance is the
+  // shortest path of at most max_hops segments. dist/touched are reused
+  // across sources (reset via the touched list), keeping the whole build
+  // O(N * degree^max_hops).
+  std::vector<double> dist(n, kInf);
+  std::vector<char> in_frontier(n, 0);
+  struct Reach {
+    int32_t from;
+    int32_t to;
+    double d;
+  };
+  std::vector<Reach> reaches;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int64_t> touched{i};
+    dist[i] = 0.0;
+    std::vector<int64_t> frontier{i};
+    std::vector<std::pair<int64_t, double>> frozen;
+    for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
+      frozen.clear();
+      for (int64_t v : frontier) {
+        frozen.push_back({v, dist[v]});
+        in_frontier[v] = 0;
+      }
+      frontier.clear();
+      for (const auto& [v, dv] : frozen) {
+        for (const auto& [u, wt] : out_w[v]) {
+          const double nd = dv + wt;
+          if (nd < dist[u]) {
+            if (dist[u] == kInf) touched.push_back(u);
+            dist[u] = nd;
+            if (!in_frontier[u]) {
+              in_frontier[u] = 1;
+              frontier.push_back(u);
+            }
+          }
+        }
+      }
+    }
+    for (int64_t v : frontier) in_frontier[v] = 0;
+    for (int64_t j : touched) {
+      reaches.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j),
+                         dist[j]});
+      dist[j] = kInf;
+    }
+  }
+
+  // Same sigma recipe as the dense builder, over the reachable pairs.
+  double sum = 0.0, sq = 0.0;
+  int64_t count = 0;
+  for (const Reach& r : reaches) {
+    if (r.d > 0.0) {
+      sum += r.d;
+      sq += r.d * r.d;
+      ++count;
+    }
+  }
+  TB_CHECK_GT(count, 0) << "network has no segments";
+  const double mean = sum / count;
+  const double sigma = std::sqrt(std::max(1e-12, sq / count - mean * mean));
+  const double denom = std::max(sigma * sigma, 1e-6);
+
+  std::vector<sparse::CooEntry> coo;
+  coo.reserve(reaches.size());
+  for (const Reach& r : reaches) {
+    const double value = std::exp(-r.d * r.d / denom);
+    if (value >= threshold) {
+      coo.push_back({r.from, r.to, static_cast<float>(value)});
+    }
+  }
+  return sparse::CsrMatrix::FromCoo(n, n, std::move(coo));
+}
+
 Tensor RoadNetwork::BinaryAdjacency() const {
   const int64_t n = num_nodes();
   std::vector<float> w(n * n, 0.0f);
@@ -238,6 +323,50 @@ Tensor RandomWalkTransition(const Tensor& adjacency) {
 
 Tensor ReverseRandomWalkTransition(const Tensor& adjacency) {
   return RandomWalkTransition(adjacency.Transpose(0, 1).Detach());
+}
+
+sparse::CsrPtr RandomWalkTransitionCsr(const sparse::CsrPtr& adjacency) {
+  TB_CHECK(adjacency != nullptr);
+  const int64_t n = adjacency->rows();
+  TB_CHECK_EQ(adjacency->cols(), n);
+  std::vector<sparse::CooEntry> coo;
+  coo.reserve(adjacency->nnz());
+  const std::vector<int64_t>& rp = adjacency->row_ptr();
+  const std::vector<int32_t>& ci = adjacency->col_idx();
+  const std::vector<float>& v = adjacency->values();
+  for (int64_t i = 0; i < n; ++i) {
+    // Summing only the stored nonzeros in ascending column order matches
+    // the dense builder's full-row sum bit for bit (adding zeros is exact).
+    float degree = 0.0f;
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) degree += v[k];
+    if (degree <= 0.0f) continue;
+    const float inv = 1.0f / degree;
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      coo.push_back({static_cast<int32_t>(i), ci[k], v[k] * inv});
+    }
+  }
+  return sparse::CsrMatrix::FromCoo(n, n, std::move(coo));
+}
+
+sparse::CsrPtr ReverseRandomWalkTransitionCsr(const sparse::CsrPtr& adjacency) {
+  TB_CHECK(adjacency != nullptr);
+  const int64_t n = adjacency->rows();
+  TB_CHECK_EQ(adjacency->cols(), n);
+  std::vector<sparse::CooEntry> coo;
+  coo.reserve(adjacency->nnz());
+  const std::vector<int64_t>& rp = adjacency->t_row_ptr();
+  const std::vector<int32_t>& ci = adjacency->t_col_idx();
+  const std::vector<float>& v = adjacency->t_values();
+  for (int64_t i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) degree += v[k];
+    if (degree <= 0.0f) continue;
+    const float inv = 1.0f / degree;
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      coo.push_back({static_cast<int32_t>(i), ci[k], v[k] * inv});
+    }
+  }
+  return sparse::CsrMatrix::FromCoo(n, n, std::move(coo));
 }
 
 Tensor SymmetricNormalizedAdjacency(const Tensor& adjacency) {

@@ -55,11 +55,17 @@ StBackbone::StBackbone(const ModelContext& context, SpatialKind spatial,
       break;
     case SpatialKind::kChebyshev:
       supports_ = MakeSupports(graph::ChebyshevBasis(
-          graph::ScaledLaplacian(context.adjacency), kChebOrder));
+          graph::ScaledLaplacian(DenseAdjacency(context)), kChebOrder));
       terms = kChebOrder;
       break;
     case SpatialKind::kDiffusion:
-      supports_ = MakeSupports(DiffusionSupports(context.adjacency, 2));
+      // City-scale contexts carry only the CSR adjacency; the diffusion
+      // supports (and their squares) are then built sparse-natively, so no
+      // N x N tensor exists anywhere in this model.
+      supports_ = context.adjacency_csr != nullptr
+                      ? MakeSupports(
+                            DiffusionSupportsCsr(context.adjacency_csr, 2))
+                      : MakeSupports(DiffusionSupports(context.adjacency, 2));
       terms = 1 + static_cast<int64_t>(supports_.size());
       break;
     case SpatialKind::kAdaptive:

@@ -21,7 +21,7 @@ Astgcn::Astgcn(const ModelContext& context)
       output_len_(context.output_len) {
   Rng rng(context.seed);
   cheb_ = MakeSupports(graph::ChebyshevBasis(
-      graph::ScaledLaplacian(context.adjacency), kChebOrder));
+      graph::ScaledLaplacian(DenseAdjacency(context)), kChebOrder));
 
   auto make_block = [&](int64_t c_in, int64_t c_out, int index) {
     Block block;

@@ -1,19 +1,24 @@
 #include "src/models/common.h"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
+#include "src/graph/partition.h"
 #include "src/graph/road_network.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
 
 namespace {
-// Stored as an atomic so test guards can flip it around model construction
-// without synchronizing with other threads' reads. Models only read it in
-// their constructors (support conversion is a build-time decision).
+// Stored as atomics so test guards can flip them around model construction
+// without synchronizing with other threads' reads. Models only read them in
+// their constructors (support conversion and partitioning are build-time
+// decisions).
 std::atomic<double> g_support_density_threshold{
     sparse::kDefaultDensityThreshold};
+std::atomic<int64_t> g_partition_node_threshold{1024};
+std::atomic<int> g_partition_forced_parts{0};
 }  // namespace
 
 double GraphSupportDensityThreshold() {
@@ -24,22 +29,73 @@ void SetGraphSupportDensityThreshold(double threshold) {
   g_support_density_threshold.store(threshold, std::memory_order_relaxed);
 }
 
+int64_t GraphPartitionNodeThreshold() {
+  return g_partition_node_threshold.load(std::memory_order_relaxed);
+}
+
+void SetGraphPartitionNodeThreshold(int64_t threshold) {
+  g_partition_node_threshold.store(threshold, std::memory_order_relaxed);
+}
+
+int GraphPartitionParts(int64_t num_nodes) {
+  const int forced = g_partition_forced_parts.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  return static_cast<int>(
+      std::clamp<int64_t>(num_nodes / 1024, int64_t{2}, int64_t{8}));
+}
+
+void SetGraphPartitionForcedParts(int parts) {
+  g_partition_forced_parts.store(parts, std::memory_order_relaxed);
+}
+
+GraphPartitionGuard::GraphPartitionGuard(int64_t node_threshold,
+                                         int forced_parts)
+    : previous_threshold_(GraphPartitionNodeThreshold()),
+      previous_parts_(g_partition_forced_parts.load(
+          std::memory_order_relaxed)) {
+  SetGraphPartitionNodeThreshold(node_threshold);
+  SetGraphPartitionForcedParts(forced_parts);
+}
+
+GraphPartitionGuard::~GraphPartitionGuard() {
+  SetGraphPartitionNodeThreshold(previous_threshold_);
+  SetGraphPartitionForcedParts(previous_parts_);
+}
+
 GraphSupport::GraphSupport(Tensor dense) : dense_(std::move(dense)) {
   TB_CHECK(dense_.defined());
   TB_CHECK_EQ(dense_.rank(), 2);
   nnz_ = graph::SupportNnz(dense_);
   csr_ = sparse::CsrMatrix::FromDenseIfSparse(dense_,
                                               GraphSupportDensityThreshold());
+  MaybePartition();
+}
+
+GraphSupport::GraphSupport(sparse::CsrPtr csr) : csr_(std::move(csr)) {
+  TB_CHECK(csr_ != nullptr);
+  nnz_ = csr_->nnz();
+  MaybePartition();
+}
+
+void GraphSupport::MaybePartition() {
+  if (csr_ == nullptr || csr_->rows() != csr_->cols()) return;
+  if (csr_->rows() < GraphPartitionNodeThreshold()) return;
+  const graph::GraphPartition partition =
+      graph::PartitionCsr(*csr_, GraphPartitionParts(csr_->rows()));
+  partitioned_ = sparse::PartitionedCsr::Build(csr_, partition);
 }
 
 Tensor GraphSupport::Apply(const Tensor& features) const {
-  TB_CHECK(dense_.defined()) << "applying a default-constructed GraphSupport";
+  if (partitioned_ != nullptr) return SparseMatMul(partitioned_, features);
   if (csr_ != nullptr) return SparseMatMul(csr_, features);
+  TB_CHECK(dense_.defined()) << "applying a default-constructed GraphSupport";
   return GraphMix(dense_, features);
 }
 
 double GraphSupport::density() const {
-  const int64_t numel = dense_.defined() ? dense_.numel() : 0;
+  const int64_t numel =
+      dense_.defined() ? dense_.numel()
+                       : (csr_ != nullptr ? csr_->rows() * csr_->cols() : 0);
   return numel > 0 ? static_cast<double>(nnz_) / static_cast<double>(numel)
                    : 0.0;
 }
@@ -48,6 +104,14 @@ std::vector<GraphSupport> MakeSupports(const std::vector<Tensor>& dense) {
   std::vector<GraphSupport> supports;
   supports.reserve(dense.size());
   for (const Tensor& t : dense) supports.emplace_back(t);
+  return supports;
+}
+
+std::vector<GraphSupport> MakeSupports(
+    const std::vector<sparse::CsrPtr>& csr) {
+  std::vector<GraphSupport> supports;
+  supports.reserve(csr.size());
+  for (const sparse::CsrPtr& c : csr) supports.emplace_back(c);
   return supports;
 }
 

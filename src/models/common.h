@@ -3,8 +3,10 @@
 
 // Shared helpers for the model zoo.
 
+#include <cstdint>
 #include <vector>
 
+#include "src/tensor/partitioned.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 
@@ -46,37 +48,82 @@ class GraphSupportThresholdGuard {
   double previous_;
 };
 
+/// Process-wide node count at which square CSR supports are additionally
+/// split into a PartitionedCsr (see src/tensor/partitioned.h). Defaults to
+/// 1024 — METR-LA/PeMS-BAY-scale supports stay monolithic, the synth-2k/4k
+/// profiles partition. Tests lower it to exercise the partitioned path on
+/// small graphs.
+int64_t GraphPartitionNodeThreshold();
+void SetGraphPartitionNodeThreshold(int64_t threshold);
+
+/// Partition count for an N-node support: clamp(N / 1024, 2, 8) — a pure
+/// function of N (never of thread count or machine), so partitioned results
+/// are reproducible across hosts. Tests may pin it via the guard below.
+int GraphPartitionParts(int64_t num_nodes);
+void SetGraphPartitionForcedParts(int parts);  // 0 = use the N-based rule
+
+/// RAII override of the partition knobs (test helper): supports with at
+/// least `node_threshold` nodes partition into `forced_parts` parts
+/// (0 keeps the N-based rule).
+class GraphPartitionGuard {
+ public:
+  GraphPartitionGuard(int64_t node_threshold, int forced_parts = 0);
+  ~GraphPartitionGuard();
+  GraphPartitionGuard(const GraphPartitionGuard&) = delete;
+  GraphPartitionGuard& operator=(const GraphPartitionGuard&) = delete;
+
+ private:
+  int64_t previous_threshold_;
+  int previous_parts_;
+};
+
 /// One graph-propagation support, converted to CSR at model-build time when
 /// sparse enough and kept dense otherwise. Models construct these once per
 /// support matrix and route every propagation through Apply(), which
 /// dispatches to the deterministic SpMM kernels (sparse) or the blocked
 /// GEMM path (dense fallback) — numerically equivalent up to float
 /// reassociation, bit-identical across thread counts on either path.
+/// Square CSR supports with at least GraphPartitionNodeThreshold() nodes
+/// are further split into a PartitionedCsr; the partitioned dispatch is
+/// bitwise equal to the monolithic SpMM (see src/tensor/partitioned.h).
 class GraphSupport {
  public:
   GraphSupport() = default;
   /// Converts `dense` ([N, N], constant) with the process-wide threshold.
   explicit GraphSupport(Tensor dense);
+  /// Sparse-native support for city-scale graphs: no dense form is ever
+  /// materialized, so dense() stays undefined (callers that need the full
+  /// matrix — ASTGCN-style attention modulation — must build from a Tensor).
+  explicit GraphSupport(sparse::CsrPtr csr);
 
   /// support @ features: [..., N, C] -> [..., N, C].
   Tensor Apply(const Tensor& features) const;
 
-  /// The dense form, always retained — ASTGCN-style per-batch attention
-  /// modulation needs the full matrix even when the CSR form exists.
+  /// The dense form, always retained on the dense-construction path —
+  /// ASTGCN-style per-batch attention modulation needs the full matrix even
+  /// when the CSR form exists. Undefined for sparse-native supports.
   const Tensor& dense() const { return dense_; }
   bool is_sparse() const { return csr_ != nullptr; }
+  bool is_partitioned() const { return partitioned_ != nullptr; }
+  const sparse::CsrPtr& csr() const { return csr_; }
+  const sparse::PartitionedCsrPtr& partitioned() const { return partitioned_; }
   int64_t nnz() const { return nnz_; }
   /// nnz / numel of the support (reported per dataset by bench_table3).
   double density() const;
 
  private:
+  void MaybePartition();
+
   Tensor dense_;
   sparse::CsrPtr csr_;
+  sparse::PartitionedCsrPtr partitioned_;
   int64_t nnz_ = 0;
 };
 
 /// Converts a whole support set (diffusion steps, Chebyshev basis, ...).
 std::vector<GraphSupport> MakeSupports(const std::vector<Tensor>& dense);
+/// Sparse-native overload (city-scale diffusion supports).
+std::vector<GraphSupport> MakeSupports(const std::vector<sparse::CsrPtr>& csr);
 
 /// Time-of-day feature of the last input step, per batch element:
 /// x is [B, T, N, 2]; returns flat [B] values.

@@ -10,6 +10,24 @@ constexpr int64_t kHidden = 28;
 constexpr int kDiffusionSteps = 2;
 }  // namespace
 
+std::vector<sparse::CsrPtr> DiffusionSupportsCsr(
+    const sparse::CsrPtr& adjacency, int max_step) {
+  std::vector<sparse::CsrPtr> supports;
+  sparse::CsrPtr fwd = graph::RandomWalkTransitionCsr(adjacency);
+  sparse::CsrPtr bwd = graph::ReverseRandomWalkTransitionCsr(adjacency);
+  sparse::CsrPtr fwd_power = fwd;
+  sparse::CsrPtr bwd_power = bwd;
+  for (int k = 0; k < max_step; ++k) {
+    supports.push_back(fwd_power);
+    supports.push_back(bwd_power);
+    if (k + 1 < max_step) {
+      fwd_power = sparse::CsrMatrix::Multiply(*fwd_power, *fwd);
+      bwd_power = sparse::CsrMatrix::Multiply(*bwd_power, *bwd);
+    }
+  }
+  return supports;
+}
+
 std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_step) {
   NoGradGuard no_grad;
   std::vector<Tensor> supports;
@@ -74,7 +92,7 @@ Dcrnn::Dcrnn(const ModelContext& context)
       output_len_(context.output_len) {
   Rng rng(context.seed);
   const std::vector<GraphSupport> supports =
-      MakeSupports(DiffusionSupports(context.adjacency, kDiffusionSteps));
+      MakeSupports(DiffusionSupports(DenseAdjacency(context), kDiffusionSteps));
   encoder_ = RegisterModule(
       "encoder", std::make_shared<DcGruCell>(supports, 2, kHidden, &rng));
   decoder_ = RegisterModule(

@@ -69,6 +69,12 @@ std::unique_ptr<TrafficModel> CreateDcrnn(const ModelContext& context);
 /// Builds [P, P^2, P_rev, P_rev^2] diffusion supports from an adjacency.
 std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_step);
 
+/// Sparse-native counterpart for city-scale adjacencies: the same support
+/// family built entirely in CSR form (row-normalization plus SpGemm powers),
+/// never materializing an N x N tensor.
+std::vector<sparse::CsrPtr> DiffusionSupportsCsr(
+    const sparse::CsrPtr& adjacency, int max_step);
+
 }  // namespace trafficbench::models
 
 #endif  // TRAFFICBENCH_MODELS_DCRNN_H_

@@ -43,7 +43,7 @@ Gman::Gman(const ModelContext& context)
   // spectral node embeddings, and all spatial mixing is learned attention
   // over dense softmax maps — exactly the case the sparse engine's density
   // threshold exists to keep on the blocked GEMM path.
-  spatial_base_ = graph::SpectralNodeEmbedding(context.adjacency, kGeoDim);
+  spatial_base_ = graph::SpectralNodeEmbedding(DenseAdjacency(context), kGeoDim);
   se_proj_ = RegisterModule("se_proj",
                             std::make_shared<nn::Linear>(kGeoDim, kDim, &rng));
   te_proj_ = RegisterModule("te_proj",

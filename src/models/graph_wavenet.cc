@@ -20,7 +20,7 @@ GraphWaveNet::GraphWaveNet(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  supports_ = MakeSupports(DiffusionSupports(context.adjacency, kDiffusionSteps));
+  supports_ = MakeSupports(DiffusionSupports(DenseAdjacency(context), kDiffusionSteps));
 
   e1_ = RegisterParameter(
       "e1", Tensor::Randn(Shape({num_nodes_, kEmbeddingDim}), &rng, 0.3f));

@@ -22,7 +22,8 @@ StMetaNet::StMetaNet(const ModelContext& context)
   Rng rng(context.seed);
 
   // Static geo-knowledge: spectral embedding of the road graph.
-  Tensor geo = graph::SpectralNodeEmbedding(context.adjacency, kGeoDim);
+  const Tensor adjacency = DenseAdjacency(context);
+  Tensor geo = graph::SpectralNodeEmbedding(adjacency, kGeoDim);
   meta_knowledge_ = geo;  // constant input to the meta-learners
 
   // Edge mask: additive bias 0 on (directed) edges + self, -1e9 elsewhere.
@@ -30,7 +31,9 @@ StMetaNet::StMetaNet(const ModelContext& context)
   // entries are present, so scattering nnz positions beats scanning N^2.
   {
     const int64_t n = num_nodes_;
-    sparse::CsrPtr adj = sparse::CsrMatrix::FromDense(context.adjacency);
+    sparse::CsrPtr adj = context.adjacency_csr != nullptr
+                             ? context.adjacency_csr
+                             : sparse::CsrMatrix::FromDense(adjacency);
     std::vector<float> bias(n * n, -1e9f);
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t k = adj->row_ptr()[i]; k < adj->row_ptr()[i + 1]; ++k) {

@@ -19,7 +19,7 @@ Stg2Seq::Stg2Seq(const ModelContext& context)
       input_len_(context.input_len),
       output_len_(context.output_len) {
   Rng rng(context.seed);
-  Tensor sym = graph::SymmetricNormalizedAdjacency(context.adjacency);
+  Tensor sym = graph::SymmetricNormalizedAdjacency(DenseAdjacency(context));
   support_ = GraphSupport(sym);
   {
     NoGradGuard no_grad;

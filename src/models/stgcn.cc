@@ -25,7 +25,7 @@ Stgcn::Stgcn(const ModelContext& context)
   Rng rng(context.seed);
 
   cheb_ = MakeSupports(graph::ChebyshevBasis(
-      graph::ScaledLaplacian(context.adjacency), kChebOrder));
+      graph::ScaledLaplacian(DenseAdjacency(context)), kChebOrder));
 
   auto make_cheb_weights = [&](const char* prefix, int64_t c_in,
                                int64_t c_out, std::vector<Tensor>* weights,

@@ -21,7 +21,7 @@ Stsgcn::Stsgcn(const ModelContext& context)
   // diagonal blocks are the (normalized) spatial graph, off-diagonal
   // blocks connect each node to itself at the adjacent step.
   {
-    Tensor sym = graph::SymmetricNormalizedAdjacency(context.adjacency);
+    Tensor sym = graph::SymmetricNormalizedAdjacency(DenseAdjacency(context));
     const int64_t n = num_nodes_;
     std::vector<float> local(9 * n * n, 0.0f);
     const float* s = sym.data();

@@ -1,5 +1,6 @@
 #include "src/models/traffic_model.h"
 
+#include "src/graph/road_network.h"
 #include "src/util/check.h"
 
 namespace trafficbench::models {
@@ -43,9 +44,22 @@ ModelContext MakeModelContext(const data::TrafficDataset& dataset,
   context.num_nodes = dataset.num_nodes();
   context.input_len = dataset.input_len();
   context.output_len = dataset.output_len();
-  context.adjacency = dataset.network().GaussianAdjacency();
+  if (dataset.num_nodes() >= graph::kDenseAdjacencyNodeLimit) {
+    // City scale: the dense builder's O(N^3) Floyd–Warshall and N x N
+    // tensors are prohibitive; stay sparse end to end.
+    context.adjacency_csr = dataset.network().SparseGaussianAdjacency();
+  } else {
+    context.adjacency = dataset.network().GaussianAdjacency();
+  }
   context.seed = seed;
   return context;
+}
+
+Tensor DenseAdjacency(const ModelContext& context) {
+  if (context.adjacency.defined()) return context.adjacency;
+  TB_CHECK(context.adjacency_csr != nullptr)
+      << "ModelContext carries no adjacency";
+  return context.adjacency_csr->ToDense();
 }
 
 std::vector<std::string> PaperModelNames() {

@@ -8,6 +8,7 @@
 
 #include "src/data/dataset.h"
 #include "src/nn/module.h"
+#include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 
 namespace trafficbench::models {
@@ -44,11 +45,24 @@ struct ModelContext {
   /// Input/output sequence lengths (both 12 in the paper's protocol).
   int input_len = 12;
   int output_len = 12;
-  /// Gaussian-kernel weighted adjacency [N, N].
+  /// Gaussian-kernel weighted adjacency [N, N]. Undefined for city-scale
+  /// contexts (num_nodes >= graph::kDenseAdjacencyNodeLimit), where only
+  /// `adjacency_csr` is populated — models needing the full matrix go
+  /// through DenseAdjacency() below.
   Tensor adjacency;
+  /// Sparse form of the adjacency, populated instead of `adjacency` for
+  /// city-scale contexts (built by RoadNetwork::SparseGaussianAdjacency, so
+  /// no N x N tensor ever exists on that path).
+  sparse::CsrPtr adjacency_csr;
   /// Seed for parameter initialization and dropout streams.
   uint64_t seed = 1;
 };
+
+/// The dense adjacency of a context: `adjacency` when defined, otherwise
+/// `adjacency_csr` materialized. Models whose operators are inherently
+/// dense (spectral embeddings, Chebyshev bases) call this — at city scale
+/// they pay the N x N cost explicitly rather than silently.
+Tensor DenseAdjacency(const ModelContext& context);
 
 using ModelFactory =
     std::function<std::unique_ptr<TrafficModel>(const ModelContext&)>;

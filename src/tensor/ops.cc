@@ -22,6 +22,7 @@
 #include "src/tensor/conv_core.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/op_common.h"
+#include "src/tensor/partitioned.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/trace.h"
@@ -1186,6 +1187,170 @@ Tensor SparseMatMul(const sparse::CsrPtr& support, const Tensor& features) {
     // Precision lowering: both reduced tiers store CSR values as bf16
     // (per-column int8 scaling is meaningless for scalar-per-edge
     // supports). weight_input stays -1 — the support lives in the closure.
+    step.make_lowered = [support, num_batches, rows, cols, f, out_n, flops](
+                            int precision, int act, float slope,
+                            bool with_bias, const float* /*weights*/,
+                            int64_t* packed_bytes) -> trace::ReplayFn {
+      if (static_cast<kernels::Precision>(precision) ==
+          kernels::Precision::kFp32) {
+        return nullptr;
+      }
+      auto packed = std::make_shared<std::vector<uint16_t>>(support->nnz());
+      kernels::PackBf16(support->values().data(), packed->data(),
+                        support->nnz());
+      MaybeCorruptPackedPanel(packed->data(),
+                              packed->size() * sizeof(uint16_t));
+      *packed_bytes = static_cast<int64_t>(packed->size() * sizeof(uint16_t));
+      const exec::OpKind kind = (act != 0 || with_bias)
+                                    ? exec::OpKind::kFusedEpilogue
+                                    : exec::OpKind::kSpMM;
+      return [=](const trace::ReplayArgs& args) {
+        std::fill(args.output, args.output + out_n, 0.0f);
+        exec::ScopedOpTimer timer(kind, flops);
+        kernels::EpilogueSpec epilogue;
+        epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+        epilogue.act = static_cast<kernels::EpilogueAct>(act);
+        epilogue.leaky_slope = slope;
+        kernels::SpmmBatchedBf16Fused(Ctx(), support->row_ptr().data(),
+                                      support->col_idx().data(),
+                                      packed->data(), args.inputs[0],
+                                      args.output, num_batches, rows, cols, f,
+                                      epilogue);
+      };
+    };
+    trace::Tracer::Record(std::move(step));
+  }
+  return result;
+}
+
+namespace {
+
+/// Partitioned forward dispatch into a pre-zeroed y, falling back to the
+/// monolithic kernel (and latching `degraded`) when a halo verification
+/// fails. Either path produces bitwise-identical output.
+void PartitionedSpmmForward(const sparse::PartitionedCsrPtr& partitioned,
+                            const float* x, float* y, int64_t num_batches,
+                            int64_t rows, int64_t cols, int64_t f,
+                            int64_t out_n) {
+  if (!partitioned->degraded()) {
+    if (sparse::SpmmPartitionedBatched(Ctx(), partitioned->forward_blocks(), x,
+                                       y, num_batches, rows, cols, f)) {
+      return;
+    }
+    partitioned->MarkDegraded("halo gather verification mismatch (forward)");
+    std::fill(y, y + out_n, 0.0f);
+  }
+  const sparse::CsrPtr& s = partitioned->source();
+  kernels::SpmmBatched(Ctx(), s->row_ptr().data(), s->col_idx().data(),
+                       s->values().data(), x, y, num_batches, rows, cols, f);
+}
+
+}  // namespace
+
+Tensor SparseMatMul(const sparse::PartitionedCsrPtr& partitioned,
+                    const Tensor& features) {
+  TB_CHECK(partitioned != nullptr);
+  const sparse::CsrPtr& support = partitioned->source();
+  TB_CHECK(features.defined());
+  TB_CHECK_GE(features.rank(), 2);
+  const int64_t rows = support->rows();
+  const int64_t cols = support->cols();
+  const int64_t f = features.dim(-1);
+  TB_CHECK_EQ(features.dim(-2), cols)
+      << "sparse matmul inner dims: [" << rows << ", " << cols << "] x "
+      << features.shape().ToString();
+  std::vector<int64_t> out_dims = features.shape().dims();
+  out_dims[out_dims.size() - 2] = rows;
+  Shape out_shape(std::move(out_dims));
+  const int64_t out_n = out_shape.numel();
+  const int64_t num_batches = features.numel() / (cols * f);
+  const double flops =
+      2.0 * static_cast<double>(support->nnz() * f) * num_batches;
+
+  std::vector<float> out = AcquireZeroedBuffer(out_n);
+  {
+    exec::ScopedOpTimer timer(exec::OpKind::kSpMM, flops);
+    PartitionedSpmmForward(partitioned, features.data(), out.data(),
+                           num_batches, rows, cols, f, out_n);
+  }
+
+  ImplPtr xi = features.impl();
+  Tensor result = MakeOp(
+      out_shape, std::move(out), {features},
+      [xi, partitioned, support, num_batches, rows, cols, f,
+       flops](TensorImpl& node) {
+        if (!xi->requires_grad) return;
+        exec::ScopedOpTimer timer(exec::OpKind::kSpMMBackward, flops);
+        xi->EnsureGrad();
+        float* dst = xi->grad.data();
+        const float* dy = node.grad.data();
+        const int64_t grad_n = num_batches * cols * f;
+        // dX = A^T * dY over the backward blocks, accumulating straight into
+        // the gradient buffer — the same per-element chains as the
+        // monolithic transpose SpMM. The partitioned path accumulates
+        // in-place, so a mid-dispatch halo failure must restore the
+        // pre-dispatch gradient before the monolithic redo; the snapshot is
+        // one contiguous copy, cheap next to the SpMM itself.
+        bool done = false;
+        if (!partitioned->degraded()) {
+          std::vector<float> snapshot = AcquireBuffer(grad_n);
+          std::memcpy(snapshot.data(), dst,
+                      static_cast<size_t>(grad_n) * sizeof(float));
+          done = sparse::SpmmPartitionedBatched(
+              Ctx(), partitioned->backward_blocks(), dy, dst, num_batches,
+              cols, rows, f);
+          if (!done) {
+            partitioned->MarkDegraded(
+                "halo gather verification mismatch (backward)");
+            std::memcpy(dst, snapshot.data(),
+                        static_cast<size_t>(grad_n) * sizeof(float));
+          }
+          ReleaseBuffer(std::move(snapshot));
+        }
+        if (!done) {
+          kernels::SpmmBatched(Ctx(), support->t_row_ptr().data(),
+                               support->t_col_idx().data(),
+                               support->t_values().data(), dy, dst,
+                               num_batches, cols, rows, f);
+        }
+      });
+  if (trace::Tracer::Active() != nullptr) {
+    trace::TraceStep step;
+    step.name = "SparseMatMul";
+    step.kind = exec::OpKind::kSpMM;
+    step.flops = flops;
+    step.info.pattern = trace::OpPattern::kSpMM;
+    step.info.n = f;
+    step.inputs = {features.impl()};
+    step.output = result.impl();
+    step.replay = [partitioned, num_batches, rows, cols, f, out_n,
+                   flops](const trace::ReplayArgs& args) {
+      std::fill(args.output, args.output + out_n, 0.0f);
+      exec::ScopedOpTimer timer(exec::OpKind::kSpMM, flops);
+      PartitionedSpmmForward(partitioned, args.inputs[0], args.output,
+                             num_batches, rows, cols, f, out_n);
+    };
+    // Fused and reduced-precision lowering run the monolithic kernels over
+    // the source CSR: the partitioned accumulation chains are identical, so
+    // nothing is lost by fusing on the monolithic arrays (and the packed
+    // bf16 values are shared rather than per-block).
+    step.make_fused = [support, num_batches, rows, cols, f, out_n,
+                       flops](int act, float slope,
+                              bool with_bias) -> trace::ReplayFn {
+      return [=](const trace::ReplayArgs& args) {
+        std::fill(args.output, args.output + out_n, 0.0f);
+        exec::ScopedOpTimer timer(exec::OpKind::kFusedEpilogue, flops);
+        kernels::EpilogueSpec epilogue;
+        epilogue.bias = with_bias ? args.inputs[1] : nullptr;
+        epilogue.act = static_cast<kernels::EpilogueAct>(act);
+        epilogue.leaky_slope = slope;
+        kernels::SpmmBatchedFused(Ctx(), support->row_ptr().data(),
+                                  support->col_idx().data(),
+                                  support->values().data(), args.inputs[0],
+                                  args.output, num_batches, rows, cols, f,
+                                  epilogue);
+      };
+    };
     step.make_lowered = [support, num_batches, rows, cols, f, out_n, flops](
                             int precision, int act, float slope,
                             bool with_bias, const float* /*weights*/,

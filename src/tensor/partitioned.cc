@@ -1,0 +1,193 @@
+#include "src/tensor/partitioned.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "src/tensor/buffer_pool.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+
+namespace trafficbench::sparse {
+
+namespace {
+
+// FaultInjector is not thread-safe and halo-exchange tasks run on pool
+// workers, so their Should() calls serialize through this mutex (the
+// exception documented in src/util/fault.h).
+std::mutex& HaloFaultMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Splits one CSR direction (forward or transpose arrays) into
+/// per-partition blocks. Nonzeros keep their original per-row order;
+/// columns are remapped through the ascending gather table, so local
+/// columns stay ascending within each row (the kernel contract).
+std::vector<PartitionBlock> BuildBlocks(
+    const std::vector<int64_t>& row_ptr, const std::vector<int32_t>& col_idx,
+    const std::vector<float>& values, const graph::GraphPartition& partition) {
+  std::vector<PartitionBlock> blocks(partition.num_parts);
+  // Scatter map global column id -> gather slot, reused (and reset) per
+  // part so the build stays O(nnz + parts-touched-columns).
+  std::vector<int32_t> local_of(partition.num_nodes, -1);
+  for (int p = 0; p < partition.num_parts; ++p) {
+    PartitionBlock& block = blocks[p];
+    block.rows = partition.nodes[p];
+
+    for (int32_t i : block.rows) {
+      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        block.gather.push_back(col_idx[k]);
+      }
+    }
+    std::sort(block.gather.begin(), block.gather.end());
+    block.gather.erase(std::unique(block.gather.begin(), block.gather.end()),
+                       block.gather.end());
+    for (int64_t g = 0; g < block.gather_size(); ++g) {
+      const int32_t col = block.gather[g];
+      local_of[col] = static_cast<int32_t>(g);
+      if (partition.owner[col] != p) block.halo_slots.push_back(g);
+    }
+
+    block.row_ptr.assign(block.rows.size() + 1, 0);
+    block.col_idx.reserve(block.gather.size());
+    for (size_t r = 0; r < block.rows.size(); ++r) {
+      const int32_t i = block.rows[r];
+      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        block.col_idx.push_back(local_of[col_idx[k]]);
+        block.values.push_back(values[k]);
+      }
+      block.row_ptr[r + 1] = static_cast<int64_t>(block.values.size());
+    }
+
+    for (int32_t col : block.gather) local_of[col] = -1;
+  }
+  return blocks;
+}
+
+}  // namespace
+
+PartitionedCsrPtr PartitionedCsr::Build(CsrPtr csr,
+                                        const graph::GraphPartition& partition) {
+  TB_CHECK(csr != nullptr);
+  TB_CHECK_EQ(csr->rows(), csr->cols())
+      << "partitioned SpMM needs a square support";
+  TB_CHECK_EQ(csr->rows(), partition.num_nodes);
+  TB_CHECK_GE(partition.num_parts, 1);
+
+  auto out = std::shared_ptr<PartitionedCsr>(new PartitionedCsr());
+  out->csr_ = std::move(csr);
+  out->partition_ = partition;
+  out->forward_ = BuildBlocks(out->csr_->row_ptr(), out->csr_->col_idx(),
+                              out->csr_->values(), partition);
+  out->backward_ = BuildBlocks(out->csr_->t_row_ptr(), out->csr_->t_col_idx(),
+                               out->csr_->t_values(), partition);
+  return out;
+}
+
+std::vector<int32_t> PartitionedCsr::HaloColumns(int p) const {
+  TB_CHECK(p >= 0 && p < num_parts());
+  const PartitionBlock& block = forward_[p];
+  std::vector<int32_t> halo;
+  halo.reserve(block.halo_slots.size());
+  for (int64_t g : block.halo_slots) halo.push_back(block.gather[g]);
+  return halo;
+}
+
+std::string PartitionedCsr::degrade_reason() const {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
+  return degrade_reason_;
+}
+
+void PartitionedCsr::MarkDegraded(const std::string& reason) const {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
+  if (!degraded_.load(std::memory_order_relaxed)) degrade_reason_ = reason;
+  degraded_.store(true, std::memory_order_release);
+}
+
+bool SpmmPartitionedBatched(exec::ExecutionContext& ctx,
+                            const std::vector<PartitionBlock>& blocks,
+                            const float* x, float* y, int64_t num_batches,
+                            int64_t rows, int64_t cols, int64_t f) {
+  const int64_t num_parts = static_cast<int64_t>(blocks.size());
+  TB_CHECK_GE(num_parts, 1);
+  std::atomic<bool> failed{false};
+  const std::shared_ptr<BufferPool>& pool = ctx.buffer_pool();
+
+  // One task per (batch, partition): output rows are disjoint across tasks,
+  // and each task's accumulation chains are fixed by the block structure, so
+  // scheduling cannot affect bits.
+  ctx.ParallelFor(
+      num_batches * num_parts, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t t = begin; t < end; ++t) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          const int64_t batch = t / num_parts;
+          const PartitionBlock& block = blocks[t % num_parts];
+          if (block.num_rows() == 0) continue;
+          const float* xb = x + batch * cols * f;
+          float* yb = y + batch * rows * f;
+
+          // Halo exchange: gather every referenced feature row (owned and
+          // halo alike) into compact scratch — bit-copies of the monolithic
+          // operand rows.
+          std::vector<float> scratch = pool->Acquire(block.gather_size() * f);
+          for (int64_t g = 0; g < block.gather_size(); ++g) {
+            std::memcpy(scratch.data() + g * f, xb + block.gather[g] * f,
+                        static_cast<size_t>(f) * sizeof(float));
+          }
+
+          if (!block.halo_slots.empty()) {
+            FaultInjector& fault = FaultInjector::Global();
+            if (fault.enabled()) {
+              bool fire = false;
+              {
+                std::lock_guard<std::mutex> lock(HaloFaultMutex());
+                fire = fault.Should(FaultSite::kHaloExchange);
+              }
+              if (fire) {
+                // Corrupt the first float of the first halo row: any bit
+                // flip makes the verification memcmp below fail.
+                uint32_t bits;
+                float* target = scratch.data() + block.halo_slots[0] * f;
+                std::memcpy(&bits, target, sizeof(bits));
+                bits ^= 1u;
+                std::memcpy(target, &bits, sizeof(bits));
+              }
+            }
+          }
+
+          // Verify the halo rows against their source before consuming
+          // them. A mismatch poisons the whole dispatch: the caller redoes
+          // the work monolithically.
+          for (int64_t g : block.halo_slots) {
+            if (std::memcmp(scratch.data() + g * f, xb + block.gather[g] * f,
+                            static_cast<size_t>(f) * sizeof(float)) != 0) {
+              failed.store(true, std::memory_order_relaxed);
+              pool->Release(std::move(scratch));
+              return;
+            }
+          }
+
+          // Owned rows are ascending but not contiguous in global space;
+          // each maximal run of consecutive global ids maps to one
+          // SpmmAccRows call writing straight into the global output (the
+          // base pointer is offset so local row ls lands on global row
+          // rows[ls]).
+          const int64_t nr = block.num_rows();
+          for (int64_t ls = 0; ls < nr;) {
+            int64_t le = ls + 1;
+            while (le < nr && block.rows[le] == block.rows[le - 1] + 1) ++le;
+            kernels::SpmmAccRows(block.row_ptr.data(), block.col_idx.data(),
+                                 block.values.data(), scratch.data(),
+                                 yb + (block.rows[ls] - ls) * f, ls, le, f);
+            ls = le;
+          }
+          pool->Release(std::move(scratch));
+        }
+      });
+  return !failed.load(std::memory_order_acquire);
+}
+
+}  // namespace trafficbench::sparse

@@ -1,0 +1,138 @@
+#ifndef TRAFFICBENCH_TENSOR_PARTITIONED_H_
+#define TRAFFICBENCH_TENSOR_PARTITIONED_H_
+
+// Partitioned sparse graph propagation (the execution side of
+// src/graph/partition.h; see DESIGN.md §15).
+//
+// At city scale (2k-4k nodes) a monolithic SpMM streams the whole feature
+// matrix through cache once per support application. A PartitionedCsr
+// splits one square CsrMatrix into K per-partition blocks: each block owns
+// a contiguous-in-partition-order set of rows and reads only the feature
+// rows its nonzeros actually reference, gathered through a precomputed
+// int32 index table into a compact scratch buffer that stays L2-resident.
+// Columns owned by other partitions are the block's "halo"; the gather step
+// is the halo exchange, and a verification pass re-checks the halo rows
+// against their source before the block's SpMM consumes them (the
+// `halo_exchange` fault site corrupts one gather buffer to prove the
+// verifier works — on mismatch the driver reports failure and the op layer
+// falls back to the monolithic SpMM, keeping results bit-identical).
+//
+// Bit-identity contract: a block keeps its rows' nonzeros in the exact
+// global-CSR order (only column *indices* are remapped into gather-table
+// space; the gather table is ascending in global column id, so local
+// columns stay ascending too) and the gathered feature rows are bit-copies
+// of the monolithic operand. Every output element therefore runs the same
+// accumulation chain over the same float values as SpmmBatched — the
+// partitioned result is bitwise equal to the monolithic one for ANY
+// partition count and ANY thread count.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/execution_context.h"
+#include "src/graph/partition.h"
+#include "src/tensor/sparse.h"
+
+namespace trafficbench::sparse {
+
+/// One partition's view of one propagation direction. `rows` are the owned
+/// global row ids (ascending); the local CSR arrays index into `gather`,
+/// the ascending table of global column ids this block reads.
+struct PartitionBlock {
+  /// Owned global row ids, strictly ascending.
+  std::vector<int32_t> rows;
+  /// Global column ids referenced by the owned rows, strictly ascending
+  /// (owned and halo columns interleaved in global order).
+  std::vector<int32_t> gather;
+  /// Positions g in `gather` whose column is owned by another partition —
+  /// the halo. Ascending.
+  std::vector<int64_t> halo_slots;
+  /// Local CSR over the owned rows: row_ptr has rows.size()+1 entries;
+  /// col_idx holds positions into `gather` (ascending within each row);
+  /// values are the source nonzeros in their original global order.
+  std::vector<int64_t> row_ptr;
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+  int64_t gather_size() const { return static_cast<int64_t>(gather.size()); }
+};
+
+class PartitionedCsr;
+using PartitionedCsrPtr = std::shared_ptr<const PartitionedCsr>;
+
+/// A square CsrMatrix split into per-partition forward blocks (y = A x)
+/// and backward blocks (dx = A^T dy) over one shared node partition.
+/// Immutable after Build apart from the sticky `degraded` latch, which the
+/// op layer sets when halo verification fails — from then on every apply
+/// takes the monolithic path (the partitioned copy is no longer trusted).
+class PartitionedCsr {
+ public:
+  /// Splits `csr` (square) over `partition` (covering csr->rows() nodes).
+  static PartitionedCsrPtr Build(CsrPtr csr,
+                                 const graph::GraphPartition& partition);
+
+  const CsrPtr& source() const { return csr_; }
+  int num_parts() const { return partition_.num_parts; }
+  int64_t rows() const { return csr_->rows(); }
+  const graph::GraphPartition& partition() const { return partition_; }
+  const std::vector<PartitionBlock>& forward_blocks() const {
+    return forward_;
+  }
+  const std::vector<PartitionBlock>& backward_blocks() const {
+    return backward_;
+  }
+
+  /// Global ids of part `p`'s forward halo columns, ascending — exactly the
+  /// support columns referenced by p's rows but owned elsewhere.
+  std::vector<int32_t> HaloColumns(int p) const;
+
+  /// Sticky failure latch (thread-safe; set once, first reason wins).
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+  std::string degrade_reason() const;
+  void MarkDegraded(const std::string& reason) const;
+
+ private:
+  PartitionedCsr() = default;
+
+  CsrPtr csr_;
+  graph::GraphPartition partition_;
+  std::vector<PartitionBlock> forward_;
+  std::vector<PartitionBlock> backward_;
+
+  mutable std::atomic<bool> degraded_{false};
+  mutable std::mutex degrade_mu_;
+  mutable std::string degrade_reason_;
+};
+
+/// Partitioned counterpart of kernels::SpmmBatched: y[batch] += A * x[batch]
+/// over (batch, partition) tasks. `y` must be zeroed by the caller (the
+/// blocks accumulate). Returns false when a halo verification failed — `y`
+/// is then unspecified and the caller must redo the work monolithically.
+/// Deterministic: the task decomposition is a pure function of
+/// (num_batches, blocks), never the thread count.
+bool SpmmPartitionedBatched(exec::ExecutionContext& ctx,
+                            const std::vector<PartitionBlock>& blocks,
+                            const float* x, float* y, int64_t num_batches,
+                            int64_t rows, int64_t cols, int64_t f);
+
+}  // namespace trafficbench::sparse
+
+namespace trafficbench {
+
+/// SparseMatMul through a PartitionedCsr: bitwise equal to
+/// SparseMatMul(partitioned->source(), features) — forward and backward run
+/// the partitioned driver, falling back to the monolithic kernel (and
+/// latching `degraded`) if a halo verification fails. A degraded matrix
+/// goes straight to the monolithic path.
+Tensor SparseMatMul(const sparse::PartitionedCsrPtr& partitioned,
+                    const Tensor& features);
+
+}  // namespace trafficbench
+
+#endif  // TRAFFICBENCH_TENSOR_PARTITIONED_H_

@@ -1,5 +1,6 @@
 #include "src/tensor/sparse.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/check.h"
@@ -36,26 +37,120 @@ std::shared_ptr<const CsrMatrix> CsrMatrix::FromDense(const Tensor& dense) {
     csr->row_ptr_[i + 1] = static_cast<int64_t>(csr->values_.size());
   }
 
+  csr->BuildTranspose();
+  return csr;
+}
+
+void CsrMatrix::BuildTranspose() {
   // Transpose CSR by counting sort over the forward arrays. Scattering the
   // forward entries in order makes the transpose's column indices (original
   // row indices) ascending within each transpose row automatically.
-  csr->t_row_ptr_.assign(cols + 1, 0);
-  csr->t_col_idx_.resize(nnz);
-  csr->t_values_.resize(nnz);
-  for (int32_t j : csr->col_idx_) ++csr->t_row_ptr_[j + 1];
-  for (int64_t j = 0; j < cols; ++j) {
-    csr->t_row_ptr_[j + 1] += csr->t_row_ptr_[j];
+  const int64_t nnz = static_cast<int64_t>(values_.size());
+  t_row_ptr_.assign(cols_ + 1, 0);
+  t_col_idx_.resize(nnz);
+  t_values_.resize(nnz);
+  for (int32_t j : col_idx_) ++t_row_ptr_[j + 1];
+  for (int64_t j = 0; j < cols_; ++j) {
+    t_row_ptr_[j + 1] += t_row_ptr_[j];
   }
-  std::vector<int64_t> cursor(csr->t_row_ptr_.begin(),
-                              csr->t_row_ptr_.end() - 1);
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t k = csr->row_ptr_[i]; k < csr->row_ptr_[i + 1]; ++k) {
-      const int32_t j = csr->col_idx_[k];
+  std::vector<int64_t> cursor(t_row_ptr_.begin(), t_row_ptr_.end() - 1);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const int32_t j = col_idx_[k];
       const int64_t slot = cursor[j]++;
-      csr->t_col_idx_[slot] = static_cast<int32_t>(i);
-      csr->t_values_[slot] = csr->values_[k];
+      t_col_idx_[slot] = static_cast<int32_t>(i);
+      t_values_[slot] = values_[k];
     }
   }
+}
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                                                    std::vector<CooEntry> coo) {
+  TB_CHECK_GE(rows, 0);
+  TB_CHECK_GE(cols, 0);
+  // Stable sort keeps duplicates of a coordinate in original order, so their
+  // left-to-right accumulation matches whatever sum the caller would have
+  // produced writing into a dense tensor sequentially.
+  std::stable_sort(coo.begin(), coo.end(),
+                   [](const CooEntry& a, const CooEntry& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+
+  auto csr = std::shared_ptr<CsrMatrix>(new CsrMatrix());
+  csr->rows_ = rows;
+  csr->cols_ = cols;
+  csr->row_ptr_.assign(rows + 1, 0);
+  csr->col_idx_.reserve(coo.size());
+  csr->values_.reserve(coo.size());
+
+  for (size_t i = 0; i < coo.size();) {
+    const int32_t row = coo[i].row;
+    const int32_t col = coo[i].col;
+    TB_CHECK(row >= 0 && row < rows && col >= 0 && col < cols)
+        << "FromCoo: entry (" << row << ", " << col << ") out of bounds";
+    float sum = 0.0f;
+    for (; i < coo.size() && coo[i].row == row && coo[i].col == col; ++i) {
+      sum += coo[i].value;
+    }
+    if (sum != 0.0f) {
+      csr->col_idx_.push_back(col);
+      csr->values_.push_back(sum);
+      csr->row_ptr_[row + 1] = static_cast<int64_t>(csr->values_.size());
+    }
+  }
+  // Rows with no surviving entries still need cumulative pointers.
+  for (int64_t i = 0; i < rows; ++i) {
+    csr->row_ptr_[i + 1] = std::max(csr->row_ptr_[i + 1], csr->row_ptr_[i]);
+  }
+
+  csr->BuildTranspose();
+  return csr;
+}
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::Multiply(const CsrMatrix& a,
+                                                     const CsrMatrix& b) {
+  TB_CHECK_EQ(a.cols(), b.rows());
+  const int64_t rows = a.rows();
+  const int64_t cols = b.cols();
+
+  auto csr = std::shared_ptr<CsrMatrix>(new CsrMatrix());
+  csr->rows_ = rows;
+  csr->cols_ = cols;
+  csr->row_ptr_.assign(rows + 1, 0);
+
+  // Dense scratch row: accumulate each output row over a's columns in
+  // ascending order, then sweep the touched columns in ascending order. The
+  // accumulation order is a pure function of the two sparsity patterns.
+  std::vector<float> scratch(cols, 0.0f);
+  std::vector<char> touched(cols, 0);
+  std::vector<int32_t> touched_cols;
+  for (int64_t i = 0; i < rows; ++i) {
+    touched_cols.clear();
+    for (int64_t ka = a.row_ptr_[i]; ka < a.row_ptr_[i + 1]; ++ka) {
+      const int32_t k = a.col_idx_[ka];
+      const float av = a.values_[ka];
+      for (int64_t kb = b.row_ptr_[k]; kb < b.row_ptr_[k + 1]; ++kb) {
+        const int32_t j = b.col_idx_[kb];
+        scratch[j] += av * b.values_[kb];
+        if (!touched[j]) {
+          touched[j] = 1;
+          touched_cols.push_back(j);
+        }
+      }
+    }
+    std::sort(touched_cols.begin(), touched_cols.end());
+    for (int32_t j : touched_cols) {
+      if (scratch[j] != 0.0f) {
+        csr->col_idx_.push_back(j);
+        csr->values_.push_back(scratch[j]);
+      }
+      scratch[j] = 0.0f;
+      touched[j] = 0;
+    }
+    csr->row_ptr_[i + 1] = static_cast<int64_t>(csr->values_.size());
+  }
+
+  csr->BuildTranspose();
   return csr;
 }
 

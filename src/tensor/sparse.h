@@ -40,6 +40,13 @@ namespace trafficbench::sparse {
 /// real-data-scale supports convert.
 inline constexpr double kDefaultDensityThreshold = 0.25;
 
+/// One nonzero of a COO (coordinate-list) matrix.
+struct CooEntry {
+  int32_t row = 0;
+  int32_t col = 0;
+  float value = 0.0f;
+};
+
 /// Immutable CSR matrix (forward + transpose index arrays). Create through
 /// the factories and share as CsrPtr; the SparseMatMul autograd op and the
 /// SpMM kernels read it concurrently without synchronization.
@@ -52,6 +59,24 @@ class CsrMatrix {
   /// — the caller keeps such supports on the dense GEMM path.
   static std::shared_ptr<const CsrMatrix> FromDenseIfSparse(
       const Tensor& dense, double max_density = kDefaultDensityThreshold);
+
+  /// Builds directly from coordinate-list entries in O(nnz log nnz) — the
+  /// sparse-native build path for city-scale supports, which must never
+  /// materialize (or scan) an N x N dense tensor. Entries may arrive in any
+  /// order; duplicates of the same (row, col) are accumulated in ascending
+  /// (row, col, original-position) order, and exact-zero values (including
+  /// zero-summing duplicates) are dropped, so the result is bit-identical
+  /// to FromDense over the equivalent dense tensor.
+  static std::shared_ptr<const CsrMatrix> FromCoo(int64_t rows, int64_t cols,
+                                                  std::vector<CooEntry> coo);
+
+  /// Sparse-sparse product a @ b as a new CSR matrix. Each output row is
+  /// accumulated over a's columns in ascending order (a dense scratch row of
+  /// b->cols() floats), a pure function of the two sparsity patterns —
+  /// deterministic across runs and thread counts. Used to build diffusion
+  /// powers (A^2) on the dense-free support path.
+  static std::shared_ptr<const CsrMatrix> Multiply(const CsrMatrix& a,
+                                                   const CsrMatrix& b);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -75,6 +100,10 @@ class CsrMatrix {
 
  private:
   CsrMatrix() = default;
+
+  /// Builds the transpose arrays by counting sort over the (already final)
+  /// forward arrays. Shared by every factory.
+  void BuildTranspose();
 
   int64_t rows_ = 0;
   int64_t cols_ = 0;

@@ -38,6 +38,10 @@
 //                    checksum must detect the poisoned entry and the
 //                    ladder must fall through to the tier-2 baseline
 //                    instead of serving the corrupted prediction)
+//   halo_exchange    corrupt one partition's halo gather buffer during
+//                    partitioned SpMM (the halo verifier must detect the
+//                    mismatch and fall back to the monolithic SpMM path,
+//                    keeping results bit-identical)
 
 #include <array>
 #include <cstdint>
@@ -62,9 +66,10 @@ enum class FaultSite : int {
   kPlanCompile,
   kPrecisionVerify,
   kDegradeLadder,
+  kHaloExchange,
 };
 
-inline constexpr int kNumFaultSites = 12;
+inline constexpr int kNumFaultSites = 13;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic
@@ -77,9 +82,11 @@ struct SimulatedCrash {
 /// Seeded, spec-driven fault injector. A default-constructed injector is
 /// disabled and never fires; Should() then costs one branch. Not
 /// thread-safe — call only from the orchestration thread (trainer,
-/// serializer, experiment harness), never from kernel workers. The serving
-/// layer's workers are the one exception: they serialize their Should()
-/// calls through the Server's own fault mutex (see src/serve/server.cc).
+/// serializer, experiment harness), never from kernel workers. Three
+/// exceptions serialize their Should() calls through their own mutex: the
+/// serving layer's workers (see src/serve/server.cc), the partitioned
+/// SpMM driver's halo-exchange tasks (see src/tensor/partitioned.cc), and
+/// the sharded evaluator's per-shard workers (see src/eval/trainer.cc).
 class FaultInjector {
  public:
   FaultInjector() = default;

@@ -1,0 +1,560 @@
+// Partitioned graph execution suite: edge-cut partitioner properties
+// (coverage, balance, determinism, halo exactness), bitwise equality of the
+// partitioned SpMM against the monolithic kernel (forward and backward, at
+// several partition counts and thread counts), GraphSupport's partitioned
+// dispatch, the halo_exchange fault site's verify-and-fall-back behaviour,
+// ShardGroup semantics, sharded training lockstep, sharded evaluation
+// parity, and a lean SYNTH-2K end-to-end train + eval + serve pass.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
+#include "src/exec/shard.h"
+#include "src/graph/partition.h"
+#include "src/graph/road_network.h"
+#include "src/models/common.h"
+#include "src/models/traffic_model.h"
+#include "src/serve/server.h"
+#include "src/tensor/partitioned.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+#include "src/util/fault.h"
+#include "src/util/rng.h"
+
+namespace trafficbench {
+namespace {
+
+using exec::ExecOptions;
+using exec::ExecutionContext;
+using exec::ShardGroup;
+using exec::ShardOptions;
+using graph::GraphPartition;
+using graph::PartitionCsr;
+using sparse::CsrMatrix;
+using sparse::CsrPtr;
+using sparse::PartitionBlock;
+using sparse::PartitionedCsr;
+using sparse::PartitionedCsrPtr;
+
+/// Dense [n, n] support with ~`density` of entries nonzero.
+Tensor RandomSquareSupport(int64_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * n, 0.0f);
+  for (float& x : data) {
+    if (rng.Uniform(0.0, 1.0) < density) {
+      x = static_cast<float>(rng.Normal());
+    }
+  }
+  return Tensor::FromVector(Shape({n, n}), std::move(data));
+}
+
+std::vector<float> AsVector(const Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+/// Installs a fault spec process-wide for one test scope.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    Result<FaultInjector> parsed = FaultInjector::Parse(spec);
+    TB_CHECK(parsed.ok()) << parsed.status().ToString();
+    FaultInjector::SetGlobal(std::move(parsed).value());
+  }
+  ~ScopedFault() { FaultInjector::SetGlobal(FaultInjector()); }
+};
+
+// ---- Partitioner properties -------------------------------------------------
+
+TEST(Partition, CoversEveryNodeExactlyOnceWithinBalanceBound) {
+  for (int parts : {1, 2, 3, 4, 7}) {
+    Tensor support = RandomSquareSupport(97, 0.05, 11);
+    CsrPtr csr = CsrMatrix::FromDense(support);
+    GraphPartition partition = PartitionCsr(*csr, parts);
+    ASSERT_EQ(partition.num_nodes, 97);
+    ASSERT_EQ(partition.num_parts, parts);
+    ASSERT_EQ(static_cast<int64_t>(partition.owner.size()), 97);
+    ASSERT_EQ(static_cast<int>(partition.nodes.size()), parts);
+
+    std::vector<int> seen(97, 0);
+    for (int p = 0; p < parts; ++p) {
+      EXPECT_LE(static_cast<int64_t>(partition.nodes[p].size()),
+                partition.BalanceBound())
+          << "part " << p << " exceeds the balance bound";
+      for (size_t i = 0; i < partition.nodes[p].size(); ++i) {
+        const int32_t v = partition.nodes[p][i];
+        if (i > 0) EXPECT_LT(partition.nodes[p][i - 1], v);
+        EXPECT_EQ(partition.owner[v], p);
+        ++seen[v];
+      }
+    }
+    for (int v = 0; v < 97; ++v) {
+      EXPECT_EQ(seen[v], 1) << "node " << v;
+    }
+  }
+}
+
+TEST(Partition, DeterministicAcrossRepeatsAndThreadCounts) {
+  Tensor support = RandomSquareSupport(64, 0.08, 23);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  const GraphPartition baseline = PartitionCsr(*csr, 4);
+  for (int threads : {1, 2, 4}) {
+    ExecutionContext context(ExecOptions{.threads = threads});
+    ExecutionContext::Bind bind(&context);
+    const GraphPartition repeat = PartitionCsr(*csr, 4);
+    EXPECT_EQ(baseline.owner, repeat.owner) << "threads=" << threads;
+    EXPECT_EQ(baseline.nodes, repeat.nodes) << "threads=" << threads;
+  }
+}
+
+TEST(Partition, SinglePartOwnsEverythingAndHasNoCut) {
+  Tensor support = RandomSquareSupport(33, 0.1, 31);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  GraphPartition partition = PartitionCsr(*csr, 1);
+  EXPECT_EQ(static_cast<int64_t>(partition.nodes[0].size()), 33);
+  EXPECT_EQ(graph::EdgeCut(*csr, partition), 0);
+
+  GraphPartition split = PartitionCsr(*csr, 4);
+  EXPECT_LE(graph::EdgeCut(*csr, split), csr->nnz());
+}
+
+TEST(Partition, HaloColumnsAreExactlyCutCrossingCsrColumns) {
+  Tensor support = RandomSquareSupport(60, 0.07, 41);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  GraphPartition partition = PartitionCsr(*csr, 3);
+  PartitionedCsrPtr partitioned = PartitionedCsr::Build(csr, partition);
+
+  for (int p = 0; p < 3; ++p) {
+    // Expected halo: columns referenced by p's rows but owned elsewhere.
+    std::set<int32_t> expected;
+    for (int32_t row : partition.nodes[p]) {
+      for (int64_t k = csr->row_ptr()[row]; k < csr->row_ptr()[row + 1];
+           ++k) {
+        const int32_t col = csr->col_idx()[k];
+        if (partition.owner[col] != p) expected.insert(col);
+      }
+    }
+    const std::vector<int32_t> halo = partitioned->HaloColumns(p);
+    EXPECT_EQ(std::vector<int32_t>(expected.begin(), expected.end()), halo)
+        << "part " << p;
+
+    // Structure: gather ascending; halo_slots point at exactly the
+    // non-owned gather entries; local col_idx ascend within each row.
+    const PartitionBlock& block = partitioned->forward_blocks()[p];
+    for (size_t g = 1; g < block.gather.size(); ++g) {
+      EXPECT_LT(block.gather[g - 1], block.gather[g]);
+    }
+    std::set<int64_t> halo_slots(block.halo_slots.begin(),
+                                 block.halo_slots.end());
+    for (int64_t g = 0; g < block.gather_size(); ++g) {
+      const bool foreign = partition.owner[block.gather[g]] != p;
+      EXPECT_EQ(foreign, halo_slots.count(g) == 1) << "gather slot " << g;
+    }
+    for (int64_t r = 0; r < block.num_rows(); ++r) {
+      for (int64_t k = block.row_ptr[r] + 1; k < block.row_ptr[r + 1]; ++k) {
+        EXPECT_LT(block.col_idx[k - 1], block.col_idx[k]);
+      }
+    }
+  }
+}
+
+// ---- Partitioned SpMM bit-identity ------------------------------------------
+
+TEST(PartitionedSpmm, BitIdenticalToMonolithicAcrossPartsAndThreads) {
+  Tensor support = RandomSquareSupport(53, 0.08, 71);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  for (int parts : {1, 2, 4}) {
+    PartitionedCsrPtr partitioned =
+        PartitionedCsr::Build(csr, PartitionCsr(*csr, parts));
+    for (int threads : {1, 2, 4}) {
+      ExecutionContext context(ExecOptions{.threads = threads});
+      ExecutionContext::Bind bind(&context);
+      Rng rng(72);
+      Tensor x_mono = Tensor::Rand(Shape({3, 53, 5}), &rng, -1.0f, 1.0f)
+                          .set_requires_grad(true);
+      Tensor x_part =
+          Tensor::FromVector(x_mono.shape(), AsVector(x_mono))
+              .set_requires_grad(true);
+
+      Tensor y_mono = SparseMatMul(csr, x_mono);
+      Tensor y_part = SparseMatMul(partitioned, x_part);
+      EXPECT_EQ(AsVector(y_mono), AsVector(y_part))
+          << "forward parts=" << parts << " threads=" << threads;
+
+      y_mono.SumAll().Backward();
+      y_part.SumAll().Backward();
+      EXPECT_EQ(x_mono.grad(), x_part.grad())
+          << "backward parts=" << parts << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PartitionedSpmm, HandlesEmptyRowsAndIsolatedPartitions) {
+  // Block-diagonal support: partitions have no halo at all; plus empty rows.
+  std::vector<float> data(24 * 24, 0.0f);
+  for (int64_t i = 0; i < 24; i += 2) {
+    data[i * 24 + (i ^ 1)] = static_cast<float>(i + 1);  // pair edges only
+  }
+  Tensor support = Tensor::FromVector(Shape({24, 24}), std::move(data));
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  PartitionedCsrPtr partitioned =
+      PartitionedCsr::Build(csr, PartitionCsr(*csr, 4));
+  Rng rng(81);
+  Tensor x = Tensor::Rand(Shape({2, 24, 3}), &rng, -1.0f, 1.0f);
+  NoGradGuard no_grad;
+  EXPECT_EQ(AsVector(SparseMatMul(csr, x)),
+            AsVector(SparseMatMul(partitioned, x)));
+}
+
+// ---- GraphSupport dispatch --------------------------------------------------
+
+TEST(PartitionSupport, GraphSupportPartitionsAboveThreshold) {
+  Tensor dense = RandomSquareSupport(48, 0.06, 91);
+  models::GraphSupportThresholdGuard force_sparse(1.0);
+
+  models::GraphSupport monolithic(dense);
+  ASSERT_TRUE(monolithic.is_sparse());
+  EXPECT_FALSE(monolithic.is_partitioned());
+
+  models::GraphPartitionGuard partition_small(16, 3);
+  models::GraphSupport partitioned(dense);
+  ASSERT_TRUE(partitioned.is_partitioned());
+  EXPECT_EQ(partitioned.partitioned()->num_parts(), 3);
+
+  Rng rng(92);
+  Tensor x = Tensor::Rand(Shape({2, 48, 4}), &rng, -1.0f, 1.0f);
+  NoGradGuard no_grad;
+  EXPECT_EQ(AsVector(monolithic.Apply(x)), AsVector(partitioned.Apply(x)));
+}
+
+TEST(PartitionSupport, SmallSupportsStayMonolithic) {
+  models::GraphSupportThresholdGuard force_sparse(1.0);
+  Tensor dense = RandomSquareSupport(32, 0.1, 93);
+  // Default threshold is 1024 nodes: a 32-node support never partitions.
+  EXPECT_EQ(models::GraphPartitionNodeThreshold(), 1024);
+  EXPECT_FALSE(models::GraphSupport(dense).is_partitioned());
+  // The N-based parts rule is a pure function of N.
+  EXPECT_EQ(models::GraphPartitionParts(2048), 2);
+  EXPECT_EQ(models::GraphPartitionParts(4096), 4);
+  EXPECT_EQ(models::GraphPartitionParts(100000), 8);
+}
+
+// ---- halo_exchange fault site -----------------------------------------------
+
+TEST(HaloFault, VerifierDetectsCorruptionAndFallsBackBitIdentical) {
+  Tensor support = RandomSquareSupport(40, 0.1, 101);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  PartitionedCsrPtr partitioned =
+      PartitionedCsr::Build(csr, PartitionCsr(*csr, 2));
+  bool any_halo = false;
+  for (const PartitionBlock& block : partitioned->forward_blocks()) {
+    any_halo = any_halo || !block.halo_slots.empty();
+  }
+  ASSERT_TRUE(any_halo) << "test support must actually have a halo";
+
+  Rng rng(102);
+  Tensor x = Tensor::Rand(Shape({2, 40, 4}), &rng, -1.0f, 1.0f);
+  NoGradGuard no_grad;
+  const std::vector<float> reference = AsVector(SparseMatMul(csr, x));
+
+  {
+    ScopedFault fault("halo_exchange@1");
+    Tensor y = SparseMatMul(partitioned, x);
+    EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kHaloExchange), 1);
+    // The corrupted halo was detected and the op fell back to the
+    // monolithic kernel: the result is still bitwise correct.
+    EXPECT_EQ(reference, AsVector(y));
+  }
+  EXPECT_TRUE(partitioned->degraded());
+  EXPECT_FALSE(partitioned->degrade_reason().empty());
+
+  // A degraded matrix goes straight to the monolithic path: re-arming the
+  // fault can no longer fire it (the halo exchange never runs again).
+  {
+    ScopedFault fault("halo_exchange@1");
+    Tensor y = SparseMatMul(partitioned, x);
+    EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kHaloExchange), 0);
+    EXPECT_EQ(reference, AsVector(y));
+  }
+}
+
+TEST(HaloFault, BackwardCorruptionAlsoFallsBackBitIdentical) {
+  Tensor support = RandomSquareSupport(40, 0.1, 111);
+  CsrPtr csr = CsrMatrix::FromDense(support);
+  PartitionedCsrPtr partitioned =
+      PartitionedCsr::Build(csr, PartitionCsr(*csr, 2));
+
+  Rng rng(112);
+  Tensor x_mono = Tensor::Rand(Shape({2, 40, 4}), &rng, -1.0f, 1.0f)
+                      .set_requires_grad(true);
+  Tensor x_part = Tensor::FromVector(x_mono.shape(), AsVector(x_mono))
+                      .set_requires_grad(true);
+  SparseMatMul(csr, x_mono).SumAll().Backward();
+
+  // Run the forward clean, then arm the fault so the first halo-exchange
+  // task of the BACKWARD dispatch corrupts its gather buffer.
+  Tensor y = SparseMatMul(partitioned, x_part);
+  ASSERT_FALSE(partitioned->degraded());
+  {
+    ScopedFault fault("halo_exchange@1");
+    y.SumAll().Backward();
+    EXPECT_EQ(FaultInjector::Global().fired(FaultSite::kHaloExchange), 1);
+  }
+  EXPECT_TRUE(partitioned->degraded());
+  EXPECT_EQ(x_mono.grad(), x_part.grad());
+}
+
+// ---- ShardGroup -------------------------------------------------------------
+
+TEST(Shard, RangeIsContiguousBalancedAndAligned) {
+  ShardGroup group(ShardOptions{.shards = 4, .parallel = false});
+  for (int64_t total : {0, 1, 7, 16, 33}) {
+    int64_t covered = 0;
+    int64_t prev_end = 0;
+    for (int s = 0; s < 4; ++s) {
+      const auto [begin, end] = group.Range(s, total);
+      EXPECT_EQ(begin, prev_end);
+      EXPECT_LE(end - begin, (total + 3) / 4);
+      prev_end = end;
+      covered += end - begin;
+    }
+    EXPECT_EQ(covered, total);
+    EXPECT_EQ(prev_end, total);
+  }
+  // Batch-aligned ranges start on batch boundaries.
+  for (int s = 0; s < 4; ++s) {
+    const auto [begin, end] = group.Range(s, 50, 8);
+    EXPECT_EQ(begin % 8, 0);
+    EXPECT_LE(end, 50);
+  }
+}
+
+TEST(Shard, RunBindsEachShardToItsOwnContext) {
+  ShardGroup group(ShardOptions{.shards = 3, .parallel = true});
+  std::vector<ExecutionContext*> bound(3, nullptr);
+  group.Run([&](int s) { bound[s] = &ExecutionContext::Current(); });
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(bound[s], &group.context(s)) << "shard " << s;
+  }
+  // Distinct shards, distinct buffer pools.
+  EXPECT_NE(group.context(0).buffer_pool(), group.context(1).buffer_pool());
+}
+
+TEST(Shard, RunRethrowsLowestFailingShard) {
+  for (bool parallel : {false, true}) {
+    ShardGroup group(ShardOptions{.shards = 4, .parallel = parallel});
+    try {
+      group.Run([&](int s) {
+        if (s == 1 || s == 3) {
+          throw std::runtime_error("shard " + std::to_string(s));
+        }
+      });
+      FAIL() << "expected the shard error to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 1") << "parallel=" << parallel;
+    }
+  }
+}
+
+TEST(Shard, ReduceIsFixedOrderAndSkipsNullBuffers) {
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {10.0f, 20.0f};
+  std::vector<float> out(2);
+  exec::ReduceShardBuffers({a.data(), b.data()}, 2, 0.5f, out.data());
+  EXPECT_EQ(out, (std::vector<float>{5.5f, 11.0f}));
+
+  exec::ReduceShardBuffers({a.data(), nullptr, b.data()},
+                           {0.25f, 0.25f, 0.5f}, 2, out.data());
+  EXPECT_EQ(out, (std::vector<float>{5.25f, 10.5f}));
+}
+
+// ---- Sharded training / evaluation ------------------------------------------
+
+const data::TrafficDataset& ShardDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetProfile profile;
+    profile.name = "SHARD";
+    profile.num_nodes = 10;
+    profile.num_days = 4;
+    profile.seed = 920;
+    return new data::TrafficDataset(
+        data::TrafficDataset::FromProfile(profile));
+  }();
+  return *dataset;
+}
+
+std::vector<std::unique_ptr<models::TrafficModel>> MakeReplicas(
+    const data::TrafficDataset& dataset, int count) {
+  const models::ModelContext context = models::MakeModelContext(dataset, 5);
+  std::vector<std::unique_ptr<models::TrafficModel>> replicas;
+  for (int i = 0; i < count; ++i) {
+    // Same context, same seed: identical initial parameter bits.
+    replicas.push_back(models::CreateModel("AB-spatial-none", context));
+  }
+  return replicas;
+}
+
+std::vector<models::TrafficModel*> Pointers(
+    const std::vector<std::unique_ptr<models::TrafficModel>>& replicas) {
+  std::vector<models::TrafficModel*> out;
+  for (const auto& r : replicas) out.push_back(r.get());
+  return out;
+}
+
+TEST(ShardTrain, ReplicasStayLockstepAndParallelMatchesSerialBitwise) {
+  const data::TrafficDataset& dataset = ShardDataset();
+  eval::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 4;
+  config.max_batches_per_epoch = 3;
+  config.seed = 17;
+
+  std::vector<std::vector<std::vector<float>>> final_params;  // [mode][param]
+  std::vector<std::vector<double>> losses;
+  for (bool parallel : {false, true}) {
+    auto replicas = MakeReplicas(dataset, 2);
+    ShardGroup group(
+        ShardOptions{.shards = 2, .threads_per_shard = 1,
+                     .parallel = parallel});
+    eval::TrainResult result =
+        eval::TrainModelSharded(Pointers(replicas), dataset, config, group);
+    ASSERT_EQ(result.epoch_losses.size(), 2u);
+    EXPECT_EQ(result.batches_per_epoch, 3);
+    losses.push_back(result.epoch_losses);
+
+    // Replicas end bitwise identical to each other (lockstep contract).
+    std::vector<std::vector<float>> snapshot;
+    const auto p0 = replicas[0]->Parameters();
+    const auto p1 = replicas[1]->Parameters();
+    ASSERT_EQ(p0.size(), p1.size());
+    for (size_t i = 0; i < p0.size(); ++i) {
+      EXPECT_EQ(AsVector(p0[i]), AsVector(p1[i])) << "parameter " << i;
+      snapshot.push_back(AsVector(p0[i]));
+    }
+    final_params.push_back(std::move(snapshot));
+  }
+  // Serial and threaded shard execution produce identical bits.
+  EXPECT_EQ(losses[0], losses[1]);
+  ASSERT_EQ(final_params[0].size(), final_params[1].size());
+  for (size_t i = 0; i < final_params[0].size(); ++i) {
+    EXPECT_EQ(final_params[0][i], final_params[1][i]) << "parameter " << i;
+  }
+}
+
+TEST(ShardEval, MatchesUnshardedReport) {
+  const data::TrafficDataset& dataset = ShardDataset();
+  auto replicas = MakeReplicas(dataset, 2);
+  const data::DatasetSplits splits = dataset.Splits();
+  const int64_t begin = splits.test_begin;
+  const int64_t end = std::min(splits.test_end, begin + 12);
+
+  eval::EvalOptions options;
+  options.batch_size = 4;
+  const eval::HorizonReport serial =
+      eval::EvaluateModel(replicas[0].get(), dataset, begin, end, options);
+
+  ShardGroup group(ShardOptions{.shards = 2, .parallel = true});
+  const eval::HorizonReport sharded = eval::EvaluateModelSharded(
+      Pointers(replicas), dataset, begin, end, group, options);
+
+  EXPECT_EQ(serial.windows, sharded.windows);
+  EXPECT_EQ(serial.average.count, sharded.average.count);
+  EXPECT_EQ(serial.horizon15.count, sharded.horizon15.count);
+  // Same batches, same per-batch sums; only the double-precision merge
+  // order across the shard boundary differs.
+  EXPECT_NEAR(serial.average.mae, sharded.average.mae,
+              1e-9 * (1.0 + serial.average.mae));
+  EXPECT_NEAR(serial.average.rmse, sharded.average.rmse,
+              1e-9 * (1.0 + serial.average.rmse));
+  EXPECT_NEAR(serial.average.mape, sharded.average.mape,
+              1e-9 * (1.0 + serial.average.mape));
+  EXPECT_NEAR(serial.horizon60.mae, sharded.horizon60.mae,
+              1e-9 * (1.0 + serial.horizon60.mae));
+}
+
+// ---- SYNTH-2K end to end ----------------------------------------------------
+
+TEST(PartitionEndToEnd, Synth2kTrainsEvaluatesAndServes) {
+  Result<data::DatasetProfile> profile = data::ProfileByName("SYNTH-2K");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_EQ(profile.value().num_nodes, 2048);
+  const data::TrafficDataset dataset =
+      data::TrafficDataset::FromProfile(profile.value());
+  ASSERT_GE(dataset.num_nodes(), graph::kDenseAdjacencyNodeLimit);
+
+  // City scale: the context carries a CSR adjacency, never a dense one.
+  const models::ModelContext context =
+      models::MakeModelContext(dataset, 2021);
+  EXPECT_FALSE(context.adjacency.defined());
+  ASSERT_NE(context.adjacency_csr, nullptr);
+  EXPECT_EQ(context.adjacency_csr->rows(), 2048);
+
+  // The diffusion backbone builds sparse-native partitioned supports.
+  std::vector<std::unique_ptr<models::TrafficModel>> models;
+  for (int i = 0; i < 2; ++i) {
+    models.push_back(models::CreateModel("AB-spatial-diffusion", context));
+  }
+
+  // Lean sharded training pass: one epoch, two tiny global batches.
+  eval::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 2;
+  config.max_batches_per_epoch = 2;
+  config.seed = 3;
+  ShardGroup group(ShardOptions{.shards = 2, .parallel = true});
+  const eval::TrainResult trained =
+      eval::TrainModelSharded(Pointers(models), dataset, config, group);
+  ASSERT_TRUE(trained.status.ok()) << trained.status.ToString();
+  ASSERT_EQ(trained.epoch_losses.size(), 1u);
+  EXPECT_TRUE(std::isfinite(trained.epoch_losses[0]));
+
+  // Sharded eval over a handful of test windows.
+  const data::DatasetSplits splits = dataset.Splits();
+  eval::EvalOptions eval_options;
+  eval_options.batch_size = 1;
+  const eval::HorizonReport report = eval::EvaluateModelSharded(
+      Pointers(models), dataset, splits.test_begin, splits.test_begin + 2,
+      group, eval_options);
+  EXPECT_EQ(report.windows, 2);
+  EXPECT_GT(report.average.count, 0);
+  EXPECT_TRUE(std::isfinite(report.average.mae));
+
+  // Serve a window end-to-end through the registry + server.
+  serve::ModelRegistry registry;
+  serve::ModelSpec spec;
+  spec.model_name = "AB-spatial-diffusion";
+  spec.dataset_name = "SYNTH-2K";
+  spec.dataset = &dataset;
+  spec.warmup = false;
+  spec.compile_plans = false;  // keep the 2k-node test lean
+  ASSERT_TRUE(registry.Load(spec).ok());
+
+  serve::ServerOptions server_options;
+  server_options.workers = 1;
+  serve::Server server(&registry, server_options);
+  server.Start();
+  data::Batch window = dataset.MakeBatch({splits.test_begin});
+  serve::PredictRequest request;
+  request.model_name = "AB-spatial-diffusion";
+  request.dataset_name = "SYNTH-2K";
+  request.window = window.x.Squeeze(0);
+  serve::PredictResponse response = server.Predict(std::move(request));
+  server.Stop();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.prediction.dim(0), dataset.output_len());
+  EXPECT_EQ(response.prediction.dim(1), 2048);
+}
+
+}  // namespace
+}  // namespace trafficbench

@@ -144,6 +144,77 @@ TEST(SparseCsr, DensityThresholdGatesConversion) {
   EXPECT_NE(CsrMatrix::FromDense(dense_m), nullptr);
 }
 
+TEST(SparseCsr, FromCooMatchesFromDenseBitwise) {
+  // Shuffled COO entries of a random sparse matrix must build the exact
+  // arrays FromDense builds from the equivalent dense tensor.
+  Tensor dense = RandomSparseDense(23, 17, 0.15, 41);
+  std::vector<sparse::CooEntry> coo;
+  for (int32_t r = 0; r < 23; ++r) {
+    for (int32_t c = 0; c < 17; ++c) {
+      const float v = dense.data()[r * 17 + c];
+      if (v != 0.0f) coo.push_back({r, c, v});
+    }
+  }
+  Rng rng(42);
+  for (size_t i = coo.size(); i > 1; --i) {  // Fisher-Yates shuffle
+    std::swap(coo[i - 1], coo[rng.UniformInt(i)]);
+  }
+  CsrPtr from_coo = CsrMatrix::FromCoo(23, 17, std::move(coo));
+  CsrPtr from_dense = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(from_coo->row_ptr(), from_dense->row_ptr());
+  EXPECT_EQ(from_coo->col_idx(), from_dense->col_idx());
+  EXPECT_EQ(from_coo->values(), from_dense->values());
+  EXPECT_EQ(from_coo->t_row_ptr(), from_dense->t_row_ptr());
+  EXPECT_EQ(from_coo->t_col_idx(), from_dense->t_col_idx());
+  EXPECT_EQ(from_coo->t_values(), from_dense->t_values());
+}
+
+TEST(SparseCsr, FromCooMergesDuplicatesAndDropsZeros) {
+  std::vector<sparse::CooEntry> coo = {
+      {1, 2, 0.5f},  {0, 0, 1.0f}, {1, 2, 0.25f},  // duplicate (1,2)
+      {2, 1, 3.0f},  {2, 1, -3.0f},                // cancels to zero
+      {0, 3, 0.0f},                                // explicit zero
+  };
+  CsrPtr csr = CsrMatrix::FromCoo(3, 4, std::move(coo));
+  ASSERT_EQ(csr->nnz(), 2);
+  EXPECT_EQ(csr->row_ptr(), (std::vector<int64_t>{0, 1, 2, 2}));
+  EXPECT_EQ(csr->col_idx(), (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(csr->values(), (std::vector<float>{1.0f, 0.75f}));
+}
+
+TEST(SparseCsr, MultiplyMatchesAscendingOrderReference) {
+  Tensor a_dense = RandomSparseDense(12, 15, 0.2, 51);
+  Tensor b_dense = RandomSparseDense(15, 9, 0.2, 52);
+  CsrPtr a = CsrMatrix::FromDense(a_dense);
+  CsrPtr b = CsrMatrix::FromDense(b_dense);
+  CsrPtr product = CsrMatrix::Multiply(*a, *b);
+  ASSERT_EQ(product->rows(), 12);
+  ASSERT_EQ(product->cols(), 9);
+
+  // Reference: per output row, accumulate a's nonzeros in ascending column
+  // order into a dense scratch row — the same chain order Multiply pins.
+  for (int64_t i = 0; i < 12; ++i) {
+    std::vector<float> scratch(9, 0.0f);
+    for (int64_t ka = a->row_ptr()[i]; ka < a->row_ptr()[i + 1]; ++ka) {
+      const int32_t k = a->col_idx()[ka];
+      const float av = a->values()[ka];
+      for (int64_t kb = b->row_ptr()[k]; kb < b->row_ptr()[k + 1]; ++kb) {
+        scratch[b->col_idx()[kb]] += av * b->values()[kb];
+      }
+    }
+    for (int64_t kp = product->row_ptr()[i]; kp < product->row_ptr()[i + 1];
+         ++kp) {
+      const int32_t j = product->col_idx()[kp];
+      EXPECT_EQ(product->values()[kp], scratch[j]) << i << "," << j;
+      scratch[j] = 0.0f;  // consumed
+    }
+    // Anything left nonzero would be an entry Multiply missed.
+    for (int64_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(scratch[j], 0.0f) << "missing entry " << i << "," << j;
+    }
+  }
+}
+
 // ---- SpMM vs dense GraphMix -------------------------------------------------
 
 TEST(SpmmProperty, MatchesDenseGraphMixOverRandomSupports) {

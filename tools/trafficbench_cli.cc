@@ -190,6 +190,10 @@ int CmdList() {
     std::printf("  %-12s (flow,  mirrors %s)\n", p.name.c_str(),
                 p.mirrors.c_str());
   }
+  for (const auto& p : tb::data::CityScaleProfiles()) {
+    std::printf("  %-12s (speed, %lld nodes, partitioned execution)\n",
+                p.name.c_str(), static_cast<long long>(p.num_nodes));
+  }
   return 0;
 }
 
