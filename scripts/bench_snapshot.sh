@@ -47,17 +47,26 @@
 # the partitioned-vs-dense-dispatch speedup at 2k, and lands both under the
 # "partition_bench" key.
 #
-# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 9)
+# Since PR 10 the snapshot also records the scenario-robustness view under
+# "scenario_bench": the full models x scenarios matrix (DESIGN.md §16) —
+# every model trained on an undisturbed capacity-routed world, then scored
+# on scripted closure / surge / gridlock / blackout scenarios — with
+# per-cell overall + difficult-interval metrics and the per-model
+# degradation ratios. The fold prints the headline: each model family's
+# worst scenario and its worst-case MAE degradation ratio.
+#
+# Usage: scripts/bench_snapshot.sh [PR_NUMBER]   (default 10)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-PR="${1:-9}"
+PR="${1:-10}"
 OUT="$ROOT/BENCH_${PR}.json"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=Release -DTRAFFICBENCH_NATIVE=ON >/dev/null
-cmake --build "$BUILD" --target bench_micro_ops trafficbench_cli -j >/dev/null
+cmake --build "$BUILD" --target bench_micro_ops trafficbench_cli \
+  bench_scenario_matrix -j >/dev/null
 
 "$BUILD/bench/bench_micro_ops" \
   --benchmark_filter='BM_MatMul(Ref)?/|BM_GraphConvMetrLa|BM_MatMulThreads|BM_SpMM/|BM_SpMMCity/|BM_PartitionedSpMM/|BM_DenseDispatchCity/|BM_SpmmGraphConvMetrLa|BM_GemmPlan' \
@@ -323,5 +332,55 @@ for m in models:
     print(f"  {m['model']}: {m['arrival_rate_per_s']}/s in, "
           f"tiers {m['tier0']}/{m['tier1']}/{m['tier2']} "
           f"({degraded:.0f}% degraded), p99 {m['p99_ms_all_tiers']} ms")
+EOF
+# Scenario robustness matrix (DESIGN.md §16): every model trained on the
+# undisturbed routed world, scored on each scripted disruption class. The
+# run honours the TB_* environment knobs like every experiment binary.
+(cd "$BUILD" && ./bench/bench_scenario_matrix > scenario_matrix.log)
+
+python3 - "$OUT" "$BUILD" <<'EOF'
+import csv, json, sys
+
+out_path, build = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    snap = json.load(f)
+with open(f"{build}/scenario_matrix.csv") as f:
+    cells = list(csv.DictReader(f))
+with open(f"{build}/scenario_degradation.csv") as f:
+    degradation = list(csv.DictReader(f))
+scenarios = []
+with open(f"{build}/scenario_matrix.log") as f:
+    for line in f:
+        if line.startswith("scenario "):
+            scenarios.append(line.strip())
+snap["scenario_bench"] = {
+    "config": "48-node grid+arterial world, 6 train days, 2 eval days per "
+              "scenario, shared noise stream and training scaler across "
+              "scenario columns; cells carry overall and difficult-interval "
+              "MAE/RMSE/MAPE plus the MAE degradation vs the model's own "
+              "baseline column",
+    "scenarios": scenarios,
+    "matrix": cells,
+    "degradation": degradation,
+}
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+
+print("scenario-bench headlines (worst scenario-induced MAE degradation):")
+worst_overall = None
+for row in degradation:
+    ratios = {k[1:]: float(v) for k, v in row.items()
+              if k.startswith("x") and v not in ("-", "")}
+    if not ratios:
+        continue
+    scen, ratio = max(ratios.items(), key=lambda kv: kv[1])
+    print(f"  {row['Model']}: x{ratio:.3f} under {scen} "
+          f"(baseline MAE {row['BaselineMAE']})")
+    if worst_overall is None or ratio > worst_overall[2]:
+        worst_overall = (row["Model"], scen, ratio)
+if worst_overall:
+    print(f"  most fragile cell: {worst_overall[0]} under {worst_overall[1]} "
+          f"(x{worst_overall[2]:.3f})")
 EOF
 echo "snapshot: $OUT"

@@ -5,9 +5,9 @@
 #   scripts/check.sh          # tier-1 only
 #   TSAN=1 scripts/check.sh   # + ThreadSanitizer pass (exec layer + pool +
 #                             #   sparse + serving queue/batcher/server +
-#                             #   compiled inference plans)
+#                             #   compiled inference plans + scenario engine)
 #   ASAN=1 scripts/check.sh   # + ASan/UBSan pass (tensor/kernel/pool/
-#                             #   sparse/serve tests)
+#                             #   sparse/serve/scenario tests)
 #   FAULT=1 scripts/check.sh  # + fault-injection suite under ASan/UBSan
 #                             #   (guarded loop, TBCKPT2, kill-and-resume)
 set -euo pipefail
@@ -23,27 +23,27 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   echo "== tsan: build (TRAFFICBENCH_TSAN=ON) =="
   cmake -B build-tsan -S . -DTRAFFICBENCH_TSAN=ON >/dev/null
   cmake --build build-tsan -j --target trafficbench_tests >/dev/null
-  echo "== tsan: exec + pool + sparse + serve + plan + precision + ladder + partition tests =="
+  echo "== tsan: exec + pool + sparse + serve + plan + precision + ladder + partition + scenario tests =="
   ./build-tsan/tests/trafficbench_tests \
-    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*'
+    --gtest_filter='ExecutionContext.*:Determinism.*:OpProfiler.*:BufferPool.*:SpmmProperty.*:SparseModelParity.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*:Scenario*.*'
 fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   echo "== asan/ubsan: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan/precision/ladder/partition tests =="
+  echo "== asan/ubsan: tensor/kernel/pool/sparse/serve/plan/precision/ladder/partition/scenario tests =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*'
+    --gtest_filter='Tensor*.*:Autograd*.*:GradCheck*.*:ElementwiseOps.*:MatMul*.*:Conv*.*:SoftmaxOp.*:Reductions.*:ShapeOps.*:StructuralOps.*:KernelProperty.*:BufferPool.*:Determinism.*:SparseCsr.*:SpmmProperty.*:SparseGraphSupport.*:Serve*.*:*ServeDeterminismTest.*:Plan*.*:Precision*.*:Admission*.*:ResponseCache*.*:ArrivalTrace.*:DegradeFault.*:Partition*.*:Shard*.*:Scenario*.*'
 fi
 
 if [[ "${FAULT:-0}" == "1" ]]; then
   echo "== fault: build (TRAFFICBENCH_ASAN=ON) =="
   cmake -B build-asan -S . -DTRAFFICBENCH_ASAN=ON >/dev/null
   cmake --build build-asan -j --target trafficbench_tests >/dev/null
-  echo "== fault: guarded loop / checkpoint / resume / degrade-ladder / halo suite =="
+  echo "== fault: guarded loop / checkpoint / resume / degrade-ladder / halo / scenario-route suite =="
   ./build-asan/tests/trafficbench_tests \
-    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*:PrecisionFault.*:DegradeFault.*:HaloFault.*'
+    --gtest_filter='FaultInjector.*:GuardedLoop.*:TrainCheckpoint.*:KillAndResume.*:Sweep.*:Evaluation.*:CsvRobustness.*:AtomicWrite.*:Serialize.*:PlanFault.*:PrecisionFault.*:DegradeFault.*:HaloFault.*:ScenarioFault.*'
 fi
 
 echo "OK"

@@ -188,7 +188,8 @@ Tensor ZScoreScaler::Denormalize(const Tensor& t) const {
 
 TrafficDataset::TrafficDataset(graph::RoadNetwork network,
                                TrafficSeries series, int input_len,
-                               int output_len)
+                               int output_len,
+                               const ZScoreScaler* scaler_override)
     : network_(std::move(network)),
       series_(std::move(series)),
       input_len_(input_len),
@@ -197,6 +198,10 @@ TrafficDataset::TrafficDataset(graph::RoadNetwork network,
   TB_CHECK_GT(output_len, 0);
   TB_CHECK_EQ(network_.num_nodes(), series_.num_nodes);
   TB_CHECK_GT(num_samples(), 10) << "series too short for windowing";
+  if (scaler_override != nullptr) {
+    scaler_ = *scaler_override;
+    return;
+  }
   // Fit the scaler on the training portion only (no test leakage).
   const DatasetSplits splits = Splits();
   const int64_t train_steps =

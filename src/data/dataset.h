@@ -94,8 +94,14 @@ struct DatasetSplits {
 /// 60 minutes, as the paper fixes for fairness).
 class TrafficDataset {
  public:
+  /// `scaler_override` replaces the train-split-fitted scaler — the
+  /// scenario-matrix harness passes the *baseline* world's scaler so a
+  /// model trained there sees scenario inputs in the encoding it was
+  /// trained with (a scenario's own distribution shift must show up as
+  /// error, not be silently normalized away).
   TrafficDataset(graph::RoadNetwork network, TrafficSeries series,
-                 int input_len = 12, int output_len = 12);
+                 int input_len = 12, int output_len = 12,
+                 const ZScoreScaler* scaler_override = nullptr);
 
   /// Generates network + series from a profile.
   static TrafficDataset FromProfile(const DatasetProfile& profile);

@@ -121,6 +121,8 @@ TrafficSeries SimulateTraffic(const graph::RoadNetwork& network,
       incident.duration = 6 + static_cast<int64_t>(rng->UniformInt(18));
       incident.severity = rng->Uniform(0.35, 0.85);
       const int64_t recovery = 6 + static_cast<int64_t>(rng->UniformInt(12));
+      series.incidents.push_back({incident.node, incident.start_step,
+                                  incident.duration, incident.severity});
 
       for (int64_t u = 0; u < n; ++u) {
         const int hops = upstream_hops[incident.node][u];
@@ -146,6 +148,12 @@ TrafficSeries SimulateTraffic(const graph::RoadNetwork& network,
       }
     }
   }
+
+  std::sort(series.incidents.begin(), series.incidents.end(),
+            [](const TrafficIncident& a, const TrafficIncident& b) {
+              return a.onset_step != b.onset_step ? a.onset_step < b.onset_step
+                                                  : a.node < b.node;
+            });
 
   // --- Main loop ---------------------------------------------------------------
   std::vector<double> ar_noise(n, 0.0);

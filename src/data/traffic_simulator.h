@@ -19,6 +19,23 @@ enum class FeatureKind {
 /// Number of 5-minute steps per day.
 inline constexpr int kStepsPerDay = 288;
 
+/// One abrupt, non-recurring event in a series — a simulator incident
+/// (accident, stalled vehicle) or a scenario-engine scripted disruption
+/// (closure, surge, gridlock, blackout). Both emitters fill the same
+/// struct, so difficult-interval labels come from ground truth instead of
+/// post-hoc moving-std thresholding (see eval::IncidentDifficultMask).
+struct TrafficIncident {
+  /// Epicentre sensor (scripted events record their target node here).
+  int64_t node = 0;
+  /// First series step at which the event acts.
+  int64_t onset_step = 0;
+  /// Steps of full severity before recovery begins.
+  int64_t duration = 0;
+  /// Peak severity in [0, 1] for incidents; scripted events store their
+  /// magnitude clamped to [0, 1] for reporting.
+  double severity = 0.0;
+};
+
 /// Raw sensor series over a road network: the stand-in for a PeMS download.
 struct TrafficSeries {
   FeatureKind kind = FeatureKind::kSpeed;
@@ -32,8 +49,12 @@ struct TrafficSeries {
   /// 0 = Monday ... 6 = Sunday for each step.
   std::vector<int> day_of_week;
   /// Readings that arrived as empty or non-finite fields (NaN/inf) in a CSV
-  /// load and were masked to 0 (= missing under the PeMS convention).
+  /// load — or were blacked out by a scenario sensor-blackout event — and
+  /// were masked to 0 (= missing under the PeMS convention).
   int64_t masked_entries = 0;
+  /// Ground-truth event log: every incident the simulator sampled (or every
+  /// scripted event the scenario engine compiled), in onset order.
+  std::vector<TrafficIncident> incidents;
 
   float at(int64_t step, int64_t node) const {
     return values[step * num_nodes + node];

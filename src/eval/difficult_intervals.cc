@@ -63,6 +63,24 @@ std::vector<uint8_t> DifficultMask(const data::TrafficSeries& series,
   return mask;
 }
 
+std::vector<uint8_t> IncidentDifficultMask(const data::TrafficSeries& series,
+                                           int recovery_pad_steps) {
+  TB_CHECK_GE(recovery_pad_steps, 0);
+  const int64_t steps = series.num_steps;
+  const int64_t n = series.num_nodes;
+  std::vector<uint8_t> mask(steps * n, 0);
+  for (const data::TrafficIncident& incident : series.incidents) {
+    TB_CHECK(incident.node >= 0 && incident.node < n);
+    const int64_t begin = std::max<int64_t>(0, incident.onset_step);
+    const int64_t end = std::min<int64_t>(
+        steps, incident.onset_step + incident.duration + recovery_pad_steps);
+    for (int64_t step = begin; step < end; ++step) {
+      mask[step * n + incident.node] = 1;
+    }
+  }
+  return mask;
+}
+
 double MaskFraction(const std::vector<uint8_t>& mask) {
   if (mask.empty()) return 0.0;
   int64_t set = 0;

@@ -32,6 +32,17 @@ std::vector<uint8_t> DifficultMask(const data::TrafficSeries& series,
 /// Fraction of mask entries set (for sanity checks and reports).
 double MaskFraction(const std::vector<uint8_t>& mask);
 
+/// Ground-truth difficult-interval mask from the series' incident log
+/// (TrafficSeries::incidents): marks [onset, onset + duration +
+/// recovery_pad_steps) at each incident's epicentre node. Where the
+/// simulator's moving-std mask *estimates* volatility post hoc, this one is
+/// exact — a position is difficult iff an abrupt event was acting on it.
+/// The scenario engine builds its own spatially-spread variant on top
+/// (affected nodes within a hop radius); this helper covers the simulator's
+/// point incidents.
+std::vector<uint8_t> IncidentDifficultMask(const data::TrafficSeries& series,
+                                           int recovery_pad_steps = 6);
+
 }  // namespace trafficbench::eval
 
 #endif  // TRAFFICBENCH_EVAL_DIFFICULT_INTERVALS_H_

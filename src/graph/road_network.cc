@@ -12,7 +12,59 @@ namespace trafficbench::graph {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Grid spacing used by the kGrid / kGridArterial generators, in miles.
+/// DeriveCapacities recovers row/column indices from coordinates with it.
+constexpr double kGridSpacing = 0.8;
+
+/// Fills one segment's capacity attributes from its road class.
+void StampClass(RoadSegment* segment, RoadClass road_class) {
+  segment->road_class = road_class;
+  switch (road_class) {
+    case RoadClass::kFreeway:
+      segment->lanes = 4;
+      segment->free_flow_mph = 65.0;
+      segment->capacity_per_step = 4 * 180.0;
+      break;
+    case RoadClass::kArterial:
+      segment->lanes = 2;
+      segment->free_flow_mph = 45.0;
+      segment->capacity_per_step = 2 * 75.0;
+      break;
+    case RoadClass::kLocal:
+      segment->lanes = 1;
+      segment->free_flow_mph = 30.0;
+      segment->capacity_per_step = 55.0;
+      break;
+    case RoadClass::kRamp:
+      segment->lanes = 1;
+      segment->free_flow_mph = 35.0;
+      segment->capacity_per_step = 90.0;
+      break;
+    case RoadClass::kUnclassified:
+      segment->lanes = 0;
+      segment->free_flow_mph = 0.0;
+      segment->capacity_per_step = 0.0;
+      break;
+  }
+}
 }  // namespace
+
+const char* RoadClassName(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kUnclassified:
+      return "?";
+    case RoadClass::kFreeway:
+      return "freeway";
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kLocal:
+      return "local";
+    case RoadClass::kRamp:
+      return "ramp";
+  }
+  return "?";
+}
 
 RoadNetwork::RoadNetwork(std::vector<Sensor> sensors,
                          std::vector<RoadSegment> segments)
@@ -140,8 +192,123 @@ RoadNetwork RoadNetwork::Generate(NetworkTopology topology, int64_t num_nodes,
       add_bidirectional(tails[2], heads[0], rng->Uniform(0.8, 1.5));
       break;
     }
+    case NetworkTopology::kGridArterial: {
+      // Composite city: a kGrid-style urban core takes ~80% of the sensors;
+      // the remainder form a kCorridor-style freeway chained south of the
+      // grid (y = -1.6) and linked to the grid's first row by interchange
+      // ramps. Grid coordinates stay on the exact kGridSpacing lattice so
+      // DeriveCapacities can recover row/column indices.
+      TB_CHECK_GE(num_nodes, 8) << "kGridArterial needs at least 8 nodes";
+      const int64_t grid_count =
+          std::max<int64_t>(4, std::min(num_nodes - 2, num_nodes * 4 / 5));
+      const int64_t cols = std::max<int64_t>(
+          2, static_cast<int64_t>(std::lround(std::sqrt(
+                 static_cast<double>(grid_count)))));
+      for (int64_t i = 0; i < grid_count; ++i) {
+        const int64_t r = i / cols;
+        const int64_t c = i % cols;
+        sensors.push_back({i, static_cast<double>(c) * kGridSpacing,
+                           static_cast<double>(r) * kGridSpacing});
+      }
+      for (int64_t i = 0; i < grid_count; ++i) {
+        const int64_t c = i % cols;
+        if (c + 1 < cols && i + 1 < grid_count) {
+          add_bidirectional(i, i + 1, rng->Uniform(0.6, 1.0));
+        }
+        if (i + cols < grid_count) {
+          add_bidirectional(i, i + cols, rng->Uniform(0.6, 1.0));
+        }
+      }
+      // Freeway corridor spanning the grid's width.
+      const int64_t corridor_count = num_nodes - grid_count;
+      const double grid_width = static_cast<double>(cols - 1) * kGridSpacing;
+      const double spacing =
+          std::max(0.8, grid_width / std::max<int64_t>(1, corridor_count - 1));
+      for (int64_t j = 0; j < corridor_count; ++j) {
+        const int64_t id = grid_count + j;
+        sensors.push_back({id, static_cast<double>(j) * spacing, -1.6});
+        if (j > 0) add_bidirectional(id - 1, id, spacing);
+      }
+      // Interchange ramps: every other corridor node drops onto the nearest
+      // first-row grid node (ties broken by the lower column index).
+      for (int64_t j = 0; j < corridor_count; j += 2) {
+        const int64_t id = grid_count + j;
+        int64_t best = 0;
+        double best_dx = std::abs(sensors[id].x - sensors[0].x);
+        for (int64_t c = 1; c < std::min(cols, grid_count); ++c) {
+          const double dx = std::abs(sensors[id].x - sensors[c].x);
+          if (dx < best_dx) {
+            best_dx = dx;
+            best = c;
+          }
+        }
+        add_bidirectional(id, best, std::max(0.3, 1.6 + best_dx * 0.25));
+      }
+      break;
+    }
   }
   return RoadNetwork(std::move(sensors), std::move(segments));
+}
+
+RoadNetwork RoadNetwork::DeriveCapacities(NetworkTopology topology) const {
+  const int64_t n = num_nodes();
+  // Undirected degree: number of distinct neighbours in either direction.
+  std::vector<int> degree(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int64_t> nbrs = out_adj_[i];
+    nbrs.insert(nbrs.end(), in_adj_[i].begin(), in_adj_[i].end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    degree[i] = static_cast<int>(nbrs.size());
+  }
+  // Row/column index of a sensor on the generator's grid lattice.
+  auto grid_rc = [&](int64_t node) {
+    return std::pair<int64_t, int64_t>(
+        static_cast<int64_t>(std::lround(sensors_[node].y / kGridSpacing)),
+        static_cast<int64_t>(std::lround(sensors_[node].x / kGridSpacing)));
+  };
+  auto grid_class = [&](int64_t from, int64_t to) {
+    const auto [r0, c0] = grid_rc(from);
+    const auto [r1, c1] = grid_rc(to);
+    // A segment lies on an arterial line when both endpoints share an
+    // every-4th row or column; everything else is a local street.
+    if (r0 == r1 && r0 % 4 == 0) return RoadClass::kArterial;
+    if (c0 == c1 && c0 % 4 == 0) return RoadClass::kArterial;
+    return RoadClass::kLocal;
+  };
+
+  std::vector<RoadSegment> stamped = segments_;
+  for (RoadSegment& segment : stamped) {
+    RoadClass road_class = RoadClass::kUnclassified;
+    switch (topology) {
+      case NetworkTopology::kCorridor:
+      case NetworkTopology::kMultiCorridor:
+        // Chain segments are freeway mainline; a segment touching a
+        // degree-1 leaf is an on/off-ramp branch.
+        road_class = (degree[segment.from] == 1 || degree[segment.to] == 1)
+                         ? RoadClass::kRamp
+                         : RoadClass::kFreeway;
+        break;
+      case NetworkTopology::kGrid:
+        road_class = grid_class(segment.from, segment.to);
+        break;
+      case NetworkTopology::kGridArterial: {
+        // Corridor nodes sit south of the grid (y < 0).
+        const bool from_corridor = sensors_[segment.from].y < -0.5;
+        const bool to_corridor = sensors_[segment.to].y < -0.5;
+        if (from_corridor && to_corridor) {
+          road_class = RoadClass::kFreeway;
+        } else if (from_corridor || to_corridor) {
+          road_class = RoadClass::kRamp;
+        } else {
+          road_class = grid_class(segment.from, segment.to);
+        }
+        break;
+      }
+    }
+    StampClass(&segment, road_class);
+  }
+  return RoadNetwork(sensors_, std::move(stamped));
 }
 
 Tensor RoadNetwork::GaussianAdjacency(double threshold) const {

@@ -24,11 +24,34 @@ struct Sensor {
   double y = 0.0;
 };
 
+/// Functional class of a road segment — determines its capacity attributes
+/// (DeriveCapacities below). kUnclassified marks segments that never went
+/// through capacity derivation; the scenario engine refuses to route on
+/// them.
+enum class RoadClass : int {
+  kUnclassified = 0,
+  kFreeway,   // grade-separated mainline: high speed, high per-lane capacity
+  kArterial,  // signalized major street
+  kLocal,     // neighbourhood street
+  kRamp,      // on/off-ramp or interchange link
+};
+
+/// "freeway" / "arterial" / "local" / "ramp" / "?".
+const char* RoadClassName(RoadClass road_class);
+
 /// A directed road segment between two sensors with a driving distance.
+/// The capacity attributes are zero until DeriveCapacities stamps them from
+/// the topology class; everything outside the scenario engine ignores them.
 struct RoadSegment {
   int64_t from = 0;
   int64_t to = 0;
   double distance_miles = 0.0;
+  RoadClass road_class = RoadClass::kUnclassified;
+  int lanes = 0;
+  double free_flow_mph = 0.0;
+  /// Vehicles per 5-minute step this directed segment serves at capacity
+  /// (lanes x per-lane service rate of the road class).
+  double capacity_per_step = 0.0;
 };
 
 /// Topology families for the synthetic network generator.
@@ -39,6 +62,11 @@ enum class NetworkTopology {
   kGrid,
   /// Several corridors joined at interchange hubs — regional-freeway-like.
   kMultiCorridor,
+  /// Composite city: an urban grid core (kGrid family) with a freeway
+  /// corridor (kCorridor family) laid alongside and linked by interchange
+  /// ramps — the scenario engine's canonical world, where closures force
+  /// demand between structurally different road classes.
+  kGridArterial,
 };
 
 /// A directed, distance-weighted road graph over traffic sensors.
@@ -53,6 +81,18 @@ class RoadNetwork {
   /// Generates a synthetic network with `num_nodes` sensors.
   static RoadNetwork Generate(NetworkTopology topology, int64_t num_nodes,
                               Rng* rng);
+
+  /// Returns a copy whose segments carry capacity attributes (road class,
+  /// lanes, free-flow speed, vehicles/step) derived *deterministically*
+  /// from the topology class and the graph structure — no RNG, so two
+  /// generates from the same seed always agree:
+  ///   kCorridor / kMultiCorridor  chain segments are freeway mainline,
+  ///                               segments touching a leaf are ramps;
+  ///   kGrid                       every 4th row/column is an arterial,
+  ///                               the rest are local streets;
+  ///   kGridArterial               corridor chain = freeway, interchange
+  ///                               links = ramps, grid as kGrid.
+  RoadNetwork DeriveCapacities(NetworkTopology topology) const;
 
   int64_t num_nodes() const { return static_cast<int64_t>(sensors_.size()); }
   const std::vector<Sensor>& sensors() const { return sensors_; }

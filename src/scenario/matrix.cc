@@ -1,0 +1,221 @@
+#include "src/scenario/matrix.h"
+
+#include <algorithm>
+#include <limits>
+#include <cstdio>
+#include <utility>
+
+#include "src/data/dataset.h"
+#include "src/eval/difficult_intervals.h"
+#include "src/eval/trainer.h"
+#include "src/exec/execution_context.h"
+#include "src/models/traffic_model.h"
+#include "src/util/check.h"
+
+namespace trafficbench::scenario {
+
+const MatrixCell* ScenarioMatrixResult::Cell(
+    const std::string& model, const std::string& scenario) const {
+  for (const MatrixCell& cell : cells) {
+    if (cell.model == model && cell.scenario == scenario) return &cell;
+  }
+  return nullptr;
+}
+
+std::string ScenarioMatrixResult::WorstScenario(
+    const std::string& model) const {
+  std::string worst;
+  double worst_ratio = -1.0;
+  for (const MatrixCell& cell : cells) {
+    if (cell.model != model || cell.scenario == "baseline") continue;
+    if (cell.degradation > worst_ratio) {
+      worst_ratio = cell.degradation;
+      worst = cell.scenario;
+    }
+  }
+  return worst;
+}
+
+ScenarioMatrixResult RunScenarioMatrix(const MatrixOptions& options) {
+  TB_CHECK_GE(options.num_nodes, 8);
+  TB_CHECK_GT(options.train_days, 0);
+  TB_CHECK_GT(options.eval_days, 0);
+  const core::ExperimentConfig& config = options.config;
+  exec::ExecutionContext exec(config.ExecConfig());
+  exec::ExecutionContext::Bind bind(&exec);
+
+  // --- Seeded world: network, demand, baseline training traffic ----------
+  Rng world_rng(config.seed);
+  Rng net_rng = world_rng.Fork();
+  const graph::RoadNetwork network =
+      graph::RoadNetwork::Generate(graph::NetworkTopology::kGridArterial,
+                                   options.num_nodes, &net_rng)
+          .DeriveCapacities(graph::NetworkTopology::kGridArterial);
+  Rng demand_rng = world_rng.Fork();
+  DemandModel demand = DemandModel::Generate(network, demand_rng.NextUint64());
+  CalibrateDemand(network, &demand, /*target_peak_utilization=*/0.85);
+
+  RoutingOptions train_route;
+  train_route.num_days = options.train_days;
+  Rng train_rng = world_rng.Fork();
+  data::TrafficSeries train_series =
+      RouteTraffic(network, demand, train_route, &train_rng);
+  const data::TrafficDataset train_dataset(network, std::move(train_series));
+
+  // --- Evaluation scenarios ----------------------------------------------
+  // Every scenario run draws the identical sensor-noise stream; cells then
+  // differ from the baseline column only through what the events caused.
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(BaselineScenario());
+  for (Scenario& s : CanonicalScenarios(network, demand, options.eval_days)) {
+    scenarios.push_back(std::move(s));
+  }
+  Rng eval_seed_rng = world_rng.Fork();
+  const uint64_t eval_seed = eval_seed_rng.NextUint64();
+
+  RoutingOptions eval_route;
+  eval_route.num_days = options.eval_days;
+  eval_route.start_day_of_week =
+      static_cast<int>(options.train_days % 7);  // week continues
+
+  ScenarioMatrixResult result;
+  std::vector<ScenarioRun> runs;
+  std::vector<data::TrafficDataset> eval_sets;
+  runs.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    Rng noise_rng(eval_seed);
+    runs.push_back(
+        RunScenario(network, demand, scenario, eval_route, &noise_rng));
+    const ScenarioRun& run = runs.back();
+    ScenarioSummary summary;
+    summary.name = scenario.name;
+    summary.events = static_cast<int64_t>(scenario.events.size());
+    summary.difficult_fraction = eval::MaskFraction(run.difficult_mask);
+    summary.masked_entries = run.series.masked_entries;
+    summary.fault_recomputes = run.report.fault_recomputes;
+    result.scenarios.push_back(summary);
+    eval_sets.emplace_back(network, run.series, 12, 12,
+                           &train_dataset.scaler());
+  }
+
+  // Shared scoring window: when the eval cap is on, a contiguous window of
+  // samples anchored shortly before the earliest scripted event, identical
+  // for every scenario — a cap that only covered the quiet start of the day
+  // would score all columns on pre-event traffic and flatten the matrix.
+  int64_t eval_begin = 0;
+  if (config.eval_cap > 0) {
+    int64_t first_event = std::numeric_limits<int64_t>::max();
+    for (const Scenario& s : scenarios) {
+      for (const ScenarioEvent& event : s.events) {
+        first_event = std::min(first_event, event.start_step);
+      }
+    }
+    if (first_event != std::numeric_limits<int64_t>::max()) {
+      eval_begin = std::max<int64_t>(0, first_event - 36);
+      eval_begin = std::min(eval_begin,
+                            std::max<int64_t>(0, eval_sets[0].num_samples() - 1));
+    }
+  }
+
+  // --- Train each model once, score it on every scenario ------------------
+  std::vector<std::string> names = options.model_names;
+  if (names.empty()) {
+    names = models::BaselineModelNames();
+    for (const std::string& m : models::PaperModelNames()) names.push_back(m);
+  }
+
+  eval::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.batch_size = config.batch_size;
+  train_config.learning_rate = config.learning_rate;
+  train_config.max_batches_per_epoch = config.max_batches_per_epoch;
+  train_config.seed = config.seed;
+  train_config.verbose = config.verbose;
+
+  for (const std::string& name : names) {
+    std::unique_ptr<models::TrafficModel> model = models::CreateModel(
+        name, models::MakeModelContext(train_dataset, config.seed));
+    const eval::TrainResult trained =
+        eval::TrainModel(model.get(), train_dataset, train_config);
+    if (!trained.status.ok()) {
+      result.failed_models.push_back(name + ": " +
+                                     trained.status.message());
+      std::fprintf(stderr, "[scenario-matrix] %s failed: %s\n", name.c_str(),
+                   trained.status.message().c_str());
+      continue;
+    }
+    double baseline_mae = 0.0;
+    for (size_t si = 0; si < scenarios.size(); ++si) {
+      const data::TrafficDataset& eval_set = eval_sets[si];
+      const int64_t begin = eval_begin;
+      int64_t end = eval_set.num_samples();
+      if (config.eval_cap > 0) end = std::min(end, begin + config.eval_cap);
+      eval::EvalOptions eval_options;
+      eval_options.batch_size = config.batch_size;
+      MatrixCell cell;
+      cell.model = name;
+      cell.scenario = scenarios[si].name;
+      cell.overall =
+          eval::EvaluateModel(model.get(), eval_set, begin, end, eval_options)
+              .average;
+      if (eval::MaskFraction(runs[si].difficult_mask) > 0.0) {
+        eval_options.difficult_mask = &runs[si].difficult_mask;
+        cell.difficult =
+            eval::EvaluateModel(model.get(), eval_set, begin, end, eval_options)
+                .average;
+      }
+      if (si == 0) baseline_mae = cell.overall.mae;
+      cell.degradation = baseline_mae > 0.0
+                             ? cell.overall.mae / baseline_mae
+                             : 1.0;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+Table MatrixToTable(const ScenarioMatrixResult& result) {
+  Table table({"Model", "Scenario", "MAE", "RMSE", "MAPE%", "dMAE", "dRMSE",
+               "dMAPE%", "Degradation"});
+  for (const MatrixCell& cell : result.cells) {
+    const bool has_difficult = cell.difficult.count > 0;
+    table.AddRow({cell.model, cell.scenario, Table::Num(cell.overall.mae),
+                  Table::Num(cell.overall.rmse), Table::Num(cell.overall.mape),
+                  has_difficult ? Table::Num(cell.difficult.mae) : "-",
+                  has_difficult ? Table::Num(cell.difficult.rmse) : "-",
+                  has_difficult ? Table::Num(cell.difficult.mape) : "-",
+                  Table::Num(cell.degradation, 3)});
+  }
+  return table;
+}
+
+Table DegradationSummary(const ScenarioMatrixResult& result) {
+  std::vector<std::string> header = {"Model", "BaselineMAE"};
+  for (const ScenarioSummary& s : result.scenarios) {
+    if (s.name != "baseline") header.push_back("x" + s.name);
+  }
+  header.push_back("Worst");
+  Table table(header);
+  // Preserve cell (model) order while de-duplicating.
+  std::vector<std::string> models;
+  for (const MatrixCell& cell : result.cells) {
+    if (std::find(models.begin(), models.end(), cell.model) == models.end()) {
+      models.push_back(cell.model);
+    }
+  }
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    const MatrixCell* base = result.Cell(model, "baseline");
+    row.push_back(base != nullptr ? Table::Num(base->overall.mae) : "-");
+    for (const ScenarioSummary& s : result.scenarios) {
+      if (s.name == "baseline") continue;
+      const MatrixCell* cell = result.Cell(model, s.name);
+      row.push_back(cell != nullptr ? Table::Num(cell->degradation, 3) : "-");
+    }
+    row.push_back(result.WorstScenario(model));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace trafficbench::scenario

@@ -1,0 +1,95 @@
+#ifndef TRAFFICBENCH_SCENARIO_MATRIX_H_
+#define TRAFFICBENCH_SCENARIO_MATRIX_H_
+
+// The models × scenarios robustness matrix (CLI `scenario-matrix`,
+// bench_scenario_matrix): train every model on an undisturbed routed world,
+// then score it on each scripted disruption class. Because every scenario
+// shares the baseline's sensor-noise stream and scaler, a cell's error
+// movement is attributable to the disruption itself — the matrix measures
+// how gracefully each architecture's inductive bias degrades when the
+// world stops looking like the training distribution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/eval/metrics.h"
+#include "src/scenario/scenario.h"
+#include "src/util/table.h"
+
+namespace trafficbench::scenario {
+
+/// Knobs of one matrix run. Training fidelity (epochs, batches, eval cap,
+/// threads) rides on the shared ExperimentConfig so the TB_* environment
+/// overrides work here like everywhere else.
+struct MatrixOptions {
+  /// Sensors in the procedural kGridArterial world.
+  int64_t num_nodes = 48;
+  /// Days of undisturbed traffic the models train on.
+  int64_t train_days = 6;
+  /// Days each evaluation scenario runs for.
+  int64_t eval_days = 2;
+  /// Models to place on matrix rows. Empty = the two naive baselines plus
+  /// the paper's eight deep models.
+  std::vector<std::string> model_names;
+  core::ExperimentConfig config;
+};
+
+/// One (model, scenario) cell.
+struct MatrixCell {
+  std::string model;
+  std::string scenario;
+  /// Masked metrics over every scored position.
+  eval::MetricValues overall;
+  /// Masked metrics restricted to the scenario's ground-truth
+  /// difficult-interval labels (count == 0 for the baseline column).
+  eval::MetricValues difficult;
+  /// overall.mae / the same model's baseline-scenario MAE — 1.0 means the
+  /// disruption cost the model nothing.
+  double degradation = 1.0;
+};
+
+/// Per-scenario world facts, for the report header.
+struct ScenarioSummary {
+  std::string name;
+  int64_t events = 0;
+  /// Fraction of (step, node) positions carrying a difficult label.
+  double difficult_fraction = 0.0;
+  /// Readings zeroed by blackout events.
+  int64_t masked_entries = 0;
+  /// scenario_route fault detections during routing (0 without TB_FAULT).
+  int64_t fault_recomputes = 0;
+};
+
+/// A full matrix run.
+struct ScenarioMatrixResult {
+  std::vector<ScenarioSummary> scenarios;  // baseline first
+  std::vector<MatrixCell> cells;           // model-major, scenario-minor
+  /// Models whose training failed, with the failure message (their cells
+  /// are absent from `cells`).
+  std::vector<std::string> failed_models;
+
+  /// The cell of (model, scenario); nullptr when absent.
+  const MatrixCell* Cell(const std::string& model,
+                         const std::string& scenario) const;
+  /// The scenario (excluding baseline) with the largest degradation for
+  /// `model`; empty when the model has no cells.
+  std::string WorstScenario(const std::string& model) const;
+};
+
+/// Builds the seeded world, trains the requested models on baseline
+/// traffic, and scores every (model, scenario) cell.
+ScenarioMatrixResult RunScenarioMatrix(const MatrixOptions& options);
+
+/// Full per-cell table: model, scenario, MAE/RMSE/MAPE overall and on
+/// difficult intervals, degradation ratio.
+Table MatrixToTable(const ScenarioMatrixResult& result);
+
+/// One row per model: baseline MAE, each scenario's degradation ratio, and
+/// the worst scenario — the headline robustness ranking.
+Table DegradationSummary(const ScenarioMatrixResult& result);
+
+}  // namespace trafficbench::scenario
+
+#endif  // TRAFFICBENCH_SCENARIO_MATRIX_H_

@@ -1,0 +1,423 @@
+#include "src/scenario/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/fault.h"
+#include "src/util/timeline.h"
+
+namespace trafficbench::scenario {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Tolerance of the path-cost invariant check, relative to the edge weight
+/// scale (travel times are minutes, O(1)..O(100)).
+constexpr double kInvariantEps = 1e-7;
+
+/// Static routing view of the network: per-edge free-flow travel time
+/// (minutes) and forward adjacency as edge indices, in segment order.
+struct RoutingGraph {
+  int64_t num_nodes = 0;
+  std::vector<const graph::RoadSegment*> edges;
+  std::vector<double> free_flow_minutes;
+  std::vector<std::vector<int64_t>> out_edges;  // per node, ascending edge id
+
+  explicit RoutingGraph(const graph::RoadNetwork& network)
+      : num_nodes(network.num_nodes()) {
+    const auto& segments = network.segments();
+    edges.reserve(segments.size());
+    free_flow_minutes.reserve(segments.size());
+    out_edges.resize(num_nodes);
+    for (size_t e = 0; e < segments.size(); ++e) {
+      const graph::RoadSegment& seg = segments[e];
+      TB_CHECK_GT(seg.capacity_per_step, 0.0)
+          << "segment " << seg.from << "->" << seg.to
+          << " has no capacity attributes; run DeriveCapacities first";
+      TB_CHECK_GT(seg.free_flow_mph, 0.0);
+      edges.push_back(&seg);
+      free_flow_minutes.push_back(seg.distance_miles / seg.free_flow_mph *
+                                  60.0);
+      out_edges[seg.from].push_back(static_cast<int64_t>(e));
+    }
+  }
+};
+
+/// Deterministic Dijkstra from `origin` over `travel_time` (minutes per
+/// edge). Ties on distance break by node id via the pair ordering. Writes
+/// dist[] and parent_edge[] (-1 = unreachable / origin).
+void Dijkstra(const RoutingGraph& g, const std::vector<double>& travel_time,
+              int64_t origin, double* dist, int64_t* parent_edge) {
+  const int64_t n = g.num_nodes;
+  for (int64_t i = 0; i < n; ++i) {
+    dist[i] = kInf;
+    parent_edge[i] = -1;
+  }
+  dist[origin] = 0.0;
+  using Entry = std::pair<double, int64_t>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({0.0, origin});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (int64_t e : g.out_edges[u]) {
+      const int64_t v = g.edges[e]->to;
+      const double nd = d + travel_time[e];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent_edge[v] = e;
+        heap.push({nd, v});
+      }
+    }
+  }
+}
+
+/// Full verification of one origin's routing table: every edge must be
+/// relaxed (no edge offers a shorter path than recorded) and every reached
+/// node's distance must be realized by its parent edge. Returns false on
+/// the first violated invariant — a corrupted table cannot hide, whichever
+/// direction the corruption moved the entry.
+bool RoutingTableValid(const RoutingGraph& g,
+                       const std::vector<double>& travel_time, int64_t origin,
+                       const double* dist, const int64_t* parent_edge) {
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const int64_t u = g.edges[e]->from;
+    const int64_t v = g.edges[e]->to;
+    if (dist[u] == kInf) continue;
+    if (dist[v] > dist[u] + travel_time[e] + kInvariantEps) return false;
+  }
+  for (int64_t v = 0; v < g.num_nodes; ++v) {
+    if (v == origin || dist[v] == kInf) continue;
+    const int64_t e = parent_edge[v];
+    if (e < 0) return false;
+    const int64_t u = g.edges[e]->from;
+    if (std::abs(dist[v] - (dist[u] + travel_time[e])) > kInvariantEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double DemandModel::DiurnalIntensity(double u, double am_weight,
+                                     double pm_weight) {
+  // The same curve family as serve-bench's diurnal arrival trace
+  // (util::GaussianPeak), with commute directionality mixed in.
+  const double am = util::GaussianPeak(u, 8.0 / 24.0, 0.055);
+  const double pm = util::GaussianPeak(u, 17.5 / 24.0, 0.07);
+  const double midday = 0.30 * util::GaussianPeak(u, 13.0 / 24.0, 0.10);
+  return std::min(1.0, 0.06 + am_weight * am + pm_weight * pm + midday);
+}
+
+DemandModel DemandModel::Generate(const graph::RoadNetwork& network,
+                                  uint64_t seed) {
+  const int64_t n = network.num_nodes();
+  TB_CHECK_GT(n, 1);
+  Rng rng(seed);
+  DemandModel demand;
+  demand.attraction.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Attraction mass: random base plus a boost for well-connected nodes
+    // (interchanges and grid hubs draw more trips).
+    demand.attraction[i] =
+        0.3 + rng.Uniform() +
+        0.25 * static_cast<double>(network.OutNeighbors(i).size());
+  }
+  const int max_hops = static_cast<int>(n);
+  for (int64_t origin = 0; origin < n; ++origin) {
+    const std::vector<int> hops =
+        network.HopDistances(origin, max_hops, /*unreachable=*/-1);
+    std::vector<int64_t> candidates;
+    for (int64_t v = 0; v < n; ++v) {
+      if (v != origin && hops[v] >= 2) candidates.push_back(v);
+    }
+    if (candidates.empty()) continue;
+    const int64_t want = 3 + static_cast<int64_t>(rng.UniformInt(3));
+    const int64_t count =
+        std::min<int64_t>(want, static_cast<int64_t>(candidates.size()));
+    std::vector<double> weight(candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      weight[c] = demand.attraction[candidates[c]];
+    }
+    for (int64_t k = 0; k < count; ++k) {
+      double total = 0.0;
+      for (double w : weight) total += w;
+      double r = rng.Uniform() * total;
+      size_t pick = 0;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (weight[c] <= 0.0) continue;
+        r -= weight[c];
+        pick = c;
+        if (r <= 0.0) break;
+      }
+      OdPair pair;
+      pair.origin = origin;
+      pair.destination = candidates[pick];
+      pair.base_demand = demand.attraction[pair.destination] *
+                         (0.5 + rng.Uniform());
+      pair.am_weight = 0.35 + 0.65 * rng.Uniform();
+      pair.pm_weight = 0.35 + 0.65 * rng.Uniform();
+      demand.pairs.push_back(pair);
+      weight[pick] = 0.0;  // without replacement
+    }
+  }
+  TB_CHECK(!demand.pairs.empty()) << "network produced no routable OD pairs";
+  return demand;
+}
+
+std::vector<double> FreeFlowPeakFlows(const graph::RoadNetwork& network,
+                                      const DemandModel& demand) {
+  const RoutingGraph g(network);
+  const int64_t n = g.num_nodes;
+  std::vector<double> flow(g.edges.size(), 0.0);
+  std::vector<double> dist(n);
+  std::vector<int64_t> parent(n);
+  // All-or-nothing free-flow assignment at each pair's own busiest hour.
+  int64_t last_origin = -1;
+  for (const OdPair& pair : demand.pairs) {
+    if (pair.origin != last_origin) {
+      Dijkstra(g, g.free_flow_minutes, pair.origin, dist.data(),
+               parent.data());
+      last_origin = pair.origin;
+    }
+    const double peak = std::max(
+        DemandModel::DiurnalIntensity(8.0 / 24.0, pair.am_weight,
+                                      pair.pm_weight),
+        DemandModel::DiurnalIntensity(17.5 / 24.0, pair.am_weight,
+                                      pair.pm_weight));
+    const double d = pair.base_demand * peak;
+    for (int64_t v = pair.destination; parent[v] >= 0;
+         v = g.edges[parent[v]]->from) {
+      flow[parent[v]] += d;
+    }
+  }
+  return flow;
+}
+
+void CalibrateDemand(const graph::RoadNetwork& network, DemandModel* demand,
+                     double target_peak_utilization) {
+  TB_CHECK(demand != nullptr);
+  TB_CHECK_GT(target_peak_utilization, 0.0);
+  const std::vector<double> flow = FreeFlowPeakFlows(network, *demand);
+  const auto& segments = network.segments();
+  double peak_util = 0.0;
+  for (size_t e = 0; e < flow.size(); ++e) {
+    peak_util = std::max(peak_util, flow[e] / segments[e].capacity_per_step);
+  }
+  if (peak_util <= 0.0) return;
+  const double scale = target_peak_utilization / peak_util;
+  for (OdPair& pair : demand->pairs) pair.base_demand *= scale;
+}
+
+data::TrafficSeries RouteTraffic(const graph::RoadNetwork& network,
+                                 const DemandModel& demand,
+                                 const RoutingOptions& options, Rng* rng,
+                                 RoutingReport* report) {
+  TB_CHECK(rng != nullptr);
+  TB_CHECK_GT(options.num_days, 0);
+  TB_CHECK_GE(options.reroute_sweeps, 1);
+  const RoutingGraph g(network);
+  const int64_t n = g.num_nodes;
+  const int64_t num_edges = static_cast<int64_t>(g.edges.size());
+  const int64_t num_steps = options.num_days * data::kStepsPerDay;
+
+  // Group OD pairs by origin, origins ascending (generation order already
+  // satisfies this; assert rather than re-sort so the accumulation order is
+  // self-evidently fixed).
+  std::vector<int64_t> origins;
+  std::vector<std::pair<int64_t, int64_t>> origin_pairs;  // [begin, end)
+  for (int64_t p = 0; p < static_cast<int64_t>(demand.pairs.size()); ++p) {
+    const int64_t o = demand.pairs[p].origin;
+    if (origins.empty() || origins.back() != o) {
+      TB_CHECK(origins.empty() || origins.back() < o)
+          << "OD pairs must be grouped by ascending origin";
+      origins.push_back(o);
+      origin_pairs.push_back({p, p + 1});
+    } else {
+      origin_pairs.back().second = p + 1;
+    }
+  }
+  const int64_t num_origins = static_cast<int64_t>(origins.size());
+  TB_CHECK_GT(num_origins, 0);
+
+  exec::ExecutionContext* exec =
+      options.exec != nullptr ? options.exec : &exec::ExecutionContext::Current();
+
+  data::TrafficSeries series;
+  series.kind = data::FeatureKind::kSpeed;
+  series.num_nodes = n;
+  series.num_steps = num_steps;
+  series.values.assign(num_steps * n, 0.0f);
+  series.time_of_day.resize(num_steps);
+  series.day_of_week.resize(num_steps);
+
+  if (report != nullptr) {
+    report->edge_utilization.assign(num_edges, EdgeUtilization{});
+    report->fault_recomputes = 0;
+  }
+
+  // Per-node clamp ceiling: the fastest road touching the sensor.
+  std::vector<double> node_free_flow(n, 0.0);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const graph::RoadSegment& seg = *g.edges[e];
+    node_free_flow[seg.from] =
+        std::max(node_free_flow[seg.from], seg.free_flow_mph);
+    node_free_flow[seg.to] = std::max(node_free_flow[seg.to], seg.free_flow_mph);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    TB_CHECK_GT(node_free_flow[i], 0.0) << "node " << i << " has no segments";
+  }
+
+  // Mutable per-step state.
+  StepModifiers mods;
+  std::vector<double> travel_time = g.free_flow_minutes;  // warm across steps
+  std::vector<double> flow(num_edges, 0.0);
+  std::vector<double> sweep_flow(num_edges, 0.0);
+  std::vector<double> utilization(num_edges, 0.0);
+  std::vector<double> edge_speed(num_edges, 0.0);
+  // Per-origin routing-table slots for the parallel Dijkstra fan-out.
+  std::vector<double> dist(num_origins * n);
+  std::vector<int64_t> parent(num_origins * n);
+  std::vector<uint8_t> corrupt(num_origins, 0);
+  std::vector<double> ar_noise(n, 0.0);
+  const double rho = 0.82;
+  FaultInjector& fault = FaultInjector::Global();
+
+  for (int64_t step = 0; step < num_steps; ++step) {
+    const int64_t step_in_day = step % data::kStepsPerDay;
+    const double u_day =
+        static_cast<double>(step_in_day) / data::kStepsPerDay;
+    const int dow = static_cast<int>(
+        (options.start_day_of_week + step / data::kStepsPerDay) % 7);
+    series.time_of_day[step] = static_cast<float>(u_day);
+    series.day_of_week[step] = dow;
+    const double weekend_factor = dow >= 5 ? 0.55 : 1.0;
+
+    // Scripted modifiers for this step.
+    mods.capacity_scale.assign(num_edges, 1.0);
+    mods.demand_dest_scale.assign(n, 1.0);
+    if (options.modifiers) options.modifiers(step, &mods);
+
+    for (int sweep = 0; sweep < options.reroute_sweeps; ++sweep) {
+      // Fault decisions are consumed sequentially before the fan-out (the
+      // injector is not thread-safe); corruption itself is applied inside
+      // each origin's own slot.
+      for (int64_t o = 0; o < num_origins; ++o) {
+        corrupt[o] = fault.Should(FaultSite::kScenarioRoute) ? 1 : 0;
+      }
+      const int64_t grain = std::max<int64_t>(1, num_origins / 32);
+      exec->ParallelFor(num_origins, grain, [&](int64_t begin, int64_t end) {
+        for (int64_t o = begin; o < end; ++o) {
+          double* d = dist.data() + o * n;
+          int64_t* p = parent.data() + o * n;
+          Dijkstra(g, travel_time, origins[o], d, p);
+          if (corrupt[o]) {
+            // Corrupt the farthest reachable entry (deterministic victim).
+            int64_t victim = -1;
+            double worst = 0.0;
+            for (int64_t v = 0; v < n; ++v) {
+              if (d[v] != kInf && d[v] > worst) {
+                worst = d[v];
+                victim = v;
+              }
+            }
+            if (victim >= 0) d[victim] *= 4.0;
+          }
+        }
+      });
+      // Sequential verification + flow accumulation, ascending origin order.
+      std::fill(sweep_flow.begin(), sweep_flow.end(), 0.0);
+      for (int64_t o = 0; o < num_origins; ++o) {
+        double* d = dist.data() + o * n;
+        int64_t* p = parent.data() + o * n;
+        if (!RoutingTableValid(g, travel_time, origins[o], d, p)) {
+          // Path-cost invariant violated: recompute this origin cleanly.
+          Dijkstra(g, travel_time, origins[o], d, p);
+          if (report != nullptr) ++report->fault_recomputes;
+        }
+        for (int64_t pi = origin_pairs[o].first; pi < origin_pairs[o].second;
+             ++pi) {
+          const OdPair& pair = demand.pairs[pi];
+          const double trip_demand =
+              pair.base_demand *
+              DemandModel::DiurnalIntensity(u_day, pair.am_weight,
+                                            pair.pm_weight) *
+              weekend_factor * mods.demand_dest_scale[pair.destination];
+          if (trip_demand <= 0.0 || d[pair.destination] == kInf) continue;
+          for (int64_t v = pair.destination; p[v] >= 0;
+               v = g.edges[p[v]]->from) {
+            sweep_flow[p[v]] += trip_demand;
+          }
+        }
+      }
+      // Method of successive averages: blend, then refresh travel times.
+      const double blend = 1.0 / static_cast<double>(sweep + 1);
+      for (int64_t e = 0; e < num_edges; ++e) {
+        flow[e] = sweep == 0
+                      ? sweep_flow[e]
+                      : (1.0 - blend) * flow[e] + blend * sweep_flow[e];
+        const double capacity =
+            g.edges[e]->capacity_per_step * mods.capacity_scale[e];
+        utilization[e] = flow[e] / std::max(capacity, 1e-9);
+        travel_time[e] =
+            g.free_flow_minutes[e] *
+            (1.0 + options.bpr_alpha *
+                       std::pow(utilization[e], options.bpr_beta));
+      }
+    }
+
+    // Emit sensor readings: each node reports the flow-weighted mean speed
+    // of its incident segments (epsilon weight so empty roads read as
+    // free-flow rather than 0/0).
+    for (int64_t e = 0; e < num_edges; ++e) {
+      edge_speed[e] =
+          g.edges[e]->free_flow_mph /
+          (1.0 + options.bpr_alpha *
+                     std::pow(utilization[e], options.bpr_beta));
+      if (report != nullptr) {
+        report->edge_utilization[e].mean += utilization[e];
+        report->edge_utilization[e].peak =
+            std::max(report->edge_utilization[e].peak, utilization[e]);
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      double weighted = 0.0, weight = 0.0;
+      for (int64_t e : g.out_edges[i]) {
+        weighted += (flow[e] + 1e-3) * edge_speed[e];
+        weight += flow[e] + 1e-3;
+      }
+      // Incoming segments count too: a sensor sits at an interchange and
+      // sees both directions of the roads meeting there.
+      for (int64_t j : network.InNeighbors(i)) {
+        for (int64_t e : g.out_edges[j]) {
+          if (g.edges[e]->to != i) continue;
+          weighted += (flow[e] + 1e-3) * edge_speed[e];
+          weight += flow[e] + 1e-3;
+        }
+      }
+      double speed = weight > 0.0 ? weighted / weight : node_free_flow[i];
+      ar_noise[i] =
+          rho * ar_noise[i] +
+          rng->Normal(0.0, options.noise_level * std::sqrt(1.0 - rho * rho));
+      speed = std::clamp(speed + ar_noise[i], 3.0, node_free_flow[i] + 6.0);
+      if (rng->Bernoulli(options.missing_rate)) speed = 0.0;
+      series.values[step * n + i] = static_cast<float>(speed);
+    }
+  }
+
+  if (report != nullptr) {
+    for (int64_t e = 0; e < num_edges; ++e) {
+      report->edge_utilization[e].mean /= static_cast<double>(num_steps);
+    }
+  }
+  return series;
+}
+
+}  // namespace trafficbench::scenario

@@ -1,0 +1,144 @@
+#ifndef TRAFFICBENCH_SCENARIO_ROUTING_H_
+#define TRAFFICBENCH_SCENARIO_ROUTING_H_
+
+// Capacity-aware demand routing: the scenario engine's traffic world.
+//
+// Where data::SimulateTraffic *samples* congestion from per-node profiles,
+// this engine *derives* it: a seeded origin-destination demand model emits
+// trips each 5-minute step, trips follow shortest travel-time paths
+// (deterministic Dijkstra), edge loads map to speeds through the BPR
+// congestion function, and travel times feed back into routing over a fixed
+// number of reroute sweeps (method of successive averages). Because demand
+// must flow *somewhere*, disruptions have causal consequences — closing a
+// bridge reroutes its vehicles onto parallel streets and congests them —
+// which is exactly the structure scripted scenarios need and profile
+// sampling cannot give.
+//
+// Determinism contract: the emitted series is a pure function of (network,
+// demand, options, rng seed) and is byte-identical at every thread count.
+// Per-origin Dijkstra runs under ExecutionContext::ParallelFor with each
+// origin writing its own result slot; flow accumulation and every RNG draw
+// happen sequentially in fixed order on the caller thread.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/data/traffic_simulator.h"
+#include "src/exec/execution_context.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::scenario {
+
+/// One origin-destination demand entry: `base_demand` vehicles per step at
+/// unit diurnal intensity, shaped over the day by the am/pm weights
+/// (commute pairs peak mornings one way, evenings the other).
+struct OdPair {
+  int64_t origin = 0;
+  int64_t destination = 0;
+  double base_demand = 0.0;
+  double am_weight = 1.0;
+  double pm_weight = 1.0;
+};
+
+/// Seeded OD demand over a road network.
+struct DemandModel {
+  std::vector<OdPair> pairs;
+  /// Per-node attraction mass used to pick destinations; kept for the
+  /// scenario layer, which targets surges at the most attractive node.
+  std::vector<double> attraction;
+
+  /// Diurnal demand intensity in (0, 1]: AM/PM commute peaks plus a midday
+  /// shoulder, blended by the pair's directionality weights. `u` is the
+  /// fraction of the day in [0, 1).
+  static double DiurnalIntensity(double u, double am_weight, double pm_weight);
+
+  /// Generates a demand model: every node originates trips to a handful of
+  /// reachable destinations sampled by attraction mass. Deterministic given
+  /// (network, seed).
+  static DemandModel Generate(const graph::RoadNetwork& network,
+                              uint64_t seed);
+};
+
+/// Per-step multiplicative modifiers the scenario layer scripts onto the
+/// engine. All vectors are reset to 1.0 before each step's callback.
+struct StepModifiers {
+  /// Per-segment capacity scale (index = position in network.segments()).
+  /// A closure is a scale near 0: BPR then prices the segment out of every
+  /// shortest path and its demand spills onto parallel routes.
+  std::vector<double> capacity_scale;
+  /// Per-node scale on demand *arriving* at that destination (a stadium
+  /// surge is a large scale on one node).
+  std::vector<double> demand_dest_scale;
+};
+
+/// Scripts modifiers for one step. Called once per step, in step order, on
+/// the caller thread; may be null (no modifiers).
+using ModifierFn = std::function<void(int64_t step, StepModifiers* mods)>;
+
+/// Knobs for the routing engine.
+struct RoutingOptions {
+  int64_t num_days = 8;
+  int start_day_of_week = 0;
+  /// Reroute sweeps per step (method of successive averages). Sweep s
+  /// assigns all demand on current travel times, blends flows with weight
+  /// 1/(s+1), and refreshes times through BPR.
+  int reroute_sweeps = 3;
+  /// BPR congestion function t = t0 * (1 + alpha * u^beta).
+  double bpr_alpha = 0.15;
+  double bpr_beta = 4.0;
+  /// AR(1) sensor noise stddev, mph.
+  double noise_level = 1.2;
+  /// Probability a reading drops out (recorded as 0 / missing).
+  double missing_rate = 0.003;
+  /// Scripted per-step modifiers; null for an undisturbed baseline world.
+  ModifierFn modifiers;
+  /// Execution context for the per-origin Dijkstra fan-out. Null uses the
+  /// currently bound context (serial by default).
+  exec::ExecutionContext* exec = nullptr;
+};
+
+/// Per-segment utilization statistics over a routed run (utilization =
+/// assigned flow / effective capacity, after modifiers).
+struct EdgeUtilization {
+  double mean = 0.0;
+  double peak = 0.0;
+};
+
+/// Observability of one routed run.
+struct RoutingReport {
+  /// Indexed like network.segments().
+  std::vector<EdgeUtilization> edge_utilization;
+  /// Times the scenario_route fault corrupted an origin's routing table and
+  /// the path-cost invariant check caught it (each one was recomputed).
+  int64_t fault_recomputes = 0;
+};
+
+/// Per-segment vehicle flow of an all-or-nothing free-flow assignment with
+/// every pair at its own busiest hour — the static "who carries the load"
+/// picture. Used by demand calibration and by the scenario builders to aim
+/// closures at the most-loaded segment. Deterministic; no RNG.
+std::vector<double> FreeFlowPeakFlows(const graph::RoadNetwork& network,
+                                      const DemandModel& demand);
+
+/// Scales every pair's base demand so the busiest segment's peak-hour
+/// free-flow assignment hits `target_peak_utilization` — keeps procedural
+/// worlds in the congested-but-moving regime regardless of topology or
+/// node count. Deterministic; no RNG.
+void CalibrateDemand(const graph::RoadNetwork& network, DemandModel* demand,
+                     double target_peak_utilization = 0.85);
+
+/// Routes `demand` over `network` for num_days * 288 steps and returns the
+/// sensor series (speed at each node = flow-weighted mean speed of its
+/// incident segments). Every segment must carry capacity attributes
+/// (RoadNetwork::DeriveCapacities or hand-stamped). `rng` drives only
+/// sensor noise and dropouts — routing itself is noise-free.
+data::TrafficSeries RouteTraffic(const graph::RoadNetwork& network,
+                                 const DemandModel& demand,
+                                 const RoutingOptions& options, Rng* rng,
+                                 RoutingReport* report = nullptr);
+
+}  // namespace trafficbench::scenario
+
+#endif  // TRAFFICBENCH_SCENARIO_ROUTING_H_

@@ -1,0 +1,399 @@
+#include "src/scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/timeline.h"
+
+namespace trafficbench::scenario {
+
+namespace {
+
+/// Onset/recovery time constants per event kind (5-minute steps).
+struct Envelope {
+  int64_t onset = 3;
+  int64_t recovery = 12;
+};
+
+Envelope EnvelopeFor(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDemandSurge:
+      return {6, 18};  // crowds build and disperse gradually
+    case EventKind::kSensorBlackout:
+      // Hard on/off, but the difficult window extends 12 steps (one input
+      // length) past the end: targets *during* the blackout are masked out
+      // of the metrics anyway — what is hard is forecasting right after
+      // sensors return, from history that is still full of zeros.
+      return {1, 12};
+    default:
+      return {3, 12};
+  }
+}
+
+/// Demand multiplier applied inside a gridlock region at full severity
+/// (on top of the capacity collapse — everyone converges on the event).
+constexpr double kGridlockDemandBoost = 2.0;
+
+/// Event windows: one per day, alternating AM (8:00) and PM (17:00) peaks.
+int64_t WindowStart(int64_t day) {
+  return day * data::kStepsPerDay + (day % 2 == 0 ? 96 : 204);
+}
+
+/// Index of the most-loaded segment under the free-flow peak assignment
+/// (ties break to the lowest index).
+int64_t MostLoadedEdge(const graph::RoadNetwork& network,
+                       const DemandModel& demand) {
+  const std::vector<double> flow = FreeFlowPeakFlows(network, demand);
+  TB_CHECK(!flow.empty());
+  int64_t best = 0;
+  for (int64_t e = 1; e < static_cast<int64_t>(flow.size()); ++e) {
+    if (flow[e] > flow[best]) best = e;
+  }
+  return best;
+}
+
+/// The segment running opposite to `edge`, or -1 when the road is one-way.
+int64_t ReverseEdge(const graph::RoadNetwork& network, int64_t edge) {
+  const auto& segments = network.segments();
+  const graph::RoadSegment& seg = segments[edge];
+  for (int64_t e = 0; e < static_cast<int64_t>(segments.size()); ++e) {
+    if (segments[e].from == seg.to && segments[e].to == seg.from) return e;
+  }
+  return -1;
+}
+
+int64_t MostAttractiveNode(const DemandModel& demand) {
+  TB_CHECK(!demand.attraction.empty());
+  int64_t best = 0;
+  for (int64_t i = 1; i < static_cast<int64_t>(demand.attraction.size());
+       ++i) {
+    if (demand.attraction[i] > demand.attraction[best]) best = i;
+  }
+  return best;
+}
+
+int64_t BestConnectedNode(const graph::RoadNetwork& network) {
+  int64_t best = 0;
+  size_t best_degree = 0;
+  for (int64_t i = 0; i < network.num_nodes(); ++i) {
+    const size_t degree =
+        network.OutNeighbors(i).size() + network.InNeighbors(i).size();
+    if (degree > best_degree) {
+      best_degree = degree;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// One event compiled against the network: which segments and nodes it
+/// touches, with its envelope constants resolved.
+struct CompiledEvent {
+  ScenarioEvent event;
+  Envelope envelope;
+  std::vector<int64_t> edges;  // capacity-scaled segments
+  std::vector<int64_t> nodes;  // demand-scaled / blacked-out / labelled
+};
+
+std::vector<CompiledEvent> Compile(const graph::RoadNetwork& network,
+                                   const Scenario& scenario) {
+  const auto& segments = network.segments();
+  std::vector<CompiledEvent> compiled;
+  compiled.reserve(scenario.events.size());
+  for (const ScenarioEvent& event : scenario.events) {
+    CompiledEvent ce;
+    ce.event = event;
+    ce.envelope = EnvelopeFor(event.kind);
+    std::vector<int64_t> seeds;
+    switch (event.kind) {
+      case EventKind::kRoadClosure:
+      case EventKind::kCapacityCut: {
+        TB_CHECK(event.target_edge >= 0 &&
+                 event.target_edge < static_cast<int64_t>(segments.size()));
+        ce.edges.push_back(event.target_edge);
+        seeds = {segments[event.target_edge].from,
+                 segments[event.target_edge].to};
+        break;
+      }
+      case EventKind::kDemandSurge: {
+        TB_CHECK_GE(event.target_node, 0);
+        seeds = {event.target_node};
+        break;
+      }
+      case EventKind::kGridlock:
+      case EventKind::kSensorBlackout: {
+        TB_CHECK_GE(event.target_node, 0);
+        seeds = {event.target_node};
+        break;
+      }
+    }
+    ce.nodes = NodesWithinHops(network, seeds, event.radius_hops);
+    if (event.kind == EventKind::kGridlock) {
+      // Capacity collapses on every segment touching the region.
+      std::vector<uint8_t> in_region(network.num_nodes(), 0);
+      for (int64_t v : ce.nodes) in_region[v] = 1;
+      for (int64_t e = 0; e < static_cast<int64_t>(segments.size()); ++e) {
+        if (in_region[segments[e].from] || in_region[segments[e].to]) {
+          ce.edges.push_back(e);
+        }
+      }
+    }
+    if (event.kind == EventKind::kDemandSurge) {
+      // The surge multiplier lands on the target node only; the hop radius
+      // is label spread (congestion backs up onto approaches).
+      ce.nodes.clear();
+      ce.nodes = NodesWithinHops(network, {event.target_node},
+                                 event.radius_hops);
+    }
+    compiled.push_back(std::move(ce));
+  }
+  return compiled;
+}
+
+double EventSeverity(const ScenarioEvent& event) {
+  switch (event.kind) {
+    case EventKind::kRoadClosure:
+    case EventKind::kCapacityCut:
+    case EventKind::kGridlock:
+      return std::clamp(1.0 - event.magnitude, 0.0, 1.0);
+    case EventKind::kDemandSurge:
+      return std::clamp(event.magnitude / 10.0, 0.0, 1.0);
+    case EventKind::kSensorBlackout:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRoadClosure:
+      return "closure";
+    case EventKind::kCapacityCut:
+      return "capacity_cut";
+    case EventKind::kDemandSurge:
+      return "surge";
+    case EventKind::kGridlock:
+      return "gridlock";
+    case EventKind::kSensorBlackout:
+      return "blackout";
+  }
+  return "?";
+}
+
+std::vector<int64_t> NodesWithinHops(const graph::RoadNetwork& network,
+                                     const std::vector<int64_t>& seeds,
+                                     int hops) {
+  const int64_t n = network.num_nodes();
+  std::vector<int> depth(n, -1);
+  std::deque<int64_t> queue;
+  for (int64_t s : seeds) {
+    TB_CHECK(s >= 0 && s < n);
+    if (depth[s] < 0) {
+      depth[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const int64_t u = queue.front();
+    queue.pop_front();
+    if (depth[u] >= hops) continue;
+    for (int64_t v : network.OutNeighbors(u)) {
+      if (depth[v] < 0) {
+        depth[v] = depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+    for (int64_t v : network.InNeighbors(u)) {
+      if (depth[v] < 0) {
+        depth[v] = depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  std::vector<int64_t> out;
+  for (int64_t v = 0; v < n; ++v) {
+    if (depth[v] >= 0) out.push_back(v);
+  }
+  return out;
+}
+
+Scenario BaselineScenario() { return Scenario{"baseline", {}}; }
+
+Scenario ClosureScenario(const graph::RoadNetwork& network,
+                         const DemandModel& demand, int64_t num_days) {
+  Scenario scenario;
+  scenario.name = "closure";
+  const int64_t edge = MostLoadedEdge(network, demand);
+  const int64_t reverse = ReverseEdge(network, edge);
+  for (int64_t day = 0; day < num_days; ++day) {
+    for (int64_t e : {edge, reverse}) {
+      if (e < 0) continue;
+      ScenarioEvent event;
+      event.kind = EventKind::kRoadClosure;
+      event.start_step = WindowStart(day);
+      event.duration = 36;
+      event.magnitude = 0.02;
+      event.target_edge = e;
+      event.target_node = network.segments()[e].from;
+      event.radius_hops = 2;
+      scenario.events.push_back(event);
+    }
+  }
+  return scenario;
+}
+
+Scenario SurgeScenario(const graph::RoadNetwork& network,
+                       const DemandModel& demand, int64_t num_days) {
+  (void)network;
+  Scenario scenario;
+  scenario.name = "surge";
+  const int64_t target = MostAttractiveNode(demand);
+  for (int64_t day = 0; day < num_days; ++day) {
+    ScenarioEvent event;
+    event.kind = EventKind::kDemandSurge;
+    event.start_step = WindowStart(day);
+    event.duration = 36;
+    event.magnitude = 6.0;
+    event.target_node = target;
+    event.radius_hops = 2;
+    scenario.events.push_back(event);
+  }
+  return scenario;
+}
+
+Scenario GridlockScenario(const graph::RoadNetwork& network,
+                          const DemandModel& demand, int64_t num_days) {
+  Scenario scenario;
+  scenario.name = "gridlock";
+  const int64_t edge = MostLoadedEdge(network, demand);
+  const int64_t epicentre = network.segments()[edge].to;
+  for (int64_t day = 0; day < num_days; ++day) {
+    ScenarioEvent event;
+    event.kind = EventKind::kGridlock;
+    event.start_step = WindowStart(day);
+    event.duration = 36;
+    event.magnitude = 0.35;
+    event.target_node = epicentre;
+    event.radius_hops = 2;
+    scenario.events.push_back(event);
+  }
+  return scenario;
+}
+
+Scenario BlackoutScenario(const graph::RoadNetwork& network,
+                          const DemandModel& demand, int64_t num_days) {
+  (void)demand;
+  Scenario scenario;
+  scenario.name = "blackout";
+  const int64_t epicentre = BestConnectedNode(network);
+  for (int64_t day = 0; day < num_days; ++day) {
+    ScenarioEvent event;
+    event.kind = EventKind::kSensorBlackout;
+    event.start_step = WindowStart(day);
+    event.duration = 48;
+    event.magnitude = 0.0;
+    event.target_node = epicentre;
+    event.radius_hops = 2;
+    scenario.events.push_back(event);
+  }
+  return scenario;
+}
+
+std::vector<Scenario> CanonicalScenarios(const graph::RoadNetwork& network,
+                                         const DemandModel& demand,
+                                         int64_t num_days) {
+  return {ClosureScenario(network, demand, num_days),
+          SurgeScenario(network, demand, num_days),
+          GridlockScenario(network, demand, num_days),
+          BlackoutScenario(network, demand, num_days)};
+}
+
+ScenarioRun RunScenario(const graph::RoadNetwork& network,
+                        const DemandModel& demand, const Scenario& scenario,
+                        const RoutingOptions& base_options, Rng* rng) {
+  TB_CHECK(!base_options.modifiers)
+      << "RunScenario owns the modifier timeline";
+  const std::vector<CompiledEvent> compiled = Compile(network, scenario);
+
+  RoutingOptions options = base_options;
+  options.modifiers = [&compiled](int64_t step, StepModifiers* mods) {
+    for (const CompiledEvent& ce : compiled) {
+      const ScenarioEvent& event = ce.event;
+      if (event.kind == EventKind::kSensorBlackout) continue;  // post-pass
+      const double env =
+          util::PulseEnvelope(step, event.start_step, ce.envelope.onset,
+                              event.duration, ce.envelope.recovery);
+      if (env < 1e-3) continue;
+      switch (event.kind) {
+        case EventKind::kRoadClosure:
+        case EventKind::kCapacityCut:
+        case EventKind::kGridlock: {
+          const double scale = 1.0 - (1.0 - event.magnitude) * env;
+          for (int64_t e : ce.edges) mods->capacity_scale[e] *= scale;
+          if (event.kind == EventKind::kGridlock) {
+            const double boost = 1.0 + (kGridlockDemandBoost - 1.0) * env;
+            for (int64_t v : ce.nodes) mods->demand_dest_scale[v] *= boost;
+          }
+          break;
+        }
+        case EventKind::kDemandSurge: {
+          mods->demand_dest_scale[event.target_node] *=
+              1.0 + (event.magnitude - 1.0) * env;
+          break;
+        }
+        case EventKind::kSensorBlackout:
+          break;
+      }
+    }
+  };
+
+  ScenarioRun run;
+  run.series = RouteTraffic(network, demand, options, rng, &run.report);
+  const int64_t n = run.series.num_nodes;
+  const int64_t steps = run.series.num_steps;
+
+  // Blackout post-pass: zero the region's readings (the world itself was
+  // normal; only sensing failed), accounting every newly masked entry.
+  for (const CompiledEvent& ce : compiled) {
+    if (ce.event.kind != EventKind::kSensorBlackout) continue;
+    const int64_t begin = std::max<int64_t>(0, ce.event.start_step);
+    const int64_t end =
+        std::min<int64_t>(steps, ce.event.start_step + ce.event.duration);
+    for (int64_t step = begin; step < end; ++step) {
+      for (int64_t v : ce.nodes) {
+        float& value = run.series.values[step * n + v];
+        if (value != 0.0f) {
+          value = 0.0f;
+          ++run.series.masked_entries;
+        }
+      }
+    }
+  }
+
+  // Ground-truth event log + difficult-interval labels.
+  run.difficult_mask.assign(steps * n, 0);
+  for (const CompiledEvent& ce : compiled) {
+    const ScenarioEvent& event = ce.event;
+    run.series.incidents.push_back({event.target_node, event.start_step,
+                                    event.duration, EventSeverity(event)});
+    const int64_t begin = std::max<int64_t>(0, event.start_step);
+    const int64_t end = std::min<int64_t>(
+        steps, event.start_step + event.duration + ce.envelope.recovery);
+    for (int64_t step = begin; step < end; ++step) {
+      for (int64_t v : ce.nodes) run.difficult_mask[step * n + v] = 1;
+    }
+  }
+  std::sort(run.series.incidents.begin(), run.series.incidents.end(),
+            [](const data::TrafficIncident& a, const data::TrafficIncident& b) {
+              return a.onset_step != b.onset_step ? a.onset_step < b.onset_step
+                                                  : a.node < b.node;
+            });
+  return run;
+}
+
+}  // namespace trafficbench::scenario

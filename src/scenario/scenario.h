@@ -1,0 +1,123 @@
+#ifndef TRAFFICBENCH_SCENARIO_SCENARIO_H_
+#define TRAFFICBENCH_SCENARIO_SCENARIO_H_
+
+// Scripted disruption scenarios over the routing engine (routing.h).
+//
+// A Scenario is a timeline of events compiled onto RouteTraffic's per-step
+// modifiers: closures and capacity cuts reshape the network the demand must
+// flow through, surges reshape the demand itself, blackouts corrupt the
+// *sensing* of an otherwise normal world. Every event also emits a
+// ground-truth TrafficIncident into the series' event log and a
+// (step, node) difficult-interval label, so evaluation can score exactly
+// the positions the disruption touched instead of estimating them post hoc.
+//
+// The canonical builders pick their targets deterministically from the
+// network + demand structure (most-loaded segment, most attractive node),
+// so a seeded world always yields the same scripted scenario.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/traffic_simulator.h"
+#include "src/graph/road_network.h"
+#include "src/scenario/routing.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::scenario {
+
+/// Disruption families of the robustness matrix.
+enum class EventKind : int {
+  /// A segment (and its reverse twin) drops to ~2% capacity: demand must
+  /// reroute onto parallel paths.
+  kRoadClosure = 0,
+  /// A segment keeps operating at reduced capacity (lane closure, weather).
+  kCapacityCut,
+  /// One destination's arriving demand is multiplied (stadium event).
+  kDemandSurge,
+  /// Cascading regional failure: every segment within a hop radius of the
+  /// epicentre loses capacity while regional demand rises — congestion
+  /// spills outward through rerouting.
+  kGridlock,
+  /// Sensors in a region report 0 (missing) while traffic itself is
+  /// unaffected; masked_entries accounts for every zeroed reading.
+  kSensorBlackout,
+};
+
+/// "closure" / "capacity_cut" / "surge" / "gridlock" / "blackout".
+const char* EventKindName(EventKind kind);
+
+/// One scripted event on the scenario timeline.
+struct ScenarioEvent {
+  EventKind kind = EventKind::kRoadClosure;
+  int64_t start_step = 0;
+  /// Steps at full severity (onset ramp and recovery decay extend beyond).
+  int64_t duration = 36;
+  /// Kind-specific strength: surviving capacity fraction for closure /
+  /// capacity_cut / gridlock (0.02 = closed), destination demand multiplier
+  /// for surge, unused for blackout.
+  double magnitude = 0.0;
+  /// Epicentre node (reported in the event log; BFS seed for regional
+  /// events; the blacked-out region's centre).
+  int64_t target_node = -1;
+  /// Segment index for closure / capacity_cut (network.segments() order).
+  int64_t target_edge = -1;
+  /// Undirected hop radius of regional events (gridlock, blackout) and of
+  /// the difficult-interval label spread.
+  int radius_hops = 2;
+};
+
+/// A named timeline of events.
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioEvent> events;
+};
+
+/// Nodes within `hops` undirected hops of any seed node (BFS over in- and
+/// out-neighbours), ascending node order.
+std::vector<int64_t> NodesWithinHops(const graph::RoadNetwork& network,
+                                     const std::vector<int64_t>& seeds,
+                                     int hops);
+
+/// The undisturbed world (no events) — the matrix's reference column.
+Scenario BaselineScenario();
+/// Closes the most-loaded segment (free-flow peak assignment argmax) and
+/// its reverse twin, one window per day alternating AM/PM peaks.
+Scenario ClosureScenario(const graph::RoadNetwork& network,
+                         const DemandModel& demand, int64_t num_days);
+/// Multiplies demand arriving at the most attractive node, one window/day.
+Scenario SurgeScenario(const graph::RoadNetwork& network,
+                       const DemandModel& demand, int64_t num_days);
+/// Regional capacity collapse + demand rise around the most-loaded
+/// segment's tail node, one window per day.
+Scenario GridlockScenario(const graph::RoadNetwork& network,
+                          const DemandModel& demand, int64_t num_days);
+/// Blacks out sensing within 2 hops of the best-connected node, one
+/// window per day.
+Scenario BlackoutScenario(const graph::RoadNetwork& network,
+                          const DemandModel& demand, int64_t num_days);
+/// The four disruption scenarios above, in matrix column order.
+std::vector<Scenario> CanonicalScenarios(const graph::RoadNetwork& network,
+                                         const DemandModel& demand,
+                                         int64_t num_days);
+
+/// A routed scenario: the sensor series (with event log and blackout
+/// masking applied), the routing report, and the ground-truth
+/// difficult-interval mask in series layout [num_steps * num_nodes].
+struct ScenarioRun {
+  data::TrafficSeries series;
+  RoutingReport report;
+  std::vector<uint8_t> difficult_mask;
+};
+
+/// Compiles `scenario` onto the routing engine and runs it.
+/// `base_options.modifiers` must be empty (the scenario owns the timeline);
+/// `rng` drives sensor noise only, so running two scenarios with equal
+/// seeds differs exactly by what the events caused.
+ScenarioRun RunScenario(const graph::RoadNetwork& network,
+                        const DemandModel& demand, const Scenario& scenario,
+                        const RoutingOptions& base_options, Rng* rng);
+
+}  // namespace trafficbench::scenario
+
+#endif  // TRAFFICBENCH_SCENARIO_SCENARIO_H_

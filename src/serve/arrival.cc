@@ -1,9 +1,6 @@
 #include "src/serve/arrival.h"
 
-#include <cmath>
-
-#include "src/util/check.h"
-#include "src/util/rng.h"
+#include "src/util/timeline.h"
 
 namespace trafficbench::serve {
 
@@ -40,46 +37,26 @@ double TraceRateMultiplier(TraceKind kind, double u) {
   switch (kind) {
     case TraceKind::kUniform:
       return 1.0;
-    case TraceKind::kBurst: {
+    case TraceKind::kBurst:
       // Six calm/burst cycles per run, one third of each cycle bursting.
-      const double phase = u * 6.0 - std::floor(u * 6.0);
-      return phase < 1.0 / 3.0 ? 2.5 : 0.4;
-    }
-    case TraceKind::kDiurnal: {
+      return util::SquareWave(u, 6.0, 1.0 / 3.0, 2.5, 0.4);
+    case TraceKind::kDiurnal:
       // AM/PM rush peaks; 2.2x mirrors the simulator's rush_severity=0.55
-      // (free-flow service rate scaled by 1/(1 - severity)).
-      auto peak = [&](double center) {
-        const double d = (u - center) / 0.08;
-        return std::exp(-d * d);
-      };
-      return 0.45 + 1.75 * (peak(0.3) + peak(0.75));
-    }
+      // (free-flow service rate scaled by 1/(1 - severity)). Same curve
+      // family as the scenario engine's diurnal demand profile.
+      return 0.45 + 1.75 * (util::GaussianPeak(u, 0.3, 0.08) +
+                            util::GaussianPeak(u, 0.75, 0.08));
     case TraceKind::kFlash:
-      return (u >= 0.45 && u < 0.55) ? 8.0 : 0.6;
+      return util::Window(u, 0.45, 0.55, 8.0, 0.6);
   }
   return 1.0;
 }
 
 std::vector<double> ArrivalTimes(TraceKind kind, double base_rate, int64_t n,
                                  uint64_t seed) {
-  TB_CHECK_GT(base_rate, 0.0);
-  TB_CHECK_GE(n, 0);
-  Rng rng(seed ^ 0x5e37a1ULL);
-  std::vector<double> times;
-  times.reserve(static_cast<size_t>(n));
-  double t = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const double u = n > 0 ? static_cast<double>(i) / static_cast<double>(n)
-                           : 0.0;
-    const double rate = base_rate * TraceRateMultiplier(kind, u);
-    // The first request fires at t=0 (as the old fixed --rate loop did);
-    // the multiplier at progress u shapes the gap *after* request i.
-    times.push_back(t);
-    double jitter = 1.0;
-    if (kind != TraceKind::kUniform) jitter = rng.Uniform(0.8, 1.2);
-    t += jitter / rate;
-  }
-  return times;
+  return util::ProfiledArrivalTimes(
+      [kind](double u) { return TraceRateMultiplier(kind, u); }, base_rate, n,
+      seed ^ 0x5e37a1ULL, kind == TraceKind::kUniform ? 0.0 : 0.2);
 }
 
 }  // namespace trafficbench::serve

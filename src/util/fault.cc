@@ -15,7 +15,7 @@ const char* const kSiteNames[kNumFaultSites] = {
     "train_loss",    "train_grad", "eval_pred", "ckpt_short_write",
     "ckpt_bit_flip", "io_open",    "io_write",  "crash",
     "serve_slow_worker", "plan_compile", "precision_verify",
-    "degrade_ladder", "halo_exchange",
+    "degrade_ladder", "halo_exchange", "scenario_route",
 };
 
 bool SiteByName(const std::string& name, FaultSite* out) {

@@ -42,6 +42,11 @@
 //                    partitioned SpMM (the halo verifier must detect the
 //                    mismatch and fall back to the monolithic SpMM path,
 //                    keeping results bit-identical)
+//   scenario_route   corrupt one origin's routing table (shortest-path
+//                    distance entry) in the scenario engine's assignment
+//                    sweep (the path-cost invariant check must detect the
+//                    violated relaxation and recompute that origin from
+//                    scratch, keeping the emitted series bit-identical)
 
 #include <array>
 #include <cstdint>
@@ -67,9 +72,10 @@ enum class FaultSite : int {
   kPrecisionVerify,
   kDegradeLadder,
   kHaloExchange,
+  kScenarioRoute,
 };
 
-inline constexpr int kNumFaultSites = 13;
+inline constexpr int kNumFaultSites = 14;
 
 /// Thrown when the "crash" site fires: simulates a hard kill at the point of
 /// injection. Deliberately NOT derived from std::exception so that generic

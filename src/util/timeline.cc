@@ -1,0 +1,58 @@
+#include "src/util/timeline.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace trafficbench::util {
+
+double SquareWave(double u, double cycles, double duty, double hi, double lo) {
+  const double phase = u * cycles - std::floor(u * cycles);
+  return phase < duty ? hi : lo;
+}
+
+double GaussianPeak(double u, double center, double width) {
+  const double d = (u - center) / width;
+  return std::exp(-d * d);
+}
+
+double Window(double u, double begin, double end, double hi, double lo) {
+  return (u >= begin && u < end) ? hi : lo;
+}
+
+double PulseEnvelope(int64_t step, int64_t start, int64_t onset_steps,
+                     int64_t duration, int64_t recovery_steps) {
+  if (step < start) return 0.0;
+  const int64_t since = step - start;
+  if (since < duration) {
+    // Sharp onset: full severity after `onset_steps` steps.
+    return std::min(1.0, static_cast<double>(since + 1) /
+                             static_cast<double>(std::max<int64_t>(1, onset_steps)));
+  }
+  const double past = static_cast<double>(since - duration);
+  return std::exp(-past / static_cast<double>(std::max<int64_t>(1, recovery_steps)));
+}
+
+std::vector<double> ProfiledArrivalTimes(
+    const std::function<double(double)>& rate_multiplier, double base_rate,
+    int64_t n, uint64_t seed, double jitter) {
+  TB_CHECK_GT(base_rate, 0.0);
+  TB_CHECK_GE(n, 0);
+  Rng rng(seed);
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(n));
+  double t = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double u = n > 0 ? static_cast<double>(i) / static_cast<double>(n)
+                           : 0.0;
+    const double rate = base_rate * rate_multiplier(u);
+    times.push_back(t);
+    double scale = 1.0;
+    if (jitter > 0.0) scale = rng.Uniform(1.0 - jitter, 1.0 + jitter);
+    t += scale / rate;
+  }
+  return times;
+}
+
+}  // namespace trafficbench::util

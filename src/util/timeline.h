@@ -1,0 +1,50 @@
+#ifndef TRAFFICBENCH_UTIL_TIMELINE_H_
+#define TRAFFICBENCH_UTIL_TIMELINE_H_
+
+// Seeded event-timeline primitives shared by every component that shapes a
+// rate or severity over time: the serving layer's arrival traces
+// (src/serve/arrival.cc) and the scenario engine's demand profiles and
+// disruption envelopes (src/scenario/). Both used to implement these
+// ad-hoc; a single set of pure functions keeps the two from drifting —
+// serve-bench's "diurnal" arrival trace and the routing engine's diurnal
+// demand profile are literally the same curve.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace trafficbench::util {
+
+/// Square wave over a normalized axis u in [0, 1): `cycles` periods, the
+/// first `duty` fraction of each period at `hi`, the rest at `lo`.
+double SquareWave(double u, double cycles, double duty, double hi, double lo);
+
+/// Unnormalized Gaussian bump exp(-((u - center) / width)^2); the building
+/// block of every rush-hour-shaped profile in the repo.
+double GaussianPeak(double u, double center, double width);
+
+/// `hi` inside [begin, end), `lo` elsewhere — a single flat spike.
+double Window(double u, double begin, double end, double hi, double lo);
+
+/// Onset/hold/recovery envelope in [0, 1] on a discrete step axis: 0 before
+/// `start`, a linear ramp reaching 1 after `onset_steps` (>= 1), full
+/// severity for `duration` steps, then exponential decay with time constant
+/// `recovery_steps`. This is the temporal shape of both the simulator's
+/// incidents and the scenario engine's scripted disruptions.
+double PulseEnvelope(int64_t step, int64_t start, int64_t onset_steps,
+                     int64_t duration, int64_t recovery_steps);
+
+/// Arrival times (seconds from stream start) for `n` requests with mean
+/// rate `base_rate`, shaped by `rate_multiplier` over run progress u = i/n.
+/// The first request fires at t = 0; the multiplier at progress u shapes
+/// the gap *after* request i. When `jitter` > 0 each gap is scaled by a
+/// seeded Uniform(1 - jitter, 1 + jitter) draw; jitter == 0 draws nothing,
+/// so a flat profile stays exactly periodic. Strictly nondecreasing and a
+/// pure function of its arguments.
+std::vector<double> ProfiledArrivalTimes(
+    const std::function<double(double)>& rate_multiplier, double base_rate,
+    int64_t n, uint64_t seed, double jitter);
+
+}  // namespace trafficbench::util
+
+#endif  // TRAFFICBENCH_UTIL_TIMELINE_H_

@@ -13,6 +13,9 @@
 //                         [--threads N] [--profile]
 //   trafficbench experiment --dataset METR-LA-S
 //                         [--models A,B,C] [--ckpt-dir DIR] [--resume]
+//   trafficbench scenario-matrix [--nodes N] [--train-days D]
+//                         [--eval-days D] [--models A,B,C] [--seed S]
+//                         [--threads K] [--csv F] [--summary-csv F]
 //   trafficbench serve-bench --dataset METR-LA-S
 //                         [--models A,B,C] [--requests N] [--rate R]
 //                         [--trace uniform|burst|diurnal|flash]
@@ -59,6 +62,7 @@
 #include "src/exec/execution_context.h"
 #include "src/models/traffic_model.h"
 #include "src/nn/serialize.h"
+#include "src/scenario/matrix.h"
 #include "src/tensor/kernels.h"
 #include "src/util/fault.h"
 #include "src/util/table.h"
@@ -96,8 +100,8 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: trafficbench"
-      " <list|simulate|train|evaluate|experiment|serve-bench> [options]\n"
+      "usage: trafficbench <list|simulate|train|evaluate|experiment|"
+      "scenario-matrix|serve-bench> [options]\n"
       "  list                         models and dataset profiles\n"
       "  simulate --dataset NAME --out-network F --out-series F\n"
       "  train    --model M (--dataset NAME | --network F --series F"
@@ -112,6 +116,12 @@ int Usage() {
       "           [--models A,B,C] [--ckpt-dir DIR] [--resume]\n"
       "           (TB_EPOCHS/TB_REPEATS/TB_CKPT_EVERY/TB_FAULT/... "
       "tune the sweep)\n"
+      "  scenario-matrix [--nodes N] [--train-days D] [--eval-days D]\n"
+      "           [--models A,B,C] [--seed S] [--threads K]\n"
+      "           [--csv F] [--summary-csv F]\n"
+      "           (models x disruption scenarios robustness matrix on a\n"
+      "            procedural capacity-routed city; TB_EPOCHS/TB_BATCHES/\n"
+      "            TB_EVAL tune training fidelity, DESIGN.md §16)\n"
       "  serve-bench (--dataset ... | --network/--series ...)\n"
       "           [--models A,B,C] [--requests N] [--rate R/s]\n"
       "           [--trace uniform|burst|diurnal|flash] [--trace-seed S]\n"
@@ -386,6 +396,69 @@ int CmdExperiment(const Args& args) {
   if (failed > 0) {
     std::fprintf(stderr, "%d of %zu models failed (see FAILED rows)\n",
                  failed, results.size());
+  }
+  return 0;
+}
+
+// The models x scenarios robustness matrix (DESIGN.md §16): trains every
+// requested model on an undisturbed capacity-routed world and scores it on
+// each scripted disruption class, reporting overall and difficult-interval
+// metrics per cell plus the per-model degradation ranking.
+int CmdScenarioMatrix(const Args& args) {
+  tb::scenario::MatrixOptions options;
+  options.config = tb::core::ExperimentConfig::FromEnv();
+  options.num_nodes =
+      std::max<int64_t>(8, std::atoll(args.Get("nodes", "48").c_str()));
+  options.train_days =
+      std::max<int64_t>(1, std::atoll(args.Get("train-days", "6").c_str()));
+  options.eval_days =
+      std::max<int64_t>(1, std::atoll(args.Get("eval-days", "2").c_str()));
+  options.model_names = SplitCommaList(args.Get("models", ""));
+  if (args.Has("seed")) {
+    options.config.seed =
+        std::strtoull(args.Get("seed", "2021").c_str(), nullptr, 10);
+  }
+  if (args.Has("threads")) {
+    options.config.threads =
+        std::max(1, std::atoi(args.Get("threads", "1").c_str()));
+  }
+
+  std::printf(
+      "scenario-matrix: %lld-node grid+arterial world, %lld train days, "
+      "%lld eval days/scenario, seed %llu, %d epochs\n",
+      static_cast<long long>(options.num_nodes),
+      static_cast<long long>(options.train_days),
+      static_cast<long long>(options.eval_days),
+      static_cast<unsigned long long>(options.config.seed),
+      options.config.epochs);
+
+  const tb::scenario::ScenarioMatrixResult result =
+      tb::scenario::RunScenarioMatrix(options);
+  for (const tb::scenario::ScenarioSummary& s : result.scenarios) {
+    std::printf(
+        "scenario %-10s %2lld events, %.1f%% difficult positions%s%s\n",
+        s.name.c_str(), static_cast<long long>(s.events),
+        100.0 * s.difficult_fraction,
+        s.masked_entries > 0
+            ? (", " + std::to_string(s.masked_entries) + " blacked out")
+                  .c_str()
+            : "",
+        s.fault_recomputes > 0
+            ? (", " + std::to_string(s.fault_recomputes) + " route recomputes")
+                  .c_str()
+            : "");
+  }
+  tb::core::EmitTable("Models x scenarios robustness matrix",
+                      tb::scenario::MatrixToTable(result),
+                      args.Get("csv", "scenario_matrix.csv"));
+  tb::core::EmitTable("Scenario-induced MAE degradation (x baseline)",
+                      tb::scenario::DegradationSummary(result),
+                      args.Get("summary-csv", "scenario_degradation.csv"));
+  if (!result.failed_models.empty()) {
+    for (const std::string& failure : result.failed_models) {
+      std::fprintf(stderr, "FAILED %s\n", failure.c_str());
+    }
+    return 1;
   }
   return 0;
 }
@@ -710,6 +783,7 @@ int main(int argc, char** argv) try {
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "evaluate") return CmdEvaluate(args);
   if (args.command == "experiment") return CmdExperiment(args);
+  if (args.command == "scenario-matrix") return CmdScenarioMatrix(args);
   if (args.command == "serve-bench") return CmdServeBench(args);
   return Usage();
 } catch (const tb::SimulatedCrash& crash) {
